@@ -1,0 +1,176 @@
+//! Plain-text chart rendering for the `repro` binary.
+//!
+//! Every figure of the paper is regenerated as an ASCII chart so results
+//! can be inspected in a terminal and diffed in CI.
+
+/// A named series of values (one legend entry in a grouped chart).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// One value per category.
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// Construct a series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Series {
+        Series { label: label.into(), values }
+    }
+}
+
+const BAR_WIDTH: usize = 50;
+
+fn bar(value: f64, max: f64) -> String {
+    let len = if max > 0.0 {
+        ((value / max) * BAR_WIDTH as f64).round().clamp(0.0, BAR_WIDTH as f64) as usize
+    } else {
+        0
+    };
+    "█".repeat(len)
+}
+
+/// Render a single-series horizontal bar chart; values are formatted as
+/// percentages when `percent` is set.
+pub fn bar_chart(title: &str, categories: &[&str], values: &[f64], percent: bool) -> String {
+    assert_eq!(categories.len(), values.len(), "one value per category");
+    let max = values.iter().copied().fold(0.0, f64::max);
+    let width = categories.iter().map(|c| c.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    for (cat, &v) in categories.iter().zip(values) {
+        let shown = if percent { format!("{:6.2}%", v * 100.0) } else { format!("{v:10.2}") };
+        out.push_str(&format!("{cat:width$} {shown} |{}\n", bar(v, max)));
+    }
+    out
+}
+
+/// Render a grouped bar chart (one group per category, one bar per
+/// series) — the layout of the paper's Figures 5 and 6.
+pub fn grouped_bar_chart(
+    title: &str,
+    categories: &[&str],
+    series: &[Series],
+    percent: bool,
+) -> String {
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .fold(0.0, f64::max);
+    let label_width = series.iter().map(|s| s.label.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ==\n");
+    for (i, cat) in categories.iter().enumerate() {
+        out.push_str(&format!("{cat}\n"));
+        for s in series {
+            let v = s.values.get(i).copied().unwrap_or(0.0);
+            let shown = if percent { format!("{:6.2}%", v * 100.0) } else { format!("{v:10.2}") };
+            out.push_str(&format!("  {:label_width$} {shown} |{}\n", s.label, bar(v, max)));
+        }
+    }
+    out
+}
+
+/// Render a scatter plot on a character grid, with optional fitted-curve
+/// overlay (`fit` maps x to ŷ) — the layout of the paper's Figure 7.
+pub fn scatter_plot(
+    title: &str,
+    points: &[(f64, f64)],
+    fit: Option<&dyn Fn(f64) -> f64>,
+    rows: usize,
+    cols: usize,
+) -> String {
+    assert!(rows >= 2 && cols >= 2);
+    let mut out = format!("== {title} ==\n");
+    if points.is_empty() {
+        out.push_str("(no points)\n");
+        return out;
+    }
+    let min_x = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let max_x = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let min_y = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).min(0.0);
+    let max_y = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; cols]; rows];
+    if let Some(f) = fit {
+        for (col, x) in (0..cols)
+            .map(|c| min_x + span_x * c as f64 / (cols - 1) as f64)
+            .enumerate()
+        {
+            let y = f(x);
+            if y.is_finite() && y >= min_y && y <= max_y {
+                let row = ((max_y - y) / span_y * (rows - 1) as f64).round() as usize;
+                grid[row.min(rows - 1)][col] = '·';
+            }
+        }
+    }
+    for &(x, y) in points {
+        let col = ((x - min_x) / span_x * (cols - 1) as f64).round() as usize;
+        let row = ((max_y - y) / span_y * (rows - 1) as f64).round() as usize;
+        grid[row.min(rows - 1)][col.min(cols - 1)] = '●';
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y = max_y - span_y * i as f64 / (rows - 1) as f64;
+        out.push_str(&format!("{:7.3} |{}\n", y, row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("        +{}\n", "-".repeat(cols)));
+    out.push_str(&format!("         {:<.1}{:>width$.1}\n", min_x, max_x, width = cols - 3));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let chart = bar_chart("t", &["a", "b"], &[0.5, 1.0], true);
+        assert!(chart.contains("50.00%"));
+        assert!(chart.contains("100.00%"));
+        let a_len = chart.lines().nth(1).unwrap().matches('█').count();
+        let b_len = chart.lines().nth(2).unwrap().matches('█').count();
+        assert_eq!(b_len, BAR_WIDTH);
+        assert_eq!(a_len, BAR_WIDTH / 2);
+    }
+
+    #[test]
+    fn grouped_chart_lists_all_series() {
+        let chart = grouped_bar_chart(
+            "fig",
+            &["bench1", "bench2"],
+            &[
+                Series::new("stuck-at-1", vec![0.3, 0.2]),
+                Series::new("stuck-at-0", vec![0.25, 0.15]),
+            ],
+            true,
+        );
+        assert_eq!(chart.matches("stuck-at-1").count(), 2);
+        assert!(chart.contains("bench2"));
+    }
+
+    #[test]
+    fn scatter_places_points() {
+        let points = [(1.0, 0.0), (10.0, 1.0)];
+        let chart = scatter_plot("s", &points, None, 10, 40);
+        assert_eq!(chart.matches('●').count(), 2);
+    }
+
+    #[test]
+    fn scatter_overlays_fit() {
+        let points = [(1.0, 1.0), (10.0, 10.0)];
+        let f = |x: f64| x;
+        let chart = scatter_plot("s", &points, Some(&f), 10, 40);
+        assert!(chart.matches('·').count() > 5, "{chart}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per category")]
+    fn bar_chart_validates_lengths() {
+        let _ = bar_chart("t", &["a"], &[1.0, 2.0], false);
+    }
+
+    #[test]
+    fn empty_scatter_is_graceful() {
+        let chart = scatter_plot("s", &[], None, 5, 10);
+        assert!(chart.contains("no points"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Fixed-width histograms with text rendering (latency distributions,
+//! Pf-per-unit spreads, …).
+
+use std::fmt;
+
+/// A fixed-width-bucket histogram over `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<usize>,
+    /// Samples below `lo` / above `hi`.
+    underflow: usize,
+    overflow: usize,
+    count: usize,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is 0 or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(buckets > 0, "at least one bucket");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "valid range required");
+        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Build from samples, auto-ranging over their min/max.
+    ///
+    /// Returns `None` for empty or degenerate (all-equal) samples.
+    pub fn auto(samples: &[f64], buckets: usize) -> Option<Histogram> {
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return None;
+        }
+        let mut h = Histogram::new(lo, hi * (1.0 + 1e-12) + f64::MIN_POSITIVE, buckets);
+        h.extend(samples.iter().copied());
+        Some(h)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.count += 1;
+        if sample < self.lo {
+            self.underflow += 1;
+        } else if sample >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.buckets.len();
+            let idx = ((sample - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.buckets[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total samples recorded (including under/overflow).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[usize] {
+        &self.buckets
+    }
+
+    /// The `(low_edge, count)` of the fullest bucket.
+    pub fn mode(&self) -> Option<(f64, usize)> {
+        let (idx, &count) =
+            self.buckets.iter().enumerate().max_by_key(|&(_, &c)| c)?;
+        if count == 0 {
+            return None;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        Some((self.lo + idx as f64 * width, count))
+    }
+
+    /// Approximate quantile (0..=1) from the bucket midpoints.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = (q * (self.count - self.underflow - self.overflow) as f64).ceil() as usize;
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(self.lo + (i as f64 + 0.5) * width);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for sample in iter {
+            self.record(sample);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let bar = "█".repeat((c * 40).div_ceil(max).min(40));
+            writeln!(
+                f,
+                "{:12.2} .. {:12.2} {:>7} |{}",
+                self.lo + i as f64 * width,
+                self.lo + (i + 1) as f64 * width,
+                c,
+                bar
+            )?;
+        }
+        if self.underflow + self.overflow > 0 {
+            writeln!(f, "(underflow {}, overflow {})", self.underflow, self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.extend([0.0, 1.9, 2.0, 9.9, -1.0, 10.0, 11.0]);
+        assert_eq!(h.buckets(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.count(), 7);
+        let text = h.to_string();
+        assert!(text.contains("underflow 1, overflow 2"), "{text}");
+    }
+
+    #[test]
+    fn auto_ranges_over_samples() {
+        let samples = [5.0, 7.0, 9.0, 11.0, 13.0];
+        let h = Histogram::auto(&samples, 4).unwrap();
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets().iter().sum::<usize>(), 5);
+        assert!(Histogram::auto(&[], 4).is_none());
+        assert!(Histogram::auto(&[3.0, 3.0], 4).is_none());
+    }
+
+    #[test]
+    fn mode_and_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.extend((0..100).map(f64::from));
+        let (edge, count) = h.mode().unwrap();
+        assert_eq!(count, 10);
+        assert!(edge >= 0.0);
+        let median = h.quantile(0.5).unwrap();
+        assert!((40.0..=60.0).contains(&median), "{median}");
+        let p95 = h.quantile(0.95).unwrap();
+        assert!(p95 > median);
+        assert_eq!(Histogram::new(0.0, 1.0, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Statistics toolbox: regression, correlation, summary statistics and
+//! plain-text chart rendering.
+//!
+//! The reproduced paper's headline quantitative result is a logarithmic fit
+//! `Pf = a·ln(D) + b` with `R² = 0.9246` (its Figure 7); [`log_fit`] and
+//! [`Regression`] implement exactly that analysis. The crate also provides
+//! the Pearson/Spearman coefficients, bootstrap confidence intervals and
+//! the ASCII bar/scatter renderers used by the `repro` binary to regenerate
+//! every figure as text.
+//!
+//! # Example
+//!
+//! ```
+//! use analysis::log_fit;
+//!
+//! // Synthetic Pf values following 0.08·ln(D) - 0.02 exactly.
+//! let d = [8.0f64, 11.0, 18.0, 20.0, 47.0, 48.0];
+//! let pf: Vec<f64> = d.iter().map(|&x| 0.08 * x.ln() - 0.02).collect();
+//! let fit = log_fit(&d, &pf).unwrap();
+//! assert!((fit.slope - 0.08).abs() < 1e-12);
+//! assert!((fit.r_squared - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+mod histogram;
+mod regression;
+mod stats;
+
+pub use chart::{bar_chart, grouped_bar_chart, scatter_plot, Series};
+pub use histogram::Histogram;
+pub use regression::{linear_fit, log_fit, FitError, Regression};
+pub use stats::{bootstrap_mean_ci, mean, pearson, spearman, std_dev, wilson_interval, Summary};

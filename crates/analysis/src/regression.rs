@@ -1,0 +1,170 @@
+//! Least-squares fits: linear and logarithmic.
+
+use std::fmt;
+
+/// A fitting failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two points, or mismatched slice lengths.
+    NotEnoughData,
+    /// All x values identical (vertical line) or non-finite input.
+    Degenerate,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::NotEnoughData => write!(f, "need at least two (x, y) points"),
+            FitError::Degenerate => write!(f, "degenerate inputs (constant x or non-finite)"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted model `y = slope · g(x) + intercept` with goodness-of-fit,
+/// where `g` is the identity ([`linear_fit`]) or `ln` ([`log_fit`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regression {
+    /// The slope `a`.
+    pub slope: f64,
+    /// The intercept `b`.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Whether x was log-transformed.
+    pub logarithmic: bool,
+}
+
+impl Regression {
+    /// Predict `y` at `x` (applying the log transform if fitted that way).
+    pub fn predict(&self, x: f64) -> f64 {
+        let g = if self.logarithmic { x.ln() } else { x };
+        self.slope * g + self.intercept
+    }
+
+    /// The paper-style equation string, e.g.
+    /// `y = 0.0838·ln(x) - 0.0191 (R² = 0.9246)`.
+    pub fn equation(&self) -> String {
+        let xterm = if self.logarithmic { "ln(x)" } else { "x" };
+        let sign = if self.intercept < 0.0 { '-' } else { '+' };
+        format!(
+            "y = {:.4}·{xterm} {sign} {:.4} (R² = {:.4})",
+            self.slope,
+            self.intercept.abs(),
+            self.r_squared
+        )
+    }
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.equation())
+    }
+}
+
+fn fit(xs: &[f64], ys: &[f64], logarithmic: bool) -> Result<Regression, FitError> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return Err(FitError::NotEnoughData);
+    }
+    let gx: Vec<f64> = if logarithmic { xs.iter().map(|&x| x.ln()).collect() } else { xs.to_vec() };
+    if gx.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(FitError::Degenerate);
+    }
+    let n = gx.len() as f64;
+    let mean_x = gx.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = gx.iter().map(|&x| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = gx.iter().zip(ys).map(|(&x, &y)| (x - mean_x) * (y - mean_y)).sum();
+    if sxx == 0.0 {
+        return Err(FitError::Degenerate);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = ys.iter().map(|&y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = gx
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| (y - (slope * x + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Ok(Regression { slope, intercept, r_squared, logarithmic })
+}
+
+/// Ordinary least squares `y = a·x + b`.
+///
+/// # Errors
+///
+/// [`FitError::NotEnoughData`] for fewer than two points or mismatched
+/// lengths; [`FitError::Degenerate`] for constant or non-finite x.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<Regression, FitError> {
+    fit(xs, ys, false)
+}
+
+/// Least squares on log-transformed x: `y = a·ln(x) + b` — the model of
+/// the paper's Figure 7.
+///
+/// # Errors
+///
+/// As [`linear_fit`]; also degenerate when any `x ≤ 0` (ln undefined).
+pub fn log_fit(xs: &[f64], ys: &[f64]) -> Result<Regression, FitError> {
+    fit(xs, ys, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_fit() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_has_partial_r2() {
+        let xs: Vec<f64> = (1..=20).map(f64::from).collect();
+        let ys: Vec<f64> =
+            xs.iter().enumerate().map(|(i, &x)| 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.95 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn log_fit_recovers_paper_style_model() {
+        let xs = [8.0, 11.0, 18.0, 20.0, 47.0, 48.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| 0.0838 * x.ln() - 0.0191).collect();
+        let fit = log_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.0838).abs() < 1e-10);
+        assert!((fit.intercept + 0.0191).abs() < 1e-10);
+        assert!(fit.logarithmic);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation_formatting() {
+        let fit = Regression { slope: 0.0838, intercept: -0.0191, r_squared: 0.9246, logarithmic: true };
+        assert_eq!(fit.equation(), "y = 0.0838·ln(x) - 0.0191 (R² = 0.9246)");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(linear_fit(&[1.0], &[1.0]), Err(FitError::NotEnoughData));
+        assert_eq!(linear_fit(&[1.0, 2.0], &[1.0]), Err(FitError::NotEnoughData));
+        assert_eq!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]), Err(FitError::Degenerate));
+        assert_eq!(log_fit(&[0.0, 1.0], &[1.0, 2.0]), Err(FitError::Degenerate));
+        assert_eq!(log_fit(&[-1.0, 1.0], &[1.0, 2.0]), Err(FitError::Degenerate));
+    }
+
+    #[test]
+    fn constant_y_is_perfectly_explained() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Summary statistics, correlation coefficients and bootstrap intervals.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64).sqrt()
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// Returns `None` for fewer than two points, mismatched lengths or
+/// zero-variance inputs.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Average ranks, with ties sharing their mid-rank.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut indexed: Vec<(usize, f64)> = values.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite values"));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < indexed.len() {
+        let mut j = i;
+        while j + 1 < indexed.len() && indexed[j + 1].1 == indexed[i].1 {
+            j += 1;
+        }
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[indexed[k].0] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation coefficient (Pearson of the ranks).
+///
+/// Returns `None` under the same conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// A five-number-ish summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a slice (all-zero summary for an empty slice).
+    pub fn of(values: &[f64]) -> Summary {
+        Summary {
+            n: values.len(),
+            mean: mean(values),
+            std_dev: std_dev(values),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Wilson score interval for a binomial proportion — the right interval
+/// for a sampled fault-injection campaign's `Pf` (`successes` failures out
+/// of `trials` injections).
+///
+/// Returns `(low, high)` at the given confidence level; supports the
+/// common levels 0.90, 0.95 and 0.99. Returns `None` for zero trials or an
+/// unsupported level.
+pub fn wilson_interval(successes: usize, trials: usize, confidence: f64) -> Option<(f64, f64)> {
+    if trials == 0 {
+        return None;
+    }
+    let z = match confidence {
+        c if (c - 0.90).abs() < 1e-9 => 1.6449,
+        c if (c - 0.95).abs() < 1e-9 => 1.9600,
+        c if (c - 0.99).abs() < 1e-9 => 2.5758,
+        _ => return None,
+    };
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    Some(((centre - half).max(0.0), (centre + half).min(1.0)))
+}
+
+/// Percentile-bootstrap confidence interval for the mean, using a
+/// deterministic internal resampler.
+///
+/// Returns `(low, high)` at the given confidence level (e.g. `0.95`).
+/// Returns `None` for empty input.
+pub fn bootstrap_mean_ci(values: &[f64], resamples: usize, confidence: f64) -> Option<(f64, f64)> {
+    if values.is_empty() || !(0.0..1.0).contains(&confidence) {
+        return None;
+    }
+    // Deterministic xorshift so results are reproducible.
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15 ^ (values.len() as u64);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut means: Vec<f64> = (0..resamples.max(1))
+        .map(|_| {
+            let sum: f64 =
+                (0..values.len()).map(|_| values[(next() % values.len() as u64) as usize]).sum();
+            sum / values.len() as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((means.len() as f64 - 1.0) * alpha).round() as usize;
+    let hi_idx = ((means.len() as f64 - 1.0) * (1.0 - alpha)).round() as usize;
+    Some((means[lo_idx], means[hi_idx]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 1e-3);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson of the same data is below 1 (nonlinear).
+        assert!(pearson(&xs, &ys).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn summary_of_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        // Known value: 8/10 at 95% -> approximately (0.49, 0.94).
+        let (lo, hi) = wilson_interval(8, 10, 0.95).unwrap();
+        assert!((lo - 0.49).abs() < 0.01, "{lo}");
+        assert!((hi - 0.943).abs() < 0.01, "{hi}");
+        // Interval always contains the point estimate and stays in [0,1].
+        for (s, n) in [(0usize, 10usize), (10, 10), (1, 400), (399, 400)] {
+            let p = s as f64 / n as f64;
+            let (lo, hi) = wilson_interval(s, n, 0.95).unwrap();
+            assert!(lo <= p && p <= hi);
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+        // Wider sample -> narrower interval.
+        let (lo1, hi1) = wilson_interval(50, 100, 0.95).unwrap();
+        let (lo2, hi2) = wilson_interval(500, 1000, 0.95).unwrap();
+        assert!(hi2 - lo2 < hi1 - lo1);
+        // Higher confidence -> wider interval.
+        let (lo3, hi3) = wilson_interval(50, 100, 0.99).unwrap();
+        assert!(hi3 - lo3 > hi1 - lo1);
+        assert_eq!(wilson_interval(1, 0, 0.95), None);
+        assert_eq!(wilson_interval(1, 10, 0.5), None);
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_mean_for_tight_data() {
+        let values: Vec<f64> = (0..100).map(|i| 10.0 + (i % 3) as f64 * 0.01).collect();
+        let (lo, hi) = bootstrap_mean_ci(&values, 500, 0.95).unwrap();
+        let m = mean(&values);
+        assert!(lo <= m && m <= hi, "{lo} <= {m} <= {hi}");
+        assert!(hi - lo < 0.01);
+        assert_eq!(bootstrap_mean_ci(&[], 100, 0.95), None);
+    }
+}

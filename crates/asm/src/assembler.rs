@@ -1,0 +1,464 @@
+//! Two-pass assembly driver.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::lexer::{lex_line, strip_comment};
+use crate::parser::{parse_line, PInsn, POp2, Stmt};
+use crate::program::{Program, Segment};
+use sparc_isa::{Instr, Operand2, Reg};
+use std::collections::BTreeMap;
+
+/// Default load address when the source has no leading `.org` (the Leon3
+/// RAM base).
+pub(crate) const DEFAULT_ORG: u32 = 0x4000_0000;
+
+/// Assemble SPARC V8 source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: lexical or syntax errors,
+/// undefined/duplicate symbols, out-of-range immediates or displacements,
+/// misaligned targets, or overlapping segments.
+///
+/// # Example
+///
+/// ```
+/// use sparc_asm::assemble;
+///
+/// # fn main() -> Result<(), sparc_asm::AsmError> {
+/// let program = assemble("_start: nop\n halt\n");
+/// # program?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Parse everything first.
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let tokens = lex_line(line, lineno)?;
+        for stmt in parse_line(&tokens, lineno)? {
+            stmts.push((lineno, stmt));
+        }
+    }
+
+    // Pass 1: assign addresses to labels; evaluate `.equ`, `.org`,
+    // `.align` and `.space` (these must not depend on forward references,
+    // as in a classic two-pass assembler).
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut lc: u32 = DEFAULT_ORG;
+    for (lineno, stmt) in &stmts {
+        match stmt {
+            Stmt::Label(name) => {
+                if symbols.insert(name.clone(), lc).is_some() {
+                    return Err(AsmError::new(
+                        *lineno,
+                        AsmErrorKind::DuplicateLabel(name.clone()),
+                    ));
+                }
+            }
+            Stmt::Equ(name, expr) => {
+                let value = expr.eval(&symbols, lc, *lineno)? as u32;
+                symbols.insert(name.clone(), value);
+            }
+            Stmt::Org(expr) => {
+                lc = expr.eval(&symbols, lc, *lineno)? as u32;
+            }
+            Stmt::Align(expr) => {
+                let align = expr.eval(&symbols, lc, *lineno)? as u32;
+                if align == 0 || !align.is_power_of_two() {
+                    return Err(AsmError::new(
+                        *lineno,
+                        AsmErrorKind::ValueOutOfRange {
+                            what: ".align (power of two required)".into(),
+                            value: i64::from(align),
+                        },
+                    ));
+                }
+                lc = lc.next_multiple_of(align);
+            }
+            Stmt::Space(expr) => {
+                lc = lc.wrapping_add(expr.eval(&symbols, lc, *lineno)? as u32);
+            }
+            other => lc = lc.wrapping_add(other.size()),
+        }
+    }
+
+    // Pass 2: emit bytes.
+    let mut emitter = Emitter::new(DEFAULT_ORG);
+    for (lineno, stmt) in &stmts {
+        let lineno = *lineno;
+        let here = emitter.lc;
+        match stmt {
+            Stmt::Label(_) | Stmt::Equ(..) => {}
+            Stmt::Org(expr) => emitter.set_org(expr.eval(&symbols, here, lineno)? as u32),
+            Stmt::Align(expr) => {
+                let align = expr.eval(&symbols, here, lineno)? as u32;
+                let target = here.next_multiple_of(align);
+                emitter.pad_to(target);
+            }
+            Stmt::Space(expr) => {
+                let n = expr.eval(&symbols, here, lineno)? as u32;
+                emitter.pad_to(here + n);
+            }
+            Stmt::Data { width, values } => {
+                for value in values {
+                    let v = value.eval(&symbols, here, lineno)?;
+                    match width {
+                        4 => emitter.emit(&(v as u32).to_be_bytes()),
+                        2 => {
+                            check_range(v, -(1 << 15), (1 << 16) - 1, ".half", lineno)?;
+                            emitter.emit(&(v as u16).to_be_bytes());
+                        }
+                        _ => {
+                            check_range(v, -(1 << 7), (1 << 8) - 1, ".byte", lineno)?;
+                            emitter.emit(&[v as u8]);
+                        }
+                    }
+                }
+            }
+            Stmt::Ascii { text, nul } => {
+                emitter.emit(text.as_bytes());
+                if *nul {
+                    emitter.emit(&[0]);
+                }
+            }
+            Stmt::Insn(pinsn) => {
+                let instr = resolve(pinsn, &symbols, here, lineno)?;
+                emitter.emit(&instr.encode().to_be_bytes());
+            }
+        }
+    }
+
+    let segments = emitter.finish()?;
+    let entry = symbols
+        .get("_start")
+        .copied()
+        .or_else(|| segments.first().map(|s| s.base))
+        .unwrap_or(DEFAULT_ORG);
+    Ok(Program { segments, entry, symbols })
+}
+
+fn check_range(v: i64, min: i64, max: i64, what: &str, line: usize) -> Result<(), AsmError> {
+    if v < min || v > max {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::ValueOutOfRange { what: what.into(), value: v },
+        ));
+    }
+    Ok(())
+}
+
+fn resolve_op2(
+    op2: &POp2,
+    symbols: &BTreeMap<String, u32>,
+    here: u32,
+    line: usize,
+) -> Result<Operand2, AsmError> {
+    Ok(match op2 {
+        POp2::Reg(r) => Operand2::Reg(*r),
+        POp2::Imm(expr) => {
+            let v = expr.eval(symbols, here, line)?;
+            check_range(v, -4096, 4095, "simm13 immediate", line)?;
+            Operand2::Imm(v as i32)
+        }
+    })
+}
+
+fn resolve(
+    pinsn: &PInsn,
+    symbols: &BTreeMap<String, u32>,
+    here: u32,
+    line: usize,
+) -> Result<Instr, AsmError> {
+    Ok(match pinsn {
+        PInsn::Alu { op, rd, rs1, op2 } => {
+            Instr { op: *op, rd: *rd, rs1: *rs1, op2: resolve_op2(op2, symbols, here, line)?, ..Instr::default() }
+        }
+        PInsn::Mem { op, rd, rs1, op2 } => {
+            Instr { op: *op, rd: *rd, rs1: *rs1, op2: resolve_op2(op2, symbols, here, line)?, ..Instr::default() }
+        }
+        PInsn::Branch { cond, annul, target } => {
+            let target = target.eval(symbols, here, line)? as u32;
+            if !target.is_multiple_of(4) {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::Misaligned { what: "branch target".into(), addr: target },
+                ));
+            }
+            let disp = (i64::from(target) - i64::from(here)) / 4;
+            check_range(disp, -(1 << 21), (1 << 21) - 1, "branch displacement", line)?;
+            Instr::branch(*cond, *annul, disp as i32)
+        }
+        PInsn::Call { target } => {
+            let target = target.eval(symbols, here, line)? as u32;
+            if !target.is_multiple_of(4) {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::Misaligned { what: "call target".into(), addr: target },
+                ));
+            }
+            let disp = (i64::from(target) - i64::from(here)) / 4;
+            check_range(disp, -(1 << 29), (1 << 29) - 1, "call displacement", line)?;
+            Instr::call(disp as i32)
+        }
+        PInsn::Sethi { rd, imm } => {
+            let v = imm.eval(symbols, here, line)?;
+            check_range(v, 0, (1 << 22) - 1, "sethi imm22", line)?;
+            Instr::sethi(*rd, v as u32)
+        }
+        PInsn::Ticc { cond, rs1, op2 } => Instr {
+            op: sparc_isa::Opcode::Ticc,
+            cond: *cond,
+            rs1: *rs1,
+            op2: resolve_op2(op2, symbols, here, line)?,
+            ..Instr::default()
+        },
+        PInsn::Unimp { imm } => {
+            let v = imm.eval(symbols, here, line)?;
+            check_range(v, 0, (1 << 22) - 1, "unimp const22", line)?;
+            Instr { op: sparc_isa::Opcode::Unimp, rd: Reg::G0, imm22: v as u32, ..Instr::default() }
+        }
+    })
+}
+
+/// Accumulates bytes into segments, starting a fresh segment at each
+/// `.org`.
+struct Emitter {
+    segments: Vec<Segment>,
+    current: Option<Segment>,
+    lc: u32,
+}
+
+impl Emitter {
+    fn new(org: u32) -> Emitter {
+        Emitter { segments: Vec::new(), current: None, lc: org }
+    }
+
+    fn set_org(&mut self, addr: u32) {
+        if let Some(seg) = self.current.take() {
+            if !seg.bytes.is_empty() {
+                self.segments.push(seg);
+            }
+        }
+        self.lc = addr;
+    }
+
+    fn pad_to(&mut self, target: u32) {
+        let gap = target.saturating_sub(self.lc) as usize;
+        if gap > 0 {
+            self.emit(&vec![0u8; gap]);
+        }
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        let seg = self
+            .current
+            .get_or_insert_with(|| Segment { base: self.lc, bytes: Vec::new() });
+        seg.bytes.extend_from_slice(bytes);
+        self.lc = self.lc.wrapping_add(bytes.len() as u32);
+    }
+
+    fn finish(mut self) -> Result<Vec<Segment>, AsmError> {
+        if let Some(seg) = self.current.take() {
+            if !seg.bytes.is_empty() {
+                self.segments.push(seg);
+            }
+        }
+        self.segments.sort_by_key(|s| s.base);
+        for pair in self.segments.windows(2) {
+            if pair[0].end() > pair[1].base {
+                return Err(AsmError::new(0, AsmErrorKind::OverlappingSegments));
+            }
+        }
+        Ok(self.segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparc_isa::decode;
+
+    #[test]
+    fn assembles_simple_loop() {
+        let program = assemble(
+            r#"
+                .org 0x40000000
+            _start:
+                set 10, %o0
+            loop:
+                subcc %o0, 1, %o0
+                bne loop
+                 nop
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.entry, 0x4000_0000);
+        assert_eq!(program.len(), 6 * 4);
+        // The bne displacement should be -1 word (back to `loop`).
+        let bne = decode(program.word(0x4000_000c).unwrap()).unwrap();
+        assert_eq!(bne.disp, -1);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let program = assemble(
+            r#"
+            _start:
+                call func
+                 nop
+                halt
+            func:
+                retl
+                 nop
+            "#,
+        )
+        .unwrap();
+        let call = decode(program.word(program.entry).unwrap()).unwrap();
+        assert_eq!(call.disp, 3); // 3 words forward to `func`
+    }
+
+    #[test]
+    fn hi_lo_roundtrip_through_set() {
+        let program = assemble(
+            r#"
+                .org 0x40000000
+            _start:
+                set data, %g1
+                ld [%g1], %o0
+                halt
+                .align 8
+            data:
+                .word 0xcafebabe
+            "#,
+        )
+        .unwrap();
+        let data_addr = program.symbol("data").unwrap();
+        let sethi = decode(program.word(program.entry).unwrap()).unwrap();
+        let or = decode(program.word(program.entry + 4).unwrap()).unwrap();
+        let rebuilt = (sethi.imm22 << 10)
+            | match or.op2 {
+                Operand2::Imm(v) => v as u32,
+                _ => panic!(),
+            };
+        assert_eq!(rebuilt, data_addr);
+        assert_eq!(program.word(data_addr), Some(0xcafe_babe));
+    }
+
+    #[test]
+    fn data_directives_emit_big_endian() {
+        let program = assemble(
+            r#"
+                .org 0x100
+                .word 0x11223344
+                .half 0x5566
+                .byte 0x77, 0x88
+                .asciz "ab"
+            "#,
+        )
+        .unwrap();
+        let bytes: Vec<u8> = program.bytes().map(|(_, b)| b).collect();
+        assert_eq!(
+            bytes,
+            vec![0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, b'a', b'b', 0]
+        );
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let program = assemble(
+            r#"
+                n = 4
+                .org 0x200
+            _start:
+                add %g0, n * 2 + 1, %o0
+                halt
+            "#,
+        )
+        .unwrap();
+        let add = decode(program.word(0x200).unwrap()).unwrap();
+        assert_eq!(add.op2, Operand2::Imm(9));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let err = assemble("_start: call nowhere\n nop\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedSymbol(_)));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn immediate_out_of_range_rejected() {
+        let err = assemble("add %g0, 5000, %o0\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::ValueOutOfRange { .. }));
+    }
+
+    #[test]
+    fn overlapping_segments_rejected() {
+        let err = assemble(
+            r#"
+                .org 0x100
+                .word 1, 2, 3, 4
+                .org 0x104
+                .word 5
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::OverlappingSegments));
+    }
+
+    #[test]
+    fn multiple_segments_sorted() {
+        let program = assemble(
+            r#"
+                .org 0x2000
+                .word 2
+                .org 0x1000
+                .word 1
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.segments.len(), 2);
+        assert_eq!(program.segments[0].base, 0x1000);
+        assert_eq!(program.segments[1].base, 0x2000);
+    }
+
+    #[test]
+    fn align_pads_with_zeroes() {
+        let program = assemble(
+            r#"
+                .org 0x100
+                .byte 1
+                .align 4
+                .word 0xffffffff
+            "#,
+        )
+        .unwrap();
+        let bytes: Vec<u8> = program.bytes().map(|(_, b)| b).collect();
+        assert_eq!(bytes, vec![1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff]);
+    }
+
+    #[test]
+    fn location_counter_in_expressions() {
+        let program = assemble(
+            r#"
+                .org 0x100
+            here:
+                .word .
+            "#,
+        )
+        .unwrap();
+        assert_eq!(program.word(0x100), Some(0x100));
+    }
+}

@@ -1,0 +1,90 @@
+//! Assembler error types.
+
+use std::fmt;
+
+/// What went wrong while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// A token could not be recognised.
+    Lex(String),
+    /// A statement had the wrong shape.
+    Parse(String),
+    /// An unknown mnemonic or directive.
+    UnknownMnemonic(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A symbol was referenced but never defined.
+    UndefinedSymbol(String),
+    /// A value did not fit its field (immediate, displacement, …).
+    ValueOutOfRange {
+        /// What the value was for.
+        what: String,
+        /// The offending value.
+        value: i64,
+    },
+    /// A misaligned target (e.g. branch to a non-word address).
+    Misaligned {
+        /// What was misaligned.
+        what: String,
+        /// The offending address.
+        addr: u32,
+    },
+    /// Segments overlap after `.org` manipulation.
+    OverlappingSegments,
+}
+
+/// An assembler error with its source line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line, or 0 for whole-file errors.
+    pub line: usize,
+    /// The error detail.
+    pub kind: AsmErrorKind,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, kind: AsmErrorKind) -> AsmError {
+        AsmError { line, kind }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            AsmErrorKind::Lex(msg) => write!(f, "lexical error: {msg}"),
+            AsmErrorKind::Parse(msg) => write!(f, "parse error: {msg}"),
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic or directive `{m}`"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            AsmErrorKind::ValueOutOfRange { what, value } => {
+                write!(f, "value {value} out of range for {what}")
+            }
+            AsmErrorKind::Misaligned { what, addr } => {
+                write!(f, "misaligned {what} at {addr:#010x}")
+            }
+            AsmErrorKind::OverlappingSegments => write!(f, "overlapping segments"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(7, AsmErrorKind::UndefinedSymbol("foo".into()));
+        assert_eq!(e.to_string(), "line 7: undefined symbol `foo`");
+    }
+
+    #[test]
+    fn display_omits_zero_line() {
+        let e = AsmError::new(0, AsmErrorKind::OverlappingSegments);
+        assert_eq!(e.to_string(), "overlapping segments");
+    }
+}

@@ -1,0 +1,96 @@
+//! Assembler expressions: labels, numbers, `%hi`/`%lo`, arithmetic and the
+//! location counter.
+
+use crate::error::{AsmError, AsmErrorKind};
+use std::collections::BTreeMap;
+
+/// An unresolved expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Symbol reference.
+    Sym(String),
+    /// The location counter `.` (address of the current statement).
+    Here,
+    /// `%hi(e)` — bits 31:10 of the value, for `sethi`.
+    Hi(Box<Expr>),
+    /// `%lo(e)` — bits 9:0 of the value.
+    Lo(Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate against a symbol table and the current location counter.
+    pub(crate) fn eval(
+        &self,
+        symbols: &BTreeMap<String, u32>,
+        here: u32,
+        line: usize,
+    ) -> Result<i64, AsmError> {
+        Ok(match self {
+            Expr::Num(n) => *n,
+            Expr::Sym(name) => i64::from(*symbols.get(name).ok_or_else(|| {
+                AsmError::new(line, AsmErrorKind::UndefinedSymbol(name.clone()))
+            })?),
+            Expr::Here => i64::from(here),
+            Expr::Hi(e) => ((e.eval(symbols, here, line)? as u32) >> 10) as i64,
+            Expr::Lo(e) => ((e.eval(symbols, here, line)? as u32) & 0x3ff) as i64,
+            Expr::Neg(e) => -e.eval(symbols, here, line)?,
+            Expr::Add(a, b) => a.eval(symbols, here, line)? + b.eval(symbols, here, line)?,
+            Expr::Sub(a, b) => a.eval(symbols, here, line)? - b.eval(symbols, here, line)?,
+            Expr::Mul(a, b) => a.eval(symbols, here, line)? * b.eval(symbols, here, line)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(pairs: &[(&str, u32)]) -> BTreeMap<String, u32> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Add(
+            Box::new(Expr::Mul(Box::new(Expr::Num(3)), Box::new(Expr::Num(4)))),
+            Box::new(Expr::Neg(Box::new(Expr::Num(2)))),
+        );
+        assert_eq!(e.eval(&BTreeMap::new(), 0, 1).unwrap(), 10);
+    }
+
+    #[test]
+    fn hi_lo_split_recombines() {
+        let table = syms(&[("buf", 0x4001_2345)]);
+        let hi = Expr::Hi(Box::new(Expr::Sym("buf".into())));
+        let lo = Expr::Lo(Box::new(Expr::Sym("buf".into())));
+        let h = hi.eval(&table, 0, 1).unwrap() as u32;
+        let l = lo.eval(&table, 0, 1).unwrap() as u32;
+        assert_eq!((h << 10) | l, 0x4001_2345);
+        assert!(l < 1024);
+    }
+
+    #[test]
+    fn here_is_location_counter() {
+        let e = Expr::Sub(Box::new(Expr::Sym("end".into())), Box::new(Expr::Here));
+        let table = syms(&[("end", 0x120)]);
+        assert_eq!(e.eval(&table, 0x100, 1).unwrap(), 0x20);
+    }
+
+    #[test]
+    fn undefined_symbol_errors_with_line() {
+        let e = Expr::Sym("nope".into());
+        let err = e.eval(&BTreeMap::new(), 0, 42).unwrap_err();
+        assert_eq!(err.line, 42);
+        assert!(matches!(err.kind, AsmErrorKind::UndefinedSymbol(_)));
+    }
+}

@@ -1,0 +1,216 @@
+//! Line-oriented tokeniser.
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// A lexical token within one source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// Identifier, mnemonic or directive (directives keep their leading `.`).
+    Ident(String),
+    /// `%`-prefixed register or operator name (`g1`, `sp`, `hi`, `lo`, …),
+    /// stored without the `%`.
+    Percent(String),
+    /// Integer literal.
+    Number(i64),
+    /// A string literal (for `.ascii`).
+    Str(String),
+    /// Punctuation.
+    Comma,
+    Colon,
+    Plus,
+    Minus,
+    Star,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Equals,
+    /// The location-counter symbol `.` used inside expressions.
+    Dot,
+}
+
+/// Tokenise one line (comments already stripped by the caller).
+pub(crate) fn lex_line(line: &str, lineno: usize) -> Result<Vec<Token>, AsmError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        match c {
+            c if c.is_whitespace() => {}
+            ',' => tokens.push(Token::Comma),
+            ':' => tokens.push(Token::Colon),
+            '+' => tokens.push(Token::Plus),
+            '-' => tokens.push(Token::Minus),
+            '*' => tokens.push(Token::Star),
+            '[' => tokens.push(Token::LBracket),
+            ']' => tokens.push(Token::RBracket),
+            '(' => tokens.push(Token::LParen),
+            ')' => tokens.push(Token::RParen),
+            '=' => tokens.push(Token::Equals),
+            '%' => {
+                let mut name = String::new();
+                while let Some(&(_, nc)) = chars.peek() {
+                    if nc.is_alphanumeric() || nc == '_' {
+                        name.push(nc);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(AsmError::new(
+                        lineno,
+                        AsmErrorKind::Lex("dangling `%`".into()),
+                    ));
+                }
+                tokens.push(Token::Percent(name));
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut closed = false;
+                for (_, nc) in chars.by_ref() {
+                    if nc == '"' {
+                        closed = true;
+                        break;
+                    }
+                    s.push(nc);
+                }
+                if !closed {
+                    return Err(AsmError::new(
+                        lineno,
+                        AsmErrorKind::Lex("unterminated string".into()),
+                    ));
+                }
+                tokens.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let mut end = start + 1;
+                let hex = c == '0'
+                    && matches!(chars.peek(), Some(&(_, 'x')) | Some(&(_, 'X')));
+                if hex {
+                    chars.next();
+                    end += 1;
+                }
+                while let Some(&(i, nc)) = chars.peek() {
+                    if nc.is_ascii_hexdigit() && (hex || nc.is_ascii_digit()) {
+                        end = i + nc.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &line[start..end];
+                let value = if hex {
+                    i64::from_str_radix(&text[2..], 16)
+                } else {
+                    text.parse()
+                }
+                .map_err(|_| {
+                    AsmError::new(lineno, AsmErrorKind::Lex(format!("bad number `{text}`")))
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            '.' => {
+                // `.word` directive vs the bare location counter `.`.
+                let is_ident = matches!(chars.peek(), Some(&(_, nc)) if nc.is_alphabetic());
+                if is_ident {
+                    let mut name = String::from(".");
+                    while let Some(&(_, nc)) = chars.peek() {
+                        if nc.is_alphanumeric() || nc == '_' {
+                            name.push(nc);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Token::Ident(name));
+                } else {
+                    tokens.push(Token::Dot);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut name = String::from(c);
+                while let Some(&(_, nc)) = chars.peek() {
+                    if nc.is_alphanumeric() || nc == '_' {
+                        name.push(nc);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(name));
+            }
+            other => {
+                return Err(AsmError::new(
+                    lineno,
+                    AsmErrorKind::Lex(format!("unexpected character `{other}`")),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Strip `!` / `#` comments from a line.
+pub(crate) fn strip_comment(line: &str) -> &str {
+    match line.find(['!', '#']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_instruction_line() {
+        let toks = lex_line("add %g1, -4, %g3", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("add".into()),
+                Token::Percent("g1".into()),
+                Token::Comma,
+                Token::Minus,
+                Token::Number(4),
+                Token::Comma,
+                Token::Percent("g3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_brackets() {
+        let toks = lex_line("ld [%g2 + 0x10], %o0", 1).unwrap();
+        assert!(toks.contains(&Token::Number(0x10)));
+        assert!(toks.contains(&Token::LBracket));
+        assert!(toks.contains(&Token::RBracket));
+    }
+
+    #[test]
+    fn lexes_directive_and_dot() {
+        let toks = lex_line(".word . , 5", 1).unwrap();
+        assert_eq!(toks[0], Token::Ident(".word".into()));
+        assert_eq!(toks[1], Token::Dot);
+    }
+
+    #[test]
+    fn strips_comments() {
+        assert_eq!(strip_comment("add %g1, %g2, %g3 ! comment"), "add %g1, %g2, %g3 ");
+        assert_eq!(strip_comment("# whole line"), "");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex_line("add @", 3).is_err());
+        assert!(lex_line("%", 3).is_err());
+        assert!(lex_line(".ascii \"unterminated", 3).is_err());
+    }
+
+    #[test]
+    fn lexes_hi_lo_operators() {
+        let toks = lex_line("sethi %hi(buffer), %g1", 1).unwrap();
+        assert_eq!(toks[1], Token::Percent("hi".into()));
+        assert_eq!(toks[2], Token::LParen);
+    }
+}

@@ -1,0 +1,56 @@
+//! Two-pass SPARC V8 macro assembler.
+//!
+//! The `espresso-verif` suite substitutes the proprietary EEMBC toolchain of
+//! the reproduced paper with workloads written directly in SPARC V8 assembly;
+//! this crate turns that assembly into loadable [`Program`] images for both
+//! the ISS and the RTL model.
+//!
+//! # Supported syntax
+//!
+//! * All integer-unit instructions of [`sparc_isa`], in GNU `as` syntax.
+//! * Synthetic instructions: `mov`, `set`, `cmp`, `tst`, `clr`, `inc`,
+//!   `dec`, `neg`, `not`, `ret`, `retl`, `jmp`, `nop`, `halt` (= `ta 0`).
+//! * Directives: `.org`, `.align`, `.word`, `.half`, `.byte`, `.space`,
+//!   `.ascii`, `.asciz`, `.equ`/`=`, `.global` (accepted, ignored).
+//! * Labels, forward references, `%hi(..)`/`%lo(..)`, `+`/`-`/`*`
+//!   expressions and the location counter `.`.
+//! * Comments with `!` or `#` to end of line.
+//!
+//! # Example
+//!
+//! ```
+//! use sparc_asm::assemble;
+//!
+//! # fn main() -> Result<(), sparc_asm::AsmError> {
+//! let program = assemble(
+//!     r#"
+//!         .org 0x40000000
+//!     _start:
+//!         set 10, %o0
+//!     loop:
+//!         subcc %o0, 1, %o0
+//!         bne loop
+//!          nop
+//!         halt
+//!     "#,
+//! )?;
+//! assert_eq!(program.entry, 0x4000_0000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assembler;
+mod error;
+mod expr;
+mod lexer;
+mod listing;
+mod parser;
+mod program;
+
+pub use assembler::assemble;
+pub use error::{AsmError, AsmErrorKind};
+pub use listing::listing;
+pub use program::{Program, Segment};

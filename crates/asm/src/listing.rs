@@ -1,0 +1,133 @@
+//! Program listings: address / machine word / disassembly, with symbol
+//! annotations — the `objdump -d` of the suite.
+
+use crate::program::Program;
+use sparc_isa::decode;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render a full listing of a program image.
+///
+/// Every word-aligned word is disassembled through
+/// [`sparc_isa::decode`]; words that are not valid instructions are
+/// rendered as `.word` data. Labels from the symbol table annotate their
+/// addresses, so the output reads like `objdump -d` against the original
+/// source.
+pub fn listing(program: &Program) -> String {
+    // Reverse symbol map (several symbols may share an address).
+    let mut by_addr: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    for (name, &addr) in &program.symbols {
+        by_addr.entry(addr).or_default().push(name);
+    }
+    let mut out = String::new();
+    for segment in &program.segments {
+        let _ = writeln!(
+            out,
+            "segment {:#010x}..{:#010x} ({} bytes)",
+            segment.base,
+            segment.end(),
+            segment.bytes.len()
+        );
+        let mut addr = segment.base;
+        while addr + 4 <= segment.end() {
+            if let Some(names) = by_addr.get(&addr) {
+                for name in names {
+                    let _ = writeln!(out, "{name}:");
+                }
+            }
+            let word = program.word(addr).expect("aligned word inside segment");
+            match decode(word) {
+                Ok(instr) => {
+                    let _ = writeln!(out, "  {addr:#010x}: {word:08x}    {instr}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "  {addr:#010x}: {word:08x}    .word {word:#010x}");
+                }
+            }
+            addr += 4;
+        }
+        // Trailing unaligned bytes, if any.
+        if addr < segment.end() {
+            let rest: Vec<String> = (addr..segment.end())
+                .map(|a| {
+                    let off = (a - segment.base) as usize;
+                    format!("{:02x}", segment.bytes[off])
+                })
+                .collect();
+            let _ = writeln!(out, "  {addr:#010x}: .byte {}", rest.join(" "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+
+    #[test]
+    fn lists_instructions_with_labels() {
+        let program = assemble(
+            r#"
+            _start:
+                mov 3, %o0
+            loop:
+                subcc %o0, 1, %o0
+                bne loop
+                 nop
+                halt
+            "#,
+        )
+        .unwrap();
+        let text = listing(&program);
+        assert!(text.contains("_start:"), "{text}");
+        assert!(text.contains("loop:"));
+        assert!(text.contains("or %g0, 3, %o0"), "{text}");
+        assert!(text.contains("subcc %o0, 1, %o0"));
+        assert!(text.contains("bne -1"));
+        assert!(text.contains("nop"));
+        assert!(text.contains("ta 0"));
+        assert!(text.contains("0x40000000"));
+    }
+
+    #[test]
+    fn data_words_fall_back() {
+        let program = assemble(
+            r#"
+                .org 0x100
+                .word 0xffffffff    ! not a valid instruction
+                .byte 1, 2, 3
+            "#,
+        )
+        .unwrap();
+        let text = listing(&program);
+        assert!(text.contains(".word 0xffffffff"), "{text}");
+        assert!(text.contains(".byte 01 02 03"), "{text}");
+    }
+
+    #[test]
+    fn roundtrip_through_reassembly() {
+        // Every disassembled instruction line must re-assemble to the same
+        // word (listing syntax is assembler syntax, minus label targets).
+        let program = assemble(
+            "_start: add %g1, %g2, %g3\n st %g3, [%g1 + 8]\n ld [%g1], %o0\n sll %o0, 3, %o0\n halt\n",
+        )
+        .unwrap();
+        let text = listing(&program);
+        for line in text.lines().filter(|l| l.trim_start().starts_with("0x")) {
+            let mut parts = line.trim_start().splitn(3, ' ');
+            let _addr = parts.next().unwrap();
+            let word = u32::from_str_radix(parts.next().unwrap().trim(), 16).unwrap();
+            let asm_text = parts.next().unwrap().trim();
+            if asm_text.starts_with(".word") {
+                continue;
+            }
+            let reassembled = assemble(&format!(".org 0\n {asm_text}\n")).unwrap();
+            assert_eq!(
+                reassembled.word(0),
+                Some(word),
+                "listing line does not round-trip: {asm_text}"
+            );
+        }
+    }
+}

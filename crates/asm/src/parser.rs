@@ -1,0 +1,860 @@
+//! Statement parser: one source line → zero or more statements.
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::expr::Expr;
+use crate::lexer::Token;
+use sparc_isa::{Cond, Opcode, Reg};
+
+/// Second operand with a possibly unresolved immediate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum POp2 {
+    Reg(Reg),
+    Imm(Expr),
+}
+
+/// A parsed instruction with unresolved expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PInsn {
+    Alu { op: Opcode, rd: Reg, rs1: Reg, op2: POp2 },
+    Mem { op: Opcode, rd: Reg, rs1: Reg, op2: POp2 },
+    Branch { cond: Cond, annul: bool, target: Expr },
+    Call { target: Expr },
+    Sethi { rd: Reg, imm: Expr },
+    Ticc { cond: Cond, rs1: Reg, op2: POp2 },
+    Unimp { imm: Expr },
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Stmt {
+    Label(String),
+    Equ(String, Expr),
+    Org(Expr),
+    Align(Expr),
+    Data { width: u8, values: Vec<Expr> },
+    Space(Expr),
+    Ascii { text: String, nul: bool },
+    Insn(PInsn),
+}
+
+impl Stmt {
+    /// Size in bytes contributed to the image (labels/equ are zero;
+    /// `.org`/`.align` are handled by the location-counter logic).
+    pub(crate) fn size(&self) -> u32 {
+        match self {
+            Stmt::Insn(_) => 4,
+            Stmt::Data { width, values } => u32::from(*width) * values.len() as u32,
+            Stmt::Ascii { text, nul } => text.len() as u32 + u32::from(*nul),
+            _ => 0,
+        }
+    }
+}
+
+struct Cursor<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.line, AsmErrorKind::Parse(msg.into()))
+    }
+
+    fn expect(&mut self, token: &Token, what: &str) -> Result<(), AsmError> {
+        match self.next() {
+            Some(t) if t == token => Ok(()),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn parse_reg(&mut self) -> Result<Reg, AsmError> {
+        match self.next() {
+            Some(Token::Percent(name)) => reg_by_name(name)
+                .ok_or_else(|| self.err(format!("unknown register `%{name}`"))),
+            other => Err(self.err(format!("expected register, found {other:?}"))),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, AsmError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.next();
+                    lhs = Expr::Add(Box::new(lhs), Box::new(self.parse_term()?));
+                }
+                Some(Token::Minus) => {
+                    self.next();
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(self.parse_term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, AsmError> {
+        let mut lhs = self.parse_primary()?;
+        while let Some(Token::Star) = self.peek() {
+            self.next();
+            lhs = Expr::Mul(Box::new(lhs), Box::new(self.parse_primary()?));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, AsmError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Expr::Num(*n)),
+            Some(Token::Ident(name)) => Ok(Expr::Sym(name.clone())),
+            Some(Token::Dot) => Ok(Expr::Here),
+            Some(Token::Minus) => Ok(Expr::Neg(Box::new(self.parse_primary()?))),
+            Some(Token::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Percent(op)) if op == "hi" || op == "lo" => {
+                self.expect(&Token::LParen, "`(` after %hi/%lo")?;
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(if op == "hi" {
+                    Expr::Hi(Box::new(e))
+                } else {
+                    Expr::Lo(Box::new(e))
+                })
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    /// Parse `%reg` or an immediate expression.
+    fn parse_op2(&mut self) -> Result<POp2, AsmError> {
+        if let Some(Token::Percent(name)) = self.peek() {
+            if name != "hi" && name != "lo" {
+                return Ok(POp2::Reg(self.parse_reg()?));
+            }
+        }
+        Ok(POp2::Imm(self.parse_expr()?))
+    }
+
+    /// Parse a `[address]` operand: `[rs1]`, `[rs1 + op2]`, `[rs1 - imm]`,
+    /// `[imm]`.
+    fn parse_addr(&mut self) -> Result<(Reg, POp2), AsmError> {
+        self.expect(&Token::LBracket, "`[`")?;
+        let (rs1, op2) = if matches!(self.peek(), Some(Token::Percent(n)) if n != "hi" && n != "lo")
+        {
+            let rs1 = self.parse_reg()?;
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.next();
+                    (rs1, self.parse_op2()?)
+                }
+                Some(Token::Minus) => {
+                    self.next();
+                    let e = self.parse_expr()?;
+                    (rs1, POp2::Imm(Expr::Neg(Box::new(e))))
+                }
+                _ => (rs1, POp2::Imm(Expr::Num(0))),
+            }
+        } else {
+            (Reg::G0, POp2::Imm(self.parse_expr()?))
+        };
+        self.expect(&Token::RBracket, "`]`")?;
+        Ok((rs1, op2))
+    }
+}
+
+fn reg_by_name(name: &str) -> Option<Reg> {
+    let reg = match name {
+        "sp" => Reg::SP,
+        "fp" => Reg::FP,
+        _ => {
+            let (bank, num) = name.split_at(1);
+            let n: u8 = num.parse().ok()?;
+            match bank {
+                "g" if n < 8 => Reg::g(n),
+                "o" if n < 8 => Reg::o(n),
+                "l" if n < 8 => Reg::l(n),
+                "i" if n < 8 => Reg::i(n),
+                "r" if n < 32 => Reg::new(n),
+                _ => return None,
+            }
+        }
+    };
+    Some(reg)
+}
+
+fn branch_cond(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "b" | "ba" => Cond::Always,
+        "bn" => Cond::Never,
+        "bne" | "bnz" => Cond::NotEqual,
+        "be" | "bz" => Cond::Equal,
+        "bg" => Cond::Greater,
+        "ble" => Cond::LessOrEqual,
+        "bge" => Cond::GreaterOrEqual,
+        "bl" => Cond::Less,
+        "bgu" => Cond::GreaterUnsigned,
+        "bleu" => Cond::LessOrEqualUnsigned,
+        "bcc" | "bgeu" => Cond::CarryClear,
+        "bcs" | "blu" => Cond::CarrySet,
+        "bpos" => Cond::Positive,
+        "bneg" => Cond::Negative,
+        "bvc" => Cond::OverflowClear,
+        "bvs" => Cond::OverflowSet,
+        _ => return None,
+    })
+}
+
+fn trap_cond(mnemonic: &str) -> Option<Cond> {
+    Some(match mnemonic {
+        "ta" => Cond::Always,
+        "tn" => Cond::Never,
+        "tne" => Cond::NotEqual,
+        "te" => Cond::Equal,
+        "tg" => Cond::Greater,
+        "tle" => Cond::LessOrEqual,
+        "tge" => Cond::GreaterOrEqual,
+        "tl" => Cond::Less,
+        "tgu" => Cond::GreaterUnsigned,
+        "tleu" => Cond::LessOrEqualUnsigned,
+        "tcc" => Cond::CarryClear,
+        "tcs" => Cond::CarrySet,
+        "tpos" => Cond::Positive,
+        "tneg" => Cond::Negative,
+        "tvc" => Cond::OverflowClear,
+        "tvs" => Cond::OverflowSet,
+        _ => return None,
+    })
+}
+
+fn alu_opcode(mnemonic: &str) -> Option<Opcode> {
+    use Opcode::*;
+    Some(match mnemonic {
+        "add" => Add,
+        "addcc" => Addcc,
+        "addx" => Addx,
+        "addxcc" => Addxcc,
+        "sub" => Sub,
+        "subcc" => Subcc,
+        "subx" => Subx,
+        "subxcc" => Subxcc,
+        "taddcc" => Taddcc,
+        "tsubcc" => Tsubcc,
+        "taddcctv" => TaddccTv,
+        "tsubcctv" => TsubccTv,
+        "and" => And,
+        "andcc" => Andcc,
+        "andn" => Andn,
+        "andncc" => Andncc,
+        "or" => Or,
+        "orcc" => Orcc,
+        "orn" => Orn,
+        "orncc" => Orncc,
+        "xor" => Xor,
+        "xorcc" => Xorcc,
+        "xnor" => Xnor,
+        "xnorcc" => Xnorcc,
+        "sll" => Sll,
+        "srl" => Srl,
+        "sra" => Sra,
+        "mulscc" => Mulscc,
+        "umul" => Umul,
+        "umulcc" => Umulcc,
+        "smul" => Smul,
+        "smulcc" => Smulcc,
+        "udiv" => Udiv,
+        "udivcc" => Udivcc,
+        "sdiv" => Sdiv,
+        "sdivcc" => Sdivcc,
+        "save" => Save,
+        "restore" => Restore,
+        _ => return None,
+    })
+}
+
+fn mem_opcode(mnemonic: &str) -> Option<Opcode> {
+    use Opcode::*;
+    Some(match mnemonic {
+        "ld" => Ld,
+        "ldub" => Ldub,
+        "lduh" => Lduh,
+        "ldd" => Ldd,
+        "ldsb" => Ldsb,
+        "ldsh" => Ldsh,
+        "st" => St,
+        "stb" => Stb,
+        "sth" => Sth,
+        "std" => Std,
+        "ldstub" => Ldstub,
+        "swap" => Swap,
+        _ => return None,
+    })
+}
+
+/// Parse the token stream of one line into statements.
+pub(crate) fn parse_line(tokens: &[Token], line: usize) -> Result<Vec<Stmt>, AsmError> {
+    let mut stmts = Vec::new();
+    let mut cur = Cursor { tokens, pos: 0, line };
+
+    // Leading labels: `name:` (possibly several).
+    while cur.tokens.len() >= cur.pos + 2 {
+        if let (Some(Token::Ident(name)), Some(Token::Colon)) =
+            (cur.tokens.get(cur.pos), cur.tokens.get(cur.pos + 1))
+        {
+            if name.starts_with('.') {
+                break;
+            }
+            stmts.push(Stmt::Label(name.clone()));
+            cur.pos += 2;
+        } else {
+            break;
+        }
+    }
+    if cur.at_end() {
+        return Ok(stmts);
+    }
+
+    // `name = expr` symbol definition.
+    if let (Some(Token::Ident(name)), Some(Token::Equals)) =
+        (cur.tokens.get(cur.pos), cur.tokens.get(cur.pos + 1))
+    {
+        let name = name.clone();
+        cur.pos += 2;
+        let value = cur.parse_expr()?;
+        stmts.push(Stmt::Equ(name, value));
+        expect_line_end(&cur)?;
+        return Ok(stmts);
+    }
+
+    let head = match cur.next() {
+        Some(Token::Ident(name)) => name.clone(),
+        other => return Err(cur.err(format!("expected mnemonic, found {other:?}"))),
+    };
+
+    let stmt = parse_mnemonic(&head, &mut cur)?;
+    stmts.extend(stmt);
+    expect_line_end(&cur)?;
+    Ok(stmts)
+}
+
+fn expect_line_end(cur: &Cursor<'_>) -> Result<(), AsmError> {
+    if cur.at_end() {
+        Ok(())
+    } else {
+        Err(cur.err(format!("trailing tokens starting at {:?}", cur.peek())))
+    }
+}
+
+fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmError> {
+    use PInsn::*;
+
+    // Directives.
+    match head {
+        ".org" => return Ok(vec![Stmt::Org(cur.parse_expr()?)]),
+        ".align" => return Ok(vec![Stmt::Align(cur.parse_expr()?)]),
+        ".word" | ".half" | ".byte" => {
+            let width = match head {
+                ".word" => 4,
+                ".half" => 2,
+                _ => 1,
+            };
+            let mut values = vec![cur.parse_expr()?];
+            while matches!(cur.peek(), Some(Token::Comma)) {
+                cur.next();
+                values.push(cur.parse_expr()?);
+            }
+            return Ok(vec![Stmt::Data { width, values }]);
+        }
+        ".space" | ".skip" => return Ok(vec![Stmt::Space(cur.parse_expr()?)]),
+        ".ascii" | ".asciz" => {
+            let text = match cur.next() {
+                Some(Token::Str(s)) => s.clone(),
+                other => return Err(cur.err(format!("expected string, found {other:?}"))),
+            };
+            return Ok(vec![Stmt::Ascii { text, nul: head == ".asciz" }]);
+        }
+        ".equ" | ".set" => {
+            let name = match cur.next() {
+                Some(Token::Ident(n)) => n.clone(),
+                other => return Err(cur.err(format!("expected symbol name, found {other:?}"))),
+            };
+            cur.expect(&Token::Comma, "`,`")?;
+            let value = cur.parse_expr()?;
+            return Ok(vec![Stmt::Equ(name, value)]);
+        }
+        ".global" | ".globl" | ".text" | ".data" => {
+            // Accepted for source compatibility; the flat image model does
+            // not need them. Consume the rest of the line.
+            cur.pos = cur.tokens.len();
+            return Ok(vec![]);
+        }
+        _ if head.starts_with('.') => {
+            return Err(AsmError::new(
+                cur.line,
+                AsmErrorKind::UnknownMnemonic(head.to_string()),
+            ));
+        }
+        _ => {}
+    }
+
+    // Branches (with optional `,a` annul suffix lexed as Comma + Ident).
+    if let Some(cond) = branch_cond(head) {
+        let mut annul = false;
+        if matches!(cur.peek(), Some(Token::Comma)) {
+            cur.next();
+            match cur.next() {
+                Some(Token::Ident(a)) if a == "a" => annul = true,
+                other => return Err(cur.err(format!("expected `a` after `,`, found {other:?}"))),
+            }
+        }
+        let target = cur.parse_expr()?;
+        return Ok(vec![Stmt::Insn(Branch { cond, annul, target })]);
+    }
+
+    // Traps.
+    if let Some(cond) = trap_cond(head) {
+        let (rs1, op2) = if matches!(cur.peek(), Some(Token::Percent(n)) if n != "hi" && n != "lo")
+        {
+            let rs1 = cur.parse_reg()?;
+            if matches!(cur.peek(), Some(Token::Plus)) {
+                cur.next();
+                (rs1, cur.parse_op2()?)
+            } else {
+                (rs1, POp2::Imm(Expr::Num(0)))
+            }
+        } else {
+            (Reg::G0, POp2::Imm(cur.parse_expr()?))
+        };
+        return Ok(vec![Stmt::Insn(Ticc { cond, rs1, op2 })]);
+    }
+
+    // Plain ALU three-operand form.
+    if let Some(op) = alu_opcode(head) {
+        // `save`/`restore` with no operands default to %g0, %g0, %g0.
+        if (op == Opcode::Save || op == Opcode::Restore) && cur.at_end() {
+            return Ok(vec![Stmt::Insn(Alu {
+                op,
+                rd: Reg::G0,
+                rs1: Reg::G0,
+                op2: POp2::Reg(Reg::G0),
+            })]);
+        }
+        let rs1 = cur.parse_reg()?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let op2 = cur.parse_op2()?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let rd = cur.parse_reg()?;
+        return Ok(vec![Stmt::Insn(Alu { op, rd, rs1, op2 })]);
+    }
+
+    // Memory operations.
+    if let Some(op) = mem_opcode(head) {
+        if op.writes_memory() && op != Opcode::Ldstub && op != Opcode::Swap {
+            let rd = cur.parse_reg()?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let (rs1, op2) = cur.parse_addr()?;
+            return Ok(vec![Stmt::Insn(Mem { op, rd, rs1, op2 })]);
+        }
+        let (rs1, op2) = cur.parse_addr()?;
+        cur.expect(&Token::Comma, "`,`")?;
+        let rd = cur.parse_reg()?;
+        return Ok(vec![Stmt::Insn(Mem { op, rd, rs1, op2 })]);
+    }
+
+    // Everything else: jumps, special registers and synthetic instructions.
+    match head {
+        "sethi" => {
+            let imm = cur.parse_expr()?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let rd = cur.parse_reg()?;
+            Ok(vec![Stmt::Insn(Sethi { rd, imm })])
+        }
+        "unimp" => {
+            let imm =
+                if cur.at_end() { Expr::Num(0) } else { cur.parse_expr()? };
+            Ok(vec![Stmt::Insn(Unimp { imm })])
+        }
+        "call" => Ok(vec![Stmt::Insn(Call { target: cur.parse_expr()? })]),
+        "jmpl" => {
+            let (rs1, op2) = parse_jmpl_addr(cur)?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let rd = cur.parse_reg()?;
+            Ok(vec![Stmt::Insn(Alu { op: Opcode::Jmpl, rd, rs1, op2 })])
+        }
+        "jmp" => {
+            let (rs1, op2) = parse_jmpl_addr(cur)?;
+            Ok(vec![Stmt::Insn(Alu { op: Opcode::Jmpl, rd: Reg::G0, rs1, op2 })])
+        }
+        "rett" => {
+            let (rs1, op2) = parse_jmpl_addr(cur)?;
+            Ok(vec![Stmt::Insn(Alu { op: Opcode::Rett, rd: Reg::G0, rs1, op2 })])
+        }
+        "flush" => {
+            let (rs1, op2) = parse_jmpl_addr(cur)?;
+            Ok(vec![Stmt::Insn(Alu { op: Opcode::Flush, rd: Reg::G0, rs1, op2 })])
+        }
+        "ret" => Ok(vec![Stmt::Insn(Alu {
+            op: Opcode::Jmpl,
+            rd: Reg::G0,
+            rs1: Reg::I7,
+            op2: POp2::Imm(Expr::Num(8)),
+        })]),
+        "retl" => Ok(vec![Stmt::Insn(Alu {
+            op: Opcode::Jmpl,
+            rd: Reg::G0,
+            rs1: Reg::O7,
+            op2: POp2::Imm(Expr::Num(8)),
+        })]),
+        "nop" => Ok(vec![Stmt::Insn(Sethi { rd: Reg::G0, imm: Expr::Num(0) })]),
+        "halt" => Ok(vec![Stmt::Insn(Ticc {
+            cond: Cond::Always,
+            rs1: Reg::G0,
+            op2: POp2::Imm(Expr::Num(0)),
+        })]),
+        "mov" => {
+            // `mov op2, rd`, plus the special-register forms
+            // `mov %y, rd` and `mov rs1, %y`.
+            if let Some(Token::Percent(n)) = cur.peek() {
+                if n == "y" || n == "psr" || n == "wim" || n == "tbr" {
+                    let op = match n.as_str() {
+                        "y" => Opcode::RdY,
+                        "psr" => Opcode::RdPsr,
+                        "wim" => Opcode::RdWim,
+                        _ => Opcode::RdTbr,
+                    };
+                    cur.next();
+                    cur.expect(&Token::Comma, "`,`")?;
+                    let rd = cur.parse_reg()?;
+                    return Ok(vec![Stmt::Insn(Alu {
+                        op,
+                        rd,
+                        rs1: Reg::G0,
+                        op2: POp2::Reg(Reg::G0),
+                    })]);
+                }
+            }
+            let op2 = cur.parse_op2()?;
+            cur.expect(&Token::Comma, "`,`")?;
+            if let Some(Token::Percent(n)) = cur.peek() {
+                if n == "y" || n == "psr" || n == "wim" || n == "tbr" {
+                    let op = match n.as_str() {
+                        "y" => Opcode::WrY,
+                        "psr" => Opcode::WrPsr,
+                        "wim" => Opcode::WrWim,
+                        _ => Opcode::WrTbr,
+                    };
+                    cur.next();
+                    let rs1 = match op2 {
+                        POp2::Reg(r) => r,
+                        POp2::Imm(_) => {
+                            return Err(cur.err("mov to special register needs a register source"))
+                        }
+                    };
+                    return Ok(vec![Stmt::Insn(Alu {
+                        op,
+                        rd: Reg::G0,
+                        rs1,
+                        op2: POp2::Reg(Reg::G0),
+                    })]);
+                }
+            }
+            let rd = cur.parse_reg()?;
+            Ok(vec![Stmt::Insn(Alu { op: Opcode::Or, rd, rs1: Reg::G0, op2 })])
+        }
+        "rd" => {
+            let src = match cur.next() {
+                Some(Token::Percent(n)) => n.clone(),
+                other => return Err(cur.err(format!("expected special register, found {other:?}"))),
+            };
+            cur.expect(&Token::Comma, "`,`")?;
+            let rd = cur.parse_reg()?;
+            let (op, rs1) = match src.as_str() {
+                "y" => (Opcode::RdY, Reg::G0),
+                "psr" => (Opcode::RdPsr, Reg::G0),
+                "wim" => (Opcode::RdWim, Reg::G0),
+                "tbr" => (Opcode::RdTbr, Reg::G0),
+                other => {
+                    let n: u8 = other
+                        .strip_prefix("asr")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| cur.err(format!("unknown special register %{other}")))?;
+                    (Opcode::RdAsr, Reg::new(n))
+                }
+            };
+            Ok(vec![Stmt::Insn(Alu { op, rd, rs1, op2: POp2::Reg(Reg::G0) })])
+        }
+        "wr" => {
+            let rs1 = cur.parse_reg()?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let op2 = cur.parse_op2()?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let dst = match cur.next() {
+                Some(Token::Percent(n)) => n.clone(),
+                other => return Err(cur.err(format!("expected special register, found {other:?}"))),
+            };
+            let (op, rd) = match dst.as_str() {
+                "y" => (Opcode::WrY, Reg::G0),
+                "psr" => (Opcode::WrPsr, Reg::G0),
+                "wim" => (Opcode::WrWim, Reg::G0),
+                "tbr" => (Opcode::WrTbr, Reg::G0),
+                other => {
+                    let n: u8 = other
+                        .strip_prefix("asr")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| cur.err(format!("unknown special register %{other}")))?;
+                    (Opcode::WrAsr, Reg::new(n))
+                }
+            };
+            Ok(vec![Stmt::Insn(Alu { op, rd, rs1, op2 })])
+        }
+        "set" => {
+            let value = cur.parse_expr()?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let rd = cur.parse_reg()?;
+            // Always expanded to sethi+or so that sizes are independent of
+            // forward-reference values.
+            Ok(vec![
+                Stmt::Insn(Sethi { rd, imm: Expr::Hi(Box::new(value.clone())) }),
+                Stmt::Insn(Alu {
+                    op: Opcode::Or,
+                    rd,
+                    rs1: rd,
+                    op2: POp2::Imm(Expr::Lo(Box::new(value))),
+                }),
+            ])
+        }
+        "cmp" => {
+            let rs1 = cur.parse_reg()?;
+            cur.expect(&Token::Comma, "`,`")?;
+            let op2 = cur.parse_op2()?;
+            Ok(vec![Stmt::Insn(Alu { op: Opcode::Subcc, rd: Reg::G0, rs1, op2 })])
+        }
+        "tst" => {
+            let rs1 = cur.parse_reg()?;
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Orcc,
+                rd: Reg::G0,
+                rs1,
+                op2: POp2::Reg(Reg::G0),
+            })])
+        }
+        "clr" => {
+            if matches!(cur.peek(), Some(Token::LBracket)) {
+                let (rs1, op2) = cur.parse_addr()?;
+                return Ok(vec![Stmt::Insn(Mem { op: Opcode::St, rd: Reg::G0, rs1, op2 })]);
+            }
+            let rd = cur.parse_reg()?;
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Or,
+                rd,
+                rs1: Reg::G0,
+                op2: POp2::Reg(Reg::G0),
+            })])
+        }
+        "inc" | "dec" => {
+            let op = if head == "inc" { Opcode::Add } else { Opcode::Sub };
+            let first = cur.parse_op2()?;
+            if matches!(cur.peek(), Some(Token::Comma)) {
+                cur.next();
+                let rd = cur.parse_reg()?;
+                Ok(vec![Stmt::Insn(Alu { op, rd, rs1: rd, op2: first })])
+            } else {
+                match first {
+                    POp2::Reg(rd) => Ok(vec![Stmt::Insn(Alu {
+                        op,
+                        rd,
+                        rs1: rd,
+                        op2: POp2::Imm(Expr::Num(1)),
+                    })]),
+                    POp2::Imm(_) => Err(cur.err("inc/dec needs a register")),
+                }
+            }
+        }
+        "neg" => {
+            let rs = cur.parse_reg()?;
+            let rd = if matches!(cur.peek(), Some(Token::Comma)) {
+                cur.next();
+                cur.parse_reg()?
+            } else {
+                rs
+            };
+            Ok(vec![Stmt::Insn(Alu { op: Opcode::Sub, rd, rs1: Reg::G0, op2: POp2::Reg(rs) })])
+        }
+        "not" => {
+            let rs = cur.parse_reg()?;
+            let rd = if matches!(cur.peek(), Some(Token::Comma)) {
+                cur.next();
+                cur.parse_reg()?
+            } else {
+                rs
+            };
+            Ok(vec![Stmt::Insn(Alu { op: Opcode::Xnor, rd, rs1: rs, op2: POp2::Reg(Reg::G0) })])
+        }
+        other => Err(AsmError::new(
+            cur.line,
+            AsmErrorKind::UnknownMnemonic(other.to_string()),
+        )),
+    }
+}
+
+/// Parse a jmpl-style address: `rs1`, `rs1 + op2`, `rs1 - imm` or `imm`,
+/// with or without brackets.
+fn parse_jmpl_addr(cur: &mut Cursor<'_>) -> Result<(Reg, POp2), AsmError> {
+    if matches!(cur.peek(), Some(Token::LBracket)) {
+        return cur.parse_addr();
+    }
+    if matches!(cur.peek(), Some(Token::Percent(n)) if n != "hi" && n != "lo") {
+        let rs1 = cur.parse_reg()?;
+        match cur.peek() {
+            Some(Token::Plus) => {
+                cur.next();
+                Ok((rs1, cur.parse_op2()?))
+            }
+            Some(Token::Minus) => {
+                cur.next();
+                let e = cur.parse_expr()?;
+                Ok((rs1, POp2::Imm(Expr::Neg(Box::new(e)))))
+            }
+            _ => Ok((rs1, POp2::Imm(Expr::Num(0)))),
+        }
+    } else {
+        Ok((Reg::G0, POp2::Imm(cur.parse_expr()?)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_line;
+
+    fn parse(src: &str) -> Vec<Stmt> {
+        parse_line(&lex_line(src, 1).unwrap(), 1).unwrap()
+    }
+
+    #[test]
+    fn parses_label_and_insn() {
+        let stmts = parse("loop: add %g1, 4, %g2");
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0], Stmt::Label("loop".into()));
+        assert!(matches!(&stmts[1], Stmt::Insn(PInsn::Alu { op: Opcode::Add, .. })));
+    }
+
+    #[test]
+    fn parses_set_as_two_instructions() {
+        let stmts = parse("set 0x40000000, %g1");
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(&stmts[0], Stmt::Insn(PInsn::Sethi { .. })));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::Insn(PInsn::Alu { op: Opcode::Or, .. })
+        ));
+    }
+
+    #[test]
+    fn parses_annulled_branch() {
+        let stmts = parse("bne,a loop");
+        match &stmts[0] {
+            Stmt::Insn(PInsn::Branch { cond, annul, .. }) => {
+                assert_eq!(*cond, Cond::NotEqual);
+                assert!(annul);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_memory_forms() {
+        assert!(matches!(
+            &parse("ld [%g2 + 8], %o0")[0],
+            Stmt::Insn(PInsn::Mem { op: Opcode::Ld, .. })
+        ));
+        assert!(matches!(
+            &parse("st %o0, [%sp - 4]")[0],
+            Stmt::Insn(PInsn::Mem { op: Opcode::St, .. })
+        ));
+        assert!(matches!(
+            &parse("swap [%g2], %o0")[0],
+            Stmt::Insn(PInsn::Mem { op: Opcode::Swap, .. })
+        ));
+        assert!(matches!(
+            &parse("ldstub [%g2], %o0")[0],
+            Stmt::Insn(PInsn::Mem { op: Opcode::Ldstub, .. })
+        ));
+    }
+
+    #[test]
+    fn parses_directives() {
+        assert!(matches!(&parse(".org 0x100")[0], Stmt::Org(_)));
+        assert!(matches!(&parse(".word 1, 2, 3")[0], Stmt::Data { width: 4, .. }));
+        assert!(matches!(&parse(".byte 255")[0], Stmt::Data { width: 1, .. }));
+        assert!(matches!(&parse(".space 64")[0], Stmt::Space(_)));
+        assert!(matches!(&parse(".asciz \"hi\"")[0], Stmt::Ascii { nul: true, .. }));
+        assert!(parse(".global foo").is_empty());
+        assert!(matches!(&parse("size = 4 * 16")[0], Stmt::Equ(..)));
+    }
+
+    #[test]
+    fn parses_synthetics() {
+        assert!(matches!(
+            &parse("cmp %o0, 10")[0],
+            Stmt::Insn(PInsn::Alu { op: Opcode::Subcc, .. })
+        ));
+        assert!(matches!(
+            &parse("mov 5, %o0")[0],
+            Stmt::Insn(PInsn::Alu { op: Opcode::Or, .. })
+        ));
+        assert!(matches!(
+            &parse("mov %y, %o1")[0],
+            Stmt::Insn(PInsn::Alu { op: Opcode::RdY, .. })
+        ));
+        assert!(matches!(
+            &parse("mov %o1, %y")[0],
+            Stmt::Insn(PInsn::Alu { op: Opcode::WrY, .. })
+        ));
+        assert!(matches!(&parse("retl")[0], Stmt::Insn(PInsn::Alu { op: Opcode::Jmpl, .. })));
+        assert!(matches!(&parse("halt")[0], Stmt::Insn(PInsn::Ticc { .. })));
+        assert!(matches!(
+            &parse("not %o2")[0],
+            Stmt::Insn(PInsn::Alu { op: Opcode::Xnor, .. })
+        ));
+        assert!(matches!(
+            &parse("inc %o3")[0],
+            Stmt::Insn(PInsn::Alu { op: Opcode::Add, .. })
+        ));
+        assert!(matches!(
+            &parse("dec 4, %o3")[0],
+            Stmt::Insn(PInsn::Alu { op: Opcode::Sub, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let toks = lex_line("frobnicate %g1", 9).unwrap();
+        let err = parse_line(&toks, 9).unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+        assert_eq!(err.line, 9);
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let toks = lex_line("nop nop", 1).unwrap();
+        assert!(parse_line(&toks, 1).is_err());
+    }
+}

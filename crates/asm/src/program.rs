@@ -1,0 +1,101 @@
+//! Loadable program images.
+
+use std::collections::BTreeMap;
+
+/// A contiguous block of bytes at a fixed load address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Load address of the first byte.
+    pub base: u32,
+    /// The raw bytes (big-endian words for code, as SPARC is big-endian).
+    pub bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// The exclusive end address of this segment.
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+}
+
+/// A fully resolved program image: segments, entry point and symbol table.
+///
+/// Both the ISS ([`sparc-iss`](https://docs.rs/sparc-iss)) and the RTL
+/// pipeline model load the same `Program`, which is what makes golden-run
+/// comparison between the two levels meaningful.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The memory segments in ascending address order.
+    pub segments: Vec<Segment>,
+    /// The entry point (the `_start` label if defined, else the lowest
+    /// segment base).
+    pub entry: u32,
+    /// All resolved labels/symbols.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Look up a symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total number of bytes across all segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// Whether the program has no content.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over all `(address, byte)` pairs.
+    pub fn bytes(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.segments
+            .iter()
+            .flat_map(|s| s.bytes.iter().enumerate().map(move |(i, &b)| (s.base + i as u32, b)))
+    }
+
+    /// Read a big-endian 32-bit word from the image, if fully covered.
+    pub fn word(&self, addr: u32) -> Option<u32> {
+        let end = addr.checked_add(4)?;
+        let seg = self.segments.iter().find(|s| addr >= s.base && end <= s.end())?;
+        let off = (addr - seg.base) as usize;
+        let b = &seg.bytes[off..off + 4];
+        Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_reads_big_endian() {
+        let program = Program {
+            segments: vec![Segment { base: 0x100, bytes: vec![0xde, 0xad, 0xbe, 0xef] }],
+            entry: 0x100,
+            symbols: BTreeMap::new(),
+        };
+        assert_eq!(program.word(0x100), Some(0xdead_beef));
+        assert_eq!(program.word(0x101), None);
+        assert_eq!(program.word(0xff), None);
+        assert_eq!(program.len(), 4);
+        assert!(!program.is_empty());
+    }
+
+    #[test]
+    fn bytes_iterates_with_addresses() {
+        let program = Program {
+            segments: vec![
+                Segment { base: 0x10, bytes: vec![1, 2] },
+                Segment { base: 0x20, bytes: vec![3] },
+            ],
+            entry: 0x10,
+            symbols: BTreeMap::new(),
+        };
+        let all: Vec<(u32, u8)> = program.bytes().collect();
+        assert_eq!(all, vec![(0x10, 1), (0x11, 2), (0x20, 3)]);
+    }
+}

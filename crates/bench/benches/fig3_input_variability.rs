@@ -1,0 +1,29 @@
+//! Fig 3 bench: cost of one excerpt fault-injection campaign slice
+//! (stuck-at-1 at IU nodes, identical code, benchmark-specific data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fault_inject::{Campaign, Target};
+use rtl_sim::FaultKind;
+use std::hint::black_box;
+use workloads::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_input_variability");
+    group.sample_size(10);
+    for benchmark in [Benchmark::A2time, Benchmark::Rspeed] {
+        let program = benchmark.excerpt(0);
+        group.bench_function(format!("{}-excerpt-20-sites", benchmark.name()), |b| {
+            b.iter(|| {
+                let result = Campaign::new(program.clone(), Target::IntegerUnit)
+                    .with_kinds(&[FaultKind::StuckAt1])
+                    .with_sample(20, 0xF163)
+                    .run(1);
+                black_box(result.pf(FaultKind::StuckAt1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig 4 bench: golden-run cost of the iteration-count variants of
+//! `rspeed` on the RTL model (the per-variant fixed cost of the study).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fault_inject::GoldenRun;
+use leon3_model::Leon3Config;
+use std::hint::black_box;
+use workloads::{Benchmark, Params};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_iterations");
+    group.sample_size(10);
+    for iterations in [2u32, 10] {
+        let program = Benchmark::Rspeed.program(&Params::with_iterations(iterations));
+        group.bench_function(format!("rspeed-x{iterations}-golden"), |b| {
+            b.iter(|| {
+                let golden = GoldenRun::capture(black_box(&program), &Leon3Config::default());
+                black_box(golden.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig 5 bench: per-injection cost of an IU campaign slice (all three
+//! fault models) — the unit of work the paper spent 25,478 CPU-hours on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fault_inject::{Campaign, Target};
+use std::hint::black_box;
+use workloads::{Benchmark, Params};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_iu_campaign");
+    group.sample_size(10);
+    let program = Benchmark::Intbench.program(&Params::default());
+    group.bench_function("intbench-10-sites-3-models", |b| {
+        b.iter(|| {
+            let result = Campaign::new(program.clone(), Target::IntegerUnit)
+                .with_sample(10, 0xF15)
+                .run(1);
+            black_box(result.records().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

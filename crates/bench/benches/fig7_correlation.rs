@@ -1,0 +1,34 @@
+//! Fig 7 bench: the analysis side of the correlation — diversity
+//! extraction on the ISS plus the logarithmic fit.
+
+use correlation::{diversity_of, DiversityModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::{Benchmark, Params};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_correlation");
+    group.sample_size(10);
+
+    let program = Benchmark::Intbench.program(&Params::default());
+    group.bench_function("diversity-extraction-intbench", |b| {
+        b.iter(|| black_box(diversity_of(black_box(&program))))
+    });
+
+    let points: Vec<(f64, f64)> = (0..12)
+        .map(|i| {
+            let d = 8.0 + i as f64 * 3.5;
+            (d, 0.0838 * d.ln() - 0.0191 + (i % 3) as f64 * 0.004)
+        })
+        .collect();
+    group.bench_function("log-fit-12-points", |b| {
+        b.iter(|| {
+            let model = DiversityModel::fit(black_box(&points)).expect("fits");
+            black_box(model.r_squared())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 1 bench: cost of characterising a benchmark on the ISS (the
+//! per-workload cost of extracting the paper's diversity metric).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use workloads::{characterize, Benchmark, Params};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_characterisation");
+    group.sample_size(10);
+    for benchmark in [Benchmark::Intbench, Benchmark::Rspeed] {
+        group.bench_function(benchmark.name(), |b| {
+            b.iter(|| {
+                let row = characterize(black_box(benchmark), &Params::default());
+                black_box(row.diversity)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

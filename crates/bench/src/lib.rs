@@ -1,0 +1,41 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use correlation::experiments::ExperimentConfig;
+
+/// Resolve the experiment sizing from the environment:
+/// `REPRO_SAMPLE` (sites per campaign), `REPRO_SEED`, `REPRO_THREADS`.
+/// Defaults to [`ExperimentConfig::full`] sizing.
+pub fn config_from_env() -> ExperimentConfig {
+    let mut config = ExperimentConfig::full();
+    if let Ok(s) = std::env::var("REPRO_SAMPLE") {
+        if let Ok(n) = s.parse() {
+            config.sample_per_campaign = n;
+        }
+    }
+    if let Ok(s) = std::env::var("REPRO_SEED") {
+        if let Ok(n) = s.parse() {
+            config.seed = n;
+        }
+    }
+    if let Ok(s) = std::env::var("REPRO_THREADS") {
+        if let Ok(n) = s.parse() {
+            config.threads = n;
+        }
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_are_positive() {
+        let c = config_from_env();
+        assert!(c.sample_per_campaign > 0);
+        assert!(c.threads > 0);
+    }
+}

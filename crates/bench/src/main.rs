@@ -1,0 +1,89 @@
+//! `repro`: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|all]
+//! ```
+//!
+//! Sizing via `REPRO_SAMPLE`, `REPRO_SEED`, `REPRO_THREADS` environment
+//! variables (see [`bench::config_from_env`]).
+
+use bench::config_from_env;
+use correlation::experiments::{
+    fig3, fig4, fig5, fig6, fig7_from_parts, simtime, table1, TemporalStudy,
+};
+use correlation::extensions::{bridging_study, eq1_ablation, iss_baseline, latent_study, transient_study};
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let config = config_from_env();
+    eprintln!(
+        "[repro] sample={} seed={:#x} threads={}",
+        config.sample_per_campaign, config.seed, config.threads
+    );
+    match what.as_str() {
+        "table1" => print!("{}", table1()),
+        "fig3" => print!("{}", fig3(&config)),
+        "fig4" => print!("{}", fig4(&config)),
+        "fig5" => {
+            let f5 = fig5(&config);
+            print!("{f5}");
+            print!("{}", TemporalStudy::from_fig5(&f5));
+        }
+        "fig6" => print!("{}", fig6(&config)),
+        "fig7" => {
+            let f5 = fig5(&config);
+            let f3 = fig3(&config);
+            print!("{}", fig7_from_parts(&f5, &f3));
+        }
+        "temporal" => {
+            let f5 = fig5(&config);
+            print!("{}", TemporalStudy::from_fig5(&f5));
+        }
+        "simtime" => print!("{}", simtime()),
+        "transient" => print!("{}", transient_study(&config)),
+        "bridging" => print!("{}", bridging_study(&config)),
+        "latent" => print!("{}", latent_study(&config)),
+        "issbaseline" => print!("{}", iss_baseline(&config)),
+        "eq1" => {
+            let f5 = fig5(&config);
+            print!("{}", eq1_ablation(&f5));
+        }
+        "extensions" => {
+            print!("{}", transient_study(&config));
+            println!();
+            print!("{}", bridging_study(&config));
+            println!();
+            print!("{}", latent_study(&config));
+            println!();
+            print!("{}", iss_baseline(&config));
+            println!();
+            let f5 = fig5(&config);
+            print!("{}", eq1_ablation(&f5));
+        }
+        "all" => {
+            print!("{}", table1());
+            println!();
+            let f3 = fig3(&config);
+            print!("{f3}");
+            println!();
+            print!("{}", fig4(&config));
+            println!();
+            let f5 = fig5(&config);
+            print!("{f5}");
+            println!();
+            print!("{}", TemporalStudy::from_fig5(&f5));
+            println!();
+            print!("{}", fig6(&config));
+            println!();
+            print!("{}", fig7_from_parts(&f5, &f3));
+            println!();
+            print!("{}", simtime());
+        }
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

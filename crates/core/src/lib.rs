@@ -1,0 +1,43 @@
+//! RTL/ISS fault-injection correlation — the primary contribution of
+//! *Espinosa et al., DAC 2015*.
+//!
+//! The paper's claim: for **permanent** fault models, the probability `Pf`
+//! that a fault injected in the RTL propagates to the off-core boundary is
+//! a function of the *set* of instructions the workload executes — not
+//! their order, count or input data — and is well captured by **instruction
+//! diversity** `D` (unique opcodes) through `Pf = a·ln(D) + b`.
+//!
+//! This crate assembles the full pipeline around that claim:
+//!
+//! * [`diversity_of`] / [`unit_diversity_of`] extract the ISS-side metric;
+//! * [`area_weights`] computes the `α_m` unit weights of the paper's Eq. 1
+//!   from the RTL model's injectable-node populations;
+//! * [`DiversityModel`] calibrates the log-fit on campaign measurements and
+//!   predicts `Pf` for unseen workloads ([`weighted_pf`] implements the
+//!   per-unit combination of Eq. 1);
+//! * [`experiments`] re-runs every table and figure of the paper's
+//!   evaluation section.
+//!
+//! # Example
+//!
+//! ```
+//! use correlation::DiversityModel;
+//!
+//! // Calibration points: (diversity, measured Pf).
+//! let points = [(8.0f64, 0.12), (11.0, 0.18), (18.0, 0.22), (47.0, 0.30)];
+//! let model = DiversityModel::fit(&points).unwrap();
+//! assert!(model.r_squared() > 0.9);
+//! let predicted = model.predict(30.0);
+//! assert!(predicted > 0.22 && predicted < 0.30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod extensions;
+mod model;
+
+pub use model::{
+    area_weights, diversity_of, unit_diversity_of, weighted_pf, DiversityModel, ModelError,
+};

@@ -1,0 +1,213 @@
+//! ISS-level (architectural) fault-injection campaigns — the "typical
+//! ISS-based fault injection" the paper's introduction critiques: injecting
+//! into the register file, the only storage a functional simulator
+//! naturally exposes.
+//!
+//! The suite uses this runner to quantify how far register-file-only
+//! injection diverges from RTL-level injection, motivating the paper's
+//! diversity-based correlation instead.
+
+use crate::result::FaultOutcome;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sparc_asm::Program;
+use sparc_iss::{ArchFault, ArchFaultModel, Exit, Iss, IssConfig, RunOutcome, StepEvent};
+
+/// One architectural injection record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchRecord {
+    /// The injected fault.
+    pub fault: ArchFault,
+    /// What happened.
+    pub outcome: FaultOutcome,
+}
+
+/// A campaign over the ISS's architectural register file.
+#[derive(Debug, Clone)]
+pub struct IssCampaign {
+    program: Program,
+    model: ArchFaultModel,
+    sample: Option<(usize, u64)>,
+    config: IssConfig,
+}
+
+impl IssCampaign {
+    /// Campaign with stuck-at-1 faults over all register-file bits.
+    pub fn new(program: Program) -> IssCampaign {
+        IssCampaign {
+            program,
+            model: ArchFaultModel::StuckAt1,
+            sample: None,
+            config: IssConfig::default(),
+        }
+    }
+
+    /// Choose the fault model.
+    #[must_use]
+    pub fn with_model(mut self, model: ArchFaultModel) -> IssCampaign {
+        self.model = model;
+        self
+    }
+
+    /// Restrict to a seeded sample of `n` (slot, bit) sites.
+    #[must_use]
+    pub fn with_sample(mut self, n: usize, seed: u64) -> IssCampaign {
+        self.sample = Some((n, seed));
+        self
+    }
+
+    /// The fault list: every bit of every physical register slot except
+    /// `%g0` (no storage), optionally sampled.
+    pub fn faults(&self) -> Vec<ArchFault> {
+        let slots = 8 + sparc_isa::NWINDOWS * 16;
+        let mut all: Vec<ArchFault> = (1..slots)
+            .flat_map(|slot| {
+                (0..32u8).map(move |bit| ArchFault { slot, bit, model: self.model })
+            })
+            .collect();
+        if let Some((n, seed)) = self.sample {
+            let mut rng = StdRng::seed_from_u64(seed);
+            all.shuffle(&mut rng);
+            all.truncate(n);
+        }
+        all
+    }
+
+    /// Run the campaign; single-threaded (ISS runs are cheap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn run(&self) -> Vec<ArchRecord> {
+        let mut golden = Iss::new(self.config.clone());
+        golden.load(&self.program);
+        let outcome = golden.run(u64::MAX / 2);
+        assert!(matches!(outcome, RunOutcome::Halted { .. }), "golden ISS run must halt");
+        let golden_writes: Vec<_> = golden.bus_trace().writes().copied().collect();
+        let golden_exit = match golden.exit() {
+            Some(Exit::Halted(code)) => code,
+            _ => unreachable!("checked above"),
+        };
+        let budget = golden.stats().instructions * 2 + 10_000;
+
+        self.faults()
+            .into_iter()
+            .map(|fault| {
+                let mut iss = Iss::new(self.config.clone());
+                iss.load(&self.program);
+                iss.inject(fault);
+                let mut executed = 0u64;
+                let mut checked = 0usize;
+                let outcome = loop {
+                    let event = iss.step();
+                    executed += 1;
+                    let writes = iss.bus_trace().events();
+                    let mut diverged = None;
+                    while checked < writes.len() {
+                        let w = &writes[checked];
+                        match golden_writes.get(checked) {
+                            Some(g) if w.same_payload(g) => checked += 1,
+                            _ => {
+                                diverged = Some(FaultOutcome::Failure {
+                                    divergence: checked,
+                                    latency_cycles: w.at,
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(failure) = diverged {
+                        break failure;
+                    }
+                    if event == StepEvent::Stopped {
+                        break match iss.exit() {
+                            Some(Exit::Halted(code)) => {
+                                if checked < golden_writes.len() {
+                                    FaultOutcome::Failure {
+                                        divergence: checked,
+                                        latency_cycles: golden_writes[checked].at,
+                                    }
+                                } else if code != golden_exit {
+                                    FaultOutcome::Failure {
+                                        divergence: checked,
+                                        latency_cycles: iss.cycles(),
+                                    }
+                                } else {
+                                    FaultOutcome::NoEffect
+                                }
+                            }
+                            Some(Exit::ErrorMode(_)) => {
+                                FaultOutcome::ErrorModeStop { latency_cycles: iss.cycles() }
+                            }
+                            None => FaultOutcome::Hang,
+                        };
+                    }
+                    if executed >= budget {
+                        break FaultOutcome::Hang;
+                    }
+                };
+                ArchRecord { fault, outcome }
+            })
+            .collect()
+    }
+}
+
+/// `Pf` over a set of architectural records.
+pub fn arch_pf(records: &[ArchRecord]) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records.iter().filter(|r| r.outcome.is_failure()).count() as f64 / records.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparc_asm::assemble;
+
+    fn program() -> Program {
+        assemble(
+            r#"
+            _start:
+                set 0x40001000, %l0
+                mov 5, %l1
+                mov 0, %o0
+            loop:
+                add %o0, %l1, %o0
+                st %o0, [%l0]
+                subcc %l1, 1, %l1
+                bne loop
+                 nop
+                halt
+            "#,
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn fault_list_covers_register_file() {
+        let campaign = IssCampaign::new(program());
+        let all = campaign.faults();
+        assert_eq!(all.len(), (8 + sparc_isa::NWINDOWS * 16 - 1) * 32);
+        let sampled = IssCampaign::new(program()).with_sample(50, 3).faults();
+        assert_eq!(sampled.len(), 50);
+    }
+
+    #[test]
+    fn live_registers_fail_dead_ones_do_not() {
+        let records = IssCampaign::new(program()).run();
+        let pf = arch_pf(&records);
+        // The program uses a handful of the 136 registers: Pf must be
+        // strictly between 0 and ~20%.
+        assert!(pf > 0.0, "some architectural faults must propagate");
+        assert!(pf < 0.2, "most register-file bits are dead: {pf}");
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let a = IssCampaign::new(program()).with_sample(30, 9).faults();
+        let b = IssCampaign::new(program()).with_sample(30, 9).faults();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,52 @@
+//! Permanent-fault injection campaigns over the RTL model's nets.
+//!
+//! This crate implements the experimental methodology of the reproduced
+//! paper (§4.1): single permanent hardware faults (stuck-at-1, stuck-at-0,
+//! open-line) applied to all available points of the IU and CMEM units of
+//! the Leon3-like model, with failures detected as **any mismatch of the
+//! off-core memory-write stream** against the golden run — the
+//! light-lockstep comparison boundary.
+//!
+//! * [`fault_sites`] enumerates the injectable universe (every bit of every
+//!   net of the target domain) and [`sample_sites`] draws seeded, stratified
+//!   samples from it (the paper used 25,478 CPU-hours for exhaustive
+//!   campaigns; sampling makes the same study laptop-sized while exhaustive
+//!   mode remains available).
+//! * [`Campaign`] runs one workload against a fault list across all three
+//!   fault models, multi-threaded, stopping each faulty run at its first
+//!   observable divergence.
+//! * [`CampaignResult`] aggregates `Pf` (fraction of injected faults that
+//!   become failures) and propagation-latency statistics per fault model.
+//!
+//! # Example
+//!
+//! ```
+//! use fault_inject::{fault_sites, sample_sites, Campaign, Target};
+//! use rtl_sim::FaultKind;
+//! use workloads::{Benchmark, Params};
+//!
+//! let program = Benchmark::Intbench.program(&Params::default());
+//! let campaign = Campaign::new(program, Target::IntegerUnit)
+//!     .with_sample(40, 0xed)
+//!     .with_kinds(&[FaultKind::StuckAt1]);
+//! let result = campaign.run(2);
+//! let pf = result.pf(FaultKind::StuckAt1);
+//! assert!((0.0..=1.0).contains(&pf));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bridging;
+mod campaign;
+mod explain;
+mod iss_campaign;
+mod result;
+mod sites;
+
+pub use bridging::{bridge_pairs, bridge_pf, BridgeRecord, BridgingCampaign};
+pub use campaign::{Campaign, GoldenRun, InjectionInstant};
+pub use explain::explain;
+pub use iss_campaign::{arch_pf, ArchRecord, IssCampaign};
+pub use result::{CampaignResult, FaultOutcome, FaultRecord, ModelSummary};
+pub use sites::{fault_sites, sample_sites, unit_bit_counts, FaultSite, Target};

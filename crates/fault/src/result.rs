@@ -1,0 +1,368 @@
+//! Campaign outcomes and aggregation.
+
+use crate::sites::FaultSite;
+use leon3_model::cycles_to_us;
+use rtl_sim::FaultKind;
+use sparc_isa::Unit;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How one faulty run ended, relative to the golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The run halted with an off-core write stream identical to the
+    /// golden run's (and the same exit code): the fault did not manifest
+    /// at the lockstep boundary.
+    NoEffect,
+    /// The write stream diverged — the lockstep comparators fire. This is
+    /// the paper's *failure*.
+    Failure {
+        /// Index of the first diverging write.
+        divergence: usize,
+        /// Cycles from the injection instant to the divergence.
+        latency_cycles: u64,
+    },
+    /// The run neither halted nor diverged within the budget; a watchdog
+    /// catches this in a real system. Counted as a failure.
+    Hang,
+    /// The core entered SPARC error mode (double trap) before diverging;
+    /// the resulting silence is detected at the lockstep boundary.
+    /// Counted as a failure.
+    ErrorModeStop {
+        /// Cycles from injection to the stop.
+        latency_cycles: u64,
+    },
+}
+
+impl FaultOutcome {
+    /// Whether the paper counts this outcome as a propagated failure.
+    pub fn is_failure(self) -> bool {
+        !matches!(self, FaultOutcome::NoEffect)
+    }
+
+    /// Propagation latency in cycles, when meaningfully defined.
+    pub fn latency_cycles(self) -> Option<u64> {
+        match self {
+            FaultOutcome::Failure { latency_cycles, .. }
+            | FaultOutcome::ErrorModeStop { latency_cycles } => Some(latency_cycles),
+            _ => None,
+        }
+    }
+}
+
+/// One injection experiment's record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Where the fault was injected.
+    pub site: FaultSite,
+    /// Which fault model.
+    pub kind: FaultKind,
+    /// What happened.
+    pub outcome: FaultOutcome,
+}
+
+/// Aggregate statistics for one fault model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSummary {
+    /// Injections performed.
+    pub injections: usize,
+    /// Failures observed.
+    pub failures: usize,
+    /// Hangs among the failures.
+    pub hangs: usize,
+    /// Maximum propagation latency (µs at the model clock), if any
+    /// latency-bearing failure occurred.
+    pub max_latency_us: Option<f64>,
+    /// Mean propagation latency (µs) over latency-bearing failures.
+    pub mean_latency_us: Option<f64>,
+}
+
+impl ModelSummary {
+    /// `Pf`: the fraction of injected faults that became failures.
+    pub fn pf(&self) -> f64 {
+        if self.injections == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.injections as f64
+        }
+    }
+
+    /// Wilson score interval for `Pf` at the given confidence level —
+    /// the sampling uncertainty a sub-exhaustive campaign carries.
+    ///
+    /// Returns `None` for zero injections or unsupported levels (supported:
+    /// 0.90, 0.95, 0.99).
+    pub fn pf_interval(&self, confidence: f64) -> Option<(f64, f64)> {
+        analysis::wilson_interval(self.failures, self.injections, confidence)
+    }
+}
+
+/// The full result of a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    records: Vec<FaultRecord>,
+}
+
+impl CampaignResult {
+    pub(crate) fn new(records: Vec<FaultRecord>) -> CampaignResult {
+        CampaignResult { records }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Records for one fault model.
+    pub fn records_for(&self, kind: FaultKind) -> impl Iterator<Item = &FaultRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// Aggregate statistics for one fault model.
+    pub fn summary(&self, kind: FaultKind) -> ModelSummary {
+        let records: Vec<&FaultRecord> = self.records_for(kind).collect();
+        let failures = records.iter().filter(|r| r.outcome.is_failure()).count();
+        let hangs =
+            records.iter().filter(|r| matches!(r.outcome, FaultOutcome::Hang)).count();
+        let latencies: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.outcome.latency_cycles())
+            .map(cycles_to_us)
+            .collect();
+        ModelSummary {
+            injections: records.len(),
+            failures,
+            hangs,
+            max_latency_us: latencies.iter().copied().fold(None, |m, v| {
+                Some(m.map_or(v, |m: f64| m.max(v)))
+            }),
+            mean_latency_us: if latencies.is_empty() {
+                None
+            } else {
+                Some(latencies.iter().sum::<f64>() / latencies.len() as f64)
+            },
+        }
+    }
+
+    /// `Pf` for one fault model.
+    pub fn pf(&self, kind: FaultKind) -> f64 {
+        self.summary(kind).pf()
+    }
+
+    /// Per-unit `Pf` for one fault model (the `P_f^m` of the paper's
+    /// Eq. 1).
+    pub fn pf_per_unit(&self, kind: FaultKind) -> BTreeMap<Unit, f64> {
+        let mut per_unit: BTreeMap<Unit, (usize, usize)> = BTreeMap::new();
+        for r in self.records_for(kind) {
+            let entry = per_unit.entry(r.site.unit).or_insert((0, 0));
+            entry.0 += 1;
+            if r.outcome.is_failure() {
+                entry.1 += 1;
+            }
+        }
+        per_unit
+            .into_iter()
+            .map(|(unit, (n, f))| (unit, if n == 0 { 0.0 } else { f as f64 / n as f64 }))
+            .collect()
+    }
+
+    /// Merge two campaign results (e.g. per-dataset shards).
+    pub fn merge(&mut self, other: CampaignResult) {
+        self.records.extend(other.records);
+    }
+
+    /// Histogram of propagation latencies (µs) for one fault model, or
+    /// `None` when fewer than two distinct latencies were observed.
+    pub fn latency_histogram(&self, kind: FaultKind, buckets: usize) -> Option<analysis::Histogram> {
+        let latencies: Vec<f64> = self
+            .records_for(kind)
+            .filter_map(|r| r.outcome.latency_cycles())
+            .map(cycles_to_us)
+            .collect();
+        analysis::Histogram::auto(&latencies, buckets)
+    }
+
+    /// Outcome counts per category for one fault model:
+    /// `(no_effect, divergences, hangs, error_mode_stops)`.
+    pub fn outcome_breakdown(&self, kind: FaultKind) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for r in self.records_for(kind) {
+            match r.outcome {
+                FaultOutcome::NoEffect => counts.0 += 1,
+                FaultOutcome::Failure { .. } => counts.1 += 1,
+                FaultOutcome::Hang => counts.2 += 1,
+                FaultOutcome::ErrorModeStop { .. } => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Export every record as CSV (`unit,net,bit,model,outcome,
+    /// divergence,latency_cycles`) for external analysis tooling.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("unit,net,bit,model,outcome,divergence,latency_cycles\n");
+        for r in &self.records {
+            let (outcome, divergence, latency) = match r.outcome {
+                FaultOutcome::NoEffect => ("no_effect", String::new(), String::new()),
+                FaultOutcome::Failure { divergence, latency_cycles } => {
+                    ("failure", divergence.to_string(), latency_cycles.to_string())
+                }
+                FaultOutcome::Hang => ("hang", String::new(), String::new()),
+                FaultOutcome::ErrorModeStop { latency_cycles } => {
+                    ("error_mode", String::new(), latency_cycles.to_string())
+                }
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{outcome},{divergence},{latency}\n",
+                r.site.unit,
+                r.site.net.raw(),
+                r.site.bit,
+                r.kind.name().replace(' ', "-"),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for kind in FaultKind::ALL {
+            let s = self.summary(kind);
+            if s.injections > 0 {
+                match s.pf_interval(0.95) {
+                    Some((lo, hi)) => writeln!(
+                        f,
+                        "{kind}: {}/{} failures (Pf = {:.1}%, 95% CI [{:.1}%, {:.1}%])",
+                        s.failures,
+                        s.injections,
+                        s.pf() * 100.0,
+                        lo * 100.0,
+                        hi * 100.0
+                    )?,
+                    None => writeln!(
+                        f,
+                        "{kind}: {}/{} failures (Pf = {:.1}%)",
+                        s.failures,
+                        s.injections,
+                        s.pf() * 100.0
+                    )?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_sim::NetId;
+
+    fn record(kind: FaultKind, outcome: FaultOutcome) -> FaultRecord {
+        FaultRecord {
+            site: FaultSite { net: NetId::from_raw(0), bit: 0, unit: Unit::Fetch },
+            kind,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn pf_counts_all_failure_kinds() {
+        let result = CampaignResult::new(vec![
+            record(FaultKind::StuckAt1, FaultOutcome::NoEffect),
+            record(FaultKind::StuckAt1, FaultOutcome::Failure { divergence: 0, latency_cycles: 80 }),
+            record(FaultKind::StuckAt1, FaultOutcome::Hang),
+            record(FaultKind::StuckAt1, FaultOutcome::ErrorModeStop { latency_cycles: 160 }),
+        ]);
+        let s = result.summary(FaultKind::StuckAt1);
+        assert_eq!(s.injections, 4);
+        assert_eq!(s.failures, 3);
+        assert_eq!(s.hangs, 1);
+        assert!((s.pf() - 0.75).abs() < 1e-12);
+        // 160 cycles at 80 MHz = 2 µs.
+        assert!((s.max_latency_us.unwrap() - 2.0).abs() < 1e-9);
+        assert!((s.mean_latency_us.unwrap() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summaries_are_per_model() {
+        let result = CampaignResult::new(vec![
+            record(FaultKind::StuckAt0, FaultOutcome::NoEffect),
+            record(FaultKind::OpenLine, FaultOutcome::Hang),
+        ]);
+        assert_eq!(result.summary(FaultKind::StuckAt0).failures, 0);
+        assert_eq!(result.summary(FaultKind::OpenLine).failures, 1);
+        assert_eq!(result.summary(FaultKind::StuckAt1).injections, 0);
+        assert_eq!(result.pf(FaultKind::StuckAt1), 0.0);
+    }
+
+    #[test]
+    fn pf_interval_shrinks_with_sample_size() {
+        let small = ModelSummary {
+            injections: 20,
+            failures: 5,
+            hangs: 0,
+            max_latency_us: None,
+            mean_latency_us: None,
+        };
+        let large = ModelSummary { injections: 2000, failures: 500, ..small };
+        let (lo_s, hi_s) = small.pf_interval(0.95).unwrap();
+        let (lo_l, hi_l) = large.pf_interval(0.95).unwrap();
+        assert!(hi_l - lo_l < hi_s - lo_s);
+        assert!(lo_s <= 0.25 && 0.25 <= hi_s);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CampaignResult::new(vec![record(FaultKind::StuckAt1, FaultOutcome::Hang)]);
+        let b = CampaignResult::new(vec![record(FaultKind::StuckAt1, FaultOutcome::NoEffect)]);
+        a.merge(b);
+        assert_eq!(a.summary(FaultKind::StuckAt1).injections, 2);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_failures() {
+        let records: Vec<FaultRecord> = (1..=20)
+            .map(|i| {
+                record(
+                    FaultKind::StuckAt1,
+                    FaultOutcome::Failure { divergence: 0, latency_cycles: i * 80 },
+                )
+            })
+            .collect();
+        let result = CampaignResult::new(records);
+        let h = result.latency_histogram(FaultKind::StuckAt1, 5).unwrap();
+        assert_eq!(h.count(), 20);
+        assert!(result.latency_histogram(FaultKind::OpenLine, 5).is_none());
+    }
+
+    #[test]
+    fn outcome_breakdown_and_csv() {
+        let result = CampaignResult::new(vec![
+            record(FaultKind::StuckAt1, FaultOutcome::NoEffect),
+            record(FaultKind::StuckAt1, FaultOutcome::Failure { divergence: 3, latency_cycles: 80 }),
+            record(FaultKind::StuckAt1, FaultOutcome::Hang),
+            record(FaultKind::StuckAt1, FaultOutcome::ErrorModeStop { latency_cycles: 160 }),
+        ]);
+        assert_eq!(result.outcome_breakdown(FaultKind::StuckAt1), (1, 1, 1, 1));
+        assert_eq!(result.outcome_breakdown(FaultKind::OpenLine), (0, 0, 0, 0));
+        let csv = result.to_csv();
+        assert_eq!(csv.lines().count(), 5, "{csv}");
+        assert!(csv.starts_with("unit,net,bit,model,outcome"));
+        assert!(csv.contains("fetch,0,0,stuck-at-1,failure,3,80"), "{csv}");
+        assert!(csv.contains("fetch,0,0,stuck-at-1,hang,,"), "{csv}");
+        assert!(csv.contains("error_mode,,160"), "{csv}");
+    }
+
+    #[test]
+    fn display_lists_models() {
+        let result = CampaignResult::new(vec![record(
+            FaultKind::StuckAt1,
+            FaultOutcome::Failure { divergence: 0, latency_cycles: 1 },
+        )]);
+        let text = result.to_string();
+        assert!(text.contains("stuck-at-1"));
+        assert!(text.contains("100.0%"));
+        assert!(text.contains("95% CI"), "{text}");
+    }
+}

@@ -1,0 +1,198 @@
+//! The injectable fault universe and sampling.
+
+use leon3_model::Leon3;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rtl_sim::NetId;
+use sparc_isa::Unit;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Injection domain, matching the paper's two campaigns (Figures 5 and 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// The integer unit.
+    IntegerUnit,
+    /// The cache memory.
+    CacheMemory,
+    /// Both domains (the whole microcontroller).
+    Whole,
+}
+
+impl Target {
+    /// Whether `unit` belongs to this injection domain.
+    pub fn includes(self, unit: Unit) -> bool {
+        match self {
+            Target::IntegerUnit => unit.is_iu(),
+            Target::CacheMemory => unit.is_cmem(),
+            Target::Whole => true,
+        }
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::IntegerUnit => "IU",
+            Target::CacheMemory => "CMEM",
+            Target::Whole => "IU+CMEM",
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injectable node: a bit of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    /// The net.
+    pub net: NetId,
+    /// The bit within the net.
+    pub bit: u8,
+    /// The functional unit the net belongs to.
+    pub unit: Unit,
+}
+
+/// Enumerate every injectable node of a domain, in declaration order.
+///
+/// This is the paper's "all available points from the IU and CMEM
+/// microcontroller units": every bit of every VHDL-signal-equivalent net.
+pub fn fault_sites(cpu: &Leon3, target: Target) -> Vec<FaultSite> {
+    let mut sites = Vec::new();
+    for (id, meta) in cpu.pool().iter() {
+        if target.includes(meta.tag) {
+            for bit in 0..meta.width {
+                sites.push(FaultSite { net: id, bit, unit: meta.tag });
+            }
+        }
+    }
+    sites
+}
+
+/// Injectable-bit population per unit — the paper's proxy for the area
+/// fractions `α_m` of its Eq. 1.
+pub fn unit_bit_counts(cpu: &Leon3) -> BTreeMap<Unit, usize> {
+    let mut counts = BTreeMap::new();
+    for (_, meta) in cpu.pool().iter() {
+        *counts.entry(meta.tag).or_insert(0) += usize::from(meta.width);
+    }
+    counts
+}
+
+/// Draw a seeded sample of `n` sites, stratified by functional unit:
+/// every unit contributes sites in proportion to its injectable-bit count
+/// (at least one site for any non-empty unit), so small control units are
+/// not drowned out by the register file and cache data arrays.
+pub fn sample_sites(sites: &[FaultSite], n: usize, seed: u64) -> Vec<FaultSite> {
+    if n >= sites.len() {
+        return sites.to_vec();
+    }
+    let mut per_unit: BTreeMap<Unit, Vec<FaultSite>> = BTreeMap::new();
+    for &site in sites {
+        per_unit.entry(site.unit).or_default().push(site);
+    }
+    let total = sites.len();
+    // Proportional shares with a one-site floor per stratum; rounding
+    // overshoot is shaved off the largest strata so every unit stays
+    // represented.
+    let mut shares: Vec<(Unit, usize)> = per_unit
+        .iter()
+        .map(|(&unit, unit_sites)| {
+            let share = ((unit_sites.len() * n) as f64 / total as f64).round() as usize;
+            (unit, share.clamp(1, unit_sites.len()))
+        })
+        .collect();
+    let stratum_sizes: BTreeMap<Unit, usize> =
+        per_unit.iter().map(|(&u, v)| (u, v.len())).collect();
+    let mut overshoot = shares.iter().map(|&(_, s)| s).sum::<usize>().saturating_sub(n);
+    while overshoot > 0 {
+        if let Some(largest) =
+            shares.iter_mut().filter(|(_, s)| *s > 1).max_by_key(|&&mut (_, s)| s)
+        {
+            largest.1 -= 1;
+        } else {
+            // n below the stratum count: drop whole strata, smallest first,
+            // so the biggest units keep their representative.
+            let smallest = shares
+                .iter_mut()
+                .filter(|(_, s)| *s > 0)
+                .min_by_key(|&&mut (u, _)| stratum_sizes[&u])
+                .expect("overshoot implies a non-empty share remains");
+            smallest.1 = 0;
+        }
+        overshoot -= 1;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sample = Vec::with_capacity(n);
+    for (unit, share) in shares {
+        let unit_sites = per_unit.get_mut(&unit).expect("stratum exists");
+        unit_sites.shuffle(&mut rng);
+        sample.extend(unit_sites.iter().take(share).copied());
+    }
+    sample
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leon3_model::Leon3Config;
+
+    fn cpu() -> Leon3 {
+        Leon3::new(Leon3Config::default())
+    }
+
+    #[test]
+    fn iu_and_cmem_partition_the_whole() {
+        let cpu = cpu();
+        let iu = fault_sites(&cpu, Target::IntegerUnit);
+        let cmem = fault_sites(&cpu, Target::CacheMemory);
+        let whole = fault_sites(&cpu, Target::Whole);
+        assert_eq!(iu.len() + cmem.len(), whole.len());
+        assert!(iu.iter().all(|s| s.unit.is_iu()));
+        assert!(cmem.iter().all(|s| s.unit.is_cmem()));
+        // Realistic populations (cf. the net-map tests).
+        assert!(iu.len() > 4000);
+        assert!(cmem.len() > 60_000);
+    }
+
+    #[test]
+    fn bit_counts_sum_to_pool_bits() {
+        let cpu = cpu();
+        let counts = unit_bit_counts(&cpu);
+        let total: usize = counts.values().sum();
+        assert_eq!(total, cpu.pool().bit_count());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_stratified() {
+        let cpu = cpu();
+        let sites = fault_sites(&cpu, Target::IntegerUnit);
+        let a = sample_sites(&sites, 200, 42);
+        let b = sample_sites(&sites, 200, 42);
+        assert_eq!(a, b);
+        let c = sample_sites(&sites, 200, 43);
+        assert_ne!(a, c);
+        // Every IU unit is represented.
+        for unit in Unit::IU {
+            assert!(
+                a.iter().any(|s| s.unit == unit),
+                "unit {unit} missing from stratified sample"
+            );
+        }
+        // Size approximately honoured (stratification may add a few for
+        // minimum-one-per-unit coverage).
+        assert!(a.len() >= 195 && a.len() <= 220, "{}", a.len());
+    }
+
+    #[test]
+    fn oversampling_returns_everything() {
+        let cpu = cpu();
+        let sites = fault_sites(&cpu, Target::IntegerUnit);
+        let all = sample_sites(&sites, sites.len() + 10, 1);
+        assert_eq!(all.len(), sites.len());
+    }
+}

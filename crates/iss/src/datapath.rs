@@ -1,0 +1,129 @@
+//! Pure integer datapath functions shared by the ISS and the RTL model.
+//!
+//! Keeping the flag-producing arithmetic in one place guarantees the two
+//! simulation levels implement identical semantics, so any golden-run
+//! divergence between them is a simulator bug, never an ISA disagreement.
+
+/// `a + b`, returning `(result, overflow, carry)` with SPARC V8 flag
+/// semantics.
+///
+/// # Example
+///
+/// ```
+/// use sparc_iss::add_with_flags;
+/// let (r, v, c) = add_with_flags(u32::MAX, 1);
+/// assert_eq!(r, 0);
+/// assert!(!v); // -1 + 1 does not overflow in two's complement
+/// assert!(c);
+/// ```
+pub fn add_with_flags(a: u32, b: u32) -> (u32, bool, bool) {
+    let (r, c) = a.overflowing_add(b);
+    let v = (!(a ^ b) & (a ^ r)) >> 31 != 0;
+    (r, v, c)
+}
+
+/// `a + b + carry_in`, returning `(result, overflow, carry)`.
+pub fn addx_with_flags(a: u32, b: u32, carry_in: bool) -> (u32, bool, bool) {
+    let wide = u64::from(a) + u64::from(b) + u64::from(carry_in);
+    let r = wide as u32;
+    let c = wide >> 32 != 0;
+    let v = (!(a ^ b) & (a ^ r)) >> 31 != 0;
+    (r, v, c)
+}
+
+/// `a - b`, returning `(result, overflow, borrow)` — SPARC's C flag after
+/// `subcc` is the unsigned borrow.
+pub fn sub_with_flags(a: u32, b: u32) -> (u32, bool, bool) {
+    let (r, borrow) = a.overflowing_sub(b);
+    let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
+    (r, v, borrow)
+}
+
+/// `a - b - borrow_in`, returning `(result, overflow, borrow)`.
+pub fn subx_with_flags(a: u32, b: u32, borrow_in: bool) -> (u32, bool, bool) {
+    let wide = (a as i64 & 0xffff_ffff) - i64::from(b) - i64::from(borrow_in);
+    let r = wide as u32;
+    let borrow = u64::from(a) < u64::from(b) + u64::from(borrow_in);
+    let v = ((a ^ b) & (a ^ r)) >> 31 != 0;
+    (r, v, borrow)
+}
+
+/// Tag check for `taddcc`/`tsubcc`: either operand having nonzero low two
+/// bits forces the overflow flag.
+pub fn tag_overflow(a: u32, b: u32) -> bool {
+    (a | b) & 0b11 != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_flag_corners() {
+        assert_eq!(add_with_flags(1, 2), (3, false, false));
+        // Signed overflow: MAX + 1.
+        let (r, v, c) = add_with_flags(i32::MAX as u32, 1);
+        assert_eq!(r as i32, i32::MIN);
+        assert!(v);
+        assert!(!c);
+        // Unsigned carry without signed overflow.
+        let (_, v, c) = add_with_flags(u32::MAX, 2);
+        assert!(!v);
+        assert!(c);
+        // Both: MIN + MIN.
+        let (r, v, c) = add_with_flags(i32::MIN as u32, i32::MIN as u32);
+        assert_eq!(r, 0);
+        assert!(v);
+        assert!(c);
+    }
+
+    #[test]
+    fn sub_flag_corners() {
+        assert_eq!(sub_with_flags(5, 3), (2, false, false));
+        let (_, _, borrow) = sub_with_flags(3, 5);
+        assert!(borrow);
+        // MIN - 1 overflows.
+        let (r, v, _) = sub_with_flags(i32::MIN as u32, 1);
+        assert_eq!(r as i32, i32::MAX);
+        assert!(v);
+    }
+
+    #[test]
+    fn addx_chains_match_64bit_addition() {
+        // 64-bit add built from addcc + addxcc must match native u64.
+        let pairs = [
+            (0x1234_5678_9abc_def0u64, 0x0fed_cba9_8765_4321u64),
+            (u64::MAX, 1),
+            (0xffff_ffff, 1),
+            (0x8000_0000_0000_0000, 0x8000_0000_0000_0000),
+        ];
+        for (x, y) in pairs {
+            let (lo, _, c) = add_with_flags(x as u32, y as u32);
+            let (hi, _, _) = addx_with_flags((x >> 32) as u32, (y >> 32) as u32, c);
+            let expect = x.wrapping_add(y);
+            assert_eq!((u64::from(hi) << 32) | u64::from(lo), expect);
+        }
+    }
+
+    #[test]
+    fn subx_chains_match_64bit_subtraction() {
+        let pairs = [
+            (0x1234_5678_9abc_def0u64, 0x0fed_cba9_8765_4321u64),
+            (0, 1),
+            (0x1_0000_0000, 1),
+        ];
+        for (x, y) in pairs {
+            let (lo, _, borrow) = sub_with_flags(x as u32, y as u32);
+            let (hi, _, _) = subx_with_flags((x >> 32) as u32, (y >> 32) as u32, borrow);
+            let expect = x.wrapping_sub(y);
+            assert_eq!((u64::from(hi) << 32) | u64::from(lo), expect);
+        }
+    }
+
+    #[test]
+    fn tag_overflow_detects_low_bits() {
+        assert!(!tag_overflow(4, 8));
+        assert!(tag_overflow(5, 8));
+        assert!(tag_overflow(4, 2));
+    }
+}

@@ -1,0 +1,79 @@
+//! Architectural-state fault injection (the "typical ISS-based" injection
+//! the paper's introduction critiques).
+//!
+//! Faults here live in the *architectural* register file — the only storage
+//! an ISS can naturally target. The suite uses this to quantify how much
+//! the register-file-only fault universe differs from the RTL net universe.
+
+use sparc_isa::Reg;
+
+/// Permanent fault model applicable to an architectural register bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchFaultModel {
+    /// The bit reads as 0.
+    StuckAt0,
+    /// The bit reads as 1.
+    StuckAt1,
+    /// The bit flips on every read (a pessimistic open-line surrogate at
+    /// the architectural level, where no capacitance exists to hold a
+    /// value).
+    Invert,
+}
+
+/// A permanent fault on one bit of one *physical* register-file slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchFault {
+    /// Physical register slot (see
+    /// [`WindowedRegs::physical_index`](sparc_isa::WindowedRegs::physical_index)).
+    pub slot: usize,
+    /// Bit position `0..32`.
+    pub bit: u8,
+    /// The fault model.
+    pub model: ArchFaultModel,
+}
+
+impl ArchFault {
+    /// Fault on an architectural register as seen from window `cwp`.
+    pub fn on_register(cwp: usize, reg: Reg, bit: u8, model: ArchFaultModel) -> ArchFault {
+        ArchFault {
+            slot: sparc_isa::WindowedRegs::physical_index(cwp, reg),
+            bit,
+            model,
+        }
+    }
+
+    /// Apply the fault to a value read from the faulty slot.
+    pub fn apply(&self, value: u32) -> u32 {
+        let mask = 1u32 << self.bit;
+        match self.model {
+            ArchFaultModel::StuckAt0 => value & !mask,
+            ArchFaultModel::StuckAt1 => value | mask,
+            ArchFaultModel::Invert => value ^ mask,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_at_models() {
+        let sa0 = ArchFault { slot: 9, bit: 3, model: ArchFaultModel::StuckAt0 };
+        let sa1 = ArchFault { slot: 9, bit: 3, model: ArchFaultModel::StuckAt1 };
+        let inv = ArchFault { slot: 9, bit: 3, model: ArchFaultModel::Invert };
+        assert_eq!(sa0.apply(0xffff_ffff), 0xffff_fff7);
+        assert_eq!(sa1.apply(0), 8);
+        assert_eq!(inv.apply(8), 0);
+        assert_eq!(inv.apply(0), 8);
+    }
+
+    #[test]
+    fn register_addressing() {
+        let f = ArchFault::on_register(0, Reg::o(0), 0, ArchFaultModel::StuckAt1);
+        assert_eq!(
+            f.slot,
+            sparc_isa::WindowedRegs::physical_index(0, Reg::o(0))
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-run instrumentation: the data the paper's method extracts from the
+//! ISS.
+//!
+//! The headline metric is **instruction diversity** — the number of unique
+//! opcodes executed ([`RunStats::diversity`]) — plus its per-functional-unit
+//! refinement `D_m` ([`RunStats::unit_diversity`]).
+
+use sparc_isa::{Instr, Opcode, Unit};
+use std::collections::BTreeMap;
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (0 when there were no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Execution counters for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Executed (non-annulled) instructions.
+    pub instructions: u64,
+    /// Annulled delay slots (fetched, not executed).
+    pub annulled: u64,
+    /// Traps taken.
+    pub traps: u64,
+    /// Executed instructions that access memory (the paper's "Memory" row
+    /// of Table 1).
+    pub memory_instructions: u64,
+    /// Executed instructions processed by the integer unit — every
+    /// non-annulled instruction (the paper's "Integer Unit" row).
+    pub iu_instructions: u64,
+    /// How many times each opcode was executed.
+    pub opcode_histogram: BTreeMap<Opcode, u64>,
+    /// How many instruction executions touched each functional unit.
+    pub unit_accesses: BTreeMap<Unit, u64>,
+}
+
+impl RunStats {
+    /// Record one executed instruction.
+    pub fn record(&mut self, instr: &Instr) {
+        self.instructions += 1;
+        self.iu_instructions += 1;
+        if instr.op.accesses_memory() {
+            self.memory_instructions += 1;
+        }
+        *self.opcode_histogram.entry(instr.op).or_insert(0) += 1;
+        for unit in instr.op.units().iter() {
+            *self.unit_accesses.entry(unit).or_insert(0) += 1;
+        }
+    }
+
+    /// Instruction diversity: the number of unique opcodes executed.
+    ///
+    /// This is the paper's core metric — under its `Pf = f(Is)` hypothesis
+    /// for permanent faults, diversity (not instruction count, order or
+    /// input data) determines the fault-to-failure probability.
+    pub fn diversity(&self) -> usize {
+        self.opcode_histogram.len()
+    }
+
+    /// Per-unit diversity `D_m`: unique opcodes whose unit-usage set
+    /// contains `unit`.
+    pub fn unit_diversity(&self, unit: Unit) -> usize {
+        self.opcode_histogram.keys().filter(|op| op.units().contains(unit)).count()
+    }
+
+    /// The set of opcodes executed, in a stable order.
+    pub fn executed_opcodes(&self) -> impl Iterator<Item = Opcode> + '_ {
+        self.opcode_histogram.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparc_isa::{Operand2, Reg};
+
+    fn alu(op: Opcode) -> Instr {
+        Instr::alu(op, Reg::g(1), Reg::g(2), Operand2::imm(1))
+    }
+
+    #[test]
+    fn diversity_counts_unique_opcodes() {
+        let mut stats = RunStats::default();
+        for _ in 0..10 {
+            stats.record(&alu(Opcode::Add));
+        }
+        stats.record(&alu(Opcode::Sub));
+        stats.record(&Instr::mem(Opcode::Ld, Reg::g(1), Reg::g(2), Operand2::imm(0)));
+        assert_eq!(stats.instructions, 12);
+        assert_eq!(stats.diversity(), 3);
+        assert_eq!(stats.memory_instructions, 1);
+        assert_eq!(stats.iu_instructions, 12);
+    }
+
+    #[test]
+    fn unit_diversity_narrows_by_unit() {
+        let mut stats = RunStats::default();
+        stats.record(&alu(Opcode::Add));
+        stats.record(&alu(Opcode::Sub));
+        stats.record(&alu(Opcode::And));
+        stats.record(&alu(Opcode::Sll));
+        // Adder sees add/sub; logic sees and; shift sees sll; fetch sees all.
+        assert_eq!(stats.unit_diversity(Unit::AluAdd), 2);
+        assert_eq!(stats.unit_diversity(Unit::AluLogic), 1);
+        assert_eq!(stats.unit_diversity(Unit::Shift), 1);
+        assert_eq!(stats.unit_diversity(Unit::Fetch), 4);
+        assert_eq!(stats.unit_diversity(Unit::MulDiv), 0);
+    }
+
+    #[test]
+    fn unit_accesses_accumulate() {
+        let mut stats = RunStats::default();
+        stats.record(&alu(Opcode::Add));
+        stats.record(&alu(Opcode::Add));
+        assert_eq!(stats.unit_accesses[&Unit::AluAdd], 2);
+        assert_eq!(stats.unit_accesses[&Unit::Fetch], 2);
+    }
+
+    #[test]
+    fn cache_stats_ratios() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

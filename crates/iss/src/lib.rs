@@ -1,0 +1,60 @@
+//! SPARC V8 instruction set simulator (functional emulator + light timing).
+//!
+//! This is the "cheap" simulation level of the reproduced paper (*Espinosa et
+//! al., DAC 2015*): a functional emulator that keeps an exact architectural
+//! state (registers, PSR/WIM/TBR/Y, memory) plus a light timing simulator
+//! (instruction latencies and an I/D cache hit/miss model matching the RTL
+//! model's geometry).
+//!
+//! The observables the paper's method needs are all here:
+//!
+//! * the **off-core bus trace** ([`BusTrace`]) — the failure-detection point
+//!   of light-lockstep microcontrollers;
+//! * per-run **instrumentation** ([`RunStats`]) — opcode histogram,
+//!   instruction **diversity**, per-functional-unit access counts, memory
+//!   instruction counts (Table 1 of the paper);
+//! * architectural-state **fault injection** ([`ArchFault`]) for the
+//!   ISS-level experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use sparc_asm::assemble;
+//! use sparc_iss::{Iss, IssConfig, RunOutcome};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble(
+//!     "_start: mov 3, %o0\n add %o0, %o0, %o0\n set 0x40010000, %o1\n st %o0, [%o1]\n halt\n",
+//! )?;
+//! let mut iss = Iss::new(IssConfig::default());
+//! iss.load(&program);
+//! let outcome = iss.run(1_000);
+//! assert_eq!(outcome, RunOutcome::Halted { code: 6 });
+//! assert_eq!(iss.bus_trace().writes().count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod datapath;
+mod emulator;
+mod exec;
+mod inject;
+mod instrument;
+mod memory;
+mod state;
+mod timer;
+mod timing;
+
+pub use bus::{BusEvent, BusKind, BusTrace};
+pub use datapath::{add_with_flags, addx_with_flags, sub_with_flags, subx_with_flags};
+pub use emulator::{Exit, Iss, IssConfig, RunOutcome, StepEvent};
+pub use inject::{ArchFault, ArchFaultModel};
+pub use instrument::{CacheStats, RunStats};
+pub use memory::{MemError, Memory};
+pub use state::CpuState;
+pub use timer::{Timer, TIMER_BASE, TIMER_SPAN};
+pub use timing::{CacheModel, CacheSpec, Timing};

@@ -1,0 +1,178 @@
+//! Memory-mapped countdown timer with interrupt generation.
+//!
+//! Automotive control software is interrupt-driven; this peripheral lets
+//! the suite run ISR-based workloads on both simulation levels. It is an
+//! **off-core** device (like the memory): it sits behind the bus, outside
+//! the IU/CMEM fault-injection domains, and both simulation levels share
+//! this exact implementation, so interrupt timing is identical by
+//! construction (the two levels charge identical cycle counts — a lockstep
+//! invariant the test suite asserts).
+//!
+//! # Register map (word access only)
+//!
+//! | offset | register | behaviour |
+//! |---|---|---|
+//! | 0x0 | `COUNT` | current countdown value (read), write to load |
+//! | 0x4 | `RELOAD` | value loaded on underflow |
+//! | 0x8 | `CTRL` | bit 0 enable, bit 1 IRQ enable, bits 7:4 IRQ level |
+//! | 0xC | `ACK` | write anything to clear the pending interrupt |
+
+/// Base address of the timer's 16-byte register window.
+pub const TIMER_BASE: u32 = 0xf000_0000;
+/// Size of the register window in bytes.
+pub const TIMER_SPAN: u32 = 16;
+
+/// The countdown timer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timer {
+    count: u32,
+    reload: u32,
+    ctrl: u32,
+    pending: bool,
+    last_advance: u64,
+}
+
+impl Timer {
+    /// A disabled timer with all registers zero.
+    pub fn new() -> Timer {
+        Timer::default()
+    }
+
+    /// Whether `addr` falls into the timer's register window.
+    pub fn owns(addr: u32) -> bool {
+        (TIMER_BASE..TIMER_BASE + TIMER_SPAN).contains(&addr)
+    }
+
+    fn enabled(&self) -> bool {
+        self.ctrl & 0b01 != 0
+    }
+
+    fn irq_enabled(&self) -> bool {
+        self.ctrl & 0b10 != 0
+    }
+
+    /// The configured interrupt request level (1..=15; 0 disables).
+    pub fn irq_level(&self) -> u8 {
+        ((self.ctrl >> 4) & 0xf) as u8
+    }
+
+    /// Advance the countdown to absolute cycle time `now`; returns whether
+    /// an underflow occurred during the interval.
+    pub fn advance_to(&mut self, now: u64) -> bool {
+        let delta = now.saturating_sub(self.last_advance);
+        self.last_advance = now;
+        if !self.enabled() || delta == 0 {
+            return false;
+        }
+        let mut fired = false;
+        let mut remaining = delta;
+        while remaining > 0 {
+            if u64::from(self.count) >= remaining {
+                self.count -= remaining as u32;
+                break;
+            }
+            remaining -= u64::from(self.count) + 1;
+            self.count = self.reload;
+            fired = true;
+        }
+        if fired && self.irq_enabled() {
+            self.pending = true;
+        }
+        fired
+    }
+
+    /// The pending interrupt level, if any.
+    pub fn pending_level(&self) -> Option<u8> {
+        (self.pending && self.irq_level() > 0).then(|| self.irq_level())
+    }
+
+    /// Word read from register `offset` (0, 4, 8 or 12).
+    pub fn read(&self, offset: u32) -> u32 {
+        match offset {
+            0x0 => self.count,
+            0x4 => self.reload,
+            0x8 => self.ctrl,
+            _ => u32::from(self.pending),
+        }
+    }
+
+    /// Word write to register `offset`.
+    pub fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            0x0 => self.count = value,
+            0x4 => self.reload = value,
+            0x8 => self.ctrl = value & 0xff,
+            _ => self.pending = false, // ACK
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed(count: u32, reload: u32, level: u8) -> Timer {
+        let mut t = Timer::new();
+        t.write(0x0, count);
+        t.write(0x4, reload);
+        t.write(0x8, 0b11 | (u32::from(level) << 4));
+        t
+    }
+
+    #[test]
+    fn address_decode() {
+        assert!(Timer::owns(TIMER_BASE));
+        assert!(Timer::owns(TIMER_BASE + 12));
+        assert!(!Timer::owns(TIMER_BASE + 16));
+        assert!(!Timer::owns(0x4000_0000));
+    }
+
+    #[test]
+    fn counts_down_and_fires() {
+        let mut t = armed(10, 100, 3);
+        assert!(!t.advance_to(5));
+        assert_eq!(t.read(0x0), 5);
+        assert!(t.advance_to(11)); // the 6 remaining ticks cross zero exactly
+        assert_eq!(t.pending_level(), Some(3));
+        assert_eq!(t.read(0x0), 100); // freshly reloaded
+        assert!(!t.advance_to(14));
+        assert_eq!(t.read(0x0), 97);
+    }
+
+    #[test]
+    fn ack_clears_pending() {
+        let mut t = armed(0, 50, 7);
+        assert!(t.advance_to(1));
+        assert_eq!(t.pending_level(), Some(7));
+        t.write(0xc, 1);
+        assert_eq!(t.pending_level(), None);
+    }
+
+    #[test]
+    fn disabled_timer_is_inert() {
+        let mut t = Timer::new();
+        t.write(0x0, 5);
+        assert!(!t.advance_to(100));
+        assert_eq!(t.read(0x0), 5);
+        // IRQ disabled: underflow does not set pending.
+        let mut t = armed(1, 10, 4);
+        t.write(0x8, 0b01 | (4 << 4)); // enable only, no IRQ
+        assert!(t.advance_to(10));
+        assert_eq!(t.pending_level(), None);
+    }
+
+    #[test]
+    fn multiple_underflows_in_one_interval() {
+        let mut t = armed(2, 2, 1);
+        // 9 cycles with period 3 (count+1): underflows at 3, 6, 9.
+        assert!(t.advance_to(9));
+        assert_eq!(t.pending_level(), Some(1));
+    }
+
+    #[test]
+    fn level_zero_never_pends() {
+        let mut t = armed(0, 10, 0);
+        t.advance_to(5);
+        assert_eq!(t.pending_level(), None);
+    }
+}

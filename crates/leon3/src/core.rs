@@ -1,0 +1,467 @@
+//! The model's top level: state over nets, the step loop and trap entry.
+
+use crate::config::Leon3Config;
+use crate::nets::NetMap;
+use rtl_sim::{Fault, NetId, NetPool, Waveform};
+use sparc_isa::{decode, Icc, Psr, Reg, Tbr, TrapType, Unit, Wim, WindowedRegs, NWINDOWS};
+use sparc_iss::{BusTrace, CpuState, Exit, Memory, RunOutcome, RunStats, StepEvent, Timer};
+use sparc_asm::Program;
+
+/// The signal-level Leon3-like model.
+///
+/// See the [crate docs](crate) for scope and modelling decisions.
+#[derive(Debug, Clone)]
+pub struct Leon3 {
+    pub(crate) pool: NetPool<Unit>,
+    pub(crate) nets: NetMap,
+    pub(crate) mem: Memory,
+    pub(crate) trace: BusTrace,
+    pub(crate) stats: RunStats,
+    pub(crate) config: Leon3Config,
+    pub(crate) exit: Option<Exit>,
+    /// Accumulator for faithful-clocking evaluation (keeps the per-cycle
+    /// net sweep observable so it cannot be optimised away).
+    eval_acc: u32,
+    waveform: Option<Waveform>,
+    pub(crate) timer: Timer,
+    trace_depth: usize,
+    recent: std::collections::VecDeque<(u64, u32, sparc_isa::Instr)>,
+}
+
+impl Leon3 {
+    /// A fresh model with nothing loaded.
+    pub fn new(config: Leon3Config) -> Leon3 {
+        let mut pool = NetPool::new();
+        let nets = NetMap::declare(&mut pool, config.icache, config.dcache);
+        let mut cpu = Leon3 {
+            pool,
+            nets,
+            mem: Memory::new(config.ram_base, config.ram_size),
+            trace: if config.trace_reads { BusTrace::with_reads() } else { BusTrace::new() },
+            stats: RunStats::default(),
+            config,
+            exit: None,
+            eval_acc: 0,
+            waveform: None,
+            timer: Timer::new(),
+            trace_depth: 0,
+            recent: std::collections::VecDeque::new(),
+        };
+        cpu.reset_state(cpu.config.ram_base);
+        cpu
+    }
+
+    fn reset_state(&mut self, entry: u32) {
+        self.pool.write(self.nets.pc, entry);
+        self.pool.write(self.nets.npc, entry.wrapping_add(4));
+        self.pool.write(self.nets.annul, 0);
+        // PSR reset: supervisor, traps enabled (matches CpuState::at_entry).
+        self.pool.write(self.nets.psr_s, 1);
+        self.pool.write(self.nets.psr_ps, 1);
+        self.pool.write(self.nets.psr_et, 1);
+        self.pool.write(self.nets.psr_pil, 0);
+        self.pool.write(self.nets.psr_cwp, 0);
+        self.pool.write(self.nets.psr_icc, 0);
+        self.pool.write(self.nets.wim, 0);
+        self.pool.write(self.nets.tbr, 0);
+    }
+
+    /// Load a program image and point the PC at its entry.
+    pub fn load(&mut self, program: &Program) {
+        self.mem.load(program);
+        self.reset_state(program.entry);
+    }
+
+    /// Return the model to power-on state (all nets zero, faults cleared,
+    /// memory empty, traces and statistics reset) without re-allocating
+    /// the net pool — campaign runners reuse one instance per worker.
+    pub fn reset(&mut self) {
+        self.pool.reset();
+        self.mem = Memory::new(self.config.ram_base, self.config.ram_size);
+        self.trace =
+            if self.config.trace_reads { BusTrace::with_reads() } else { BusTrace::new() };
+        self.stats = RunStats::default();
+        self.exit = None;
+        self.eval_acc = 0;
+        self.waveform = None;
+        self.timer = Timer::new();
+        self.recent.clear();
+        self.reset_state(self.config.ram_base);
+    }
+
+    /// Inject a permanent fault into a net.
+    pub fn inject(&mut self, fault: Fault) {
+        self.pool.inject(fault);
+    }
+
+    /// Inject a bridging (short-circuit) fault between two net bits.
+    pub fn inject_bridge(&mut self, bridge: rtl_sim::Bridge) {
+        self.pool.inject_bridge(bridge);
+    }
+
+    /// Run until halt, error mode or the instruction budget is exhausted.
+    pub fn run(&mut self, max_instructions: u64) -> RunOutcome {
+        let budget_end = self.stats.instructions + max_instructions;
+        loop {
+            match self.exit {
+                Some(Exit::Halted(code)) => return RunOutcome::Halted { code },
+                Some(Exit::ErrorMode(trap)) => return RunOutcome::ErrorMode { trap },
+                None => {}
+            }
+            if self.stats.instructions >= budget_end {
+                return RunOutcome::InstructionLimit;
+            }
+            self.step();
+        }
+    }
+
+    /// Execute one instruction through all seven stages.
+    pub fn step(&mut self) -> StepEvent {
+        if self.exit.is_some() {
+            return StepEvent::Stopped;
+        }
+        // Sample the interrupt lines between instructions.
+        if self.config.timer {
+            self.timer.advance_to(self.pool.cycle());
+            if let Some(level) = self.timer.pending_level() {
+                let et = self.pool.read(self.nets.psr_et) == 1;
+                let pil = self.pool.read(self.nets.psr_pil) as u8;
+                let annulled = self.pool.read(self.nets.annul) == 1;
+                if et && !annulled && (level == 15 || level > pil) {
+                    return self.take_trap(TrapType::Interrupt(level));
+                }
+            }
+        }
+        self.advance_cycles(1);
+        if self.pool.read(self.nets.annul) == 1 {
+            self.pool.write(self.nets.annul, 0);
+            self.stats.annulled += 1;
+            self.advance();
+            return StepEvent::Annulled;
+        }
+        // ---- Fetch ----
+        let pc = self.pool.read(self.nets.pc);
+        if !pc.is_multiple_of(4) || !self.mem.in_range(pc, 4) {
+            return self.take_trap(TrapType::InstructionAccess);
+        }
+        let word = self.icache_fetch(pc);
+        self.pool.write(self.nets.fe_inst, word);
+        // ---- Decode ----
+        let fetched = self.pool.read(self.nets.fe_inst);
+        self.pool.write(self.nets.de_ir, fetched);
+        let ir = self.pool.read(self.nets.de_ir);
+        let instr = match decode(ir) {
+            Ok(instr) => instr,
+            Err(_) => return self.take_trap(TrapType::IllegalInstruction),
+        };
+        self.stats.record(&instr);
+        if self.trace_depth > 0 {
+            if self.recent.len() == self.trace_depth {
+                self.recent.pop_front();
+            }
+            self.recent.push_back((self.pool.cycle(), pc, instr));
+        }
+        let extra = instr.op.latency().saturating_sub(1);
+        self.advance_cycles(u64::from(extra));
+        // ---- Register access / execute / memory / exception / write-back.
+        match self.exec(&instr) {
+            Ok(crate::execute::Flow::Advance) => {
+                self.advance();
+                StepEvent::Executed
+            }
+            Ok(crate::execute::Flow::Jumped) => StepEvent::Executed,
+            Ok(crate::execute::Flow::Halt(code)) => {
+                self.exit = Some(Exit::Halted(code));
+                StepEvent::Stopped
+            }
+            Err(trap) => self.take_trap(trap),
+        }
+    }
+
+    /// Start recording a waveform of the given nets (one sample per
+    /// cycle). Call before `run`; retrieve with [`Leon3::waveform_vcd`].
+    pub fn trace_nets(&mut self, nets: Vec<NetId>) {
+        self.waveform = Some(Waveform::new(nets));
+    }
+
+    /// The recorded waveform as a VCD document, if tracing was enabled.
+    pub fn waveform_vcd(&self) -> Option<String> {
+        self.waveform.as_ref().map(|w| w.to_vcd(&self.pool))
+    }
+
+    /// Keep a rolling window of the last `depth` executed instructions
+    /// (`(cycle, pc, instruction)`), for post-mortem failure analysis.
+    pub fn enable_instruction_trace(&mut self, depth: usize) {
+        self.trace_depth = depth;
+        self.recent.clear();
+    }
+
+    /// The rolling instruction window (most recent last).
+    pub fn recent_instructions(
+        &self,
+    ) -> impl Iterator<Item = &(u64, u32, sparc_isa::Instr)> {
+        self.recent.iter()
+    }
+
+    /// Advance the model clock by `n` cycles. In faithful-clocking mode
+    /// every net is re-evaluated on every cycle, emulating the process
+    /// evaluation load of an event-driven RTL simulator.
+    pub(crate) fn advance_cycles(&mut self, n: u64) {
+        self.pool.tick_many(n);
+        if let Some(wave) = &mut self.waveform {
+            wave.capture(&self.pool);
+        }
+        if self.config.faithful_clocking {
+            // An event-driven simulator settles each clock edge over
+            // several delta cycles; eight full-design sweeps per clock is
+            // a conservative stand-in for that load.
+            const DELTA_CYCLES_PER_CLOCK: u64 = 8;
+            for _ in 0..n * DELTA_CYCLES_PER_CLOCK {
+                self.eval_acc = self.eval_acc.wrapping_add(self.pool.evaluate_all());
+            }
+        }
+    }
+
+    // ---- Control-flow helpers over nets ----
+
+    pub(crate) fn advance(&mut self) {
+        let npc = self.pool.read(self.nets.npc);
+        self.pool.write(self.nets.pc, npc);
+        self.pool.write(self.nets.npc, npc.wrapping_add(4));
+    }
+
+    pub(crate) fn delayed_jump(&mut self, target: u32) {
+        let npc = self.pool.read(self.nets.npc);
+        self.pool.write(self.nets.pc, npc);
+        self.pool.write(self.nets.npc, target);
+    }
+
+    // ---- Register-file access over nets ----
+
+    pub(crate) fn cwp(&self) -> usize {
+        self.pool.read(self.nets.psr_cwp) as usize % NWINDOWS
+    }
+
+    pub(crate) fn rf_read(&self, reg: Reg) -> u32 {
+        if reg.is_g0() {
+            return 0;
+        }
+        let slot = WindowedRegs::physical_index(self.cwp(), reg);
+        self.pool.read(self.nets.rf[slot])
+    }
+
+    pub(crate) fn rf_write(&mut self, reg: Reg, value: u32) {
+        if reg.is_g0() {
+            return;
+        }
+        let slot = WindowedRegs::physical_index(self.cwp(), reg);
+        self.pool.write(self.nets.rf[slot], value);
+    }
+
+    /// Result write-back through the WB-stage nets (faults on `wb_rd` can
+    /// redirect the write, as in real hardware).
+    pub(crate) fn writeback(&mut self, rd: Reg, value: u32) {
+        self.pool.write(self.nets.wb_res, value);
+        self.pool.write(self.nets.wb_rd, rd.index() as u32);
+        let effective_rd = Reg::new((self.pool.read(self.nets.wb_rd) & 31) as u8);
+        let value = self.pool.read(self.nets.wb_res);
+        self.rf_write(effective_rd, value);
+    }
+
+    // ---- PSR access over nets ----
+
+    pub(crate) fn icc(&self) -> Icc {
+        Icc::from_bits(self.pool.read(self.nets.psr_icc))
+    }
+
+    pub(crate) fn set_icc(&mut self, icc: Icc) {
+        self.pool.write(self.nets.psr_icc, icc.to_bits());
+    }
+
+    pub(crate) fn psr(&self) -> Psr {
+        Psr {
+            icc: self.icc(),
+            s: self.pool.read(self.nets.psr_s) == 1,
+            ps: self.pool.read(self.nets.psr_ps) == 1,
+            et: self.pool.read(self.nets.psr_et) == 1,
+            pil: self.pool.read(self.nets.psr_pil) as u8,
+            cwp: self.cwp() as u8,
+        }
+    }
+
+    pub(crate) fn set_psr(&mut self, psr: Psr) {
+        self.set_icc(psr.icc);
+        self.pool.write(self.nets.psr_s, u32::from(psr.s));
+        self.pool.write(self.nets.psr_ps, u32::from(psr.ps));
+        self.pool.write(self.nets.psr_et, u32::from(psr.et));
+        self.pool.write(self.nets.psr_pil, u32::from(psr.pil));
+        self.pool.write(self.nets.psr_cwp, u32::from(psr.cwp));
+    }
+
+    pub(crate) fn wim(&self) -> Wim {
+        Wim(self.pool.read(self.nets.wim))
+    }
+
+    pub(crate) fn tbr(&self) -> Tbr {
+        Tbr::from_bits(self.pool.read(self.nets.tbr))
+    }
+
+    // ---- Trap entry (exception stage) ----
+
+    pub(crate) fn take_trap(&mut self, trap: TrapType) -> StepEvent {
+        self.stats.traps += 1;
+        self.advance_cycles(5);
+        if self.pool.read(self.nets.psr_et) != 1 {
+            self.exit = Some(Exit::ErrorMode(trap));
+            return StepEvent::Stopped;
+        }
+        let s = self.pool.read(self.nets.psr_s);
+        self.pool.write(self.nets.psr_et, 0);
+        self.pool.write(self.nets.psr_ps, s);
+        self.pool.write(self.nets.psr_s, 1);
+        let new_cwp = (self.cwp() + NWINDOWS - 1) % NWINDOWS;
+        self.pool.write(self.nets.psr_cwp, new_cwp as u32);
+        let pc = self.pool.read(self.nets.pc);
+        let npc = self.pool.read(self.nets.npc);
+        self.rf_write(Reg::l(1), pc);
+        self.rf_write(Reg::l(2), npc);
+        // Route the trap type through the exception-stage net: faults there
+        // send the core to the wrong vector.
+        self.pool.write(self.nets.xc_tt, u32::from(trap.tt()));
+        let tt = self.pool.read(self.nets.xc_tt);
+        let tbr = self.pool.read(self.nets.tbr);
+        let new_tbr = (tbr & !0xff0) | (tt << 4);
+        self.pool.write(self.nets.tbr, new_tbr);
+        let vector = self.pool.read(self.nets.tbr) & 0xffff_fff0;
+        self.pool.write(self.nets.pc, vector);
+        self.pool.write(self.nets.npc, vector.wrapping_add(4));
+        self.pool.write(self.nets.annul, 0);
+        StepEvent::Trapped(trap)
+    }
+
+    // ---- Observability ----
+
+    /// The off-core bus trace recorded so far.
+    pub fn bus_trace(&self) -> &BusTrace {
+        &self.trace
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Elapsed simulation cycles.
+    pub fn cycles(&self) -> u64 {
+        self.pool.cycle()
+    }
+
+    /// The memory image.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Terminal state, if the core has stopped.
+    pub fn exit(&self) -> Option<Exit> {
+        self.exit
+    }
+
+    /// The timer peripheral's state (for tests and debuggers).
+    pub fn timer(&self) -> &Timer {
+        &self.timer
+    }
+
+    /// The net pool (for fault-list construction and area statistics).
+    pub fn pool(&self) -> &NetPool<Unit> {
+        &self.pool
+    }
+
+    /// The net map (names and handles for every injectable net).
+    pub fn nets(&self) -> &NetMap {
+        &self.nets
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &Leon3Config {
+        &self.config
+    }
+
+    /// Reconstruct the architectural state from the nets — used by the
+    /// ISS/RTL lockstep tests, which require golden runs to be bit-exact
+    /// across the two simulation levels.
+    pub fn architectural_state(&self) -> CpuState {
+        let mut state = CpuState::at_entry(0);
+        for slot in 0..self.nets.rf.len() {
+            state.regs.write_physical(slot, self.pool.read(self.nets.rf[slot]));
+        }
+        // Keep %g0's backing storage architecturally zero.
+        state.regs.write_physical(0, 0);
+        state.psr = self.psr();
+        state.wim = self.wim();
+        state.tbr = self.tbr();
+        state.y = self.pool.read(self.nets.md_y);
+        state.pc = self.pool.read(self.nets.pc);
+        state.npc = self.pool.read(self.nets.npc);
+        state.annul = self.pool.read(self.nets.annul) == 1;
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparc_asm::assemble;
+
+    fn run(src: &str) -> (Leon3, RunOutcome) {
+        let program = assemble(src).expect("assembles");
+        let mut cpu = Leon3::new(Leon3Config::default());
+        cpu.load(&program);
+        let outcome = cpu.run(100_000);
+        (cpu, outcome)
+    }
+
+    #[test]
+    fn halts_with_exit_code() {
+        let (_, outcome) = run("_start: mov 21, %o0\n add %o0, %o0, %o0\n halt\n");
+        assert_eq!(outcome, RunOutcome::Halted { code: 42 });
+    }
+
+    #[test]
+    fn stores_reach_the_bus() {
+        let (cpu, outcome) =
+            run("_start: set 0x40002000, %o1\n mov 9, %o0\n st %o0, [%o1]\n halt\n");
+        assert!(matches!(outcome, RunOutcome::Halted { .. }));
+        let writes: Vec<_> = cpu.bus_trace().writes().collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!((writes[0].addr, writes[0].data), (0x4000_2000, 9));
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        let (_, outcome) = run(
+            "_start: mov 10, %o1\n mov 0, %o0\nloop: add %o0, %o1, %o0\n subcc %o1, 1, %o1\n bne loop\n nop\n halt\n",
+        );
+        assert_eq!(outcome, RunOutcome::Halted { code: 55 });
+    }
+
+    #[test]
+    fn cycles_accumulate_beyond_instruction_count() {
+        let (cpu, _) = run("_start: mov 1, %o0\n halt\n");
+        // Cache misses and latencies make cycles > instructions.
+        assert!(cpu.cycles() > cpu.stats().instructions);
+    }
+
+    #[test]
+    fn error_mode_without_trap_handlers() {
+        let (_, outcome) = run("_start: unimp\n halt\n");
+        assert!(matches!(outcome, RunOutcome::ErrorMode { .. }));
+    }
+
+    #[test]
+    fn instruction_limit_is_hang_detection() {
+        let program = assemble("_start: ba _start\n nop\n").unwrap();
+        let mut cpu = Leon3::new(Leon3Config::default());
+        cpu.load(&program);
+        assert_eq!(cpu.run(500), RunOutcome::InstructionLimit);
+    }
+}

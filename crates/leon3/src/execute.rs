@@ -1,0 +1,592 @@
+//! Register-access, execute, memory and write-back stages.
+//!
+//! Every operand and result is routed through the nets of the functional
+//! unit that processes it, which is what makes the paper's *spatial
+//! utilization* story emergent: an instruction can only activate faults in
+//! units its dataflow traverses.
+
+use crate::core::Leon3;
+use sparc_iss::{add_with_flags, addx_with_flags, sub_with_flags, subx_with_flags};
+use sparc_isa::{Cond, Icc, Instr, OpClass, Opcode, Operand2, Psr, Reg, TrapType, NWINDOWS};
+
+/// How execution of one instruction ended.
+pub(crate) enum Flow {
+    Advance,
+    Jumped,
+    Halt(u32),
+}
+
+type ExecResult = Result<Flow, TrapType>;
+
+fn tag_overflow(a: u32, b: u32) -> bool {
+    (a | b) & 0b11 != 0
+}
+
+impl Leon3 {
+    /// Effective decoded fields, re-read from the decode-stage nets so
+    /// decode faults take effect downstream.
+    fn effective_fields(&mut self, instr: &Instr) -> (Reg, Reg, Operand2) {
+        self.pool.write(self.nets.de_rd, instr.rd.index() as u32);
+        self.pool.write(self.nets.de_rs1, instr.rs1.index() as u32);
+        match instr.op2 {
+            Operand2::Reg(rs2) => {
+                self.pool.write(self.nets.de_useimm, 0);
+                self.pool.write(self.nets.de_rs2, rs2.index() as u32);
+            }
+            Operand2::Imm(imm) => {
+                self.pool.write(self.nets.de_useimm, 1);
+                self.pool.write(self.nets.de_simm, (imm as u32) & 0x1fff);
+            }
+        }
+        let rd = Reg::new((self.pool.read(self.nets.de_rd) & 31) as u8);
+        let rs1 = Reg::new((self.pool.read(self.nets.de_rs1) & 31) as u8);
+        let op2 = if self.pool.read(self.nets.de_useimm) == 1 {
+            let raw = self.pool.read(self.nets.de_simm);
+            // Sign-extend the 13-bit field.
+            Operand2::Imm(((raw << 19) as i32) >> 19)
+        } else {
+            Operand2::Reg(Reg::new((self.pool.read(self.nets.de_rs2) & 31) as u8))
+        };
+        (rd, rs1, op2)
+    }
+
+    /// Register-access stage: operands through the read-port nets.
+    fn read_operands(&mut self, rs1: Reg, op2: Operand2) -> (u32, u32) {
+        let a = self.rf_read(rs1);
+        self.pool.write(self.nets.ra_op1, a);
+        let b = match op2 {
+            Operand2::Reg(rs2) => self.rf_read(rs2),
+            Operand2::Imm(imm) => imm as u32,
+        };
+        self.pool.write(self.nets.ra_op2, b);
+        (self.pool.read(self.nets.ra_op1), self.pool.read(self.nets.ra_op2))
+    }
+
+    /// Address generation through the adder datapath (loads, stores, jmpl,
+    /// ticc trap numbers all use the IU adder).
+    fn adder(&mut self, a: u32, b: u32) -> u32 {
+        self.pool.write(self.nets.add_a, a);
+        self.pool.write(self.nets.add_b, b);
+        let a = self.pool.read(self.nets.add_a);
+        let b = self.pool.read(self.nets.add_b);
+        self.pool.write(self.nets.add_res, a.wrapping_add(b));
+        self.pool.read(self.nets.add_res)
+    }
+
+    pub(crate) fn exec(&mut self, instr: &Instr) -> ExecResult {
+        let (rd, rs1, op2) = self.effective_fields(instr);
+        match instr.op.class() {
+            OpClass::Arith => self.exec_arith(instr.op, rd, rs1, op2),
+            OpClass::Logic => self.exec_logic(instr.op, rd, rs1, op2),
+            OpClass::Shift => self.exec_shift(instr.op, rd, rs1, op2),
+            OpClass::Mul | OpClass::Div => self.exec_muldiv(instr.op, rd, rs1, op2),
+            OpClass::Load | OpClass::Store | OpClass::Atomic => {
+                self.exec_mem(instr.op, rd, rs1, op2)
+            }
+            OpClass::Sethi => {
+                // The immediate path shares the logic-unit datapath.
+                self.pool.write(self.nets.logic_a, instr.imm22);
+                let imm = self.pool.read(self.nets.logic_a);
+                self.pool.write(self.nets.logic_res, imm << 10);
+                let res = self.pool.read(self.nets.logic_res);
+                self.writeback(rd, res);
+                Ok(Flow::Advance)
+            }
+            OpClass::Branch => self.exec_branch(instr),
+            OpClass::Jump => self.exec_jump(instr, rd, rs1, op2),
+            OpClass::Window => self.exec_window(instr.op, rd, rs1, op2),
+            OpClass::Special => self.exec_special(instr.op, rd, rs1, op2),
+            OpClass::Trap => self.exec_ticc(instr, rs1, op2),
+            OpClass::Misc => match instr.op {
+                Opcode::Flush => Ok(Flow::Advance),
+                _ => Err(TrapType::IllegalInstruction),
+            },
+        }
+    }
+
+    fn exec_arith(&mut self, op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> ExecResult {
+        let (a, b) = self.read_operands(rs1, op2);
+        self.pool.write(self.nets.add_a, a);
+        self.pool.write(self.nets.add_b, b);
+        let a = self.pool.read(self.nets.add_a);
+        let b = self.pool.read(self.nets.add_b);
+        let icc_in = self.icc();
+        let (result, icc) = match op {
+            Opcode::Add => (a.wrapping_add(b), None),
+            Opcode::Addcc => {
+                let (r, v, c) = add_with_flags(a, b);
+                (r, Some(Icc::from_result(r, v, c)))
+            }
+            Opcode::Addx => (a.wrapping_add(b).wrapping_add(u32::from(icc_in.c)), None),
+            Opcode::Addxcc => {
+                let (r, v, c) = addx_with_flags(a, b, icc_in.c);
+                (r, Some(Icc::from_result(r, v, c)))
+            }
+            Opcode::Sub => (a.wrapping_sub(b), None),
+            Opcode::Subcc => {
+                let (r, v, c) = sub_with_flags(a, b);
+                (r, Some(Icc::from_result(r, v, c)))
+            }
+            Opcode::Subx => (a.wrapping_sub(b).wrapping_sub(u32::from(icc_in.c)), None),
+            Opcode::Subxcc => {
+                let (r, v, c) = subx_with_flags(a, b, icc_in.c);
+                (r, Some(Icc::from_result(r, v, c)))
+            }
+            Opcode::Taddcc | Opcode::TaddccTv => {
+                let (r, v, c) = add_with_flags(a, b);
+                let v = v || tag_overflow(a, b);
+                if op == Opcode::TaddccTv && v {
+                    return Err(TrapType::TagOverflow);
+                }
+                (r, Some(Icc::from_result(r, v, c)))
+            }
+            Opcode::Tsubcc | Opcode::TsubccTv => {
+                let (r, v, c) = sub_with_flags(a, b);
+                let v = v || tag_overflow(a, b);
+                if op == Opcode::TsubccTv && v {
+                    return Err(TrapType::TagOverflow);
+                }
+                (r, Some(Icc::from_result(r, v, c)))
+            }
+            other => unreachable!("non-arith opcode {other:?}"),
+        };
+        self.pool.write(self.nets.add_res, result);
+        let result = self.pool.read(self.nets.add_res);
+        self.writeback(rd, result);
+        if let Some(icc) = icc {
+            self.set_icc(icc);
+        }
+        Ok(Flow::Advance)
+    }
+
+    fn exec_logic(&mut self, op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> ExecResult {
+        let (a, b) = self.read_operands(rs1, op2);
+        self.pool.write(self.nets.logic_a, a);
+        self.pool.write(self.nets.logic_b, b);
+        let a = self.pool.read(self.nets.logic_a);
+        let b = self.pool.read(self.nets.logic_b);
+        let result = match op {
+            Opcode::And | Opcode::Andcc => a & b,
+            Opcode::Andn | Opcode::Andncc => a & !b,
+            Opcode::Or | Opcode::Orcc => a | b,
+            Opcode::Orn | Opcode::Orncc => a | !b,
+            Opcode::Xor | Opcode::Xorcc => a ^ b,
+            Opcode::Xnor | Opcode::Xnorcc => !(a ^ b),
+            other => unreachable!("non-logic opcode {other:?}"),
+        };
+        self.pool.write(self.nets.logic_res, result);
+        let result = self.pool.read(self.nets.logic_res);
+        self.writeback(rd, result);
+        if op.sets_icc() {
+            self.set_icc(Icc::from_logic(result));
+        }
+        Ok(Flow::Advance)
+    }
+
+    fn exec_shift(&mut self, op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> ExecResult {
+        let (a, b) = self.read_operands(rs1, op2);
+        self.pool.write(self.nets.shift_a, a);
+        self.pool.write(self.nets.shift_cnt, b & 31);
+        let a = self.pool.read(self.nets.shift_a);
+        let count = self.pool.read(self.nets.shift_cnt);
+        let result = match op {
+            Opcode::Sll => a << count,
+            Opcode::Srl => a >> count,
+            Opcode::Sra => ((a as i32) >> count) as u32,
+            other => unreachable!("non-shift opcode {other:?}"),
+        };
+        self.pool.write(self.nets.shift_res, result);
+        let result = self.pool.read(self.nets.shift_res);
+        self.writeback(rd, result);
+        Ok(Flow::Advance)
+    }
+
+    fn exec_muldiv(&mut self, op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> ExecResult {
+        let (a, b) = self.read_operands(rs1, op2);
+        self.pool.write(self.nets.md_a, a);
+        self.pool.write(self.nets.md_b, b);
+        let a = self.pool.read(self.nets.md_a);
+        let b = self.pool.read(self.nets.md_b);
+        let icc_in = self.icc();
+        let y_in = self.pool.read(self.nets.md_y);
+        let (result, y_out, icc) = match op {
+            Opcode::Umul | Opcode::Umulcc => {
+                let product = u64::from(a) * u64::from(b);
+                let r = product as u32;
+                let icc = (op == Opcode::Umulcc).then(|| Icc::from_logic(r));
+                (r, Some((product >> 32) as u32), icc)
+            }
+            Opcode::Smul | Opcode::Smulcc => {
+                let product = i64::from(a as i32) * i64::from(b as i32);
+                let r = product as u32;
+                let icc = (op == Opcode::Smulcc).then(|| Icc::from_logic(r));
+                (r, Some(((product as u64) >> 32) as u32), icc)
+            }
+            Opcode::Udiv | Opcode::Udivcc => {
+                if b == 0 {
+                    return Err(TrapType::DivisionByZero);
+                }
+                let dividend = (u64::from(y_in) << 32) | u64::from(a);
+                let quotient = dividend / u64::from(b);
+                let (r, overflow) = if quotient > u64::from(u32::MAX) {
+                    (u32::MAX, true)
+                } else {
+                    (quotient as u32, false)
+                };
+                let icc = (op == Opcode::Udivcc).then(|| Icc::from_result(r, overflow, false));
+                (r, None, icc)
+            }
+            Opcode::Sdiv | Opcode::Sdivcc => {
+                if b == 0 {
+                    return Err(TrapType::DivisionByZero);
+                }
+                let dividend = (((u64::from(y_in) << 32) | u64::from(a)) as i64) as i128;
+                let divisor = i128::from(b as i32);
+                let quotient = dividend / divisor;
+                let (r, overflow) = if quotient > i128::from(i32::MAX) {
+                    (i32::MAX as u32, true)
+                } else if quotient < i128::from(i32::MIN) {
+                    (i32::MIN as u32, true)
+                } else {
+                    (quotient as u32, false)
+                };
+                let icc = (op == Opcode::Sdivcc).then(|| Icc::from_result(r, overflow, false));
+                (r, None, icc)
+            }
+            Opcode::Mulscc => {
+                let shifted = (u32::from(icc_in.n ^ icc_in.v) << 31) | (a >> 1);
+                let addend = if y_in & 1 == 1 { b } else { 0 };
+                let (r, v, c) = add_with_flags(shifted, addend);
+                (r, Some(((a & 1) << 31) | (y_in >> 1)), Some(Icc::from_result(r, v, c)))
+            }
+            other => unreachable!("non-muldiv opcode {other:?}"),
+        };
+        self.pool.write(self.nets.md_res, result);
+        let result = self.pool.read(self.nets.md_res);
+        if let Some(y) = y_out {
+            self.pool.write(self.nets.md_y, y);
+        }
+        self.writeback(rd, result);
+        if let Some(icc) = icc {
+            self.set_icc(icc);
+        }
+        Ok(Flow::Advance)
+    }
+
+    fn exec_mem(&mut self, op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> ExecResult {
+        let (a, b) = self.read_operands(rs1, op2);
+        let addr = self.adder(a, b);
+        self.pool.write(self.nets.lsu_addr, addr);
+        let addr = self.pool.read(self.nets.lsu_addr);
+        // The timer's register window is uncached, word-access-only MMIO.
+        if self.config.timer && sparc_iss::Timer::owns(addr) {
+            return self.exec_timer(op, rd, addr);
+        }
+        let size: u8 = match op {
+            Opcode::Ldub | Opcode::Ldsb | Opcode::Stb | Opcode::Ldstub => 1,
+            Opcode::Lduh | Opcode::Ldsh | Opcode::Sth => 2,
+            _ => 4,
+        };
+        self.pool.write(self.nets.lsu_size, size.trailing_zeros());
+        // Alignment and range checks (exception stage).
+        let align = if matches!(op, Opcode::Ldd | Opcode::Std) { 8 } else { u32::from(size) };
+        if !addr.is_multiple_of(align) {
+            return Err(TrapType::MemAddressNotAligned);
+        }
+        let extent = if matches!(op, Opcode::Ldd | Opcode::Std) { 8 } else { u32::from(size) };
+        if !self.mem.in_range(addr, extent) {
+            return Err(TrapType::DataAccess);
+        }
+        match op {
+            Opcode::Ld => {
+                let value = self.load_sized(addr, 4, false);
+                self.writeback(rd, value);
+            }
+            Opcode::Ldub => {
+                let value = self.load_sized(addr, 1, false);
+                self.writeback(rd, value);
+            }
+            Opcode::Ldsb => {
+                let value = self.load_sized(addr, 1, true);
+                self.writeback(rd, value);
+            }
+            Opcode::Lduh => {
+                let value = self.load_sized(addr, 2, false);
+                self.writeback(rd, value);
+            }
+            Opcode::Ldsh => {
+                let value = self.load_sized(addr, 2, true);
+                self.writeback(rd, value);
+            }
+            Opcode::Ldd => {
+                let lo = Reg::new((rd.index() & !1) as u8);
+                let hi = Reg::new((rd.index() | 1) as u8);
+                let first = self.load_sized(addr, 4, false);
+                self.writeback(lo, first);
+                let second = self.load_sized(addr + 4, 4, false);
+                self.writeback(hi, second);
+            }
+            Opcode::St | Opcode::Stb | Opcode::Sth => {
+                let data = self.rf_read(rd);
+                self.pool.write(self.nets.ra_store_data, data);
+                self.pool.write(self.nets.lsu_wdata, self.pool.read(self.nets.ra_store_data));
+                let data = self.pool.read(self.nets.lsu_wdata);
+                self.dcache_store(addr, size, data & size_mask(size));
+            }
+            Opcode::Std => {
+                let lo = Reg::new((rd.index() & !1) as u8);
+                let hi = Reg::new((rd.index() | 1) as u8);
+                for (i, reg) in [lo, hi].into_iter().enumerate() {
+                    let data = self.rf_read(reg);
+                    self.pool.write(self.nets.ra_store_data, data);
+                    self.pool
+                        .write(self.nets.lsu_wdata, self.pool.read(self.nets.ra_store_data));
+                    let data = self.pool.read(self.nets.lsu_wdata);
+                    self.dcache_store(addr + 4 * i as u32, 4, data);
+                }
+            }
+            Opcode::Ldstub => {
+                let old = self.load_sized(addr, 1, false);
+                self.dcache_store(addr, 1, 0xff);
+                self.writeback(rd, old);
+            }
+            Opcode::Swap => {
+                let old = self.load_sized(addr, 4, false);
+                let new = self.rf_read(rd);
+                self.pool.write(self.nets.lsu_wdata, new);
+                let new = self.pool.read(self.nets.lsu_wdata);
+                self.dcache_store(addr, 4, new);
+                self.writeback(rd, old);
+            }
+            other => unreachable!("non-memory opcode {other:?}"),
+        }
+        Ok(Flow::Advance)
+    }
+
+    /// Word-only MMIO access to the timer's register window (uncached:
+    /// straight to the bus nets, no cache lookup).
+    fn exec_timer(&mut self, op: Opcode, rd: Reg, addr: u32) -> ExecResult {
+        if addr % 4 != 0 {
+            return Err(TrapType::MemAddressNotAligned);
+        }
+        let offset = addr - sparc_iss::TIMER_BASE;
+        match op {
+            Opcode::Ld => {
+                let value = self.timer.read(offset);
+                self.pool.write(self.nets.bus_data, value);
+                let value = self.pool.read(self.nets.bus_data);
+                let at = self.pool.cycle();
+                self.trace.push(sparc_iss::BusEvent {
+                    at,
+                    kind: sparc_iss::BusKind::Read,
+                    addr,
+                    size: 4,
+                    data: value,
+                });
+                self.pool.write(self.nets.lsu_rdata, value);
+                let value = self.pool.read(self.nets.lsu_rdata);
+                self.writeback(rd, value);
+                Ok(Flow::Advance)
+            }
+            Opcode::St => {
+                let data = self.rf_read(rd);
+                self.pool.write(self.nets.lsu_wdata, data);
+                self.pool.write(self.nets.bus_data, self.pool.read(self.nets.lsu_wdata));
+                let value = self.pool.read(self.nets.bus_data);
+                self.timer.write(offset, value);
+                let at = self.pool.cycle();
+                self.trace.push(sparc_iss::BusEvent {
+                    at,
+                    kind: sparc_iss::BusKind::Write,
+                    addr,
+                    size: 4,
+                    data: value,
+                });
+                Ok(Flow::Advance)
+            }
+            _ => Err(TrapType::DataAccess),
+        }
+    }
+
+    /// Load through the data cache, extracting the addressed big-endian
+    /// lane and routing the result through the LSU read-data net.
+    fn load_sized(&mut self, addr: u32, size: u8, sign_extend: bool) -> u32 {
+        let word = self.dcache_load_word(addr & !3);
+        let offset = addr as usize % 4;
+        let raw = match size {
+            1 => (word >> ((3 - offset) * 8)) & 0xff,
+            2 => (word >> ((2 - offset) * 8)) & 0xffff,
+            _ => word,
+        };
+        let value = if sign_extend {
+            match size {
+                1 => raw as u8 as i8 as i32 as u32,
+                2 => raw as u16 as i16 as i32 as u32,
+                _ => raw,
+            }
+        } else {
+            raw
+        };
+        self.pool.write(self.nets.lsu_rdata, value);
+        self.pool.read(self.nets.lsu_rdata)
+    }
+
+    fn exec_branch(&mut self, instr: &Instr) -> ExecResult {
+        let cond = instr.op.branch_cond().expect("branch class");
+        let taken = cond.eval(self.icc());
+        self.pool.write(self.nets.br_taken, u32::from(taken));
+        let taken = self.pool.read(self.nets.br_taken) == 1;
+        let pc = self.pool.read(self.nets.pc);
+        let target = pc.wrapping_add((instr.disp as u32).wrapping_mul(4));
+        self.pool.write(self.nets.br_target, target);
+        let target = self.pool.read(self.nets.br_target);
+        if taken {
+            if instr.annul && cond == Cond::Always {
+                self.pool.write(self.nets.pc, target);
+                self.pool.write(self.nets.npc, target.wrapping_add(4));
+            } else {
+                self.delayed_jump(target);
+            }
+        } else {
+            if instr.annul {
+                self.pool.write(self.nets.annul, 1);
+            }
+            self.advance();
+        }
+        Ok(Flow::Jumped)
+    }
+
+    fn exec_jump(&mut self, instr: &Instr, rd: Reg, rs1: Reg, op2: Operand2) -> ExecResult {
+        match instr.op {
+            Opcode::Call => {
+                let pc = self.pool.read(self.nets.pc);
+                let target = pc.wrapping_add((instr.disp as u32).wrapping_mul(4));
+                self.pool.write(self.nets.br_target, target);
+                let target = self.pool.read(self.nets.br_target);
+                self.writeback(Reg::O7, pc);
+                self.delayed_jump(target);
+                Ok(Flow::Jumped)
+            }
+            Opcode::Jmpl => {
+                let (a, b) = self.read_operands(rs1, op2);
+                let target = self.adder(a, b);
+                self.pool.write(self.nets.br_target, target);
+                let target = self.pool.read(self.nets.br_target);
+                if !target.is_multiple_of(4) {
+                    return Err(TrapType::MemAddressNotAligned);
+                }
+                let pc = self.pool.read(self.nets.pc);
+                self.writeback(rd, pc);
+                self.delayed_jump(target);
+                Ok(Flow::Jumped)
+            }
+            Opcode::Rett => {
+                if self.pool.read(self.nets.psr_et) == 1 {
+                    return Err(TrapType::IllegalInstruction);
+                }
+                let (a, b) = self.read_operands(rs1, op2);
+                let target = self.adder(a, b);
+                if !target.is_multiple_of(4) {
+                    return Err(TrapType::MemAddressNotAligned);
+                }
+                let new_cwp = (self.cwp() + 1) % NWINDOWS;
+                if self.wim().is_invalid(new_cwp as u8) {
+                    return Err(TrapType::WindowUnderflow);
+                }
+                self.pool.write(self.nets.psr_cwp, new_cwp as u32);
+                let ps = self.pool.read(self.nets.psr_ps);
+                self.pool.write(self.nets.psr_s, ps);
+                self.pool.write(self.nets.psr_et, 1);
+                self.delayed_jump(target);
+                Ok(Flow::Jumped)
+            }
+            other => unreachable!("non-jump opcode {other:?}"),
+        }
+    }
+
+    fn exec_window(&mut self, op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> ExecResult {
+        let new_cwp = match op {
+            Opcode::Save => (self.cwp() + NWINDOWS - 1) % NWINDOWS,
+            _ => (self.cwp() + 1) % NWINDOWS,
+        };
+        if self.wim().is_invalid(new_cwp as u8) {
+            return Err(match op {
+                Opcode::Save => TrapType::WindowOverflow,
+                _ => TrapType::WindowUnderflow,
+            });
+        }
+        // Operands read in the old window through the adder; the result
+        // lands in the new window.
+        let (a, b) = self.read_operands(rs1, op2);
+        let result = self.adder(a, b);
+        self.pool.write(self.nets.psr_cwp, new_cwp as u32);
+        self.writeback(rd, result);
+        Ok(Flow::Advance)
+    }
+
+    fn exec_special(&mut self, op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> ExecResult {
+        match op {
+            Opcode::RdY => {
+                let y = self.pool.read(self.nets.md_y);
+                self.writeback(rd, y);
+            }
+            Opcode::RdAsr => self.writeback(rd, 0),
+            Opcode::RdPsr => {
+                let psr = self.psr().to_bits();
+                self.writeback(rd, psr);
+            }
+            Opcode::RdWim => {
+                let wim = self.pool.read(self.nets.wim);
+                self.writeback(rd, wim);
+            }
+            Opcode::RdTbr => {
+                let tbr = self.pool.read(self.nets.tbr);
+                self.writeback(rd, tbr);
+            }
+            Opcode::WrY => {
+                let (a, b) = self.read_operands(rs1, op2);
+                self.pool.write(self.nets.md_y, a ^ b);
+            }
+            Opcode::WrAsr => {
+                let _ = self.read_operands(rs1, op2);
+            }
+            Opcode::WrPsr => {
+                let (a, b) = self.read_operands(rs1, op2);
+                self.set_psr(Psr::from_bits(a ^ b));
+            }
+            Opcode::WrWim => {
+                let (a, b) = self.read_operands(rs1, op2);
+                self.pool.write(self.nets.wim, (a ^ b) & ((1 << NWINDOWS) - 1));
+            }
+            Opcode::WrTbr => {
+                let (a, b) = self.read_operands(rs1, op2);
+                let old = self.pool.read(self.nets.tbr);
+                self.pool.write(self.nets.tbr, ((a ^ b) & 0xffff_f000) | (old & 0xff0));
+            }
+            other => unreachable!("non-special opcode {other:?}"),
+        }
+        Ok(Flow::Advance)
+    }
+
+    fn exec_ticc(&mut self, instr: &Instr, rs1: Reg, op2: Operand2) -> ExecResult {
+        self.pool.write(self.nets.de_cond, instr.cond.to_bits());
+        let cond = Cond::from_bits(self.pool.read(self.nets.de_cond));
+        if !cond.eval(self.icc()) {
+            return Ok(Flow::Advance);
+        }
+        let (a, b) = self.read_operands(rs1, op2);
+        let number = self.adder(a, b) & 0x7f;
+        if number == 0 {
+            return Ok(Flow::Halt(self.rf_read(Reg::o(0))));
+        }
+        Err(TrapType::Software(number as u8))
+    }
+}
+
+fn size_mask(size: u8) -> u32 {
+    match size {
+        1 => 0xff,
+        2 => 0xffff,
+        _ => u32::MAX,
+    }
+}

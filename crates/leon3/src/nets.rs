@@ -1,0 +1,233 @@
+//! The complete net map of the modelled microcontroller.
+
+use rtl_sim::{NetId, NetPool};
+use sparc_isa::{Unit, NWINDOWS};
+use sparc_iss::CacheSpec;
+
+/// Handles to every net in the model, grouped by pipeline stage / unit.
+///
+/// All fields are public so fault-list builders, the campaign runner and
+/// white-box tests can target specific nets; the model itself only mutates
+/// them through the owning [`NetPool`].
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // the field names *are* the documentation (net paths)
+pub struct NetMap {
+    // ---- Fetch stage ----
+    pub pc: NetId,
+    pub npc: NetId,
+    pub annul: NetId,
+    pub fe_inst: NetId,
+
+    // ---- Decode stage ----
+    pub de_ir: NetId,
+    pub de_rd: NetId,
+    pub de_rs1: NetId,
+    pub de_rs2: NetId,
+    pub de_useimm: NetId,
+    pub de_simm: NetId,
+    pub de_cond: NetId,
+
+    // ---- Register file (one net per physical register) ----
+    pub rf: Vec<NetId>,
+    pub ra_op1: NetId,
+    pub ra_op2: NetId,
+    pub ra_store_data: NetId,
+
+    // ---- Execute: adder datapath ----
+    pub add_a: NetId,
+    pub add_b: NetId,
+    pub add_res: NetId,
+
+    // ---- Execute: logic datapath ----
+    pub logic_a: NetId,
+    pub logic_b: NetId,
+    pub logic_res: NetId,
+
+    // ---- Execute: shifter ----
+    pub shift_a: NetId,
+    pub shift_cnt: NetId,
+    pub shift_res: NetId,
+
+    // ---- Execute: multiply/divide ----
+    pub md_a: NetId,
+    pub md_b: NetId,
+    pub md_res: NetId,
+    pub md_y: NetId,
+
+    // ---- Branch unit ----
+    pub br_taken: NetId,
+    pub br_target: NetId,
+
+    // ---- Load/store unit ----
+    pub lsu_addr: NetId,
+    pub lsu_wdata: NetId,
+    pub lsu_rdata: NetId,
+    pub lsu_size: NetId,
+
+    // ---- Special registers ----
+    pub psr_icc: NetId,
+    pub psr_cwp: NetId,
+    pub psr_s: NetId,
+    pub psr_ps: NetId,
+    pub psr_et: NetId,
+    pub psr_pil: NetId,
+    pub wim: NetId,
+    pub tbr: NetId,
+
+    // ---- Exception stage ----
+    pub xc_tt: NetId,
+
+    // ---- Write-back stage ----
+    pub wb_res: NetId,
+    pub wb_rd: NetId,
+
+    // ---- Instruction cache ----
+    pub itag: Vec<NetId>,
+    pub ivalid: Vec<NetId>,
+    pub idata: Vec<NetId>,
+
+    // ---- Data cache ----
+    pub dtag: Vec<NetId>,
+    pub dvalid: Vec<NetId>,
+    pub ddata: Vec<NetId>,
+
+    // ---- Cache/bus controller ----
+    pub ic_hit: NetId,
+    pub ic_index: NetId,
+    pub dc_hit: NetId,
+    pub dc_index: NetId,
+    pub bus_addr: NetId,
+    pub bus_data: NetId,
+}
+
+impl NetMap {
+    /// Declare every net of the model in `pool`.
+    pub fn declare(pool: &mut NetPool<Unit>, icache: CacheSpec, dcache: CacheSpec) -> NetMap {
+        let rf = (0..8 + NWINDOWS * 16)
+            .map(|i| pool.net(format!("iu.rf.r{i}"), 32, Unit::RegFile))
+            .collect();
+        let index_bits = |lines: usize| (lines.trailing_zeros()).max(1) as u8;
+        let itag: Vec<NetId> = (0..icache.lines)
+            .map(|i| pool.net(format!("cmem.ic.tag{i}"), 20, Unit::ICacheTag))
+            .collect();
+        let ivalid = (0..icache.lines)
+            .map(|i| pool.net(format!("cmem.ic.valid{i}"), 1, Unit::ICacheTag))
+            .collect();
+        let idata = (0..icache.lines * (icache.line_bytes / 4))
+            .map(|i| pool.net(format!("cmem.ic.data{i}"), 32, Unit::ICacheData))
+            .collect();
+        let dtag = (0..dcache.lines)
+            .map(|i| pool.net(format!("cmem.dc.tag{i}"), 20, Unit::DCacheTag))
+            .collect();
+        let dvalid = (0..dcache.lines)
+            .map(|i| pool.net(format!("cmem.dc.valid{i}"), 1, Unit::DCacheTag))
+            .collect();
+        let ddata = (0..dcache.lines * (dcache.line_bytes / 4))
+            .map(|i| pool.net(format!("cmem.dc.data{i}"), 32, Unit::DCacheData))
+            .collect();
+        NetMap {
+            pc: pool.net("iu.fe.pc", 32, Unit::Fetch),
+            npc: pool.net("iu.fe.npc", 32, Unit::Fetch),
+            annul: pool.net("iu.fe.annul", 1, Unit::Fetch),
+            fe_inst: pool.net("iu.fe.inst", 32, Unit::Fetch),
+            de_ir: pool.net("iu.de.ir", 32, Unit::Decode),
+            de_rd: pool.net("iu.de.rd", 5, Unit::Decode),
+            de_rs1: pool.net("iu.de.rs1", 5, Unit::Decode),
+            de_rs2: pool.net("iu.de.rs2", 5, Unit::Decode),
+            de_useimm: pool.net("iu.de.useimm", 1, Unit::Decode),
+            de_simm: pool.net("iu.de.simm", 13, Unit::Decode),
+            de_cond: pool.net("iu.de.cond", 4, Unit::Decode),
+            rf,
+            ra_op1: pool.net("iu.ra.op1", 32, Unit::RegFile),
+            ra_op2: pool.net("iu.ra.op2", 32, Unit::RegFile),
+            ra_store_data: pool.net("iu.ra.store_data", 32, Unit::RegFile),
+            add_a: pool.net("iu.ex.add_a", 32, Unit::AluAdd),
+            add_b: pool.net("iu.ex.add_b", 32, Unit::AluAdd),
+            add_res: pool.net("iu.ex.add_res", 32, Unit::AluAdd),
+            logic_a: pool.net("iu.ex.logic_a", 32, Unit::AluLogic),
+            logic_b: pool.net("iu.ex.logic_b", 32, Unit::AluLogic),
+            logic_res: pool.net("iu.ex.logic_res", 32, Unit::AluLogic),
+            shift_a: pool.net("iu.ex.shift_a", 32, Unit::Shift),
+            shift_cnt: pool.net("iu.ex.shift_cnt", 5, Unit::Shift),
+            shift_res: pool.net("iu.ex.shift_res", 32, Unit::Shift),
+            md_a: pool.net("iu.ex.md_a", 32, Unit::MulDiv),
+            md_b: pool.net("iu.ex.md_b", 32, Unit::MulDiv),
+            md_res: pool.net("iu.ex.md_res", 32, Unit::MulDiv),
+            md_y: pool.net("iu.ex.md_y", 32, Unit::MulDiv),
+            br_taken: pool.net("iu.ex.br_taken", 1, Unit::BranchUnit),
+            br_target: pool.net("iu.ex.br_target", 32, Unit::BranchUnit),
+            lsu_addr: pool.net("iu.me.addr", 32, Unit::Lsu),
+            lsu_wdata: pool.net("iu.me.wdata", 32, Unit::Lsu),
+            lsu_rdata: pool.net("iu.me.rdata", 32, Unit::Lsu),
+            lsu_size: pool.net("iu.me.size", 2, Unit::Lsu),
+            psr_icc: pool.net("iu.sr.icc", 4, Unit::Special),
+            psr_cwp: pool.net("iu.sr.cwp", 3, Unit::Special),
+            psr_s: pool.net("iu.sr.s", 1, Unit::Special),
+            psr_ps: pool.net("iu.sr.ps", 1, Unit::Special),
+            psr_et: pool.net("iu.sr.et", 1, Unit::Special),
+            psr_pil: pool.net("iu.sr.pil", 4, Unit::Special),
+            wim: pool.net("iu.sr.wim", NWINDOWS as u8, Unit::Special),
+            tbr: pool.net("iu.sr.tbr", 32, Unit::Special),
+            xc_tt: pool.net("iu.xc.tt", 8, Unit::Except),
+            wb_res: pool.net("iu.wb.res", 32, Unit::WriteBack),
+            wb_rd: pool.net("iu.wb.rd", 5, Unit::WriteBack),
+            itag,
+            ivalid,
+            idata,
+            dtag,
+            dvalid,
+            ddata,
+            ic_hit: pool.net("cmem.ic.hit", 1, Unit::CacheCtrl),
+            ic_index: pool.net("cmem.ic.index", index_bits(icache.lines), Unit::CacheCtrl),
+            dc_hit: pool.net("cmem.dc.hit", 1, Unit::CacheCtrl),
+            dc_index: pool.net("cmem.dc.index", index_bits(dcache.lines), Unit::CacheCtrl),
+            bus_addr: pool.net("cmem.bus.addr", 32, Unit::CacheCtrl),
+            bus_data: pool.net("cmem.bus.data", 32, Unit::CacheCtrl),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_expected_population() {
+        let mut pool = NetPool::new();
+        let map = NetMap::declare(&mut pool, CacheSpec::leon3_icache(), CacheSpec::leon3_dcache());
+        assert_eq!(map.rf.len(), 8 + NWINDOWS * 16);
+        assert_eq!(map.itag.len(), 128);
+        assert_eq!(map.idata.len(), 128 * 8);
+        assert_eq!(map.dtag.len(), 256);
+        assert_eq!(map.ddata.len(), 256 * 4);
+        // Every unit of the taxonomy is populated.
+        for unit in Unit::ALL {
+            let bits: usize = pool
+                .iter()
+                .filter(|(_, m)| m.tag == unit)
+                .map(|(_, m)| usize::from(m.width))
+                .sum();
+            assert!(bits > 0, "unit {unit} has no injectable bits");
+        }
+    }
+
+    #[test]
+    fn iu_and_cmem_bit_populations_are_realistic() {
+        let mut pool = NetPool::new();
+        let _ = NetMap::declare(&mut pool, CacheSpec::leon3_icache(), CacheSpec::leon3_dcache());
+        let iu_bits: usize = pool
+            .iter()
+            .filter(|(_, m)| m.tag.is_iu())
+            .map(|(_, m)| usize::from(m.width))
+            .sum();
+        let cmem_bits: usize = pool
+            .iter()
+            .filter(|(_, m)| m.tag.is_cmem())
+            .map(|(_, m)| usize::from(m.width))
+            .sum();
+        // Register file dominates the IU, data arrays dominate the CMEM —
+        // the heterogeneity the paper's α_m weights exist to handle.
+        assert!(iu_bits > 4000, "{iu_bits}");
+        assert!(cmem_bits > 60_000, "{cmem_bits}");
+    }
+}

@@ -1,0 +1,208 @@
+//! White-box fault-pathway tests: specific net faults must produce the
+//! specific micro-architectural pathologies they correspond to in real
+//! hardware. These pin down *why* campaign results look the way they do.
+
+use leon3_model::{Leon3, Leon3Config};
+use rtl_sim::{Fault, FaultKind};
+use sparc_asm::{assemble, Program};
+use sparc_iss::{Exit, RunOutcome};
+
+fn program() -> Program {
+    assemble(
+        r#"
+        _start:
+            set 0x40002000, %l0
+            mov 1, %o1
+            mov 2, %o2
+            add %o1, %o2, %o3
+            st %o3, [%l0]
+            sub %o2, %o1, %o4
+            st %o4, [%l0 + 4]
+            mov %o3, %o0        ! exit code = 3
+            halt
+        "#,
+    )
+    .expect("assembles")
+}
+
+fn run_with(fault: Fault) -> (Leon3, RunOutcome) {
+    let mut cpu = Leon3::new(Leon3Config::default());
+    cpu.load(&program());
+    cpu.inject(fault);
+    let outcome = cpu.run(10_000);
+    (cpu, outcome)
+}
+
+fn golden_writes() -> Vec<(u32, u32)> {
+    let mut cpu = Leon3::new(Leon3Config::default());
+    cpu.load(&program());
+    assert!(matches!(cpu.run(10_000), RunOutcome::Halted { .. }));
+    cpu.bus_trace().writes().map(|w| (w.addr, w.data)).collect()
+}
+
+#[test]
+fn adder_fault_corrupts_sums_and_addresses() {
+    let cpu = Leon3::new(Leon3Config::default());
+    let net = cpu.nets().add_res;
+    let (faulty, _) = run_with(Fault { net, bit: 3, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    let writes: Vec<(u32, u32)> = faulty.bus_trace().writes().map(|w| (w.addr, w.data)).collect();
+    // Addresses flow through the adder too (set/st offset computation), so
+    // either the data or the address of the first write must differ.
+    assert_ne!(writes, golden_writes(), "adder stuck-at had no effect");
+}
+
+#[test]
+fn wb_rd_fault_redirects_register_writes() {
+    // Stuck-at on the write-back destination index makes results land in
+    // the wrong architectural register.
+    let cpu = Leon3::new(Leon3Config::default());
+    let net = cpu.nets().wb_rd;
+    let (faulty, outcome) =
+        run_with(Fault { net, bit: 4, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    // rd indices get bit 4 forced: %o1 (9) becomes %i1 (25) etc. The store
+    // then reads a never-written register.
+    let diverged = faulty.bus_trace().writes().map(|w| (w.addr, w.data)).collect::<Vec<_>>()
+        != golden_writes();
+    assert!(
+        diverged || !matches!(outcome, RunOutcome::Halted { code: _ }),
+        "wb_rd fault had no observable effect"
+    );
+}
+
+#[test]
+fn decode_ir_fault_turns_instructions_illegal() {
+    // Forcing a bit of the instruction register eventually produces an
+    // undecodable or wrong instruction; with no trap handlers the model
+    // must contain the run (error mode or divergence), never panic.
+    let cpu = Leon3::new(Leon3Config::default());
+    let net = cpu.nets().de_ir;
+    for bit in [30, 24, 19, 13] {
+        let (faulty, outcome) =
+            run_with(Fault { net, bit, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        match outcome {
+            RunOutcome::Halted { .. } => {
+                // If it still halts, the write stream tells the story.
+                let _ = faulty.bus_trace();
+            }
+            RunOutcome::ErrorMode { .. } | RunOutcome::InstructionLimit => {}
+        }
+    }
+}
+
+#[test]
+fn pc_fault_derails_control_flow() {
+    let cpu = Leon3::new(Leon3Config::default());
+    let net = cpu.nets().pc;
+    let (_, outcome) = run_with(Fault { net, bit: 4, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    assert!(
+        !matches!(outcome, RunOutcome::Halted { code: 3 }),
+        "PC stuck-at cannot leave the program intact"
+    );
+}
+
+#[test]
+fn icache_valid_stuck_at_one_fakes_hits_on_garbage() {
+    // A valid bit stuck at 1 makes an untouched line look resident: the
+    // fetch returns the zero-filled array content (an `unimp` pattern),
+    // producing an illegal-instruction end or control divergence.
+    let mut cpu = Leon3::new(Leon3Config::default());
+    let prog = program();
+    cpu.load(&prog);
+    // Line index of the entry point.
+    let line = (prog.entry as usize / cpu.config().icache.line_bytes) % cpu.config().icache.lines;
+    let net = cpu.nets().ivalid[line];
+    // Also force the tag match by corrupting the tag store? Not needed:
+    // valid=1 with tag=0 mismatches the 0x40000000-range tag, so this
+    // particular fault is harmless — assert exactly that.
+    cpu.inject(Fault { net, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    let outcome = cpu.run(10_000);
+    assert!(matches!(outcome, RunOutcome::Halted { code: 3 }), "{outcome:?}");
+
+    // Now also pin the tag store to the matching tag: the fake hit becomes
+    // real and the core fetches zeros -> illegal instruction.
+    let mut cpu = Leon3::new(Leon3Config::default());
+    cpu.load(&prog);
+    let spec = cpu.config().icache;
+    let expected_tag = ((prog.entry as usize / spec.line_bytes) / spec.lines) as u32 & 0xf_ffff;
+    let valid_net = cpu.nets().ivalid[line];
+    let tag_net = cpu.nets().itag[line];
+    cpu.inject(Fault { net: valid_net, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    for bit in 0..20 {
+        if expected_tag & (1 << bit) != 0 {
+            cpu.inject(Fault { net: tag_net, bit, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        }
+    }
+    let outcome = cpu.run(10_000);
+    assert!(
+        matches!(outcome, RunOutcome::ErrorMode { .. } | RunOutcome::InstructionLimit),
+        "forced false hit on a zero line must derail execution: {outcome:?}"
+    );
+}
+
+#[test]
+fn dcache_data_fault_needs_a_resident_read_to_matter() {
+    // Stuck-at in a dcache data word is invisible until a load hits that
+    // word; stores are write-through and don't read the array.
+    let prog = assemble(
+        r#"
+        _start:
+            set 0x40002000, %l0
+            mov 7, %o1
+            st %o1, [%l0]       ! write-through, no array read
+            ld [%l0], %o2       ! allocates + reads the line
+            st %o2, [%l0 + 4]
+            halt
+        "#,
+    )
+    .expect("assembles");
+    let reference = Leon3::new(Leon3Config::default());
+    let spec = reference.config().dcache;
+    let addr = 0x4000_2000u32;
+    let line = (addr as usize / spec.line_bytes) % spec.lines;
+    let word = (addr as usize % spec.line_bytes) / 4;
+    let net = reference.nets().ddata[line * (spec.line_bytes / 4) + word];
+
+    let mut cpu = Leon3::new(Leon3Config::default());
+    cpu.load(&prog);
+    cpu.inject(Fault { net, bit: 5, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    let outcome = cpu.run(10_000);
+    assert!(matches!(outcome, RunOutcome::Halted { .. }));
+    let writes: Vec<u32> = cpu.bus_trace().writes().map(|w| w.data).collect();
+    // First store is clean (write-through straight to the bus); the second
+    // store carries the corrupted loaded value (bit 5 forced).
+    assert_eq!(writes[0], 7);
+    assert_eq!(writes[1], 7 | (1 << 5));
+}
+
+#[test]
+fn open_line_on_live_register_freezes_it() {
+    let prog = assemble(
+        r#"
+        _start:
+            set 0x40002000, %l0
+            mov 5, %o1          ! %o1 = 5
+            st %o1, [%l0]
+            mov 9, %o1          ! the open line masks this update
+            st %o1, [%l0 + 4]
+            halt
+        "#,
+    )
+    .expect("assembles");
+    let reference = Leon3::new(Leon3Config::default());
+    // Physical slot of window-0 %o1.
+    let slot = sparc_isa::WindowedRegs::physical_index(0, sparc_isa::Reg::o(1));
+    let net = reference.nets().rf[slot];
+    let mut cpu = Leon3::new(Leon3Config::default());
+    cpu.load(&prog);
+    // Inject after the first mov has committed (5 is latched) — freeze
+    // every bit.
+    for bit in 0..32 {
+        cpu.inject(Fault { net, bit, kind: FaultKind::OpenLine, from_cycle: 12 });
+    }
+    let outcome = cpu.run(10_000);
+    assert!(matches!(outcome, RunOutcome::Halted { .. }), "{outcome:?}");
+    let writes: Vec<u32> = cpu.bus_trace().writes().map(|w| w.data).collect();
+    assert_eq!(writes[0], 5);
+    assert_eq!(writes[1], 5, "open line must hold the frozen value, got {:?}", writes);
+    assert_eq!(cpu.exit(), Some(Exit::Halted(0)));
+}

@@ -1,0 +1,443 @@
+//! Golden-run lockstep: the RTL model and the ISS must agree bit-exactly on
+//! architectural results and off-core write streams for fault-free runs.
+//!
+//! This is the precondition of the whole correlation method: any divergence
+//! between a faulty RTL run and a golden ISS run must be attributable to
+//! the fault, never to simulator disagreement.
+
+use leon3_model::{Leon3, Leon3Config};
+use sparc_asm::assemble;
+use sparc_iss::{Iss, IssConfig, RunOutcome};
+
+/// Run `src` on both levels and compare outcome, registers-in-window-0,
+/// PSR/Y and the off-core write stream.
+fn lockstep(src: &str) {
+    let program = assemble(src).expect("assembles");
+    let mut iss = Iss::new(IssConfig::default());
+    iss.load(&program);
+    let iss_outcome = iss.run(2_000_000);
+
+    let mut rtl = Leon3::new(Leon3Config::default());
+    rtl.load(&program);
+    let rtl_outcome = rtl.run(2_000_000);
+
+    assert_eq!(iss_outcome, rtl_outcome, "run outcomes diverge");
+    assert!(
+        matches!(iss_outcome, RunOutcome::Halted { .. }),
+        "golden program must halt, got {iss_outcome:?}"
+    );
+
+    let iss_state = iss.state().clone();
+    let rtl_state = rtl.architectural_state();
+    assert_eq!(iss_state.psr, rtl_state.psr, "PSR diverges");
+    assert_eq!(iss_state.y, rtl_state.y, "Y diverges");
+    assert_eq!(iss_state.wim, rtl_state.wim, "WIM diverges");
+    assert_eq!(iss_state.pc, rtl_state.pc, "PC diverges");
+    for slot in 0..136 {
+        assert_eq!(
+            iss_state.regs.read_physical(slot),
+            rtl_state.regs.read_physical(slot),
+            "physical register {slot} diverges"
+        );
+    }
+
+    let iss_writes: Vec<_> = iss.bus_trace().writes().collect();
+    let rtl_writes: Vec<_> = rtl.bus_trace().writes().collect();
+    assert_eq!(iss_writes.len(), rtl_writes.len(), "write counts diverge");
+    for (i, (a, b)) in iss_writes.iter().zip(&rtl_writes).enumerate() {
+        assert!(a.same_payload(b), "write {i} diverges: ISS {a} vs RTL {b}");
+    }
+}
+
+#[test]
+fn arithmetic_mix() {
+    lockstep(
+        r#"
+        _start:
+            set 0x40010000, %l0
+            mov 17, %o0
+            mov -5, %o1
+            add %o0, %o1, %o2
+            st %o2, [%l0]
+            subcc %o0, %o1, %o3
+            st %o3, [%l0 + 4]
+            addxcc %o2, %o3, %o4
+            st %o4, [%l0 + 8]
+            subxcc %o4, 1, %o5
+            st %o5, [%l0 + 12]
+            taddcc %o0, 4, %o5
+            st %o5, [%l0 + 16]
+            tsubcc %o0, 8, %o5
+            st %o5, [%l0 + 20]
+            halt
+        "#,
+    );
+}
+
+#[test]
+fn logic_shift_mix() {
+    lockstep(
+        r#"
+        _start:
+            set 0x40010000, %l0
+            set 0xa5a5a5a5, %o0
+            and %o0, 0xff, %o1
+            st %o1, [%l0]
+            andn %o0, 0xff, %o1
+            st %o1, [%l0+4]
+            orcc %o0, 0x3c, %o1
+            st %o1, [%l0+8]
+            orn %g0, %o0, %o1
+            st %o1, [%l0+12]
+            xorcc %o0, -1, %o1
+            st %o1, [%l0+16]
+            xnorcc %o0, 0, %o1
+            st %o1, [%l0+20]
+            sll %o0, 7, %o1
+            st %o1, [%l0+24]
+            srl %o0, 13, %o1
+            st %o1, [%l0+28]
+            sra %o0, 13, %o1
+            st %o1, [%l0+32]
+            halt
+        "#,
+    );
+}
+
+#[test]
+fn mul_div_y_register() {
+    lockstep(
+        r#"
+        _start:
+            set 0x40010000, %l0
+            set 123456, %o0
+            set 98765, %o1
+            umul %o0, %o1, %o2
+            st %o2, [%l0]
+            rd %y, %o3
+            st %o3, [%l0+4]
+            smulcc %o0, %o1, %o2
+            st %o2, [%l0+8]
+            mov -7, %o4
+            smul %o4, %o1, %o2
+            st %o2, [%l0+12]
+            rd %y, %o3
+            st %o3, [%l0+16]
+            wr %g0, 0, %y
+            udivcc %o0, 17, %o2
+            st %o2, [%l0+20]
+            mov -1000, %o5
+            mov -1, %o4
+            wr %o4, 0, %y
+            sdiv %o5, 13, %o2
+            st %o2, [%l0+24]
+            halt
+        "#,
+    );
+}
+
+#[test]
+fn memory_widths_and_atomics() {
+    lockstep(
+        r#"
+        _start:
+            set buf, %l0
+            set 0x11223344, %o0
+            st %o0, [%l0]
+            stb %o0, [%l0 + 5]
+            sth %o0, [%l0 + 6]
+            ldub [%l0 + 1], %o1
+            st %o1, [%l0 + 8]
+            ldsb [%l0 + 5], %o1
+            st %o1, [%l0 + 12]
+            lduh [%l0 + 6], %o1
+            st %o1, [%l0 + 16]
+            ldsh [%l0 + 2], %o1
+            st %o1, [%l0 + 20]
+            ldd [%l0], %o2
+            std %o2, [%l0 + 24]
+            set lock, %l1
+            ldstub [%l1], %o1
+            st %o1, [%l0 + 32]
+            mov 77, %o1
+            set cell, %l2
+            swap [%l2], %o1
+            st %o1, [%l0 + 36]
+            ld [%l2], %o1
+            st %o1, [%l0 + 40]
+            halt
+            .align 8
+        buf:
+            .space 64
+        lock:
+            .byte 0
+            .align 4
+        cell:
+            .word 0xbeef
+        "#,
+    );
+}
+
+#[test]
+fn control_flow_and_windows() {
+    lockstep(
+        r#"
+        _start:
+            set 0x40010000, %l0
+            mov 0, %o0
+            mov 6, %o1
+        loop:
+            call accumulate
+             nop
+            subcc %o1, 1, %o1
+            bne loop
+             nop
+            st %o0, [%l0]
+            ba,a done
+            st %g0, [%l0 + 60]   ! annulled, must not execute
+        done:
+            st %o0, [%l0 + 4]
+            halt
+        accumulate:
+            save %sp, -96, %sp
+            add %i0, %i1, %i0
+            ret
+             restore
+        "#,
+    );
+}
+
+#[test]
+fn branch_condition_coverage() {
+    // Exercise every conditional branch both taken and not taken.
+    let mut body = String::from("_start:\n set 0x40010000, %l0\n mov 0, %l1\n");
+    let branches = [
+        ("be", "bne"),
+        ("bl", "bge"),
+        ("ble", "bg"),
+        ("bleu", "bgu"),
+        ("bcs", "bcc"),
+        ("bneg", "bpos"),
+        ("bvs", "bvc"),
+    ];
+    for (i, (a, b)) in branches.iter().enumerate() {
+        // cmp 3, 5 then cmp 5, 3: each branch of the pair goes both ways.
+        body.push_str(&format!(
+            r#"
+            cmp %l1, 1
+            {a} t{i}a
+             nop
+            add %l1, 0, %l1
+        t{i}a:
+            cmp %l1, 0
+            {b} t{i}b
+             nop
+            add %l1, 2, %l1
+        t{i}b:
+            st %l1, [%l0 + {off}]
+        "#,
+            a = a,
+            b = b,
+            i = i,
+            off = i * 4,
+        ));
+    }
+    body.push_str(" halt\n");
+    lockstep(&body);
+}
+
+#[test]
+fn sethi_hi_lo_addressing() {
+    lockstep(
+        r#"
+        _start:
+            sethi %hi(target), %o0
+            or %o0, %lo(target), %o0
+            ld [%o0], %o1
+            set 0x40010000, %l0
+            st %o1, [%l0]
+            halt
+            .align 4
+        target:
+            .word 0x5ec0de
+        "#,
+    );
+}
+
+#[test]
+fn special_registers() {
+    lockstep(
+        r#"
+        _start:
+            set 0x40010000, %l0
+            rd %psr, %o0
+            and %o0, 0xff, %o1      ! implementation fields masked off
+            st %o1, [%l0]
+            wr %g0, 0x55, %y
+            rd %y, %o2
+            st %o2, [%l0+4]
+            rd %wim, %o3
+            st %o3, [%l0+8]
+            rd %tbr, %o4
+            st %o4, [%l0+12]
+            halt
+        "#,
+    );
+}
+
+#[test]
+fn cache_thrash_consistency() {
+    // Walk a buffer larger than the 4 KiB data cache twice so lines are
+    // evicted and refilled; the write-through protocol must keep memory
+    // coherent at both levels.
+    lockstep(
+        r#"
+        _start:
+            set buf, %l0
+            set 2048, %l1        ! words (8 KiB)
+            mov 0, %l2
+        fill:
+            st %l2, [%l0]
+            add %l0, 4, %l0
+            subcc %l1, 1, %l1
+            bne fill
+             add %l2, 3, %l2
+            set buf, %l0
+            set 2048, %l1
+            mov 0, %o0
+        sum:
+            ld [%l0], %o1
+            add %o0, %o1, %o0
+            add %l0, 4, %l0
+            subcc %l1, 1, %l1
+            bne sum
+             nop
+            set 0x40020000, %l0
+            st %o0, [%l0]
+            halt
+            .align 16
+        buf:
+            .space 8192
+        "#,
+    );
+}
+
+#[test]
+fn deep_recursion_with_window_traps() {
+    // Recursion deeper than NWINDOWS forces window overflow/underflow traps
+    // through the software spill/fill handlers — both levels must agree.
+    lockstep(&format!(
+        r#"
+        {runtime}
+        main:
+            set stack_top, %sp
+            mov 12, %o0
+            call fib
+             nop
+            set 0x40030000, %l0
+            st %o0, [%l0]
+            mov %o0, %o0
+            halt
+
+        ! fib(n): naive recursive fibonacci
+        fib:
+            save %sp, -96, %sp
+            cmp %i0, 2
+            bl base
+             nop
+            sub %i0, 1, %o0
+            call fib
+             nop
+            mov %o0, %l1
+            sub %i0, 2, %o0
+            call fib
+             nop
+            add %o0, %l1, %i0
+            ret
+             restore
+        base:
+            mov 1, %i0
+            ret
+             restore
+
+            .align 8
+        stack_bottom:
+            .space 4096
+        stack_top:
+            .space 64              ! save area for the outermost frame
+        "#,
+        runtime = trap_runtime(),
+    ));
+}
+
+/// A minimal trap-table runtime with standard window overflow/underflow
+/// handlers (the workloads crate carries the canonical copy).
+fn trap_runtime() -> &'static str {
+    r#"
+        .org 0x40000000
+    trap_table:
+        ba _start
+         nop
+        .org 0x40000000 + 16 * 5   ! tt = 0x05 window overflow
+        ba window_overflow
+         nop
+        .org 0x40000000 + 16 * 6   ! tt = 0x06 window underflow
+        ba window_underflow
+         nop
+
+        .org 0x40000400
+    _start:
+        wr %g0, 2, %wim            ! window 1 invalid
+        set trap_table, %g1
+        wr %g1, 0, %tbr
+        set main, %g1
+        jmp %g1
+         nop
+
+    window_overflow:
+        ! rotate WIM right by one
+        mov %wim, %l3
+        srl %l3, 1, %l4
+        sll %l3, 7, %l5
+        or %l4, %l5, %l3
+        and %l3, 0xff, %l3
+        wr %g0, 0, %wim
+        save
+        std %l0, [%sp + 0]
+        std %l2, [%sp + 8]
+        std %l4, [%sp + 16]
+        std %l6, [%sp + 24]
+        std %i0, [%sp + 32]
+        std %i2, [%sp + 40]
+        std %i4, [%sp + 48]
+        std %i6, [%sp + 56]
+        restore
+        wr %l3, 0, %wim
+        jmp %l1
+         rett %l2
+
+    window_underflow:
+        ! rotate WIM left by one
+        mov %wim, %l3
+        sll %l3, 1, %l4
+        srl %l3, 7, %l5
+        or %l4, %l5, %l3
+        and %l3, 0xff, %l3
+        wr %g0, 0, %wim
+        restore
+        restore
+        ldd [%sp + 0], %l0
+        ldd [%sp + 8], %l2
+        ldd [%sp + 16], %l4
+        ldd [%sp + 24], %l6
+        ldd [%sp + 32], %i0
+        ldd [%sp + 40], %i2
+        ldd [%sp + 48], %i4
+        ldd [%sp + 56], %i6
+        save
+        save
+        wr %l3, 0, %wim
+        jmp %l1
+         rett %l2
+    "#
+}

@@ -1,0 +1,200 @@
+//! Permanent fault models over nets.
+
+use crate::net::NetId;
+use std::fmt;
+
+/// The fault models: the reproduced paper's three *permanent* models
+/// (§4.1) plus the transient bit-flip it defers to future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The bit is forced to logic 0 (permanent).
+    StuckAt0,
+    /// The bit is forced to logic 1 (permanent).
+    StuckAt1,
+    /// The driver is disconnected; the net holds the value it carried at
+    /// the injection instant (permanent).
+    OpenLine,
+    /// A single-event upset: the stored bit flips once at the injection
+    /// instant and the net behaves normally afterwards. This is the
+    /// *transient* model the paper leaves as future work; the suite's
+    /// extension experiments use it to show that — unlike the permanent
+    /// models — its propagation probability depends strongly on *when*
+    /// the fault hits.
+    TransientFlip,
+}
+
+impl FaultKind {
+    /// The paper's three permanent fault models, in the order its figures
+    /// plot them ([`FaultKind::TransientFlip`] is the suite's extension
+    /// and deliberately excluded).
+    pub const ALL: [FaultKind; 3] = [FaultKind::StuckAt1, FaultKind::StuckAt0, FaultKind::OpenLine];
+
+    /// Human-readable name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::StuckAt0 => "stuck-at-0",
+            FaultKind::StuckAt1 => "stuck-at-1",
+            FaultKind::OpenLine => "open-line",
+            FaultKind::TransientFlip => "transient bit-flip",
+        }
+    }
+
+    /// Whether the fault persists after the injection instant.
+    pub fn is_permanent(self) -> bool {
+        self != FaultKind::TransientFlip
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resolution function of a bridging (short-circuit) fault between two
+/// bits.
+///
+/// The reproduced paper notes that multi-point fault models such as
+/// short-circuits require the intrusive *saboteur* technique in VHDL
+/// (Baraza et al.); on this substrate they are a first-class overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BridgeKind {
+    /// Both bits read as the AND of the two drivers (dominant 0).
+    WiredAnd,
+    /// Both bits read as the OR of the two drivers (dominant 1).
+    WiredOr,
+}
+
+impl BridgeKind {
+    /// Combine the two driven values.
+    pub fn combine(self, a: bool, b: bool) -> bool {
+        match self {
+            BridgeKind::WiredAnd => a && b,
+            BridgeKind::WiredOr => a || b,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BridgeKind::WiredAnd => "wired-AND bridge",
+            BridgeKind::WiredOr => "wired-OR bridge",
+        }
+    }
+}
+
+impl fmt::Display for BridgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A permanent bridging fault between two net bits: from the injection
+/// instant on, reads of either bit resolve both drivers through the
+/// bridge's wired function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bridge {
+    /// First shorted bit.
+    pub a: (NetId, u8),
+    /// Second shorted bit.
+    pub b: (NetId, u8),
+    /// The resolution function.
+    pub kind: BridgeKind,
+    /// First cycle at which the short is present.
+    pub from_cycle: u64,
+}
+
+/// A single permanent fault on one bit of one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The target net.
+    pub net: NetId,
+    /// Bit position within the net (`< width`).
+    pub bit: u8,
+    /// The fault model.
+    pub kind: FaultKind,
+    /// First cycle at which the fault is present (the paper's "fixed
+    /// injection instant"); permanent from then on.
+    pub from_cycle: u64,
+}
+
+/// Internal activation state of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ActiveFault {
+    pub fault: Fault,
+    /// Whether the injection instant has been reached.
+    pub active: bool,
+    /// For open-line: the bit value captured at the injection instant.
+    pub held: bool,
+}
+
+impl ActiveFault {
+    pub(crate) fn new(fault: Fault) -> ActiveFault {
+        ActiveFault { fault, active: false, held: false }
+    }
+
+    /// Apply the fault to a value read from (or written to) the net.
+    pub(crate) fn apply(&self, value: u32) -> u32 {
+        if !self.active {
+            return value;
+        }
+        let mask = 1u32 << self.fault.bit;
+        match self.fault.kind {
+            FaultKind::StuckAt0 => value & !mask,
+            FaultKind::StuckAt1 => value | mask,
+            FaultKind::OpenLine => {
+                if self.held {
+                    value | mask
+                } else {
+                    value & !mask
+                }
+            }
+            // The flip happens to the stored value at activation (see
+            // `NetPool::activate`); reads are undisturbed afterwards.
+            FaultKind::TransientFlip => value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(kind: FaultKind) -> ActiveFault {
+        let mut f = ActiveFault::new(Fault { net: NetId::from_raw(0), bit: 1, kind, from_cycle: 0 });
+        f.active = true;
+        f
+    }
+
+    #[test]
+    fn inactive_fault_is_transparent() {
+        let f = ActiveFault::new(Fault {
+            net: NetId::from_raw(0),
+            bit: 1,
+            kind: FaultKind::StuckAt0,
+            from_cycle: 5,
+        });
+        assert_eq!(f.apply(0xffff_ffff), 0xffff_ffff);
+    }
+
+    #[test]
+    fn stuck_at_forces_bit() {
+        assert_eq!(fault(FaultKind::StuckAt0).apply(0b111), 0b101);
+        assert_eq!(fault(FaultKind::StuckAt1).apply(0b000), 0b010);
+    }
+
+    #[test]
+    fn open_line_returns_held_value() {
+        let mut f = fault(FaultKind::OpenLine);
+        f.held = true;
+        assert_eq!(f.apply(0b000), 0b010);
+        f.held = false;
+        assert_eq!(f.apply(0b111), 0b101);
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(FaultKind::StuckAt1.to_string(), "stuck-at-1");
+        assert_eq!(FaultKind::ALL.len(), 3);
+    }
+}

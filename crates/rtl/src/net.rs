@@ -1,0 +1,491 @@
+//! The net pool: named multi-bit signals with a fault overlay.
+
+use crate::fault::{ActiveFault, Bridge, Fault, FaultKind};
+use std::fmt;
+
+/// Identifier of a net within its [`NetPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(u32);
+
+impl NetId {
+    /// Construct from a raw index (for fault-list serialisation).
+    pub fn from_raw(raw: u32) -> NetId {
+        NetId(raw)
+    }
+
+    /// The raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Metadata of one net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetMeta<T> {
+    /// Hierarchical name, e.g. `"iu.ex.alu_result"`.
+    pub name: String,
+    /// Width in bits (1..=32).
+    pub width: u8,
+    /// Functional-unit tag (generic so the substrate stays
+    /// processor-agnostic).
+    pub tag: T,
+}
+
+/// A pool of named nets with values, plus the active fault overlay.
+///
+/// Reads and writes are the *only* way data moves through an RTL model
+/// built on this substrate, so an injected fault perturbs every use of the
+/// target net — fault activation and propagation are emergent, exactly as
+/// with simulator-command injection into a VHDL model.
+#[derive(Debug, Clone)]
+pub struct NetPool<T> {
+    values: Vec<u32>,
+    meta: Vec<NetMeta<T>>,
+    faults: Vec<ActiveFault>,
+    bridges: Vec<(Bridge, bool)>,
+    /// Fast path: the single faulty net (campaigns inject exactly one).
+    fault_net: Option<NetId>,
+    cycle: u64,
+}
+
+impl<T> Default for NetPool<T> {
+    fn default() -> Self {
+        NetPool::new()
+    }
+}
+
+impl<T> NetPool<T> {
+    /// An empty pool at cycle 0.
+    pub fn new() -> NetPool<T> {
+        NetPool {
+            values: Vec::new(),
+            meta: Vec::new(),
+            faults: Vec::new(),
+            bridges: Vec::new(),
+            fault_net: None,
+            cycle: 0,
+        }
+    }
+
+    /// Declare a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 32.
+    pub fn net(&mut self, name: impl Into<String>, width: u8, tag: T) -> NetId {
+        assert!((1..=32).contains(&width), "net width {width} out of range");
+        let id = NetId(self.values.len() as u32);
+        self.values.push(0);
+        self.meta.push(NetMeta { name: name.into(), width, tag });
+        id
+    }
+
+    /// Number of declared nets.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the pool has no nets.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Metadata of a net.
+    pub fn meta(&self, id: NetId) -> &NetMeta<T> {
+        &self.meta[id.0 as usize]
+    }
+
+    /// Iterate over `(id, meta)` for all nets.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &NetMeta<T>)> {
+        self.meta.iter().enumerate().map(|(i, m)| (NetId(i as u32), m))
+    }
+
+    /// Total injectable fault sites (bits) across all nets.
+    pub fn bit_count(&self) -> usize {
+        self.meta.iter().map(|m| usize::from(m.width)).sum()
+    }
+
+    /// The current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    #[inline]
+    fn mask(&self, id: NetId) -> u32 {
+        let width = self.meta[id.0 as usize].width;
+        if width == 32 {
+            u32::MAX
+        } else {
+            (1 << width) - 1
+        }
+    }
+
+    /// Read a net, with active faults and bridges applied.
+    #[inline]
+    pub fn read(&self, id: NetId) -> u32 {
+        let raw = self.values[id.0 as usize];
+        if self.fault_net == Some(id) || (!self.faults.is_empty() && self.net_has_fault(id)) {
+            let mut value = raw;
+            for f in &self.faults {
+                if f.fault.net == id {
+                    value = f.apply(value);
+                }
+            }
+            if !self.bridges.is_empty() {
+                value = self.apply_bridges(id, value);
+            }
+            value & self.mask(id)
+        } else if !self.bridges.is_empty() {
+            self.apply_bridges(id, raw) & self.mask(id)
+        } else {
+            raw
+        }
+    }
+
+    #[inline]
+    fn apply_bridges(&self, id: NetId, mut value: u32) -> u32 {
+        for &(bridge, active) in &self.bridges {
+            if !active {
+                continue;
+            }
+            for (this, other) in [(bridge.a, bridge.b), (bridge.b, bridge.a)] {
+                if this.0 == id {
+                    let own = value >> this.1 & 1 == 1;
+                    let peer = self.values[other.0 .0 as usize] >> other.1 & 1 == 1;
+                    let resolved = bridge.kind.combine(own, peer);
+                    value = (value & !(1 << this.1)) | (u32::from(resolved) << this.1);
+                }
+            }
+        }
+        value
+    }
+
+    #[inline]
+    fn net_has_fault(&self, id: NetId) -> bool {
+        self.faults.iter().any(|f| f.fault.net == id)
+    }
+
+    /// Write a net (the value is truncated to the net's width; faults are
+    /// applied on read, so the raw flip-flop keeps the driven value — which
+    /// is what lets an open-line fault capture it at the injection
+    /// instant).
+    #[inline]
+    pub fn write(&mut self, id: NetId, value: u32) {
+        self.values[id.0 as usize] = value & self.mask(id);
+    }
+
+    /// Inject a fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit position is outside the net's width.
+    pub fn inject(&mut self, fault: Fault) {
+        assert!(
+            fault.bit < self.meta[fault.net.0 as usize].width,
+            "bit {} outside net `{}` of width {}",
+            fault.bit,
+            self.meta[fault.net.0 as usize].name,
+            self.meta[fault.net.0 as usize].width
+        );
+        self.faults.push(ActiveFault::new(fault));
+        self.fault_net = if self.faults.len() == 1 { Some(fault.net) } else { None };
+        // If the injection instant is already past, activate immediately.
+        if self.cycle >= fault.from_cycle {
+            let idx = self.faults.len() - 1;
+            self.activate(idx);
+        }
+    }
+
+    /// Inject a bridging fault between two bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bit is outside its net's width, or the two sides
+    /// are the same bit.
+    pub fn inject_bridge(&mut self, bridge: Bridge) {
+        assert_ne!(bridge.a, bridge.b, "a bridge needs two distinct bits");
+        for (net, bit) in [bridge.a, bridge.b] {
+            assert!(
+                bit < self.meta[net.0 as usize].width,
+                "bit {bit} outside net `{}`",
+                self.meta[net.0 as usize].name
+            );
+        }
+        let active = self.cycle >= bridge.from_cycle;
+        self.bridges.push((bridge, active));
+        // Any bridge disables the single-fault fast path.
+        self.fault_net = None;
+    }
+
+    /// Remove all faults and bridges (the underlying raw values remain).
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+        self.bridges.clear();
+        self.fault_net = None;
+    }
+
+    /// Reset all nets to zero, clear faults/bridges and return to cycle 0.
+    pub fn reset(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0);
+        self.clear_faults();
+        self.cycle = 0;
+    }
+
+    fn activate(&mut self, idx: usize) {
+        let net = self.faults[idx].fault.net;
+        let bit = self.faults[idx].fault.bit;
+        let raw = self.values[net.0 as usize];
+        let f = &mut self.faults[idx];
+        if !f.active {
+            f.active = true;
+            match f.fault.kind {
+                FaultKind::OpenLine => f.held = raw & (1 << bit) != 0,
+                FaultKind::TransientFlip => {
+                    // A single-event upset: corrupt the stored value once.
+                    self.values[net.0 as usize] = raw ^ (1 << bit);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Fold every net's current (fault-overlaid) value into one word —
+    /// the per-delta-cycle process-evaluation sweep of an RTL model's
+    /// faithful-clocking mode. The fault-free path folds the raw storage
+    /// directly so the sweep cost stays stable across compiler versions.
+    pub fn evaluate_all(&self) -> u32 {
+        if self.faults.is_empty() && self.bridges.is_empty() {
+            self.values.iter().fold(0u32, |acc, &v| acc.wrapping_add(v))
+        } else {
+            (0..self.values.len() as u32)
+                .fold(0u32, |acc, i| acc.wrapping_add(self.read(NetId(i))))
+        }
+    }
+
+    /// Advance the simulation clock by one cycle, activating any fault
+    /// whose injection instant has been reached.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        for idx in 0..self.faults.len() {
+            if !self.faults[idx].active && self.cycle >= self.faults[idx].fault.from_cycle {
+                self.activate(idx);
+            }
+        }
+        for (bridge, active) in &mut self.bridges {
+            if !*active && self.cycle >= bridge.from_cycle {
+                *active = true;
+            }
+        }
+    }
+
+    /// Advance the clock by `n` cycles at once (used by multi-cycle
+    /// operations like divide or cache refills).
+    pub fn tick_many(&mut self, n: u64) {
+        if self.faults.is_empty() && self.bridges.is_empty() {
+            self.cycle += n;
+        } else {
+            for _ in 0..n {
+                self.tick();
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Display for NetMeta<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}:0] ({:?})", self.name, self.width - 1, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_read_write() {
+        let mut pool: NetPool<u8> = NetPool::new();
+        let a = pool.net("a", 8, 0);
+        let b = pool.net("b", 32, 1);
+        pool.write(a, 0x1ff); // truncated to 8 bits
+        pool.write(b, 0xffff_ffff);
+        assert_eq!(pool.read(a), 0xff);
+        assert_eq!(pool.read(b), 0xffff_ffff);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.bit_count(), 40);
+        assert_eq!(pool.meta(a).name, "a");
+    }
+
+    #[test]
+    fn stuck_at_overrides_writes() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 4, ());
+        pool.inject(Fault { net: n, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.write(n, 0);
+        assert_eq!(pool.read(n), 1);
+        pool.write(n, 0b1110);
+        assert_eq!(pool.read(n), 0b1111);
+    }
+
+    #[test]
+    fn fault_waits_for_injection_instant() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 1, ());
+        pool.inject(Fault { net: n, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 3 });
+        pool.write(n, 0);
+        assert_eq!(pool.read(n), 0); // cycle 0: not active yet
+        pool.tick(); // -> cycle 1
+        pool.tick(); // -> cycle 2
+        assert_eq!(pool.read(n), 0);
+        pool.tick(); // cycle 3 reached during this tick
+        assert_eq!(pool.read(n), 1);
+    }
+
+    #[test]
+    fn open_line_holds_injection_instant_value() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 2, ());
+        pool.write(n, 0b10);
+        pool.inject(Fault { net: n, bit: 1, kind: FaultKind::OpenLine, from_cycle: 0 });
+        // Captured as 1 at injection; later writes to the raw flop are
+        // masked by the disconnected driver.
+        pool.write(n, 0b00);
+        assert_eq!(pool.read(n), 0b10);
+        pool.write(n, 0b11);
+        assert_eq!(pool.read(n), 0b11);
+    }
+
+    #[test]
+    fn open_line_capture_at_later_instant() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 1, ());
+        pool.inject(Fault { net: n, bit: 0, kind: FaultKind::OpenLine, from_cycle: 2 });
+        pool.write(n, 1);
+        pool.tick(); // cycle 0 -> 1
+        pool.write(n, 0);
+        pool.tick(); // cycle 1 -> 2
+        pool.tick(); // activates at cycle 2 with raw = 0
+        pool.write(n, 1);
+        assert_eq!(pool.read(n), 0, "held low from injection instant");
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 4, ());
+        pool.inject(Fault { net: n, bit: 2, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.write(n, 0);
+        assert_eq!(pool.read(n), 0b100);
+        pool.clear_faults();
+        assert_eq!(pool.read(n), 0);
+        pool.write(n, 7);
+        pool.tick_many(10);
+        pool.reset();
+        assert_eq!(pool.read(n), 0);
+        assert_eq!(pool.cycle(), 0);
+    }
+
+    #[test]
+    fn two_faults_on_same_net_compose() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 4, ());
+        pool.inject(Fault { net: n, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.inject(Fault { net: n, bit: 1, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.write(n, 0);
+        assert_eq!(pool.read(n), 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside net")]
+    fn bit_out_of_width_panics() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 4, ());
+        pool.inject(Fault { net: n, bit: 4, kind: FaultKind::StuckAt0, from_cycle: 0 });
+    }
+
+    #[test]
+    fn iter_lists_all_nets() {
+        let mut pool: NetPool<u8> = NetPool::new();
+        pool.net("x", 1, 7);
+        pool.net("y", 2, 9);
+        let names: Vec<&str> = pool.iter().map(|(_, m)| m.name.as_str()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        let tags: Vec<u8> = pool.iter().map(|(_, m)| m.tag).collect();
+        assert_eq!(tags, vec![7, 9]);
+    }
+}
+
+#[cfg(test)]
+mod bridge_tests {
+    use super::*;
+    use crate::fault::{Bridge, BridgeKind};
+
+    fn pool_with_two() -> (NetPool<()>, NetId, NetId) {
+        let mut pool: NetPool<()> = NetPool::new();
+        let a = pool.net("a", 4, ());
+        let b = pool.net("b", 4, ());
+        (pool, a, b)
+    }
+
+    #[test]
+    fn wired_and_dominates_zero() {
+        let (mut pool, a, b) = pool_with_two();
+        pool.inject_bridge(Bridge { a: (a, 0), b: (b, 0), kind: BridgeKind::WiredAnd, from_cycle: 0 });
+        pool.write(a, 0b0001);
+        pool.write(b, 0b0000);
+        assert_eq!(pool.read(a) & 1, 0, "peer 0 pulls the shorted bit down");
+        assert_eq!(pool.read(b) & 1, 0);
+        pool.write(b, 0b0001);
+        assert_eq!(pool.read(a) & 1, 1);
+    }
+
+    #[test]
+    fn wired_or_dominates_one() {
+        let (mut pool, a, b) = pool_with_two();
+        pool.inject_bridge(Bridge { a: (a, 2), b: (b, 1), kind: BridgeKind::WiredOr, from_cycle: 0 });
+        pool.write(a, 0);
+        pool.write(b, 0b0010);
+        assert_eq!(pool.read(a), 0b0100, "peer 1 pulls the shorted bit up");
+        assert_eq!(pool.read(b), 0b0010);
+        pool.write(b, 0);
+        assert_eq!(pool.read(a), 0);
+    }
+
+    #[test]
+    fn bridge_waits_for_injection_instant() {
+        let (mut pool, a, b) = pool_with_two();
+        pool.inject_bridge(Bridge { a: (a, 0), b: (b, 0), kind: BridgeKind::WiredOr, from_cycle: 2 });
+        pool.write(b, 1);
+        assert_eq!(pool.read(a), 0, "inactive before the instant");
+        pool.tick();
+        pool.tick();
+        assert_eq!(pool.read(a), 1, "active from cycle 2");
+    }
+
+    #[test]
+    fn other_bits_undisturbed_and_clearable() {
+        let (mut pool, a, b) = pool_with_two();
+        pool.inject_bridge(Bridge { a: (a, 0), b: (b, 0), kind: BridgeKind::WiredOr, from_cycle: 0 });
+        pool.write(a, 0b1010);
+        pool.write(b, 0b0001);
+        assert_eq!(pool.read(a), 0b1011);
+        pool.clear_faults();
+        assert_eq!(pool.read(a), 0b1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct bits")]
+    fn self_bridge_rejected() {
+        let (mut pool, a, _) = pool_with_two();
+        pool.inject_bridge(Bridge { a: (a, 0), b: (a, 0), kind: BridgeKind::WiredOr, from_cycle: 0 });
+    }
+
+    #[test]
+    fn bridge_composes_with_stuck_at() {
+        let (mut pool, a, b) = pool_with_two();
+        pool.inject(Fault { net: a, bit: 1, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.inject_bridge(Bridge { a: (a, 0), b: (b, 0), kind: BridgeKind::WiredOr, from_cycle: 0 });
+        pool.write(a, 0);
+        pool.write(b, 1);
+        assert_eq!(pool.read(a), 0b011);
+    }
+}

@@ -1,0 +1,192 @@
+//! Waveform capture and VCD export.
+//!
+//! A [`Waveform`] snapshots selected nets once per clock cycle and exports
+//! the changes as a standard IEEE 1364 VCD file, so runs of an RTL model
+//! built on this substrate — golden or faulty — can be inspected in GTKWave
+//! or any other waveform viewer. Diffing a faulty run's VCD against the
+//! golden run's is the classic way to chase a propagation path.
+
+use crate::net::{NetId, NetPool};
+use std::fmt::Write as _;
+
+/// A per-cycle recording of selected nets' values.
+#[derive(Debug, Clone)]
+pub struct Waveform {
+    nets: Vec<NetId>,
+    previous: Vec<Option<u32>>,
+    /// `(cycle, index into nets, value)` change events, in capture order.
+    changes: Vec<(u64, u32, u32)>,
+}
+
+impl Waveform {
+    /// A waveform recording the given nets (order defines VCD declaration
+    /// order).
+    pub fn new(nets: Vec<NetId>) -> Waveform {
+        let previous = vec![None; nets.len()];
+        Waveform { nets, previous, changes: Vec::new() }
+    }
+
+    /// The recorded nets.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Number of recorded change events.
+    pub fn change_count(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Snapshot the selected nets at the pool's current cycle, recording
+    /// any value changes (the first capture records every net).
+    pub fn capture<T>(&mut self, pool: &NetPool<T>) {
+        let cycle = pool.cycle();
+        for (i, &net) in self.nets.iter().enumerate() {
+            let value = pool.read(net);
+            if self.previous[i] != Some(value) {
+                self.previous[i] = Some(value);
+                self.changes.push((cycle, i as u32, value));
+            }
+        }
+    }
+
+    /// Render as a VCD document. Net names become a module hierarchy by
+    /// splitting on `.` (e.g. `iu.ex.alu_res` lands in scope `iu.ex`).
+    pub fn to_vcd<T>(&self, pool: &NetPool<T>) -> String {
+        let mut out = String::new();
+        out.push_str("$version espresso-verif rtl-sim $end\n");
+        out.push_str("$timescale 1 ns $end\n");
+        // Flat two-level hierarchy: one scope per dotted prefix.
+        let mut current_scope = String::new();
+        let mut scope_open = false;
+        for (i, &net) in self.nets.iter().enumerate() {
+            let meta = pool.meta(net);
+            let (scope, leaf) = match meta.name.rfind('.') {
+                Some(pos) => (&meta.name[..pos], &meta.name[pos + 1..]),
+                None => ("top", meta.name.as_str()),
+            };
+            if scope != current_scope {
+                if scope_open {
+                    out.push_str("$upscope $end\n");
+                }
+                let _ = writeln!(out, "$scope module {} $end", scope.replace('.', "_"));
+                current_scope = scope.to_string();
+                scope_open = true;
+            }
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                meta.width,
+                id_code(i),
+                leaf
+            );
+        }
+        if scope_open {
+            out.push_str("$upscope $end\n");
+        }
+        out.push_str("$enddefinitions $end\n");
+
+        let mut last_cycle = None;
+        for &(cycle, index, value) in &self.changes {
+            if last_cycle != Some(cycle) {
+                let _ = writeln!(out, "#{cycle}");
+                last_cycle = Some(cycle);
+            }
+            let width = pool.meta(self.nets[index as usize]).width;
+            if width == 1 {
+                let _ = writeln!(out, "{}{}", value & 1, id_code(index as usize));
+            } else {
+                // VCD permits leading-zero suppression on vector values.
+                let _ = writeln!(out, "b{value:b} {}", id_code(index as usize));
+            }
+        }
+        out
+    }
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, base-94 for large
+/// indices.
+fn id_code(mut index: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push((b'!' + (index % 94) as u8) as char);
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate at {i}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    fn captures_only_changes() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let a = pool.net("iu.fe.pc", 32, ());
+        let b = pool.net("iu.fe.annul", 1, ());
+        let mut wave = Waveform::new(vec![a, b]);
+        pool.write(a, 0x100);
+        wave.capture(&pool); // initial: 2 changes
+        pool.tick();
+        wave.capture(&pool); // nothing changed
+        pool.write(a, 0x104);
+        pool.tick();
+        wave.capture(&pool); // a changed
+        assert_eq!(wave.change_count(), 3);
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let a = pool.net("iu.ex.alu_res", 32, ());
+        let b = pool.net("iu.ex.br_taken", 1, ());
+        let mut wave = Waveform::new(vec![a, b]);
+        pool.write(a, 0xff);
+        pool.write(b, 1);
+        wave.capture(&pool);
+        pool.tick();
+        pool.write(b, 0);
+        wave.capture(&pool);
+        let vcd = wave.to_vcd(&pool);
+        assert!(vcd.contains("$timescale"));
+        assert!(vcd.contains("$scope module iu_ex $end"));
+        assert!(vcd.contains("$var wire 32 ! alu_res $end"));
+        assert!(vcd.contains("$var wire 1 \" br_taken $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("#0\n"), "{vcd}");
+        assert!(vcd.contains("b11111111 !"), "{vcd}");
+        assert!(vcd.contains("1\""));
+        assert!(vcd.contains("#1\n0\""), "{vcd}");
+    }
+
+    #[test]
+    fn faulty_values_are_what_the_waveform_shows() {
+        use crate::fault::{Fault, FaultKind};
+        let mut pool: NetPool<()> = NetPool::new();
+        let a = pool.net("n", 4, ());
+        pool.inject(Fault { net: a, bit: 1, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        let mut wave = Waveform::new(vec![a]);
+        pool.write(a, 0);
+        wave.capture(&pool);
+        let vcd = wave.to_vcd(&pool);
+        // The waveform sees the faulty (post-overlay) value, as a probe on
+        // the real net would.
+        assert!(vcd.contains("b10 !"), "{vcd}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests over the fault overlay algebra.
+
+use proptest::prelude::*;
+use rtl_sim::{Fault, FaultKind, NetPool};
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::StuckAt0),
+        Just(FaultKind::StuckAt1),
+        Just(FaultKind::OpenLine),
+    ]
+}
+
+proptest! {
+    /// A stuck-at fault forces its bit on every read, regardless of the
+    /// sequence of writes, and never disturbs other bits.
+    #[test]
+    fn stuck_at_is_permanent_and_local(
+        width in 1u8..=32,
+        writes in proptest::collection::vec(any::<u32>(), 1..20),
+        bit_seed in any::<u8>(),
+        stuck_one in any::<bool>(),
+    ) {
+        let bit = bit_seed % width;
+        let kind = if stuck_one { FaultKind::StuckAt1 } else { FaultKind::StuckAt0 };
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", width, ());
+        pool.inject(Fault { net: n, bit, kind, from_cycle: 0 });
+        let mask = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        for w in writes {
+            pool.write(n, w);
+            let read = pool.read(n);
+            let forced = read >> bit & 1;
+            prop_assert_eq!(forced, u32::from(stuck_one));
+            // All other bits carry the written value.
+            let bitmask = !(1u32 << bit) & mask;
+            prop_assert_eq!(read & bitmask, w & bitmask);
+            pool.tick();
+        }
+    }
+
+    /// An open-line fault freezes the bit at the value present at the
+    /// injection instant, forever.
+    #[test]
+    fn open_line_freezes_value(
+        width in 1u8..=32,
+        initial in any::<u32>(),
+        writes in proptest::collection::vec(any::<u32>(), 1..20),
+        bit_seed in any::<u8>(),
+    ) {
+        let bit = bit_seed % width;
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", width, ());
+        pool.write(n, initial);
+        let frozen = pool.read(n) >> bit & 1;
+        pool.inject(Fault { net: n, bit, kind: FaultKind::OpenLine, from_cycle: 0 });
+        for w in writes {
+            pool.write(n, w);
+            prop_assert_eq!(pool.read(n) >> bit & 1, frozen);
+            pool.tick();
+        }
+    }
+
+    /// Before the injection instant every fault kind is transparent; from
+    /// the instant on, reads may only differ in the faulty bit.
+    #[test]
+    fn fault_timing_boundary(
+        width in 1u8..=32,
+        from_cycle in 0u64..10,
+        writes in proptest::collection::vec(any::<u32>(), 10..20),
+        bit_seed in any::<u8>(),
+        kind in arb_kind(),
+    ) {
+        let bit = bit_seed % width;
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mut faulty: NetPool<()> = NetPool::new();
+        let mut clean: NetPool<()> = NetPool::new();
+        let nf = faulty.net("n", width, ());
+        let nc = clean.net("n", width, ());
+        faulty.inject(Fault { net: nf, bit, kind, from_cycle });
+        for (cycle, w) in writes.iter().enumerate() {
+            faulty.write(nf, *w);
+            clean.write(nc, *w);
+            let rf = faulty.read(nf);
+            let rc = clean.read(nc);
+            if (cycle as u64) < from_cycle {
+                prop_assert_eq!(rf, rc, "fault visible before injection instant");
+            } else {
+                let other = !(1u32 << bit) & mask;
+                prop_assert_eq!(rf & other, rc & other, "fault disturbed a foreign bit");
+            }
+            faulty.tick();
+            clean.tick();
+        }
+    }
+
+    /// Clearing faults restores exact clean behaviour (values are raw
+    /// underneath the overlay).
+    #[test]
+    fn clear_faults_restores_raw_value(
+        width in 1u8..=32,
+        value in any::<u32>(),
+        bit_seed in any::<u8>(),
+        kind in arb_kind(),
+    ) {
+        let bit = bit_seed % width;
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", width, ());
+        pool.inject(Fault { net: n, bit, kind, from_cycle: 0 });
+        pool.write(n, value);
+        pool.clear_faults();
+        prop_assert_eq!(pool.read(n), value & mask);
+    }
+}

@@ -1,0 +1,245 @@
+//! Integer condition codes and branch/trap condition evaluation.
+
+use std::fmt;
+
+/// The integer condition codes (`icc`) held in the PSR: negative, zero,
+/// overflow and carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Icc {
+    /// Negative: bit 31 of the last cc-setting result.
+    pub n: bool,
+    /// Zero: the last cc-setting result was zero.
+    pub z: bool,
+    /// Overflow: signed overflow occurred.
+    pub v: bool,
+    /// Carry: unsigned carry/borrow occurred.
+    pub c: bool,
+}
+
+impl Icc {
+    /// Pack into the PSR bit layout (bits 23..=20 = N Z V C).
+    pub fn to_bits(self) -> u32 {
+        (u32::from(self.n) << 3)
+            | (u32::from(self.z) << 2)
+            | (u32::from(self.v) << 1)
+            | u32::from(self.c)
+    }
+
+    /// Unpack from the PSR 4-bit field (N Z V C from MSB to LSB).
+    pub fn from_bits(bits: u32) -> Icc {
+        Icc {
+            n: bits & 0b1000 != 0,
+            z: bits & 0b0100 != 0,
+            v: bits & 0b0010 != 0,
+            c: bits & 0b0001 != 0,
+        }
+    }
+
+    /// Condition codes resulting from a 32-bit result plus explicit
+    /// overflow/carry flags (as produced by the adder).
+    pub fn from_result(result: u32, v: bool, c: bool) -> Icc {
+        Icc { n: (result as i32) < 0, z: result == 0, v, c }
+    }
+
+    /// Condition codes for a logic-unit result (V and C cleared).
+    pub fn from_logic(result: u32) -> Icc {
+        Icc::from_result(result, false, false)
+    }
+}
+
+impl fmt::Display for Icc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            if self.n { 'N' } else { '-' },
+            if self.z { 'Z' } else { '-' },
+            if self.v { 'V' } else { '-' },
+            if self.c { 'C' } else { '-' }
+        )
+    }
+}
+
+/// A branch / trap condition (the 4-bit `cond` field of `bicc`/`ticc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cond {
+    /// `bn` — never taken.
+    Never,
+    /// `be` — Z.
+    Equal,
+    /// `ble` — Z or (N xor V).
+    LessOrEqual,
+    /// `bl` — N xor V.
+    Less,
+    /// `bleu` — C or Z.
+    LessOrEqualUnsigned,
+    /// `bcs` — C.
+    CarrySet,
+    /// `bneg` — N.
+    Negative,
+    /// `bvs` — V.
+    OverflowSet,
+    /// `ba` — always taken.
+    Always,
+    /// `bne` — not Z.
+    NotEqual,
+    /// `bg` — not (Z or (N xor V)).
+    Greater,
+    /// `bge` — not (N xor V).
+    GreaterOrEqual,
+    /// `bgu` — not (C or Z).
+    GreaterUnsigned,
+    /// `bcc` — not C.
+    CarryClear,
+    /// `bpos` — not N.
+    Positive,
+    /// `bvc` — not V.
+    OverflowClear,
+}
+
+impl Cond {
+    /// All conditions in encoding order (`cond` field value = index).
+    pub const ALL: [Cond; 16] = [
+        Cond::Never,
+        Cond::Equal,
+        Cond::LessOrEqual,
+        Cond::Less,
+        Cond::LessOrEqualUnsigned,
+        Cond::CarrySet,
+        Cond::Negative,
+        Cond::OverflowSet,
+        Cond::Always,
+        Cond::NotEqual,
+        Cond::Greater,
+        Cond::GreaterOrEqual,
+        Cond::GreaterUnsigned,
+        Cond::CarryClear,
+        Cond::Positive,
+        Cond::OverflowClear,
+    ];
+
+    /// The 4-bit encoding of this condition.
+    pub fn to_bits(self) -> u32 {
+        Cond::ALL.iter().position(|&c| c == self).expect("cond in ALL") as u32
+    }
+
+    /// Decode a 4-bit `cond` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 15`.
+    pub fn from_bits(bits: u32) -> Cond {
+        Cond::ALL[bits as usize]
+    }
+
+    /// Evaluate the condition against a set of condition codes.
+    pub fn eval(self, icc: Icc) -> bool {
+        let Icc { n, z, v, c } = icc;
+        match self {
+            Cond::Never => false,
+            Cond::Equal => z,
+            Cond::LessOrEqual => z || (n ^ v),
+            Cond::Less => n ^ v,
+            Cond::LessOrEqualUnsigned => c || z,
+            Cond::CarrySet => c,
+            Cond::Negative => n,
+            Cond::OverflowSet => v,
+            Cond::Always => true,
+            Cond::NotEqual => !z,
+            Cond::Greater => !(z || (n ^ v)),
+            Cond::GreaterOrEqual => !(n ^ v),
+            Cond::GreaterUnsigned => !(c || z),
+            Cond::CarryClear => !c,
+            Cond::Positive => !n,
+            Cond::OverflowClear => !v,
+        }
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    pub fn negate(self) -> Cond {
+        Cond::from_bits(self.to_bits() ^ 0b1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_iccs() -> impl Iterator<Item = Icc> {
+        (0..16).map(Icc::from_bits)
+    }
+
+    #[test]
+    fn icc_bits_roundtrip() {
+        for bits in 0..16 {
+            assert_eq!(Icc::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn cond_bits_roundtrip() {
+        for bits in 0..16 {
+            assert_eq!(Cond::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn negate_is_complement() {
+        for cond in Cond::ALL {
+            for icc in all_iccs() {
+                assert_eq!(cond.eval(icc), !cond.negate().eval(icc), "{cond:?} {icc}");
+            }
+        }
+    }
+
+    #[test]
+    fn always_and_never() {
+        for icc in all_iccs() {
+            assert!(Cond::Always.eval(icc));
+            assert!(!Cond::Never.eval(icc));
+        }
+    }
+
+    #[test]
+    fn signed_comparison_semantics() {
+        // Emulate subcc x, y and check bl/bge agree with i32 ordering.
+        for &(x, y) in &[
+            (0i32, 0i32),
+            (1, 2),
+            (2, 1),
+            (-1, 1),
+            (1, -1),
+            (i32::MIN, 1),
+            (i32::MAX, -1),
+            (-5, -7),
+        ] {
+            let (res, borrow) = (x as u32).overflowing_sub(y as u32);
+            let v = ((x ^ y) & (x ^ res as i32)) < 0;
+            let icc = Icc::from_result(res, v, borrow);
+            assert_eq!(Cond::Less.eval(icc), x < y, "{x} < {y}");
+            assert_eq!(Cond::GreaterOrEqual.eval(icc), x >= y);
+            assert_eq!(Cond::Equal.eval(icc), x == y);
+            assert_eq!(Cond::LessOrEqual.eval(icc), x <= y);
+            assert_eq!(Cond::Greater.eval(icc), x > y);
+        }
+    }
+
+    #[test]
+    fn unsigned_comparison_semantics() {
+        for &(x, y) in &[(0u32, 0u32), (1, 2), (2, 1), (u32::MAX, 0), (0, u32::MAX), (7, 7)] {
+            let (res, borrow) = x.overflowing_sub(y);
+            let v = (((x ^ y) & (x ^ res)) as i32) < 0;
+            let icc = Icc::from_result(res, v, borrow);
+            assert_eq!(Cond::CarrySet.eval(icc), x < y, "{x} <u {y}");
+            assert_eq!(Cond::LessOrEqualUnsigned.eval(icc), x <= y);
+            assert_eq!(Cond::GreaterUnsigned.eval(icc), x > y);
+            assert_eq!(Cond::CarryClear.eval(icc), x >= y);
+        }
+    }
+
+    #[test]
+    fn icc_display() {
+        assert_eq!(Icc::from_bits(0b1010).to_string(), "N-V-");
+        assert_eq!(Icc::from_bits(0b0101).to_string(), "-Z-C");
+    }
+}

@@ -1,0 +1,336 @@
+//! Instruction decoding (the exact inverse of [`Instr::encode`]).
+
+use crate::cond::Cond;
+use crate::insn::{Instr, Operand2};
+use crate::opcode::Opcode;
+use crate::regs::Reg;
+use std::fmt;
+
+/// An error produced when a 32-bit word is not a supported SPARC V8
+/// integer instruction.
+///
+/// The RTL and ISS models raise an *illegal instruction* trap when decoding
+/// fails, so this error carries enough detail for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Format-2 `op2` field is reserved (e.g. FP/coprocessor branches on a
+    /// machine without an FPU).
+    ReservedFormat2 {
+        /// The offending `op2` field.
+        op2: u32,
+    },
+    /// Format-3 `op3` field is unassigned or not implemented by the
+    /// integer-only Leon3 configuration (e.g. FPU ops, alternate-space
+    /// accesses).
+    UnknownOp3 {
+        /// Major opcode (2 or 3).
+        op: u32,
+        /// The offending `op3` field.
+        op3: u32,
+    },
+    /// Register-form format-3 instruction with a nonzero reserved/ASI
+    /// field (bits 12:5). Alternate address spaces are not implemented,
+    /// and strict decoding keeps [`decode`]/[`Instr::encode`] lossless.
+    ReservedFieldNonzero {
+        /// The offending bits 12:5.
+        field: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::ReservedFormat2 { op2 } => {
+                write!(f, "reserved format-2 instruction (op2={op2:#b})")
+            }
+            DecodeError::UnknownOp3 { op, op3 } => {
+                write!(f, "unknown format-3 instruction (op={op}, op3={op3:#04x})")
+            }
+            DecodeError::ReservedFieldNonzero { field } => {
+                write!(f, "nonzero reserved/asi field {field:#04x} in register-form instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn field_rd(word: u32) -> Reg {
+    Reg::new(((word >> 25) & 0x1f) as u8)
+}
+
+fn field_rs1(word: u32) -> Reg {
+    Reg::new(((word >> 14) & 0x1f) as u8)
+}
+
+fn field_op2(word: u32) -> Result<Operand2, DecodeError> {
+    if word & (1 << 13) != 0 {
+        Ok(Operand2::Imm(sign_extend(word & 0x1fff, 13)))
+    } else {
+        let reserved = (word >> 5) & 0xff;
+        if reserved != 0 {
+            return Err(DecodeError::ReservedFieldNonzero { field: reserved });
+        }
+        Ok(Operand2::Reg(Reg::new((word & 0x1f) as u8)))
+    }
+}
+
+fn format3_opcode(op: u32, op3: u32, word: u32) -> Result<Opcode, DecodeError> {
+    use Opcode::*;
+    let opcode = match (op, op3) {
+        (2, 0x00) => Add,
+        (2, 0x01) => And,
+        (2, 0x02) => Or,
+        (2, 0x03) => Xor,
+        (2, 0x04) => Sub,
+        (2, 0x05) => Andn,
+        (2, 0x06) => Orn,
+        (2, 0x07) => Xnor,
+        (2, 0x08) => Addx,
+        (2, 0x0a) => Umul,
+        (2, 0x0b) => Smul,
+        (2, 0x0c) => Subx,
+        (2, 0x0e) => Udiv,
+        (2, 0x0f) => Sdiv,
+        (2, 0x10) => Addcc,
+        (2, 0x11) => Andcc,
+        (2, 0x12) => Orcc,
+        (2, 0x13) => Xorcc,
+        (2, 0x14) => Subcc,
+        (2, 0x15) => Andncc,
+        (2, 0x16) => Orncc,
+        (2, 0x17) => Xnorcc,
+        (2, 0x18) => Addxcc,
+        (2, 0x1a) => Umulcc,
+        (2, 0x1b) => Smulcc,
+        (2, 0x1c) => Subxcc,
+        (2, 0x1e) => Udivcc,
+        (2, 0x1f) => Sdivcc,
+        (2, 0x20) => Taddcc,
+        (2, 0x21) => Tsubcc,
+        (2, 0x22) => TaddccTv,
+        (2, 0x23) => TsubccTv,
+        (2, 0x24) => Mulscc,
+        (2, 0x25) => Sll,
+        (2, 0x26) => Srl,
+        (2, 0x27) => Sra,
+        // rs1 = 0 reads %y, anything else reads an ASR.
+        (2, 0x28) => {
+            if (word >> 14) & 0x1f == 0 {
+                RdY
+            } else {
+                RdAsr
+            }
+        }
+        (2, 0x29) => RdPsr,
+        (2, 0x2a) => RdWim,
+        (2, 0x2b) => RdTbr,
+        (2, 0x30) => {
+            if (word >> 25) & 0x1f == 0 {
+                WrY
+            } else {
+                WrAsr
+            }
+        }
+        (2, 0x31) => WrPsr,
+        (2, 0x32) => WrWim,
+        (2, 0x33) => WrTbr,
+        (2, 0x38) => Jmpl,
+        (2, 0x39) => Rett,
+        (2, 0x3a) => Ticc,
+        (2, 0x3b) => Flush,
+        (2, 0x3c) => Save,
+        (2, 0x3d) => Restore,
+        (3, 0x00) => Ld,
+        (3, 0x01) => Ldub,
+        (3, 0x02) => Lduh,
+        (3, 0x03) => Ldd,
+        (3, 0x04) => St,
+        (3, 0x05) => Stb,
+        (3, 0x06) => Sth,
+        (3, 0x07) => Std,
+        (3, 0x09) => Ldsb,
+        (3, 0x0a) => Ldsh,
+        (3, 0x0d) => Ldstub,
+        (3, 0x0f) => Swap,
+        _ => return Err(DecodeError::UnknownOp3 { op, op3 }),
+    };
+    Ok(opcode)
+}
+
+/// Decode a 32-bit machine word into an [`Instr`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] when the word is not a supported integer-unit
+/// instruction; the simulators translate this into an *illegal instruction*
+/// trap.
+///
+/// # Example
+///
+/// ```
+/// use sparc_isa::{decode, Opcode};
+///
+/// # fn main() -> Result<(), sparc_isa::DecodeError> {
+/// let instr = decode(0x8600_4002)?; // add %g1, %g2, %g3
+/// assert_eq!(instr.op, Opcode::Add);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    match word >> 30 {
+        0 => {
+            let op2 = (word >> 22) & 0x7;
+            match op2 {
+                0b100 => Ok(Instr {
+                    op: Opcode::Sethi,
+                    rd: field_rd(word),
+                    imm22: word & 0x3f_ffff,
+                    ..Instr::default()
+                }),
+                0b010 => {
+                    let cond = Cond::from_bits((word >> 25) & 0xf);
+                    Ok(Instr {
+                        op: Opcode::from_branch_cond(cond),
+                        annul: word & (1 << 29) != 0,
+                        disp: sign_extend(word & 0x3f_ffff, 22),
+                        ..Instr::default()
+                    })
+                }
+                0b000 => Ok(Instr {
+                    op: Opcode::Unimp,
+                    rd: field_rd(word),
+                    imm22: word & 0x3f_ffff,
+                    ..Instr::default()
+                }),
+                other => Err(DecodeError::ReservedFormat2 { op2: other }),
+            }
+        }
+        1 => Ok(Instr {
+            op: Opcode::Call,
+            disp: sign_extend(word & 0x3fff_ffff, 30),
+            ..Instr::default()
+        }),
+        op @ (2 | 3) => {
+            let op3 = (word >> 19) & 0x3f;
+            let opcode = format3_opcode(op, op3, word)?;
+            if opcode == Opcode::Ticc {
+                // Bit 29 is reserved in the ticc format; strict decoding
+                // keeps encode∘decode the identity.
+                if word & (1 << 29) != 0 {
+                    return Err(DecodeError::ReservedFieldNonzero { field: 1 << 4 });
+                }
+                return Ok(Instr {
+                    op: opcode,
+                    cond: Cond::from_bits((word >> 25) & 0xf),
+                    rs1: field_rs1(word),
+                    op2: field_op2(word)?,
+                    ..Instr::default()
+                });
+            }
+            Ok(Instr {
+                op: opcode,
+                rd: field_rd(word),
+                rs1: field_rs1(word),
+                op2: field_op2(word)?,
+                ..Instr::default()
+            })
+        }
+        _ => unreachable!("2-bit field"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::OpClass;
+
+    #[test]
+    fn decode_inverts_encode_for_representative_instructions() {
+        let cases = [
+            Instr::alu(Opcode::Add, Reg::g(3), Reg::g(1), Operand2::reg(Reg::g(2))),
+            Instr::alu(Opcode::Subcc, Reg::G0, Reg::o(0), Operand2::imm(-1)),
+            Instr::alu(Opcode::Sll, Reg::l(1), Reg::l(2), Operand2::imm(31)),
+            Instr::alu(Opcode::Umul, Reg::o(0), Reg::o(1), Operand2::reg(Reg::o(2))),
+            Instr::alu(Opcode::Save, Reg::SP, Reg::SP, Operand2::imm(-96)),
+            Instr::mem(Opcode::Ldd, Reg::o(0), Reg::g(2), Operand2::imm(16)),
+            Instr::mem(Opcode::Stb, Reg::i(3), Reg::FP, Operand2::imm(-5)),
+            Instr::sethi(Reg::g(1), 0x3f_ffff),
+            Instr::branch(Cond::LessOrEqualUnsigned, true, -100),
+            Instr::call(123_456),
+            Instr::jmpl(Reg::O7, Reg::g(1), Operand2::imm(0)),
+            Instr::ticc(Cond::Always, Reg::G0, Operand2::imm(5)),
+            Instr::nop(),
+        ];
+        for instr in cases {
+            let word = instr.encode();
+            assert_eq!(decode(word), Ok(instr), "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn rd_y_vs_rd_asr() {
+        let rdy = Instr::alu(Opcode::RdY, Reg::g(1), Reg::G0, Operand2::reg(Reg::G0));
+        assert_eq!(decode(rdy.encode()).unwrap().op, Opcode::RdY);
+        let rdasr = Instr::alu(Opcode::RdAsr, Reg::g(1), Reg::new(17), Operand2::reg(Reg::G0));
+        assert_eq!(decode(rdasr.encode()).unwrap().op, Opcode::RdAsr);
+    }
+
+    #[test]
+    fn wr_y_vs_wr_asr() {
+        let wry = Instr::alu(Opcode::WrY, Reg::G0, Reg::g(1), Operand2::reg(Reg::G0));
+        assert_eq!(decode(wry.encode()).unwrap().op, Opcode::WrY);
+        let wrasr = Instr::alu(Opcode::WrAsr, Reg::new(17), Reg::g(1), Operand2::reg(Reg::G0));
+        assert_eq!(decode(wrasr.encode()).unwrap().op, Opcode::WrAsr);
+    }
+
+    #[test]
+    fn fpu_instructions_are_rejected() {
+        // fadds-ish: op=2, op3=0x34 (FPop1).
+        let word = (2 << 30) | (0x34 << 19);
+        assert!(matches!(decode(word), Err(DecodeError::UnknownOp3 { op: 2, op3: 0x34 })));
+        // ldf: op=3, op3=0x20.
+        let word = (3 << 30) | (0x20 << 19);
+        assert!(matches!(decode(word), Err(DecodeError::UnknownOp3 { op: 3, op3: 0x20 })));
+        // fbfcc: op=0, op2=0b110.
+        let word = 0b110 << 22;
+        assert!(matches!(decode(word), Err(DecodeError::ReservedFormat2 { op2: 0b110 })));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DecodeError::UnknownOp3 { op: 2, op3: 0x34 };
+        assert!(e.to_string().contains("0x34"));
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_over_all_format3_opcodes() {
+        for &op in Opcode::ALL {
+            if matches!(
+                op.class(),
+                OpClass::Branch | OpClass::Sethi | OpClass::Misc | OpClass::Trap
+            ) || op == Opcode::Call
+            {
+                continue;
+            }
+            // RdY/WrY need rs1/rd = 0 respectively; RdAsr/WrAsr nonzero.
+            let rs1 = match op {
+                Opcode::RdY => Reg::G0,
+                Opcode::RdAsr => Reg::new(4),
+                _ => Reg::g(5),
+            };
+            let rd = match op {
+                Opcode::WrY => Reg::G0,
+                Opcode::WrAsr => Reg::new(4),
+                _ => Reg::o(2),
+            };
+            let instr = Instr { op, rd, rs1, op2: Operand2::imm(33), ..Instr::default() };
+            assert_eq!(decode(instr.encode()), Ok(instr), "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Textual disassembly (`Display` for [`Instr`]).
+//!
+//! The output follows GNU `as` conventions closely enough that the
+//! [`sparc-asm`](https://docs.rs/sparc-asm) assembler re-assembles it to the
+//! same machine word (a cross-crate round-trip test enforces this).
+
+use crate::insn::{Instr, Operand2};
+use crate::opcode::{OpClass, Opcode};
+use std::fmt;
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand2::Reg(reg) => write!(f, "{reg}"),
+            Operand2::Imm(imm) => write!(f, "{imm}"),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Instr::nop() {
+            return write!(f, "nop");
+        }
+        let m = self.op.mnemonic();
+        match self.op.class() {
+            OpClass::Branch => {
+                let annul = if self.annul { ",a" } else { "" };
+                write!(f, "{m}{annul} {:+}", self.disp)
+            }
+            OpClass::Sethi => write!(f, "sethi {:#x}, {}", self.imm22, self.rd),
+            OpClass::Load | OpClass::Atomic => {
+                write!(f, "{m} [{}], {}", AddrOperand(self), self.rd)
+            }
+            OpClass::Store => write!(f, "{m} {}, [{}]", self.rd, AddrOperand(self)),
+            OpClass::Trap => {
+                write!(f, "t{} {}", trap_cond_suffix(self), AddrOperand(self))
+            }
+            OpClass::Special => match self.op {
+                Opcode::RdY => write!(f, "rd %y, {}", self.rd),
+                Opcode::RdAsr => write!(f, "rd %asr{}, {}", self.rs1.index(), self.rd),
+                Opcode::RdPsr => write!(f, "rd %psr, {}", self.rd),
+                Opcode::RdWim => write!(f, "rd %wim, {}", self.rd),
+                Opcode::RdTbr => write!(f, "rd %tbr, {}", self.rd),
+                Opcode::WrY => write!(f, "wr {}, {}, %y", self.rs1, self.op2),
+                Opcode::WrAsr => {
+                    write!(f, "wr {}, {}, %asr{}", self.rs1, self.op2, self.rd.index())
+                }
+                Opcode::WrPsr => write!(f, "wr {}, {}, %psr", self.rs1, self.op2),
+                Opcode::WrWim => write!(f, "wr {}, {}, %wim", self.rs1, self.op2),
+                Opcode::WrTbr => write!(f, "wr {}, {}, %tbr", self.rs1, self.op2),
+                _ => unreachable!("special class covered"),
+            },
+            OpClass::Jump => match self.op {
+                Opcode::Call => write!(f, "call {:+}", self.disp),
+                Opcode::Jmpl => write!(f, "jmpl {}, {}", AddrOperand(self), self.rd),
+                Opcode::Rett => write!(f, "rett {}", AddrOperand(self)),
+                _ => unreachable!("jump class covered"),
+            },
+            OpClass::Misc => match self.op {
+                Opcode::Flush => write!(f, "flush {}", AddrOperand(self)),
+                Opcode::Unimp => write!(f, "unimp {:#x}", self.imm22),
+                _ => unreachable!("misc class covered"),
+            },
+            _ => write!(f, "{m} {}, {}, {}", self.rs1, self.op2, self.rd),
+        }
+    }
+}
+
+/// Helper that renders the `rs1 + op2` address expression, omitting
+/// zero-valued parts like GNU `as` does.
+struct AddrOperand<'a>(&'a Instr);
+
+impl fmt::Display for AddrOperand<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let i = self.0;
+        match i.op2 {
+            Operand2::Imm(0) if i.rs1.is_g0() => write!(f, "0"),
+            Operand2::Imm(0) => write!(f, "{}", i.rs1),
+            Operand2::Imm(imm) if i.rs1.is_g0() => write!(f, "{imm}"),
+            Operand2::Imm(imm) if imm < 0 => write!(f, "{} - {}", i.rs1, -imm),
+            Operand2::Imm(imm) => write!(f, "{} + {imm}", i.rs1),
+            Operand2::Reg(rs2) if rs2.is_g0() => write!(f, "{}", i.rs1),
+            Operand2::Reg(rs2) => write!(f, "{} + {rs2}", i.rs1),
+        }
+    }
+}
+
+fn trap_cond_suffix(instr: &Instr) -> &'static str {
+    use crate::cond::Cond::*;
+    match instr.cond {
+        Never => "n",
+        Equal => "e",
+        LessOrEqual => "le",
+        Less => "l",
+        LessOrEqualUnsigned => "leu",
+        CarrySet => "cs",
+        Negative => "neg",
+        OverflowSet => "vs",
+        Always => "a",
+        NotEqual => "ne",
+        Greater => "g",
+        GreaterOrEqual => "ge",
+        GreaterUnsigned => "gu",
+        CarryClear => "cc",
+        Positive => "pos",
+        OverflowClear => "vc",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::regs::Reg;
+
+    #[test]
+    fn representative_disassembly() {
+        let add = Instr::alu(Opcode::Add, Reg::g(3), Reg::g(1), Operand2::reg(Reg::g(2)));
+        assert_eq!(add.to_string(), "add %g1, %g2, %g3");
+        let ld = Instr::mem(Opcode::Ld, Reg::o(0), Reg::g(2), Operand2::imm(8));
+        assert_eq!(ld.to_string(), "ld [%g2 + 8], %o0");
+        let st = Instr::mem(Opcode::St, Reg::o(0), Reg::SP, Operand2::imm(-4));
+        assert_eq!(st.to_string(), "st %o0, [%o6 - 4]");
+        let ba = Instr::branch(Cond::Always, false, 5);
+        assert_eq!(ba.to_string(), "ba +5");
+        let bnea = Instr::branch(Cond::NotEqual, true, -3);
+        assert_eq!(bnea.to_string(), "bne,a -3");
+        assert_eq!(Instr::nop().to_string(), "nop");
+        assert_eq!(Instr::call(16).to_string(), "call +16");
+        let ta = Instr::ticc(Cond::Always, Reg::G0, Operand2::imm(0));
+        assert_eq!(ta.to_string(), "ta 0");
+        let rdy = Instr::alu(Opcode::RdY, Reg::g(4), Reg::G0, Operand2::reg(Reg::G0));
+        assert_eq!(rdy.to_string(), "rd %y, %g4");
+        let wry = Instr::alu(Opcode::WrY, Reg::G0, Reg::g(4), Operand2::imm(0));
+        assert_eq!(wry.to_string(), "wr %g4, 0, %y");
+        let sethi = Instr::sethi(Reg::g(1), 0x1234);
+        assert_eq!(sethi.to_string(), "sethi 0x1234, %g1");
+    }
+
+    #[test]
+    fn address_expression_forms() {
+        let base_only =
+            Instr::mem(Opcode::Ld, Reg::o(0), Reg::g(2), Operand2::reg(Reg::G0));
+        assert_eq!(base_only.to_string(), "ld [%g2], %o0");
+        let abs = Instr::mem(Opcode::Ld, Reg::o(0), Reg::G0, Operand2::imm(64));
+        assert_eq!(abs.to_string(), "ld [64], %o0");
+        let reg_reg =
+            Instr::mem(Opcode::Ld, Reg::o(0), Reg::g(2), Operand2::reg(Reg::g(3)));
+        assert_eq!(reg_reg.to_string(), "ld [%g2 + %g3], %o0");
+    }
+}

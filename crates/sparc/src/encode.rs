@@ -1,0 +1,201 @@
+//! Instruction encoding (the exact inverse of [`crate::decode`]).
+
+use crate::insn::{Instr, Operand2};
+use crate::opcode::Opcode;
+
+/// The `op3` field value for a format-3 opcode, together with the major
+/// `op` field (2 for arithmetic/control, 3 for memory).
+pub(crate) fn format3_op_op3(op: Opcode) -> Option<(u32, u32)> {
+    use Opcode::*;
+    let (major, op3) = match op {
+        Add => (2, 0x00),
+        And => (2, 0x01),
+        Or => (2, 0x02),
+        Xor => (2, 0x03),
+        Sub => (2, 0x04),
+        Andn => (2, 0x05),
+        Orn => (2, 0x06),
+        Xnor => (2, 0x07),
+        Addx => (2, 0x08),
+        Umul => (2, 0x0a),
+        Smul => (2, 0x0b),
+        Subx => (2, 0x0c),
+        Udiv => (2, 0x0e),
+        Sdiv => (2, 0x0f),
+        Addcc => (2, 0x10),
+        Andcc => (2, 0x11),
+        Orcc => (2, 0x12),
+        Xorcc => (2, 0x13),
+        Subcc => (2, 0x14),
+        Andncc => (2, 0x15),
+        Orncc => (2, 0x16),
+        Xnorcc => (2, 0x17),
+        Addxcc => (2, 0x18),
+        Umulcc => (2, 0x1a),
+        Smulcc => (2, 0x1b),
+        Subxcc => (2, 0x1c),
+        Udivcc => (2, 0x1e),
+        Sdivcc => (2, 0x1f),
+        Taddcc => (2, 0x20),
+        Tsubcc => (2, 0x21),
+        TaddccTv => (2, 0x22),
+        TsubccTv => (2, 0x23),
+        Mulscc => (2, 0x24),
+        Sll => (2, 0x25),
+        Srl => (2, 0x26),
+        Sra => (2, 0x27),
+        RdY | RdAsr => (2, 0x28),
+        RdPsr => (2, 0x29),
+        RdWim => (2, 0x2a),
+        RdTbr => (2, 0x2b),
+        WrY | WrAsr => (2, 0x30),
+        WrPsr => (2, 0x31),
+        WrWim => (2, 0x32),
+        WrTbr => (2, 0x33),
+        Jmpl => (2, 0x38),
+        Rett => (2, 0x39),
+        Ticc => (2, 0x3a),
+        Flush => (2, 0x3b),
+        Save => (2, 0x3c),
+        Restore => (2, 0x3d),
+        Ld => (3, 0x00),
+        Ldub => (3, 0x01),
+        Lduh => (3, 0x02),
+        Ldd => (3, 0x03),
+        St => (3, 0x04),
+        Stb => (3, 0x05),
+        Sth => (3, 0x06),
+        Std => (3, 0x07),
+        Ldsb => (3, 0x09),
+        Ldsh => (3, 0x0a),
+        Ldstub => (3, 0x0d),
+        Swap => (3, 0x0f),
+        _ => return None,
+    };
+    Some((major, op3))
+}
+
+fn operand2_bits(op2: Operand2) -> u32 {
+    match op2 {
+        Operand2::Reg(rs2) => rs2.index() as u32,
+        Operand2::Imm(imm) => (1 << 13) | ((imm as u32) & 0x1fff),
+    }
+}
+
+impl Instr {
+    /// Encode into the 32-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a displacement or immediate is out of range for its field
+    /// (callers construct instructions through the checked constructors or
+    /// the assembler, which validate ranges first).
+    pub fn encode(&self) -> u32 {
+        if let Some(cond) = self.op.branch_cond() {
+            assert!(
+                (-(1 << 21)..(1 << 21)).contains(&self.disp),
+                "branch displacement {} out of disp22 range",
+                self.disp
+            );
+            return (u32::from(self.annul) << 29)
+                | (cond.to_bits() << 25)
+                | (0b010 << 22)
+                | ((self.disp as u32) & 0x3f_ffff);
+        }
+        match self.op {
+            Opcode::Call => {
+                assert!(
+                    (-(1 << 29)..(1 << 29)).contains(&self.disp),
+                    "call displacement {} out of disp30 range",
+                    self.disp
+                );
+                (1 << 30) | ((self.disp as u32) & 0x3fff_ffff)
+            }
+            Opcode::Sethi => {
+                assert!(self.imm22 < (1 << 22), "sethi imm22 out of range");
+                ((self.rd.index() as u32) << 25) | (0b100 << 22) | self.imm22
+            }
+            Opcode::Unimp => {
+                assert!(self.imm22 < (1 << 22), "unimp const22 out of range");
+                ((self.rd.index() as u32) << 25) | self.imm22
+            }
+            Opcode::Ticc => {
+                let (_, op3) = format3_op_op3(self.op).expect("ticc is format 3");
+                (2 << 30)
+                    | (self.cond.to_bits() << 25)
+                    | (op3 << 19)
+                    | ((self.rs1.index() as u32) << 14)
+                    | operand2_bits(self.op2)
+            }
+            op => {
+                let (major, op3) = format3_op_op3(op)
+                    .unwrap_or_else(|| panic!("{op:?} has no format-3 encoding"));
+                (major << 30)
+                    | ((self.rd.index() as u32) << 25)
+                    | (op3 << 19)
+                    | ((self.rs1.index() as u32) << 14)
+                    | operand2_bits(self.op2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::regs::Reg;
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against the SPARC V8 manual / binutils output.
+        // add %g1, %g2, %g3  => 0x86004002
+        let add = Instr::alu(Opcode::Add, Reg::g(3), Reg::g(1), Operand2::reg(Reg::g(2)));
+        assert_eq!(add.encode(), 0x8600_4002);
+        // add %g1, 4, %g3 => 0x86006004
+        let addi = Instr::alu(Opcode::Add, Reg::g(3), Reg::g(1), Operand2::imm(4));
+        assert_eq!(addi.encode(), 0x8600_6004);
+        // sethi %hi(0x40000000), %g1 => imm22 = 0x100000 => 0x03100000
+        let sethi = Instr::sethi(Reg::g(1), 0x10_0000);
+        assert_eq!(sethi.encode(), 0x0310_0000);
+        // nop == sethi 0, %g0 => 0x01000000
+        assert_eq!(Instr::nop().encode(), 0x0100_0000);
+        // call . (disp 0) => 0x40000000
+        assert_eq!(Instr::call(0).encode(), 0x4000_0000);
+        // ba +2 => 0x10800002
+        let ba = Instr::branch(Cond::Always, false, 2);
+        assert_eq!(ba.encode(), 0x1080_0002);
+        // be,a -1 => annul bit set, disp22 = 0x3fffff
+        let bea = Instr::branch(Cond::Equal, true, -1);
+        assert_eq!(bea.encode(), 0x22bf_ffff);
+        // ld [%g2 + 8], %g1 => 0xc200a008
+        let ld = Instr::mem(Opcode::Ld, Reg::g(1), Reg::g(2), Operand2::imm(8));
+        assert_eq!(ld.encode(), 0xc200_a008);
+        // st %g1, [%g2] => 0xc220a000
+        let st = Instr::mem(Opcode::St, Reg::g(1), Reg::g(2), Operand2::imm(0));
+        assert_eq!(st.encode(), 0xc220_a000);
+        // save %sp, -96, %sp => 0x9de3bfa0
+        let save = Instr::alu(Opcode::Save, Reg::SP, Reg::SP, Operand2::imm(-96));
+        assert_eq!(save.encode(), 0x9de3_bfa0);
+        // jmpl %o7 + 8, %g0 (ret) => 0x81c3e008
+        let ret = Instr::jmpl(Reg::G0, Reg::O7, Operand2::imm(8));
+        assert_eq!(ret.encode(), 0x81c3_e008);
+        // ta 0 (trap always, %g0 + 0) => cond=8 => 0x91d02000
+        let ta = Instr::ticc(Cond::Always, Reg::G0, Operand2::imm(0));
+        assert_eq!(ta.encode(), 0x91d0_2000);
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        let sub = Instr::alu(Opcode::Add, Reg::g(1), Reg::g(1), Operand2::imm(-1));
+        assert_eq!(sub.encode() & 0x1fff, 0x1fff);
+        assert_eq!(sub.encode() & (1 << 13), 1 << 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "disp22")]
+    fn branch_disp_overflow_panics() {
+        let b = Instr { disp: 1 << 21, ..Instr::branch(Cond::Always, false, 0) };
+        let _ = b.encode();
+    }
+}

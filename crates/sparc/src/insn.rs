@@ -1,0 +1,234 @@
+//! Decoded instruction representation.
+
+use crate::cond::Cond;
+use crate::opcode::{OpClass, Opcode};
+use crate::regs::Reg;
+
+/// The second ALU operand: either register `rs2` or a sign-extended 13-bit
+/// immediate (`simm13`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand2 {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand in `-4096..=4095`.
+    Imm(i32),
+}
+
+impl Operand2 {
+    /// Immediate operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in a signed 13-bit field.
+    pub fn imm(value: i32) -> Operand2 {
+        assert!(
+            (-4096..=4095).contains(&value),
+            "immediate {value} does not fit in simm13"
+        );
+        Operand2::Imm(value)
+    }
+
+    /// Register operand.
+    pub fn reg(reg: Reg) -> Operand2 {
+        Operand2::Reg(reg)
+    }
+
+    /// Whether this is the immediate form (`i = 1`).
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand2::Imm(_))
+    }
+}
+
+impl From<Reg> for Operand2 {
+    fn from(reg: Reg) -> Operand2 {
+        Operand2::Reg(reg)
+    }
+}
+
+/// A fully decoded SPARC V8 integer instruction.
+///
+/// All instruction formats are normalised into one struct; fields that an
+/// opcode does not use hold their [`Default`] values, and
+/// [`decode`](crate::decode)/[`Instr::encode`] round-trip exactly (a
+/// property-tested invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// The mnemonic.
+    pub op: Opcode,
+    /// Destination register (`rd` field).
+    pub rd: Reg,
+    /// First source register (`rs1` field). For `rd %asrN` this is the ASR
+    /// number.
+    pub rs1: Reg,
+    /// Second operand (`rs2` or `simm13`).
+    pub op2: Operand2,
+    /// Annul bit of branches.
+    pub annul: bool,
+    /// Branch `disp22` or call `disp30`, in **words**, sign-extended.
+    pub disp: i32,
+    /// `sethi`/`unimp` 22-bit constant.
+    pub imm22: u32,
+    /// Trap condition for `ticc` (branches carry their condition in the
+    /// opcode instead).
+    pub cond: Cond,
+}
+
+impl Default for Instr {
+    fn default() -> Self {
+        Instr {
+            op: Opcode::Sethi,
+            rd: Reg::G0,
+            rs1: Reg::G0,
+            op2: Operand2::Reg(Reg::G0),
+            annul: false,
+            disp: 0,
+            imm22: 0,
+            cond: Cond::Never,
+        }
+    }
+}
+
+impl Instr {
+    /// A format-3 arithmetic/logic/shift/control instruction
+    /// `op rs1, op2, rd`.
+    pub fn alu(op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> Instr {
+        Instr { op, rd, rs1, op2, ..Instr::default() }
+    }
+
+    /// A memory instruction; `rd` is the data register, the effective
+    /// address is `rs1 + op2`.
+    pub fn mem(op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> Instr {
+        debug_assert!(matches!(
+            op.class(),
+            OpClass::Load | OpClass::Store | OpClass::Atomic
+        ));
+        Instr { op, rd, rs1, op2, ..Instr::default() }
+    }
+
+    /// A `bicc` branch with a word displacement.
+    pub fn branch(cond: Cond, annul: bool, disp_words: i32) -> Instr {
+        Instr {
+            op: Opcode::from_branch_cond(cond),
+            annul,
+            disp: disp_words,
+            ..Instr::default()
+        }
+    }
+
+    /// A `call` with a word displacement.
+    pub fn call(disp_words: i32) -> Instr {
+        Instr { op: Opcode::Call, disp: disp_words, ..Instr::default() }
+    }
+
+    /// `sethi %hi(imm22 << 10), rd`.
+    pub fn sethi(rd: Reg, imm22: u32) -> Instr {
+        debug_assert!(imm22 < (1 << 22));
+        Instr { op: Opcode::Sethi, rd, imm22, ..Instr::default() }
+    }
+
+    /// `jmpl rs1 + op2, rd`.
+    pub fn jmpl(rd: Reg, rs1: Reg, op2: Operand2) -> Instr {
+        Instr { op: Opcode::Jmpl, rd, rs1, op2, ..Instr::default() }
+    }
+
+    /// A conditional trap `t<cond> rs1 + op2`.
+    pub fn ticc(cond: Cond, rs1: Reg, op2: Operand2) -> Instr {
+        Instr { op: Opcode::Ticc, cond, rs1, op2, ..Instr::default() }
+    }
+
+    /// The canonical `nop` (`sethi 0, %g0`).
+    pub fn nop() -> Instr {
+        Instr::sethi(Reg::G0, 0)
+    }
+
+    /// Whether this instruction is a control transfer with a delay slot.
+    pub fn has_delay_slot(self) -> bool {
+        self.op.is_branch() || matches!(self.op, Opcode::Call | Opcode::Jmpl | Opcode::Rett)
+    }
+
+    /// Whether this instruction architecturally writes `rd`.
+    pub fn writes_rd(self) -> bool {
+        match self.op.class() {
+            OpClass::Store | OpClass::Branch | OpClass::Trap | OpClass::Misc => false,
+            OpClass::Jump => self.op != Opcode::Rett,
+            OpClass::Special => matches!(
+                self.op,
+                Opcode::RdY | Opcode::RdAsr | Opcode::RdPsr | Opcode::RdWim | Opcode::RdTbr
+            ),
+            _ => true,
+        }
+    }
+
+    /// Registers read by this instruction (up to three: `rs1`, `rs2`, and
+    /// `rd` for stores / double-word stores).
+    pub fn reads(self) -> impl Iterator<Item = Reg> {
+        let mut regs = [None; 3];
+        let uses_rs1 = !matches!(
+            self.op.class(),
+            OpClass::Branch | OpClass::Sethi | OpClass::Misc
+        ) && self.op != Opcode::Call;
+        if uses_rs1 {
+            regs[0] = Some(self.rs1);
+            if let Operand2::Reg(rs2) = self.op2 {
+                regs[1] = Some(rs2);
+            }
+        }
+        if self.op.writes_memory() {
+            regs[2] = Some(self.rd);
+        }
+        regs.into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand2_imm_range() {
+        let _ = Operand2::imm(-4096);
+        let _ = Operand2::imm(4095);
+    }
+
+    #[test]
+    #[should_panic(expected = "simm13")]
+    fn operand2_imm_too_large() {
+        let _ = Operand2::imm(4096);
+    }
+
+    #[test]
+    fn delay_slots() {
+        assert!(Instr::call(0).has_delay_slot());
+        assert!(Instr::branch(Cond::Always, false, 2).has_delay_slot());
+        assert!(Instr::jmpl(Reg::G0, Reg::o(7), Operand2::imm(8)).has_delay_slot());
+        assert!(!Instr::nop().has_delay_slot());
+        assert!(!Instr::alu(Opcode::Add, Reg::g(1), Reg::g(1), Operand2::imm(1)).has_delay_slot());
+    }
+
+    #[test]
+    fn writes_rd_by_class() {
+        assert!(Instr::alu(Opcode::Add, Reg::g(1), Reg::g(1), Operand2::imm(1)).writes_rd());
+        assert!(Instr::mem(Opcode::Ld, Reg::g(1), Reg::g(2), Operand2::imm(0)).writes_rd());
+        assert!(!Instr::mem(Opcode::St, Reg::g(1), Reg::g(2), Operand2::imm(0)).writes_rd());
+        assert!(Instr::call(0).writes_rd()); // call writes %o7 (implicit rd)
+        assert!(!Instr::branch(Cond::Equal, false, 1).writes_rd());
+        assert!(Instr::jmpl(Reg::o(7), Reg::g(1), Operand2::imm(0)).writes_rd());
+    }
+
+    #[test]
+    fn reads_include_store_data() {
+        let st = Instr::mem(Opcode::St, Reg::g(3), Reg::g(2), Operand2::reg(Reg::g(4)));
+        let reads: Vec<Reg> = st.reads().collect();
+        assert_eq!(reads, vec![Reg::g(2), Reg::g(4), Reg::g(3)]);
+        let be = Instr::branch(Cond::Equal, false, 1);
+        assert_eq!(be.reads().count(), 0);
+    }
+
+    #[test]
+    fn nop_is_sethi_zero() {
+        let nop = Instr::nop();
+        assert_eq!(nop.op, Opcode::Sethi);
+        assert_eq!(nop.rd, Reg::G0);
+        assert_eq!(nop.imm22, 0);
+    }
+}

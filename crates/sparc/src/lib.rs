@@ -1,0 +1,58 @@
+//! SPARC V8 integer instruction set architecture.
+//!
+//! This crate is the foundation of the `espresso-verif` suite: it defines the
+//! 32-bit SPARC V8 integer ISA as implemented by the Leon3 microcontroller
+//! studied in *Espinosa et al., "Analysis and RTL Correlation of Instruction
+//! Set Simulators for Automotive Microcontroller Robustness Verification",
+//! DAC 2015*. Both the instruction-set simulator (`sparc-iss`) and the
+//! cycle-accurate RTL pipeline model (`leon3-model`) decode instructions
+//! through this crate, guaranteeing that the two simulation levels agree on
+//! instruction semantics by construction.
+//!
+//! # Contents
+//!
+//! * [`Opcode`] — every integer-unit mnemonic, with its [`OpClass`],
+//!   functional-[`Unit`] usage set and Leon3-like latency. The number of
+//!   *unique* opcodes executed by a workload is the paper's **instruction
+//!   diversity** metric.
+//! * [`Instr`] — a decoded instruction ([`decode`] and [`Instr::encode`] are
+//!   exact inverses; see the property tests).
+//! * [`Cond`] — integer condition codes and their evaluation.
+//! * [`Psr`], [`WindowedRegs`] — architectural state definitions shared by
+//!   both simulators.
+//!
+//! # Example
+//!
+//! ```
+//! use sparc_isa::{decode, Opcode, Instr, Reg, Operand2};
+//!
+//! # fn main() -> Result<(), sparc_isa::DecodeError> {
+//! // add %g1, 4, %g2
+//! let instr = Instr::alu(Opcode::Add, Reg::new(2), Reg::new(1), Operand2::imm(4));
+//! let word = instr.encode();
+//! assert_eq!(decode(word)?, instr);
+//! assert_eq!(instr.to_string(), "add %g1, 4, %g2");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cond;
+mod decode;
+mod disasm;
+mod encode;
+mod insn;
+mod opcode;
+mod psr;
+mod regs;
+mod units;
+
+pub use cond::{Cond, Icc};
+pub use decode::{decode, DecodeError};
+pub use insn::{Instr, Operand2};
+pub use opcode::{OpClass, Opcode};
+pub use psr::{Psr, Tbr, TrapType, Wim};
+pub use regs::{Reg, WindowedRegs, NWINDOWS};
+pub use units::{Unit, UnitSet};

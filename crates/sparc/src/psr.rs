@@ -1,0 +1,243 @@
+//! Processor State Register, Window Invalid Mask and Trap Base Register.
+
+use crate::cond::Icc;
+use crate::regs::NWINDOWS;
+use std::fmt;
+
+/// The SPARC V8 Processor State Register (the fields relevant to the
+/// integer-unit model; `EC`/`EF` coprocessor bits are tied to zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Psr {
+    /// Integer condition codes (bits 23:20).
+    pub icc: Icc,
+    /// Supervisor mode (bit 7).
+    pub s: bool,
+    /// Previous supervisor (bit 6).
+    pub ps: bool,
+    /// Traps enabled (bit 5).
+    pub et: bool,
+    /// Processor interrupt level (bits 11:8).
+    pub pil: u8,
+    /// Current window pointer (bits 4:0), `< NWINDOWS`.
+    pub cwp: u8,
+}
+
+impl Default for Psr {
+    fn default() -> Self {
+        Psr::new()
+    }
+}
+
+impl Psr {
+    /// Reset value: supervisor mode, traps enabled, window 0.
+    pub fn new() -> Psr {
+        Psr { icc: Icc::default(), s: true, ps: true, et: true, pil: 0, cwp: 0 }
+    }
+
+    /// Pack into the architectural 32-bit layout (impl/ver fields read as
+    /// 0xF3, the Leon3 convention).
+    pub fn to_bits(self) -> u32 {
+        0xf300_0000
+            | (self.icc.to_bits() << 20)
+            | (u32::from(self.pil) << 8)
+            | (u32::from(self.s) << 7)
+            | (u32::from(self.ps) << 6)
+            | (u32::from(self.et) << 5)
+            | u32::from(self.cwp)
+    }
+
+    /// Unpack from the architectural layout. The CWP field is reduced
+    /// modulo [`NWINDOWS`] as real implementations with fewer than 32
+    /// windows do.
+    pub fn from_bits(bits: u32) -> Psr {
+        Psr {
+            icc: Icc::from_bits((bits >> 20) & 0xf),
+            pil: ((bits >> 8) & 0xf) as u8,
+            s: bits & (1 << 7) != 0,
+            ps: bits & (1 << 6) != 0,
+            et: bits & (1 << 5) != 0,
+            cwp: ((bits & 0x1f) as usize % NWINDOWS) as u8,
+        }
+    }
+
+    /// CWP after a `save` (decrement modulo NWINDOWS).
+    pub fn cwp_after_save(self) -> u8 {
+        ((self.cwp as usize + NWINDOWS - 1) % NWINDOWS) as u8
+    }
+
+    /// CWP after a `restore`/`rett` (increment modulo NWINDOWS).
+    pub fn cwp_after_restore(self) -> u8 {
+        ((self.cwp as usize + 1) % NWINDOWS) as u8
+    }
+}
+
+impl fmt::Display for Psr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "icc={} s={} et={} pil={} cwp={}",
+            self.icc, self.s as u8, self.et as u8, self.pil, self.cwp
+        )
+    }
+}
+
+/// The Window Invalid Mask: one bit per register window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Wim(pub u32);
+
+impl Wim {
+    /// Whether window `w` is marked invalid.
+    pub fn is_invalid(self, w: u8) -> bool {
+        self.0 & (1 << w) != 0
+    }
+
+    /// Mark exactly window `w` invalid.
+    pub fn single(w: u8) -> Wim {
+        Wim(1 << w)
+    }
+}
+
+/// The Trap Base Register: trap-table base plus the most recent trap type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tbr {
+    /// Trap-table base address (bits 31:12).
+    pub tba: u32,
+    /// Last trap type (bits 11:4).
+    pub tt: u8,
+}
+
+impl Tbr {
+    /// Pack into the architectural layout.
+    pub fn to_bits(self) -> u32 {
+        (self.tba & 0xffff_f000) | (u32::from(self.tt) << 4)
+    }
+
+    /// Unpack from the architectural layout.
+    pub fn from_bits(bits: u32) -> Tbr {
+        Tbr { tba: bits & 0xffff_f000, tt: ((bits >> 4) & 0xff) as u8 }
+    }
+
+    /// The vector address for the last trap.
+    pub fn vector(self) -> u32 {
+        self.tba | (u32::from(self.tt) << 4)
+    }
+}
+
+/// SPARC V8 trap types relevant to the integer unit.
+///
+/// During fault-injection runs these are the "anomalous end" causes: a trap
+/// in a faulty run terminates the run and the off-core-trace comparator
+/// decides whether the truncation is a failure (it almost always is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapType {
+    /// Reset (tt 0x00).
+    Reset,
+    /// Instruction access exception (tt 0x01).
+    InstructionAccess,
+    /// Illegal instruction (tt 0x02).
+    IllegalInstruction,
+    /// Privileged instruction in user mode (tt 0x03).
+    PrivilegedInstruction,
+    /// Window overflow on `save` (tt 0x05).
+    WindowOverflow,
+    /// Window underflow on `restore`/`rett` (tt 0x06).
+    WindowUnderflow,
+    /// Misaligned memory address (tt 0x07).
+    MemAddressNotAligned,
+    /// Data access exception (tt 0x09).
+    DataAccess,
+    /// Tag overflow from `taddcctv`/`tsubcctv` (tt 0x0A).
+    TagOverflow,
+    /// Integer divide by zero (tt 0x2A).
+    DivisionByZero,
+    /// External interrupt at the given request level 1..=15
+    /// (tt 0x10 + level).
+    Interrupt(u8),
+    /// Software trap `ticc` with software trap number (tt 0x80 + n).
+    Software(u8),
+}
+
+impl TrapType {
+    /// The architectural 8-bit trap type number.
+    pub fn tt(self) -> u8 {
+        match self {
+            TrapType::Reset => 0x00,
+            TrapType::InstructionAccess => 0x01,
+            TrapType::IllegalInstruction => 0x02,
+            TrapType::PrivilegedInstruction => 0x03,
+            TrapType::WindowOverflow => 0x05,
+            TrapType::WindowUnderflow => 0x06,
+            TrapType::MemAddressNotAligned => 0x07,
+            TrapType::DataAccess => 0x09,
+            TrapType::TagOverflow => 0x0a,
+            TrapType::DivisionByZero => 0x2a,
+            TrapType::Interrupt(level) => 0x10 + (level & 0xf),
+            TrapType::Software(n) => 0x80u8.wrapping_add(n & 0x7f),
+        }
+    }
+}
+
+impl fmt::Display for TrapType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapType::Software(n) => write!(f, "software trap {n}"),
+            other => write!(f, "{other:?} (tt={:#04x})", other.tt()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psr_roundtrip() {
+        for bits in [0u32, 0xf0f0_00ff, 0x00f0_0027, 0xffff_ffff] {
+            let psr = Psr::from_bits(bits);
+            let again = Psr::from_bits(psr.to_bits());
+            assert_eq!(psr, again);
+        }
+    }
+
+    #[test]
+    fn cwp_wraps() {
+        let mut psr = Psr::new();
+        psr.cwp = 0;
+        assert_eq!(psr.cwp_after_save(), (NWINDOWS - 1) as u8);
+        psr.cwp = (NWINDOWS - 1) as u8;
+        assert_eq!(psr.cwp_after_restore(), 0);
+        for w in 0..NWINDOWS as u8 {
+            psr.cwp = w;
+            assert_eq!(psr.cwp_after_restore(), psr.cwp_after_save().wrapping_add(2) % NWINDOWS as u8);
+        }
+    }
+
+    #[test]
+    fn wim_single() {
+        let wim = Wim::single(3);
+        assert!(wim.is_invalid(3));
+        for w in 0..NWINDOWS as u8 {
+            if w != 3 {
+                assert!(!wim.is_invalid(w));
+            }
+        }
+    }
+
+    #[test]
+    fn tbr_vector() {
+        let tbr = Tbr { tba: 0x4000_0000, tt: 0x2a };
+        assert_eq!(tbr.vector(), 0x4000_02a0);
+        assert_eq!(Tbr::from_bits(tbr.to_bits()), tbr);
+    }
+
+    #[test]
+    fn trap_type_numbers_match_sparc_v8() {
+        assert_eq!(TrapType::WindowOverflow.tt(), 0x05);
+        assert_eq!(TrapType::WindowUnderflow.tt(), 0x06);
+        assert_eq!(TrapType::DivisionByZero.tt(), 0x2a);
+        assert_eq!(TrapType::Software(0).tt(), 0x80);
+        assert_eq!(TrapType::Software(5).tt(), 0x85);
+        assert_eq!(TrapType::Interrupt(11).tt(), 0x1b);
+        assert_eq!(TrapType::Interrupt(15).tt(), 0x1f);
+    }
+}

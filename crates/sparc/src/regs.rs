@@ -1,0 +1,284 @@
+//! Architectural registers and the SPARC register-window file.
+
+use std::fmt;
+
+/// Number of register windows implemented by the modelled Leon3
+/// configuration (the Gaisler default is 8).
+pub const NWINDOWS: usize = 8;
+
+/// An architectural register number in `0..32`.
+///
+/// `%g0..%g7` are globals (0–7), `%o0..%o7` outs (8–15), `%l0..%l7` locals
+/// (16–23) and `%i0..%i7` ins (24–31). `%g0` reads as zero and ignores
+/// writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The always-zero register `%g0`.
+    pub const G0: Reg = Reg(0);
+    /// `%o6`, the stack pointer by convention.
+    pub const SP: Reg = Reg(14);
+    /// `%i6`, the frame pointer by convention.
+    pub const FP: Reg = Reg(30);
+    /// `%o7`, the call return-address register.
+    pub const O7: Reg = Reg(15);
+    /// `%i7`, the callee-visible return-address register.
+    pub const I7: Reg = Reg(31);
+
+    /// Create a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "register number {n} out of range");
+        Reg(n)
+    }
+
+    /// Global register `%gN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn g(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg(n)
+    }
+
+    /// Out register `%oN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn o(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg(8 + n)
+    }
+
+    /// Local register `%lN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn l(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg(16 + n)
+    }
+
+    /// In register `%iN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    pub fn i(n: u8) -> Reg {
+        assert!(n < 8);
+        Reg(24 + n)
+    }
+
+    /// The register number in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is `%g0`.
+    pub fn is_g0(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (bank, n) = match self.0 {
+            0..=7 => ('g', self.0),
+            8..=15 => ('o', self.0 - 8),
+            16..=23 => ('l', self.0 - 16),
+            _ => ('i', self.0 - 24),
+        };
+        write!(f, "%{bank}{n}")
+    }
+}
+
+/// The windowed integer register file: 8 globals plus [`NWINDOWS`] × 16
+/// window registers, with the standard SPARC in/out overlap.
+///
+/// Both the ISS and the RTL model use this physical-index mapping, so the
+/// two levels agree on register-file aliasing by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedRegs {
+    globals: [u32; 8],
+    /// `NWINDOWS * 16` window registers: window `w` owns
+    /// `ins[w*16..w*16+8]` and `locals[w*16+8..w*16+16]` in physical terms;
+    /// see [`WindowedRegs::physical_index`].
+    window_regs: Vec<u32>,
+}
+
+impl Default for WindowedRegs {
+    fn default() -> Self {
+        WindowedRegs::new()
+    }
+}
+
+impl WindowedRegs {
+    /// A zero-initialised register file.
+    pub fn new() -> WindowedRegs {
+        WindowedRegs { globals: [0; 8], window_regs: vec![0; NWINDOWS * 16] }
+    }
+
+    /// Total number of physical 32-bit registers (globals + windows).
+    pub fn physical_len(&self) -> usize {
+        8 + self.window_regs.len()
+    }
+
+    /// Map `(cwp, reg)` to a physical register slot.
+    ///
+    /// Globals map to `0..8`. The outs of window `w` are the ins of window
+    /// `(w - 1) mod NWINDOWS`, which is exactly the SPARC overlap rule.
+    /// Window registers occupy slots `8..8 + NWINDOWS*16`.
+    pub fn physical_index(cwp: usize, reg: Reg) -> usize {
+        let r = reg.index();
+        match r {
+            0..=7 => r,
+            8..=15 => {
+                // outs: shared with the ins of the next-lower window.
+                let w = (cwp + NWINDOWS - 1) % NWINDOWS;
+                8 + w * 16 + (r - 8)
+            }
+            16..=23 => 8 + cwp * 16 + 8 + (r - 16),
+            _ => 8 + cwp * 16 + (r - 24),
+        }
+    }
+
+    /// Read a register in window `cwp`. `%g0` always reads zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cwp >= NWINDOWS`.
+    pub fn read(&self, cwp: usize, reg: Reg) -> u32 {
+        assert!(cwp < NWINDOWS);
+        if reg.is_g0() {
+            return 0;
+        }
+        let idx = Self::physical_index(cwp, reg);
+        if idx < 8 {
+            self.globals[idx]
+        } else {
+            self.window_regs[idx - 8]
+        }
+    }
+
+    /// Write a register in window `cwp`. Writes to `%g0` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cwp >= NWINDOWS`.
+    pub fn write(&mut self, cwp: usize, reg: Reg, value: u32) {
+        assert!(cwp < NWINDOWS);
+        if reg.is_g0() {
+            return;
+        }
+        let idx = Self::physical_index(cwp, reg);
+        if idx < 8 {
+            self.globals[idx] = value;
+        } else {
+            self.window_regs[idx - 8] = value;
+        }
+    }
+
+    /// Raw access to a physical slot (used by the RTL model's register-file
+    /// nets and by fault injection into architectural state).
+    pub fn read_physical(&self, idx: usize) -> u32 {
+        if idx < 8 {
+            self.globals[idx]
+        } else {
+            self.window_regs[idx - 8]
+        }
+    }
+
+    /// Raw write to a physical slot. Slot 0 (`%g0`) stays writable here on
+    /// purpose: the hardware global file has a real flip-flop row only for
+    /// `%g1..%g7`, and callers model that by never passing 0.
+    pub fn write_physical(&mut self, idx: usize, value: u32) {
+        if idx < 8 {
+            self.globals[idx] = value;
+        } else {
+            self.window_regs[idx - 8] = value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g0_reads_zero_and_ignores_writes() {
+        let mut rf = WindowedRegs::new();
+        rf.write(0, Reg::G0, 0xdead_beef);
+        assert_eq!(rf.read(0, Reg::G0), 0);
+    }
+
+    #[test]
+    fn globals_shared_across_windows() {
+        let mut rf = WindowedRegs::new();
+        rf.write(0, Reg::g(3), 42);
+        for w in 0..NWINDOWS {
+            assert_eq!(rf.read(w, Reg::g(3)), 42);
+        }
+    }
+
+    #[test]
+    fn outs_alias_ins_of_lower_window() {
+        let mut rf = WindowedRegs::new();
+        // After `save`, cwp decrements (mod NWINDOWS): the caller's outs
+        // become the callee's ins.
+        for caller in 0..NWINDOWS {
+            let callee = (caller + NWINDOWS - 1) % NWINDOWS;
+            let mut rf2 = rf.clone();
+            rf2.write(caller, Reg::o(2), 0x1234 + caller as u32);
+            assert_eq!(rf2.read(callee, Reg::i(2)), 0x1234 + caller as u32);
+        }
+        rf.write(0, Reg::o(0), 7);
+        assert_eq!(rf.read(NWINDOWS - 1, Reg::i(0)), 7);
+    }
+
+    #[test]
+    fn locals_are_private() {
+        let mut rf = WindowedRegs::new();
+        rf.write(2, Reg::l(5), 99);
+        for w in 0..NWINDOWS {
+            if w != 2 {
+                assert_eq!(rf.read(w, Reg::l(5)), 0, "window {w}");
+            }
+        }
+        assert_eq!(rf.read(2, Reg::l(5)), 99);
+    }
+
+    #[test]
+    fn physical_indices_cover_all_slots_exactly() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for w in 0..NWINDOWS {
+            for r in 0..32u8 {
+                seen.insert(WindowedRegs::physical_index(w, Reg::new(r)));
+            }
+        }
+        // 8 globals + NWINDOWS*16 window regs, all reachable.
+        assert_eq!(seen.len(), 8 + NWINDOWS * 16);
+        assert_eq!(*seen.iter().max().unwrap(), 8 + NWINDOWS * 16 - 1);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::g(0).to_string(), "%g0");
+        assert_eq!(Reg::o(6).to_string(), "%o6");
+        assert_eq!(Reg::l(3).to_string(), "%l3");
+        assert_eq!(Reg::i(7).to_string(), "%i7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_new_rejects_32() {
+        let _ = Reg::new(32);
+    }
+}

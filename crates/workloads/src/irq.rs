@@ -1,0 +1,157 @@
+//! `irqload`: an interrupt-driven control workload.
+//!
+//! Automotive software is ISR-structured: a foreground compute loop
+//! preempted by a periodic timer interrupt whose handler samples data and
+//! acknowledges the device. This workload exercises the interrupt entry,
+//! the `jmp`/`rett` return path and the timer MMIO on both simulation
+//! levels — paths the batch benchmarks never reach.
+//!
+//! Requires the platform timer to be enabled
+//! ([`IssConfig::timer`](sparc_iss::IssConfig) on the ISS and the
+//! equivalent `Leon3Config::timer` on the RTL model); the program halts
+//! after a fixed number of ISR invocations, returning a checksum that
+//! covers both foreground and ISR work.
+
+use crate::data::{emit_buffer, emit_words, table};
+use sparc_asm::{assemble, Program};
+
+/// Interrupt request level used by the workload (tt = 0x1b).
+pub const IRQ_LEVEL: u32 = 11;
+
+/// Generate `irqload`: timer period in cycles, number of ISR firings to
+/// run for.
+///
+/// # Panics
+///
+/// Panics if the generated assembly fails to assemble (a generator bug).
+pub fn irqload(period: u32, firings: u32) -> Program {
+    let samples = table("irqload", 0, 1, 64, 1, 1 << 20);
+    let vector_offset = 16 * (0x10 + IRQ_LEVEL);
+    let source = format!(
+        r#"
+        .org 0x40000000
+    trap_table:
+        ba _start                   ! tt 0x00: reset
+         nop
+        .org 0x40000000 + {vector_offset}
+        ba timer_isr                ! tt 0x1b: interrupt level {IRQ_LEVEL}
+         nop
+
+        .org 0x40000400
+    _start:
+        set trap_table, %g1
+        wr %g1, 0, %tbr
+        set stack_top, %sp
+        mov 0, %g4                  ! ISR invocation counter
+        mov 0, %g6                  ! checksum
+        ! arm the timer: period, reload, ctrl = enable | irq | level
+        set 0xf0000000, %g5
+        set {period}, %o0
+        st %o0, [%g5 + 0]
+        st %o0, [%g5 + 4]
+        set {ctrl:#x}, %o1
+        st %o1, [%g5 + 8]
+    foreground:
+        ! filter the sample table while waiting for interrupts
+        set samples, %l0
+        set 64, %l1
+        mov 0, %l2
+    fg_loop:
+        ld [%l0], %o2
+        add %l2, %o2, %l2
+        srl %l2, 1, %l2
+        add %l0, 4, %l0
+        subcc %l1, 1, %l1
+        bne fg_loop
+         nop
+        xor %g6, %l2, %g6
+        cmp %g4, {firings}
+        bl foreground
+         nop
+        ! disarm the timer and report
+        st %g0, [%g5 + 8]
+        set result, %o1
+        st %g6, [%o1]
+        mov %g4, %o0
+        halt
+
+    timer_isr:
+        ! trap window: %l1/%l2 hold the return point, %l3+ are free
+        set 0xf0000000, %l3
+        st %g0, [%l3 + 12]          ! acknowledge the interrupt
+        ld [%l3 + 0], %l4           ! sample the live count
+        add %g6, %l4, %g6           ! accumulate (xor would cancel pairwise)
+        add %g6, %g4, %g6
+        add %g4, 1, %g4
+        jmp %l1                     ! resume the interrupted instruction
+         rett %l2
+
+    {data}
+        .align 8
+    result:
+        .space 4
+        .align 8
+    stack_bottom:
+        .space 2048
+    stack_top:
+        .space 96
+    "#,
+        ctrl = 0b11 | (IRQ_LEVEL << 4),
+        data = {
+            let mut d = emit_words("samples", &samples);
+            d.push_str(&emit_buffer("scratchpad", 8));
+            d
+        },
+    );
+    match assemble(&source) {
+        Ok(program) => program,
+        Err(e) => panic!("irqload failed to assemble: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparc_iss::{Iss, IssConfig, RunOutcome};
+
+    fn config() -> IssConfig {
+        IssConfig { timer: true, ..IssConfig::default() }
+    }
+
+    #[test]
+    fn halts_after_the_requested_firings() {
+        let program = irqload(5_000, 8);
+        let mut iss = Iss::new(config());
+        iss.load(&program);
+        let outcome = iss.run(10_000_000);
+        assert_eq!(outcome, RunOutcome::Halted { code: 8 });
+        assert!(iss.stats().traps >= 8, "expected >= 8 interrupt traps");
+    }
+
+    #[test]
+    fn unmapped_device_faults_without_the_timer() {
+        let program = irqload(5_000, 2);
+        let mut iss = Iss::new(IssConfig::default()); // timer disabled
+        iss.load(&program);
+        // The arming store hits an unmapped bus region: data-access trap,
+        // and with no handler installed the core ends in error mode.
+        assert!(matches!(iss.run(500_000), RunOutcome::ErrorMode { .. }));
+    }
+
+    #[test]
+    fn shorter_period_fires_more_often_per_instruction() {
+        let fast = {
+            let mut iss = Iss::new(config());
+            iss.load(&irqload(2_000, 6));
+            iss.run(10_000_000);
+            iss.stats().instructions
+        };
+        let slow = {
+            let mut iss = Iss::new(config());
+            iss.load(&irqload(20_000, 6));
+            iss.run(10_000_000);
+            iss.stats().instructions
+        };
+        assert!(fast < slow, "fast {fast} vs slow {slow}");
+    }
+}

@@ -1,0 +1,594 @@
+//! The eight automotive kernels (EEMBC-Autobench-like).
+//!
+//! Every kernel follows the suite convention: `<name>_init` reads the
+//! benchmark's ROM input tables into working RAM (this is the phase the
+//! Fig. 3 excerpts isolate), `<name>_run` performs one pass of the control
+//! computation over all elements, storing outputs (off-core writes) and
+//! folding results into the `%g6` checksum via the shared `mix` helper.
+
+use crate::data::{emit_buffer, emit_words, table};
+use crate::Params;
+
+/// Elements per working array.
+const NELEM: usize = 256;
+
+/// A standard `_init` loop: copy a ROM table to a working buffer applying
+/// a small affine transform (so the init phase is data-dependent).
+fn standard_init(name: &str, rom: &str, buf: &str, scale_add: u32) -> String {
+    format!(
+        r#"
+    {name}_init:
+        set {rom}, %o0
+        set {buf}, %o1
+        set {n}, %o2
+    {name}_init_loop:
+        ld [%o0], %o3
+        add %o3, {scale_add}, %o3
+        st %o3, [%o1]
+        add %o0, 4, %o0
+        add %o1, 4, %o1
+        subcc %o2, 1, %o2
+        bne {name}_init_loop
+         nop
+        retl
+         nop
+    "#,
+        n = NELEM,
+    )
+}
+
+/// `rspeed`: road-speed calculation — pulse-period to speed conversion,
+/// exponential smoothing and acceleration detection.
+pub(crate) fn rspeed(params: &Params) -> (String, String) {
+    let periods = table("rspeed", params.dataset, 1, NELEM, 120, 4800);
+    let kernel = format!(
+        r#"
+    {init}
+    rspeed_run:
+        save %sp, -96, %sp
+        set periods, %l0
+        set speeds, %l1
+        set {n}, %l2
+        mov 0, %l3              ! smoothed speed
+        mov 0, %l4              ! acceleration events
+    rs_loop:
+        ld [%l0], %o1           ! pulse period
+        set 3600000, %o0
+        call u_div              ! raw speed = K / period
+         nop
+        mov %o0, %l5
+        ! 64-bit odometer accumulation (exercises ldd/std)
+        set odometer, %o4
+        ldd [%o4], %o2
+        addcc %o3, %l5, %o3
+        addx %o2, 0, %o2
+        std %o2, [%o4]
+        ! exponential smoothing: s = (3*s + v) / 4
+        sll %l3, 1, %o1
+        add %o1, %l3, %o1
+        add %o1, %l5, %o1
+        srl %o1, 2, %l3
+        ! acceleration detection
+        subcc %l5, %l3, %o2
+        bneg rs_noacc
+         nop
+        add %l4, 1, %l4
+    rs_noacc:
+        st %l3, [%l1]
+        mov %l5, %o0
+        call auto_common
+         nop
+        call mix
+         mov %l3, %o0
+        add %l0, 4, %l0
+        add %l1, 4, %l1
+        subcc %l2, 1, %l2
+        bne rs_loop
+         nop
+        call mix
+         mov %l4, %o0
+        ret
+         restore
+    "#,
+        init = standard_init("rspeed", "rspeed_rom", "periods", 13),
+        n = NELEM,
+    );
+    let mut data = emit_words("rspeed_rom", &periods);
+    data.push_str(&emit_buffer("periods", NELEM));
+    data.push_str(&emit_buffer("speeds", NELEM));
+    data.push_str(&emit_buffer("odometer", 2));
+    (kernel, data)
+}
+
+/// `ttsprk`: tooth-to-spark — ignition advance from an RPM-indexed table
+/// with linear interpolation and signed dwell correction.
+pub(crate) fn ttsprk(params: &Params) -> (String, String) {
+    let teeth = table("ttsprk", params.dataset, 1, NELEM, 200, 6000);
+    // Advance table: 17 monotone-ish Q8 entries.
+    let advance = table("ttsprk", params.dataset, 2, 17, 50, 250);
+    let kernel = format!(
+        r#"
+    {init}
+    ttsprk_run:
+        save %sp, -96, %sp
+        set teeth, %l0
+        set sparks, %l1
+        set {n}, %l2
+    tt_loop:
+        ld [%l0], %o1           ! tooth period
+        set 4800000, %o0
+        call u_div              ! rpm = K / period
+         nop
+        mov %o0, %l3
+        ! table index = rpm / 512, clamped to 0..15
+        srl %l3, 9, %l4
+        cmp %l4, 15
+        bleu tt_inrange
+         nop
+        mov 15, %l4
+    tt_inrange:
+        set advance_tbl, %o2
+        sll %l4, 2, %o3
+        add %o2, %o3, %o2
+        ld [%o2], %l5           ! t[i]
+        ld [%o2 + 4], %o4       ! t[i+1]
+        sub %o4, %l5, %o0       ! delta
+        and %l3, 511, %o1       ! fractional rpm
+        call fx_mul
+         sll %o1, 5, %o1        ! scale fraction to Q14
+        add %l5, %o0, %l5       ! interpolated advance
+        ! signed dwell correction: (advance - base) / 3
+        sub %l5, 128, %o0
+        mov 3, %o1
+        call s_div
+         nop
+        call sat_add
+         mov %l5, %o1
+        subcc %o0, 0, %g0
+        bneg tt_retard          ! negative advance: clamp to zero
+         nop
+        ba tt_store
+         nop
+    tt_retard:
+        mov 0, %o0
+    tt_store:
+        st %o0, [%l1]
+        call auto_common
+         mov %l3, %o0
+        call mix
+         mov %l5, %o0
+        add %l0, 4, %l0
+        add %l1, 4, %l1
+        subcc %l2, 1, %l2
+        bne tt_loop
+         nop
+        ret
+         restore
+    "#,
+        init = standard_init("ttsprk", "ttsprk_rom", "teeth", 7),
+        n = NELEM,
+    );
+    let mut data = emit_words("ttsprk_rom", &teeth);
+    data.push_str(&emit_words("advance_tbl", &advance));
+    data.push_str(&emit_buffer("teeth", NELEM));
+    data.push_str(&emit_buffer("sparks", NELEM));
+    (kernel, data)
+}
+
+/// `puwmod`: pulse-width modulation — PI-style duty-cycle control with
+/// clamping and packed status flags.
+pub(crate) fn puwmod(params: &Params) -> (String, String) {
+    let setpoints = table("puwmod", params.dataset, 1, NELEM, 100, 900);
+    let feedback = table("puwmod", params.dataset, 2, NELEM, 80, 920);
+    let kernel = format!(
+        r#"
+    {init}
+    puwmod_run:
+        save %sp, -96, %sp
+        set setpoints, %l0
+        set feedback_rom, %l1
+        set duty, %l2
+        set {n}, %l3
+        mov 512, %l4            ! current duty
+    pw_loop:
+        ld [%l0], %o0           ! setpoint
+        ld [%l1], %o1           ! feedback
+        sub %o0, %o1, %l5       ! error (signed)
+        ! duty += (error * KP) >> 14
+        mov %l5, %o0
+        set 5500, %o1
+        call fx_mul
+         nop
+        call sat_add
+         mov %l4, %o1
+        mov %o0, %l4
+        ! clamp duty to 0..1023
+        subcc %l4, 0, %g0
+        bpos pw_notneg
+         nop
+        mov 0, %l4
+    pw_notneg:
+        cmp %l4, 1023
+        bleu pw_clamped
+         nop
+        set 1023, %l4
+    pw_clamped:
+        st %l4, [%l2]
+        ! packed status flags: saturated-low, saturated-high, error sign
+        srl %l4, 8, %o2
+        and %o2, 3, %o2
+        sll %o2, 1, %o2
+        srl %l5, 31, %o3
+        or %o2, %o3, %o2
+        stb %o2, [%l2 + 3]
+        call auto_common
+         mov %l4, %o0
+        call mix
+         mov %l4, %o0
+        add %l0, 4, %l0
+        add %l1, 4, %l1
+        add %l2, 4, %l2
+        subcc %l3, 1, %l3
+        bne pw_loop
+         nop
+        ret
+         restore
+    "#,
+        init = standard_init("puwmod", "puwmod_rom", "setpoints", 3),
+        n = NELEM,
+    );
+    let mut data = emit_words("puwmod_rom", &setpoints);
+    data.push_str(&emit_words("feedback_rom", &feedback));
+    data.push_str(&emit_buffer("setpoints", NELEM));
+    data.push_str(&emit_buffer("duty", NELEM));
+    (kernel, data)
+}
+
+/// `canrdr`: CAN remote-data-request — frame parsing, payload copy with
+/// checksum and ring-buffer enqueue.
+pub(crate) fn canrdr(params: &Params) -> (String, String) {
+    let frames = table("canrdr", params.dataset, 1, NELEM, 0, u32::MAX);
+    // 64 addressable offsets plus up to 8 copied bytes of overhang.
+    let payload = table("canrdr", params.dataset, 2, 72, 0, 256);
+    let kernel = format!(
+        r#"
+    {init}
+    canrdr_run:
+        save %sp, -96, %sp
+        set frames, %l0
+        set {n}, %l1
+        mov 0, %l2              ! ring index
+    cr_loop:
+        ld [%l0], %o0           ! frame word: id(11) | rtr(1) | dlc(4) | data
+        srl %o0, 21, %l3        ! 11-bit identifier
+        srl %o0, 20, %o1
+        andcc %o1, 1, %g0       ! RTR bit
+        be cr_dataframe
+         nop
+        ! --- remote request: assemble a response ---
+        srl %o0, 16, %l4
+        and %l4, 15, %l4        ! dlc, 0..15 -> clamp to 8
+        cmp %l4, 8
+        bleu cr_dlc_ok
+         nop
+        mov 8, %l4
+    cr_dlc_ok:
+        ! copy dlc payload bytes into the ring slot, xor-checksumming
+        set payload_rom, %o2
+        and %l3, 63, %o3        ! payload offset from id
+        add %o2, %o3, %o2
+        set ring, %o4
+        sll %l2, 4, %o5         ! 16-byte slots
+        add %o4, %o5, %o4       ! %o4 = slot base (16-aligned)
+        mov %o4, %o5            ! %o5 = write cursor
+        mov 0, %l5              ! checksum
+        subcc %l4, 0, %g0
+        be cr_copydone
+         nop
+    cr_copy:
+        ldub [%o2], %o0
+        stb %o0, [%o5]
+        xor %l5, %o0, %l5
+        add %o2, 1, %o2
+        add %o5, 1, %o5
+        subcc %l4, 1, %l4
+        bne cr_copy
+         nop
+    cr_copydone:
+        ! trailer at fixed, aligned slot offsets: checksum byte + id half
+        stb %l5, [%o4 + 12]
+        sth %l3, [%o4 + 14]
+        add %l2, 1, %l2
+        and %l2, 15, %l2        ! 16-slot ring
+        ba cr_next
+         nop
+    cr_dataframe:
+        ! data frame: fold id and data into the checksum
+        xor %o0, %l3, %o0
+        call auto_common
+         nop
+        call mix
+         mov %l3, %o0
+    cr_next:
+        add %l0, 4, %l0
+        subcc %l1, 1, %l1
+        bne cr_loop
+         nop
+        call mix
+         mov %l2, %o0
+        ret
+         restore
+    "#,
+        init = standard_init("canrdr", "canrdr_rom", "frames", 0x11),
+        n = NELEM,
+    );
+    let mut data = emit_words("canrdr_rom", &frames);
+    data.push_str(&crate::data::emit_bytes("payload_rom", &payload));
+    data.push_str(&emit_buffer("frames", NELEM));
+    data.push_str(&emit_buffer("ring", 16 * 4));
+    (kernel, data)
+}
+
+/// `a2time`: angle-to-time — crank-angle deltas to time predictions with
+/// running average.
+pub(crate) fn a2time(params: &Params) -> (String, String) {
+    let angles = table("a2time", params.dataset, 1, NELEM, 50, 3550);
+    let kernel = format!(
+        r#"
+    {init}
+    a2time_run:
+        save %sp, -96, %sp
+        set angles, %l0
+        set times, %l1
+        set {n}, %l2
+        mov 1000, %l3           ! running average period
+        mov 0, %l4              ! previous angle
+    a2_loop:
+        ld [%l0], %o1
+        sub %o1, %l4, %l5       ! delta angle
+        mov %o1, %l4
+        ! time-per-degree = avg_period / 360
+        mov %l3, %o0
+        set 360, %o1
+        call u_div
+         nop
+        ! predicted time = delta * tpd (Q14 trimmed)
+        mov %o0, %o1
+        call fx_mul
+         mov %l5, %o0
+        st %o0, [%l1]
+        ! update running average with measured pseudo-period
+        and %o0, 2047, %o2
+        add %o2, 400, %o2
+        sll %l3, 2, %o3
+        sub %o3, %l3, %o3
+        add %o3, %o2, %o3
+        srl %o3, 2, %l3
+        call auto_common
+         mov %l5, %o0
+        call mix
+         mov %l3, %o0
+        add %l0, 4, %l0
+        add %l1, 4, %l1
+        subcc %l2, 1, %l2
+        bne a2_loop
+         nop
+        ret
+         restore
+    "#,
+        init = standard_init("a2time", "a2time_rom", "angles", 5),
+        n = NELEM,
+    );
+    let mut data = emit_words("a2time_rom", &angles);
+    data.push_str(&emit_buffer("angles", NELEM));
+    data.push_str(&emit_buffer("times", NELEM));
+    (kernel, data)
+}
+
+/// `tblook`: table lookup and interpolation — binary search over a sorted
+/// breakpoint table plus Q14 interpolation.
+pub(crate) fn tblook(params: &Params) -> (String, String) {
+    let inputs = table("tblook", params.dataset, 1, NELEM, 0, 1 << 16);
+    // A sorted 33-entry breakpoint table and its values.
+    let mut breaks: Vec<u32> = table("tblook", params.dataset, 2, 33, 1, 2000);
+    for i in 1..breaks.len() {
+        breaks[i] = breaks[i].wrapping_add(breaks[i - 1]);
+    }
+    let values = table("tblook", params.dataset, 3, 33, 0, 1 << 14);
+    let kernel = format!(
+        r#"
+    {init}
+    tblook_run:
+        save %sp, -96, %sp
+        set inputs, %l0
+        set outputs, %l1
+        set {n}, %l2
+    tb_loop:
+        ld [%l0], %l3           ! x
+        ! binary search over 32 intervals (5 steps)
+        mov 0, %l4              ! lo
+        mov 32, %l5             ! hi
+    tb_search:
+        sub %l5, %l4, %o0
+        cmp %o0, 1
+        bleu tb_found
+         nop
+        add %l4, %l5, %o1
+        srl %o1, 1, %o1         ! mid
+        set breaks_tbl, %o2
+        sll %o1, 2, %o3
+        ld [%o2 + %o3], %o4
+        cmp %l3, %o4
+        blu tb_below
+         nop
+        mov %o1, %l4
+        ba tb_search
+         nop
+    tb_below:
+        mov %o1, %l5
+        ba tb_search
+         nop
+    tb_found:
+        ! interpolate between values[lo] and values[lo+1]
+        set values_tbl, %o2
+        sll %l4, 2, %o3
+        add %o2, %o3, %o2
+        ld [%o2], %l5           ! y0
+        ld [%o2 + 4], %o4       ! y1
+        sub %o4, %l5, %o0
+        sll %l3, 18, %o1        ! fraction in Q14 (low 14 bits)
+        srl %o1, 18, %o1
+        call fx_mul
+         nop
+        call sat_add
+         mov %l5, %o1
+        ! signed normalisation
+        mov 5, %o1
+        call s_div
+         nop
+        st %o0, [%l1]
+        call auto_common
+         mov %l3, %o0
+        call mix
+         nop
+        add %l0, 4, %l0
+        add %l1, 4, %l1
+        subcc %l2, 1, %l2
+        bne tb_loop
+         nop
+        ret
+         restore
+    "#,
+        init = standard_init("tblook", "tblook_rom", "inputs", 9),
+        n = NELEM,
+    );
+    let mut data = emit_words("tblook_rom", &inputs);
+    data.push_str(&emit_words("breaks_tbl", &breaks));
+    data.push_str(&emit_words("values_tbl", &values));
+    data.push_str(&emit_buffer("inputs", NELEM));
+    data.push_str(&emit_buffer("outputs", NELEM));
+    (kernel, data)
+}
+
+/// `basefp`: basic fixed-point arithmetic — Q14 multiply/divide chains
+/// with rounding and saturation.
+pub(crate) fn basefp(params: &Params) -> (String, String) {
+    let vec_a = table("basefp", params.dataset, 1, NELEM, 1, 1 << 15);
+    let vec_b = table("basefp", params.dataset, 2, NELEM, 1, 1 << 14);
+    let kernel = format!(
+        r#"
+    {init}
+    basefp_run:
+        save %sp, -96, %sp
+        set vec_a, %l0
+        set vec_b_rom, %l1
+        set results, %l2
+        set {n}, %l3
+        mov 0, %l4              ! accumulator
+    bf_loop:
+        ld [%l0], %o0
+        ld [%l1], %o1
+        call fx_mul             ! Q14 product
+         nop
+        mov %o0, %l5
+        ! rounded divide by vector b: ((p << 7) + b/2) / b
+        sll %l5, 7, %o0
+        ld [%l1], %o1
+        srl %o1, 1, %o2
+        add %o0, %o2, %o0
+        call s_div
+         nop
+        call sat_add
+         mov %l4, %o1
+        mov %o0, %l4
+        st %l4, [%l2]
+        call auto_common
+         mov %l5, %o0
+        call mix
+         mov %l4, %o0
+        add %l0, 4, %l0
+        add %l1, 4, %l1
+        add %l2, 4, %l2
+        subcc %l3, 1, %l3
+        bne bf_loop
+         nop
+        ret
+         restore
+    "#,
+        init = standard_init("basefp", "basefp_rom", "vec_a", 1),
+        n = NELEM,
+    );
+    let mut data = emit_words("basefp_rom", &vec_a);
+    data.push_str(&emit_words("vec_b_rom", &vec_b));
+    data.push_str(&emit_buffer("vec_a", NELEM));
+    data.push_str(&emit_buffer("results", NELEM));
+    (kernel, data)
+}
+
+/// `bitmnp`: bit manipulation — bit reversal, population count and parity
+/// folding.
+pub(crate) fn bitmnp(params: &Params) -> (String, String) {
+    let words = table("bitmnp", params.dataset, 1, NELEM, 0, u32::MAX);
+    let kernel = format!(
+        r#"
+    {init}
+    bitmnp_run:
+        save %sp, -96, %sp
+        set bits, %l0
+        set revs, %l1
+        set {n}, %l2
+    bm_loop:
+        ld [%l0], %l3
+        ! bit reversal (8 steps of 4 bits)
+        mov %l3, %o1
+        mov 0, %l4              ! reversed
+        mov 32, %l5
+    bm_rev:
+        sll %l4, 1, %l4
+        and %o1, 1, %o2
+        or %l4, %o2, %l4
+        srl %o1, 1, %o1
+        subcc %l5, 1, %l5
+        bne bm_rev
+         nop
+        st %l4, [%l1]
+        ! population count
+        mov %l3, %o1
+        mov 0, %o3
+    bm_pop:
+        subcc %o1, 0, %g0
+        be bm_popdone
+         nop
+        sub %o1, 1, %o2
+        and %o1, %o2, %o1       ! clear lowest set bit
+        ba bm_pop
+         add %o3, 1, %o3
+    bm_popdone:
+        ! parity folding
+        srl %l3, 16, %o4
+        xor %l3, %o4, %o4
+        srl %o4, 8, %o5
+        xor %o4, %o5, %o4
+        and %o4, 1, %o4
+        sll %o3, 1, %o3
+        or %o3, %o4, %o0
+        call auto_common
+         nop
+        call mix
+         mov %l4, %o0
+        add %l0, 4, %l0
+        add %l1, 4, %l1
+        subcc %l2, 1, %l2
+        bne bm_loop
+         nop
+        ret
+         restore
+    "#,
+        init = standard_init("bitmnp", "bitmnp_rom", "bits", 0x21),
+        n = NELEM,
+    );
+    let mut data = emit_words("bitmnp_rom", &words);
+    data.push_str(&emit_buffer("bits", NELEM));
+    data.push_str(&emit_buffer("revs", NELEM));
+    (kernel, data)
+}

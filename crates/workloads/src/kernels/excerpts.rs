@@ -1,0 +1,117 @@
+//! Init-phase excerpts for the Fig. 3 input-variability study.
+//!
+//! Following the paper: within a subset **all three applications have
+//! identical code** — only the input data differs — and each subset uses a
+//! different, deliberately small instruction set (`Is`): 8 instruction
+//! types for subset A, 11 for subset B.
+
+use crate::data::{emit_buffer, emit_words, table};
+use crate::runtime::excerpt_wrap;
+use crate::Benchmark;
+
+// Short, as the paper's init-phase excerpts are: with few elements, whether
+// a given data-path fault is activated depends visibly on the input data.
+const NELEM: usize = 48;
+
+/// Subset A template: plain copy-with-transform init loop.
+///
+/// Executed instruction types (8): `sethi`, `or`, `ld`, `add`, `st`,
+/// `subcc`, `bne`, `ticc` (halt).
+fn subset_a(rom: &[u32]) -> String {
+    let body = format!(
+        r#"
+        set input_rom, %o0
+        set workbuf, %o1
+        set {n}, %o2
+        or %g0, %g0, %o4        ! running sum
+    xa_loop:
+        ld [%o0], %o3
+        add %o3, 17, %o3
+        st %o3, [%o1]
+        add %o4, %o3, %o4
+        add %o0, 4, %o0
+        add %o1, 4, %o1
+        subcc %o2, 1, %o2
+        bne xa_loop
+         nop
+        set result, %o1
+        st %o4, [%o1]
+        or %g0, %o4, %o0        ! exit code
+    "#,
+        n = NELEM,
+    );
+    let mut data = emit_words("input_rom", rom);
+    data.push_str(&emit_buffer("workbuf", NELEM));
+    data.push_str(&emit_buffer("result", 1));
+    excerpt_wrap(&body, &data)
+}
+
+/// Subset B template: init loop with scaling and byte extraction.
+///
+/// Executed instruction types (11): subset A's 8 plus `umul`, `sra`,
+/// `stb`.
+fn subset_b(rom: &[u32]) -> String {
+    let body = format!(
+        r#"
+        set input_rom, %o0
+        set workbuf, %o1
+        set flagbuf, %o5
+        set {n}, %o2
+        or %g0, %g0, %o4
+    xb_loop:
+        ld [%o0], %o3
+        umul %o3, 11, %o3       ! scale
+        sra %o3, 2, %o3         ! normalise
+        st %o3, [%o1]
+        stb %o3, [%o5]          ! low-byte flag image
+        add %o4, %o3, %o4
+        add %o0, 4, %o0
+        add %o1, 4, %o1
+        add %o5, 1, %o5
+        subcc %o2, 1, %o2
+        bne xb_loop
+         nop
+        set result, %o1
+        st %o4, [%o1]
+        or %g0, %o4, %o0
+    "#,
+        n = NELEM,
+    );
+    let mut data = emit_words("input_rom", rom);
+    data.push_str(&emit_buffer("workbuf", NELEM));
+    data.push_str(&emit_buffer("flagbuf", NELEM / 4 + 1));
+    data.push_str(&emit_buffer("result", 1));
+    excerpt_wrap(&body, &data)
+}
+
+/// The excerpt program for a benchmark/dataset pair, if the benchmark is
+/// in one of the Fig. 3 subsets. The *code* is the subset template; the
+/// *data* is the benchmark's own input table.
+pub(crate) fn excerpt(benchmark: Benchmark, dataset: usize) -> Option<String> {
+    // Each benchmark's characteristic input window. The windows are
+    // deliberately distinct power-of-two ranges: which data-path bits are
+    // constant across a whole input set is exactly what makes permanent
+    // faults data-dependent on short runs (a stuck-at-1 on an always-one
+    // bit never corrupts anything), so the windows carry the paper's
+    // "different input data" effect.
+    let rom = match benchmark {
+        // Small positive angles: bits 11.. always zero, bit 10 always one.
+        Benchmark::A2time => table("a2time", dataset, 1, NELEM, 0x400, 0x7c0),
+        // Negative offsets (two's complement): bits 12..31 always one.
+        Benchmark::Ttsprk => table("ttsprk", dataset, 1, NELEM, 0xffff_f000, 0xffff_ffc0),
+        // Full-entropy bit patterns: every bit takes both values.
+        Benchmark::Bitmnp => table("bitmnp", dataset, 1, NELEM, 0, u32::MAX),
+        // Small pulse periods.
+        Benchmark::Rspeed => table("rspeed", dataset, 1, NELEM, 0x100, 0x1c0),
+        // Negative table offsets: bits 15..31 always one.
+        Benchmark::Tblook => table("tblook", dataset, 1, NELEM, 0xffff_8000, 0xffff_ffc0),
+        // Tiny Q6 coefficients.
+        Benchmark::Basefp => table("basefp", dataset, 1, NELEM, 0x40, 0x70),
+        _ => return None,
+    };
+    Some(if Benchmark::EXCERPT_SUBSET_A.contains(&benchmark) {
+        subset_a(&rom)
+    } else {
+        subset_b(&rom)
+    })
+}

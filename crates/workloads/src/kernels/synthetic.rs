@@ -1,0 +1,133 @@
+//! The paper's two synthetic benchmarks: deliberately *low-diversity*
+//! workloads that stress one resource class each, providing the extra
+//! diversity points of Figures 5-7.
+
+use crate::data::{emit_buffer, emit_words, table};
+use crate::runtime;
+use crate::Params;
+
+/// `membench`: memory-intensive walker. Word fill, byte walk and halfword
+/// walk over a buffer larger than the data cache. Instruction vocabulary
+/// kept minimal (the paper reports diversity 18 with 22% memory
+/// instructions).
+pub(crate) fn membench(params: &Params) -> String {
+    let seeds = table("membench", params.dataset, 1, 16, 1, 1 << 24);
+    let body = format!(
+        r#"
+    main:
+        save %sp, -96, %sp
+        mov 0, %g6
+        set {iters}, %l7
+    mb_iter:
+        ! ---- word fill ----
+        set workbuf, %l0
+        set 1024, %l1
+        set seed_tbl, %o0
+        ld [%o0], %l2
+    mb_fill:
+        st %l2, [%l0]
+        add %l2, 0x135, %l2
+        add %l0, 4, %l0
+        subcc %l1, 1, %l1
+        bne mb_fill
+         nop
+        ! ---- word re-walk (cache thrash + accumulate) ----
+        set workbuf, %l0
+        set 1024, %l1
+    mb_walk:
+        ld [%l0], %o1
+        add %g6, %o1, %g6
+        add %l0, 4, %l0
+        subcc %l1, 1, %l1
+        bne mb_walk
+         nop
+        ! ---- byte walk ----
+        set workbuf, %l0
+        set 512, %l1
+    mb_bytes:
+        ldub [%l0 + 1], %o1
+        stb %o1, [%l0 + 2]
+        add %l0, 8, %l0
+        subcc %l1, 1, %l1
+        bne mb_bytes
+         nop
+        ! ---- halfword walk ----
+        set workbuf, %l0
+        set 512, %l1
+    mb_halves:
+        lduh [%l0], %o1
+        sth %o1, [%l0 + 2]
+        add %l0, 8, %l0
+        subcc %l1, 1, %l1
+        bne mb_halves
+         nop
+        subcc %l7, 1, %l7
+        bne mb_iter
+         nop
+        mov %g6, %i0
+        ret
+         restore
+    "#,
+        iters = params.iterations,
+    );
+    let mut data = emit_words("seed_tbl", &seeds);
+    data.push_str(&emit_buffer("workbuf", 1024));
+    format!(
+        "{}\n{}\n{}\n{}",
+        runtime::preamble(),
+        body,
+        data,
+        runtime::postamble()
+    )
+}
+
+/// `intbench`: short integer ALU chain, almost no memory traffic (the
+/// paper reports 2621 instructions, 19 memory accesses, diversity 20).
+pub(crate) fn intbench(params: &Params) -> String {
+    let seeds = table("intbench", params.dataset, 1, 8, 1, u32::MAX);
+    let body = format!(
+        r#"
+    main:
+        save %sp, -96, %sp
+        mov 0, %g6
+        set {iters}, %l7
+    ib_iter:
+        set seed_tbl, %o0
+        ld [%o0], %l0
+        ld [%o0 + 4], %l1
+        set 48, %l2
+    ib_loop:
+        add %l0, %l1, %o1
+        sub %o1, %l0, %o2
+        and %o1, %o2, %o3
+        or %o3, %l1, %o3
+        xor %o3, %l0, %o3
+        sll %o3, 3, %o4
+        srl %o3, 29, %o5
+        or %o4, %o5, %o3
+        sra %o3, 1, %o4
+        andn %o3, %o4, %o4
+        addcc %o4, %l0, %l0
+        xnor %l1, %o3, %l1
+        subcc %l2, 1, %l2
+        bne ib_loop
+         nop
+        add %g6, %l0, %g6
+        subcc %l7, 1, %l7
+        bne ib_iter
+         nop
+        mov %g6, %i0
+        ret
+         restore
+    "#,
+        iters = params.iterations,
+    );
+    let data = emit_words("seed_tbl", &seeds);
+    format!(
+        "{}\n{}\n{}\n{}",
+        runtime::preamble(),
+        body,
+        data,
+        runtime::postamble()
+    )
+}

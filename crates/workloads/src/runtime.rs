@@ -1,0 +1,107 @@
+//! The common bare-metal runtime: trap table, register-window spill/fill
+//! handlers, cold start and stack.
+//!
+//! Every full benchmark is linked against this preamble, so deep call
+//! chains work and the runtime's own instruction mix is a uniform additive
+//! constant across benchmarks (which is what lets the paper treat the
+//! kernels' diversity values as comparable).
+
+/// The runtime preamble. Expects a `main` label; `main`'s return value
+/// (`%o0`) becomes the halt exit code.
+pub(crate) fn preamble() -> String {
+    r#"
+        .org 0x40000000
+    trap_table:
+        ba _start                   ! tt 0x00: reset
+         nop
+        .org 0x40000000 + 16 * 5    ! tt 0x05: window overflow
+        ba window_overflow
+         nop
+        .org 0x40000000 + 16 * 6    ! tt 0x06: window underflow
+        ba window_underflow
+         nop
+
+        .org 0x40000400
+    _start:
+        wr %g0, 2, %wim             ! window 1 is the invalid boundary
+        set trap_table, %g1
+        wr %g1, 0, %tbr
+        set stack_top, %sp
+        call main
+         nop
+        halt                        ! exit code = %o0 = main's result
+
+    window_overflow:
+        mov %wim, %l3               ! rotate WIM right by one
+        srl %l3, 1, %l4
+        sll %l3, 7, %l5
+        or %l4, %l5, %l3
+        and %l3, 0xff, %l3
+        wr %g0, 0, %wim
+        save                        ! into the window to spill
+        std %l0, [%sp + 0]
+        std %l2, [%sp + 8]
+        std %l4, [%sp + 16]
+        std %l6, [%sp + 24]
+        std %i0, [%sp + 32]
+        std %i2, [%sp + 40]
+        std %i4, [%sp + 48]
+        std %i6, [%sp + 56]
+        restore
+        wr %l3, 0, %wim
+        jmp %l1                     ! retry the trapped save
+         rett %l2
+
+    window_underflow:
+        mov %wim, %l3               ! rotate WIM left by one
+        sll %l3, 1, %l4
+        srl %l3, 7, %l5
+        or %l4, %l5, %l3
+        and %l3, 0xff, %l3
+        wr %g0, 0, %wim
+        restore                     ! into the window to fill
+        restore
+        ldd [%sp + 0], %l0
+        ldd [%sp + 8], %l2
+        ldd [%sp + 16], %l4
+        ldd [%sp + 24], %l6
+        ldd [%sp + 32], %i0
+        ldd [%sp + 40], %i2
+        ldd [%sp + 48], %i4
+        ldd [%sp + 56], %i6
+        save
+        save
+        wr %l3, 0, %wim
+        jmp %l1                     ! retry the trapped restore
+         rett %l2
+    "#
+    .to_string()
+}
+
+/// The stack (and its outermost save area), placed after all code and
+/// data.
+pub(crate) fn postamble() -> String {
+    r#"
+        .align 8
+    stack_bottom:
+        .space 8192
+    stack_top:
+        .space 96                   ! save area for the outermost frame
+    "#
+    .to_string()
+}
+
+/// Excerpt programs run without the trap runtime: a flat `_start`, no
+/// calls deeper than the register file allows, controlled opcode
+/// vocabulary.
+pub(crate) fn excerpt_wrap(body: &str, data: &str) -> String {
+    format!(
+        r#"
+            .org 0x40000000
+        _start:
+        {body}
+            halt
+        {data}
+        "#
+    )
+}

@@ -1,0 +1,79 @@
+//! The paper's end use case: calibrate the diversity model on a set of
+//! workloads with RTL campaigns once, then predict the fault-to-failure
+//! probability of *new* software from ISS-only information — no RTL
+//! simulation needed.
+//!
+//! We calibrate on five benchmarks plus the excerpts and hold out `canrdr`
+//! for validation.
+//!
+//! ```text
+//! cargo run --release --example diversity_predictor [sample]
+//! ```
+
+use correlation::{diversity_of, DiversityModel};
+use fault_inject::{Campaign, Target};
+use rtl_sim::FaultKind;
+use workloads::{Benchmark, Params};
+
+fn measure_pf(bench: Benchmark, sample: usize, threads: usize) -> f64 {
+    let program = bench.program(&Params::default());
+    Campaign::new(program, Target::IntegerUnit)
+        .with_kinds(&[FaultKind::StuckAt1])
+        .with_sample(sample, 0xCA11B)
+        .run(threads)
+        .pf(FaultKind::StuckAt1)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sample: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let calibration_set = [
+        Benchmark::Puwmod,
+        Benchmark::Ttsprk,
+        Benchmark::Rspeed,
+        Benchmark::Membench,
+        Benchmark::Intbench,
+    ];
+    let held_out = Benchmark::Canrdr;
+
+    println!("calibrating on {} workloads ({sample} sites each)…", calibration_set.len());
+    let mut points = Vec::new();
+    for bench in calibration_set {
+        let program = bench.program(&Params::default());
+        let d = diversity_of(&program) as f64;
+        let pf = measure_pf(bench, sample, threads);
+        println!("  {bench:10} D = {d:2}  measured Pf = {:5.2}%", pf * 100.0);
+        points.push((d, pf));
+    }
+    // Excerpts widen the diversity range at the low end.
+    for bench in Benchmark::EXCERPT_SUBSET_A.iter().chain(&Benchmark::EXCERPT_SUBSET_B) {
+        let program = bench.excerpt(0);
+        let d = diversity_of(&program) as f64;
+        let pf = Campaign::new(program, Target::IntegerUnit)
+            .with_kinds(&[FaultKind::StuckAt1])
+            .with_sample(sample, 0xCA11B)
+            .run(threads)
+            .pf(FaultKind::StuckAt1);
+        println!("  {bench:10} D = {d:2}  measured Pf = {:5.2}% (excerpt)", pf * 100.0);
+        points.push((d, pf));
+    }
+
+    let model = DiversityModel::fit(&points)?;
+    println!("\ncalibrated model: {model}");
+
+    // Predict the held-out workload from the ISS alone…
+    let program = held_out.program(&Params::default());
+    let d = diversity_of(&program) as f64;
+    let predicted = model.predict(d);
+    // …then verify against an actual RTL campaign.
+    let measured = measure_pf(held_out, sample, threads);
+    println!(
+        "\nheld-out {held_out}: D = {d}, predicted Pf = {:.2}%, RTL-measured Pf = {:.2}% ({:+.2} pp)",
+        predicted * 100.0,
+        measured * 100.0,
+        (predicted - measured) * 100.0
+    );
+    Ok(())
+}

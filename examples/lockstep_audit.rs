@@ -1,0 +1,59 @@
+//! Audit tool: run every workload on both simulation levels and verify
+//! golden equivalence — the qualification step ISO 26262 asks of any tool
+//! used for verification evidence ("these must be qualified in the same
+//! way", §2 of the reproduced paper).
+//!
+//! ```text
+//! cargo run --release --example lockstep_audit
+//! ```
+
+use leon3_model::{Leon3, Leon3Config};
+use sparc_iss::{Iss, IssConfig, RunOutcome};
+use workloads::{Benchmark, Params};
+
+fn main() {
+    let mut failures = 0;
+    println!(
+        "{:12} {:>10} {:>12} {:>12} {:>8}  status",
+        "benchmark", "insns", "ISS cycles", "RTL cycles", "writes"
+    );
+    for bench in Benchmark::ALL {
+        let program = bench.program(&Params::default());
+
+        let mut iss = Iss::new(IssConfig::default());
+        iss.load(&program);
+        let iss_outcome = iss.run(100_000_000);
+
+        let mut rtl = Leon3::new(Leon3Config::default());
+        rtl.load(&program);
+        let rtl_outcome = rtl.run(100_000_000);
+
+        let writes_equal = iss.bus_trace().writes().count()
+            == rtl.bus_trace().writes().count()
+            && iss
+                .bus_trace()
+                .writes()
+                .zip(rtl.bus_trace().writes())
+                .all(|(a, b)| a.same_payload(b));
+        let ok = iss_outcome == rtl_outcome
+            && matches!(iss_outcome, RunOutcome::Halted { .. })
+            && writes_equal;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:12} {:>10} {:>12} {:>12} {:>8}  {}",
+            bench.name(),
+            iss.stats().instructions,
+            iss.cycles(),
+            rtl.cycles(),
+            iss.bus_trace().writes().count(),
+            if ok { "OK" } else { "DIVERGED" }
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures} workload(s) diverged between ISS and RTL");
+        std::process::exit(1);
+    }
+    println!("\nall workloads bit-identical across simulation levels");
+}

@@ -1,0 +1,34 @@
+//! Disassemble any suite workload — the `objdump -d` of the toolchain.
+//!
+//! ```text
+//! cargo run --release --example objdump [benchmark|"random"] | less
+//! ```
+
+use sparc_asm::listing;
+use workloads::random::{random_program, RandomSpec};
+use workloads::{Benchmark, Params};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "intbench".to_string());
+    let program = if name == "random" {
+        random_program(&RandomSpec::default())
+    } else {
+        match Benchmark::by_name(&name) {
+            Some(bench) => bench.program(&Params::default()),
+            None => {
+                eprintln!(
+                    "unknown workload `{name}`; known: random, {}",
+                    Benchmark::ALL.map(|b| b.name()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+    println!(
+        "{name}: entry {:#010x}, {} bytes, {} symbols\n",
+        program.entry,
+        program.len(),
+        program.symbols.len()
+    );
+    print!("{}", listing(&program));
+}

@@ -1,0 +1,43 @@
+//! Post-mortem analysis of one injection: run a small campaign, pick the
+//! first confirmed failure and print its full propagation report —
+//! the fault's net path, the first diverging off-core write against the
+//! golden run, and the instructions executed just before it.
+//!
+//! ```text
+//! cargo run --release --example propagation_report [benchmark]
+//! ```
+
+use fault_inject::{explain, Campaign, Target};
+use leon3_model::Leon3Config;
+use rtl_sim::FaultKind;
+use workloads::{Benchmark, Params};
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| Benchmark::by_name(&n))
+        .unwrap_or(Benchmark::Intbench);
+    let program = bench.program(&Params::default());
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!("hunting for a propagating stuck-at-1 in {bench}'s IU…\n");
+    let campaign = Campaign::new(program.clone(), Target::IntegerUnit)
+        .with_kinds(&[FaultKind::StuckAt1])
+        .with_sample(60, 0xDEB6);
+    let result = campaign.run(threads);
+
+    let mut shown = 0;
+    for record in result.records() {
+        if record.outcome.is_failure() && shown < 2 {
+            println!(
+                "{}",
+                explain(&program, &Leon3Config::default(), record.site, record.kind, 0)
+            );
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        println!("no failure in this sample — rerun with a different seed");
+    }
+    println!("{result}");
+}

@@ -1,0 +1,77 @@
+//! Dump VCD waveforms of a golden and a faulty run for side-by-side
+//! inspection in GTKWave — the classic way to chase a fault-propagation
+//! path through the pipeline.
+//!
+//! ```text
+//! cargo run --release --example waveform_dump
+//! ```
+
+use leon3_model::{Leon3, Leon3Config};
+use rtl_sim::{Fault, FaultKind};
+use sparc_asm::assemble;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble(
+        r#"
+        _start:
+            set 0x40001000, %l0
+            mov 5, %l1
+            mov 0, %o0
+        loop:
+            add %o0, %l1, %o0
+            st %o0, [%l0]
+            add %l0, 4, %l0
+            subcc %l1, 1, %l1
+            bne loop
+             nop
+            halt
+        "#,
+    )?;
+
+    let trace_list = |cpu: &Leon3| {
+        vec![
+            cpu.nets().pc,
+            cpu.nets().de_ir,
+            cpu.nets().ra_op1,
+            cpu.nets().ra_op2,
+            cpu.nets().add_res,
+            cpu.nets().br_taken,
+            cpu.nets().psr_icc,
+            cpu.nets().lsu_addr,
+            cpu.nets().bus_data,
+        ]
+    };
+
+    let dir = std::env::temp_dir();
+
+    let mut golden = Leon3::new(Leon3Config::default());
+    golden.load(&program);
+    let nets = trace_list(&golden);
+    golden.trace_nets(nets.clone());
+    golden.run(10_000);
+    let golden_path = dir.join("espresso_golden.vcd");
+    std::fs::write(&golden_path, golden.waveform_vcd().expect("tracing enabled"))?;
+
+    let mut faulty = Leon3::new(Leon3Config::default());
+    faulty.load(&program);
+    faulty.trace_nets(nets);
+    faulty.inject(Fault {
+        net: faulty.nets().add_res,
+        bit: 4,
+        kind: FaultKind::StuckAt1,
+        from_cycle: 0,
+    });
+    faulty.run(10_000);
+    let faulty_path = dir.join("espresso_faulty.vcd");
+    std::fs::write(&faulty_path, faulty.waveform_vcd().expect("tracing enabled"))?;
+
+    println!("golden waveform: {}", golden_path.display());
+    println!("faulty waveform: {}", faulty_path.display());
+    println!("\nopen both in GTKWave and diff iu_ex.add_res / cmem_bus.data;");
+    println!(
+        "golden ran {} cycles, faulty {} cycles",
+        golden.cycles(),
+        faulty.cycles()
+    );
+    Ok(())
+}

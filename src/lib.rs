@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the full `espresso-verif` suite.
+//!
+//! See the individual crates for the real APIs:
+//! [`sparc_isa`], [`sparc_asm`], [`sparc_iss`], [`rtl_sim`], [`leon3_model`],
+//! [`fault_inject`], [`workloads`], [`analysis`], [`correlation`].
+
+pub use analysis;
+pub use correlation;
+pub use fault_inject;
+pub use leon3_model;
+pub use rtl_sim;
+pub use sparc_asm;
+pub use sparc_isa;
+pub use sparc_iss;
+pub use workloads;

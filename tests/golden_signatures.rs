@@ -1,0 +1,89 @@
+//! Pinned golden signatures: exit checksum and dynamic instruction count
+//! for every benchmark/dataset pair.
+//!
+//! The workload generators are part of the experimental apparatus; any
+//! accidental change to a kernel, a dataset seed or the shared runtime
+//! shifts every measured Pf. This table freezes the behavioural identity
+//! of the suite — an intentional workload change must update it
+//! deliberately (regenerate with the snippet in the test's source).
+
+use sparc_iss::{Iss, IssConfig, RunOutcome};
+use workloads::{Benchmark, Params};
+
+/// `(benchmark, dataset, exit checksum, executed instructions)`.
+const GOLDEN: &[(Benchmark, usize, u32, u64)] = &[
+    (Benchmark::A2time, 0, 0xf39c5a8a, 45346),
+    (Benchmark::A2time, 1, 0xe4f0d5ea, 45326),
+    (Benchmark::A2time, 2, 0x542d8782, 45332),
+    (Benchmark::Ttsprk, 0, 0x41d32686, 57940),
+    (Benchmark::Ttsprk, 1, 0x45e66acb, 57948),
+    (Benchmark::Ttsprk, 2, 0x4dbd1157, 57966),
+    (Benchmark::Rspeed, 0, 0xb6b3f006, 44280),
+    (Benchmark::Rspeed, 1, 0xcdefac0f, 44276),
+    (Benchmark::Rspeed, 2, 0x751f8acc, 44288),
+    (Benchmark::Tblook, 0, 0xbd9d3e71, 92736),
+    (Benchmark::Tblook, 1, 0xb308fda5, 92734),
+    (Benchmark::Tblook, 2, 0x3f547ba0, 92730),
+    (Benchmark::Canrdr, 0, 0x382c4ae5, 40406),
+    (Benchmark::Canrdr, 1, 0xbe902738, 41392),
+    (Benchmark::Canrdr, 2, 0x4dbab429, 39936),
+    (Benchmark::Puwmod, 0, 0x27bded73, 50122),
+    (Benchmark::Puwmod, 1, 0xc26b0523, 50094),
+    (Benchmark::Puwmod, 2, 0x827d22f7, 50276),
+    (Benchmark::Basefp, 0, 0x7ce539ec, 47646),
+    (Benchmark::Basefp, 1, 0x859d57b8, 47640),
+    (Benchmark::Basefp, 2, 0x2d2517a0, 47650),
+    (Benchmark::Bitmnp, 0, 0xcf9fd4f9, 212018),
+    (Benchmark::Bitmnp, 1, 0x3c4effad, 211892),
+    (Benchmark::Bitmnp, 2, 0x53e9414e, 211346),
+    (Benchmark::Membench, 0, 0xa419fc00, 36924),
+    (Benchmark::Membench, 1, 0x0fca5c00, 36924),
+    (Benchmark::Membench, 2, 0x00903400, 36924),
+    (Benchmark::Intbench, 0, 0x47d25ca4, 1476),
+    (Benchmark::Intbench, 1, 0x341077aa, 1476),
+    (Benchmark::Intbench, 2, 0x2141219c, 1476),
+];
+
+#[test]
+fn golden_signatures_are_stable() {
+    // Regenerate the table with:
+    //   for (b, ds) in all pairs { run on the ISS, print exit code + insns }
+    for &(bench, dataset, checksum, instructions) in GOLDEN {
+        let program = bench.program(&Params::with_dataset(dataset));
+        let mut iss = Iss::new(IssConfig::default());
+        iss.load(&program);
+        let outcome = iss.run(100_000_000);
+        assert_eq!(
+            outcome,
+            RunOutcome::Halted { code: checksum },
+            "{bench}/ds{dataset}: checksum drifted"
+        );
+        assert_eq!(
+            iss.stats().instructions,
+            instructions,
+            "{bench}/ds{dataset}: dynamic length drifted"
+        );
+    }
+}
+
+#[test]
+fn checksums_are_nonzero_and_dataset_distinct() {
+    // A zero checksum indicates a degenerate mixer (xor-rotate telescoping
+    // — a real bug this suite once had); identical checksums across
+    // datasets indicate datasets not actually reaching the output.
+    for bench in Benchmark::ALL {
+        let codes: Vec<u32> = GOLDEN
+            .iter()
+            .filter(|g| g.0 == bench)
+            .map(|g| g.2)
+            .collect();
+        assert_eq!(codes.len(), 3, "{bench}");
+        for &code in &codes {
+            assert_ne!(code, 0, "{bench}: degenerate checksum");
+        }
+        assert!(
+            codes[0] != codes[1] && codes[1] != codes[2] && codes[0] != codes[2],
+            "{bench}: datasets do not reach the checksum: {codes:x?}"
+        );
+    }
+}
