@@ -15,7 +15,10 @@ pub struct Series {
 impl Series {
     /// Construct a series.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Series {
-        Series { label: label.into(), values }
+        Series {
+            label: label.into(),
+            values,
+        }
     }
 }
 
@@ -23,7 +26,9 @@ const BAR_WIDTH: usize = 50;
 
 fn bar(value: f64, max: f64) -> String {
     let len = if max > 0.0 {
-        ((value / max) * BAR_WIDTH as f64).round().clamp(0.0, BAR_WIDTH as f64) as usize
+        ((value / max) * BAR_WIDTH as f64)
+            .round()
+            .clamp(0.0, BAR_WIDTH as f64) as usize
     } else {
         0
     };
@@ -38,7 +43,11 @@ pub fn bar_chart(title: &str, categories: &[&str], values: &[f64], percent: bool
     let width = categories.iter().map(|c| c.len()).max().unwrap_or(0);
     let mut out = format!("== {title} ==\n");
     for (cat, &v) in categories.iter().zip(values) {
-        let shown = if percent { format!("{:6.2}%", v * 100.0) } else { format!("{v:10.2}") };
+        let shown = if percent {
+            format!("{:6.2}%", v * 100.0)
+        } else {
+            format!("{v:10.2}")
+        };
         out.push_str(&format!("{cat:width$} {shown} |{}\n", bar(v, max)));
     }
     out
@@ -62,8 +71,16 @@ pub fn grouped_bar_chart(
         out.push_str(&format!("{cat}\n"));
         for s in series {
             let v = s.values.get(i).copied().unwrap_or(0.0);
-            let shown = if percent { format!("{:6.2}%", v * 100.0) } else { format!("{v:10.2}") };
-            out.push_str(&format!("  {:label_width$} {shown} |{}\n", s.label, bar(v, max)));
+            let shown = if percent {
+                format!("{:6.2}%", v * 100.0)
+            } else {
+                format!("{v:10.2}")
+            };
+            out.push_str(&format!(
+                "  {:label_width$} {shown} |{}\n",
+                s.label,
+                bar(v, max)
+            ));
         }
     }
     out
@@ -86,7 +103,11 @@ pub fn scatter_plot(
     }
     let min_x = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
     let max_x = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
-    let min_y = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min).min(0.0);
+    let min_y = points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
     let max_y = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
     let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
     let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
@@ -113,7 +134,12 @@ pub fn scatter_plot(
         out.push_str(&format!("{:7.3} |{}\n", y, row.iter().collect::<String>()));
     }
     out.push_str(&format!("        +{}\n", "-".repeat(cols)));
-    out.push_str(&format!("         {:<.1}{:>width$.1}\n", min_x, max_x, width = cols - 3));
+    out.push_str(&format!(
+        "         {:<.1}{:>width$.1}\n",
+        min_x,
+        max_x,
+        width = cols - 3
+    ));
     out
 }
 

@@ -23,8 +23,18 @@ impl Histogram {
     /// Panics if `buckets` is 0 or the range is empty/non-finite.
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
         assert!(buckets > 0, "at least one bucket");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "valid range required");
-        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0, count: 0 }
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "valid range required"
+        );
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Build from samples, auto-ranging over their min/max.
@@ -67,8 +77,7 @@ impl Histogram {
 
     /// The `(low_edge, count)` of the fullest bucket.
     pub fn mode(&self) -> Option<(f64, usize)> {
-        let (idx, &count) =
-            self.buckets.iter().enumerate().max_by_key(|&(_, &c)| c)?;
+        let (idx, &count) = self.buckets.iter().enumerate().max_by_key(|&(_, &c)| c)?;
         if count == 0 {
             return None;
         }
@@ -118,7 +127,11 @@ impl fmt::Display for Histogram {
             )?;
         }
         if self.underflow + self.overflow > 0 {
-            writeln!(f, "(underflow {}, overflow {})", self.underflow, self.overflow)?;
+            writeln!(
+                f,
+                "(underflow {}, overflow {})",
+                self.underflow, self.overflow
+            )?;
         }
         Ok(())
     }

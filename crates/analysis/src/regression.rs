@@ -67,7 +67,11 @@ fn fit(xs: &[f64], ys: &[f64], logarithmic: bool) -> Result<Regression, FitError
     if xs.len() != ys.len() || xs.len() < 2 {
         return Err(FitError::NotEnoughData);
     }
-    let gx: Vec<f64> = if logarithmic { xs.iter().map(|&x| x.ln()).collect() } else { xs.to_vec() };
+    let gx: Vec<f64> = if logarithmic {
+        xs.iter().map(|&x| x.ln()).collect()
+    } else {
+        xs.to_vec()
+    };
     if gx.iter().chain(ys).any(|v| !v.is_finite()) {
         return Err(FitError::Degenerate);
     }
@@ -75,7 +79,11 @@ fn fit(xs: &[f64], ys: &[f64], logarithmic: bool) -> Result<Regression, FitError
     let mean_x = gx.iter().sum::<f64>() / n;
     let mean_y = ys.iter().sum::<f64>() / n;
     let sxx: f64 = gx.iter().map(|&x| (x - mean_x).powi(2)).sum();
-    let sxy: f64 = gx.iter().zip(ys).map(|(&x, &y)| (x - mean_x) * (y - mean_y)).sum();
+    let sxy: f64 = gx
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - mean_x) * (y - mean_y))
+        .sum();
     if sxx == 0.0 {
         return Err(FitError::Degenerate);
     }
@@ -87,8 +95,17 @@ fn fit(xs: &[f64], ys: &[f64], logarithmic: bool) -> Result<Regression, FitError
         .zip(ys)
         .map(|(&x, &y)| (y - (slope * x + intercept)).powi(2))
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Ok(Regression { slope, intercept, r_squared, logarithmic })
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Ok(Regression {
+        slope,
+        intercept,
+        r_squared,
+        logarithmic,
+    })
 }
 
 /// Ordinary least squares `y = a·x + b`.
@@ -129,8 +146,11 @@ mod tests {
     #[test]
     fn noisy_fit_has_partial_r2() {
         let xs: Vec<f64> = (1..=20).map(f64::from).collect();
-        let ys: Vec<f64> =
-            xs.iter().enumerate().map(|(i, &x)| 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let fit = linear_fit(&xs, &ys).unwrap();
         assert!(fit.r_squared > 0.95 && fit.r_squared < 1.0);
     }
@@ -148,17 +168,31 @@ mod tests {
 
     #[test]
     fn equation_formatting() {
-        let fit = Regression { slope: 0.0838, intercept: -0.0191, r_squared: 0.9246, logarithmic: true };
+        let fit = Regression {
+            slope: 0.0838,
+            intercept: -0.0191,
+            r_squared: 0.9246,
+            logarithmic: true,
+        };
         assert_eq!(fit.equation(), "y = 0.0838·ln(x) - 0.0191 (R² = 0.9246)");
     }
 
     #[test]
     fn error_cases() {
         assert_eq!(linear_fit(&[1.0], &[1.0]), Err(FitError::NotEnoughData));
-        assert_eq!(linear_fit(&[1.0, 2.0], &[1.0]), Err(FitError::NotEnoughData));
-        assert_eq!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]), Err(FitError::Degenerate));
+        assert_eq!(
+            linear_fit(&[1.0, 2.0], &[1.0]),
+            Err(FitError::NotEnoughData)
+        );
+        assert_eq!(
+            linear_fit(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(FitError::Degenerate)
+        );
         assert_eq!(log_fit(&[0.0, 1.0], &[1.0, 2.0]), Err(FitError::Degenerate));
-        assert_eq!(log_fit(&[-1.0, 1.0], &[1.0, 2.0]), Err(FitError::Degenerate));
+        assert_eq!(
+            log_fit(&[-1.0, 1.0], &[1.0, 2.0]),
+            Err(FitError::Degenerate)
+        );
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Small, dependency-free pseudo-random toolbox: SplitMix64 and
+//! Fisher–Yates shuffling.
+//!
+//! The suite's campaigns draw **seeded, reproducible** samples from large
+//! fault universes; nothing here needs cryptographic quality, but the
+//! sampling must be deterministic across platforms and build environments.
+//! An in-repo generator keeps the default workspace free of registry
+//! dependencies, so the tier-1 verify (`cargo build --release &&
+//! cargo test -q`) runs with zero network access.
+//!
+//! SplitMix64 is the output-mixing function of Java's `SplittableRandom`
+//! (Steele, Lea & Flood, OOPSLA 2014): a 64-bit Weyl sequence fed through
+//! two xor-shift-multiply rounds. It passes BigCrush, has period 2^64 and
+//! every seed — including 0 — starts a full-quality stream.
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// Equal seeds produce equal streams on every platform; this is the
+/// contract the campaign sampling (`fault_inject::sample_sites`) and the
+/// experiment drivers rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed` (any value, 0 included).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32-bit output (upper half of [`SplitMix64::next_u64`]).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform draw from `0..bound` (Lemire's multiply-shift rejection
+    /// method, bias-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire 2019: draw x, map to x*bound >> 64; reject the small
+        // region that would bias the low buckets.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Shuffle `slice` in place with the Fisher–Yates algorithm.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draw a seeded sample of `n` elements without replacement (a partial
+    /// Fisher–Yates pass over a copy). Returns all elements when
+    /// `n >= slice.len()`, preserving order in that case.
+    pub fn sample<T: Clone>(&mut self, slice: &[T], n: usize) -> Vec<T> {
+        if n >= slice.len() {
+            return slice.to_vec();
+        }
+        let mut pool = slice.to_vec();
+        self.shuffle(&mut pool);
+        pool.truncate(n);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector() {
+        // The canonical SplitMix64 test vector for seed 1234567.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..16).map(|_| SplitMix64::new(42).next_u64()).collect();
+        assert!(a.iter().all(|&x| x == a[0]));
+        let mut x = SplitMix64::new(7);
+        let mut y = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(x.next_u64(), y.next_u64());
+        }
+        let mut z = SplitMix64::new(8);
+        assert_ne!(x.next_u64(), z.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SplitMix64::new(99);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = SplitMix64::new(5);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(6) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(2024);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<u32>>(),
+            "50 elements almost surely move"
+        );
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let population: Vec<u32> = (0..100).collect();
+        let mut rng = SplitMix64::new(11);
+        let sample = rng.sample(&population, 20);
+        assert_eq!(sample.len(), 20);
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20, "sampling must be without replacement");
+        // Oversampling returns the whole population unshuffled.
+        let all = SplitMix64::new(1).sample(&population, 200);
+        assert_eq!(all, population);
+    }
+
+    #[test]
+    fn empty_and_singleton_shuffles() {
+        let mut rng = SplitMix64::new(0);
+        let mut empty: [u8; 0] = [];
+        rng.shuffle(&mut empty);
+        let mut one = [7u8];
+        rng.shuffle(&mut one);
+        assert_eq!(one, [7]);
+    }
+}

@@ -145,8 +145,9 @@ pub fn bootstrap_mean_ci(values: &[f64], resamples: usize, confidence: f64) -> O
     };
     let mut means: Vec<f64> = (0..resamples.max(1))
         .map(|_| {
-            let sum: f64 =
-                (0..values.len()).map(|_| values[(next() % values.len() as u64) as usize]).sum();
+            let sum: f64 = (0..values.len())
+                .map(|_| values[(next() % values.len() as u64) as usize])
+                .sum();
             sum / values.len() as f64
         })
         .collect();

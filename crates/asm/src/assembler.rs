@@ -139,14 +139,21 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         .copied()
         .or_else(|| segments.first().map(|s| s.base))
         .unwrap_or(DEFAULT_ORG);
-    Ok(Program { segments, entry, symbols })
+    Ok(Program {
+        segments,
+        entry,
+        symbols,
+    })
 }
 
 fn check_range(v: i64, min: i64, max: i64, what: &str, line: usize) -> Result<(), AsmError> {
     if v < min || v > max {
         return Err(AsmError::new(
             line,
-            AsmErrorKind::ValueOutOfRange { what: what.into(), value: v },
+            AsmErrorKind::ValueOutOfRange {
+                what: what.into(),
+                value: v,
+            },
         ));
     }
     Ok(())
@@ -175,18 +182,33 @@ fn resolve(
     line: usize,
 ) -> Result<Instr, AsmError> {
     Ok(match pinsn {
-        PInsn::Alu { op, rd, rs1, op2 } => {
-            Instr { op: *op, rd: *rd, rs1: *rs1, op2: resolve_op2(op2, symbols, here, line)?, ..Instr::default() }
-        }
-        PInsn::Mem { op, rd, rs1, op2 } => {
-            Instr { op: *op, rd: *rd, rs1: *rs1, op2: resolve_op2(op2, symbols, here, line)?, ..Instr::default() }
-        }
-        PInsn::Branch { cond, annul, target } => {
+        PInsn::Alu { op, rd, rs1, op2 } => Instr {
+            op: *op,
+            rd: *rd,
+            rs1: *rs1,
+            op2: resolve_op2(op2, symbols, here, line)?,
+            ..Instr::default()
+        },
+        PInsn::Mem { op, rd, rs1, op2 } => Instr {
+            op: *op,
+            rd: *rd,
+            rs1: *rs1,
+            op2: resolve_op2(op2, symbols, here, line)?,
+            ..Instr::default()
+        },
+        PInsn::Branch {
+            cond,
+            annul,
+            target,
+        } => {
             let target = target.eval(symbols, here, line)? as u32;
             if !target.is_multiple_of(4) {
                 return Err(AsmError::new(
                     line,
-                    AsmErrorKind::Misaligned { what: "branch target".into(), addr: target },
+                    AsmErrorKind::Misaligned {
+                        what: "branch target".into(),
+                        addr: target,
+                    },
                 ));
             }
             let disp = (i64::from(target) - i64::from(here)) / 4;
@@ -198,7 +220,10 @@ fn resolve(
             if !target.is_multiple_of(4) {
                 return Err(AsmError::new(
                     line,
-                    AsmErrorKind::Misaligned { what: "call target".into(), addr: target },
+                    AsmErrorKind::Misaligned {
+                        what: "call target".into(),
+                        addr: target,
+                    },
                 ));
             }
             let disp = (i64::from(target) - i64::from(here)) / 4;
@@ -220,7 +245,12 @@ fn resolve(
         PInsn::Unimp { imm } => {
             let v = imm.eval(symbols, here, line)?;
             check_range(v, 0, (1 << 22) - 1, "unimp const22", line)?;
-            Instr { op: sparc_isa::Opcode::Unimp, rd: Reg::G0, imm22: v as u32, ..Instr::default() }
+            Instr {
+                op: sparc_isa::Opcode::Unimp,
+                rd: Reg::G0,
+                imm22: v as u32,
+                ..Instr::default()
+            }
         }
     })
 }
@@ -235,7 +265,11 @@ struct Emitter {
 
 impl Emitter {
     fn new(org: u32) -> Emitter {
-        Emitter { segments: Vec::new(), current: None, lc: org }
+        Emitter {
+            segments: Vec::new(),
+            current: None,
+            lc: org,
+        }
     }
 
     fn set_org(&mut self, addr: u32) {
@@ -255,9 +289,10 @@ impl Emitter {
     }
 
     fn emit(&mut self, bytes: &[u8]) {
-        let seg = self
-            .current
-            .get_or_insert_with(|| Segment { base: self.lc, bytes: Vec::new() });
+        let seg = self.current.get_or_insert_with(|| Segment {
+            base: self.lc,
+            bytes: Vec::new(),
+        });
         seg.bytes.extend_from_slice(bytes);
         self.lc = self.lc.wrapping_add(bytes.len() as u32);
     }

@@ -37,9 +37,11 @@ impl Expr {
     ) -> Result<i64, AsmError> {
         Ok(match self {
             Expr::Num(n) => *n,
-            Expr::Sym(name) => i64::from(*symbols.get(name).ok_or_else(|| {
-                AsmError::new(line, AsmErrorKind::UndefinedSymbol(name.clone()))
-            })?),
+            Expr::Sym(name) => {
+                i64::from(*symbols.get(name).ok_or_else(|| {
+                    AsmError::new(line, AsmErrorKind::UndefinedSymbol(name.clone()))
+                })?)
+            }
             Expr::Here => i64::from(here),
             Expr::Hi(e) => ((e.eval(symbols, here, line)? as u32) >> 10) as i64,
             Expr::Lo(e) => ((e.eval(symbols, here, line)? as u32) & 0x3ff) as i64,

@@ -84,8 +84,7 @@ pub(crate) fn lex_line(line: &str, lineno: usize) -> Result<Vec<Token>, AsmError
             }
             '0'..='9' => {
                 let mut end = start + 1;
-                let hex = c == '0'
-                    && matches!(chars.peek(), Some(&(_, 'x')) | Some(&(_, 'X')));
+                let hex = c == '0' && matches!(chars.peek(), Some(&(_, 'x')) | Some(&(_, 'X')));
                 if hex {
                     chars.next();
                     end += 1;
@@ -196,7 +195,10 @@ mod tests {
 
     #[test]
     fn strips_comments() {
-        assert_eq!(strip_comment("add %g1, %g2, %g3 ! comment"), "add %g1, %g2, %g3 ");
+        assert_eq!(
+            strip_comment("add %g1, %g2, %g3 ! comment"),
+            "add %g1, %g2, %g3 "
+        );
         assert_eq!(strip_comment("# whole line"), "");
     }
 

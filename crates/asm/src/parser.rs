@@ -15,13 +15,38 @@ pub(crate) enum POp2 {
 /// A parsed instruction with unresolved expressions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum PInsn {
-    Alu { op: Opcode, rd: Reg, rs1: Reg, op2: POp2 },
-    Mem { op: Opcode, rd: Reg, rs1: Reg, op2: POp2 },
-    Branch { cond: Cond, annul: bool, target: Expr },
-    Call { target: Expr },
-    Sethi { rd: Reg, imm: Expr },
-    Ticc { cond: Cond, rs1: Reg, op2: POp2 },
-    Unimp { imm: Expr },
+    Alu {
+        op: Opcode,
+        rd: Reg,
+        rs1: Reg,
+        op2: POp2,
+    },
+    Mem {
+        op: Opcode,
+        rd: Reg,
+        rs1: Reg,
+        op2: POp2,
+    },
+    Branch {
+        cond: Cond,
+        annul: bool,
+        target: Expr,
+    },
+    Call {
+        target: Expr,
+    },
+    Sethi {
+        rd: Reg,
+        imm: Expr,
+    },
+    Ticc {
+        cond: Cond,
+        rs1: Reg,
+        op2: POp2,
+    },
+    Unimp {
+        imm: Expr,
+    },
 }
 
 /// A parsed statement.
@@ -86,8 +111,9 @@ impl<'a> Cursor<'a> {
 
     fn parse_reg(&mut self) -> Result<Reg, AsmError> {
         match self.next() {
-            Some(Token::Percent(name)) => reg_by_name(name)
-                .ok_or_else(|| self.err(format!("unknown register `%{name}`"))),
+            Some(Token::Percent(name)) => {
+                reg_by_name(name).ok_or_else(|| self.err(format!("unknown register `%{name}`")))
+            }
             other => Err(self.err(format!("expected register, found {other:?}"))),
         }
     }
@@ -311,7 +337,11 @@ fn mem_opcode(mnemonic: &str) -> Option<Opcode> {
 /// Parse the token stream of one line into statements.
 pub(crate) fn parse_line(tokens: &[Token], line: usize) -> Result<Vec<Stmt>, AsmError> {
     let mut stmts = Vec::new();
-    let mut cur = Cursor { tokens, pos: 0, line };
+    let mut cur = Cursor {
+        tokens,
+        pos: 0,
+        line,
+    };
 
     // Leading labels: `name:` (possibly several).
     while cur.tokens.len() >= cur.pos + 2 {
@@ -388,7 +418,10 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
                 Some(Token::Str(s)) => s.clone(),
                 other => return Err(cur.err(format!("expected string, found {other:?}"))),
             };
-            return Ok(vec![Stmt::Ascii { text, nul: head == ".asciz" }]);
+            return Ok(vec![Stmt::Ascii {
+                text,
+                nul: head == ".asciz",
+            }]);
         }
         ".equ" | ".set" => {
             let name = match cur.next() {
@@ -425,7 +458,11 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
             }
         }
         let target = cur.parse_expr()?;
-        return Ok(vec![Stmt::Insn(Branch { cond, annul, target })]);
+        return Ok(vec![Stmt::Insn(Branch {
+            cond,
+            annul,
+            target,
+        })]);
     }
 
     // Traps.
@@ -487,28 +524,53 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
             Ok(vec![Stmt::Insn(Sethi { rd, imm })])
         }
         "unimp" => {
-            let imm =
-                if cur.at_end() { Expr::Num(0) } else { cur.parse_expr()? };
+            let imm = if cur.at_end() {
+                Expr::Num(0)
+            } else {
+                cur.parse_expr()?
+            };
             Ok(vec![Stmt::Insn(Unimp { imm })])
         }
-        "call" => Ok(vec![Stmt::Insn(Call { target: cur.parse_expr()? })]),
+        "call" => Ok(vec![Stmt::Insn(Call {
+            target: cur.parse_expr()?,
+        })]),
         "jmpl" => {
             let (rs1, op2) = parse_jmpl_addr(cur)?;
             cur.expect(&Token::Comma, "`,`")?;
             let rd = cur.parse_reg()?;
-            Ok(vec![Stmt::Insn(Alu { op: Opcode::Jmpl, rd, rs1, op2 })])
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Jmpl,
+                rd,
+                rs1,
+                op2,
+            })])
         }
         "jmp" => {
             let (rs1, op2) = parse_jmpl_addr(cur)?;
-            Ok(vec![Stmt::Insn(Alu { op: Opcode::Jmpl, rd: Reg::G0, rs1, op2 })])
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Jmpl,
+                rd: Reg::G0,
+                rs1,
+                op2,
+            })])
         }
         "rett" => {
             let (rs1, op2) = parse_jmpl_addr(cur)?;
-            Ok(vec![Stmt::Insn(Alu { op: Opcode::Rett, rd: Reg::G0, rs1, op2 })])
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Rett,
+                rd: Reg::G0,
+                rs1,
+                op2,
+            })])
         }
         "flush" => {
             let (rs1, op2) = parse_jmpl_addr(cur)?;
-            Ok(vec![Stmt::Insn(Alu { op: Opcode::Flush, rd: Reg::G0, rs1, op2 })])
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Flush,
+                rd: Reg::G0,
+                rs1,
+                op2,
+            })])
         }
         "ret" => Ok(vec![Stmt::Insn(Alu {
             op: Opcode::Jmpl,
@@ -522,7 +584,10 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
             rs1: Reg::O7,
             op2: POp2::Imm(Expr::Num(8)),
         })]),
-        "nop" => Ok(vec![Stmt::Insn(Sethi { rd: Reg::G0, imm: Expr::Num(0) })]),
+        "nop" => Ok(vec![Stmt::Insn(Sethi {
+            rd: Reg::G0,
+            imm: Expr::Num(0),
+        })]),
         "halt" => Ok(vec![Stmt::Insn(Ticc {
             cond: Cond::Always,
             rs1: Reg::G0,
@@ -576,7 +641,12 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
                 }
             }
             let rd = cur.parse_reg()?;
-            Ok(vec![Stmt::Insn(Alu { op: Opcode::Or, rd, rs1: Reg::G0, op2 })])
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Or,
+                rd,
+                rs1: Reg::G0,
+                op2,
+            })])
         }
         "rd" => {
             let src = match cur.next() {
@@ -598,7 +668,12 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
                     (Opcode::RdAsr, Reg::new(n))
                 }
             };
-            Ok(vec![Stmt::Insn(Alu { op, rd, rs1, op2: POp2::Reg(Reg::G0) })])
+            Ok(vec![Stmt::Insn(Alu {
+                op,
+                rd,
+                rs1,
+                op2: POp2::Reg(Reg::G0),
+            })])
         }
         "wr" => {
             let rs1 = cur.parse_reg()?;
@@ -631,7 +706,10 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
             // Always expanded to sethi+or so that sizes are independent of
             // forward-reference values.
             Ok(vec![
-                Stmt::Insn(Sethi { rd, imm: Expr::Hi(Box::new(value.clone())) }),
+                Stmt::Insn(Sethi {
+                    rd,
+                    imm: Expr::Hi(Box::new(value.clone())),
+                }),
                 Stmt::Insn(Alu {
                     op: Opcode::Or,
                     rd,
@@ -644,7 +722,12 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
             let rs1 = cur.parse_reg()?;
             cur.expect(&Token::Comma, "`,`")?;
             let op2 = cur.parse_op2()?;
-            Ok(vec![Stmt::Insn(Alu { op: Opcode::Subcc, rd: Reg::G0, rs1, op2 })])
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Subcc,
+                rd: Reg::G0,
+                rs1,
+                op2,
+            })])
         }
         "tst" => {
             let rs1 = cur.parse_reg()?;
@@ -658,7 +741,12 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
         "clr" => {
             if matches!(cur.peek(), Some(Token::LBracket)) {
                 let (rs1, op2) = cur.parse_addr()?;
-                return Ok(vec![Stmt::Insn(Mem { op: Opcode::St, rd: Reg::G0, rs1, op2 })]);
+                return Ok(vec![Stmt::Insn(Mem {
+                    op: Opcode::St,
+                    rd: Reg::G0,
+                    rs1,
+                    op2,
+                })]);
             }
             let rd = cur.parse_reg()?;
             Ok(vec![Stmt::Insn(Alu {
@@ -669,12 +757,21 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
             })])
         }
         "inc" | "dec" => {
-            let op = if head == "inc" { Opcode::Add } else { Opcode::Sub };
+            let op = if head == "inc" {
+                Opcode::Add
+            } else {
+                Opcode::Sub
+            };
             let first = cur.parse_op2()?;
             if matches!(cur.peek(), Some(Token::Comma)) {
                 cur.next();
                 let rd = cur.parse_reg()?;
-                Ok(vec![Stmt::Insn(Alu { op, rd, rs1: rd, op2: first })])
+                Ok(vec![Stmt::Insn(Alu {
+                    op,
+                    rd,
+                    rs1: rd,
+                    op2: first,
+                })])
             } else {
                 match first {
                     POp2::Reg(rd) => Ok(vec![Stmt::Insn(Alu {
@@ -695,7 +792,12 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
             } else {
                 rs
             };
-            Ok(vec![Stmt::Insn(Alu { op: Opcode::Sub, rd, rs1: Reg::G0, op2: POp2::Reg(rs) })])
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Sub,
+                rd,
+                rs1: Reg::G0,
+                op2: POp2::Reg(rs),
+            })])
         }
         "not" => {
             let rs = cur.parse_reg()?;
@@ -705,7 +807,12 @@ fn parse_mnemonic(head: &str, cur: &mut Cursor<'_>) -> Result<Vec<Stmt>, AsmErro
             } else {
                 rs
             };
-            Ok(vec![Stmt::Insn(Alu { op: Opcode::Xnor, rd, rs1: rs, op2: POp2::Reg(Reg::G0) })])
+            Ok(vec![Stmt::Insn(Alu {
+                op: Opcode::Xnor,
+                rd,
+                rs1: rs,
+                op2: POp2::Reg(Reg::G0),
+            })])
         }
         other => Err(AsmError::new(
             cur.line,
@@ -753,7 +860,13 @@ mod tests {
         let stmts = parse("loop: add %g1, 4, %g2");
         assert_eq!(stmts.len(), 2);
         assert_eq!(stmts[0], Stmt::Label("loop".into()));
-        assert!(matches!(&stmts[1], Stmt::Insn(PInsn::Alu { op: Opcode::Add, .. })));
+        assert!(matches!(
+            &stmts[1],
+            Stmt::Insn(PInsn::Alu {
+                op: Opcode::Add,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -791,21 +904,36 @@ mod tests {
         ));
         assert!(matches!(
             &parse("swap [%g2], %o0")[0],
-            Stmt::Insn(PInsn::Mem { op: Opcode::Swap, .. })
+            Stmt::Insn(PInsn::Mem {
+                op: Opcode::Swap,
+                ..
+            })
         ));
         assert!(matches!(
             &parse("ldstub [%g2], %o0")[0],
-            Stmt::Insn(PInsn::Mem { op: Opcode::Ldstub, .. })
+            Stmt::Insn(PInsn::Mem {
+                op: Opcode::Ldstub,
+                ..
+            })
         ));
     }
 
     #[test]
     fn parses_directives() {
         assert!(matches!(&parse(".org 0x100")[0], Stmt::Org(_)));
-        assert!(matches!(&parse(".word 1, 2, 3")[0], Stmt::Data { width: 4, .. }));
-        assert!(matches!(&parse(".byte 255")[0], Stmt::Data { width: 1, .. }));
+        assert!(matches!(
+            &parse(".word 1, 2, 3")[0],
+            Stmt::Data { width: 4, .. }
+        ));
+        assert!(matches!(
+            &parse(".byte 255")[0],
+            Stmt::Data { width: 1, .. }
+        ));
         assert!(matches!(&parse(".space 64")[0], Stmt::Space(_)));
-        assert!(matches!(&parse(".asciz \"hi\"")[0], Stmt::Ascii { nul: true, .. }));
+        assert!(matches!(
+            &parse(".asciz \"hi\"")[0],
+            Stmt::Ascii { nul: true, .. }
+        ));
         assert!(parse(".global foo").is_empty());
         assert!(matches!(&parse("size = 4 * 16")[0], Stmt::Equ(..)));
     }
@@ -814,7 +942,10 @@ mod tests {
     fn parses_synthetics() {
         assert!(matches!(
             &parse("cmp %o0, 10")[0],
-            Stmt::Insn(PInsn::Alu { op: Opcode::Subcc, .. })
+            Stmt::Insn(PInsn::Alu {
+                op: Opcode::Subcc,
+                ..
+            })
         ));
         assert!(matches!(
             &parse("mov 5, %o0")[0],
@@ -822,25 +953,46 @@ mod tests {
         ));
         assert!(matches!(
             &parse("mov %y, %o1")[0],
-            Stmt::Insn(PInsn::Alu { op: Opcode::RdY, .. })
+            Stmt::Insn(PInsn::Alu {
+                op: Opcode::RdY,
+                ..
+            })
         ));
         assert!(matches!(
             &parse("mov %o1, %y")[0],
-            Stmt::Insn(PInsn::Alu { op: Opcode::WrY, .. })
+            Stmt::Insn(PInsn::Alu {
+                op: Opcode::WrY,
+                ..
+            })
         ));
-        assert!(matches!(&parse("retl")[0], Stmt::Insn(PInsn::Alu { op: Opcode::Jmpl, .. })));
+        assert!(matches!(
+            &parse("retl")[0],
+            Stmt::Insn(PInsn::Alu {
+                op: Opcode::Jmpl,
+                ..
+            })
+        ));
         assert!(matches!(&parse("halt")[0], Stmt::Insn(PInsn::Ticc { .. })));
         assert!(matches!(
             &parse("not %o2")[0],
-            Stmt::Insn(PInsn::Alu { op: Opcode::Xnor, .. })
+            Stmt::Insn(PInsn::Alu {
+                op: Opcode::Xnor,
+                ..
+            })
         ));
         assert!(matches!(
             &parse("inc %o3")[0],
-            Stmt::Insn(PInsn::Alu { op: Opcode::Add, .. })
+            Stmt::Insn(PInsn::Alu {
+                op: Opcode::Add,
+                ..
+            })
         ));
         assert!(matches!(
             &parse("dec 4, %o3")[0],
-            Stmt::Insn(PInsn::Alu { op: Opcode::Sub, .. })
+            Stmt::Insn(PInsn::Alu {
+                op: Opcode::Sub,
+                ..
+            })
         ));
     }
 

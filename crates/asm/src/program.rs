@@ -52,15 +52,21 @@ impl Program {
 
     /// Iterate over all `(address, byte)` pairs.
     pub fn bytes(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
-        self.segments
-            .iter()
-            .flat_map(|s| s.bytes.iter().enumerate().map(move |(i, &b)| (s.base + i as u32, b)))
+        self.segments.iter().flat_map(|s| {
+            s.bytes
+                .iter()
+                .enumerate()
+                .map(move |(i, &b)| (s.base + i as u32, b))
+        })
     }
 
     /// Read a big-endian 32-bit word from the image, if fully covered.
     pub fn word(&self, addr: u32) -> Option<u32> {
         let end = addr.checked_add(4)?;
-        let seg = self.segments.iter().find(|s| addr >= s.base && end <= s.end())?;
+        let seg = self
+            .segments
+            .iter()
+            .find(|s| addr >= s.base && end <= s.end())?;
         let off = (addr - seg.base) as usize;
         let b = &seg.bytes[off..off + 4];
         Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
@@ -74,7 +80,10 @@ mod tests {
     #[test]
     fn word_reads_big_endian() {
         let program = Program {
-            segments: vec![Segment { base: 0x100, bytes: vec![0xde, 0xad, 0xbe, 0xef] }],
+            segments: vec![Segment {
+                base: 0x100,
+                bytes: vec![0xde, 0xad, 0xbe, 0xef],
+            }],
             entry: 0x100,
             symbols: BTreeMap::new(),
         };
@@ -89,8 +98,14 @@ mod tests {
     fn bytes_iterates_with_addresses() {
         let program = Program {
             segments: vec![
-                Segment { base: 0x10, bytes: vec![1, 2] },
-                Segment { base: 0x20, bytes: vec![3] },
+                Segment {
+                    base: 0x10,
+                    bytes: vec![1, 2],
+                },
+                Segment {
+                    base: 0x20,
+                    bytes: vec![3],
+                },
             ],
             entry: 0x10,
             symbols: BTreeMap::new(),

@@ -1,0 +1,114 @@
+//! Before/after throughput of the campaign engine: full re-execution vs
+//! checkpoint-and-fork with activation skipping and divergence
+//! short-circuiting. Writes `BENCH_campaign.json` at the repo root.
+
+use fault_inject::{Campaign, CampaignStats, Execution, Target};
+use std::time::Instant;
+use workloads::{Benchmark, Params};
+
+struct Measurement {
+    seconds: f64,
+    jobs_per_sec: f64,
+    stats: CampaignStats,
+}
+
+fn measure(campaign: &Campaign, execution: Execution, threads: usize) -> Measurement {
+    let campaign = campaign.clone().with_execution(execution);
+    // Warm-up (page in the workload and golden run), then measure.
+    let _ = campaign.run(threads);
+    let start = Instant::now();
+    let result = campaign.run(threads);
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = *result.stats();
+    Measurement {
+        seconds,
+        jobs_per_sec: stats.jobs as f64 / seconds,
+        stats,
+    }
+}
+
+fn engine_json(m: &Measurement) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"seconds\": {:.4},\n",
+            "      \"jobs_per_sec\": {:.1},\n",
+            "      \"cycles_simulated\": {},\n",
+            "      \"cycles_avoided\": {},\n",
+            "      \"forked\": {},\n",
+            "      \"full_reexecutions\": {},\n",
+            "      \"skipped_inactive\": {},\n",
+            "      \"short_circuited\": {},\n",
+            "      \"short_circuit_rate\": {:.4}\n",
+            "    }}"
+        ),
+        m.seconds,
+        m.jobs_per_sec,
+        m.stats.cycles_simulated,
+        m.stats.cycles_avoided,
+        m.stats.forked,
+        m.stats.full_reexecutions,
+        m.stats.skipped_inactive,
+        m.stats.short_circuited,
+        m.stats.short_circuit_rate(),
+    )
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let cases = [
+        (Benchmark::Intbench, Target::IntegerUnit, "IU"),
+        (Benchmark::Rspeed, Target::CacheMemory, "CMEM"),
+    ];
+    let mut entries = Vec::new();
+    for (benchmark, target, domain) in cases {
+        let program = benchmark.program(&Params::default());
+        let campaign = Campaign::new(program, target)
+            .with_sample(40, 0xbe)
+            .with_injection_fraction(0.3);
+        let fork = measure(&campaign, Execution::Fork, threads);
+        let full = measure(&campaign, Execution::FullReexecution, threads);
+        println!(
+            "{} / {domain}: {} jobs | fork {:.1} jobs/s ({} cycles) | full {:.1} jobs/s ({} cycles) | speedup {:.2}x",
+            benchmark.name(),
+            fork.stats.jobs,
+            fork.jobs_per_sec,
+            fork.stats.cycles_simulated,
+            full.jobs_per_sec,
+            full.stats.cycles_simulated,
+            full.seconds / fork.seconds,
+        );
+        entries.push(format!(
+            concat!(
+                "  {{\n",
+                "    \"benchmark\": \"{}\",\n",
+                "    \"domain\": \"{}\",\n",
+                "    \"jobs\": {},\n",
+                "    \"golden_cycles\": {},\n",
+                "    \"prefix_cycles\": {},\n",
+                "    \"speedup\": {:.2},\n",
+                "    \"cycles_ratio\": {:.4},\n",
+                "    \"fork\": {},\n",
+                "    \"full_reexecution\": {}\n",
+                "  }}"
+            ),
+            benchmark.name(),
+            domain,
+            fork.stats.jobs,
+            fork.stats.golden_cycles,
+            fork.stats.prefix_cycles,
+            full.seconds / fork.seconds,
+            fork.stats.cycles_simulated as f64 / full.stats.cycles_simulated as f64,
+            engine_json(&fork),
+            engine_json(&full),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"campaigns\": [\n{}\n]\n}}\n",
+        threads,
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(path, &json).expect("write BENCH_campaign.json");
+    println!("wrote {path}");
+}

@@ -37,8 +37,10 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("rtl_faithful", |b| {
         b.iter(|| {
-            let mut rtl =
-                Leon3::new(Leon3Config { faithful_clocking: true, ..Leon3Config::default() });
+            let mut rtl = Leon3::new(Leon3Config {
+                faithful_clocking: true,
+                ..Leon3Config::default()
+            });
             rtl.load(black_box(&program));
             black_box(rtl.run(10_000_000))
         })

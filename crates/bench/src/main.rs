@@ -11,7 +11,9 @@ use bench::config_from_env;
 use correlation::experiments::{
     fig3, fig4, fig5, fig6, fig7_from_parts, simtime, table1, TemporalStudy,
 };
-use correlation::extensions::{bridging_study, eq1_ablation, iss_baseline, latent_study, transient_study};
+use correlation::extensions::{
+    bridging_study, eq1_ablation, iss_baseline, latent_study, transient_study,
+};
 
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());

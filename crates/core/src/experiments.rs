@@ -27,12 +27,20 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Small sample sizes for smoke tests and CI.
     pub fn quick() -> ExperimentConfig {
-        ExperimentConfig { sample_per_campaign: 60, seed: 0xDAC_2015, threads: default_threads() }
+        ExperimentConfig {
+            sample_per_campaign: 60,
+            seed: 0xDAC_2015,
+            threads: default_threads(),
+        }
     }
 
     /// The sizes used for the recorded EXPERIMENTS.md results.
     pub fn full() -> ExperimentConfig {
-        ExperimentConfig { sample_per_campaign: 400, seed: 0xDAC_2015, threads: default_threads() }
+        ExperimentConfig {
+            sample_per_campaign: 400,
+            seed: 0xDAC_2015,
+            threads: default_threads(),
+        }
     }
 }
 
@@ -42,7 +50,9 @@ impl ExperimentConfig {
 const INJECTION_FRACTION: f64 = 0.05;
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 // ---------------------------------------------------------------- Table 1
@@ -149,7 +159,11 @@ pub fn fig3(config: &ExperimentConfig) -> Fig3 {
                     .with_sample(config.sample_per_campaign * 10, config.seed)
                     .with_injection_fraction(INJECTION_FRACTION)
                     .run(config.threads);
-                ExcerptPf { benchmark: b, pf: result.pf(FaultKind::StuckAt1), diversity }
+                ExcerptPf {
+                    benchmark: b,
+                    pf: result.pf(FaultKind::StuckAt1),
+                    diversity,
+                }
             })
             .collect()
     };
@@ -162,14 +176,24 @@ pub fn fig3(config: &ExperimentConfig) -> Fig3 {
 impl fmt::Display for Fig3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (title, subset) in [
-            ("Fig 3(a): excerpts, 8 instruction types (SA1 @ IU)", &self.subset_a),
-            ("Fig 3(b): excerpts, 11 instruction types (SA1 @ IU)", &self.subset_b),
+            (
+                "Fig 3(a): excerpts, 8 instruction types (SA1 @ IU)",
+                &self.subset_a,
+            ),
+            (
+                "Fig 3(b): excerpts, 11 instruction types (SA1 @ IU)",
+                &self.subset_b,
+            ),
         ] {
             let cats: Vec<&str> = subset.iter().map(|e| e.benchmark.name()).collect();
             let vals: Vec<f64> = subset.iter().map(|e| e.pf).collect();
             write!(f, "{}", analysis::bar_chart(title, &cats, &vals, true))?;
         }
-        writeln!(f, "max within-subset spread: {:.1} pp", self.max_spread_pp())
+        writeln!(
+            f,
+            "max within-subset spread: {:.1} pp",
+            self.max_spread_pp()
+        )
     }
 }
 
@@ -204,18 +228,30 @@ pub fn fig4(config: &ExperimentConfig) -> Fig4 {
         pf.push(summary.pf());
         lat.push(summary.max_latency_us.unwrap_or(0.0));
     }
-    Fig4 { iterations, pf, max_latency_us: lat }
+    Fig4 {
+        iterations,
+        pf,
+        max_latency_us: lat,
+    }
 }
 
 impl fmt::Display for Fig4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let cats: Vec<String> =
-            self.iterations.iter().map(|i| format!("rspeed{i}")).collect();
+        let cats: Vec<String> = self
+            .iterations
+            .iter()
+            .map(|i| format!("rspeed{i}"))
+            .collect();
         let cat_refs: Vec<&str> = cats.iter().map(String::as_str).collect();
         write!(
             f,
             "{}",
-            analysis::bar_chart("Fig 4(a): Pf vs iterations (SA1 @ IU)", &cat_refs, &self.pf, true)
+            analysis::bar_chart(
+                "Fig 4(a): Pf vs iterations (SA1 @ IU)",
+                &cat_refs,
+                &self.pf,
+                true
+            )
         )?;
         write!(
             f,
@@ -273,7 +309,12 @@ pub fn fig_campaign(config: &ExperimentConfig, target: Target) -> FigCampaign {
                 result.pf(FaultKind::ALL[1]),
                 result.pf(FaultKind::ALL[2]),
             ];
-            BenchmarkPf { benchmark: b, pf, diversity, result }
+            BenchmarkPf {
+                benchmark: b,
+                pf,
+                diversity,
+                result,
+            }
         })
         .collect();
     FigCampaign { target, rows }
@@ -293,7 +334,10 @@ impl FigCampaign {
     /// Spread of Pf across the automotive benchmarks (pp), per fault
     /// model; the paper observes near-flat automotive bars.
     pub fn automotive_spread_pp(&self, kind: FaultKind) -> f64 {
-        let idx = FaultKind::ALL.iter().position(|&k| k == kind).expect("known kind");
+        let idx = FaultKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("known kind");
         let values: Vec<f64> = self
             .rows
             .iter()
@@ -312,11 +356,13 @@ impl fmt::Display for FigCampaign {
         let series: Vec<Series> = FaultKind::ALL
             .iter()
             .enumerate()
-            .map(|(i, kind)| {
-                Series::new(kind.name(), self.rows.iter().map(|r| r.pf[i]).collect())
-            })
+            .map(|(i, kind)| Series::new(kind.name(), self.rows.iter().map(|r| r.pf[i]).collect()))
             .collect();
-        let figure = if self.target == Target::IntegerUnit { "Fig 5" } else { "Fig 6" };
+        let figure = if self.target == Target::IntegerUnit {
+            "Fig 5"
+        } else {
+            "Fig 6"
+        };
         write!(
             f,
             "{}",
@@ -361,8 +407,15 @@ pub struct Fig7 {
 /// Panics if fewer than two distinct diversity values are available — the
 /// callers always pass six benchmarks plus six excerpts.
 pub fn fig7_from_parts(fig5: &FigCampaign, fig3: &Fig3) -> Fig7 {
-    assert_eq!(fig5.target, Target::IntegerUnit, "Fig 7 correlates IU injections");
-    let sa1 = FaultKind::ALL.iter().position(|&k| k == FaultKind::StuckAt1).expect("sa1");
+    assert_eq!(
+        fig5.target,
+        Target::IntegerUnit,
+        "Fig 7 correlates IU injections"
+    );
+    let sa1 = FaultKind::ALL
+        .iter()
+        .position(|&k| k == FaultKind::StuckAt1)
+        .expect("sa1");
     let mut points: Vec<Fig7Point> = fig5
         .rows
         .iter()
@@ -438,7 +491,10 @@ impl TemporalStudy {
                 .unwrap_or_else(|| panic!("{b} missing from campaign"))
                 .pf
         };
-        TemporalStudy { ttsprk: find(Benchmark::Ttsprk), puwmod: find(Benchmark::Puwmod) }
+        TemporalStudy {
+            ttsprk: find(Benchmark::Ttsprk),
+            puwmod: find(Benchmark::Puwmod),
+        }
     }
 
     /// The largest |Pf(ttsprk) − Pf(puwmod)| across fault models, in pp.
@@ -453,7 +509,10 @@ impl TemporalStudy {
 
 impl fmt::Display for TemporalStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Temporal behaviour: same diversity, different order ==")?;
+        writeln!(
+            f,
+            "== Temporal behaviour: same diversity, different order =="
+        )?;
         for (i, kind) in FaultKind::ALL.iter().enumerate() {
             writeln!(
                 f,
@@ -509,7 +568,10 @@ pub fn simtime() -> SimTime {
     // event-driven RTL simulator pays (campaigns use the semantically
     // identical fast mode).
     let start = Instant::now();
-    let mut rtl = Leon3::new(Leon3Config { faithful_clocking: true, ..Leon3Config::default() });
+    let mut rtl = Leon3::new(Leon3Config {
+        faithful_clocking: true,
+        ..Leon3Config::default()
+    });
     rtl.load(&program);
     let outcome = rtl.run(u64::MAX / 2);
     assert!(matches!(outcome, RunOutcome::Halted { .. }));
@@ -556,14 +618,21 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { sample_per_campaign: 12, seed: 7, threads: default_threads() }
+        ExperimentConfig {
+            sample_per_campaign: 12,
+            seed: 7,
+            threads: default_threads(),
+        }
     }
 
     #[test]
     fn table1_has_six_rows_in_paper_order() {
         let t = table1();
         let names: Vec<&str> = t.rows.iter().map(|r| r.benchmark.name()).collect();
-        assert_eq!(names, vec!["puwmod", "canrdr", "ttsprk", "rspeed", "membench", "intbench"]);
+        assert_eq!(
+            names,
+            vec!["puwmod", "canrdr", "ttsprk", "rspeed", "membench", "intbench"]
+        );
         let text = t.to_string();
         assert!(text.contains("Diversity"));
     }

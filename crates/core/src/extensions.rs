@@ -16,8 +16,8 @@ use crate::experiments::{ExperimentConfig, FigCampaign};
 use crate::model::{area_weights, diversity_of, unit_diversity_of, weighted_pf, DiversityModel};
 use analysis::pearson;
 use fault_inject::{arch_pf, bridge_pf, BridgingCampaign, Campaign, IssCampaign, Target};
-use rtl_sim::BridgeKind;
 use leon3_model::{Leon3, Leon3Config};
+use rtl_sim::BridgeKind;
 use rtl_sim::FaultKind;
 use sparc_isa::Unit;
 use std::collections::BTreeMap;
@@ -73,13 +73,24 @@ pub fn transient_study(config: &ExperimentConfig) -> TransientStudy {
         permanent_pf.push(result.pf(FaultKind::StuckAt1));
         transient_pf.push(result.pf(FaultKind::TransientFlip));
     }
-    TransientStudy { fractions, permanent_pf, transient_pf }
+    TransientStudy {
+        fractions,
+        permanent_pf,
+        transient_pf,
+    }
 }
 
 impl fmt::Display for TransientStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Extension: permanent vs transient across injection instants ==")?;
-        writeln!(f, "{:>10} {:>12} {:>12}", "instant", "stuck-at-1", "transient")?;
+        writeln!(
+            f,
+            "== Extension: permanent vs transient across injection instants =="
+        )?;
+        writeln!(
+            f,
+            "{:>10} {:>12} {:>12}",
+            "instant", "stuck-at-1", "transient"
+        )?;
         for (i, fraction) in self.fractions.iter().enumerate() {
             writeln!(
                 f,
@@ -135,7 +146,11 @@ pub fn bridging_study(config: &ExperimentConfig) -> BridgingStudy {
 
 impl fmt::Display for BridgingStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Extension: bridging (short-circuit) faults, {} pairs @ IU ==", self.pairs)?;
+        writeln!(
+            f,
+            "== Extension: bridging (short-circuit) faults, {} pairs @ IU ==",
+            self.pairs
+        )?;
         writeln!(f, "wired-AND short: {:6.2}%", self.wired_and_pf * 100.0)?;
         writeln!(f, "wired-OR  short: {:6.2}%", self.wired_or_pf * 100.0)?;
         writeln!(f, "stuck-at-1 ref.: {:6.2}%", self.stuck_at_1_pf * 100.0)
@@ -176,7 +191,11 @@ pub fn latent_study(config: &ExperimentConfig) -> LatentStudy {
 
 impl fmt::Display for LatentStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Extension: single- vs dual-point faults ({} sites @ IU) ==", self.injections)?;
+        writeln!(
+            f,
+            "== Extension: single- vs dual-point faults ({} sites @ IU) ==",
+            self.injections
+        )?;
         writeln!(f, "single-point Pf: {:6.2}%", self.single_pf * 100.0)?;
         writeln!(f, "dual-point   Pf: {:6.2}%", self.dual_pf * 100.0)?;
         writeln!(
@@ -230,10 +249,23 @@ pub fn iss_baseline(config: &ExperimentConfig) -> IssBaseline {
 
 impl fmt::Display for IssBaseline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Extension: register-file ISS injection vs RTL injection ==")?;
-        writeln!(f, "{:>10} {:>14} {:>12}", "benchmark", "ISS regfile Pf", "RTL IU Pf")?;
+        writeln!(
+            f,
+            "== Extension: register-file ISS injection vs RTL injection =="
+        )?;
+        writeln!(
+            f,
+            "{:>10} {:>14} {:>12}",
+            "benchmark", "ISS regfile Pf", "RTL IU Pf"
+        )?;
         for &(bench, iss, rtl) in &self.rows {
-            writeln!(f, "{:>10} {:>13.2}% {:>11.2}%", bench.name(), iss * 100.0, rtl * 100.0)?;
+            writeln!(
+                f,
+                "{:>10} {:>13.2}% {:>11.2}%",
+                bench.name(),
+                iss * 100.0,
+                rtl * 100.0
+            )?;
         }
         match self.correlation() {
             Some(r) => writeln!(f, "Pearson(ISS, RTL) = {r:.3}"),
@@ -275,7 +307,10 @@ impl Eq1Ablation {
 ///
 /// Panics if the campaign has fewer than three benchmarks.
 pub fn eq1_ablation(fig5: &FigCampaign) -> Eq1Ablation {
-    assert!(fig5.rows.len() >= 3, "need at least three calibration benchmarks");
+    assert!(
+        fig5.rows.len() >= 3,
+        "need at least three calibration benchmarks"
+    );
     let sa1 = 0; // FaultKind::ALL[0] == StuckAt1
     let cpu = Leon3::new(Leon3Config::default());
     let alphas = area_weights(&cpu, |u| u.is_iu());
@@ -341,7 +376,10 @@ pub fn eq1_ablation(fig5: &FigCampaign) -> Eq1Ablation {
 
 impl fmt::Display for Eq1Ablation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== Extension: Eq. 1 per-unit model vs global diversity model (LOO) ==")?;
+        writeln!(
+            f,
+            "== Extension: Eq. 1 per-unit model vs global diversity model (LOO) =="
+        )?;
         writeln!(
             f,
             "{:>10} {:>10} {:>10} {:>10}",
@@ -372,12 +410,19 @@ mod tests {
     use crate::experiments::fig_campaign;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { sample_per_campaign: 12, seed: 0xE7, threads: 2 }
+        ExperimentConfig {
+            sample_per_campaign: 12,
+            seed: 0xE7,
+            threads: 2,
+        }
     }
 
     #[test]
     fn transient_is_rarer_and_time_dependent() {
-        let config = ExperimentConfig { sample_per_campaign: 60, ..tiny() };
+        let config = ExperimentConfig {
+            sample_per_campaign: 60,
+            ..tiny()
+        };
         let study = transient_study(&config);
         // Transient flips propagate far less often than permanent faults
         // at every instant.
@@ -389,7 +434,10 @@ mod tests {
 
     #[test]
     fn dual_point_faults_dominate_single() {
-        let config = ExperimentConfig { sample_per_campaign: 50, ..tiny() };
+        let config = ExperimentConfig {
+            sample_per_campaign: 50,
+            ..tiny()
+        };
         let study = latent_study(&config);
         assert!((0.0..=1.0).contains(&study.single_pf));
         assert!((0.0..=1.0).contains(&study.dual_pf));

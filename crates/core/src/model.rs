@@ -43,7 +43,10 @@ pub fn diversity_of(program: &Program) -> usize {
     let mut iss = Iss::new(IssConfig::default());
     iss.load(program);
     let outcome = iss.run(200_000_000);
-    assert!(matches!(outcome, RunOutcome::Halted { .. }), "workload did not halt: {outcome:?}");
+    assert!(
+        matches!(outcome, RunOutcome::Halted { .. }),
+        "workload did not halt: {outcome:?}"
+    );
     iss.stats().diversity()
 }
 
@@ -56,7 +59,10 @@ pub fn unit_diversity_of(program: &Program) -> BTreeMap<Unit, usize> {
     let mut iss = Iss::new(IssConfig::default());
     iss.load(program);
     let outcome = iss.run(200_000_000);
-    assert!(matches!(outcome, RunOutcome::Halted { .. }), "workload did not halt: {outcome:?}");
+    assert!(
+        matches!(outcome, RunOutcome::Halted { .. }),
+        "workload did not halt: {outcome:?}"
+    );
     Unit::ALL
         .into_iter()
         .map(|u| (u, iss.stats().unit_diversity(u)))
@@ -76,7 +82,16 @@ pub fn area_weights(cpu: &Leon3, filter: impl Fn(Unit) -> bool) -> BTreeMap<Unit
     let total: usize = counts.values().sum();
     counts
         .into_iter()
-        .map(|(u, c)| (u, if total == 0 { 0.0 } else { c as f64 / total as f64 }))
+        .map(|(u, c)| {
+            (
+                u,
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                },
+            )
+        })
         .collect()
 }
 
@@ -109,7 +124,9 @@ impl DiversityModel {
     pub fn fit(points: &[(f64, f64)]) -> Result<DiversityModel, ModelError> {
         let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
-        Ok(DiversityModel { fit: log_fit(&xs, &ys)? })
+        Ok(DiversityModel {
+            fit: log_fit(&xs, &ys)?,
+        })
     }
 
     /// Predicted `Pf` for a workload with diversity `d`, clamped to
@@ -143,7 +160,10 @@ impl DiversityModel {
         if points.is_empty() {
             return 0.0;
         }
-        points.iter().map(|&(d, pf)| (self.predict(d) - pf).abs()).sum::<f64>()
+        points
+            .iter()
+            .map(|&(d, pf)| (self.predict(d) - pf).abs())
+            .sum::<f64>()
             / points.len() as f64
     }
 }
@@ -190,10 +210,13 @@ mod tests {
 
     #[test]
     fn weighted_pf_combines() {
-        let weights: BTreeMap<Unit, f64> =
-            [(Unit::Fetch, 0.25), (Unit::RegFile, 0.75)].into_iter().collect();
+        let weights: BTreeMap<Unit, f64> = [(Unit::Fetch, 0.25), (Unit::RegFile, 0.75)]
+            .into_iter()
+            .collect();
         let pf: BTreeMap<Unit, f64> =
-            [(Unit::Fetch, 0.4), (Unit::RegFile, 0.1), (Unit::Shift, 0.9)].into_iter().collect();
+            [(Unit::Fetch, 0.4), (Unit::RegFile, 0.1), (Unit::Shift, 0.9)]
+                .into_iter()
+                .collect();
         let combined = weighted_pf(&weights, &pf);
         assert!((combined - (0.25 * 0.4 + 0.75 * 0.1)).abs() < 1e-12);
     }

@@ -13,10 +13,8 @@
 use crate::campaign::GoldenRun;
 use crate::result::FaultOutcome;
 use crate::sites::Target;
+use analysis::SplitMix64;
 use leon3_model::{Leon3, Leon3Config};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use rtl_sim::{Bridge, BridgeKind, NetId};
 use sparc_asm::Program;
 use sparc_iss::{Exit, StepEvent};
@@ -86,8 +84,8 @@ impl BridgingCampaign {
         let reference = Leon3::new(self.config.clone());
         let mut all = bridge_pairs(&reference, self.target);
         if let Some((n, seed)) = self.sample {
-            let mut rng = StdRng::seed_from_u64(seed);
-            all.shuffle(&mut rng);
+            let mut rng = SplitMix64::new(seed);
+            rng.shuffle(&mut all);
             all.truncate(n);
         }
         all
@@ -105,9 +103,12 @@ impl BridgingCampaign {
             .pairs()
             .into_iter()
             .flat_map(|(a, b)| {
-                self.kinds
-                    .iter()
-                    .map(move |&kind| Bridge { a, b, kind, from_cycle: 0 })
+                self.kinds.iter().map(move |&kind| Bridge {
+                    a,
+                    b,
+                    kind,
+                    from_cycle: 0,
+                })
             })
             .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -134,16 +135,14 @@ impl BridgingCampaign {
                 });
             }
         });
-        records.into_iter().map(|r| r.expect("all jobs ran")).collect()
+        records
+            .into_iter()
+            .map(|r| r.expect("all jobs ran"))
+            .collect()
     }
 }
 
-fn run_one(
-    cpu: &mut Leon3,
-    program: &Program,
-    golden: &GoldenRun,
-    bridge: Bridge,
-) -> FaultOutcome {
+fn run_one(cpu: &mut Leon3, program: &Program, golden: &GoldenRun, bridge: Bridge) -> FaultOutcome {
     cpu.reset();
     cpu.load(program);
     cpu.inject_bridge(bridge);
@@ -159,7 +158,10 @@ fn run_one(
             match golden.writes.get(checked) {
                 Some(g) if w.same_payload(g) => checked += 1,
                 _ => {
-                    return FaultOutcome::Failure { divergence: checked, latency_cycles: w.at }
+                    return FaultOutcome::Failure {
+                        divergence: checked,
+                        latency_cycles: w.at,
+                    }
                 }
             }
         }
@@ -178,14 +180,17 @@ fn run_one(
                     latency_cycles: golden.writes[checked].at,
                 }
             } else if code != golden.exit_code {
-                FaultOutcome::Failure { divergence: checked, latency_cycles: cpu.cycles() }
+                FaultOutcome::Failure {
+                    divergence: checked,
+                    latency_cycles: cpu.cycles(),
+                }
             } else {
                 FaultOutcome::NoEffect
             }
         }
-        Some(Exit::ErrorMode(_)) => {
-            FaultOutcome::ErrorModeStop { latency_cycles: cpu.cycles() }
-        }
+        Some(Exit::ErrorMode(_)) => FaultOutcome::ErrorModeStop {
+            latency_cycles: cpu.cycles(),
+        },
         None => FaultOutcome::Hang,
     }
 }

@@ -1,11 +1,34 @@
 //! The campaign runner.
+//!
+//! Campaigns run on a **checkpoint-and-fork** engine by default: the
+//! fault-free prefix up to the injection instant is simulated exactly once,
+//! captured as a [`leon3_model::Snapshot`], and every (site, kind) job of
+//! the campaign *forks* from that snapshot instead of re-executing the
+//! prefix from reset. Because the paper-style campaigns inject every fault
+//! of the universe at one shared instant ([`InjectionInstant::Fraction`] or
+//! [`InjectionInstant::Cycle`]), the prefix is common to the whole
+//! campaign. Two further cost levers ride on the same machinery:
+//!
+//! * **site-activation tracking** — the golden run records, per net, the
+//!   cycle of its last read. A permanent fault is observable only through a
+//!   net *read*, and a faulty run tracks the golden trajectory until its
+//!   first diverging read, so a job whose injected net the golden run never
+//!   reads from the injection instant on is classified `NoEffect` without
+//!   simulating a single cycle;
+//! * **streaming divergence detection** — each off-core write of a faulty
+//!   run is compared against the golden stream as it is emitted, and the
+//!   run is short-circuited at the first mismatching or extra write.
+//!
+//! [`Execution::FullReexecution`] retains the pre-fork engine (every job
+//! re-simulated from reset). Both engines produce **bit-identical
+//! records**; only the [`crate::CampaignStats`] cost accounting differs.
 
-use crate::result::{CampaignResult, FaultOutcome, FaultRecord};
+use crate::result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord};
 use crate::sites::{fault_sites, sample_sites, FaultSite, Target};
-use leon3_model::{Leon3, Leon3Config};
-use rtl_sim::{Fault, FaultKind};
+use leon3_model::{Leon3, Leon3Config, Snapshot};
+use rtl_sim::{Fault, FaultKind, NetId};
 use sparc_asm::Program;
-use sparc_iss::{BusEvent, Exit, RunOutcome, StepEvent};
+use sparc_iss::{BusEvent, Exit, StepEvent};
 
 /// The fault-free reference execution of a workload on the RTL model.
 #[derive(Debug, Clone)]
@@ -18,6 +41,12 @@ pub struct GoldenRun {
     pub cycles: u64,
     /// The exit code.
     pub exit_code: u32,
+    /// Cumulative cycle count after each `step()` call, for locating the
+    /// last instruction boundary strictly before an injection instant.
+    step_cycles: Vec<u64>,
+    /// Per-net cycle of the last golden read (`None` = never read),
+    /// indexed by raw net id.
+    net_last_read: Vec<Option<u64>>,
 }
 
 impl GoldenRun {
@@ -29,18 +58,52 @@ impl GoldenRun {
     /// trap-free and terminating by construction.
     pub fn capture(program: &Program, config: &Leon3Config) -> GoldenRun {
         let mut cpu = Leon3::new(config.clone());
+        cpu.enable_read_tracking();
         cpu.load(program);
-        let outcome = cpu.run(u64::MAX / 2);
-        let exit_code = match outcome {
-            RunOutcome::Halted { code } => code,
-            other => panic!("golden run did not halt: {other:?}"),
+        let mut step_cycles = Vec::new();
+        let exit_code = loop {
+            let event = cpu.step();
+            step_cycles.push(cpu.cycles());
+            if event == StepEvent::Stopped {
+                match cpu.exit() {
+                    Some(Exit::Halted(code)) => break code,
+                    other => panic!("golden run did not halt: {other:?}"),
+                }
+            }
         };
+        let net_last_read = (0..cpu.pool().len())
+            .map(|i| cpu.net_last_read(NetId::from_raw(i as u32)))
+            .collect();
         GoldenRun {
             writes: cpu.bus_trace().writes().copied().collect(),
             instructions: cpu.stats().instructions,
             cycles: cpu.cycles(),
             exit_code,
+            step_cycles,
+            net_last_read,
         }
+    }
+
+    /// Number of `step()` calls that complete strictly before
+    /// `injection_cycle` — the longest fault-free prefix every job of a
+    /// campaign injecting at that instant can share.
+    pub fn prefix_steps(&self, injection_cycle: u64) -> usize {
+        self.step_cycles.partition_point(|&c| c < injection_cycle)
+    }
+
+    /// Whether the golden run reads `net` at or after `cycle`.
+    ///
+    /// A permanent fault perturbs execution only through a [`NetId`] read,
+    /// and a faulty run is cycle-identical to the golden run until its
+    /// first read of a perturbed net — so when this returns `false` for an
+    /// injection at `cycle`, the faulty run provably reproduces the golden
+    /// run to the end.
+    pub fn net_exercised_from(&self, net: NetId, cycle: u64) -> bool {
+        self.net_last_read
+            .get(net.raw() as usize)
+            .copied()
+            .flatten()
+            .is_some_and(|last| last >= cycle)
     }
 }
 
@@ -56,6 +119,20 @@ pub enum InjectionInstant {
     Fraction(f64),
 }
 
+/// How a campaign executes its fault universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// Checkpoint-and-fork: simulate the shared fault-free prefix once,
+    /// snapshot it, and resume every job from the snapshot; jobs whose
+    /// nets the golden run never reads from the injection instant on are
+    /// classified without simulation.
+    #[default]
+    Fork,
+    /// Re-simulate every job from reset. Kept as the equivalence baseline
+    /// and for A/B benchmarking; produces bit-identical records.
+    FullReexecution,
+}
+
 /// A fault-injection campaign: one workload, one injection domain, a fault
 /// list and a set of fault models.
 #[derive(Debug, Clone)]
@@ -65,6 +142,7 @@ pub struct Campaign {
     kinds: Vec<FaultKind>,
     sample: Option<(usize, u64)>,
     injection: InjectionInstant,
+    execution: Execution,
     config: Leon3Config,
 }
 
@@ -78,6 +156,7 @@ impl Campaign {
             kinds: FaultKind::ALL.to_vec(),
             sample: None,
             injection: InjectionInstant::Cycle(0),
+            execution: Execution::default(),
             config: Leon3Config::default(),
         }
     }
@@ -122,7 +201,17 @@ impl Campaign {
         self
     }
 
+    /// Select the execution engine. Defaults to [`Execution::Fork`].
+    #[must_use]
+    pub fn with_execution(mut self, execution: Execution) -> Campaign {
+        self.execution = execution;
+        self
+    }
+
     /// Override the platform configuration.
+    ///
+    /// Bus-read tracing is forced off for classification runs: outcomes
+    /// are defined over the off-core *write* stream.
     #[must_use]
     pub fn with_config(mut self, config: Leon3Config) -> Campaign {
         self.config = config;
@@ -141,52 +230,32 @@ impl Campaign {
 
     /// Run the campaign on `threads` worker threads and aggregate.
     ///
+    /// The result's [`CampaignResult::stats`] reports what the configured
+    /// [`Execution`] engine actually simulated; the records themselves are
+    /// engine-independent.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is 0 or the golden run does not halt.
     pub fn run(&self, threads: usize) -> CampaignResult {
         assert!(threads > 0);
-        let golden = GoldenRun::capture(&self.program, &self.config);
-        let injection_cycle = match self.injection {
-            InjectionInstant::Cycle(c) => c,
-            InjectionInstant::Fraction(f) => (golden.cycles as f64 * f) as u64,
-        };
-        let sites = self.sites();
-        let jobs: Vec<(FaultSite, FaultKind)> = sites
+        let config = self.classification_config();
+        let golden = GoldenRun::capture(&self.program, &config);
+        let injection_cycle = self.injection_cycle(&golden);
+        let jobs: Vec<Job> = self
+            .sites()
             .iter()
-            .flat_map(|&site| self.kinds.iter().map(move |&kind| (site, kind)))
+            .flat_map(|&site| {
+                self.kinds.iter().map(move |&kind| Job {
+                    sites: [site, site],
+                    n_sites: 1,
+                    kind,
+                })
+            })
             .collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut records = vec![None; jobs.len()];
-        let records_mutex = std::sync::Mutex::new(&mut records);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, FaultRecord)> = Vec::new();
-                    // One model instance per worker, reset between runs.
-                    let mut cpu = Leon3::new(self.config.clone());
-                    loop {
-                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if idx >= jobs.len() {
-                            break;
-                        }
-                        let (site, kind) = jobs[idx];
-                        let outcome =
-                            run_one(&mut cpu, &self.program, &golden, site, kind, injection_cycle);
-                        local.push((idx, FaultRecord { site, kind, outcome }));
-                    }
-                    let mut guard = records_mutex.lock().expect("no poisoned workers");
-                    for (idx, record) in local {
-                        guard[idx] = Some(record);
-                    }
-                });
-            }
-        });
-        CampaignResult::new(records.into_iter().map(|r| r.expect("all jobs ran")).collect())
+        self.execute(threads, &config, &golden, injection_cycle, &jobs)
     }
-}
 
-impl Campaign {
     /// Dual-point variant for ISO 26262 latent-fault analysis: the sampled
     /// site list is chained into overlapping pairs `(s0,s1), (s1,s2), …`
     /// and both faults of a pair are present simultaneously. The record's
@@ -198,78 +267,264 @@ impl Campaign {
     /// golden run does not halt.
     pub fn run_pairs(&self, threads: usize) -> CampaignResult {
         assert!(threads > 0);
-        let golden = GoldenRun::capture(&self.program, &self.config);
-        let injection_cycle = match self.injection {
+        let config = self.classification_config();
+        let golden = GoldenRun::capture(&self.program, &config);
+        let injection_cycle = self.injection_cycle(&golden);
+        let sites = self.sites();
+        assert!(
+            sites.len() >= 2,
+            "dual-point campaigns need at least two sites"
+        );
+        let jobs: Vec<Job> = sites
+            .windows(2)
+            .flat_map(|w| {
+                self.kinds.iter().map(move |&kind| Job {
+                    sites: [w[0], w[1]],
+                    n_sites: 2,
+                    kind,
+                })
+            })
+            .collect();
+        self.execute(threads, &config, &golden, injection_cycle, &jobs)
+    }
+
+    /// The platform configuration used for classification runs. Bus-read
+    /// tracing is forced off: outcomes are classified against the off-core
+    /// write stream, and the divergence cursor indexes writes.
+    fn classification_config(&self) -> Leon3Config {
+        let mut config = self.config.clone();
+        config.trace_reads = false;
+        config
+    }
+
+    fn injection_cycle(&self, golden: &GoldenRun) -> u64 {
+        match self.injection {
             InjectionInstant::Cycle(c) => c,
             InjectionInstant::Fraction(f) => (golden.cycles as f64 * f) as u64,
+        }
+    }
+
+    /// Simulate the shared fault-free prefix once and snapshot it (fork
+    /// engine only). The snapshot sits at the last instruction boundary
+    /// whose cycle count is strictly below the injection instant, so the
+    /// activation tick — and an open-line fault's held value — are
+    /// bit-identical to a run from reset.
+    fn prefix(
+        &self,
+        config: &Leon3Config,
+        golden: &GoldenRun,
+        injection_cycle: u64,
+    ) -> Option<Prefix> {
+        if self.execution != Execution::Fork {
+            return None;
+        }
+        let steps = golden.prefix_steps(injection_cycle);
+        let mut cpu = Leon3::new(config.clone());
+        cpu.load(&self.program);
+        for _ in 0..steps {
+            cpu.step();
+        }
+        Some(Prefix {
+            snapshot: cpu.snapshot(),
+            steps: steps as u64,
+        })
+    }
+
+    fn execute(
+        &self,
+        threads: usize,
+        config: &Leon3Config,
+        golden: &GoldenRun,
+        injection_cycle: u64,
+        jobs: &[Job],
+    ) -> CampaignResult {
+        let prefix = self.prefix(config, golden, injection_cycle);
+        let ctx = JobContext {
+            program: &self.program,
+            golden,
+            prefix: prefix.as_ref(),
+            injection_cycle,
         };
-        let sites = self.sites();
-        assert!(sites.len() >= 2, "dual-point campaigns need at least two sites");
-        let jobs: Vec<(FaultSite, FaultSite, FaultKind)> = sites
-            .windows(2)
-            .flat_map(|w| self.kinds.iter().map(move |&kind| (w[0], w[1], kind)))
-            .collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut records = vec![None; jobs.len()];
         let records_mutex = std::sync::Mutex::new(&mut records);
+        let mut stats = CampaignStats {
+            jobs: jobs.len(),
+            golden_cycles: golden.cycles,
+            ..CampaignStats::default()
+        };
+        if let Some(prefix) = &prefix {
+            // The shared prefix is simulated exactly once.
+            stats.prefix_cycles = prefix.snapshot.cycle();
+            stats.cycles_simulated = prefix.snapshot.cycle();
+        }
+        let stats_mutex = std::sync::Mutex::new(&mut stats);
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let mut local = Vec::new();
-                    let mut cpu = Leon3::new(self.config.clone());
+                    let mut local: Vec<(usize, FaultRecord)> = Vec::new();
+                    let mut tally = CampaignStats::default();
+                    // One model instance per worker, reset or restored
+                    // between runs.
+                    let mut cpu = Leon3::new(config.clone());
                     loop {
                         let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if idx >= jobs.len() {
                             break;
                         }
-                        let (first, second, kind) = jobs[idx];
-                        cpu.reset();
-                        cpu.load(&self.program);
-                        for site in [first, second] {
-                            cpu.inject(Fault {
-                                net: site.net,
-                                bit: site.bit,
-                                kind,
-                                from_cycle: injection_cycle,
-                            });
-                        }
-                        let outcome = observe(&mut cpu, &golden, injection_cycle);
-                        local.push((idx, FaultRecord { site: first, kind, outcome }));
+                        let job = &jobs[idx];
+                        let outcome = run_job(&mut cpu, &ctx, &mut tally, job);
+                        local.push((
+                            idx,
+                            FaultRecord {
+                                site: job.sites[0],
+                                kind: job.kind,
+                                outcome,
+                            },
+                        ));
                     }
                     let mut guard = records_mutex.lock().expect("no poisoned workers");
                     for (idx, record) in local {
                         guard[idx] = Some(record);
                     }
+                    drop(guard);
+                    stats_mutex
+                        .lock()
+                        .expect("no poisoned workers")
+                        .merge(&tally);
                 });
             }
         });
-        CampaignResult::new(records.into_iter().map(|r| r.expect("all jobs ran")).collect())
+        CampaignResult::with_stats(
+            records
+                .into_iter()
+                .map(|r| r.expect("all jobs ran"))
+                .collect(),
+            stats,
+        )
     }
 }
 
-/// Execute one faulty run, comparing the write stream against the golden
-/// run online and stopping at the first divergence.
-fn run_one(
-    cpu: &mut Leon3,
-    program: &Program,
-    golden: &GoldenRun,
-    site: FaultSite,
+/// One unit of campaign work: one or two simultaneous faults of one model.
+#[derive(Clone, Copy)]
+struct Job {
+    sites: [FaultSite; 2],
+    n_sites: usize,
     kind: FaultKind,
-    injection_cycle: u64,
-) -> FaultOutcome {
-    cpu.reset();
-    cpu.load(program);
-    cpu.inject(Fault { net: site.net, bit: site.bit, kind, from_cycle: injection_cycle });
-    observe(cpu, golden, injection_cycle)
 }
 
-/// Run an already-prepared (loaded and injected) model to completion,
-/// classifying against the golden run with online divergence detection.
-fn observe(cpu: &mut Leon3, golden: &GoldenRun, injection_cycle: u64) -> FaultOutcome {
+impl Job {
+    fn sites(&self) -> &[FaultSite] {
+        &self.sites[..self.n_sites]
+    }
+}
+
+/// The shared fault-free prefix of a fork-engine campaign.
+struct Prefix {
+    snapshot: Snapshot,
+    /// `step()` calls consumed by the prefix, so a forked run's hang
+    /// budget counts exactly as a run from reset would.
+    steps: u64,
+}
+
+/// Everything a worker needs to classify one job.
+struct JobContext<'a> {
+    program: &'a Program,
+    golden: &'a GoldenRun,
+    prefix: Option<&'a Prefix>,
+    injection_cycle: u64,
+}
+
+/// Classify one job. On the fork engine the model is restored from the
+/// shared prefix snapshot — or the job is skipped outright when the golden
+/// run never reads any injected net from the injection instant on; on the
+/// full-reexecution engine it is reset and re-run from cycle 0.
+fn run_job(
+    cpu: &mut Leon3,
+    ctx: &JobContext<'_>,
+    tally: &mut CampaignStats,
+    job: &Job,
+) -> FaultOutcome {
+    match ctx.prefix {
+        Some(prefix) => {
+            let inert = job
+                .sites()
+                .iter()
+                .all(|s| !ctx.golden.net_exercised_from(s.net, ctx.injection_cycle));
+            if inert {
+                // The fault can never be read: the faulty run reproduces
+                // the golden run to the end by construction.
+                tally.skipped_inactive += 1;
+                tally.cycles_avoided += ctx.golden.cycles;
+                return FaultOutcome::NoEffect;
+            }
+            tally.forked += 1;
+            cpu.restore(&prefix.snapshot);
+            inject_all(cpu, job, ctx.injection_cycle);
+            let run = observe(
+                cpu,
+                ctx.golden,
+                ctx.injection_cycle,
+                prefix.steps,
+                prefix.snapshot.trace_len(),
+            );
+            tally.cycles_simulated += cpu.cycles() - prefix.snapshot.cycle();
+            tally.cycles_avoided += prefix.snapshot.cycle();
+            tally.short_circuited += usize::from(run.short_circuited);
+            run.outcome
+        }
+        None => {
+            tally.full_reexecutions += 1;
+            cpu.reset();
+            cpu.load(ctx.program);
+            inject_all(cpu, job, ctx.injection_cycle);
+            let run = observe(cpu, ctx.golden, ctx.injection_cycle, 0, 0);
+            tally.cycles_simulated += cpu.cycles();
+            tally.short_circuited += usize::from(run.short_circuited);
+            run.outcome
+        }
+    }
+}
+
+fn inject_all(cpu: &mut Leon3, job: &Job, injection_cycle: u64) {
+    for site in job.sites() {
+        cpu.inject(Fault {
+            net: site.net,
+            bit: site.bit,
+            kind: job.kind,
+            from_cycle: injection_cycle,
+        });
+    }
+}
+
+/// What [`observe`] saw.
+struct Observation {
+    outcome: FaultOutcome,
+    /// The run was cut short at a diverging write, before the faulty core
+    /// reached a halt, error-mode stop or its cycle budget.
+    short_circuited: bool,
+}
+
+/// Run an already-prepared (loaded/restored and injected) model to
+/// completion, classifying against the golden run with online divergence
+/// detection. `steps_done` and `writes_checked` seed the hang budget and
+/// the divergence cursor when resuming from a prefix snapshot; both are 0
+/// for a run from reset.
+fn observe(
+    cpu: &mut Leon3,
+    golden: &GoldenRun,
+    injection_cycle: u64,
+    steps_done: u64,
+    writes_checked: usize,
+) -> Observation {
     // Budget: generous multiple of the golden run, so hangs terminate.
     let budget = golden.instructions * 2 + 10_000;
-    let mut executed: u64 = 0;
-    let mut checked: usize = 0;
+    let mut executed: u64 = steps_done;
+    let mut checked: usize = writes_checked;
+    let stop = |outcome| Observation {
+        outcome,
+        short_circuited: true,
+    };
     loop {
         let event = cpu.step();
         executed += 1;
@@ -280,16 +535,16 @@ fn observe(cpu: &mut Leon3, golden: &GoldenRun, injection_cycle: u64) -> FaultOu
             match golden.writes.get(checked) {
                 None => {
                     // Extra write beyond the golden stream.
-                    return FaultOutcome::Failure {
+                    return stop(FaultOutcome::Failure {
                         divergence: checked,
                         latency_cycles: w.at.saturating_sub(injection_cycle),
-                    };
+                    });
                 }
                 Some(g) if !w.same_payload(g) => {
-                    return FaultOutcome::Failure {
+                    return stop(FaultOutcome::Failure {
                         divergence: checked,
                         latency_cycles: w.at.saturating_sub(injection_cycle),
-                    };
+                    });
                 }
                 Some(_) => checked += 1,
             }
@@ -298,10 +553,13 @@ fn observe(cpu: &mut Leon3, golden: &GoldenRun, injection_cycle: u64) -> FaultOu
             break;
         }
         if executed >= budget {
-            return FaultOutcome::Hang;
+            return Observation {
+                outcome: FaultOutcome::Hang,
+                short_circuited: false,
+            };
         }
     }
-    match cpu.exit() {
+    let outcome = match cpu.exit() {
         Some(Exit::Halted(code)) => {
             if checked < golden.writes.len() {
                 // Truncated write stream: the missing write is detected at
@@ -323,7 +581,34 @@ fn observe(cpu: &mut Leon3, golden: &GoldenRun, injection_cycle: u64) -> FaultOu
             latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
         },
         None => FaultOutcome::Hang,
+    };
+    Observation {
+        outcome,
+        short_circuited: false,
     }
+}
+
+/// Execute one faulty run from reset (full re-execution), comparing the
+/// write stream against the golden run online and stopping at the first
+/// divergence.
+#[cfg(test)]
+fn run_one(
+    cpu: &mut Leon3,
+    program: &Program,
+    golden: &GoldenRun,
+    site: FaultSite,
+    kind: FaultKind,
+    injection_cycle: u64,
+) -> FaultOutcome {
+    cpu.reset();
+    cpu.load(program);
+    cpu.inject(Fault {
+        net: site.net,
+        bit: site.bit,
+        kind,
+        from_cycle: injection_cycle,
+    });
+    observe(cpu, golden, injection_cycle, 0, 0).outcome
 }
 
 #[cfg(test)]
@@ -357,6 +642,15 @@ mod tests {
         let golden = GoldenRun::capture(&small_program(), &Leon3Config::default());
         assert_eq!(golden.writes.len(), 10);
         assert!(golden.instructions > 30);
+        // One step-cycle entry per step() call, monotonically increasing,
+        // ending at the golden cycle count.
+        assert!(golden.step_cycles.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(golden.step_cycles.last().copied(), Some(golden.cycles));
+        assert_eq!(golden.prefix_steps(0), 0);
+        assert_eq!(
+            golden.prefix_steps(golden.cycles + 1),
+            golden.step_cycles.len()
+        );
     }
 
     #[test]
@@ -373,7 +667,11 @@ mod tests {
             &mut worker,
             &program,
             &golden,
-            FaultSite { net: pc_net, bit: 2, unit: Unit::Fetch },
+            FaultSite {
+                net: pc_net,
+                bit: 2,
+                unit: Unit::Fetch,
+            },
             FaultKind::StuckAt1,
             0,
         );
@@ -384,7 +682,11 @@ mod tests {
             &mut worker,
             &program,
             &golden,
-            FaultSite { net: unused_rf, bit: 5, unit: Unit::RegFile },
+            FaultSite {
+                net: unused_rf,
+                bit: 5,
+                unit: Unit::RegFile,
+            },
             FaultKind::StuckAt1,
             0,
         );
@@ -413,7 +715,11 @@ mod tests {
             .with_kinds(&[FaultKind::StuckAt1]);
         let a = campaign.run(4);
         let b = campaign.run(2);
-        assert_eq!(a.records(), b.records(), "thread count must not change results");
+        assert_eq!(
+            a.records(),
+            b.records(),
+            "thread count must not change results"
+        );
     }
 
     #[test]
@@ -422,7 +728,11 @@ mod tests {
         let program = small_program();
         let golden = GoldenRun::capture(&program, &Leon3Config::default());
         let cpu = Leon3::new(Leon3Config::default());
-        let site = FaultSite { net: cpu.nets().pc, bit: 2, unit: Unit::Fetch };
+        let site = FaultSite {
+            net: cpu.nets().pc,
+            bit: 2,
+            unit: Unit::Fetch,
+        };
         let mut worker = Leon3::new(Leon3Config::default());
         let late = run_one(
             &mut worker,
@@ -435,5 +745,96 @@ mod tests {
         assert_eq!(late, FaultOutcome::NoEffect);
         let early = run_one(&mut worker, &program, &golden, site, FaultKind::StuckAt1, 0);
         assert!(early.is_failure());
+    }
+
+    #[test]
+    fn fork_engine_matches_full_reexecution_mid_run() {
+        // The correctness bar of the fork engine: bit-identical records,
+        // fewer cycles simulated. A mid-run injection instant exercises
+        // the shared prefix snapshot and open-line live-value capture.
+        let program = small_program();
+        let campaign = Campaign::new(program, Target::IntegerUnit)
+            .with_sample(25, 11)
+            .with_injection_fraction(0.4);
+        let fork = campaign.run(4);
+        let full = campaign
+            .clone()
+            .with_execution(Execution::FullReexecution)
+            .run(4);
+        assert_eq!(fork.records(), full.records());
+        assert!(
+            fork.stats().cycles_simulated < full.stats().cycles_simulated,
+            "fork must simulate fewer cycles: {} vs {}",
+            fork.stats().cycles_simulated,
+            full.stats().cycles_simulated,
+        );
+        assert_eq!(fork.stats().jobs, full.stats().jobs);
+        assert_eq!(
+            fork.stats().forked + fork.stats().skipped_inactive,
+            fork.stats().jobs,
+            "every fork-engine job is either forked or tracker-skipped",
+        );
+        assert_eq!(full.stats().full_reexecutions, full.stats().jobs);
+        assert_eq!(full.stats().cycles_avoided, 0);
+    }
+
+    #[test]
+    fn pair_campaign_forks_and_matches_full_reexecution() {
+        let program = small_program();
+        let campaign = Campaign::new(program, Target::IntegerUnit)
+            .with_sample(12, 5)
+            .with_kinds(&[FaultKind::StuckAt0, FaultKind::OpenLine])
+            .with_injection_fraction(0.25);
+        let fork = campaign.run_pairs(4);
+        let full = campaign
+            .clone()
+            .with_execution(Execution::FullReexecution)
+            .run_pairs(4);
+        assert_eq!(fork.records(), full.records());
+        assert!(fork.stats().cycles_simulated < full.stats().cycles_simulated);
+    }
+
+    #[test]
+    fn activation_tracker_skips_cold_sites() {
+        // Injecting long after the halt leaves every net unread from the
+        // injection instant on: the fork engine classifies the whole
+        // campaign without simulating a single faulty cycle.
+        let program = small_program();
+        let golden = GoldenRun::capture(&program, &Leon3Config::default());
+        let campaign = Campaign::new(program, Target::IntegerUnit)
+            .with_sample(10, 23)
+            .with_injection_cycle(golden.cycles + 1000);
+        let result = campaign.run(2);
+        assert!(result
+            .records()
+            .iter()
+            .all(|r| r.outcome == FaultOutcome::NoEffect));
+        assert_eq!(result.stats().skipped_inactive, result.stats().jobs);
+        assert_eq!(result.stats().forked, 0);
+        // Only the (full-length) prefix was simulated, once.
+        assert_eq!(result.stats().cycles_simulated, golden.cycles);
+    }
+
+    #[test]
+    fn failures_short_circuit_before_the_faulty_halt() {
+        // A PC stuck-at diverges almost immediately; the stream comparator
+        // must cut the run at the first bad write rather than simulate to
+        // the budget.
+        let program = small_program();
+        let campaign = Campaign::new(program, Target::IntegerUnit)
+            .with_sample(40, 3)
+            .with_kinds(&[FaultKind::StuckAt1]);
+        let result = campaign.run(4);
+        let failures = result
+            .records()
+            .iter()
+            .filter(|r| r.outcome.is_failure())
+            .count();
+        assert!(failures > 0, "expected some failures in an IU campaign");
+        assert!(
+            result.stats().short_circuited > 0,
+            "diverging runs must be cut short: {:?}",
+            result.stats(),
+        );
     }
 }

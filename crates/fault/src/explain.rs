@@ -30,7 +30,12 @@ pub fn explain(
     let mut cpu = Leon3::new(config.clone());
     cpu.load(program);
     cpu.enable_instruction_trace(12);
-    cpu.inject(Fault { net: site.net, bit: site.bit, kind, from_cycle: injection_cycle });
+    cpu.inject(Fault {
+        net: site.net,
+        bit: site.bit,
+        kind,
+        from_cycle: injection_cycle,
+    });
 
     let net_name = cpu.pool().meta(site.net).name.clone();
     let mut report = String::new();
@@ -66,20 +71,14 @@ pub fn explain(
         }
         if event == StepEvent::Stopped {
             break match cpu.exit() {
-                Some(Exit::Halted(_)) if checked < golden.writes.len() => {
-                    FaultOutcome::Failure {
-                        divergence: checked,
-                        latency_cycles: golden.writes[checked]
-                            .at
-                            .saturating_sub(injection_cycle),
-                    }
-                }
-                Some(Exit::Halted(code)) if code != golden.exit_code => {
-                    FaultOutcome::Failure {
-                        divergence: checked,
-                        latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
-                    }
-                }
+                Some(Exit::Halted(_)) if checked < golden.writes.len() => FaultOutcome::Failure {
+                    divergence: checked,
+                    latency_cycles: golden.writes[checked].at.saturating_sub(injection_cycle),
+                },
+                Some(Exit::Halted(code)) if code != golden.exit_code => FaultOutcome::Failure {
+                    divergence: checked,
+                    latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
+                },
                 Some(Exit::Halted(_)) => FaultOutcome::NoEffect,
                 Some(Exit::ErrorMode(_)) => FaultOutcome::ErrorModeStop {
                     latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
@@ -94,9 +93,15 @@ pub fn explain(
 
     match outcome {
         FaultOutcome::NoEffect => {
-            let _ = writeln!(report, "outcome: NO EFFECT — off-core activity identical to golden");
+            let _ = writeln!(
+                report,
+                "outcome: NO EFFECT — off-core activity identical to golden"
+            );
         }
-        FaultOutcome::Failure { divergence, latency_cycles } => {
+        FaultOutcome::Failure {
+            divergence,
+            latency_cycles,
+        } => {
             let _ = writeln!(
                 report,
                 "outcome: FAILURE at write #{divergence} after {latency_cycles} cycles ({:.2} µs)",
@@ -122,7 +127,10 @@ pub fn explain(
             }
         }
         FaultOutcome::Hang => {
-            let _ = writeln!(report, "outcome: HANG — no divergence within {budget} instructions");
+            let _ = writeln!(
+                report,
+                "outcome: HANG — no divergence within {budget} instructions"
+            );
         }
         FaultOutcome::ErrorModeStop { latency_cycles } => {
             let _ = writeln!(
@@ -146,19 +154,30 @@ mod tests {
     use sparc_isa::Unit;
 
     fn program() -> Program {
-        assemble(
-            "_start: set 0x40001000, %l0\n mov 7, %o0\n st %o0, [%l0]\n halt\n",
-        )
-        .expect("assembles")
+        assemble("_start: set 0x40001000, %l0\n mov 7, %o0\n st %o0, [%l0]\n halt\n")
+            .expect("assembles")
     }
 
     #[test]
     fn explains_a_propagating_fault() {
         let cpu = Leon3::new(Leon3Config::default());
-        let site = FaultSite { net: cpu.nets().add_res, bit: 2, unit: Unit::AluAdd };
-        let report = explain(&program(), &Leon3Config::default(), site, FaultKind::StuckAt1, 0);
+        let site = FaultSite {
+            net: cpu.nets().add_res,
+            bit: 2,
+            unit: Unit::AluAdd,
+        };
+        let report = explain(
+            &program(),
+            &Leon3Config::default(),
+            site,
+            FaultKind::StuckAt1,
+            0,
+        );
         assert!(report.contains("iu.ex.add_res[2]"), "{report}");
-        assert!(report.contains("FAILURE") || report.contains("ERROR-MODE") || report.contains("HANG"), "{report}");
+        assert!(
+            report.contains("FAILURE") || report.contains("ERROR-MODE") || report.contains("HANG"),
+            "{report}"
+        );
         assert!(report.contains("last instructions"), "{report}");
         assert!(report.contains("0x4000"), "{report}");
     }
@@ -168,8 +187,18 @@ mod tests {
         let cpu = Leon3::new(Leon3Config::default());
         // An untouched register-file slot (window 3's locals — the tiny
         // program never leaves window 0, whose outs are slots 120..128).
-        let site = FaultSite { net: cpu.nets().rf[64], bit: 9, unit: Unit::RegFile };
-        let report = explain(&program(), &Leon3Config::default(), site, FaultKind::StuckAt1, 0);
+        let site = FaultSite {
+            net: cpu.nets().rf[64],
+            bit: 9,
+            unit: Unit::RegFile,
+        };
+        let report = explain(
+            &program(),
+            &Leon3Config::default(),
+            site,
+            FaultKind::StuckAt1,
+            0,
+        );
         assert!(report.contains("NO EFFECT"), "{report}");
     }
 
@@ -178,8 +207,13 @@ mod tests {
         // Smoke: every site in a small sample produces a well-formed report.
         let campaign = crate::Campaign::new(program(), Target::IntegerUnit).with_sample(8, 3);
         for site in campaign.sites() {
-            let report =
-                explain(&program(), &Leon3Config::default(), site, FaultKind::OpenLine, 0);
+            let report = explain(
+                &program(),
+                &Leon3Config::default(),
+                site,
+                FaultKind::OpenLine,
+                0,
+            );
             assert!(report.starts_with("fault: open-line on "), "{report}");
         }
     }

@@ -8,9 +8,7 @@
 //! diversity-based correlation instead.
 
 use crate::result::FaultOutcome;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use analysis::SplitMix64;
 use sparc_asm::Program;
 use sparc_iss::{ArchFault, ArchFaultModel, Exit, Iss, IssConfig, RunOutcome, StepEvent};
 
@@ -63,12 +61,16 @@ impl IssCampaign {
         let slots = 8 + sparc_isa::NWINDOWS * 16;
         let mut all: Vec<ArchFault> = (1..slots)
             .flat_map(|slot| {
-                (0..32u8).map(move |bit| ArchFault { slot, bit, model: self.model })
+                (0..32u8).map(move |bit| ArchFault {
+                    slot,
+                    bit,
+                    model: self.model,
+                })
             })
             .collect();
         if let Some((n, seed)) = self.sample {
-            let mut rng = StdRng::seed_from_u64(seed);
-            all.shuffle(&mut rng);
+            let mut rng = SplitMix64::new(seed);
+            rng.shuffle(&mut all);
             all.truncate(n);
         }
         all
@@ -83,7 +85,10 @@ impl IssCampaign {
         let mut golden = Iss::new(self.config.clone());
         golden.load(&self.program);
         let outcome = golden.run(u64::MAX / 2);
-        assert!(matches!(outcome, RunOutcome::Halted { .. }), "golden ISS run must halt");
+        assert!(
+            matches!(outcome, RunOutcome::Halted { .. }),
+            "golden ISS run must halt"
+        );
         let golden_writes: Vec<_> = golden.bus_trace().writes().copied().collect();
         let golden_exit = match golden.exit() {
             Some(Exit::Halted(code)) => code,
@@ -137,9 +142,9 @@ impl IssCampaign {
                                     FaultOutcome::NoEffect
                                 }
                             }
-                            Some(Exit::ErrorMode(_)) => {
-                                FaultOutcome::ErrorModeStop { latency_cycles: iss.cycles() }
-                            }
+                            Some(Exit::ErrorMode(_)) => FaultOutcome::ErrorModeStop {
+                                latency_cycles: iss.cycles(),
+                            },
                             None => FaultOutcome::Hang,
                         };
                     }

@@ -14,7 +14,12 @@
 //!   mode remains available).
 //! * [`Campaign`] runs one workload against a fault list across all three
 //!   fault models, multi-threaded, stopping each faulty run at its first
-//!   observable divergence.
+//!   observable divergence. The default [`Execution::Fork`] engine
+//!   simulates the shared fault-free prefix once, forks every job from the
+//!   resulting snapshot, and skips jobs whose nets the golden run never
+//!   exercises after the injection instant; [`CampaignStats`] accounts for
+//!   the cycles saved. [`Execution::FullReexecution`] re-runs every job
+//!   from reset and produces bit-identical records.
 //! * [`CampaignResult`] aggregates `Pf` (fraction of injected faults that
 //!   become failures) and propagation-latency statistics per fault model.
 //!
@@ -45,8 +50,8 @@ mod result;
 mod sites;
 
 pub use bridging::{bridge_pairs, bridge_pf, BridgeRecord, BridgingCampaign};
-pub use campaign::{Campaign, GoldenRun, InjectionInstant};
+pub use campaign::{Campaign, Execution, GoldenRun, InjectionInstant};
 pub use explain::explain;
 pub use iss_campaign::{arch_pf, ArchRecord, IssCampaign};
-pub use result::{CampaignResult, FaultOutcome, FaultRecord, ModelSummary};
+pub use result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord, ModelSummary};
 pub use sites::{fault_sites, sample_sites, unit_bit_counts, FaultSite, Target};

@@ -97,20 +97,95 @@ impl ModelSummary {
     }
 }
 
+/// Execution-cost accounting for one campaign run.
+///
+/// The classification in [`CampaignResult::records`] is independent of the
+/// execution engine (fork-based and full-reexecution campaigns produce
+/// bit-identical records); these counters expose what the
+/// checkpoint-and-fork engine *saved*. All cycle figures count faulty-run
+/// simulation work only — the golden reference run is common to both
+/// engines and excluded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Total (site, kind) jobs in the campaign.
+    pub jobs: usize,
+    /// Jobs resumed from the shared fault-free prefix snapshot.
+    pub forked: usize,
+    /// Jobs simulated from cycle 0 (the full-reexecution engine).
+    pub full_reexecutions: usize,
+    /// Jobs classified `NoEffect` without any simulation because the
+    /// golden run never reads the injected net from the injection instant
+    /// on (the site-activation tracker).
+    pub skipped_inactive: usize,
+    /// Runs terminated at the first diverging write, before the faulty
+    /// core reached its own halt or budget.
+    pub short_circuited: usize,
+    /// Cycles of the shared fault-free prefix (simulated once per
+    /// campaign by the fork engine; zero under full re-execution).
+    pub prefix_cycles: u64,
+    /// The golden run's cycle count, for scale.
+    pub golden_cycles: u64,
+    /// Faulty-run cycles actually simulated, including the one-off prefix.
+    pub cycles_simulated: u64,
+    /// Cycles a full-reexecution engine would have simulated on top of
+    /// `cycles_simulated`: the shared prefix re-run per forked job, plus
+    /// one whole golden-length run per activation-skipped job.
+    pub cycles_avoided: u64,
+}
+
+impl CampaignStats {
+    /// Fraction of jobs that ended by early divergence detection.
+    pub fn short_circuit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.short_circuited as f64 / self.jobs as f64
+        }
+    }
+
+    /// Accumulate another run's counters (used when merging shards).
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.jobs += other.jobs;
+        self.forked += other.forked;
+        self.full_reexecutions += other.full_reexecutions;
+        self.skipped_inactive += other.skipped_inactive;
+        self.short_circuited += other.short_circuited;
+        self.prefix_cycles += other.prefix_cycles;
+        self.golden_cycles = self.golden_cycles.max(other.golden_cycles);
+        self.cycles_simulated += other.cycles_simulated;
+        self.cycles_avoided += other.cycles_avoided;
+    }
+}
+
 /// The full result of a campaign.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignResult {
     records: Vec<FaultRecord>,
+    stats: CampaignStats,
 }
 
 impl CampaignResult {
+    #[cfg(test)]
     pub(crate) fn new(records: Vec<FaultRecord>) -> CampaignResult {
-        CampaignResult { records }
+        CampaignResult {
+            records,
+            stats: CampaignStats::default(),
+        }
+    }
+
+    pub(crate) fn with_stats(records: Vec<FaultRecord>, stats: CampaignStats) -> CampaignResult {
+        CampaignResult { records, stats }
     }
 
     /// All records.
     pub fn records(&self) -> &[FaultRecord] {
         &self.records
+    }
+
+    /// Execution-cost accounting for this run (how much work the engine
+    /// actually did, and what the fork/short-circuit machinery saved).
+    pub fn stats(&self) -> &CampaignStats {
+        &self.stats
     }
 
     /// Records for one fault model.
@@ -122,8 +197,10 @@ impl CampaignResult {
     pub fn summary(&self, kind: FaultKind) -> ModelSummary {
         let records: Vec<&FaultRecord> = self.records_for(kind).collect();
         let failures = records.iter().filter(|r| r.outcome.is_failure()).count();
-        let hangs =
-            records.iter().filter(|r| matches!(r.outcome, FaultOutcome::Hang)).count();
+        let hangs = records
+            .iter()
+            .filter(|r| matches!(r.outcome, FaultOutcome::Hang))
+            .count();
         let latencies: Vec<f64> = records
             .iter()
             .filter_map(|r| r.outcome.latency_cycles())
@@ -133,9 +210,10 @@ impl CampaignResult {
             injections: records.len(),
             failures,
             hangs,
-            max_latency_us: latencies.iter().copied().fold(None, |m, v| {
-                Some(m.map_or(v, |m: f64| m.max(v)))
-            }),
+            max_latency_us: latencies
+                .iter()
+                .copied()
+                .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v)))),
             mean_latency_us: if latencies.is_empty() {
                 None
             } else {
@@ -166,14 +244,20 @@ impl CampaignResult {
             .collect()
     }
 
-    /// Merge two campaign results (e.g. per-dataset shards).
+    /// Merge two campaign results (e.g. per-dataset shards). Records are
+    /// concatenated and cost counters accumulated.
     pub fn merge(&mut self, other: CampaignResult) {
         self.records.extend(other.records);
+        self.stats.merge(&other.stats);
     }
 
     /// Histogram of propagation latencies (µs) for one fault model, or
     /// `None` when fewer than two distinct latencies were observed.
-    pub fn latency_histogram(&self, kind: FaultKind, buckets: usize) -> Option<analysis::Histogram> {
+    pub fn latency_histogram(
+        &self,
+        kind: FaultKind,
+        buckets: usize,
+    ) -> Option<analysis::Histogram> {
         let latencies: Vec<f64> = self
             .records_for(kind)
             .filter_map(|r| r.outcome.latency_cycles())
@@ -204,9 +288,14 @@ impl CampaignResult {
         for r in &self.records {
             let (outcome, divergence, latency) = match r.outcome {
                 FaultOutcome::NoEffect => ("no_effect", String::new(), String::new()),
-                FaultOutcome::Failure { divergence, latency_cycles } => {
-                    ("failure", divergence.to_string(), latency_cycles.to_string())
-                }
+                FaultOutcome::Failure {
+                    divergence,
+                    latency_cycles,
+                } => (
+                    "failure",
+                    divergence.to_string(),
+                    latency_cycles.to_string(),
+                ),
                 FaultOutcome::Hang => ("hang", String::new(), String::new()),
                 FaultOutcome::ErrorModeStop { latency_cycles } => {
                     ("error_mode", String::new(), latency_cycles.to_string())
@@ -260,7 +349,11 @@ mod tests {
 
     fn record(kind: FaultKind, outcome: FaultOutcome) -> FaultRecord {
         FaultRecord {
-            site: FaultSite { net: NetId::from_raw(0), bit: 0, unit: Unit::Fetch },
+            site: FaultSite {
+                net: NetId::from_raw(0),
+                bit: 0,
+                unit: Unit::Fetch,
+            },
             kind,
             outcome,
         }
@@ -270,9 +363,20 @@ mod tests {
     fn pf_counts_all_failure_kinds() {
         let result = CampaignResult::new(vec![
             record(FaultKind::StuckAt1, FaultOutcome::NoEffect),
-            record(FaultKind::StuckAt1, FaultOutcome::Failure { divergence: 0, latency_cycles: 80 }),
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::Failure {
+                    divergence: 0,
+                    latency_cycles: 80,
+                },
+            ),
             record(FaultKind::StuckAt1, FaultOutcome::Hang),
-            record(FaultKind::StuckAt1, FaultOutcome::ErrorModeStop { latency_cycles: 160 }),
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::ErrorModeStop {
+                    latency_cycles: 160,
+                },
+            ),
         ]);
         let s = result.summary(FaultKind::StuckAt1);
         assert_eq!(s.injections, 4);
@@ -305,7 +409,11 @@ mod tests {
             max_latency_us: None,
             mean_latency_us: None,
         };
-        let large = ModelSummary { injections: 2000, failures: 500, ..small };
+        let large = ModelSummary {
+            injections: 2000,
+            failures: 500,
+            ..small
+        };
         let (lo_s, hi_s) = small.pf_interval(0.95).unwrap();
         let (lo_l, hi_l) = large.pf_interval(0.95).unwrap();
         assert!(hi_l - lo_l < hi_s - lo_s);
@@ -326,7 +434,10 @@ mod tests {
             .map(|i| {
                 record(
                     FaultKind::StuckAt1,
-                    FaultOutcome::Failure { divergence: 0, latency_cycles: i * 80 },
+                    FaultOutcome::Failure {
+                        divergence: 0,
+                        latency_cycles: i * 80,
+                    },
                 )
             })
             .collect();
@@ -340,9 +451,20 @@ mod tests {
     fn outcome_breakdown_and_csv() {
         let result = CampaignResult::new(vec![
             record(FaultKind::StuckAt1, FaultOutcome::NoEffect),
-            record(FaultKind::StuckAt1, FaultOutcome::Failure { divergence: 3, latency_cycles: 80 }),
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::Failure {
+                    divergence: 3,
+                    latency_cycles: 80,
+                },
+            ),
             record(FaultKind::StuckAt1, FaultOutcome::Hang),
-            record(FaultKind::StuckAt1, FaultOutcome::ErrorModeStop { latency_cycles: 160 }),
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::ErrorModeStop {
+                    latency_cycles: 160,
+                },
+            ),
         ]);
         assert_eq!(result.outcome_breakdown(FaultKind::StuckAt1), (1, 1, 1, 1));
         assert_eq!(result.outcome_breakdown(FaultKind::OpenLine), (0, 0, 0, 0));
@@ -358,7 +480,10 @@ mod tests {
     fn display_lists_models() {
         let result = CampaignResult::new(vec![record(
             FaultKind::StuckAt1,
-            FaultOutcome::Failure { divergence: 0, latency_cycles: 1 },
+            FaultOutcome::Failure {
+                divergence: 0,
+                latency_cycles: 1,
+            },
         )]);
         let text = result.to_string();
         assert!(text.contains("stuck-at-1"));

@@ -1,9 +1,7 @@
 //! The injectable fault universe and sampling.
 
+use analysis::SplitMix64;
 use leon3_model::Leon3;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use rtl_sim::NetId;
 use sparc_isa::Unit;
 use std::collections::BTreeMap;
@@ -66,7 +64,11 @@ pub fn fault_sites(cpu: &Leon3, target: Target) -> Vec<FaultSite> {
     for (id, meta) in cpu.pool().iter() {
         if target.includes(meta.tag) {
             for bit in 0..meta.width {
-                sites.push(FaultSite { net: id, bit, unit: meta.tag });
+                sites.push(FaultSite {
+                    net: id,
+                    bit,
+                    unit: meta.tag,
+                });
             }
         }
     }
@@ -108,10 +110,16 @@ pub fn sample_sites(sites: &[FaultSite], n: usize, seed: u64) -> Vec<FaultSite> 
         .collect();
     let stratum_sizes: BTreeMap<Unit, usize> =
         per_unit.iter().map(|(&u, v)| (u, v.len())).collect();
-    let mut overshoot = shares.iter().map(|&(_, s)| s).sum::<usize>().saturating_sub(n);
+    let mut overshoot = shares
+        .iter()
+        .map(|&(_, s)| s)
+        .sum::<usize>()
+        .saturating_sub(n);
     while overshoot > 0 {
-        if let Some(largest) =
-            shares.iter_mut().filter(|(_, s)| *s > 1).max_by_key(|&&mut (_, s)| s)
+        if let Some(largest) = shares
+            .iter_mut()
+            .filter(|(_, s)| *s > 1)
+            .max_by_key(|&&mut (_, s)| s)
         {
             largest.1 -= 1;
         } else {
@@ -126,11 +134,11 @@ pub fn sample_sites(sites: &[FaultSite], n: usize, seed: u64) -> Vec<FaultSite> 
         }
         overshoot -= 1;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut sample = Vec::with_capacity(n);
     for (unit, share) in shares {
         let unit_sites = per_unit.get_mut(&unit).expect("stratum exists");
-        unit_sites.shuffle(&mut rng);
+        rng.shuffle(unit_sites);
         sample.extend(unit_sites.iter().take(share).copied());
     }
     sample

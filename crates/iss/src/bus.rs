@@ -50,7 +50,11 @@ impl fmt::Display for BusEvent {
             BusKind::Read => "R",
             BusKind::Write => "W",
         };
-        write!(f, "[{:>8}] {dir}{} {:#010x} = {:#010x}", self.at, self.size, self.addr, self.data)
+        write!(
+            f,
+            "[{:>8}] {dir}{} {:#010x} = {:#010x}",
+            self.at, self.size, self.addr, self.data
+        )
     }
 }
 
@@ -70,7 +74,10 @@ impl BusTrace {
 
     /// An empty trace that also records off-core reads.
     pub fn with_reads() -> BusTrace {
-        BusTrace { events: Vec::new(), record_reads: true }
+        BusTrace {
+            events: Vec::new(),
+            record_reads: true,
+        }
     }
 
     /// Append an event (reads are dropped unless enabled).
@@ -140,11 +147,23 @@ mod tests {
     use super::*;
 
     fn w(at: u64, addr: u32, data: u32) -> BusEvent {
-        BusEvent { at, kind: BusKind::Write, addr, size: 4, data }
+        BusEvent {
+            at,
+            kind: BusKind::Write,
+            addr,
+            size: 4,
+            data,
+        }
     }
 
     fn r(at: u64, addr: u32) -> BusEvent {
-        BusEvent { at, kind: BusKind::Read, addr, size: 4, data: 0 }
+        BusEvent {
+            at,
+            kind: BusKind::Read,
+            addr,
+            size: 4,
+            data: 0,
+        }
     }
 
     #[test]

@@ -107,7 +107,11 @@ impl Iss {
         Iss {
             state: CpuState::at_entry(config.ram_base),
             mem: Memory::new(config.ram_base, config.ram_size),
-            trace: if config.trace_reads { BusTrace::with_reads() } else { BusTrace::new() },
+            trace: if config.trace_reads {
+                BusTrace::with_reads()
+            } else {
+                BusTrace::new()
+            },
             stats: RunStats::default(),
             timing: Timing::new(config.icache, config.dcache),
             arch_faults: Vec::new(),

@@ -80,7 +80,9 @@ impl Iss {
             return Err(TrapType::InstructionAccess);
         }
         self.timing.fetch(pc);
-        self.mem.read_u32(pc).map_err(|_| TrapType::InstructionAccess)
+        self.mem
+            .read_u32(pc)
+            .map_err(|_| TrapType::InstructionAccess)
     }
 
     /// Enter a trap: stash `pc`/`npc` in the new window's `%l1`/`%l2`,
@@ -144,7 +146,13 @@ impl Iss {
 
     fn bus(&mut self, kind: BusKind, addr: u32, size: u8, data: u32) {
         let at = self.timing.cycles();
-        self.trace.push(BusEvent { at, kind, addr, size, data });
+        self.trace.push(BusEvent {
+            at,
+            kind,
+            addr,
+            size,
+            data,
+        });
     }
 
     fn exec(&mut self, instr: &Instr) -> ExecResult {
@@ -189,9 +197,7 @@ impl Iss {
                 let (r, v, c) = sub_with_flags(a, b);
                 (r, Some(Icc::from_result(r, v, c)))
             }
-            Opcode::Subx => {
-                (a.wrapping_sub(b).wrapping_sub(u32::from(icc_in.c)), None)
-            }
+            Opcode::Subx => (a.wrapping_sub(b).wrapping_sub(u32::from(icc_in.c)), None),
             Opcode::Subxcc => {
                 let (r, v, c) = subx_with_flags(a, b, icc_in.c);
                 (r, Some(Icc::from_result(r, v, c)))
@@ -252,8 +258,8 @@ impl Iss {
                 } else {
                     (quotient as u32, false)
                 };
-                let icc = (instr.op == Opcode::Udivcc)
-                    .then(|| Icc::from_result(r, overflow, false));
+                let icc =
+                    (instr.op == Opcode::Udivcc).then(|| Icc::from_result(r, overflow, false));
                 (r, icc)
             }
             Opcode::Sdiv | Opcode::Sdivcc => {
@@ -270,8 +276,8 @@ impl Iss {
                 } else {
                     (quotient as u32, false)
                 };
-                let icc = (instr.op == Opcode::Sdivcc)
-                    .then(|| Icc::from_result(r, overflow, false));
+                let icc =
+                    (instr.op == Opcode::Sdivcc).then(|| Icc::from_result(r, overflow, false));
                 (r, icc)
             }
             Opcode::Mulscc => {
@@ -367,7 +373,9 @@ impl Iss {
                 let first = self.rreg(lo_reg);
                 let second = self.rreg(hi_reg);
                 self.mem.write_u32(addr, first).map_err(Self::mem_trap)?;
-                self.mem.write_u32(addr + 4, second).map_err(Self::mem_trap)?;
+                self.mem
+                    .write_u32(addr + 4, second)
+                    .map_err(Self::mem_trap)?;
                 self.timing.store(addr);
                 self.timing.store(addr + 4);
                 self.bus(BusKind::Write, addr, 4, first);
@@ -399,7 +407,7 @@ impl Iss {
 
     /// Word-only MMIO access to the timer's register window.
     fn exec_timer(&mut self, instr: &Instr, addr: u32) -> ExecResult {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(TrapType::MemAddressNotAligned);
         }
         let offset = addr - crate::timer::TIMER_BASE;
@@ -425,7 +433,10 @@ impl Iss {
     fn exec_branch(&mut self, instr: &Instr) -> ExecResult {
         let cond = instr.op.branch_cond().expect("branch class");
         let taken = cond.eval(self.state.psr.icc);
-        let target = self.state.pc.wrapping_add((instr.disp as u32).wrapping_mul(4));
+        let target = self
+            .state
+            .pc
+            .wrapping_add((instr.disp as u32).wrapping_mul(4));
         if taken {
             // `ba,a` annuls its delay slot even though it is taken.
             if instr.annul && cond == sparc_isa::Cond::Always {
@@ -446,7 +457,10 @@ impl Iss {
     fn exec_jump(&mut self, instr: &Instr) -> ExecResult {
         match instr.op {
             Opcode::Call => {
-                let target = self.state.pc.wrapping_add((instr.disp as u32).wrapping_mul(4));
+                let target = self
+                    .state
+                    .pc
+                    .wrapping_add((instr.disp as u32).wrapping_mul(4));
                 self.state.set_reg(Reg::O7, self.state.pc);
                 self.state.delayed_jump(target);
                 Ok(Flow::Jumped)
@@ -520,7 +534,10 @@ impl Iss {
             }
             Opcode::WrTbr => {
                 let value = self.rreg(instr.rs1) ^ self.op2_value(instr);
-                self.state.tbr = Tbr { tba: value & 0xffff_f000, ..self.state.tbr };
+                self.state.tbr = Tbr {
+                    tba: value & 0xffff_f000,
+                    ..self.state.tbr
+                };
             }
             other => unreachable!("non-special opcode {other:?} routed to exec_special"),
         }
@@ -570,9 +587,14 @@ mod tests {
 
     #[test]
     fn arithmetic_and_flags() {
-        assert_eq!(exit_code("_start: mov 5, %o0\n add %o0, 7, %o0\n halt\n"), 12);
         assert_eq!(
-            exit_code("_start: set 0xffffffff, %o0\n addcc %o0, 1, %o0\n addx %g0, %g0, %o0\n halt\n"),
+            exit_code("_start: mov 5, %o0\n add %o0, 7, %o0\n halt\n"),
+            12
+        );
+        assert_eq!(
+            exit_code(
+                "_start: set 0xffffffff, %o0\n addcc %o0, 1, %o0\n addx %g0, %g0, %o0\n halt\n"
+            ),
             1, // carry out captured by addx
         );
         assert_eq!(
@@ -583,8 +605,14 @@ mod tests {
 
     #[test]
     fn logic_and_shift() {
-        assert_eq!(exit_code("_start: set 0xf0f0, %o0\n and %o0, 0xff, %o0\n halt\n"), 0xf0);
-        assert_eq!(exit_code("_start: mov 1, %o0\n sll %o0, 12, %o0\n halt\n"), 1 << 12);
+        assert_eq!(
+            exit_code("_start: set 0xf0f0, %o0\n and %o0, 0xff, %o0\n halt\n"),
+            0xf0
+        );
+        assert_eq!(
+            exit_code("_start: mov 1, %o0\n sll %o0, 12, %o0\n halt\n"),
+            1 << 12
+        );
         assert_eq!(
             exit_code("_start: set 0x80000000, %o0\n sra %o0, 31, %o0\n halt\n"),
             0xffff_ffff,
@@ -593,7 +621,10 @@ mod tests {
             exit_code("_start: set 0x80000000, %o0\n srl %o0, 31, %o0\n halt\n"),
             1,
         );
-        assert_eq!(exit_code("_start: mov 0, %o0\n xnor %o0, %g0, %o0\n halt\n"), 0xffff_ffff);
+        assert_eq!(
+            exit_code("_start: mov 0, %o0\n xnor %o0, %g0, %o0\n halt\n"),
+            0xffff_ffff
+        );
     }
 
     #[test]
@@ -883,9 +914,18 @@ mod tests {
         assert!(matches!(iss.run(100), RunOutcome::Halted { .. }));
         let writes: Vec<_> = iss.bus_trace().writes().collect();
         assert_eq!(writes.len(), 3);
-        assert_eq!((writes[0].addr, writes[0].size, writes[0].data), (0x4000_1000, 4, 1));
-        assert_eq!((writes[1].addr, writes[1].size, writes[1].data), (0x4000_1004, 2, 2));
-        assert_eq!((writes[2].addr, writes[2].size, writes[2].data), (0x4000_1006, 1, 3));
+        assert_eq!(
+            (writes[0].addr, writes[0].size, writes[0].data),
+            (0x4000_1000, 4, 1)
+        );
+        assert_eq!(
+            (writes[1].addr, writes[1].size, writes[1].data),
+            (0x4000_1004, 2, 2)
+        );
+        assert_eq!(
+            (writes[2].addr, writes[2].size, writes[2].data),
+            (0x4000_1006, 1, 3)
+        );
     }
 
     #[test]

@@ -59,9 +59,21 @@ mod tests {
 
     #[test]
     fn stuck_at_models() {
-        let sa0 = ArchFault { slot: 9, bit: 3, model: ArchFaultModel::StuckAt0 };
-        let sa1 = ArchFault { slot: 9, bit: 3, model: ArchFaultModel::StuckAt1 };
-        let inv = ArchFault { slot: 9, bit: 3, model: ArchFaultModel::Invert };
+        let sa0 = ArchFault {
+            slot: 9,
+            bit: 3,
+            model: ArchFaultModel::StuckAt0,
+        };
+        let sa1 = ArchFault {
+            slot: 9,
+            bit: 3,
+            model: ArchFaultModel::StuckAt1,
+        };
+        let inv = ArchFault {
+            slot: 9,
+            bit: 3,
+            model: ArchFaultModel::Invert,
+        };
         assert_eq!(sa0.apply(0xffff_ffff), 0xffff_fff7);
         assert_eq!(sa1.apply(0), 8);
         assert_eq!(inv.apply(8), 0);

@@ -80,7 +80,10 @@ impl RunStats {
     /// Per-unit diversity `D_m`: unique opcodes whose unit-usage set
     /// contains `unit`.
     pub fn unit_diversity(&self, unit: Unit) -> usize {
-        self.opcode_histogram.keys().filter(|op| op.units().contains(unit)).count()
+        self.opcode_histogram
+            .keys()
+            .filter(|op| op.units().contains(unit))
+            .count()
     }
 
     /// The set of opcodes executed, in a stable order.
@@ -105,7 +108,12 @@ mod tests {
             stats.record(&alu(Opcode::Add));
         }
         stats.record(&alu(Opcode::Sub));
-        stats.record(&Instr::mem(Opcode::Ld, Reg::g(1), Reg::g(2), Operand2::imm(0)));
+        stats.record(&Instr::mem(
+            Opcode::Ld,
+            Reg::g(1),
+            Reg::g(2),
+            Operand2::imm(0),
+        ));
         assert_eq!(stats.instructions, 12);
         assert_eq!(stats.diversity(), 3);
         assert_eq!(stats.memory_instructions, 1);

@@ -52,7 +52,11 @@ pub struct Memory {
 impl Memory {
     /// Memory with the given RAM window (e.g. base `0x4000_0000`).
     pub fn new(base: u32, size: u32) -> Memory {
-        Memory { pages: HashMap::new(), base, size }
+        Memory {
+            pages: HashMap::new(),
+            base,
+            size,
+        }
     }
 
     /// The RAM window as `(base, size)`.
@@ -83,7 +87,9 @@ impl Memory {
     }
 
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
     }
 
     /// Read one byte without alignment checks.
@@ -93,7 +99,9 @@ impl Memory {
     /// Fails if the address is outside the RAM window.
     pub fn read_u8(&self, addr: u32) -> Result<u8, MemError> {
         self.check(addr, 1)?;
-        Ok(self.page(addr).map_or(0, |p| p[(addr as usize) % PAGE_SIZE]))
+        Ok(self
+            .page(addr)
+            .map_or(0, |p| p[(addr as usize) % PAGE_SIZE]))
     }
 
     /// Write one byte.
@@ -138,7 +146,12 @@ impl Memory {
         // Fast path within one page.
         let off = (addr as usize) % PAGE_SIZE;
         if let Some(p) = self.page(addr) {
-            Ok(u32::from_be_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]))
+            Ok(u32::from_be_bytes([
+                p[off],
+                p[off + 1],
+                p[off + 2],
+                p[off + 3],
+            ]))
         } else {
             Ok(0)
         }
@@ -216,20 +229,38 @@ mod tests {
     #[test]
     fn alignment_enforced() {
         let mut m = mem();
-        assert!(matches!(m.read_u32(0x4000_0002), Err(MemError::Misaligned { .. })));
-        assert!(matches!(m.read_u16(0x4000_0001), Err(MemError::Misaligned { .. })));
-        assert!(matches!(m.write_u32(0x4000_0001, 0), Err(MemError::Misaligned { .. })));
+        assert!(matches!(
+            m.read_u32(0x4000_0002),
+            Err(MemError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.read_u16(0x4000_0001),
+            Err(MemError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.write_u32(0x4000_0001, 0),
+            Err(MemError::Misaligned { .. })
+        ));
     }
 
     #[test]
     fn range_enforced() {
         let mut m = mem();
-        assert!(matches!(m.read_u32(0x3fff_fffc), Err(MemError::OutOfRange { .. })));
-        assert!(matches!(m.write_u8(0x4010_0000, 0), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(
+            m.read_u32(0x3fff_fffc),
+            Err(MemError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.write_u8(0x4010_0000, 0),
+            Err(MemError::OutOfRange { .. })
+        ));
         // Last word in range is fine.
         assert!(m.write_u32(0x400f_fffc, 1).is_ok());
         // Word straddling the end is not.
-        assert!(matches!(m.read_u16(0x400f_ffff), Err(MemError::OutOfRange { .. })));
+        assert!(matches!(
+            m.read_u16(0x400f_ffff),
+            Err(MemError::OutOfRange { .. })
+        ));
     }
 
     #[test]

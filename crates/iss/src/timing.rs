@@ -24,12 +24,20 @@ pub struct CacheSpec {
 impl CacheSpec {
     /// The modelled Leon3 instruction cache: 4 KiB, 32-byte lines.
     pub fn leon3_icache() -> CacheSpec {
-        CacheSpec { lines: 128, line_bytes: 32, miss_penalty: 8 }
+        CacheSpec {
+            lines: 128,
+            line_bytes: 32,
+            miss_penalty: 8,
+        }
     }
 
     /// The modelled Leon3 data cache: 4 KiB, 16-byte lines.
     pub fn leon3_dcache() -> CacheSpec {
-        CacheSpec { lines: 256, line_bytes: 16, miss_penalty: 8 }
+        CacheSpec {
+            lines: 256,
+            line_bytes: 16,
+            miss_penalty: 8,
+        }
     }
 
     /// Total capacity in bytes.
@@ -51,7 +59,11 @@ impl CacheModel {
     /// An empty (all-invalid) cache.
     pub fn new(spec: CacheSpec) -> CacheModel {
         assert!(spec.lines.is_power_of_two() && spec.line_bytes.is_power_of_two());
-        CacheModel { spec, tags: vec![None; spec.lines], stats: CacheStats::default() }
+        CacheModel {
+            spec,
+            tags: vec![None; spec.lines],
+            stats: CacheStats::default(),
+        }
     }
 
     fn index_and_tag(&self, addr: u32) -> (usize, u32) {
@@ -107,7 +119,11 @@ pub struct Timing {
 impl Timing {
     /// Timing model with the given cache geometries.
     pub fn new(icache: CacheSpec, dcache: CacheSpec) -> Timing {
-        Timing { cycles: 0, icache: CacheModel::new(icache), dcache: CacheModel::new(dcache) }
+        Timing {
+            cycles: 0,
+            icache: CacheModel::new(icache),
+            dcache: CacheModel::new(dcache),
+        }
     }
 
     /// Elapsed cycles.
@@ -166,7 +182,11 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let spec = CacheSpec { lines: 4, line_bytes: 16, miss_penalty: 10 };
+        let spec = CacheSpec {
+            lines: 4,
+            line_bytes: 16,
+            miss_penalty: 10,
+        };
         let mut c = CacheModel::new(spec);
         assert!(!c.access(0x000)); // cold miss
         assert!(c.access(0x004)); // same line
@@ -178,7 +198,11 @@ mod tests {
 
     #[test]
     fn probe_does_not_allocate() {
-        let spec = CacheSpec { lines: 4, line_bytes: 16, miss_penalty: 10 };
+        let spec = CacheSpec {
+            lines: 4,
+            line_bytes: 16,
+            miss_penalty: 10,
+        };
         let mut c = CacheModel::new(spec);
         assert!(!c.probe(0x000));
         assert!(!c.probe(0x000)); // still a miss: probe must not fill
@@ -189,7 +213,11 @@ mod tests {
     #[test]
     fn fetch_miss_costs_penalty() {
         let mut t = Timing::new(
-            CacheSpec { lines: 4, line_bytes: 16, miss_penalty: 7 },
+            CacheSpec {
+                lines: 4,
+                line_bytes: 16,
+                miss_penalty: 7,
+            },
             CacheSpec::leon3_dcache(),
         );
         t.fetch(0x100);

@@ -2,10 +2,58 @@
 
 use crate::config::Leon3Config;
 use crate::nets::NetMap;
-use rtl_sim::{Fault, NetId, NetPool, Waveform};
+use rtl_sim::{Fault, NetId, NetPool, PoolCheckpoint, Waveform};
+use sparc_asm::Program;
 use sparc_isa::{decode, Icc, Psr, Reg, Tbr, TrapType, Unit, Wim, WindowedRegs, NWINDOWS};
 use sparc_iss::{BusTrace, CpuState, Exit, Memory, RunOutcome, RunStats, StepEvent, Timer};
-use sparc_asm::Program;
+
+/// A complete mid-run capture of a fault-free [`Leon3`].
+///
+/// A snapshot holds everything execution depends on: every net's raw value
+/// (architectural registers, pipeline latches, cache tag/valid/data arrays
+/// — caches are nets), the memory image, the off-core bus trace recorded so
+/// far, the statistics counters, the timer peripheral and the cycle
+/// counter. [`Leon3::restore`] therefore resumes execution bit-identically
+/// to the model the snapshot was taken from; the campaign engine exploits
+/// this to fork every fault job from one shared fault-free prefix instead
+/// of re-simulating it.
+///
+/// Two things are deliberately *not* captured: the fault overlay (a
+/// snapshot must be taken fault-free, and each forked job re-injects its
+/// own fault after restoring) and debugging aids (waveform recording and
+/// the rolling instruction window), which restore simply clears.
+///
+/// Snapshots are plain data (`Send + Sync`): one snapshot is shared by
+/// reference across all campaign worker threads.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pool: PoolCheckpoint,
+    mem: Memory,
+    trace: BusTrace,
+    stats: RunStats,
+    exit: Option<Exit>,
+    eval_acc: u32,
+    timer: Timer,
+    config: Leon3Config,
+}
+
+impl Snapshot {
+    /// The cycle at which the snapshot was captured.
+    pub fn cycle(&self) -> u64 {
+        self.pool.cycle()
+    }
+
+    /// Number of bus events already recorded at the capture instant (the
+    /// campaign's streaming comparison starts its cursor here).
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Instructions retired up to the capture instant.
+    pub fn instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+}
 
 /// The signal-level Leon3-like model.
 ///
@@ -37,7 +85,11 @@ impl Leon3 {
             pool,
             nets,
             mem: Memory::new(config.ram_base, config.ram_size),
-            trace: if config.trace_reads { BusTrace::with_reads() } else { BusTrace::new() },
+            trace: if config.trace_reads {
+                BusTrace::with_reads()
+            } else {
+                BusTrace::new()
+            },
             stats: RunStats::default(),
             config,
             exit: None,
@@ -78,8 +130,11 @@ impl Leon3 {
     pub fn reset(&mut self) {
         self.pool.reset();
         self.mem = Memory::new(self.config.ram_base, self.config.ram_size);
-        self.trace =
-            if self.config.trace_reads { BusTrace::with_reads() } else { BusTrace::new() };
+        self.trace = if self.config.trace_reads {
+            BusTrace::with_reads()
+        } else {
+            BusTrace::new()
+        };
         self.stats = RunStats::default();
         self.exit = None;
         self.eval_acc = 0;
@@ -87,6 +142,69 @@ impl Leon3 {
         self.timer = Timer::new();
         self.recent.clear();
         self.reset_state(self.config.ram_base);
+    }
+
+    /// Capture the complete execution state (see [`Snapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault or bridge is injected: the overlay is not part of
+    /// a snapshot, so capturing one here would silently drop it on
+    /// restore.
+    pub fn snapshot(&self) -> Snapshot {
+        assert!(
+            self.pool.is_fault_free(),
+            "snapshots must be taken from a fault-free model"
+        );
+        Snapshot {
+            pool: self.pool.checkpoint(),
+            mem: self.mem.clone(),
+            trace: self.trace.clone(),
+            stats: self.stats.clone(),
+            exit: self.exit,
+            eval_acc: self.eval_acc,
+            timer: self.timer.clone(),
+            config: self.config.clone(),
+        }
+    }
+
+    /// Restore a [`Snapshot`], resuming execution bit-identically to the
+    /// model it was captured from. Any injected faults are cleared (the
+    /// caller re-injects the fault under test, which re-arms against the
+    /// restored clock exactly as on a fresh run); waveform recording and
+    /// the rolling instruction window are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was captured under a different
+    /// [`Leon3Config`] (the net population and timing would not line up).
+    pub fn restore(&mut self, snapshot: &Snapshot) {
+        assert_eq!(
+            self.config, snapshot.config,
+            "snapshot captured under a different configuration"
+        );
+        self.pool.restore(&snapshot.pool);
+        self.mem.clone_from(&snapshot.mem);
+        self.trace.clone_from(&snapshot.trace);
+        self.stats.clone_from(&snapshot.stats);
+        self.exit = snapshot.exit;
+        self.eval_acc = snapshot.eval_acc;
+        self.timer.clone_from(&snapshot.timer);
+        self.waveform = None;
+        self.recent.clear();
+    }
+
+    /// Record, per net, the cycle of its most recent read (used on golden
+    /// runs to find which nets a workload ever exercises — the campaign's
+    /// site-activation tracker).
+    pub fn enable_read_tracking(&mut self) {
+        self.pool.enable_read_tracking();
+    }
+
+    /// The cycle of the most recent read of `net`, or `None` if the net
+    /// was never read while tracking was enabled.
+    pub fn net_last_read(&self, net: NetId) -> Option<u64> {
+        self.pool.last_read_cycle(net)
     }
 
     /// Inject a permanent fault into a net.
@@ -197,9 +315,7 @@ impl Leon3 {
     }
 
     /// The rolling instruction window (most recent last).
-    pub fn recent_instructions(
-        &self,
-    ) -> impl Iterator<Item = &(u64, u32, sparc_isa::Instr)> {
+    pub fn recent_instructions(&self) -> impl Iterator<Item = &(u64, u32, sparc_isa::Instr)> {
         self.recent.iter()
     }
 
@@ -392,7 +508,9 @@ impl Leon3 {
     pub fn architectural_state(&self) -> CpuState {
         let mut state = CpuState::at_entry(0);
         for slot in 0..self.nets.rf.len() {
-            state.regs.write_physical(slot, self.pool.read(self.nets.rf[slot]));
+            state
+                .regs
+                .write_physical(slot, self.pool.read(self.nets.rf[slot]));
         }
         // Keep %g0's backing storage architecturally zero.
         state.regs.write_physical(0, 0);
@@ -463,5 +581,100 @@ mod tests {
         let mut cpu = Leon3::new(Leon3Config::default());
         cpu.load(&program);
         assert_eq!(cpu.run(500), RunOutcome::InstructionLimit);
+    }
+
+    const STORE_LOOP: &str = "
+        _start:
+            set 0x40003000, %l0
+            mov 8, %l1
+            mov 0, %o0
+        loop:
+            add %o0, %l1, %o0
+            st %o0, [%l0]
+            st %l1, [%l0 + 4]
+            subcc %l1, 1, %l1
+            bne loop
+             nop
+            halt
+    ";
+
+    #[test]
+    fn restoring_a_mid_run_snapshot_reproduces_the_remaining_write_stream() {
+        let program = assemble(STORE_LOOP).expect("assembles");
+        let mut golden = Leon3::new(Leon3Config::default());
+        golden.load(&program);
+        assert!(matches!(golden.run(100_000), RunOutcome::Halted { .. }));
+
+        // Take a snapshot partway through a second, identical run.
+        let mut cpu = Leon3::new(Leon3Config::default());
+        cpu.load(&program);
+        for _ in 0..7 {
+            cpu.step();
+        }
+        let snapshot = cpu.snapshot();
+        assert!(snapshot.cycle() > 0 && snapshot.cycle() < golden.cycles());
+        assert!(snapshot.trace_len() <= golden.bus_trace().len());
+
+        // Restore into a worker whose state is thoroughly dirty: a faulty
+        // run of the same program that went who-knows-where.
+        let mut worker = Leon3::new(Leon3Config::default());
+        worker.load(&program);
+        let victim = worker.nets().pc;
+        worker.inject(Fault {
+            net: victim,
+            bit: 2,
+            kind: rtl_sim::FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
+        worker.run(200);
+        worker.restore(&snapshot);
+        assert_eq!(worker.cycles(), snapshot.cycle());
+        assert!(worker.pool().is_fault_free());
+        assert!(matches!(worker.run(100_000), RunOutcome::Halted { .. }));
+
+        // The resumed run must be bit-identical to the golden one: same
+        // write stream (events after the snapshot cursor included), same
+        // exit code, same cycle count, same architectural state.
+        assert_eq!(worker.bus_trace().events(), golden.bus_trace().events());
+        assert_eq!(worker.exit(), golden.exit());
+        assert_eq!(worker.cycles(), golden.cycles());
+        assert_eq!(worker.architectural_state(), golden.architectural_state());
+        assert_eq!(worker.stats(), golden.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-free")]
+    fn snapshot_with_injected_fault_is_rejected() {
+        let program = assemble("_start: halt\n").unwrap();
+        let mut cpu = Leon3::new(Leon3Config::default());
+        cpu.load(&program);
+        let pc = cpu.nets().pc;
+        cpu.inject(Fault {
+            net: pc,
+            bit: 0,
+            kind: rtl_sim::FaultKind::StuckAt0,
+            from_cycle: 0,
+        });
+        let _ = cpu.snapshot();
+    }
+
+    #[test]
+    fn read_tracking_sees_exercised_nets_only() {
+        let program = assemble(STORE_LOOP).expect("assembles");
+        let mut cpu = Leon3::new(Leon3Config::default());
+        cpu.enable_read_tracking();
+        cpu.load(&program);
+        assert!(matches!(cpu.run(100_000), RunOutcome::Halted { .. }));
+        let pc = cpu.nets().pc;
+        assert!(cpu.net_last_read(pc).is_some(), "the PC is read every step");
+        // The register file has 136 slots; this workload touches a
+        // handful, so plenty of slots are never read.
+        let unread = cpu
+            .nets()
+            .rf
+            .iter()
+            .filter(|&&slot| cpu.net_last_read(slot).is_none())
+            .count();
+        assert!(unread > 0, "some register-file slots must stay cold");
     }
 }

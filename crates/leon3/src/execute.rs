@@ -6,8 +6,8 @@
 //! units its dataflow traverses.
 
 use crate::core::Leon3;
-use sparc_iss::{add_with_flags, addx_with_flags, sub_with_flags, subx_with_flags};
 use sparc_isa::{Cond, Icc, Instr, OpClass, Opcode, Operand2, Psr, Reg, TrapType, NWINDOWS};
+use sparc_iss::{add_with_flags, addx_with_flags, sub_with_flags, subx_with_flags};
 
 /// How execution of one instruction ended.
 pub(crate) enum Flow {
@@ -59,7 +59,10 @@ impl Leon3 {
             Operand2::Imm(imm) => imm as u32,
         };
         self.pool.write(self.nets.ra_op2, b);
-        (self.pool.read(self.nets.ra_op1), self.pool.read(self.nets.ra_op2))
+        (
+            self.pool.read(self.nets.ra_op1),
+            self.pool.read(self.nets.ra_op2),
+        )
     }
 
     /// Address generation through the adder datapath (loads, stores, jmpl,
@@ -257,7 +260,11 @@ impl Leon3 {
                 let shifted = (u32::from(icc_in.n ^ icc_in.v) << 31) | (a >> 1);
                 let addend = if y_in & 1 == 1 { b } else { 0 };
                 let (r, v, c) = add_with_flags(shifted, addend);
-                (r, Some(((a & 1) << 31) | (y_in >> 1)), Some(Icc::from_result(r, v, c)))
+                (
+                    r,
+                    Some(((a & 1) << 31) | (y_in >> 1)),
+                    Some(Icc::from_result(r, v, c)),
+                )
             }
             other => unreachable!("non-muldiv opcode {other:?}"),
         };
@@ -289,11 +296,19 @@ impl Leon3 {
         };
         self.pool.write(self.nets.lsu_size, size.trailing_zeros());
         // Alignment and range checks (exception stage).
-        let align = if matches!(op, Opcode::Ldd | Opcode::Std) { 8 } else { u32::from(size) };
+        let align = if matches!(op, Opcode::Ldd | Opcode::Std) {
+            8
+        } else {
+            u32::from(size)
+        };
         if !addr.is_multiple_of(align) {
             return Err(TrapType::MemAddressNotAligned);
         }
-        let extent = if matches!(op, Opcode::Ldd | Opcode::Std) { 8 } else { u32::from(size) };
+        let extent = if matches!(op, Opcode::Ldd | Opcode::Std) {
+            8
+        } else {
+            u32::from(size)
+        };
         if !self.mem.in_range(addr, extent) {
             return Err(TrapType::DataAccess);
         }
@@ -329,7 +344,8 @@ impl Leon3 {
             Opcode::St | Opcode::Stb | Opcode::Sth => {
                 let data = self.rf_read(rd);
                 self.pool.write(self.nets.ra_store_data, data);
-                self.pool.write(self.nets.lsu_wdata, self.pool.read(self.nets.ra_store_data));
+                self.pool
+                    .write(self.nets.lsu_wdata, self.pool.read(self.nets.ra_store_data));
                 let data = self.pool.read(self.nets.lsu_wdata);
                 self.dcache_store(addr, size, data & size_mask(size));
             }
@@ -366,7 +382,7 @@ impl Leon3 {
     /// Word-only MMIO access to the timer's register window (uncached:
     /// straight to the bus nets, no cache lookup).
     fn exec_timer(&mut self, op: Opcode, rd: Reg, addr: u32) -> ExecResult {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(TrapType::MemAddressNotAligned);
         }
         let offset = addr - sparc_iss::TIMER_BASE;
@@ -391,7 +407,8 @@ impl Leon3 {
             Opcode::St => {
                 let data = self.rf_read(rd);
                 self.pool.write(self.nets.lsu_wdata, data);
-                self.pool.write(self.nets.bus_data, self.pool.read(self.nets.lsu_wdata));
+                self.pool
+                    .write(self.nets.bus_data, self.pool.read(self.nets.lsu_wdata));
                 let value = self.pool.read(self.nets.bus_data);
                 self.timer.write(offset, value);
                 let at = self.pool.cycle();
@@ -556,12 +573,14 @@ impl Leon3 {
             }
             Opcode::WrWim => {
                 let (a, b) = self.read_operands(rs1, op2);
-                self.pool.write(self.nets.wim, (a ^ b) & ((1 << NWINDOWS) - 1));
+                self.pool
+                    .write(self.nets.wim, (a ^ b) & ((1 << NWINDOWS) - 1));
             }
             Opcode::WrTbr => {
                 let (a, b) = self.read_operands(rs1, op2);
                 let old = self.pool.read(self.nets.tbr);
-                self.pool.write(self.nets.tbr, ((a ^ b) & 0xffff_f000) | (old & 0xff0));
+                self.pool
+                    .write(self.nets.tbr, ((a ^ b) & 0xffff_f000) | (old & 0xff0));
             }
             other => unreachable!("non-special opcode {other:?}"),
         }

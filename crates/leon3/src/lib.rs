@@ -59,5 +59,5 @@ mod execute;
 mod nets;
 
 pub use config::{cycles_to_us, Leon3Config, CLOCK_HZ};
-pub use core::Leon3;
+pub use core::{Leon3, Snapshot};
 pub use nets::NetMap;

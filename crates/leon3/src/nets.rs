@@ -194,7 +194,11 @@ mod tests {
     #[test]
     fn declares_expected_population() {
         let mut pool = NetPool::new();
-        let map = NetMap::declare(&mut pool, CacheSpec::leon3_icache(), CacheSpec::leon3_dcache());
+        let map = NetMap::declare(
+            &mut pool,
+            CacheSpec::leon3_icache(),
+            CacheSpec::leon3_dcache(),
+        );
         assert_eq!(map.rf.len(), 8 + NWINDOWS * 16);
         assert_eq!(map.itag.len(), 128);
         assert_eq!(map.idata.len(), 128 * 8);
@@ -214,7 +218,11 @@ mod tests {
     #[test]
     fn iu_and_cmem_bit_populations_are_realistic() {
         let mut pool = NetPool::new();
-        let _ = NetMap::declare(&mut pool, CacheSpec::leon3_icache(), CacheSpec::leon3_dcache());
+        let _ = NetMap::declare(
+            &mut pool,
+            CacheSpec::leon3_icache(),
+            CacheSpec::leon3_dcache(),
+        );
         let iu_bits: usize = pool
             .iter()
             .filter(|(_, m)| m.tag.is_iu())

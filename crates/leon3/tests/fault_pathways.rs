@@ -44,8 +44,17 @@ fn golden_writes() -> Vec<(u32, u32)> {
 fn adder_fault_corrupts_sums_and_addresses() {
     let cpu = Leon3::new(Leon3Config::default());
     let net = cpu.nets().add_res;
-    let (faulty, _) = run_with(Fault { net, bit: 3, kind: FaultKind::StuckAt1, from_cycle: 0 });
-    let writes: Vec<(u32, u32)> = faulty.bus_trace().writes().map(|w| (w.addr, w.data)).collect();
+    let (faulty, _) = run_with(Fault {
+        net,
+        bit: 3,
+        kind: FaultKind::StuckAt1,
+        from_cycle: 0,
+    });
+    let writes: Vec<(u32, u32)> = faulty
+        .bus_trace()
+        .writes()
+        .map(|w| (w.addr, w.data))
+        .collect();
     // Addresses flow through the adder too (set/st offset computation), so
     // either the data or the address of the first write must differ.
     assert_ne!(writes, golden_writes(), "adder stuck-at had no effect");
@@ -57,11 +66,19 @@ fn wb_rd_fault_redirects_register_writes() {
     // the wrong architectural register.
     let cpu = Leon3::new(Leon3Config::default());
     let net = cpu.nets().wb_rd;
-    let (faulty, outcome) =
-        run_with(Fault { net, bit: 4, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    let (faulty, outcome) = run_with(Fault {
+        net,
+        bit: 4,
+        kind: FaultKind::StuckAt1,
+        from_cycle: 0,
+    });
     // rd indices get bit 4 forced: %o1 (9) becomes %i1 (25) etc. The store
     // then reads a never-written register.
-    let diverged = faulty.bus_trace().writes().map(|w| (w.addr, w.data)).collect::<Vec<_>>()
+    let diverged = faulty
+        .bus_trace()
+        .writes()
+        .map(|w| (w.addr, w.data))
+        .collect::<Vec<_>>()
         != golden_writes();
     assert!(
         diverged || !matches!(outcome, RunOutcome::Halted { code: _ }),
@@ -77,8 +94,12 @@ fn decode_ir_fault_turns_instructions_illegal() {
     let cpu = Leon3::new(Leon3Config::default());
     let net = cpu.nets().de_ir;
     for bit in [30, 24, 19, 13] {
-        let (faulty, outcome) =
-            run_with(Fault { net, bit, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        let (faulty, outcome) = run_with(Fault {
+            net,
+            bit,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
         match outcome {
             RunOutcome::Halted { .. } => {
                 // If it still halts, the write stream tells the story.
@@ -93,7 +114,12 @@ fn decode_ir_fault_turns_instructions_illegal() {
 fn pc_fault_derails_control_flow() {
     let cpu = Leon3::new(Leon3Config::default());
     let net = cpu.nets().pc;
-    let (_, outcome) = run_with(Fault { net, bit: 4, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    let (_, outcome) = run_with(Fault {
+        net,
+        bit: 4,
+        kind: FaultKind::StuckAt1,
+        from_cycle: 0,
+    });
     assert!(
         !matches!(outcome, RunOutcome::Halted { code: 3 }),
         "PC stuck-at cannot leave the program intact"
@@ -114,9 +140,17 @@ fn icache_valid_stuck_at_one_fakes_hits_on_garbage() {
     // Also force the tag match by corrupting the tag store? Not needed:
     // valid=1 with tag=0 mismatches the 0x40000000-range tag, so this
     // particular fault is harmless — assert exactly that.
-    cpu.inject(Fault { net, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    cpu.inject(Fault {
+        net,
+        bit: 0,
+        kind: FaultKind::StuckAt1,
+        from_cycle: 0,
+    });
     let outcome = cpu.run(10_000);
-    assert!(matches!(outcome, RunOutcome::Halted { code: 3 }), "{outcome:?}");
+    assert!(
+        matches!(outcome, RunOutcome::Halted { code: 3 }),
+        "{outcome:?}"
+    );
 
     // Now also pin the tag store to the matching tag: the fake hit becomes
     // real and the core fetches zeros -> illegal instruction.
@@ -126,15 +160,28 @@ fn icache_valid_stuck_at_one_fakes_hits_on_garbage() {
     let expected_tag = ((prog.entry as usize / spec.line_bytes) / spec.lines) as u32 & 0xf_ffff;
     let valid_net = cpu.nets().ivalid[line];
     let tag_net = cpu.nets().itag[line];
-    cpu.inject(Fault { net: valid_net, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    cpu.inject(Fault {
+        net: valid_net,
+        bit: 0,
+        kind: FaultKind::StuckAt1,
+        from_cycle: 0,
+    });
     for bit in 0..20 {
         if expected_tag & (1 << bit) != 0 {
-            cpu.inject(Fault { net: tag_net, bit, kind: FaultKind::StuckAt1, from_cycle: 0 });
+            cpu.inject(Fault {
+                net: tag_net,
+                bit,
+                kind: FaultKind::StuckAt1,
+                from_cycle: 0,
+            });
         }
     }
     let outcome = cpu.run(10_000);
     assert!(
-        matches!(outcome, RunOutcome::ErrorMode { .. } | RunOutcome::InstructionLimit),
+        matches!(
+            outcome,
+            RunOutcome::ErrorMode { .. } | RunOutcome::InstructionLimit
+        ),
         "forced false hit on a zero line must derail execution: {outcome:?}"
     );
 }
@@ -164,7 +211,12 @@ fn dcache_data_fault_needs_a_resident_read_to_matter() {
 
     let mut cpu = Leon3::new(Leon3Config::default());
     cpu.load(&prog);
-    cpu.inject(Fault { net, bit: 5, kind: FaultKind::StuckAt1, from_cycle: 0 });
+    cpu.inject(Fault {
+        net,
+        bit: 5,
+        kind: FaultKind::StuckAt1,
+        from_cycle: 0,
+    });
     let outcome = cpu.run(10_000);
     assert!(matches!(outcome, RunOutcome::Halted { .. }));
     let writes: Vec<u32> = cpu.bus_trace().writes().map(|w| w.data).collect();
@@ -197,12 +249,21 @@ fn open_line_on_live_register_freezes_it() {
     // Inject after the first mov has committed (5 is latched) — freeze
     // every bit.
     for bit in 0..32 {
-        cpu.inject(Fault { net, bit, kind: FaultKind::OpenLine, from_cycle: 12 });
+        cpu.inject(Fault {
+            net,
+            bit,
+            kind: FaultKind::OpenLine,
+            from_cycle: 12,
+        });
     }
     let outcome = cpu.run(10_000);
     assert!(matches!(outcome, RunOutcome::Halted { .. }), "{outcome:?}");
     let writes: Vec<u32> = cpu.bus_trace().writes().map(|w| w.data).collect();
     assert_eq!(writes[0], 5);
-    assert_eq!(writes[1], 5, "open line must hold the frozen value, got {:?}", writes);
+    assert_eq!(
+        writes[1], 5,
+        "open line must hold the frozen value, got {:?}",
+        writes
+    );
     assert_eq!(cpu.exit(), Some(Exit::Halted(0)));
 }

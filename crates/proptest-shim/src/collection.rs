@@ -1,0 +1,46 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use analysis::SplitMix64;
+use std::ops::Range;
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SplitMix64) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements are drawn
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let strategy = vec(0u32..100, 1..20);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..200 {
+            let v = strategy.sample(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+        let _ = vec(any::<u32>(), 1..2).sample(&mut rng);
+    }
+}

@@ -1,0 +1,114 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `proptest` cannot be resolved. This crate implements the API surface
+//! the workspace's property tests use — the [`Strategy`] trait with
+//! `prop_map`, integer-range and tuple strategies, [`strategy::Just`],
+//! `any::<T>()`, `collection::vec`, `sample::select`, `prop_oneof!`,
+//! `proptest!` and the `prop_assert*` macros — on top of the suite's own
+//! deterministic [`analysis::SplitMix64`] generator.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A falsified property reports the failing case's
+//!   number and message; re-run with the same build to reproduce it
+//!   (generation is fully deterministic, seeded from the test name).
+//! - **No persistence files** and no configurable runner; the case count
+//!   comes from `PROPTEST_CASES` (default 256).
+//! - `any::<T>()` mixes uniform draws with a bias toward edge values
+//!   (0, 1, MAX, sign/width boundaries) instead of proptest's full
+//!   recursive `Arbitrary` machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Assert a boolean condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`: {}",
+                left,
+                right,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} != {:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each body runs once per generated case; `prop_assert*` failures abort
+/// the run with the case number and message.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}

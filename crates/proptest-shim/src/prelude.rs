@@ -1,0 +1,4 @@
+//! The glob-import surface test files use (`use proptest::prelude::*`).
+
+pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

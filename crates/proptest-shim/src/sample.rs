@@ -1,0 +1,49 @@
+//! Sampling from fixed collections.
+
+use crate::strategy::Strategy;
+use analysis::SplitMix64;
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SplitMix64) -> T {
+        self.items[rng.gen_range(self.items.len() as u64) as usize].clone()
+    }
+}
+
+/// Uniform choice of one element of `items` (a `Vec`, slice or array).
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn select<T: Clone>(items: impl AsRef<[T]>) -> Select<T> {
+    let items = items.as_ref().to_vec();
+    assert!(!items.is_empty(), "select needs a non-empty pool");
+    Select { items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_only_pool_members() {
+        let pool = vec![2u8, 3, 5, 7];
+        let strategy = select(pool.clone());
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert!(pool.contains(&strategy.sample(&mut rng)));
+        }
+        // Slice form.
+        let slice_strategy = select(&pool[..2]);
+        for _ in 0..50 {
+            assert!(pool[..2].contains(&slice_strategy.sample(&mut rng)));
+        }
+    }
+}

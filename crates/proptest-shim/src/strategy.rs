@@ -1,0 +1,293 @@
+//! The [`Strategy`] trait and the core combinators.
+
+use analysis::SplitMix64;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type from a seeded generator.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic sampler.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SplitMix64) -> Self::Value;
+
+    /// Transform every generated value with `map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+
+    /// Erase the concrete strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut SplitMix64) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut SplitMix64) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SplitMix64) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut SplitMix64) -> U {
+        (self.map)(self.strategy.sample(rng))
+    }
+}
+
+/// Uniform choice between type-erased strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; each draw picks one uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut SplitMix64) -> V {
+        let pick = rng.gen_range(self.options.len() as u64) as usize;
+        self.options[pick].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.gen_range(span as u64) as u128
+                };
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let offset = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    rng.gen_range(span as u64) as u128
+                };
+                (*self.start() as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value, biased toward edge cases.
+    fn arbitrary(rng: &mut SplitMix64) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SplitMix64) -> $t {
+                // One draw in eight lands on an edge value; real proptest
+                // biases similarly and it is what makes `any` find
+                // boundary bugs quickly.
+                const EDGES: [$t; 5] =
+                    [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX ^ (<$t>::MAX >> 1)];
+                if rng.gen_range(8) == 0 {
+                    EDGES[rng.gen_range(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SplitMix64) -> bool {
+        rng.gen_range(2) == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SplitMix64) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Any value of `T`, edge-biased.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut SplitMix64) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(7)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let v = (1u8..=32).sample(&mut rng);
+            assert!((1..=32).contains(&v));
+            let w = (-4096i32..=4095).sample(&mut rng);
+            assert!((-4096..=4095).contains(&w));
+            let x = (0u64..10).sample(&mut rng);
+            assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = rng();
+        let strategy = (0u8..4, (10u32..20).prop_map(|x| x * 2));
+        for _ in 0..100 {
+            let (a, b) = strategy.sample(&mut rng);
+            assert!(a < 4);
+            assert!((20..40).contains(&b) && b % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let union = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut rng = rng();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[union.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn any_hits_edges() {
+        let mut rng = rng();
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            match any::<u32>().sample(&mut rng) {
+                0 => saw_zero = true,
+                u32::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max);
+    }
+}

@@ -1,0 +1,73 @@
+//! The case loop behind the `proptest!` macro.
+
+use analysis::SplitMix64;
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u64 = 256;
+
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Seed the per-test stream from the test name (FNV-1a), so every
+/// property gets a distinct but fully deterministic sequence.
+fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Run `case` for each generated input; panic with the case number on the
+/// first falsified property.
+///
+/// # Panics
+///
+/// Panics when `case` returns `Err`, i.e. a `prop_assert*` failed.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut SplitMix64) -> Result<(), String>,
+{
+    let cases = case_count();
+    let mut rng = SplitMix64::new(seed_for(name));
+    for index in 0..cases {
+        if let Err(message) = case(&mut rng) {
+            panic!(
+                "property `{name}` falsified on case {index}/{cases}: {message} \
+                 (generation is deterministic; rerun reproduces it)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_case() {
+        let mut count = 0;
+        run("counter", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, case_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failure_panics_with_case_number() {
+        run("always_fails", |_| Err("nope".into()));
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(seed_for("a"), seed_for("b"));
+    }
+}

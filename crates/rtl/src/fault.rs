@@ -27,7 +27,11 @@ impl FaultKind {
     /// The paper's three permanent fault models, in the order its figures
     /// plot them ([`FaultKind::TransientFlip`] is the suite's extension
     /// and deliberately excluded).
-    pub const ALL: [FaultKind; 3] = [FaultKind::StuckAt1, FaultKind::StuckAt0, FaultKind::OpenLine];
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::StuckAt1,
+        FaultKind::StuckAt0,
+        FaultKind::OpenLine,
+    ];
 
     /// Human-readable name matching the paper's legend.
     pub fn name(self) -> &'static str {
@@ -130,7 +134,11 @@ pub(crate) struct ActiveFault {
 
 impl ActiveFault {
     pub(crate) fn new(fault: Fault) -> ActiveFault {
-        ActiveFault { fault, active: false, held: false }
+        ActiveFault {
+            fault,
+            active: false,
+            held: false,
+        }
     }
 
     /// Apply the fault to a value read from (or written to) the net.
@@ -161,7 +169,12 @@ mod tests {
     use super::*;
 
     fn fault(kind: FaultKind) -> ActiveFault {
-        let mut f = ActiveFault::new(Fault { net: NetId::from_raw(0), bit: 1, kind, from_cycle: 0 });
+        let mut f = ActiveFault::new(Fault {
+            net: NetId::from_raw(0),
+            bit: 1,
+            kind,
+            from_cycle: 0,
+        });
         f.active = true;
         f
     }

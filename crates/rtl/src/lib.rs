@@ -40,5 +40,5 @@ mod net;
 mod wave;
 
 pub use fault::{Bridge, BridgeKind, Fault, FaultKind};
-pub use net::{NetId, NetMeta, NetPool};
+pub use net::{NetId, NetMeta, NetPool, PoolCheckpoint};
 pub use wave::Waveform;

@@ -1,7 +1,11 @@
 //! The net pool: named multi-bit signals with a fault overlay.
 
 use crate::fault::{ActiveFault, Bridge, Fault, FaultKind};
+use std::cell::Cell;
 use std::fmt;
+
+/// Sentinel in the read tracker: the net has never been read.
+const NEVER_READ: u64 = u64::MAX;
 
 /// Identifier of a net within its [`NetPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -46,6 +50,29 @@ pub struct NetPool<T> {
     /// Fast path: the single faulty net (campaigns inject exactly one).
     fault_net: Option<NetId>,
     cycle: u64,
+    /// When enabled, the cycle of the most recent [`NetPool::read`] per
+    /// net (`NEVER_READ` if none). `Cell` because `read` takes `&self`.
+    last_read: Option<Vec<Cell<u64>>>,
+}
+
+/// A saved pool state: the raw flip-flop values and the clock.
+///
+/// A checkpoint deliberately excludes the fault overlay — restoring one
+/// yields a fault-free pool at the captured cycle, and the campaign
+/// scheduler re-injects (re-arms) the fault under test afterwards, exactly
+/// as [`NetPool::inject`] would on a fresh run that had simulated up to
+/// that cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolCheckpoint {
+    values: Vec<u32>,
+    cycle: u64,
+}
+
+impl PoolCheckpoint {
+    /// The cycle at which the checkpoint was captured.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
 }
 
 impl<T> Default for NetPool<T> {
@@ -64,6 +91,7 @@ impl<T> NetPool<T> {
             bridges: Vec::new(),
             fault_net: None,
             cycle: 0,
+            last_read: None,
         }
     }
 
@@ -76,7 +104,11 @@ impl<T> NetPool<T> {
         assert!((1..=32).contains(&width), "net width {width} out of range");
         let id = NetId(self.values.len() as u32);
         self.values.push(0);
-        self.meta.push(NetMeta { name: name.into(), width, tag });
+        self.meta.push(NetMeta {
+            name: name.into(),
+            width,
+            tag,
+        });
         id
     }
 
@@ -97,7 +129,10 @@ impl<T> NetPool<T> {
 
     /// Iterate over `(id, meta)` for all nets.
     pub fn iter(&self) -> impl Iterator<Item = (NetId, &NetMeta<T>)> {
-        self.meta.iter().enumerate().map(|(i, m)| (NetId(i as u32), m))
+        self.meta
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (NetId(i as u32), m))
     }
 
     /// Total injectable fault sites (bits) across all nets.
@@ -123,6 +158,9 @@ impl<T> NetPool<T> {
     /// Read a net, with active faults and bridges applied.
     #[inline]
     pub fn read(&self, id: NetId) -> u32 {
+        if let Some(track) = &self.last_read {
+            track[id.0 as usize].set(self.cycle);
+        }
         let raw = self.values[id.0 as usize];
         if self.fault_net == Some(id) || (!self.faults.is_empty() && self.net_has_fault(id)) {
             let mut value = raw;
@@ -188,7 +226,11 @@ impl<T> NetPool<T> {
             self.meta[fault.net.0 as usize].width
         );
         self.faults.push(ActiveFault::new(fault));
-        self.fault_net = if self.faults.len() == 1 { Some(fault.net) } else { None };
+        self.fault_net = if self.faults.len() == 1 {
+            Some(fault.net)
+        } else {
+            None
+        };
         // If the injection instant is already past, activate immediately.
         if self.cycle >= fault.from_cycle {
             let idx = self.faults.len() - 1;
@@ -217,6 +259,62 @@ impl<T> NetPool<T> {
         self.fault_net = None;
     }
 
+    /// Whether no fault or bridge is currently injected.
+    pub fn is_fault_free(&self) -> bool {
+        self.faults.is_empty() && self.bridges.is_empty()
+    }
+
+    /// Capture the raw values and the clock (see [`PoolCheckpoint`] for
+    /// what is deliberately excluded).
+    pub fn checkpoint(&self) -> PoolCheckpoint {
+        PoolCheckpoint {
+            values: self.values.clone(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Restore a [`checkpoint`](NetPool::checkpoint): raw values and clock
+    /// come back exactly; faults and bridges are cleared (the caller
+    /// re-injects the fault under test, which re-arms it against the
+    /// restored clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint was captured from a pool with a different
+    /// net population.
+    pub fn restore(&mut self, checkpoint: &PoolCheckpoint) {
+        assert_eq!(
+            checkpoint.values.len(),
+            self.values.len(),
+            "checkpoint net population mismatch"
+        );
+        self.values.clone_from(&checkpoint.values);
+        self.clear_faults();
+        self.cycle = checkpoint.cycle;
+    }
+
+    /// Start recording, per net, the cycle of its most recent read
+    /// (clearing any previous recording). Costs one predictable branch per
+    /// read, so it is only switched on for golden-reference runs.
+    pub fn enable_read_tracking(&mut self) {
+        self.last_read = Some(vec![Cell::new(NEVER_READ); self.values.len()]);
+    }
+
+    /// Stop recording read cycles and drop the tracker.
+    pub fn disable_read_tracking(&mut self) {
+        self.last_read = None;
+    }
+
+    /// The cycle of the most recent read of `id`, or `None` if the net was
+    /// never read while tracking was enabled (or tracking is off).
+    pub fn last_read_cycle(&self, id: NetId) -> Option<u64> {
+        let track = self.last_read.as_ref()?;
+        match track[id.0 as usize].get() {
+            NEVER_READ => None,
+            cycle => Some(cycle),
+        }
+    }
+
     /// Remove all faults and bridges (the underlying raw values remain).
     pub fn clear_faults(&mut self) {
         self.faults.clear();
@@ -229,6 +327,9 @@ impl<T> NetPool<T> {
         self.values.iter_mut().for_each(|v| *v = 0);
         self.clear_faults();
         self.cycle = 0;
+        if let Some(track) = &self.last_read {
+            track.iter().for_each(|c| c.set(NEVER_READ));
+        }
     }
 
     fn activate(&mut self, idx: usize) {
@@ -257,8 +358,7 @@ impl<T> NetPool<T> {
         if self.faults.is_empty() && self.bridges.is_empty() {
             self.values.iter().fold(0u32, |acc, &v| acc.wrapping_add(v))
         } else {
-            (0..self.values.len() as u32)
-                .fold(0u32, |acc, i| acc.wrapping_add(self.read(NetId(i))))
+            (0..self.values.len() as u32).fold(0u32, |acc, i| acc.wrapping_add(self.read(NetId(i))))
         }
     }
 
@@ -319,7 +419,12 @@ mod tests {
     fn stuck_at_overrides_writes() {
         let mut pool: NetPool<()> = NetPool::new();
         let n = pool.net("n", 4, ());
-        pool.inject(Fault { net: n, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
         pool.write(n, 0);
         assert_eq!(pool.read(n), 1);
         pool.write(n, 0b1110);
@@ -330,7 +435,12 @@ mod tests {
     fn fault_waits_for_injection_instant() {
         let mut pool: NetPool<()> = NetPool::new();
         let n = pool.net("n", 1, ());
-        pool.inject(Fault { net: n, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 3 });
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 3,
+        });
         pool.write(n, 0);
         assert_eq!(pool.read(n), 0); // cycle 0: not active yet
         pool.tick(); // -> cycle 1
@@ -345,7 +455,12 @@ mod tests {
         let mut pool: NetPool<()> = NetPool::new();
         let n = pool.net("n", 2, ());
         pool.write(n, 0b10);
-        pool.inject(Fault { net: n, bit: 1, kind: FaultKind::OpenLine, from_cycle: 0 });
+        pool.inject(Fault {
+            net: n,
+            bit: 1,
+            kind: FaultKind::OpenLine,
+            from_cycle: 0,
+        });
         // Captured as 1 at injection; later writes to the raw flop are
         // masked by the disconnected driver.
         pool.write(n, 0b00);
@@ -358,7 +473,12 @@ mod tests {
     fn open_line_capture_at_later_instant() {
         let mut pool: NetPool<()> = NetPool::new();
         let n = pool.net("n", 1, ());
-        pool.inject(Fault { net: n, bit: 0, kind: FaultKind::OpenLine, from_cycle: 2 });
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::OpenLine,
+            from_cycle: 2,
+        });
         pool.write(n, 1);
         pool.tick(); // cycle 0 -> 1
         pool.write(n, 0);
@@ -372,7 +492,12 @@ mod tests {
     fn clear_and_reset() {
         let mut pool: NetPool<()> = NetPool::new();
         let n = pool.net("n", 4, ());
-        pool.inject(Fault { net: n, bit: 2, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.inject(Fault {
+            net: n,
+            bit: 2,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
         pool.write(n, 0);
         assert_eq!(pool.read(n), 0b100);
         pool.clear_faults();
@@ -388,8 +513,18 @@ mod tests {
     fn two_faults_on_same_net_compose() {
         let mut pool: NetPool<()> = NetPool::new();
         let n = pool.net("n", 4, ());
-        pool.inject(Fault { net: n, bit: 0, kind: FaultKind::StuckAt1, from_cycle: 0 });
-        pool.inject(Fault { net: n, bit: 1, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
+        pool.inject(Fault {
+            net: n,
+            bit: 1,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
         pool.write(n, 0);
         assert_eq!(pool.read(n), 0b11);
     }
@@ -399,7 +534,100 @@ mod tests {
     fn bit_out_of_width_panics() {
         let mut pool: NetPool<()> = NetPool::new();
         let n = pool.net("n", 4, ());
-        pool.inject(Fault { net: n, bit: 4, kind: FaultKind::StuckAt0, from_cycle: 0 });
+        pool.inject(Fault {
+            net: n,
+            bit: 4,
+            kind: FaultKind::StuckAt0,
+            from_cycle: 0,
+        });
+    }
+
+    #[test]
+    fn checkpoint_restores_values_cycle_and_rearms_faults() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 8, ());
+        pool.write(n, 0x5a);
+        pool.tick_many(7);
+        let saved = pool.checkpoint();
+        assert_eq!(saved.cycle(), 7);
+        pool.write(n, 0x11);
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
+        pool.tick_many(5);
+        pool.restore(&saved);
+        assert_eq!(pool.read(n), 0x5a);
+        assert_eq!(pool.cycle(), 7);
+        assert!(pool.is_fault_free(), "restore clears the overlay");
+        // Re-arming a future fault behaves exactly like a fresh run that
+        // simulated to cycle 7: inactive until the clock crosses 9.
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::StuckAt0,
+            from_cycle: 9,
+        });
+        pool.write(n, 0xff);
+        assert_eq!(pool.read(n), 0xff);
+        pool.tick();
+        pool.tick();
+        assert_eq!(pool.read(n), 0xfe, "active once cycle 9 is reached");
+    }
+
+    #[test]
+    fn restore_rearms_past_fault_immediately() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 4, ());
+        pool.write(n, 0b0100);
+        pool.tick_many(10);
+        let saved = pool.checkpoint();
+        pool.restore(&saved);
+        pool.inject(Fault {
+            net: n,
+            bit: 1,
+            kind: FaultKind::OpenLine,
+            from_cycle: 3,
+        });
+        // Injection instant already past: the open line captures the
+        // restored raw value right away, as inject() documents.
+        pool.write(n, 0b0010);
+        assert_eq!(pool.read(n), 0b0000, "held bit frozen at restored value");
+    }
+
+    #[test]
+    fn read_tracking_records_last_read_cycle() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let a = pool.net("a", 4, ());
+        let b = pool.net("b", 4, ());
+        assert_eq!(pool.last_read_cycle(a), None, "tracking off");
+        pool.enable_read_tracking();
+        assert_eq!(pool.last_read_cycle(a), None, "not yet read");
+        pool.read(a);
+        assert_eq!(pool.last_read_cycle(a), Some(0));
+        pool.tick_many(4);
+        pool.read(a);
+        assert_eq!(pool.last_read_cycle(a), Some(4));
+        assert_eq!(pool.last_read_cycle(b), None);
+        pool.reset();
+        assert_eq!(pool.last_read_cycle(a), None, "reset clears the tracker");
+        pool.disable_read_tracking();
+        pool.read(a);
+        assert_eq!(pool.last_read_cycle(a), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "population mismatch")]
+    fn foreign_checkpoint_rejected() {
+        let mut small: NetPool<()> = NetPool::new();
+        small.net("x", 1, ());
+        let saved = small.checkpoint();
+        let mut big: NetPool<()> = NetPool::new();
+        big.net("x", 1, ());
+        big.net("y", 1, ());
+        big.restore(&saved);
     }
 
     #[test]
@@ -429,7 +657,12 @@ mod bridge_tests {
     #[test]
     fn wired_and_dominates_zero() {
         let (mut pool, a, b) = pool_with_two();
-        pool.inject_bridge(Bridge { a: (a, 0), b: (b, 0), kind: BridgeKind::WiredAnd, from_cycle: 0 });
+        pool.inject_bridge(Bridge {
+            a: (a, 0),
+            b: (b, 0),
+            kind: BridgeKind::WiredAnd,
+            from_cycle: 0,
+        });
         pool.write(a, 0b0001);
         pool.write(b, 0b0000);
         assert_eq!(pool.read(a) & 1, 0, "peer 0 pulls the shorted bit down");
@@ -441,7 +674,12 @@ mod bridge_tests {
     #[test]
     fn wired_or_dominates_one() {
         let (mut pool, a, b) = pool_with_two();
-        pool.inject_bridge(Bridge { a: (a, 2), b: (b, 1), kind: BridgeKind::WiredOr, from_cycle: 0 });
+        pool.inject_bridge(Bridge {
+            a: (a, 2),
+            b: (b, 1),
+            kind: BridgeKind::WiredOr,
+            from_cycle: 0,
+        });
         pool.write(a, 0);
         pool.write(b, 0b0010);
         assert_eq!(pool.read(a), 0b0100, "peer 1 pulls the shorted bit up");
@@ -453,7 +691,12 @@ mod bridge_tests {
     #[test]
     fn bridge_waits_for_injection_instant() {
         let (mut pool, a, b) = pool_with_two();
-        pool.inject_bridge(Bridge { a: (a, 0), b: (b, 0), kind: BridgeKind::WiredOr, from_cycle: 2 });
+        pool.inject_bridge(Bridge {
+            a: (a, 0),
+            b: (b, 0),
+            kind: BridgeKind::WiredOr,
+            from_cycle: 2,
+        });
         pool.write(b, 1);
         assert_eq!(pool.read(a), 0, "inactive before the instant");
         pool.tick();
@@ -464,7 +707,12 @@ mod bridge_tests {
     #[test]
     fn other_bits_undisturbed_and_clearable() {
         let (mut pool, a, b) = pool_with_two();
-        pool.inject_bridge(Bridge { a: (a, 0), b: (b, 0), kind: BridgeKind::WiredOr, from_cycle: 0 });
+        pool.inject_bridge(Bridge {
+            a: (a, 0),
+            b: (b, 0),
+            kind: BridgeKind::WiredOr,
+            from_cycle: 0,
+        });
         pool.write(a, 0b1010);
         pool.write(b, 0b0001);
         assert_eq!(pool.read(a), 0b1011);
@@ -476,14 +724,29 @@ mod bridge_tests {
     #[should_panic(expected = "two distinct bits")]
     fn self_bridge_rejected() {
         let (mut pool, a, _) = pool_with_two();
-        pool.inject_bridge(Bridge { a: (a, 0), b: (a, 0), kind: BridgeKind::WiredOr, from_cycle: 0 });
+        pool.inject_bridge(Bridge {
+            a: (a, 0),
+            b: (a, 0),
+            kind: BridgeKind::WiredOr,
+            from_cycle: 0,
+        });
     }
 
     #[test]
     fn bridge_composes_with_stuck_at() {
         let (mut pool, a, b) = pool_with_two();
-        pool.inject(Fault { net: a, bit: 1, kind: FaultKind::StuckAt1, from_cycle: 0 });
-        pool.inject_bridge(Bridge { a: (a, 0), b: (b, 0), kind: BridgeKind::WiredOr, from_cycle: 0 });
+        pool.inject(Fault {
+            net: a,
+            bit: 1,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
+        pool.inject_bridge(Bridge {
+            a: (a, 0),
+            b: (b, 0),
+            kind: BridgeKind::WiredOr,
+            from_cycle: 0,
+        });
         pool.write(a, 0);
         pool.write(b, 1);
         assert_eq!(pool.read(a), 0b011);

@@ -23,7 +23,11 @@ impl Waveform {
     /// order).
     pub fn new(nets: Vec<NetId>) -> Waveform {
         let previous = vec![None; nets.len()];
-        Waveform { nets, previous, changes: Vec::new() }
+        Waveform {
+            nets,
+            previous,
+            changes: Vec::new(),
+        }
     }
 
     /// The recorded nets.
@@ -72,13 +76,7 @@ impl Waveform {
                 current_scope = scope.to_string();
                 scope_open = true;
             }
-            let _ = writeln!(
-                out,
-                "$var wire {} {} {} $end",
-                meta.width,
-                id_code(i),
-                leaf
-            );
+            let _ = writeln!(out, "$var wire {} {} {} $end", meta.width, id_code(i), leaf);
         }
         if scope_open {
             out.push_str("$upscope $end\n");
@@ -180,7 +178,12 @@ mod tests {
         use crate::fault::{Fault, FaultKind};
         let mut pool: NetPool<()> = NetPool::new();
         let a = pool.net("n", 4, ());
-        pool.inject(Fault { net: a, bit: 1, kind: FaultKind::StuckAt1, from_cycle: 0 });
+        pool.inject(Fault {
+            net: a,
+            bit: 1,
+            kind: FaultKind::StuckAt1,
+            from_cycle: 0,
+        });
         let mut wave = Waveform::new(vec![a]);
         pool.write(a, 0);
         wave.capture(&pool);

@@ -1,4 +1,9 @@
 //! Property tests over the fault overlay algebra.
+//!
+//! Gated behind the off-by-default `proptest` feature so the default
+//! workspace builds with zero network access:
+//! `cargo test -p rtl-sim --features proptest`.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use rtl_sim::{Fault, FaultKind, NetPool};

@@ -38,7 +38,12 @@ impl Icc {
     /// Condition codes resulting from a 32-bit result plus explicit
     /// overflow/carry flags (as produced by the adder).
     pub fn from_result(result: u32, v: bool, c: bool) -> Icc {
-        Icc { n: (result as i32) < 0, z: result == 0, v, c }
+        Icc {
+            n: (result as i32) < 0,
+            z: result == 0,
+            v,
+            c,
+        }
     }
 
     /// Condition codes for a logic-unit result (V and C cleared).
@@ -120,7 +125,10 @@ impl Cond {
 
     /// The 4-bit encoding of this condition.
     pub fn to_bits(self) -> u32 {
-        Cond::ALL.iter().position(|&c| c == self).expect("cond in ALL") as u32
+        Cond::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("cond in ALL") as u32
     }
 
     /// Decode a 4-bit `cond` field.
@@ -226,7 +234,14 @@ mod tests {
 
     #[test]
     fn unsigned_comparison_semantics() {
-        for &(x, y) in &[(0u32, 0u32), (1, 2), (2, 1), (u32::MAX, 0), (0, u32::MAX), (7, 7)] {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 2),
+            (2, 1),
+            (u32::MAX, 0),
+            (0, u32::MAX),
+            (7, 7),
+        ] {
             let (res, borrow) = x.overflowing_sub(y);
             let v = (((x ^ y) & (x ^ res)) as i32) < 0;
             let icc = Icc::from_result(res, v, borrow);

@@ -47,7 +47,10 @@ impl fmt::Display for DecodeError {
                 write!(f, "unknown format-3 instruction (op={op}, op3={op3:#04x})")
             }
             DecodeError::ReservedFieldNonzero { field } => {
-                write!(f, "nonzero reserved/asi field {field:#04x} in register-form instruction")
+                write!(
+                    f,
+                    "nonzero reserved/asi field {field:#04x} in register-form instruction"
+                )
             }
         }
     }
@@ -277,7 +280,12 @@ mod tests {
     fn rd_y_vs_rd_asr() {
         let rdy = Instr::alu(Opcode::RdY, Reg::g(1), Reg::G0, Operand2::reg(Reg::G0));
         assert_eq!(decode(rdy.encode()).unwrap().op, Opcode::RdY);
-        let rdasr = Instr::alu(Opcode::RdAsr, Reg::g(1), Reg::new(17), Operand2::reg(Reg::G0));
+        let rdasr = Instr::alu(
+            Opcode::RdAsr,
+            Reg::g(1),
+            Reg::new(17),
+            Operand2::reg(Reg::G0),
+        );
         assert_eq!(decode(rdasr.encode()).unwrap().op, Opcode::RdAsr);
     }
 
@@ -285,7 +293,12 @@ mod tests {
     fn wr_y_vs_wr_asr() {
         let wry = Instr::alu(Opcode::WrY, Reg::G0, Reg::g(1), Operand2::reg(Reg::G0));
         assert_eq!(decode(wry.encode()).unwrap().op, Opcode::WrY);
-        let wrasr = Instr::alu(Opcode::WrAsr, Reg::new(17), Reg::g(1), Operand2::reg(Reg::G0));
+        let wrasr = Instr::alu(
+            Opcode::WrAsr,
+            Reg::new(17),
+            Reg::g(1),
+            Operand2::reg(Reg::G0),
+        );
         assert_eq!(decode(wrasr.encode()).unwrap().op, Opcode::WrAsr);
     }
 
@@ -293,13 +306,22 @@ mod tests {
     fn fpu_instructions_are_rejected() {
         // fadds-ish: op=2, op3=0x34 (FPop1).
         let word = (2 << 30) | (0x34 << 19);
-        assert!(matches!(decode(word), Err(DecodeError::UnknownOp3 { op: 2, op3: 0x34 })));
+        assert!(matches!(
+            decode(word),
+            Err(DecodeError::UnknownOp3 { op: 2, op3: 0x34 })
+        ));
         // ldf: op=3, op3=0x20.
         let word = (3 << 30) | (0x20 << 19);
-        assert!(matches!(decode(word), Err(DecodeError::UnknownOp3 { op: 3, op3: 0x20 })));
+        assert!(matches!(
+            decode(word),
+            Err(DecodeError::UnknownOp3 { op: 3, op3: 0x20 })
+        ));
         // fbfcc: op=0, op2=0b110.
         let word = 0b110 << 22;
-        assert!(matches!(decode(word), Err(DecodeError::ReservedFormat2 { op2: 0b110 })));
+        assert!(matches!(
+            decode(word),
+            Err(DecodeError::ReservedFormat2 { op2: 0b110 })
+        ));
     }
 
     #[test]
@@ -329,7 +351,13 @@ mod tests {
                 Opcode::WrAsr => Reg::new(4),
                 _ => Reg::o(2),
             };
-            let instr = Instr { op, rd, rs1, op2: Operand2::imm(33), ..Instr::default() };
+            let instr = Instr {
+                op,
+                rd,
+                rs1,
+                op2: Operand2::imm(33),
+                ..Instr::default()
+            };
             assert_eq!(decode(instr.encode()), Ok(instr), "{op:?}");
         }
     }

@@ -140,13 +140,11 @@ mod tests {
 
     #[test]
     fn address_expression_forms() {
-        let base_only =
-            Instr::mem(Opcode::Ld, Reg::o(0), Reg::g(2), Operand2::reg(Reg::G0));
+        let base_only = Instr::mem(Opcode::Ld, Reg::o(0), Reg::g(2), Operand2::reg(Reg::G0));
         assert_eq!(base_only.to_string(), "ld [%g2], %o0");
         let abs = Instr::mem(Opcode::Ld, Reg::o(0), Reg::G0, Operand2::imm(64));
         assert_eq!(abs.to_string(), "ld [64], %o0");
-        let reg_reg =
-            Instr::mem(Opcode::Ld, Reg::o(0), Reg::g(2), Operand2::reg(Reg::g(3)));
+        let reg_reg = Instr::mem(Opcode::Ld, Reg::o(0), Reg::g(2), Operand2::reg(Reg::g(3)));
         assert_eq!(reg_reg.to_string(), "ld [%g2 + %g3], %o0");
     }
 }

@@ -128,8 +128,8 @@ impl Instr {
                     | operand2_bits(self.op2)
             }
             op => {
-                let (major, op3) = format3_op_op3(op)
-                    .unwrap_or_else(|| panic!("{op:?} has no format-3 encoding"));
+                let (major, op3) =
+                    format3_op_op3(op).unwrap_or_else(|| panic!("{op:?} has no format-3 encoding"));
                 (major << 30)
                     | ((self.rd.index() as u32) << 25)
                     | (op3 << 19)
@@ -195,7 +195,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "disp22")]
     fn branch_disp_overflow_panics() {
-        let b = Instr { disp: 1 << 21, ..Instr::branch(Cond::Always, false, 0) };
+        let b = Instr {
+            disp: 1 << 21,
+            ..Instr::branch(Cond::Always, false, 0)
+        };
         let _ = b.encode();
     }
 }

@@ -92,7 +92,13 @@ impl Instr {
     /// A format-3 arithmetic/logic/shift/control instruction
     /// `op rs1, op2, rd`.
     pub fn alu(op: Opcode, rd: Reg, rs1: Reg, op2: Operand2) -> Instr {
-        Instr { op, rd, rs1, op2, ..Instr::default() }
+        Instr {
+            op,
+            rd,
+            rs1,
+            op2,
+            ..Instr::default()
+        }
     }
 
     /// A memory instruction; `rd` is the data register, the effective
@@ -102,7 +108,13 @@ impl Instr {
             op.class(),
             OpClass::Load | OpClass::Store | OpClass::Atomic
         ));
-        Instr { op, rd, rs1, op2, ..Instr::default() }
+        Instr {
+            op,
+            rd,
+            rs1,
+            op2,
+            ..Instr::default()
+        }
     }
 
     /// A `bicc` branch with a word displacement.
@@ -117,23 +129,44 @@ impl Instr {
 
     /// A `call` with a word displacement.
     pub fn call(disp_words: i32) -> Instr {
-        Instr { op: Opcode::Call, disp: disp_words, ..Instr::default() }
+        Instr {
+            op: Opcode::Call,
+            disp: disp_words,
+            ..Instr::default()
+        }
     }
 
     /// `sethi %hi(imm22 << 10), rd`.
     pub fn sethi(rd: Reg, imm22: u32) -> Instr {
         debug_assert!(imm22 < (1 << 22));
-        Instr { op: Opcode::Sethi, rd, imm22, ..Instr::default() }
+        Instr {
+            op: Opcode::Sethi,
+            rd,
+            imm22,
+            ..Instr::default()
+        }
     }
 
     /// `jmpl rs1 + op2, rd`.
     pub fn jmpl(rd: Reg, rs1: Reg, op2: Operand2) -> Instr {
-        Instr { op: Opcode::Jmpl, rd, rs1, op2, ..Instr::default() }
+        Instr {
+            op: Opcode::Jmpl,
+            rd,
+            rs1,
+            op2,
+            ..Instr::default()
+        }
     }
 
     /// A conditional trap `t<cond> rs1 + op2`.
     pub fn ticc(cond: Cond, rs1: Reg, op2: Operand2) -> Instr {
-        Instr { op: Opcode::Ticc, cond, rs1, op2, ..Instr::default() }
+        Instr {
+            op: Opcode::Ticc,
+            cond,
+            rs1,
+            op2,
+            ..Instr::default()
+        }
     }
 
     /// The canonical `nop` (`sethi 0, %g0`).

@@ -307,7 +307,11 @@ mod tests {
         // uniqueness holds across the whole enum.
         let mut seen = std::collections::HashSet::new();
         for &op in Opcode::ALL {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
     }
 
@@ -331,7 +335,11 @@ mod tests {
     #[test]
     fn memory_classes_use_lsu() {
         for &op in Opcode::ALL {
-            assert_eq!(op.accesses_memory(), op.units().contains(Unit::Lsu), "{op:?}");
+            assert_eq!(
+                op.accesses_memory(),
+                op.units().contains(Unit::Lsu),
+                "{op:?}"
+            );
         }
     }
 

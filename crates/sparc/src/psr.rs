@@ -31,7 +31,14 @@ impl Default for Psr {
 impl Psr {
     /// Reset value: supervisor mode, traps enabled, window 0.
     pub fn new() -> Psr {
-        Psr { icc: Icc::default(), s: true, ps: true, et: true, pil: 0, cwp: 0 }
+        Psr {
+            icc: Icc::default(),
+            s: true,
+            ps: true,
+            et: true,
+            pil: 0,
+            cwp: 0,
+        }
     }
 
     /// Pack into the architectural 32-bit layout (impl/ver fields read as
@@ -114,7 +121,10 @@ impl Tbr {
 
     /// Unpack from the architectural layout.
     pub fn from_bits(bits: u32) -> Tbr {
-        Tbr { tba: bits & 0xffff_f000, tt: ((bits >> 4) & 0xff) as u8 }
+        Tbr {
+            tba: bits & 0xffff_f000,
+            tt: ((bits >> 4) & 0xff) as u8,
+        }
     }
 
     /// The vector address for the last trap.
@@ -208,7 +218,10 @@ mod tests {
         assert_eq!(psr.cwp_after_restore(), 0);
         for w in 0..NWINDOWS as u8 {
             psr.cwp = w;
-            assert_eq!(psr.cwp_after_restore(), psr.cwp_after_save().wrapping_add(2) % NWINDOWS as u8);
+            assert_eq!(
+                psr.cwp_after_restore(),
+                psr.cwp_after_save().wrapping_add(2) % NWINDOWS as u8
+            );
         }
     }
 
@@ -225,7 +238,10 @@ mod tests {
 
     #[test]
     fn tbr_vector() {
-        let tbr = Tbr { tba: 0x4000_0000, tt: 0x2a };
+        let tbr = Tbr {
+            tba: 0x4000_0000,
+            tt: 0x2a,
+        };
         assert_eq!(tbr.vector(), 0x4000_02a0);
         assert_eq!(Tbr::from_bits(tbr.to_bits()), tbr);
     }

@@ -122,7 +122,10 @@ impl Default for WindowedRegs {
 impl WindowedRegs {
     /// A zero-initialised register file.
     pub fn new() -> WindowedRegs {
-        WindowedRegs { globals: [0; 8], window_regs: vec![0; NWINDOWS * 16] }
+        WindowedRegs {
+            globals: [0; 8],
+            window_regs: vec![0; NWINDOWS * 16],
+        }
     }
 
     /// Total number of physical 32-bit registers (globals + windows).

@@ -89,12 +89,20 @@ impl Unit {
     ];
 
     /// Units belonging to the cache memory (CMEM injection target).
-    pub const CMEM: [Unit; 5] =
-        [Unit::ICacheTag, Unit::ICacheData, Unit::DCacheTag, Unit::DCacheData, Unit::CacheCtrl];
+    pub const CMEM: [Unit; 5] = [
+        Unit::ICacheTag,
+        Unit::ICacheData,
+        Unit::DCacheTag,
+        Unit::DCacheData,
+        Unit::CacheCtrl,
+    ];
 
     /// A stable small index for bitset packing.
     pub fn index(self) -> usize {
-        Unit::ALL.iter().position(|&u| u == self).expect("unit in ALL")
+        Unit::ALL
+            .iter()
+            .position(|&u| u == self)
+            .expect("unit in ALL")
     }
 
     /// Whether this unit is part of the integer unit.
@@ -211,7 +219,10 @@ mod tests {
     #[test]
     fn iu_and_cmem_partition_all() {
         for u in Unit::ALL {
-            assert!(u.is_iu() ^ u.is_cmem(), "{u:?} must be in exactly one target");
+            assert!(
+                u.is_iu() ^ u.is_cmem(),
+                "{u:?} must be in exactly one target"
+            );
         }
         assert_eq!(Unit::IU.len() + Unit::CMEM.len(), Unit::ALL.len());
     }

@@ -1,5 +1,10 @@
 //! Property tests: decode is a partial inverse of encode over the whole
 //! 32-bit word space, and encode∘decode is the identity on valid words.
+//!
+//! Gated behind the off-by-default `proptest` feature so the default
+//! workspace builds with zero network access:
+//! `cargo test -p sparc-isa --features proptest`.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use sparc_isa::{decode, Cond, Instr, OpClass, Opcode, Operand2, Reg};
@@ -38,13 +43,27 @@ fn arb_format3_opcode() -> impl Strategy<Value = Opcode> {
 fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
         (arb_format3_opcode(), arb_reg(), arb_reg(), arb_operand2()).prop_map(
-            |(op, rd, rs1, op2)| Instr { op, rd, rs1, op2, ..Instr::default() }
+            |(op, rd, rs1, op2)| Instr {
+                op,
+                rd,
+                rs1,
+                op2,
+                ..Instr::default()
+            }
         ),
-        (proptest::sample::select(&Cond::ALL[..]), any::<bool>(), -(1i32 << 21)..(1 << 21))
+        (
+            proptest::sample::select(&Cond::ALL[..]),
+            any::<bool>(),
+            -(1i32 << 21)..(1 << 21)
+        )
             .prop_map(|(cond, annul, disp)| Instr::branch(cond, annul, disp)),
         (-(1i32 << 29)..(1 << 29)).prop_map(Instr::call),
         (arb_reg(), 0u32..(1 << 22)).prop_map(|(rd, imm22)| Instr::sethi(rd, imm22)),
-        (proptest::sample::select(&Cond::ALL[..]), arb_reg(), arb_operand2())
+        (
+            proptest::sample::select(&Cond::ALL[..]),
+            arb_reg(),
+            arb_operand2()
+        )
             .prop_map(|(cond, rs1, op2)| Instr::ticc(cond, rs1, op2)),
     ]
 }

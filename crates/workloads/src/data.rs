@@ -14,7 +14,9 @@ pub(crate) struct Lcg {
 
 impl Lcg {
     pub(crate) fn new(seed: u64) -> Lcg {
-        Lcg { state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1 }
+        Lcg {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
     }
 
     pub(crate) fn next_u32(&mut self) -> u32 {
@@ -68,7 +70,14 @@ pub(crate) fn emit_buffer(label: &str, words: usize) -> String {
 
 /// A table of `n` values in `lo..hi` for a benchmark/dataset pair, with a
 /// stream discriminator so multiple tables of one benchmark differ.
-pub(crate) fn table(benchmark: &str, dataset: usize, stream: u64, n: usize, lo: u32, hi: u32) -> Vec<u32> {
+pub(crate) fn table(
+    benchmark: &str,
+    dataset: usize,
+    stream: u64,
+    n: usize,
+    lo: u32,
+    hi: u32,
+) -> Vec<u32> {
     let mut rng = Lcg::new(seed(benchmark, dataset) ^ stream.wrapping_mul(0x9e3779b97f4a7c15));
     (0..n).map(|_| rng.range(lo, hi)).collect()
 }

@@ -115,7 +115,10 @@ mod tests {
     use sparc_iss::{Iss, IssConfig, RunOutcome};
 
     fn config() -> IssConfig {
-        IssConfig { timer: true, ..IssConfig::default() }
+        IssConfig {
+            timer: true,
+            ..IssConfig::default()
+        }
     }
 
     #[test]

@@ -74,20 +74,29 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { iterations: 2, dataset: 0 }
+        Params {
+            iterations: 2,
+            dataset: 0,
+        }
     }
 }
 
 impl Params {
     /// Params with a given iteration count (dataset 0).
     pub fn with_iterations(iterations: u32) -> Params {
-        Params { iterations, dataset: 0 }
+        Params {
+            iterations,
+            dataset: 0,
+        }
     }
 
     /// Params with a given dataset (2 iterations).
     pub fn with_dataset(dataset: usize) -> Params {
         assert!(dataset < 3, "datasets are 0..3");
-        Params { iterations: 2, dataset }
+        Params {
+            iterations: 2,
+            dataset,
+        }
     }
 }
 
@@ -123,8 +132,12 @@ impl Benchmark {
     ];
 
     /// The four automotive benchmarks of the paper's Table 1 / Figs 5-6.
-    pub const TABLE1_AUTOMOTIVE: [Benchmark; 4] =
-        [Benchmark::Puwmod, Benchmark::Canrdr, Benchmark::Ttsprk, Benchmark::Rspeed];
+    pub const TABLE1_AUTOMOTIVE: [Benchmark; 4] = [
+        Benchmark::Puwmod,
+        Benchmark::Canrdr,
+        Benchmark::Ttsprk,
+        Benchmark::Rspeed,
+    ];
 
     /// The two synthetic benchmarks of Table 1 / Figs 5-6.
     pub const TABLE1_SYNTHETIC: [Benchmark; 2] = [Benchmark::Membench, Benchmark::Intbench];
@@ -275,14 +288,20 @@ mod tests {
     #[test]
     fn kinds_partition() {
         assert_eq!(
-            Benchmark::ALL.iter().filter(|b| b.kind() == Kind::Synthetic).count(),
+            Benchmark::ALL
+                .iter()
+                .filter(|b| b.kind() == Kind::Synthetic)
+                .count(),
             2
         );
     }
 
     #[test]
     fn excerpt_subsets_have_excerpts() {
-        for b in Benchmark::EXCERPT_SUBSET_A.iter().chain(&Benchmark::EXCERPT_SUBSET_B) {
+        for b in Benchmark::EXCERPT_SUBSET_A
+            .iter()
+            .chain(&Benchmark::EXCERPT_SUBSET_B)
+        {
             assert!(b.has_excerpt(), "{b}");
         }
         assert!(!Benchmark::Membench.has_excerpt());

@@ -42,7 +42,10 @@ pub struct RandomSpec {
 
 impl Default for RandomSpec {
     fn default() -> Self {
-        RandomSpec { length: 300, seed: 1 }
+        RandomSpec {
+            length: 300,
+            seed: 1,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub fn random_source(spec: &RandomSpec) -> String {
     let mut body = String::new();
     // Seed every pool register with a random value.
     for r in POOL {
-        body.push_str(&format!("    set {:#x}, {r}\n", rng.next_u32() & 0x3fff_ffff));
+        body.push_str(&format!(
+            "    set {:#x}, {r}\n",
+            rng.next_u32() & 0x3fff_ffff
+        ));
     }
     body.push_str("    set scratch, %g7\n");
 
@@ -66,8 +72,11 @@ pub fn random_source(spec: &RandomSpec) -> String {
         let rs1 = reg(&mut rng);
         let rs2 = reg(&mut rng);
         let imm = (rng.next_u32() as i32 % 4096).clamp(-4095, 4095);
-        let op2: String =
-            if rng.range(0, 2) == 0 { rs2.to_string() } else { format!("{imm}") };
+        let op2: String = if rng.range(0, 2) == 0 {
+            rs2.to_string()
+        } else {
+            format!("{imm}")
+        };
         match rng.range(0, 24) {
             0 => body.push_str(&format!("    add {rs1}, {op2}, {rd}\n")),
             1 => body.push_str(&format!("    addcc {rs1}, {op2}, {rd}\n")),
@@ -96,19 +105,40 @@ pub fn random_source(spec: &RandomSpec) -> String {
                 body.push_str(&format!("    {div} {rs1}, {rd}, {rd}\n"));
             }
             16 => body.push_str(&format!("    mulscc {rs1}, {op2}, {rd}\n")),
-            17 => body.push_str(&format!("    sethi {:#x}, {rd}\n", rng.next_u32() & 0x3f_ffff)),
+            17 => body.push_str(&format!(
+                "    sethi {:#x}, {rd}\n",
+                rng.next_u32() & 0x3f_ffff
+            )),
             18 => {
                 // Word-aligned scratch access, any width.
                 let offset = rng.range(0, 1024) * 4;
                 match rng.range(0, 8) {
                     0 => body.push_str(&format!("    st {rd}, [%g7 + {offset}]\n")),
                     1 => body.push_str(&format!("    ld [%g7 + {offset}], {rd}\n")),
-                    2 => body.push_str(&format!("    stb {rd}, [%g7 + {}]\n", offset + rng.range(0, 4))),
-                    3 => body.push_str(&format!("    ldub [%g7 + {}], {rd}\n", offset + rng.range(0, 4))),
-                    4 => body.push_str(&format!("    sth {rd}, [%g7 + {}]\n", offset + rng.range(0, 2) * 2)),
-                    5 => body.push_str(&format!("    ldsh [%g7 + {}], {rd}\n", offset + rng.range(0, 2) * 2)),
-                    6 => body.push_str(&format!("    ldsb [%g7 + {}], {rd}\n", offset + rng.range(0, 4))),
-                    _ => body.push_str(&format!("    lduh [%g7 + {}], {rd}\n", offset + rng.range(0, 2) * 2)),
+                    2 => body.push_str(&format!(
+                        "    stb {rd}, [%g7 + {}]\n",
+                        offset + rng.range(0, 4)
+                    )),
+                    3 => body.push_str(&format!(
+                        "    ldub [%g7 + {}], {rd}\n",
+                        offset + rng.range(0, 4)
+                    )),
+                    4 => body.push_str(&format!(
+                        "    sth {rd}, [%g7 + {}]\n",
+                        offset + rng.range(0, 2) * 2
+                    )),
+                    5 => body.push_str(&format!(
+                        "    ldsh [%g7 + {}], {rd}\n",
+                        offset + rng.range(0, 2) * 2
+                    )),
+                    6 => body.push_str(&format!(
+                        "    ldsb [%g7 + {}], {rd}\n",
+                        offset + rng.range(0, 4)
+                    )),
+                    _ => body.push_str(&format!(
+                        "    lduh [%g7 + {}], {rd}\n",
+                        offset + rng.range(0, 2) * 2
+                    )),
                 }
             }
             19 => {
@@ -182,7 +212,10 @@ pub fn random_program(spec: &RandomSpec) -> Program {
     let source = random_source(spec);
     match assemble(&source) {
         Ok(program) => program,
-        Err(e) => panic!("random program (seed {:#x}) failed to assemble: {e}", spec.seed),
+        Err(e) => panic!(
+            "random program (seed {:#x}) failed to assemble: {e}",
+            spec.seed
+        ),
     }
 }
 
@@ -193,10 +226,19 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = random_source(&RandomSpec { length: 50, seed: 42 });
-        let b = random_source(&RandomSpec { length: 50, seed: 42 });
+        let a = random_source(&RandomSpec {
+            length: 50,
+            seed: 42,
+        });
+        let b = random_source(&RandomSpec {
+            length: 50,
+            seed: 42,
+        });
         assert_eq!(a, b);
-        let c = random_source(&RandomSpec { length: 50, seed: 43 });
+        let c = random_source(&RandomSpec {
+            length: 50,
+            seed: 43,
+        });
         assert_ne!(a, c);
     }
 
@@ -209,7 +251,9 @@ mod tests {
             let outcome = iss.run(1_000_000);
             assert_eq!(
                 outcome,
-                RunOutcome::Halted { code: iss.state().reg(sparc_isa::Reg::o(0)) },
+                RunOutcome::Halted {
+                    code: iss.state().reg(sparc_isa::Reg::o(0))
+                },
                 "seed {seed} did not halt cleanly: {outcome:?}"
             );
             assert!(iss.stats().traps == 0, "seed {seed} trapped");
@@ -218,7 +262,10 @@ mod tests {
 
     #[test]
     fn random_programs_are_diverse() {
-        let program = random_program(&RandomSpec { length: 400, seed: 7 });
+        let program = random_program(&RandomSpec {
+            length: 400,
+            seed: 7,
+        });
         let mut iss = Iss::new(IssConfig::default());
         iss.load(&program);
         iss.run(1_000_000);

@@ -3,8 +3,8 @@
 //! benchmarks with low diversity, excerpts with exactly the subset's
 //! instruction-type counts.
 
-use workloads::{characterize, Benchmark, Params};
 use sparc_iss::{Iss, IssConfig, RunOutcome};
+use workloads::{characterize, Benchmark, Params};
 
 #[test]
 fn all_benchmarks_assemble_and_halt() {
@@ -23,11 +23,17 @@ fn automotive_diversity_high_and_nearly_identical() {
         .map(|&b| (b, characterize(b, &Params::default()).diversity))
         .collect();
     for &(b, d) in &divs {
-        assert!((40..=55).contains(&d), "{b} diversity {d} outside the Table 1 envelope");
+        assert!(
+            (40..=55).contains(&d),
+            "{b} diversity {d} outside the Table 1 envelope"
+        );
     }
     let max = divs.iter().map(|&(_, d)| d).max().unwrap();
     let min = divs.iter().map(|&(_, d)| d).min().unwrap();
-    assert!(max - min <= 3, "automotive diversities spread too far: {divs:?}");
+    assert!(
+        max - min <= 3,
+        "automotive diversities spread too far: {divs:?}"
+    );
 }
 
 #[test]
@@ -96,7 +102,10 @@ fn excerpt_subset_a_has_8_types() {
             let mut iss = Iss::new(IssConfig::default());
             iss.load(&program);
             let outcome = iss.run(1_000_000);
-            assert!(matches!(outcome, RunOutcome::Halted { .. }), "{bench}/{dataset}");
+            assert!(
+                matches!(outcome, RunOutcome::Halted { .. }),
+                "{bench}/{dataset}"
+            );
             assert_eq!(
                 iss.stats().diversity(),
                 8,
@@ -115,7 +124,10 @@ fn excerpt_subset_b_has_11_types() {
             let mut iss = Iss::new(IssConfig::default());
             iss.load(&program);
             let outcome = iss.run(1_000_000);
-            assert!(matches!(outcome, RunOutcome::Halted { .. }), "{bench}/{dataset}");
+            assert!(
+                matches!(outcome, RunOutcome::Halted { .. }),
+                "{bench}/{dataset}"
+            );
             assert_eq!(
                 iss.stats().diversity(),
                 11,

@@ -25,9 +25,13 @@ fn measure_pf(bench: Benchmark, sample: usize, threads: usize) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sample: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let sample: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let calibration_set = [
         Benchmark::Puwmod,
@@ -38,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let held_out = Benchmark::Canrdr;
 
-    println!("calibrating on {} workloads ({sample} sites each)…", calibration_set.len());
+    println!(
+        "calibrating on {} workloads ({sample} sites each)…",
+        calibration_set.len()
+    );
     let mut points = Vec::new();
     for bench in calibration_set {
         let program = bench.program(&Params::default());
@@ -48,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         points.push((d, pf));
     }
     // Excerpts widen the diversity range at the low end.
-    for bench in Benchmark::EXCERPT_SUBSET_A.iter().chain(&Benchmark::EXCERPT_SUBSET_B) {
+    for bench in Benchmark::EXCERPT_SUBSET_A
+        .iter()
+        .chain(&Benchmark::EXCERPT_SUBSET_B)
+    {
         let program = bench.excerpt(0);
         let d = diversity_of(&program) as f64;
         let pf = Campaign::new(program, Target::IntegerUnit)
@@ -56,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_sample(sample, 0xCA11B)
             .run(threads)
             .pf(FaultKind::StuckAt1);
-        println!("  {bench:10} D = {d:2}  measured Pf = {:5.2}% (excerpt)", pf * 100.0);
+        println!(
+            "  {bench:10} D = {d:2}  measured Pf = {:5.2}% (excerpt)",
+            pf * 100.0
+        );
         points.push((d, pf));
     }
 

@@ -28,8 +28,7 @@ fn main() {
         rtl.load(&program);
         let rtl_outcome = rtl.run(100_000_000);
 
-        let writes_equal = iss.bus_trace().writes().count()
-            == rtl.bus_trace().writes().count()
+        let writes_equal = iss.bus_trace().writes().count() == rtl.bus_trace().writes().count()
             && iss
                 .bus_trace()
                 .writes()

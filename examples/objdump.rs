@@ -9,7 +9,9 @@ use workloads::random::{random_program, RandomSpec};
 use workloads::{Benchmark, Params};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "intbench".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "intbench".to_string());
     let program = if name == "random" {
         random_program(&RandomSpec::default())
     } else {

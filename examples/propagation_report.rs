@@ -18,7 +18,9 @@ fn main() {
         .and_then(|n| Benchmark::by_name(&n))
         .unwrap_or(Benchmark::Intbench);
     let program = bench.program(&Params::default());
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     println!("hunting for a propagating stuck-at-1 in {bench}'s IU…\n");
     let campaign = Campaign::new(program.clone(), Target::IntegerUnit)
@@ -31,7 +33,13 @@ fn main() {
         if record.outcome.is_failure() && shown < 2 {
             println!(
                 "{}",
-                explain(&program, &Leon3Config::default(), record.site, record.kind, 0)
+                explain(
+                    &program,
+                    &Leon3Config::default(),
+                    record.site,
+                    record.kind,
+                    0
+                )
             );
             shown += 1;
         }

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (a, b) in iss.bus_trace().writes().zip(rtl.bus_trace().writes()) {
         assert!(a.same_payload(b), "golden divergence: {a} vs {b}");
     }
-    println!("golden runs agree on {} off-core writes\n", iss.bus_trace().writes().count());
+    println!(
+        "golden runs agree on {} off-core writes\n",
+        iss.bus_trace().writes().count()
+    );
 
     // --- Inject a permanent stuck-at-1 into the ALU adder result ---
     let mut faulty = Leon3::new(Leon3Config::default());
@@ -83,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match divergence {
         Some(i) => println!(
             "fault PROPAGATED: write #{i} differs (faulty {} vs golden {})",
-            faulty.bus_trace().writes().nth(i).expect("diverging write exists"),
+            faulty
+                .bus_trace()
+                .writes()
+                .nth(i)
+                .expect("diverging write exists"),
             golden[i]
         ),
         None => println!("fault did not reach the off-core boundary"),

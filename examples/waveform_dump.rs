@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     golden.trace_nets(nets.clone());
     golden.run(10_000);
     let golden_path = dir.join("espresso_golden.vcd");
-    std::fs::write(&golden_path, golden.waveform_vcd().expect("tracing enabled"))?;
+    std::fs::write(
+        &golden_path,
+        golden.waveform_vcd().expect("tracing enabled"),
+    )?;
 
     let mut faulty = Leon3::new(Leon3Config::default());
     faulty.load(&program);
@@ -63,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     faulty.run(10_000);
     let faulty_path = dir.join("espresso_faulty.vcd");
-    std::fs::write(&faulty_path, faulty.waveform_vcd().expect("tracing enabled"))?;
+    std::fs::write(
+        &faulty_path,
+        faulty.waveform_vcd().expect("tracing enabled"),
+    )?;
 
     println!("golden waveform: {}", golden_path.display());
     println!("faulty waveform: {}", faulty_path.display());

@@ -113,7 +113,9 @@ fn iss_architectural_faults_propagate_to_writes() {
         Some(sparc_iss::Exit::Halted(code)) => RunOutcome::Halted { code },
         other => panic!("golden ISS run must halt, got {other:?}"),
     };
-    let diverged = faulty.bus_trace().first_write_divergence(golden.bus_trace());
+    let diverged = faulty
+        .bus_trace()
+        .first_write_divergence(golden.bus_trace());
     assert!(
         diverged.is_some() || faulty_outcome != golden_outcome,
         "architectural fault had no observable effect"

@@ -8,7 +8,11 @@ use fault_inject::Target;
 use rtl_sim::FaultKind;
 
 fn tiny() -> ExperimentConfig {
-    ExperimentConfig { sample_per_campaign: 25, seed: 0x5EED, threads: 2 }
+    ExperimentConfig {
+        sample_per_campaign: 25,
+        seed: 0x5EED,
+        threads: 2,
+    }
 }
 
 #[test]
@@ -24,7 +28,11 @@ fn table1_reproduces_the_paper_shape() {
         assert!(row.diversity + 10 <= auto_min, "{}", row.benchmark);
     }
     // intbench is the shortest by far (paper: 2621 vs 75k+).
-    let intbench = t.rows.iter().find(|r| r.benchmark.name() == "intbench").unwrap();
+    let intbench = t
+        .rows
+        .iter()
+        .find(|r| r.benchmark.name() == "intbench")
+        .unwrap();
     assert!(t.rows.iter().all(|r| r.total >= intbench.total));
 }
 
@@ -35,7 +43,11 @@ fn fig4_pf_flat_latency_grows() {
     // Pf flat within a few pp (same fault list across variants).
     let max = f4.pf.iter().copied().fold(0.0f64, f64::max);
     let min = f4.pf.iter().copied().fold(1.0f64, f64::min);
-    assert!((max - min) * 100.0 <= 8.0, "Pf spread too large: {:?}", f4.pf);
+    assert!(
+        (max - min) * 100.0 <= 8.0,
+        "Pf spread too large: {:?}",
+        f4.pf
+    );
     // Max latency strictly grows with iteration count.
     assert!(
         f4.max_latency_us[0] < f4.max_latency_us[2],
@@ -46,7 +58,10 @@ fn fig4_pf_flat_latency_grows() {
 
 #[test]
 fn fig5_fig7_correlation_shape() {
-    let config = ExperimentConfig { sample_per_campaign: 60, ..tiny() };
+    let config = ExperimentConfig {
+        sample_per_campaign: 60,
+        ..tiny()
+    };
     let f5 = fig_campaign(&config, Target::IntegerUnit);
     // Automotive flat-ish; synthetic lower (SA1).
     let sa1 = |name: &str| {
@@ -56,15 +71,18 @@ fn fig5_fig7_correlation_shape() {
             .map(|r| r.pf[0])
             .unwrap()
     };
-    let auto_mean =
-        (sa1("puwmod") + sa1("canrdr") + sa1("ttsprk") + sa1("rspeed")) / 4.0;
+    let auto_mean = (sa1("puwmod") + sa1("canrdr") + sa1("ttsprk") + sa1("rspeed")) / 4.0;
     assert!(
         sa1("membench") < auto_mean && sa1("intbench") < auto_mean,
         "synthetic should sit below automotive"
     );
     // Temporal: ttsprk vs puwmod close for every model.
     let temporal = TemporalStudy::from_fig5(&f5);
-    assert!(temporal.max_delta_pp() <= 10.0, "{}", temporal.max_delta_pp());
+    assert!(
+        temporal.max_delta_pp() <= 10.0,
+        "{}",
+        temporal.max_delta_pp()
+    );
 
     // Fig 7 from the same campaign plus a tiny excerpt study.
     let f3 = correlation::experiments::fig3(&tiny());
@@ -72,7 +90,10 @@ fn fig5_fig7_correlation_shape() {
     assert_eq!(f7.points.len(), 12);
     let reg = f7.model.regression();
     assert!(reg.logarithmic);
-    assert!(reg.slope > 0.0, "diversity must correlate positively: {reg}");
+    assert!(
+        reg.slope > 0.0,
+        "diversity must correlate positively: {reg}"
+    );
 }
 
 #[test]
@@ -85,8 +106,11 @@ fn cmem_campaign_structure() {
         }
     }
     // intbench barely touches memory: lowest CMEM vulnerability (SA1).
-    let sa1: Vec<(f64, &str)> =
-        f6.rows.iter().map(|r| (r.pf[0], r.benchmark.name())).collect();
+    let sa1: Vec<(f64, &str)> = f6
+        .rows
+        .iter()
+        .map(|r| (r.pf[0], r.benchmark.name()))
+        .collect();
     let intbench = sa1.iter().find(|(_, n)| *n == "intbench").unwrap().0;
     for &(pf, name) in &sa1 {
         if name != "intbench" {

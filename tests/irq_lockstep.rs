@@ -35,11 +35,17 @@ fn irqload_lockstep_across_periods() {
     for (period, firings) in [(2_000u32, 5u32), (7_919, 10), (30_000, 3)] {
         let program = irqload(period, firings);
 
-        let mut iss = Iss::new(IssConfig { timer: true, ..IssConfig::default() });
+        let mut iss = Iss::new(IssConfig {
+            timer: true,
+            ..IssConfig::default()
+        });
         iss.load(&program);
         let iss_outcome = iss.run(50_000_000);
 
-        let mut rtl = Leon3::new(Leon3Config { timer: true, ..Leon3Config::default() });
+        let mut rtl = Leon3::new(Leon3Config {
+            timer: true,
+            ..Leon3Config::default()
+        });
         rtl.load(&program);
         let rtl_outcome = rtl.run(50_000_000);
 
@@ -48,8 +54,15 @@ fn irqload_lockstep_across_periods() {
             RunOutcome::Halted { code: firings },
             "period {period}: ISS {iss_outcome:?}"
         );
-        assert_eq!(iss_outcome, rtl_outcome, "period {period}: outcomes diverge");
-        assert_eq!(iss.cycles(), rtl.cycles(), "period {period}: cycles diverge");
+        assert_eq!(
+            iss_outcome, rtl_outcome,
+            "period {period}: outcomes diverge"
+        );
+        assert_eq!(
+            iss.cycles(),
+            rtl.cycles(),
+            "period {period}: cycles diverge"
+        );
 
         // Both levels saw the same interrupts: trap counts and the final
         // checksum (stored to `result`) agree.
@@ -73,7 +86,10 @@ fn isr_work_is_observable() {
     // write must reflect the ISR's activity, not just the foreground's.
     let run = |firings: u32| {
         let program = irqload(4_000, firings);
-        let mut iss = Iss::new(IssConfig { timer: true, ..IssConfig::default() });
+        let mut iss = Iss::new(IssConfig {
+            timer: true,
+            ..IssConfig::default()
+        });
         iss.load(&program);
         assert!(matches!(iss.run(50_000_000), RunOutcome::Halted { .. }));
         let result_addr = program.symbol("result").expect("result symbol");
@@ -107,7 +123,10 @@ fn interrupts_respect_pil_masking() {
         "#,
     )
     .expect("assembles");
-    let mut iss = Iss::new(IssConfig { timer: true, ..IssConfig::default() });
+    let mut iss = Iss::new(IssConfig {
+        timer: true,
+        ..IssConfig::default()
+    });
     iss.load(&program);
     assert_eq!(iss.run(50_000), RunOutcome::InstructionLimit);
     assert_eq!(iss.stats().traps, 0, "masked interrupt was delivered");
@@ -122,7 +141,10 @@ fn fault_campaign_on_interrupt_driven_workload() {
     use fault_inject::{Campaign, Target};
     use rtl_sim::FaultKind;
     let program = irqload(3_000, 4);
-    let config = Leon3Config { timer: true, ..Leon3Config::default() };
+    let config = Leon3Config {
+        timer: true,
+        ..Leon3Config::default()
+    };
     let result = Campaign::new(program, Target::IntegerUnit)
         .with_config(config)
         .with_kinds(&[FaultKind::StuckAt1])
@@ -130,6 +152,9 @@ fn fault_campaign_on_interrupt_driven_workload() {
         .run(2);
     let summary = result.summary(FaultKind::StuckAt1);
     assert_eq!(summary.injections, 40);
-    assert!(summary.failures > 0, "some IU faults must disturb the ISR flow");
+    assert!(
+        summary.failures > 0,
+        "some IU faults must disturb the ISR flow"
+    );
     assert!(summary.failures < 40, "some faults must be benign");
 }

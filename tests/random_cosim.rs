@@ -27,7 +27,11 @@ fn cosim(spec: &RandomSpec) {
         spec.seed,
         random_source(spec)
     );
-    assert_eq!(iss_outcome, rtl_outcome, "seed {:#x}: outcomes diverge", spec.seed);
+    assert_eq!(
+        iss_outcome, rtl_outcome,
+        "seed {:#x}: outcomes diverge",
+        spec.seed
+    );
 
     let iss_writes: Vec<_> = iss.bus_trace().writes().collect();
     let rtl_writes: Vec<_> = rtl.bus_trace().writes().collect();
@@ -48,8 +52,16 @@ fn cosim(spec: &RandomSpec) {
     // Full architectural state comparison, register file included.
     let iss_state = iss.state();
     let rtl_state = rtl.architectural_state();
-    assert_eq!(iss_state.psr, rtl_state.psr, "seed {:#x}: PSR diverges", spec.seed);
-    assert_eq!(iss_state.y, rtl_state.y, "seed {:#x}: Y diverges", spec.seed);
+    assert_eq!(
+        iss_state.psr, rtl_state.psr,
+        "seed {:#x}: PSR diverges",
+        spec.seed
+    );
+    assert_eq!(
+        iss_state.y, rtl_state.y,
+        "seed {:#x}: Y diverges",
+        spec.seed
+    );
     for slot in 0..136 {
         assert_eq!(
             iss_state.regs.read_physical(slot),
@@ -70,6 +82,9 @@ fn fifty_random_programs_agree() {
 #[test]
 fn long_random_programs_agree() {
     for seed in 100..105 {
-        cosim(&RandomSpec { length: 2_000, seed });
+        cosim(&RandomSpec {
+            length: 2_000,
+            seed,
+        });
     }
 }

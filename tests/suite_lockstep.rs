@@ -27,9 +27,16 @@ fn lockstep(program: &Program, label: &str) {
 
     let iss_writes: Vec<_> = iss.bus_trace().writes().collect();
     let rtl_writes: Vec<_> = rtl.bus_trace().writes().collect();
-    assert_eq!(iss_writes.len(), rtl_writes.len(), "{label}: write counts diverge");
+    assert_eq!(
+        iss_writes.len(),
+        rtl_writes.len(),
+        "{label}: write counts diverge"
+    );
     for (i, (a, b)) in iss_writes.iter().zip(&rtl_writes).enumerate() {
-        assert!(a.same_payload(b), "{label}: write {i} diverges ({a} vs {b})");
+        assert!(
+            a.same_payload(b),
+            "{label}: write {i} diverges ({a} vs {b})"
+        );
     }
     assert_eq!(
         iss.stats().instructions,
@@ -74,9 +81,15 @@ fn iteration_variants_of_rspeed() {
 
 #[test]
 fn all_excerpts() {
-    for bench in Benchmark::EXCERPT_SUBSET_A.iter().chain(&Benchmark::EXCERPT_SUBSET_B) {
+    for bench in Benchmark::EXCERPT_SUBSET_A
+        .iter()
+        .chain(&Benchmark::EXCERPT_SUBSET_B)
+    {
         for dataset in 0..3 {
-            lockstep(&bench.excerpt(dataset), &format!("{bench}-excerpt/ds{dataset}"));
+            lockstep(
+                &bench.excerpt(dataset),
+                &format!("{bench}-excerpt/ds{dataset}"),
+            );
         }
     }
 }
@@ -89,15 +102,14 @@ fn faithful_clocking_mode_is_semantically_identical() {
     let mut fast = Leon3::new(Leon3Config::default());
     fast.load(&program);
     let fast_outcome = fast.run(10_000_000);
-    let mut faithful =
-        Leon3::new(Leon3Config { faithful_clocking: true, ..Leon3Config::default() });
+    let mut faithful = Leon3::new(Leon3Config {
+        faithful_clocking: true,
+        ..Leon3Config::default()
+    });
     faithful.load(&program);
     let faithful_outcome = faithful.run(10_000_000);
     assert_eq!(fast_outcome, faithful_outcome);
     assert_eq!(fast.cycles(), faithful.cycles());
     assert_eq!(fast.bus_trace(), faithful.bus_trace());
-    assert_eq!(
-        fast.architectural_state(),
-        faithful.architectural_state()
-    );
+    assert_eq!(fast.architectural_state(), faithful.architectural_state());
 }
