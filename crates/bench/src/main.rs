@@ -2,18 +2,99 @@
 //!
 //! ```text
 //! repro [table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|all]
+//! repro campaign [iu|cmem] [--journal PATH] [--resume PATH] [--deadline-ms N]
 //! ```
 //!
 //! Sizing via `REPRO_SAMPLE`, `REPRO_SEED`, `REPRO_THREADS` environment
 //! variables (see [`bench::config_from_env`]).
+//!
+//! `campaign` runs one standalone crash-safe campaign on `rspeed`:
+//! `--journal` write-ahead-journals every completed job to PATH,
+//! `--resume` picks a killed campaign back up from its journal, and
+//! `--deadline-ms` arms the per-job wall-clock watchdog. Configuration
+//! and journal errors are reported on stderr with a nonzero exit code
+//! instead of a panic backtrace.
 
 use bench::config_from_env;
 use correlation::experiments::{
-    fig3, fig4, fig5, fig6, fig7_from_parts, simtime, table1, TemporalStudy,
+    fig3, fig4, fig5, fig6, fig7_from_parts, simtime, table1, ExperimentConfig, TemporalStudy,
 };
 use correlation::extensions::{
     bridging_study, eq1_ablation, iss_baseline, latent_study, transient_study,
 };
+use fault_inject::{Campaign, Target};
+use std::path::PathBuf;
+use std::time::Duration;
+use workloads::{Benchmark, Params};
+
+/// Run the standalone crash-safe campaign subcommand. Never panics on
+/// user mistakes: bad flags exit 2, campaign/journal errors exit 1.
+fn run_campaign(config: &ExperimentConfig, args: &[String]) {
+    let mut target = Target::IntegerUnit;
+    let mut journal: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let usage =
+        "usage: repro campaign [iu|cmem] [--journal PATH] [--resume PATH] [--deadline-ms N]";
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "iu" => target = Target::IntegerUnit,
+            "cmem" => target = Target::CacheMemory,
+            "--journal" => journal = Some(PathBuf::from(value("--journal"))),
+            "--resume" => resume = Some(PathBuf::from(value("--resume"))),
+            "--deadline-ms" => {
+                let raw = value("--deadline-ms");
+                deadline_ms = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("`--deadline-ms` needs an integer, got `{raw}`\n{usage}");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown campaign argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let program = Benchmark::Rspeed.program(&Params::default());
+    let mut campaign = Campaign::new(program, target)
+        .with_sample(config.sample_per_campaign, config.seed)
+        .with_injection_fraction(0.05);
+    if let Some(ms) = deadline_ms {
+        campaign = campaign.with_deadline(Duration::from_millis(ms));
+    }
+    let outcome = match (&resume, &journal) {
+        (Some(path), _) => {
+            eprintln!("[repro] resuming campaign from {}", path.display());
+            campaign.resume(config.threads, path)
+        }
+        (None, Some(path)) => {
+            eprintln!("[repro] journaling campaign to {}", path.display());
+            campaign.run_journaled(config.threads, path)
+        }
+        (None, None) => campaign.try_run(config.threads),
+    };
+    match outcome {
+        Ok(result) => {
+            let stats = result.stats();
+            eprintln!(
+                "[repro] {} jobs ({} resumed, {} retried, {} anomalies, {} timed out)",
+                stats.jobs, stats.resumed, stats.retried, stats.anomalies, stats.timed_out
+            );
+            print!("{result}");
+        }
+        Err(e) => {
+            eprintln!("[repro] campaign failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -42,6 +123,10 @@ fn main() {
             print!("{}", TemporalStudy::from_fig5(&f5));
         }
         "simtime" => print!("{}", simtime()),
+        "campaign" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_campaign(&config, &rest);
+        }
         "transient" => print!("{}", transient_study(&config)),
         "bridging" => print!("{}", bridging_study(&config)),
         "latent" => print!("{}", latent_study(&config)),
@@ -83,7 +168,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|all"
+                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|all"
             );
             std::process::exit(2);
         }

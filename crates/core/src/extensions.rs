@@ -15,7 +15,9 @@
 use crate::experiments::{ExperimentConfig, FigCampaign};
 use crate::model::{area_weights, diversity_of, unit_diversity_of, weighted_pf, DiversityModel};
 use analysis::pearson;
-use fault_inject::{arch_pf, bridge_pf, BridgingCampaign, Campaign, IssCampaign, Target};
+use fault_inject::{
+    arch_pf, bridge_pf, BridgingCampaign, Campaign, InjectionInstant, IssCampaign, Target,
+};
 use leon3_model::{Leon3, Leon3Config};
 use rtl_sim::BridgeKind;
 use rtl_sim::FaultKind;
@@ -59,24 +61,30 @@ impl TransientStudy {
 
 /// Run the transient study on `rspeed`: the same fault list injected at
 /// several instants, once with stuck-at-1 and once with transient flips.
+///
+/// All instants run as **one** multi-instant campaign sharing a single
+/// golden run; the first instant forks from the prefix snapshot and the
+/// others fall back to full re-execution (records are engine-independent,
+/// so the series is identical to three separate campaigns).
 pub fn transient_study(config: &ExperimentConfig) -> TransientStudy {
     let fractions = vec![0.1, 0.5, 0.9];
     let program = Benchmark::Rspeed.program(&Params::default());
-    let mut permanent_pf = Vec::new();
-    let mut transient_pf = Vec::new();
-    for &fraction in &fractions {
-        let result = Campaign::new(program.clone(), Target::IntegerUnit)
-            .with_kinds(&[FaultKind::StuckAt1, FaultKind::TransientFlip])
-            .with_sample(config.sample_per_campaign, config.seed)
-            .with_injection_fraction(fraction)
-            .run(config.threads);
-        permanent_pf.push(result.pf(FaultKind::StuckAt1));
-        transient_pf.push(result.pf(FaultKind::TransientFlip));
-    }
+    let instants: Vec<InjectionInstant> = fractions
+        .iter()
+        .map(|&f| InjectionInstant::Fraction(f))
+        .collect();
+    let results = Campaign::new(program, Target::IntegerUnit)
+        .with_kinds(&[FaultKind::StuckAt1, FaultKind::TransientFlip])
+        .with_sample(config.sample_per_campaign, config.seed)
+        .try_run_multi(config.threads, &instants)
+        .expect("the transient study's configuration is statically valid");
     TransientStudy {
+        permanent_pf: results.iter().map(|r| r.pf(FaultKind::StuckAt1)).collect(),
+        transient_pf: results
+            .iter()
+            .map(|r| r.pf(FaultKind::TransientFlip))
+            .collect(),
         fractions,
-        permanent_pf,
-        transient_pf,
     }
 }
 

@@ -20,7 +20,7 @@ use sparc_asm::Program;
 use sparc_iss::{Exit, StepEvent};
 
 /// One bridging injection record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BridgeRecord {
     /// The injected short.
     pub bridge: Bridge,

@@ -22,13 +22,43 @@
 //! [`Execution::FullReexecution`] retains the pre-fork engine (every job
 //! re-simulated from reset). Both engines produce **bit-identical
 //! records**; only the [`crate::CampaignStats`] cost accounting differs.
+//!
+//! # Fault tolerance
+//!
+//! Campaigns are built to survive the failure modes of long runs:
+//!
+//! * **panic isolation** — every job executes under
+//!   [`std::panic::catch_unwind`]. A panicking job is retried once from a
+//!   fresh model restore; a second panic records the job as
+//!   [`FaultOutcome::EngineAnomaly`] (payload preserved) and the campaign
+//!   continues, losing at most that one job;
+//! * **wall-clock watchdog** — [`Campaign::with_deadline`] bounds each job
+//!   by wall-clock time (cooperatively checked in the run loop) on top of
+//!   the architectural cycle budget; overruns classify as
+//!   [`FaultOutcome::Hang`] and are counted in `CampaignStats::timed_out`;
+//! * **write-ahead result journal** — [`Campaign::run_journaled`] appends
+//!   one flushed JSONL line per completed job, and [`Campaign::resume`]
+//!   validates the journal header (workload hash, configuration
+//!   fingerprint, job universe), replays completed jobs and simulates only
+//!   the rest, reconstituting a bit-identical [`CampaignResult`];
+//! * **structured configuration errors** — invalid configurations surface
+//!   as [`CampaignError`] from the `try_*` entry points instead of
+//!   panicking ([`Campaign::run`] keeps the panicking contract for
+//!   existing callers).
 
+use crate::error::{CampaignError, JournalError};
+use crate::journal::{self, fnv1a64, Entry, Header, Journal, FNV_OFFSET};
 use crate::result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord};
 use crate::sites::{fault_sites, sample_sites, FaultSite, Target};
 use leon3_model::{Leon3, Leon3Config, Snapshot};
 use rtl_sim::{Fault, FaultKind, NetId};
 use sparc_asm::Program;
 use sparc_iss::{BusEvent, Exit, StepEvent};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::PoisonError;
+use std::time::{Duration, Instant};
 
 /// The fault-free reference execution of a workload on the RTL model.
 #[derive(Debug, Clone)]
@@ -125,7 +155,9 @@ pub enum Execution {
     /// Checkpoint-and-fork: simulate the shared fault-free prefix once,
     /// snapshot it, and resume every job from the snapshot; jobs whose
     /// nets the golden run never reads from the injection instant on are
-    /// classified without simulation.
+    /// classified without simulation. Jobs whose injection instant
+    /// differs from the snapshot's (multi-instant campaigns) gracefully
+    /// fall back to full re-execution.
     #[default]
     Fork,
     /// Re-simulate every job from reset. Kept as the equivalence baseline
@@ -141,8 +173,10 @@ pub struct Campaign {
     target: Target,
     kinds: Vec<FaultKind>,
     sample: Option<(usize, u64)>,
+    sites_override: Option<Vec<FaultSite>>,
     injection: InjectionInstant,
     execution: Execution,
+    deadline: Option<Duration>,
     config: Leon3Config,
 }
 
@@ -155,8 +189,10 @@ impl Campaign {
             target,
             kinds: FaultKind::ALL.to_vec(),
             sample: None,
+            sites_override: None,
             injection: InjectionInstant::Cycle(0),
             execution: Execution::default(),
+            deadline: None,
             config: Leon3Config::default(),
         }
     }
@@ -168,15 +204,20 @@ impl Campaign {
         self
     }
 
-    /// Restrict the fault models.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `kinds` is empty.
+    /// Restrict the fault models. An empty list is reported as
+    /// [`CampaignError::NoFaultKinds`] when the campaign runs.
     #[must_use]
     pub fn with_kinds(mut self, kinds: &[FaultKind]) -> Campaign {
-        assert!(!kinds.is_empty(), "at least one fault model");
         self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// Inject exactly this fault list, bypassing enumeration and sampling
+    /// (custom fault lists, regression lists, or deliberately poisoned
+    /// sites in the panic-isolation tests).
+    #[must_use]
+    pub fn with_sites(mut self, sites: Vec<FaultSite>) -> Campaign {
+        self.sites_override = Some(sites);
         self
     }
 
@@ -189,14 +230,10 @@ impl Campaign {
     }
 
     /// Set the injection instant as a fraction of the golden run's cycle
-    /// count.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0.0 <= fraction <= 1.0`.
+    /// count. A fraction outside `[0, 1]` is reported as
+    /// [`CampaignError::InjectionPastEnd`] when the campaign runs.
     #[must_use]
     pub fn with_injection_fraction(mut self, fraction: f64) -> Campaign {
-        assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
         self.injection = InjectionInstant::Fraction(fraction);
         self
     }
@@ -205,6 +242,19 @@ impl Campaign {
     #[must_use]
     pub fn with_execution(mut self, execution: Execution) -> Campaign {
         self.execution = execution;
+        self
+    }
+
+    /// Bound every job by wall-clock time on top of the architectural
+    /// cycle budget. Overruns classify as [`FaultOutcome::Hang`] and are
+    /// counted in [`CampaignStats::timed_out`]. Off by default — and best
+    /// kept generous: a deadline that fires on a job the cycle budget
+    /// would have classified differently makes results host-load
+    /// dependent. The deadline does not enter the journal fingerprint for
+    /// the same reason.
+    #[must_use]
+    pub fn with_deadline(mut self, per_job: Duration) -> Campaign {
+        self.deadline = Some(per_job);
         self
     }
 
@@ -220,6 +270,9 @@ impl Campaign {
 
     /// The fault list this campaign will inject.
     pub fn sites(&self) -> Vec<FaultSite> {
+        if let Some(sites) = &self.sites_override {
+            return sites.clone();
+        }
         let reference = Leon3::new(self.config.clone());
         let all = fault_sites(&reference, self.target);
         match self.sample {
@@ -236,24 +289,28 @@ impl Campaign {
     ///
     /// # Panics
     ///
-    /// Panics if `threads` is 0 or the golden run does not halt.
+    /// Panics if the configuration is invalid (see [`Campaign::try_run`]
+    /// for the structured-error contract) or the golden run does not
+    /// halt.
     pub fn run(&self, threads: usize) -> CampaignResult {
-        assert!(threads > 0);
-        let config = self.classification_config();
-        let golden = GoldenRun::capture(&self.program, &config);
-        let injection_cycle = self.injection_cycle(&golden);
-        let jobs: Vec<Job> = self
-            .sites()
-            .iter()
-            .flat_map(|&site| {
-                self.kinds.iter().map(move |&kind| Job {
-                    sites: [site, site],
-                    n_sites: 1,
-                    kind,
-                })
-            })
-            .collect();
-        self.execute(threads, &config, &golden, injection_cycle, &jobs)
+        self.try_run(threads)
+            .unwrap_or_else(|e| panic!("invalid campaign: {e}"))
+    }
+
+    /// Run the campaign, reporting configuration mistakes as
+    /// [`CampaignError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Fails on zero threads, an empty fault-model list, an empty fault
+    /// list, or an injection fraction outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt (a workload bug, not a
+    /// configuration error).
+    pub fn try_run(&self, threads: usize) -> Result<CampaignResult, CampaignError> {
+        self.run_listed(threads, false, JournalMode::None)
     }
 
     /// Dual-point variant for ISO 26262 latent-fault analysis: the sampled
@@ -263,29 +320,326 @@ impl Campaign {
     ///
     /// # Panics
     ///
-    /// Panics if `threads` is 0, fewer than two sites are sampled, or the
-    /// golden run does not halt.
+    /// Panics if the configuration is invalid (see
+    /// [`Campaign::try_run_pairs`]) or the golden run does not halt.
     pub fn run_pairs(&self, threads: usize) -> CampaignResult {
-        assert!(threads > 0);
+        self.try_run_pairs(threads)
+            .unwrap_or_else(|e| panic!("invalid campaign: {e}"))
+    }
+
+    /// Dual-point variant of [`Campaign::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on the [`Campaign::try_run`] conditions, or fewer than two
+    /// sites in the fault list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn try_run_pairs(&self, threads: usize) -> Result<CampaignResult, CampaignError> {
+        self.run_listed(threads, true, JournalMode::None)
+    }
+
+    /// Run the campaign with a write-ahead result journal at `path`: the
+    /// file is created (truncated) with a validating header, and every
+    /// completed job appends one flushed JSONL line *before* its record is
+    /// published. A killed process loses at most the job lines in flight;
+    /// [`Campaign::resume`] picks the campaign back up.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the [`Campaign::try_run`] conditions or journal I/O
+    /// errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn run_journaled(
+        &self,
+        threads: usize,
+        path: &Path,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.run_listed(threads, false, JournalMode::Create(path))
+    }
+
+    /// Resume a campaign from the write-ahead journal at `path`: the
+    /// header is validated against this campaign (workload hash,
+    /// configuration fingerprint, job universe, resolved injection
+    /// instant), completed jobs are replayed from the journal, and only
+    /// the remaining jobs are simulated — appending to the same journal,
+    /// so a resumed journal ends complete. The reconstituted
+    /// [`CampaignResult`] is bit-identical to an uninterrupted
+    /// [`Campaign::run_journaled`] (records, latencies, and stats, modulo
+    /// [`CampaignStats::resumed`]). A torn final line (the kill landed
+    /// mid-append) is dropped and its job re-run.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the [`Campaign::try_run`] conditions, journal I/O or
+    /// parse errors, or a journal that does not belong to this campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn resume(&self, threads: usize, path: &Path) -> Result<CampaignResult, CampaignError> {
+        self.run_listed(threads, false, JournalMode::Resume(path))
+    }
+
+    /// Run the same fault list at several injection instants as **one**
+    /// campaign sharing one golden run, returning one result per instant
+    /// (in order). Under [`Execution::Fork`] the prefix snapshot is taken
+    /// at the *first* instant; jobs of the other instants gracefully fall
+    /// back to full re-execution (and still benefit from site-activation
+    /// skipping), rather than silently forking from a wrong-instant
+    /// snapshot. A snapshot *pool* at every instant remains a ROADMAP
+    /// item.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the [`Campaign::try_run`] conditions, an empty `instants`
+    /// list, or any fraction outside `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn try_run_multi(
+        &self,
+        threads: usize,
+        instants: &[InjectionInstant],
+    ) -> Result<Vec<CampaignResult>, CampaignError> {
+        self.validate(threads)?;
+        if instants.is_empty() {
+            return Err(CampaignError::NoInstants);
+        }
         let config = self.classification_config();
         let golden = GoldenRun::capture(&self.program, &config);
-        let injection_cycle = self.injection_cycle(&golden);
+        let cycles = instants
+            .iter()
+            .map(|&instant| resolve_instant(instant, &golden))
+            .collect::<Result<Vec<u64>, CampaignError>>()?;
         let sites = self.sites();
-        assert!(
-            sites.len() >= 2,
-            "dual-point campaigns need at least two sites"
-        );
-        let jobs: Vec<Job> = sites
-            .windows(2)
-            .flat_map(|w| {
-                self.kinds.iter().map(move |&kind| Job {
-                    sites: [w[0], w[1]],
-                    n_sites: 2,
-                    kind,
-                })
+        if sites.is_empty() {
+            return Err(CampaignError::NoFaultSites);
+        }
+        let mut jobs = Vec::with_capacity(cycles.len() * sites.len() * self.kinds.len());
+        for (group, &injection_cycle) in cycles.iter().enumerate() {
+            for &site in &sites {
+                for &kind in &self.kinds {
+                    jobs.push(Job {
+                        sites: [site, site],
+                        n_sites: 1,
+                        kind,
+                        injection_cycle,
+                        group,
+                    });
+                }
+            }
+        }
+        let prefilled = vec![None; jobs.len()];
+        let out =
+            self.execute_jobs(threads, &config, &golden, cycles[0], &jobs, None, prefilled)?;
+        let mut grouped: Vec<(Vec<FaultRecord>, CampaignStats)> = instants
+            .iter()
+            .map(|_| {
+                (
+                    Vec::new(),
+                    CampaignStats {
+                        golden_cycles: golden.cycles,
+                        ..CampaignStats::default()
+                    },
+                )
             })
             .collect();
-        self.execute(threads, &config, &golden, injection_cycle, &jobs)
+        for (job, (record, delta)) in jobs.iter().zip(out.per_job) {
+            let (records, stats) = &mut grouped[job.group];
+            records.push(record);
+            stats.jobs += 1;
+            stats.merge(&delta);
+        }
+        if self.execution == Execution::Fork {
+            // The shared prefix is simulated once; bill it to the instant
+            // that actually forks from it.
+            grouped[0].1.prefix_cycles = out.prefix_cycles;
+            grouped[0].1.cycles_simulated += out.prefix_cycles;
+        }
+        Ok(grouped
+            .into_iter()
+            .map(|(records, stats)| CampaignResult::with_stats(records, stats))
+            .collect())
+    }
+
+    /// Reject configurations that previously died as config-time panics.
+    fn validate(&self, threads: usize) -> Result<(), CampaignError> {
+        if threads == 0 {
+            return Err(CampaignError::ZeroThreads);
+        }
+        if self.kinds.is_empty() {
+            return Err(CampaignError::NoFaultKinds);
+        }
+        if let InjectionInstant::Fraction(f) = self.injection {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(CampaignError::InjectionPastEnd { fraction: f });
+            }
+        }
+        Ok(())
+    }
+
+    /// The single-instant run path shared by `try_run`, `try_run_pairs`,
+    /// `run_journaled` and `resume`.
+    fn run_listed(
+        &self,
+        threads: usize,
+        pairs: bool,
+        journal: JournalMode<'_>,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.validate(threads)?;
+        let config = self.classification_config();
+        let golden = GoldenRun::capture(&self.program, &config);
+        let injection_cycle = resolve_instant(self.injection, &golden)?;
+        let sites = self.sites();
+        if sites.is_empty() {
+            return Err(CampaignError::NoFaultSites);
+        }
+        let jobs = self.plan_jobs(&sites, pairs, injection_cycle)?;
+        let header = Header {
+            workload: workload_hash(&self.program),
+            fingerprint: self.fingerprint(pairs),
+            jobs: jobs.len(),
+            injection_cycle,
+            golden_cycles: golden.cycles,
+        };
+        let (writer, prefilled, resumed) = match journal {
+            JournalMode::None => (None, vec![None; jobs.len()], 0),
+            JournalMode::Create(path) => (
+                Some(Journal::create(path, &header)?),
+                vec![None; jobs.len()],
+                0,
+            ),
+            JournalMode::Resume(path) => {
+                let (found, entries, truncated) = journal::read(path)?;
+                check_header(&header, &found)?;
+                let mut prefilled: Vec<Option<(FaultRecord, CampaignStats)>> =
+                    vec![None; jobs.len()];
+                let mut resumed = 0;
+                for entry in &entries {
+                    let job = jobs.get(entry.job).ok_or(JournalError::JobOutOfRange {
+                        job: entry.job,
+                        jobs: jobs.len(),
+                    })?;
+                    if entry.record.site != job.sites[0] || entry.record.kind != job.kind {
+                        return Err(JournalError::JobMismatch { job: entry.job }.into());
+                    }
+                    if prefilled[entry.job].is_none() {
+                        resumed += 1;
+                    }
+                    prefilled[entry.job] = Some((entry.record.clone(), entry.delta));
+                }
+                let writer = if truncated {
+                    // The kill landed mid-append, so the file ends in a
+                    // torn fragment with no newline — appending onto it
+                    // would corrupt the next line. Rewrite the validated
+                    // prefix (serialization is canonical) and go on from
+                    // there.
+                    let mut journal = Journal::create(path, &header)?;
+                    for entry in &entries {
+                        journal.append(entry)?;
+                    }
+                    journal
+                } else {
+                    Journal::open_append(path)?
+                };
+                (Some(writer), prefilled, resumed)
+            }
+        };
+        let out = self.execute_jobs(
+            threads,
+            &config,
+            &golden,
+            injection_cycle,
+            &jobs,
+            writer,
+            prefilled,
+        )?;
+        let mut stats = CampaignStats {
+            jobs: jobs.len(),
+            golden_cycles: golden.cycles,
+            resumed,
+            ..CampaignStats::default()
+        };
+        if self.execution == Execution::Fork {
+            // The shared prefix is simulated exactly once.
+            stats.prefix_cycles = out.prefix_cycles;
+            stats.cycles_simulated = out.prefix_cycles;
+        }
+        let mut records = Vec::with_capacity(out.per_job.len());
+        for (record, delta) in out.per_job {
+            stats.merge(&delta);
+            records.push(record);
+        }
+        Ok(CampaignResult::with_stats(records, stats))
+    }
+
+    /// Expand the fault list into the campaign's job universe.
+    fn plan_jobs(
+        &self,
+        sites: &[FaultSite],
+        pairs: bool,
+        injection_cycle: u64,
+    ) -> Result<Vec<Job>, CampaignError> {
+        let jobs: Vec<Job> = if pairs {
+            if sites.len() < 2 {
+                return Err(CampaignError::NotEnoughSitesForPairs {
+                    available: sites.len(),
+                });
+            }
+            sites
+                .windows(2)
+                .flat_map(|w| {
+                    self.kinds.iter().map(move |&kind| Job {
+                        sites: [w[0], w[1]],
+                        n_sites: 2,
+                        kind,
+                        injection_cycle,
+                        group: 0,
+                    })
+                })
+                .collect()
+        } else {
+            sites
+                .iter()
+                .flat_map(|&site| {
+                    self.kinds.iter().map(move |&kind| Job {
+                        sites: [site, site],
+                        n_sites: 1,
+                        kind,
+                        injection_cycle,
+                        group: 0,
+                    })
+                })
+                .collect()
+        };
+        Ok(jobs)
+    }
+
+    /// Hash of everything that determines the job universe and its
+    /// records: used to refuse resuming a journal of a different
+    /// campaign. The wall-clock deadline is deliberately excluded — it
+    /// cannot change which jobs exist or what a completed job recorded.
+    fn fingerprint(&self, pairs: bool) -> u64 {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}",
+            self.target,
+            self.kinds,
+            self.sample,
+            self.sites_override,
+            self.injection,
+            self.execution,
+            self.config,
+        );
+        fnv1a64(FNV_OFFSET, s.as_bytes())
     }
 
     /// The platform configuration used for classification runs. Bus-read
@@ -295,13 +649,6 @@ impl Campaign {
         let mut config = self.config.clone();
         config.trace_reads = false;
         config
-    }
-
-    fn injection_cycle(&self, golden: &GoldenRun) -> u64 {
-        match self.injection {
-            InjectionInstant::Cycle(c) => c,
-            InjectionInstant::Fraction(f) => (golden.cycles as f64 * f) as u64,
-        }
     }
 
     /// Simulate the shared fault-free prefix once and snapshot it (fork
@@ -330,40 +677,40 @@ impl Campaign {
         })
     }
 
-    fn execute(
+    /// Run `jobs` on `threads` workers, honouring prefilled (resumed)
+    /// slots and appending each completed job to the journal before its
+    /// record is published.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_jobs(
         &self,
         threads: usize,
         config: &Leon3Config,
         golden: &GoldenRun,
-        injection_cycle: u64,
+        snapshot_cycle: u64,
         jobs: &[Job],
-    ) -> CampaignResult {
-        let prefix = self.prefix(config, golden, injection_cycle);
+        journal: Option<Journal>,
+        prefilled: Vec<Option<(FaultRecord, CampaignStats)>>,
+    ) -> Result<ExecOutput, CampaignError> {
+        let prefix = self.prefix(config, golden, snapshot_cycle);
         let ctx = JobContext {
             program: &self.program,
             golden,
             prefix: prefix.as_ref(),
-            injection_cycle,
+            snapshot_cycle,
+            deadline: self.deadline,
         };
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut records = vec![None; jobs.len()];
-        let records_mutex = std::sync::Mutex::new(&mut records);
-        let mut stats = CampaignStats {
-            jobs: jobs.len(),
-            golden_cycles: golden.cycles,
-            ..CampaignStats::default()
-        };
-        if let Some(prefix) = &prefix {
-            // The shared prefix is simulated exactly once.
-            stats.prefix_cycles = prefix.snapshot.cycle();
-            stats.cycles_simulated = prefix.snapshot.cycle();
-        }
-        let stats_mutex = std::sync::Mutex::new(&mut stats);
+        // Which slots were reconstituted from the journal; read-only, so
+        // workers can skip them without taking the lock.
+        let done: Vec<bool> = prefilled.iter().map(Option::is_some).collect();
+        let shared = std::sync::Mutex::new(SharedState {
+            slots: prefilled,
+            journal,
+            journal_error: None,
+        });
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
-                    let mut local: Vec<(usize, FaultRecord)> = Vec::new();
-                    let mut tally = CampaignStats::default();
                     // One model instance per worker, reset or restored
                     // between runs.
                     let mut cpu = Leon3::new(config.clone());
@@ -372,45 +719,138 @@ impl Campaign {
                         if idx >= jobs.len() {
                             break;
                         }
+                        if done[idx] {
+                            continue;
+                        }
                         let job = &jobs[idx];
-                        let outcome = run_job(&mut cpu, &ctx, &mut tally, job);
-                        local.push((
-                            idx,
-                            FaultRecord {
-                                site: job.sites[0],
-                                kind: job.kind,
-                                outcome,
-                            },
-                        ));
+                        let (outcome, delta) = run_job_isolated(&mut cpu, &ctx, job);
+                        let record = FaultRecord {
+                            site: job.sites[0],
+                            kind: job.kind,
+                            outcome,
+                        };
+                        // Jobs are panic-isolated, so a poisoned lock can
+                        // only mean a panic *outside* a job (e.g. an OOM
+                        // abort path); every update below is
+                        // whole-record, so recovery is safe.
+                        let mut guard = shared.lock().unwrap_or_else(PoisonError::into_inner);
+                        if guard.journal_error.is_none() {
+                            if let Some(journal) = guard.journal.as_mut() {
+                                // Write-ahead: the line is flushed before
+                                // the record is published in memory.
+                                if let Err(e) = journal.append(&Entry {
+                                    job: idx,
+                                    record: record.clone(),
+                                    delta,
+                                }) {
+                                    guard.journal_error = Some(e);
+                                    guard.journal = None;
+                                }
+                            }
+                        }
+                        guard.slots[idx] = Some((record, delta));
                     }
-                    let mut guard = records_mutex.lock().expect("no poisoned workers");
-                    for (idx, record) in local {
-                        guard[idx] = Some(record);
-                    }
-                    drop(guard);
-                    stats_mutex
-                        .lock()
-                        .expect("no poisoned workers")
-                        .merge(&tally);
                 });
             }
         });
-        CampaignResult::with_stats(
-            records
-                .into_iter()
-                .map(|r| r.expect("all jobs ran"))
-                .collect(),
-            stats,
-        )
+        let shared = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
+        if let Some(e) = shared.journal_error {
+            return Err(e.into());
+        }
+        let per_job = shared
+            .slots
+            .into_iter()
+            // Invariant: the atomic counter hands every index to exactly
+            // one worker, and prefilled indices arrive occupied — so every
+            // slot is filled once the scope joins.
+            .map(|slot| slot.expect("all jobs ran"))
+            .collect();
+        Ok(ExecOutput {
+            per_job,
+            prefix_cycles: prefix.map_or(0, |p| p.snapshot.cycle()),
+        })
     }
 }
 
-/// One unit of campaign work: one or two simultaneous faults of one model.
+/// Where `run_listed` journals to, if anywhere.
+enum JournalMode<'a> {
+    None,
+    Create(&'a Path),
+    Resume(&'a Path),
+}
+
+/// What `execute_jobs` hands back for aggregation.
+struct ExecOutput {
+    per_job: Vec<(FaultRecord, CampaignStats)>,
+    prefix_cycles: u64,
+}
+
+/// Worker-shared mutable state, updated whole-record under one lock.
+struct SharedState {
+    slots: Vec<Option<(FaultRecord, CampaignStats)>>,
+    journal: Option<Journal>,
+    journal_error: Option<JournalError>,
+}
+
+/// Resolve an instant against the golden run, rejecting fractions outside
+/// the run.
+fn resolve_instant(instant: InjectionInstant, golden: &GoldenRun) -> Result<u64, CampaignError> {
+    match instant {
+        InjectionInstant::Cycle(c) => Ok(c),
+        InjectionInstant::Fraction(f) if (0.0..=1.0).contains(&f) => {
+            Ok((golden.cycles as f64 * f) as u64)
+        }
+        InjectionInstant::Fraction(f) => Err(CampaignError::InjectionPastEnd { fraction: f }),
+    }
+}
+
+/// Hash of the workload image (entry + segments), for journal validation.
+fn workload_hash(program: &Program) -> u64 {
+    let mut h = fnv1a64(FNV_OFFSET, &program.entry.to_be_bytes());
+    for seg in &program.segments {
+        h = fnv1a64(h, &seg.base.to_be_bytes());
+        h = fnv1a64(h, &(seg.bytes.len() as u64).to_be_bytes());
+        h = fnv1a64(h, &seg.bytes);
+    }
+    h
+}
+
+/// Field-by-field header validation with a precise error.
+fn check_header(expected: &Header, found: &Header) -> Result<(), JournalError> {
+    let fields: [(&'static str, u64, u64); 5] = [
+        ("workload", expected.workload, found.workload),
+        ("fingerprint", expected.fingerprint, found.fingerprint),
+        ("jobs", expected.jobs as u64, found.jobs as u64),
+        (
+            "injection_cycle",
+            expected.injection_cycle,
+            found.injection_cycle,
+        ),
+        ("golden_cycles", expected.golden_cycles, found.golden_cycles),
+    ];
+    for (field, want, got) in fields {
+        if want != got {
+            return Err(JournalError::HeaderMismatch {
+                field,
+                expected: want.to_string(),
+                found: got.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One unit of campaign work: one or two simultaneous faults of one model
+/// at one injection instant.
 #[derive(Clone, Copy)]
 struct Job {
     sites: [FaultSite; 2],
     n_sites: usize,
     kind: FaultKind,
+    injection_cycle: u64,
+    /// Which result bucket the job belongs to (instant index in
+    /// `try_run_multi`; always 0 for single-instant campaigns).
+    group: usize,
 }
 
 impl Job {
@@ -432,67 +872,135 @@ struct JobContext<'a> {
     program: &'a Program,
     golden: &'a GoldenRun,
     prefix: Option<&'a Prefix>,
-    injection_cycle: u64,
+    /// The cycle the prefix snapshot was taken for; jobs injecting at a
+    /// different instant must not fork from it.
+    snapshot_cycle: u64,
+    /// Per-job wall-clock budget, if configured.
+    deadline: Option<Duration>,
+}
+
+/// Classify one job with panic isolation: a panicking attempt is retried
+/// once from a fresh model restore (the job entry points `restore`/`reset`
+/// the model, so the retry never sees torn state); a second panic yields
+/// [`FaultOutcome::EngineAnomaly`] with the panic payload.
+fn run_job_isolated(
+    cpu: &mut Leon3,
+    ctx: &JobContext<'_>,
+    job: &Job,
+) -> (FaultOutcome, CampaignStats) {
+    for attempt in 0..2 {
+        // `&mut Leon3` is not `UnwindSafe` by definition, but the model
+        // documents its unwind boundary: `restore`/`reset`/`load` rebuild
+        // every field, so a torn model from a caught panic cannot leak
+        // into the next run (see `leon3_model::Leon3` docs).
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut delta = CampaignStats::default();
+            let outcome = run_job(cpu, ctx, &mut delta, job);
+            (outcome, delta)
+        }));
+        match run {
+            Ok((outcome, mut delta)) => {
+                delta.retried = usize::from(attempt > 0);
+                return (outcome, delta);
+            }
+            Err(_) if attempt == 0 => continue,
+            Err(payload) => {
+                let delta = CampaignStats {
+                    retried: 1,
+                    anomalies: 1,
+                    ..CampaignStats::default()
+                };
+                return (
+                    FaultOutcome::EngineAnomaly {
+                        // `&*` derefs the box: `&payload` would coerce
+                        // the `Box` itself to `&dyn Any` and every
+                        // downcast would miss.
+                        payload: panic_message(&*payload),
+                    },
+                    delta,
+                );
+            }
+        }
+    }
+    unreachable!("the retry loop returns on every branch")
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Classify one job. On the fork engine the model is restored from the
 /// shared prefix snapshot — or the job is skipped outright when the golden
-/// run never reads any injected net from the injection instant on; on the
-/// full-reexecution engine it is reset and re-run from cycle 0.
+/// run never reads any injected net from the injection instant on; a job
+/// whose instant differs from the snapshot's falls back to full
+/// re-execution. On the full-reexecution engine the model is reset and
+/// re-run from cycle 0.
 fn run_job(
     cpu: &mut Leon3,
     ctx: &JobContext<'_>,
     tally: &mut CampaignStats,
     job: &Job,
 ) -> FaultOutcome {
-    match ctx.prefix {
-        Some(prefix) => {
-            let inert = job
-                .sites()
-                .iter()
-                .all(|s| !ctx.golden.net_exercised_from(s.net, ctx.injection_cycle));
-            if inert {
-                // The fault can never be read: the faulty run reproduces
-                // the golden run to the end by construction.
-                tally.skipped_inactive += 1;
-                tally.cycles_avoided += ctx.golden.cycles;
-                return FaultOutcome::NoEffect;
-            }
+    let deadline = ctx.deadline.map(|d| Instant::now() + d);
+    if let Some(prefix) = ctx.prefix {
+        let inert = job
+            .sites()
+            .iter()
+            .all(|s| !ctx.golden.net_exercised_from(s.net, job.injection_cycle));
+        if inert {
+            // The fault can never be read: the faulty run reproduces
+            // the golden run to the end by construction. (This theorem
+            // is about the golden run, so it holds at any instant.)
+            tally.skipped_inactive += 1;
+            tally.cycles_avoided += ctx.golden.cycles;
+            return FaultOutcome::NoEffect;
+        }
+        if job.injection_cycle == ctx.snapshot_cycle {
             tally.forked += 1;
             cpu.restore(&prefix.snapshot);
-            inject_all(cpu, job, ctx.injection_cycle);
+            inject_all(cpu, job);
             let run = observe(
                 cpu,
                 ctx.golden,
-                ctx.injection_cycle,
+                job.injection_cycle,
                 prefix.steps,
                 prefix.snapshot.trace_len(),
+                deadline,
             );
             tally.cycles_simulated += cpu.cycles() - prefix.snapshot.cycle();
             tally.cycles_avoided += prefix.snapshot.cycle();
             tally.short_circuited += usize::from(run.short_circuited);
-            run.outcome
+            tally.timed_out += usize::from(run.timed_out);
+            return run.outcome;
         }
-        None => {
-            tally.full_reexecutions += 1;
-            cpu.reset();
-            cpu.load(ctx.program);
-            inject_all(cpu, job, ctx.injection_cycle);
-            let run = observe(cpu, ctx.golden, ctx.injection_cycle, 0, 0);
-            tally.cycles_simulated += cpu.cycles();
-            tally.short_circuited += usize::from(run.short_circuited);
-            run.outcome
-        }
+        // Mixed-instant fallback: the snapshot was taken for a different
+        // instant, so forking from it would be wrong — re-execute.
     }
+    tally.full_reexecutions += 1;
+    cpu.reset();
+    cpu.load(ctx.program);
+    inject_all(cpu, job);
+    let run = observe(cpu, ctx.golden, job.injection_cycle, 0, 0, deadline);
+    tally.cycles_simulated += cpu.cycles();
+    tally.short_circuited += usize::from(run.short_circuited);
+    tally.timed_out += usize::from(run.timed_out);
+    run.outcome
 }
 
-fn inject_all(cpu: &mut Leon3, job: &Job, injection_cycle: u64) {
+fn inject_all(cpu: &mut Leon3, job: &Job) {
     for site in job.sites() {
         cpu.inject(Fault {
             net: site.net,
             bit: site.bit,
             kind: job.kind,
-            from_cycle: injection_cycle,
+            from_cycle: job.injection_cycle,
         });
     }
 }
@@ -503,29 +1011,45 @@ struct Observation {
     /// The run was cut short at a diverging write, before the faulty core
     /// reached a halt, error-mode stop or its cycle budget.
     short_circuited: bool,
+    /// The run overran its wall-clock deadline (classified `Hang`).
+    timed_out: bool,
 }
 
 /// Run an already-prepared (loaded/restored and injected) model to
 /// completion, classifying against the golden run with online divergence
 /// detection. `steps_done` and `writes_checked` seed the hang budget and
 /// the divergence cursor when resuming from a prefix snapshot; both are 0
-/// for a run from reset.
+/// for a run from reset. `deadline` is the cooperative wall-clock
+/// watchdog, checked every 256 steps.
 fn observe(
     cpu: &mut Leon3,
     golden: &GoldenRun,
     injection_cycle: u64,
     steps_done: u64,
     writes_checked: usize,
+    deadline: Option<Instant>,
 ) -> Observation {
     // Budget: generous multiple of the golden run, so hangs terminate.
     let budget = golden.instructions * 2 + 10_000;
     let mut executed: u64 = steps_done;
     let mut checked: usize = writes_checked;
+    let mut ticks: u32 = 0;
     let stop = |outcome| Observation {
         outcome,
         short_circuited: true,
+        timed_out: false,
     };
     loop {
+        if let Some(d) = deadline {
+            if ticks & 0xff == 0 && Instant::now() >= d {
+                return Observation {
+                    outcome: FaultOutcome::Hang,
+                    short_circuited: false,
+                    timed_out: true,
+                };
+            }
+        }
+        ticks = ticks.wrapping_add(1);
         let event = cpu.step();
         executed += 1;
         // Compare any newly produced writes against the golden stream.
@@ -556,6 +1080,7 @@ fn observe(
             return Observation {
                 outcome: FaultOutcome::Hang,
                 short_circuited: false,
+                timed_out: false,
             };
         }
     }
@@ -585,6 +1110,7 @@ fn observe(
     Observation {
         outcome,
         short_circuited: false,
+        timed_out: false,
     }
 }
 
@@ -608,7 +1134,7 @@ fn run_one(
         kind,
         from_cycle: injection_cycle,
     });
-    observe(cpu, golden, injection_cycle, 0, 0).outcome
+    observe(cpu, golden, injection_cycle, 0, 0, None).outcome
 }
 
 #[cfg(test)]
@@ -836,5 +1362,97 @@ mod tests {
             "diverging runs must be cut short: {:?}",
             result.stats(),
         );
+    }
+
+    #[test]
+    fn config_errors_are_structured() {
+        let program = small_program();
+        let campaign = Campaign::new(program.clone(), Target::IntegerUnit).with_sample(5, 1);
+        assert_eq!(campaign.try_run(0), Err(CampaignError::ZeroThreads));
+        assert_eq!(
+            campaign.clone().with_kinds(&[]).try_run(2),
+            Err(CampaignError::NoFaultKinds)
+        );
+        assert_eq!(
+            campaign.clone().with_sites(Vec::new()).try_run(2),
+            Err(CampaignError::NoFaultSites)
+        );
+        let err = campaign
+            .clone()
+            .with_injection_fraction(1.5)
+            .try_run(2)
+            .unwrap_err();
+        assert!(
+            matches!(err, CampaignError::InjectionPastEnd { .. }),
+            "{err}"
+        );
+        assert_eq!(
+            campaign.try_run_multi(2, &[]),
+            Err(CampaignError::NoInstants)
+        );
+        assert!(matches!(
+            Campaign::new(program, Target::IntegerUnit)
+                .with_sites(vec![FaultSite {
+                    net: NetId::from_raw(0),
+                    bit: 0,
+                    unit: Unit::Fetch,
+                }])
+                .try_run_pairs(2),
+            Err(CampaignError::NotEnoughSitesForPairs { available: 1 })
+        ));
+    }
+
+    #[test]
+    fn zero_deadline_times_out_every_simulated_job() {
+        // A zero wall-clock budget fires the watchdog before the first
+        // step of every non-skipped job: all are classified Hang with the
+        // timed_out counter, and the campaign still terminates.
+        let program = small_program();
+        let result = Campaign::new(program, Target::IntegerUnit)
+            .with_sample(10, 17)
+            .with_kinds(&[FaultKind::StuckAt1])
+            .with_deadline(Duration::ZERO)
+            .run(2);
+        let stats = result.stats();
+        assert!(stats.timed_out > 0, "{stats:?}");
+        assert_eq!(stats.timed_out, stats.forked, "{stats:?}");
+        for r in result.records() {
+            assert!(
+                matches!(r.outcome, FaultOutcome::Hang | FaultOutcome::NoEffect),
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_instant_matches_separate_campaigns() {
+        // One multi-instant campaign must reproduce, per instant, the
+        // records of a dedicated campaign at that instant — with the
+        // off-snapshot instants gracefully falling back to full
+        // re-execution instead of forking from the wrong snapshot.
+        let program = small_program();
+        let campaign = Campaign::new(program, Target::IntegerUnit)
+            .with_sample(12, 29)
+            .with_kinds(&[FaultKind::StuckAt1, FaultKind::OpenLine]);
+        let instants = [
+            InjectionInstant::Fraction(0.2),
+            InjectionInstant::Fraction(0.6),
+        ];
+        let multi = campaign.try_run_multi(4, &instants).expect("valid");
+        assert_eq!(multi.len(), 2);
+        for (instant, result) in instants.iter().zip(&multi) {
+            let single = match instant {
+                InjectionInstant::Fraction(f) => {
+                    campaign.clone().with_injection_fraction(*f).run(4)
+                }
+                InjectionInstant::Cycle(c) => campaign.clone().with_injection_cycle(*c).run(4),
+            };
+            assert_eq!(result.records(), single.records());
+        }
+        // The first instant owns the snapshot; the second fell back.
+        assert!(multi[0].stats().forked > 0, "{:?}", multi[0].stats());
+        assert_eq!(multi[0].stats().full_reexecutions, 0);
+        assert_eq!(multi[1].stats().forked, 0, "{:?}", multi[1].stats());
+        assert!(multi[1].stats().full_reexecutions > 0);
     }
 }

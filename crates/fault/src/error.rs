@@ -1,0 +1,155 @@
+//! Structured campaign errors.
+//!
+//! Configuration mistakes (an empty fault list, an injection instant past
+//! the end of the run, zero worker threads) used to be config-time panics;
+//! they now surface as [`CampaignError`] values so callers — notably the
+//! `repro` binary — can report them and exit nonzero instead of aborting
+//! with a backtrace. Journal I/O and validation failures ride along as
+//! [`JournalError`].
+
+use std::fmt;
+
+/// Why a campaign could not run (or resume).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The campaign was asked to run on zero worker threads.
+    ZeroThreads,
+    /// The fault-model list is empty (`with_kinds(&[])`).
+    NoFaultKinds,
+    /// The fault list is empty — the target domain has no sites, the
+    /// sample size was zero, or an explicit site list was empty.
+    NoFaultSites,
+    /// The injection instant lies past the end of the golden run: a
+    /// fraction outside `[0, 1]` of the golden cycle count.
+    InjectionPastEnd {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// No injection instants were supplied to a multi-instant run.
+    NoInstants,
+    /// A dual-point campaign needs at least two sampled sites.
+    NotEnoughSitesForPairs {
+        /// How many sites the fault list actually holds.
+        available: usize,
+    },
+    /// The write-ahead journal could not be created, appended, parsed or
+    /// matched against this campaign.
+    Journal(JournalError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::ZeroThreads => write!(f, "campaigns need at least one worker thread"),
+            CampaignError::NoFaultKinds => write!(f, "campaigns need at least one fault model"),
+            CampaignError::NoFaultSites => write!(f, "the campaign's fault list is empty"),
+            CampaignError::InjectionPastEnd { fraction } => write!(
+                f,
+                "injection fraction {fraction} lies past the end of the run (must be in [0, 1])"
+            ),
+            CampaignError::NoInstants => {
+                write!(f, "multi-instant campaigns need at least one instant")
+            }
+            CampaignError::NotEnoughSitesForPairs { available } => write!(
+                f,
+                "dual-point campaigns need at least two sites, got {available}"
+            ),
+            CampaignError::Journal(e) => write!(f, "journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(e: JournalError) -> CampaignError {
+        CampaignError::Journal(e)
+    }
+}
+
+/// Why a write-ahead journal could not be written or replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An I/O operation failed. The original `std::io::Error` is carried
+    /// as text so the error stays `Clone + Eq` (and record-comparable in
+    /// tests).
+    Io {
+        /// What the journal was doing.
+        context: &'static str,
+        /// The rendered I/O error.
+        error: String,
+    },
+    /// The journal file has no parseable header line.
+    MissingHeader,
+    /// The journal's header does not match the campaign asked to resume
+    /// from it: different workload, configuration, job universe or model
+    /// version.
+    HeaderMismatch {
+        /// Which header field disagreed.
+        field: &'static str,
+        /// The value this campaign expects.
+        expected: String,
+        /// The value found in the journal.
+        found: String,
+    },
+    /// A journal line other than the (possibly torn) final one failed to
+    /// parse — the file is corrupt, not merely truncated.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A journal entry names a job index outside the campaign's universe.
+    JobOutOfRange {
+        /// The job index found.
+        job: usize,
+        /// The campaign's job count.
+        jobs: usize,
+    },
+    /// A journal entry's `(site, kind)` disagrees with the job it claims
+    /// to record — the journal belongs to a different fault list.
+    JobMismatch {
+        /// The job index whose entry disagreed.
+        job: usize,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { context, error } => write!(f, "{context}: {error}"),
+            JournalError::MissingHeader => write!(f, "missing or unparseable header line"),
+            JournalError::HeaderMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "header mismatch on `{field}`: campaign has {expected}, journal has {found}"
+            ),
+            JournalError::Malformed { line, reason } => {
+                write!(f, "malformed line {line}: {reason}")
+            }
+            JournalError::JobOutOfRange { job, jobs } => {
+                write!(f, "job index {job} outside the campaign's {jobs} jobs")
+            }
+            JournalError::JobMismatch { job } => write!(
+                f,
+                "entry for job {job} records a different (site, kind) than the campaign plan"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl JournalError {
+    /// Wrap an I/O error with context.
+    pub fn io(context: &'static str, error: std::io::Error) -> JournalError {
+        JournalError::Io {
+            context,
+            error: error.to_string(),
+        }
+    }
+}

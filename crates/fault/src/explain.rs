@@ -138,6 +138,9 @@ pub fn explain(
                 "outcome: ERROR-MODE STOP after {latency_cycles} cycles (double trap)"
             );
         }
+        FaultOutcome::EngineAnomaly { payload } => {
+            let _ = writeln!(report, "outcome: ENGINE ANOMALY — {payload}");
+        }
     }
     let _ = writeln!(report, "last instructions before the end of observation:");
     for (cycle, pc, instr) in cpu.recent_instructions() {

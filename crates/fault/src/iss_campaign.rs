@@ -13,7 +13,7 @@ use sparc_asm::Program;
 use sparc_iss::{ArchFault, ArchFaultModel, Exit, Iss, IssConfig, RunOutcome, StepEvent};
 
 /// One architectural injection record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchRecord {
     /// The injected fault.
     pub fault: ArchFault,

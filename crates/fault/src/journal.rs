@@ -1,0 +1,717 @@
+//! Append-only write-ahead result journal for campaigns.
+//!
+//! Long campaigns (the paper's RTL runs cost 25,478 CPU-hours) must not
+//! lose completed work to a killed process. The journal is a JSONL file:
+//! one **header** line identifying the campaign (workload hash, job
+//! universe, configuration fingerprint, model-observable golden facts)
+//! followed by one line per completed `(site, kind)` job carrying the
+//! record *and* the job's execution-cost delta, flushed before the result
+//! is published. `Campaign::resume` validates the header, replays the
+//! completed jobs and simulates only the remainder — reconstituting a
+//! `CampaignResult` bit-identical to an uninterrupted run (modulo the
+//! `resumed` counter).
+//!
+//! The format is hand-rolled JSON over a deliberately tiny subset
+//! (objects, strings, unsigned integers, booleans) so the workspace stays
+//! hermetic — no serde, no registry dependencies. A torn final line (the
+//! process died mid-append) is recovered by ignoring it; corruption
+//! anywhere else is an error.
+
+use crate::error::JournalError;
+use crate::result::{CampaignStats, FaultOutcome, FaultRecord};
+use crate::sites::FaultSite;
+use rtl_sim::{FaultKind, NetId};
+use sparc_isa::Unit;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Format identifier carried in every header line.
+pub const MAGIC: &str = "fault-campaign-journal";
+/// Format version; bumped on any incompatible change.
+pub const VERSION: u64 = 1;
+
+/// FNV-1a 64-bit — the journal's content hash (hermetic, no dependencies).
+pub(crate) fn fnv1a64(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = init;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis, the `init` for a fresh hash.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The journal's first line: everything `resume` validates before
+/// trusting a single record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Hash of the workload image (entry point + every segment).
+    pub workload: u64,
+    /// Hash of the campaign configuration (target, kinds, sample,
+    /// injection, execution engine, platform config, pair mode).
+    pub fingerprint: u64,
+    /// Total `(site, kind)` jobs in the campaign.
+    pub jobs: usize,
+    /// The resolved injection cycle (a model-observable golden fact: if
+    /// the model changed since the journal was written, this disagrees).
+    pub injection_cycle: u64,
+    /// The golden run's cycle count (same role as `injection_cycle`).
+    pub golden_cycles: u64,
+}
+
+impl Header {
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"journal\":\"{MAGIC}\",\"version\":{VERSION},\
+             \"workload\":\"{:016x}\",\"fingerprint\":\"{:016x}\",\
+             \"jobs\":{},\"injection_cycle\":{},\"golden_cycles\":{}}}",
+            self.workload, self.fingerprint, self.jobs, self.injection_cycle, self.golden_cycles
+        )
+    }
+
+    /// Parse a header line.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`JournalError::MissingHeader`] when the line is not a
+    /// well-formed version-1 header.
+    pub fn parse(line: &str) -> Result<Header, JournalError> {
+        let v = Json::parse(line).map_err(|_| JournalError::MissingHeader)?;
+        let magic = v.get_str("journal").ok_or(JournalError::MissingHeader)?;
+        if magic != MAGIC {
+            return Err(JournalError::MissingHeader);
+        }
+        let version = v.get_u64("version").ok_or(JournalError::MissingHeader)?;
+        if version != VERSION {
+            return Err(JournalError::HeaderMismatch {
+                field: "version",
+                expected: VERSION.to_string(),
+                found: version.to_string(),
+            });
+        }
+        let hex = |key| {
+            v.get_str(key)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or(JournalError::MissingHeader)
+        };
+        Ok(Header {
+            workload: hex("workload")?,
+            fingerprint: hex("fingerprint")?,
+            jobs: v.get_u64("jobs").ok_or(JournalError::MissingHeader)? as usize,
+            injection_cycle: v
+                .get_u64("injection_cycle")
+                .ok_or(JournalError::MissingHeader)?,
+            golden_cycles: v
+                .get_u64("golden_cycles")
+                .ok_or(JournalError::MissingHeader)?,
+        })
+    }
+}
+
+/// One journaled job: its index in the campaign plan, its record, and its
+/// execution-cost delta (what this job alone contributed to
+/// [`CampaignStats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Index into the campaign's job list.
+    pub job: usize,
+    /// The job's classification record.
+    pub record: FaultRecord,
+    /// The job's stats delta (`jobs`, `prefix_cycles`, `golden_cycles`
+    /// and `resumed` are campaign-level and always zero here).
+    pub delta: CampaignStats,
+}
+
+impl Entry {
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let engine = if self.delta.skipped_inactive > 0 {
+            "skip"
+        } else if self.delta.forked > 0 {
+            "fork"
+        } else if self.delta.full_reexecutions > 0 {
+            "full"
+        } else {
+            // A double-panic job never finished under either engine.
+            "none"
+        };
+        let mut s = String::with_capacity(160);
+        let _ = write!(
+            s,
+            "{{\"job\":{},\"net\":{},\"bit\":{},\"unit\":\"{}\",\"kind\":\"{}\",\"outcome\":",
+            self.job,
+            self.record.site.net.raw(),
+            self.record.site.bit,
+            self.record.site.unit.name(),
+            self.record.kind.name(),
+        );
+        s.push_str(&outcome_to_json(&self.record.outcome));
+        let _ = write!(
+            s,
+            ",\"engine\":\"{engine}\",\"short_circuited\":{},\"timed_out\":{},\
+             \"retried\":{},\"cycles_simulated\":{},\"cycles_avoided\":{}}}",
+            self.delta.short_circuited > 0,
+            self.delta.timed_out > 0,
+            self.delta.retried > 0,
+            self.delta.cycles_simulated,
+            self.delta.cycles_avoided,
+        );
+        s
+    }
+
+    /// Parse an entry line.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`JournalError::Malformed`] (carrying `line_no`) when
+    /// the line is not a well-formed entry.
+    pub fn parse(line: &str, line_no: usize) -> Result<Entry, JournalError> {
+        let malformed = |reason: String| JournalError::Malformed {
+            line: line_no,
+            reason,
+        };
+        let v = Json::parse(line).map_err(|e| malformed(e.to_string()))?;
+        let field_u64 = |key: &str| {
+            v.get_u64(key)
+                .ok_or_else(|| malformed(format!("missing numeric `{key}`")))
+        };
+        let field_str = |key: &str| {
+            v.get_str(key)
+                .ok_or_else(|| malformed(format!("missing string `{key}`")))
+        };
+        let field_bool = |key: &str| {
+            v.get_bool(key)
+                .ok_or_else(|| malformed(format!("missing bool `{key}`")))
+        };
+        let unit_name = field_str("unit")?;
+        let unit = Unit::ALL
+            .into_iter()
+            .find(|u| u.name() == unit_name)
+            .ok_or_else(|| malformed(format!("unknown unit `{unit_name}`")))?;
+        let kind_name = field_str("kind")?;
+        let kind = [
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::OpenLine,
+            FaultKind::TransientFlip,
+        ]
+        .into_iter()
+        .find(|k| k.name() == kind_name)
+        .ok_or_else(|| malformed(format!("unknown fault kind `{kind_name}`")))?;
+        let outcome = outcome_from_json(
+            v.get("outcome")
+                .ok_or_else(|| malformed("missing `outcome`".to_string()))?,
+        )
+        .map_err(&malformed)?;
+        let mut delta = CampaignStats {
+            short_circuited: usize::from(field_bool("short_circuited")?),
+            timed_out: usize::from(field_bool("timed_out")?),
+            retried: usize::from(field_bool("retried")?),
+            anomalies: usize::from(matches!(outcome, FaultOutcome::EngineAnomaly { .. })),
+            cycles_simulated: field_u64("cycles_simulated")?,
+            cycles_avoided: field_u64("cycles_avoided")?,
+            ..CampaignStats::default()
+        };
+        match field_str("engine")? {
+            "skip" => delta.skipped_inactive = 1,
+            "fork" => delta.forked = 1,
+            "full" => delta.full_reexecutions = 1,
+            "none" => {}
+            other => return Err(malformed(format!("unknown engine `{other}`"))),
+        }
+        Ok(Entry {
+            job: field_u64("job")? as usize,
+            record: FaultRecord {
+                site: FaultSite {
+                    net: NetId::from_raw(field_u64("net")? as u32),
+                    bit: field_u64("bit")? as u8,
+                    unit,
+                },
+                kind,
+                outcome,
+            },
+            delta,
+        })
+    }
+}
+
+fn outcome_to_json(outcome: &FaultOutcome) -> String {
+    match outcome {
+        FaultOutcome::NoEffect => "{\"t\":\"no_effect\"}".to_string(),
+        FaultOutcome::Failure {
+            divergence,
+            latency_cycles,
+        } => format!(
+            "{{\"t\":\"failure\",\"divergence\":{divergence},\"latency\":{latency_cycles}}}"
+        ),
+        FaultOutcome::Hang => "{\"t\":\"hang\"}".to_string(),
+        FaultOutcome::ErrorModeStop { latency_cycles } => {
+            format!("{{\"t\":\"error_mode\",\"latency\":{latency_cycles}}}")
+        }
+        FaultOutcome::EngineAnomaly { payload } => {
+            format!("{{\"t\":\"anomaly\",\"payload\":{}}}", escape_json(payload))
+        }
+    }
+}
+
+fn outcome_from_json(v: &Json) -> Result<FaultOutcome, String> {
+    let tag = v.get_str("t").ok_or("outcome missing `t`")?;
+    match tag {
+        "no_effect" => Ok(FaultOutcome::NoEffect),
+        "failure" => Ok(FaultOutcome::Failure {
+            divergence: v
+                .get_u64("divergence")
+                .ok_or("failure missing `divergence`")? as usize,
+            latency_cycles: v.get_u64("latency").ok_or("failure missing `latency`")?,
+        }),
+        "hang" => Ok(FaultOutcome::Hang),
+        "error_mode" => Ok(FaultOutcome::ErrorModeStop {
+            latency_cycles: v.get_u64("latency").ok_or("error_mode missing `latency`")?,
+        }),
+        "anomaly" => Ok(FaultOutcome::EngineAnomaly {
+            payload: v
+                .get_str("payload")
+                .ok_or("anomaly missing `payload`")?
+                .to_string(),
+        }),
+        other => Err(format!("unknown outcome tag `{other}`")),
+    }
+}
+
+/// The writer side: an open journal file, appended one flushed line per
+/// completed job (write-ahead: the line is durable before the record is
+/// published into the in-memory result).
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Create (truncate) a journal at `path` and write its header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn create(path: &Path, header: &Header) -> Result<Journal, JournalError> {
+        let mut file = File::create(path).map_err(|e| JournalError::io("create journal", e))?;
+        file.write_all(format!("{}\n", header.to_line()).as_bytes())
+            .map_err(|e| JournalError::io("write journal header", e))?;
+        file.flush()
+            .map_err(|e| JournalError::io("flush journal header", e))?;
+        Ok(Journal { file })
+    }
+
+    /// Open an existing journal for appending (the resume path; the
+    /// header is validated separately by [`read`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn open_append(path: &Path) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError::io("open journal for append", e))?;
+        Ok(Journal { file })
+    }
+
+    /// Append one entry and flush it to the OS before returning.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn append(&mut self, entry: &Entry) -> Result<(), JournalError> {
+        self.file
+            .write_all(format!("{}\n", entry.to_line()).as_bytes())
+            .map_err(|e| JournalError::io("append journal entry", e))?;
+        self.file
+            .flush()
+            .map_err(|e| JournalError::io("flush journal entry", e))
+    }
+}
+
+/// Read a journal: header plus every parseable entry, in file order.
+///
+/// A torn **final** line — the process was killed mid-append — is treated
+/// as truncation and silently dropped (`truncated = true` in the return).
+/// A malformed line anywhere else is corruption and fails.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a missing/mismatched header, or mid-file
+/// corruption.
+pub fn read(path: &Path) -> Result<(Header, Vec<Entry>, bool), JournalError> {
+    let text = std::fs::read_to_string(path).map_err(|e| JournalError::io("read journal", e))?;
+    let mut lines = text.split('\n').enumerate();
+    let (_, first) = lines.next().ok_or(JournalError::MissingHeader)?;
+    let header = Header::parse(first)?;
+    let body: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
+    let mut entries = Vec::with_capacity(body.len());
+    let mut truncated = false;
+    for (i, (line_idx, line)) in body.iter().enumerate() {
+        match Entry::parse(line, line_idx + 1) {
+            Ok(entry) => entries.push(entry),
+            Err(e) if i + 1 == body.len() => {
+                // Torn final line: the kill landed mid-append. Everything
+                // before it is intact; the lost job is simply re-run.
+                let _ = e;
+                truncated = true;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((header, entries, truncated))
+}
+
+/// Escape a string into a JSON string literal (with quotes).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The JSON subset the journal uses: objects, strings, unsigned integers
+/// and booleans. Hand-rolled to keep the workspace hermetic.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at offset {}",
+                char::from(b),
+                self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            // Surrogate pairs cover payloads with
+                            // non-BMP characters.
+                            let c = if (0xd800..0xdc00).contains(&first) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let second = self.hex4()?;
+                                let combined = 0x10000
+                                    + ((first - 0xd800) << 10)
+                                    + (second.checked_sub(0xdc00).ok_or("bad low surrogate")?);
+                                char::from_u32(combined).ok_or("bad surrogate pair")?
+                            } else {
+                                char::from_u32(first).ok_or("bad \\u escape")?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self
+            .pos
+            .checked_add(4)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or("truncated \\u escape")?;
+        let v = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or("bad \\u escape digits")?;
+        self.pos = end;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(job: usize, outcome: FaultOutcome) -> Entry {
+        let is_anomaly = matches!(outcome, FaultOutcome::EngineAnomaly { .. });
+        Entry {
+            job,
+            record: FaultRecord {
+                site: FaultSite {
+                    net: NetId::from_raw(17),
+                    bit: 5,
+                    unit: Unit::Fetch,
+                },
+                kind: FaultKind::OpenLine,
+                outcome,
+            },
+            delta: CampaignStats {
+                forked: 1,
+                short_circuited: 1,
+                // Reconstructed from the outcome tag on parse, so the
+                // fixture must agree with it.
+                anomalies: usize::from(is_anomaly),
+                cycles_simulated: 1234,
+                cycles_avoided: 88,
+                ..CampaignStats::default()
+            },
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = Header {
+            workload: 0xdead_beef_1234_5678,
+            fingerprint: 0x0bad_cafe,
+            jobs: 72,
+            injection_cycle: 991,
+            golden_cycles: 12_345,
+        };
+        assert_eq!(Header::parse(&h.to_line()).unwrap(), h);
+    }
+
+    #[test]
+    fn entry_round_trips_every_outcome() {
+        let outcomes = vec![
+            FaultOutcome::NoEffect,
+            FaultOutcome::Failure {
+                divergence: 3,
+                latency_cycles: 456,
+            },
+            FaultOutcome::Hang,
+            FaultOutcome::ErrorModeStop { latency_cycles: 9 },
+            FaultOutcome::EngineAnomaly {
+                payload: "bit 63 outside net `pc`\nwith \"quotes\" + tab\t + 🚗".to_string(),
+            },
+        ];
+        for outcome in outcomes {
+            let e = entry(4, outcome);
+            let parsed = Entry::parse(&e.to_line(), 1).unwrap();
+            assert_eq!(parsed, e);
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_truncation_not_corruption() {
+        let dir = std::env::temp_dir().join("fault-journal-test-torn");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("j.jsonl");
+        let h = Header {
+            workload: 1,
+            fingerprint: 2,
+            jobs: 3,
+            injection_cycle: 0,
+            golden_cycles: 100,
+        };
+        let e0 = entry(0, FaultOutcome::NoEffect);
+        let e1 = entry(1, FaultOutcome::Hang);
+        let full = format!("{}\n{}\n{}\n", h.to_line(), e0.to_line(), e1.to_line());
+        // Cut mid-way through the final entry line.
+        let cut = full.len() - 7;
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let (header, entries, truncated) = read(&path).unwrap();
+        assert_eq!(header, h);
+        assert_eq!(entries, vec![e0.clone()]);
+        assert!(truncated);
+        // Corruption *before* the end is an error.
+        let corrupt = format!(
+            "{}\n{}\nnot json\n{}\n",
+            h.to_line(),
+            e0.to_line(),
+            e1.to_line()
+        );
+        std::fs::write(&path, corrupt).unwrap();
+        assert!(matches!(
+            read(&path),
+            Err(JournalError::Malformed { line: 3, .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned values: the fingerprint must not drift across refactors,
+        // or every existing journal silently stops resuming.
+        assert_eq!(fnv1a64(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

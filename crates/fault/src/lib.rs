@@ -23,6 +23,15 @@
 //! * [`CampaignResult`] aggregates `Pf` (fraction of injected faults that
 //!   become failures) and propagation-latency statistics per fault model.
 //!
+//! Campaigns are **crash-safe**: every job runs under panic isolation
+//! (a panicking job retries once, then records as
+//! [`FaultOutcome::EngineAnomaly`] instead of aborting the campaign), an
+//! optional wall-clock watchdog ([`Campaign::with_deadline`]) bounds
+//! runaway jobs, and [`Campaign::run_journaled`] / [`Campaign::resume`]
+//! persist completed jobs to an append-only write-ahead [`journal`] so a
+//! killed campaign picks up where it left off. Configuration mistakes
+//! surface as structured [`CampaignError`]s from the `try_*` entry points.
+//!
 //! # Example
 //!
 //! ```
@@ -44,13 +53,16 @@
 
 mod bridging;
 mod campaign;
+mod error;
 mod explain;
 mod iss_campaign;
+pub mod journal;
 mod result;
 mod sites;
 
 pub use bridging::{bridge_pairs, bridge_pf, BridgeRecord, BridgingCampaign};
 pub use campaign::{Campaign, Execution, GoldenRun, InjectionInstant};
+pub use error::{CampaignError, JournalError};
 pub use explain::explain;
 pub use iss_campaign::{arch_pf, ArchRecord, IssCampaign};
 pub use result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord, ModelSummary};

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// How one faulty run ended, relative to the golden run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultOutcome {
     /// The run halted with an off-core write stream identical to the
     /// golden run's (and the same exit code): the fault did not manifest
@@ -32,17 +32,32 @@ pub enum FaultOutcome {
         /// Cycles from injection to the stop.
         latency_cycles: u64,
     },
+    /// The *simulator* — not the simulated core — panicked while running
+    /// this job, twice (once on the first attempt and again after one
+    /// automatic retry from a fresh model restore). The job's verdict is
+    /// unknown; the record preserves the panic payload so campaign-scale
+    /// runs lose at most this one job instead of aborting. Excluded from
+    /// `Pf` (it is evidence about the engine, not the fault).
+    EngineAnomaly {
+        /// The panic payload (message), when it was a string.
+        payload: String,
+    },
 }
 
 impl FaultOutcome {
     /// Whether the paper counts this outcome as a propagated failure.
-    pub fn is_failure(self) -> bool {
-        !matches!(self, FaultOutcome::NoEffect)
+    /// [`FaultOutcome::EngineAnomaly`] is neither a failure nor a
+    /// no-effect: the engine crashed before reaching a verdict.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            FaultOutcome::Failure { .. } | FaultOutcome::Hang | FaultOutcome::ErrorModeStop { .. }
+        )
     }
 
     /// Propagation latency in cycles, when meaningfully defined.
-    pub fn latency_cycles(self) -> Option<u64> {
-        match self {
+    pub fn latency_cycles(&self) -> Option<u64> {
+        match *self {
             FaultOutcome::Failure { latency_cycles, .. }
             | FaultOutcome::ErrorModeStop { latency_cycles } => Some(latency_cycles),
             _ => None,
@@ -51,7 +66,7 @@ impl FaultOutcome {
 }
 
 /// One injection experiment's record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultRecord {
     /// Where the fault was injected.
     pub site: FaultSite,
@@ -70,6 +85,9 @@ pub struct ModelSummary {
     pub failures: usize,
     /// Hangs among the failures.
     pub hangs: usize,
+    /// Engine anomalies (worker panics) among the injections — excluded
+    /// from both the failure count and the `Pf` denominator.
+    pub anomalies: usize,
     /// Maximum propagation latency (µs at the model clock), if any
     /// latency-bearing failure occurred.
     pub max_latency_us: Option<f64>,
@@ -79,11 +97,14 @@ pub struct ModelSummary {
 
 impl ModelSummary {
     /// `Pf`: the fraction of injected faults that became failures.
+    /// Engine anomalies are removed from the denominator — their verdict
+    /// is unknown, so counting them either way would bias the estimate.
     pub fn pf(&self) -> f64 {
-        if self.injections == 0 {
+        let valid = self.injections.saturating_sub(self.anomalies);
+        if valid == 0 {
             0.0
         } else {
-            self.failures as f64 / self.injections as f64
+            self.failures as f64 / valid as f64
         }
     }
 
@@ -93,7 +114,11 @@ impl ModelSummary {
     /// Returns `None` for zero injections or unsupported levels (supported:
     /// 0.90, 0.95, 0.99).
     pub fn pf_interval(&self, confidence: f64) -> Option<(f64, f64)> {
-        analysis::wilson_interval(self.failures, self.injections, confidence)
+        analysis::wilson_interval(
+            self.failures,
+            self.injections.saturating_sub(self.anomalies),
+            confidence,
+        )
     }
 }
 
@@ -120,6 +145,19 @@ pub struct CampaignStats {
     /// Runs terminated at the first diverging write, before the faulty
     /// core reached its own halt or budget.
     pub short_circuited: usize,
+    /// Jobs classified [`crate::FaultOutcome::Hang`] because they overran
+    /// the per-job wall-clock deadline (see `Campaign::with_deadline`)
+    /// rather than the architectural cycle budget.
+    pub timed_out: usize,
+    /// Jobs that panicked once and were re-run (successfully or not) from
+    /// a fresh model restore.
+    pub retried: usize,
+    /// Jobs whose retry also panicked, recorded as
+    /// [`crate::FaultOutcome::EngineAnomaly`].
+    pub anomalies: usize,
+    /// Jobs whose records were reconstituted from a write-ahead journal by
+    /// `Campaign::resume` instead of being simulated in this process.
+    pub resumed: usize,
     /// Cycles of the shared fault-free prefix (simulated once per
     /// campaign by the fork engine; zero under full re-execution).
     pub prefix_cycles: u64,
@@ -150,6 +188,10 @@ impl CampaignStats {
         self.full_reexecutions += other.full_reexecutions;
         self.skipped_inactive += other.skipped_inactive;
         self.short_circuited += other.short_circuited;
+        self.timed_out += other.timed_out;
+        self.retried += other.retried;
+        self.anomalies += other.anomalies;
+        self.resumed += other.resumed;
         self.prefix_cycles += other.prefix_cycles;
         self.golden_cycles = self.golden_cycles.max(other.golden_cycles);
         self.cycles_simulated += other.cycles_simulated;
@@ -158,7 +200,7 @@ impl CampaignStats {
 }
 
 /// The full result of a campaign.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignResult {
     records: Vec<FaultRecord>,
     stats: CampaignStats,
@@ -201,6 +243,10 @@ impl CampaignResult {
             .iter()
             .filter(|r| matches!(r.outcome, FaultOutcome::Hang))
             .count();
+        let anomalies = records
+            .iter()
+            .filter(|r| matches!(r.outcome, FaultOutcome::EngineAnomaly { .. }))
+            .count();
         let latencies: Vec<f64> = records
             .iter()
             .filter_map(|r| r.outcome.latency_cycles())
@@ -210,6 +256,7 @@ impl CampaignResult {
             injections: records.len(),
             failures,
             hangs,
+            anomalies,
             max_latency_us: latencies
                 .iter()
                 .copied()
@@ -267,15 +314,16 @@ impl CampaignResult {
     }
 
     /// Outcome counts per category for one fault model:
-    /// `(no_effect, divergences, hangs, error_mode_stops)`.
-    pub fn outcome_breakdown(&self, kind: FaultKind) -> (usize, usize, usize, usize) {
-        let mut counts = (0, 0, 0, 0);
+    /// `(no_effect, divergences, hangs, error_mode_stops, anomalies)`.
+    pub fn outcome_breakdown(&self, kind: FaultKind) -> (usize, usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0, 0);
         for r in self.records_for(kind) {
             match r.outcome {
                 FaultOutcome::NoEffect => counts.0 += 1,
                 FaultOutcome::Failure { .. } => counts.1 += 1,
                 FaultOutcome::Hang => counts.2 += 1,
                 FaultOutcome::ErrorModeStop { .. } => counts.3 += 1,
+                FaultOutcome::EngineAnomaly { .. } => counts.4 += 1,
             }
         }
         counts
@@ -286,7 +334,7 @@ impl CampaignResult {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("unit,net,bit,model,outcome,divergence,latency_cycles\n");
         for r in &self.records {
-            let (outcome, divergence, latency) = match r.outcome {
+            let (outcome, divergence, latency) = match &r.outcome {
                 FaultOutcome::NoEffect => ("no_effect", String::new(), String::new()),
                 FaultOutcome::Failure {
                     divergence,
@@ -299,6 +347,9 @@ impl CampaignResult {
                 FaultOutcome::Hang => ("hang", String::new(), String::new()),
                 FaultOutcome::ErrorModeStop { latency_cycles } => {
                     ("error_mode", String::new(), latency_cycles.to_string())
+                }
+                FaultOutcome::EngineAnomaly { .. } => {
+                    ("engine_anomaly", String::new(), String::new())
                 }
             };
             out.push_str(&format!(
@@ -335,6 +386,13 @@ impl fmt::Display for CampaignResult {
                         s.injections,
                         s.pf() * 100.0
                     )?,
+                }
+                if s.anomalies > 0 {
+                    writeln!(
+                        f,
+                        "{kind}: {} engine anomalies excluded from Pf",
+                        s.anomalies
+                    )?;
                 }
             }
         }
@@ -406,6 +464,7 @@ mod tests {
             injections: 20,
             failures: 5,
             hangs: 0,
+            anomalies: 0,
             max_latency_us: None,
             mean_latency_us: None,
         };
@@ -418,6 +477,43 @@ mod tests {
         let (lo_l, hi_l) = large.pf_interval(0.95).unwrap();
         assert!(hi_l - lo_l < hi_s - lo_s);
         assert!(lo_s <= 0.25 && 0.25 <= hi_s);
+    }
+
+    #[test]
+    fn anomalies_do_not_bias_pf() {
+        // One failure, one no-effect, one anomaly: Pf must be computed
+        // over the two *valid* injections only.
+        let result = CampaignResult::new(vec![
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::Failure {
+                    divergence: 0,
+                    latency_cycles: 80,
+                },
+            ),
+            record(FaultKind::StuckAt1, FaultOutcome::NoEffect),
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::EngineAnomaly {
+                    payload: "worker panicked".to_string(),
+                },
+            ),
+        ]);
+        let s = result.summary(FaultKind::StuckAt1);
+        assert_eq!(s.injections, 3);
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.anomalies, 1);
+        assert!((s.pf() - 0.5).abs() < 1e-12);
+        assert!(!FaultOutcome::EngineAnomaly {
+            payload: String::new()
+        }
+        .is_failure());
+        assert_eq!(
+            result.outcome_breakdown(FaultKind::StuckAt1),
+            (1, 1, 0, 0, 1)
+        );
+        assert!(result.to_csv().contains("engine_anomaly"));
+        assert!(result.to_string().contains("1 engine anomalies"));
     }
 
     #[test]
@@ -466,8 +562,14 @@ mod tests {
                 },
             ),
         ]);
-        assert_eq!(result.outcome_breakdown(FaultKind::StuckAt1), (1, 1, 1, 1));
-        assert_eq!(result.outcome_breakdown(FaultKind::OpenLine), (0, 0, 0, 0));
+        assert_eq!(
+            result.outcome_breakdown(FaultKind::StuckAt1),
+            (1, 1, 1, 1, 0)
+        );
+        assert_eq!(
+            result.outcome_breakdown(FaultKind::OpenLine),
+            (0, 0, 0, 0, 0)
+        );
         let csv = result.to_csv();
         assert_eq!(csv.lines().count(), 5, "{csv}");
         assert!(csv.starts_with("unit,net,bit,model,outcome"));

@@ -1,0 +1,186 @@
+//! Property tests over the journal wire format.
+//!
+//! Gated behind the off-by-default `proptest` feature so the default
+//! workspace builds with zero network access:
+//! `cargo test -p fault-inject --features proptest`.
+//!
+//! Two invariants the resume path stands on:
+//!
+//! 1. **Lossless round-trip** — every `(outcome, kind, unit, delta)`
+//!    combination serializes to one line and re-parses to an identical
+//!    [`Entry`], including panic payloads full of JSON metacharacters;
+//! 2. **Truncation recovery** — a journal cut at *any* byte inside its
+//!    final line reads back as the intact prefix, never as corruption.
+#![cfg(feature = "proptest")]
+
+use fault_inject::journal::{read, Entry, Header};
+use fault_inject::{CampaignStats, FaultOutcome, FaultRecord, FaultSite};
+use proptest::prelude::*;
+use rtl_sim::{FaultKind, NetId};
+use sparc_isa::Unit;
+
+/// Characters deliberately rich in JSON edge cases: quotes, backslashes,
+/// control characters, multi-byte code points and a non-BMP emoji (which
+/// a `\u` escape can only express as a surrogate pair).
+const PAYLOAD_PALETTE: [char; 16] = [
+    'a', 'Z', '9', ' ', '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1b}', '/', 'é', 'π', '🚗',
+    '\u{7f}',
+];
+
+fn arb_payload() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..PAYLOAD_PALETTE.len(), 0..24)
+        .prop_map(|picks| picks.into_iter().map(|i| PAYLOAD_PALETTE[i]).collect())
+}
+
+fn arb_outcome() -> impl Strategy<Value = FaultOutcome> {
+    prop_oneof![
+        Just(FaultOutcome::NoEffect),
+        (any::<u32>(), any::<u64>()).prop_map(|(d, l)| FaultOutcome::Failure {
+            divergence: d as usize,
+            latency_cycles: l,
+        }),
+        Just(FaultOutcome::Hang),
+        any::<u64>().prop_map(|l| FaultOutcome::ErrorModeStop { latency_cycles: l }),
+        arb_payload().prop_map(|payload| FaultOutcome::EngineAnomaly { payload }),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::StuckAt0),
+        Just(FaultKind::StuckAt1),
+        Just(FaultKind::OpenLine),
+        Just(FaultKind::TransientFlip),
+    ]
+}
+
+/// A canonical per-job delta, the only shape `Campaign` ever journals:
+/// exactly one engine counter set, flag counters in {0, 1}, `anomalies`
+/// agreeing with the outcome, campaign-level fields zero.
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (
+        (
+            0usize..10_000,
+            any::<u32>(),
+            any::<u8>(),
+            0usize..Unit::ALL.len(),
+            arb_kind(),
+            arb_outcome(),
+        ),
+        (
+            0u8..4,
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (job, net, bit, unit_idx, kind, outcome),
+                (engine, short_circuited, timed_out, retried, cycles_simulated, cycles_avoided),
+            )| {
+                let mut delta = CampaignStats {
+                    short_circuited: usize::from(short_circuited),
+                    timed_out: usize::from(timed_out),
+                    retried: usize::from(retried),
+                    anomalies: usize::from(matches!(outcome, FaultOutcome::EngineAnomaly { .. })),
+                    cycles_simulated,
+                    cycles_avoided,
+                    ..CampaignStats::default()
+                };
+                match engine {
+                    0 => delta.skipped_inactive = 1,
+                    1 => delta.forked = 1,
+                    2 => delta.full_reexecutions = 1,
+                    _ => {}
+                }
+                Entry {
+                    job,
+                    record: FaultRecord {
+                        site: FaultSite {
+                            net: NetId::from_raw(net),
+                            bit,
+                            unit: Unit::ALL[unit_idx],
+                        },
+                        kind,
+                        outcome,
+                    },
+                    delta,
+                }
+            },
+        )
+}
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        0usize..1_000_000,
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(workload, fingerprint, jobs, injection_cycle, golden_cycles)| Header {
+                workload,
+                fingerprint,
+                jobs,
+                injection_cycle,
+                golden_cycles,
+            },
+        )
+}
+
+proptest! {
+    /// Every entry the campaign can produce survives the wire format.
+    #[test]
+    fn entry_round_trips(entry in arb_entry()) {
+        let line = entry.to_line();
+        let parsed = Entry::parse(&line, 1);
+        prop_assert_eq!(parsed, Ok(entry));
+    }
+
+    /// Headers round-trip for all hash/count values.
+    #[test]
+    fn header_round_trips(header in arb_header()) {
+        prop_assert_eq!(Header::parse(&header.to_line()), Ok(header));
+    }
+
+    /// A journal cut anywhere inside its final line reads back as the
+    /// intact prefix — truncation is recovered, never misread as
+    /// corruption, and never invents or corrupts an entry.
+    #[test]
+    fn any_cut_of_the_final_line_recovers_the_prefix(
+        header in arb_header(),
+        entries in proptest::collection::vec(arb_entry(), 1..6),
+        cut_seed in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join("fault-journal-props");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cut.jsonl");
+
+        let mut text = format!("{}\n", header.to_line());
+        for e in &entries {
+            text.push_str(&e.to_line());
+            text.push('\n');
+        }
+        // Cut anywhere within the final entry line (from its first byte,
+        // wiping the line, up to just before its closing newline, leaving
+        // a torn fragment) — always on a char boundary.
+        let last_line_start = text[..text.len() - 1]
+            .rfind('\n')
+            .expect("header line ends in newline")
+            + 1;
+        let cuts: Vec<usize> = (last_line_start..text.len() - 1)
+            .filter(|&i| text.is_char_boundary(i))
+            .collect();
+        let cut = cuts[(cut_seed % cuts.len() as u64) as usize];
+        std::fs::write(&path, &text[..cut]).expect("write journal");
+
+        let (parsed_header, parsed_entries, _truncated) =
+            read(&path).expect("a torn final line is not corruption");
+        prop_assert_eq!(parsed_header, header);
+        prop_assert_eq!(parsed_entries, entries[..entries.len() - 1].to_vec());
+    }
+}

@@ -1,0 +1,219 @@
+//! Crash-safety integration tests: a campaign killed mid-run and resumed
+//! from its write-ahead journal reconstitutes a bit-identical result; a
+//! deliberately poisoned fault site costs one job, not the campaign; and
+//! configuration mistakes surface as structured errors, not panics.
+
+use fault_inject::{Campaign, CampaignError, FaultOutcome, FaultSite, JournalError, Target};
+use leon3_model::{Leon3, Leon3Config};
+use rtl_sim::FaultKind;
+use sparc_isa::Unit;
+use std::fs;
+use std::path::PathBuf;
+use workloads::{Benchmark, Params};
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("fault-journal-itests");
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+fn campaign(target: Target, seed: u64) -> Campaign {
+    Campaign::new(Benchmark::Rspeed.program(&Params::default()), target)
+        .with_sample(10, seed)
+        .with_kinds(&[FaultKind::StuckAt1, FaultKind::OpenLine])
+        .with_injection_fraction(0.3)
+}
+
+/// Journal an uninterrupted run, then simulate a kill: truncate the file
+/// to its header plus half the entries plus a *torn* final line, resume,
+/// and demand a record- and stats-identical result (modulo `resumed`).
+fn assert_kill_and_resume(target: Target, seed: u64, name: &str) {
+    let path = temp_path(name);
+    let campaign = campaign(target, seed);
+    let uninterrupted = campaign.run_journaled(4, &path).expect("journaled run");
+
+    let text = fs::read_to_string(&path).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() > 4,
+        "need enough jobs to interrupt meaningfully"
+    );
+    let keep = 1 + (lines.len() - 1) / 2;
+    let mut killed = lines[..keep].join("\n");
+    killed.push('\n');
+    // The kill lands mid-append: half a JSON line, no newline.
+    killed.push_str(&lines[keep][..lines[keep].len() / 2]);
+    fs::write(&path, &killed).expect("truncate journal");
+
+    let resumed = campaign.resume(4, &path).expect("resume");
+    assert_eq!(
+        resumed.records(),
+        uninterrupted.records(),
+        "resume must reconstitute identical records"
+    );
+    let mut stats = *resumed.stats();
+    assert_eq!(
+        stats.resumed,
+        keep - 1,
+        "every intact journal line must be replayed, the torn one re-run"
+    );
+    stats.resumed = 0;
+    assert_eq!(
+        stats,
+        *uninterrupted.stats(),
+        "stats must match modulo the resumed counter"
+    );
+
+    // The resumed journal is complete: resuming again replays everything
+    // and simulates nothing.
+    let replayed = campaign.resume(4, &path).expect("second resume");
+    assert_eq!(replayed.records(), uninterrupted.records());
+    assert_eq!(replayed.stats().resumed, replayed.stats().jobs);
+}
+
+#[test]
+fn kill_and_resume_is_equivalent_on_iu() {
+    assert_kill_and_resume(Target::IntegerUnit, 0xA1, "resume-iu.jsonl");
+}
+
+#[test]
+fn kill_and_resume_is_equivalent_on_cmem() {
+    assert_kill_and_resume(Target::CacheMemory, 0xB2, "resume-cmem.jsonl");
+}
+
+#[test]
+fn poisoned_site_costs_one_job_not_the_campaign() {
+    // bit 63 on a 32-bit net: `NetPool::inject` panics inside the worker.
+    // Panic isolation must retry once, classify the job EngineAnomaly and
+    // let every other job complete normally.
+    let cpu = Leon3::new(Leon3Config::default());
+    let pc = cpu.nets().pc;
+    let good = FaultSite {
+        net: pc,
+        bit: 2,
+        unit: Unit::Fetch,
+    };
+    let poisoned = FaultSite {
+        net: pc,
+        bit: 63,
+        unit: Unit::Fetch,
+    };
+    let result = Campaign::new(
+        Benchmark::Rspeed.program(&Params::default()),
+        Target::IntegerUnit,
+    )
+    .with_sites(vec![good, poisoned])
+    .with_kinds(&[FaultKind::StuckAt1])
+    .try_run(2)
+    .expect("the campaign itself must complete");
+
+    assert_eq!(result.records().len(), 2);
+    let stats = result.stats();
+    assert_eq!(stats.anomalies, 1, "{stats:?}");
+    assert_eq!(stats.retried, 1, "one retry before giving up: {stats:?}");
+
+    let healthy = &result.records()[0];
+    assert!(
+        !matches!(healthy.outcome, FaultOutcome::EngineAnomaly { .. }),
+        "the healthy job must classify normally: {healthy:?}"
+    );
+    let anomaly = &result.records()[1];
+    match &anomaly.outcome {
+        FaultOutcome::EngineAnomaly { payload } => {
+            assert!(
+                payload.contains("outside net"),
+                "the panic message must be preserved: {payload}"
+            );
+        }
+        other => panic!("poisoned job must be an EngineAnomaly, got {other:?}"),
+    }
+
+    // Anomalies are excluded from the Pf denominator rather than counted
+    // as either failures or no-effects.
+    let summary = result.summary(FaultKind::StuckAt1);
+    assert_eq!(summary.injections, 2);
+    assert_eq!(summary.anomalies, 1);
+}
+
+#[test]
+fn poisoned_jobs_survive_the_journal_round_trip() {
+    let cpu = Leon3::new(Leon3Config::default());
+    let pc = cpu.nets().pc;
+    let path = temp_path("anomaly.jsonl");
+    let campaign = Campaign::new(
+        Benchmark::Rspeed.program(&Params::default()),
+        Target::IntegerUnit,
+    )
+    .with_sites(vec![
+        FaultSite {
+            net: pc,
+            bit: 1,
+            unit: Unit::Fetch,
+        },
+        FaultSite {
+            net: pc,
+            bit: 63,
+            unit: Unit::Fetch,
+        },
+    ])
+    .with_kinds(&[FaultKind::StuckAt1]);
+    let live = campaign.run_journaled(2, &path).expect("journaled run");
+    // A complete journal replays entirely — including the anomaly record
+    // with its panic payload.
+    let replayed = campaign.resume(2, &path).expect("resume");
+    assert_eq!(replayed.records(), live.records());
+    assert_eq!(replayed.stats().resumed, 2);
+}
+
+#[test]
+fn resume_refuses_a_foreign_journal() {
+    let path = temp_path("foreign.jsonl");
+    campaign(Target::IntegerUnit, 1)
+        .run_journaled(2, &path)
+        .expect("journaled run");
+
+    // A different sample seed is a different campaign fingerprint.
+    match campaign(Target::IntegerUnit, 2).resume(2, &path) {
+        Err(CampaignError::Journal(JournalError::HeaderMismatch { field, .. })) => {
+            assert_eq!(field, "fingerprint");
+        }
+        other => panic!("expected a fingerprint mismatch, got {other:?}"),
+    }
+
+    // A different workload is caught even before the fingerprint.
+    let other_program = Benchmark::Intbench.program(&Params::default());
+    let foreign = Campaign::new(other_program, Target::IntegerUnit)
+        .with_sample(10, 1)
+        .with_kinds(&[FaultKind::StuckAt1, FaultKind::OpenLine])
+        .with_injection_fraction(0.3);
+    match foreign.resume(2, &path) {
+        Err(CampaignError::Journal(JournalError::HeaderMismatch { field, .. })) => {
+            assert_eq!(field, "workload");
+        }
+        other => panic!("expected a workload mismatch, got {other:?}"),
+    }
+
+    // A missing journal is an I/O error, not a panic.
+    assert!(matches!(
+        campaign(Target::IntegerUnit, 1).resume(2, &temp_path("missing.jsonl")),
+        Err(CampaignError::Journal(JournalError::Io { .. }))
+    ));
+}
+
+#[test]
+fn config_mistakes_error_instead_of_panicking() {
+    let c = campaign(Target::IntegerUnit, 3);
+    assert_eq!(c.try_run(0), Err(CampaignError::ZeroThreads));
+    assert_eq!(
+        c.clone().with_kinds(&[]).try_run(2),
+        Err(CampaignError::NoFaultKinds)
+    );
+    assert_eq!(
+        c.clone().with_sites(Vec::new()).try_run(2),
+        Err(CampaignError::NoFaultSites)
+    );
+    assert!(matches!(
+        c.clone().with_injection_fraction(2.0).try_run(2),
+        Err(CampaignError::InjectionPastEnd { .. })
+    ));
+}

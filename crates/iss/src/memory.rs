@@ -170,24 +170,50 @@ impl Memory {
         Ok(())
     }
 
+    /// Load a program image, rejecting segments outside the RAM window.
+    ///
+    /// This is the fallible twin of [`Memory::load`] for callers handling
+    /// untrusted or computed images (e.g. campaign tooling loading a
+    /// workload named on a command line). On error the image is partially
+    /// loaded — callers are expected to discard the memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`MemError::OutOfRange`] (carrying the segment's base
+    /// address) on the first segment outside the window.
+    pub fn try_load(&mut self, program: &Program) -> Result<(), MemError> {
+        for seg in &program.segments {
+            if !self.in_range(seg.base, seg.bytes.len() as u32) {
+                return Err(MemError::OutOfRange { addr: seg.base });
+            }
+            for (i, &b) in seg.bytes.iter().enumerate() {
+                let addr = seg.base + i as u32;
+                self.page_mut(addr)[(addr as usize) % PAGE_SIZE] = b;
+            }
+        }
+        Ok(())
+    }
+
     /// Load a program image.
     ///
     /// # Panics
     ///
     /// Panics if any segment falls outside the RAM window — a programming
-    /// error in the workload, not a runtime condition.
+    /// error in the workload, not a runtime condition. (Campaign workers
+    /// additionally run under panic isolation, so even this aborts at most
+    /// one job.) Use [`Memory::try_load`] to handle untrusted images.
     pub fn load(&mut self, program: &Program) {
-        for seg in &program.segments {
-            assert!(
-                self.in_range(seg.base, seg.bytes.len() as u32),
+        if self.try_load(program).is_err() {
+            let seg = program
+                .segments
+                .iter()
+                .find(|s| !self.in_range(s.base, s.bytes.len() as u32))
+                .expect("try_load only fails on an out-of-window segment");
+            panic!(
                 "segment {:#010x}..{:#010x} outside RAM window",
                 seg.base,
                 seg.end()
             );
-            for (i, &b) in seg.bytes.iter().enumerate() {
-                let addr = seg.base + i as u32;
-                self.page_mut(addr)[(addr as usize) % PAGE_SIZE] = b;
-            }
         }
     }
 
@@ -289,5 +315,16 @@ mod tests {
         let program = assemble(".org 0x100\n.word 1\n").unwrap();
         let mut m = mem();
         m.load(&program);
+    }
+
+    #[test]
+    fn try_load_reports_out_of_window_segments() {
+        use sparc_asm::assemble;
+        let mut m = mem();
+        let bad = assemble(".org 0x100\n.word 1\n").unwrap();
+        assert_eq!(m.try_load(&bad), Err(MemError::OutOfRange { addr: 0x100 }));
+        let good = assemble(".org 0x40000000\n.word 2\n").unwrap();
+        assert_eq!(m.try_load(&good), Ok(()));
+        assert_eq!(m.read_u32(0x4000_0000).unwrap(), 2);
     }
 }

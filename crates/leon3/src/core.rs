@@ -58,6 +58,28 @@ impl Snapshot {
 /// The signal-level Leon3-like model.
 ///
 /// See the [crate docs](crate) for scope and modelling decisions.
+///
+/// # Unwind boundary
+///
+/// The campaign engine runs every fault job under
+/// `std::panic::catch_unwind` and keeps using the same model instance
+/// afterwards (wrapped in `AssertUnwindSafe`, since `&mut Leon3` is never
+/// `UnwindSafe` by definition). That is sound on two grounds, both of
+/// which are contracts of this type:
+///
+/// 1. `Leon3` (and [`Snapshot`]) hold only owned data — asserted at
+///    compile time below — so a caught panic can leave the model *stale*,
+///    never torn in the memory-safety sense. The sole interior mutability
+///    in the model is the golden-run read tracker's `Cell` counters
+///    (`rtl_sim::NetPool`), which campaign workers never enable and which
+///    hold plain numbers either way;
+/// 2. every job entry sequence rebuilds all execution state from scratch:
+///    [`Leon3::reset`] + [`Leon3::load`] on the re-execution path,
+///    [`Leon3::restore`] on the fork path. Nothing a panicked job left
+///    behind survives into the next job.
+///
+/// Any new field must be covered by `reset`/`restore` (or be a pure
+/// debugging aid those paths clear) to preserve this contract.
 #[derive(Debug, Clone)]
 pub struct Leon3 {
     pub(crate) pool: NetPool<Unit>,
@@ -75,6 +97,18 @@ pub struct Leon3 {
     trace_depth: usize,
     recent: std::collections::VecDeque<(u64, u32, sparc_isa::Instr)>,
 }
+
+// Compile-time proof of the unwind boundary's first ground: the model is
+// owned data (`UnwindSafe`), and snapshots — shared by reference across
+// all campaign workers — carry no interior mutability at all
+// (`RefUnwindSafe`). A new `Mutex`/`RefCell` field, or a `Cell` leaking
+// into snapshots, fails the build here.
+const _: fn() = || {
+    fn owned_data<T: std::panic::UnwindSafe>() {}
+    fn shareable_plain_data<T: std::panic::UnwindSafe + std::panic::RefUnwindSafe>() {}
+    owned_data::<Leon3>();
+    shareable_plain_data::<Snapshot>();
+};
 
 impl Leon3 {
     /// A fresh model with nothing loaded.
