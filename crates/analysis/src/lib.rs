@@ -34,4 +34,6 @@ pub use chart::{bar_chart, grouped_bar_chart, scatter_plot, Series};
 pub use histogram::Histogram;
 pub use regression::{linear_fit, log_fit, FitError, Regression};
 pub use rng::SplitMix64;
-pub use stats::{bootstrap_mean_ci, mean, pearson, spearman, std_dev, wilson_interval, Summary};
+pub use stats::{
+    bootstrap_mean_ci, dc_grade, mean, pearson, spearman, std_dev, wilson_interval, Summary,
+};

@@ -126,6 +126,22 @@ pub fn wilson_interval(successes: usize, trials: usize, confidence: f64) -> Opti
     Some(((centre - half).max(0.0), (centre + half).min(1.0)))
 }
 
+/// ISO 26262-flavoured grade for a diagnostic-coverage figure.
+///
+/// The thresholds follow the standard's single-point-fault-metric ladder
+/// (99% / 90% / 60%); anything below the lowest rung grades as `"none"`.
+pub fn dc_grade(dc: f64) -> &'static str {
+    if dc >= 0.99 {
+        "high"
+    } else if dc >= 0.90 {
+        "medium"
+    } else if dc >= 0.60 {
+        "low"
+    } else {
+        "none"
+    }
+}
+
 /// Percentile-bootstrap confidence interval for the mean, using a
 /// deterministic internal resampler.
 ///
@@ -227,6 +243,18 @@ mod tests {
         assert!(hi3 - lo3 > hi1 - lo1);
         assert_eq!(wilson_interval(1, 0, 0.95), None);
         assert_eq!(wilson_interval(1, 10, 0.5), None);
+    }
+
+    #[test]
+    fn dc_grades_follow_the_iso_ladder() {
+        assert_eq!(dc_grade(1.0), "high");
+        assert_eq!(dc_grade(0.99), "high");
+        assert_eq!(dc_grade(0.95), "medium");
+        assert_eq!(dc_grade(0.90), "medium");
+        assert_eq!(dc_grade(0.75), "low");
+        assert_eq!(dc_grade(0.60), "low");
+        assert_eq!(dc_grade(0.59), "none");
+        assert_eq!(dc_grade(0.0), "none");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|all]
 //! repro campaign [iu|cmem] [--journal PATH] [--resume PATH] [--deadline-ms N]
+//!                [--lockstep-window N] [--parity] [--watchdog-cycles N]
 //! ```
 //!
 //! Sizing via `REPRO_SAMPLE`, `REPRO_SEED`, `REPRO_THREADS` environment
@@ -14,6 +15,13 @@
 //! `--deadline-ms` arms the per-job wall-clock watchdog. Configuration
 //! and journal errors are reported on stderr with a nonzero exit code
 //! instead of a panic backtrace.
+//!
+//! The safety-mechanism flags model the chip's own detectors:
+//! `--lockstep-window N` checks the write stream every N writes instead of
+//! continuously, `--parity` arms CMEM parity, and `--watchdog-cycles N`
+//! arms a simulated hardware watchdog. With any of them set, the campaign
+//! prints an ISO 26262 diagnostic-coverage report after the per-model
+//! summaries.
 
 use bench::config_from_env;
 use correlation::experiments::{
@@ -22,7 +30,7 @@ use correlation::experiments::{
 use correlation::extensions::{
     bridging_study, eq1_ablation, iss_baseline, latent_study, transient_study,
 };
-use fault_inject::{Campaign, Target};
+use fault_inject::{Campaign, SafetyConfig, Target};
 use std::path::PathBuf;
 use std::time::Duration;
 use workloads::{Benchmark, Params};
@@ -34,13 +42,20 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
     let mut journal: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
     let mut deadline_ms: Option<u64> = None;
-    let usage =
-        "usage: repro campaign [iu|cmem] [--journal PATH] [--resume PATH] [--deadline-ms N]";
+    let mut safety = SafetyConfig::default();
+    let usage = "usage: repro campaign [iu|cmem] [--journal PATH] [--resume PATH] \
+                 [--deadline-ms N] [--lockstep-window N] [--parity] [--watchdog-cycles N]";
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |flag: &str| {
             iter.next().cloned().unwrap_or_else(|| {
                 eprintln!("`{flag}` needs a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        let parse_u64 = |flag: &str, raw: String| -> u64 {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("`{flag}` needs an integer, got `{raw}`\n{usage}");
                 std::process::exit(2);
             })
         };
@@ -51,10 +66,16 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
             "--resume" => resume = Some(PathBuf::from(value("--resume"))),
             "--deadline-ms" => {
                 let raw = value("--deadline-ms");
-                deadline_ms = Some(raw.parse().unwrap_or_else(|_| {
-                    eprintln!("`--deadline-ms` needs an integer, got `{raw}`\n{usage}");
-                    std::process::exit(2);
-                }));
+                deadline_ms = Some(parse_u64("--deadline-ms", raw));
+            }
+            "--lockstep-window" => {
+                let raw = value("--lockstep-window");
+                safety.lockstep_window = Some(parse_u64("--lockstep-window", raw));
+            }
+            "--parity" => safety.parity = true,
+            "--watchdog-cycles" => {
+                let raw = value("--watchdog-cycles");
+                safety.watchdog_cycles = Some(parse_u64("--watchdog-cycles", raw));
             }
             other => {
                 eprintln!("unknown campaign argument `{other}`\n{usage}");
@@ -62,10 +83,12 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
             }
         }
     }
+    let safety_armed = safety.any_enabled();
     let program = Benchmark::Rspeed.program(&Params::default());
     let mut campaign = Campaign::new(program, target)
         .with_sample(config.sample_per_campaign, config.seed)
-        .with_injection_fraction(0.05);
+        .with_injection_fraction(0.05)
+        .with_safety(safety);
     if let Some(ms) = deadline_ms {
         campaign = campaign.with_deadline(Duration::from_millis(ms));
     }
@@ -88,6 +111,9 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
                 stats.jobs, stats.resumed, stats.retried, stats.anomalies, stats.timed_out
             );
             print!("{result}");
+            if safety_armed {
+                print!("{}", result.coverage_report());
+            }
         }
         Err(e) => {
             eprintln!("[repro] campaign failed: {e}");

@@ -169,7 +169,9 @@ fn run_one(cpu: &mut Leon3, program: &Program, golden: &GoldenRun, bridge: Bridg
             break;
         }
         if executed >= budget {
-            return FaultOutcome::Hang;
+            return FaultOutcome::Hang {
+                latency_cycles: cpu.cycles(),
+            };
         }
     }
     match cpu.exit() {
@@ -191,7 +193,9 @@ fn run_one(cpu: &mut Leon3, program: &Program, golden: &GoldenRun, bridge: Bridg
         Some(Exit::ErrorMode(_)) => FaultOutcome::ErrorModeStop {
             latency_cycles: cpu.cycles(),
         },
-        None => FaultOutcome::Hang,
+        None => FaultOutcome::Hang {
+            latency_cycles: cpu.cycles(),
+        },
     }
 }
 

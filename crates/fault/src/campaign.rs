@@ -49,6 +49,7 @@
 use crate::error::{CampaignError, JournalError};
 use crate::journal::{self, fnv1a64, Entry, Header, Journal, FNV_OFFSET};
 use crate::result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord};
+use crate::safety::{self, Detection, DetectionContext, SafetyConfig};
 use crate::sites::{fault_sites, sample_sites, FaultSite, Target};
 use leon3_model::{Leon3, Leon3Config, Snapshot};
 use rtl_sim::{Fault, FaultKind, NetId};
@@ -71,6 +72,11 @@ pub struct GoldenRun {
     pub cycles: u64,
     /// The exit code.
     pub exit_code: u32,
+    /// The largest gap in cycles between consecutive off-core writes,
+    /// measured from cycle 0 (no trailing gap after the last write): the
+    /// floor a simulated watchdog timeout must clear to stay silent on
+    /// the fault-free run.
+    pub max_write_gap: u64,
     /// Cumulative cycle count after each `step()` call, for locating the
     /// last instruction boundary strictly before an injection instant.
     step_cycles: Vec<u64>,
@@ -104,11 +110,19 @@ impl GoldenRun {
         let net_last_read = (0..cpu.pool().len())
             .map(|i| cpu.net_last_read(NetId::from_raw(i as u32)))
             .collect();
+        let writes: Vec<BusEvent> = cpu.bus_trace().writes().copied().collect();
+        let mut max_write_gap = 0;
+        let mut last = 0;
+        for w in &writes {
+            max_write_gap = max_write_gap.max(w.at.saturating_sub(last));
+            last = w.at;
+        }
         GoldenRun {
-            writes: cpu.bus_trace().writes().copied().collect(),
+            writes,
             instructions: cpu.stats().instructions,
             cycles: cpu.cycles(),
             exit_code,
+            max_write_gap,
             step_cycles,
             net_last_read,
         }
@@ -178,6 +192,7 @@ pub struct Campaign {
     execution: Execution,
     deadline: Option<Duration>,
     config: Leon3Config,
+    safety: SafetyConfig,
 }
 
 impl Campaign {
@@ -194,7 +209,46 @@ impl Campaign {
             execution: Execution::default(),
             deadline: None,
             config: Leon3Config::default(),
+            safety: SafetyConfig::default(),
         }
+    }
+
+    /// Configure the modelled safety mechanisms (see [`SafetyConfig`]).
+    /// All mechanisms are off by default, in which case every record's
+    /// detection is [`Detection::Undetected`] and outcomes are
+    /// bit-identical to a mechanism-free campaign.
+    #[must_use]
+    pub fn with_safety(mut self, safety: SafetyConfig) -> Campaign {
+        self.safety = safety;
+        self
+    }
+
+    /// Enable the windowed lockstep comparator: the checker fires at the
+    /// first `window`-write boundary at or past the divergence. A zero
+    /// window is reported as [`CampaignError::ZeroLockstepWindow`] when
+    /// the campaign runs.
+    #[must_use]
+    pub fn with_lockstep_window(mut self, window: u64) -> Campaign {
+        self.safety.lockstep_window = Some(window);
+        self
+    }
+
+    /// Enable (or disable) per-line cache parity in the simulated CMEM.
+    /// The parity bits are themselves injectable fault sites.
+    #[must_use]
+    pub fn with_parity(mut self, enabled: bool) -> Campaign {
+        self.safety.parity = enabled;
+        self
+    }
+
+    /// Enable the simulated-time hardware watchdog, kicked by every
+    /// off-core write. A timeout no longer than the golden run's largest
+    /// inter-write gap is reported as [`CampaignError::WatchdogTooTight`]
+    /// when the campaign runs.
+    #[must_use]
+    pub fn with_watchdog_cycles(mut self, timeout: u64) -> Campaign {
+        self.safety.watchdog_cycles = Some(timeout);
+        self
     }
 
     /// Restrict to a seeded stratified sample of `n` sites.
@@ -268,12 +322,14 @@ impl Campaign {
         self
     }
 
-    /// The fault list this campaign will inject.
+    /// The fault list this campaign will inject. Enumerated against the
+    /// effective classification configuration, so an enabled parity
+    /// mechanism contributes its parity bits as injectable sites.
     pub fn sites(&self) -> Vec<FaultSite> {
         if let Some(sites) = &self.sites_override {
             return sites.clone();
         }
-        let reference = Leon3::new(self.config.clone());
+        let reference = Leon3::new(self.classification_config());
         let all = fault_sites(&reference, self.target);
         match self.sample {
             Some((n, seed)) => sample_sites(&all, n, seed),
@@ -414,6 +470,7 @@ impl Campaign {
         }
         let config = self.classification_config();
         let golden = GoldenRun::capture(&self.program, &config);
+        self.validate_watchdog(&golden)?;
         let cycles = instants
             .iter()
             .map(|&instant| resolve_instant(instant, &golden))
@@ -482,6 +539,23 @@ impl Campaign {
                 return Err(CampaignError::InjectionPastEnd { fraction: f });
             }
         }
+        if self.safety.lockstep_window == Some(0) {
+            return Err(CampaignError::ZeroLockstepWindow);
+        }
+        Ok(())
+    }
+
+    /// Reject a watchdog timeout that would fire on the fault-free run.
+    /// Needs the golden run, so it cannot live in [`Campaign::validate`].
+    fn validate_watchdog(&self, golden: &GoldenRun) -> Result<(), CampaignError> {
+        if let Some(timeout) = self.safety.watchdog_cycles {
+            if timeout <= golden.max_write_gap {
+                return Err(CampaignError::WatchdogTooTight {
+                    timeout_cycles: timeout,
+                    golden_max_gap: golden.max_write_gap,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -496,6 +570,7 @@ impl Campaign {
         self.validate(threads)?;
         let config = self.classification_config();
         let golden = GoldenRun::capture(&self.program, &config);
+        self.validate_watchdog(&golden)?;
         let injection_cycle = resolve_instant(self.injection, &golden)?;
         let sites = self.sites();
         if sites.is_empty() {
@@ -630,7 +705,7 @@ impl Campaign {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}",
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}",
             self.target,
             self.kinds,
             self.sample,
@@ -638,16 +713,20 @@ impl Campaign {
             self.injection,
             self.execution,
             self.config,
+            self.safety,
         );
         fnv1a64(FNV_OFFSET, s.as_bytes())
     }
 
     /// The platform configuration used for classification runs. Bus-read
     /// tracing is forced off: outcomes are classified against the off-core
-    /// write stream, and the divergence cursor indexes writes.
+    /// write stream, and the divergence cursor indexes writes. CMEM parity
+    /// follows the safety configuration, so the parity nets exist exactly
+    /// when the mechanism is modelled.
     fn classification_config(&self) -> Leon3Config {
         let mut config = self.config.clone();
         config.trace_reads = false;
+        config.cmem_parity = self.safety.parity;
         config
     }
 
@@ -698,6 +777,7 @@ impl Campaign {
             prefix: prefix.as_ref(),
             snapshot_cycle,
             deadline: self.deadline,
+            safety: self.safety,
         };
         let next = std::sync::atomic::AtomicUsize::new(0);
         // Which slots were reconstituted from the journal; read-only, so
@@ -723,12 +803,18 @@ impl Campaign {
                             continue;
                         }
                         let job = &jobs[idx];
-                        let (outcome, delta) = run_job_isolated(&mut cpu, &ctx, job);
+                        let (outcome, detection, mut delta) = run_job_isolated(&mut cpu, &ctx, job);
                         let record = FaultRecord {
                             site: job.sites[0],
                             kind: job.kind,
                             outcome,
+                            activated: job
+                                .sites()
+                                .iter()
+                                .any(|s| ctx.golden.net_exercised_from(s.net, job.injection_cycle)),
+                            detection,
                         };
+                        delta.count_bucket(&record);
                         // Jobs are panic-isolated, so a poisoned lock can
                         // only mean a panic *outside* a job (e.g. an OOM
                         // abort path); every update below is
@@ -877,6 +963,8 @@ struct JobContext<'a> {
     snapshot_cycle: u64,
     /// Per-job wall-clock budget, if configured.
     deadline: Option<Duration>,
+    /// Which safety mechanisms to evaluate over the observation.
+    safety: SafetyConfig,
 }
 
 /// Classify one job with panic isolation: a panicking attempt is retried
@@ -887,7 +975,7 @@ fn run_job_isolated(
     cpu: &mut Leon3,
     ctx: &JobContext<'_>,
     job: &Job,
-) -> (FaultOutcome, CampaignStats) {
+) -> (FaultOutcome, Detection, CampaignStats) {
     for attempt in 0..2 {
         // `&mut Leon3` is not `UnwindSafe` by definition, but the model
         // documents its unwind boundary: `restore`/`reset`/`load` rebuild
@@ -895,13 +983,13 @@ fn run_job_isolated(
         // into the next run (see `leon3_model::Leon3` docs).
         let run = catch_unwind(AssertUnwindSafe(|| {
             let mut delta = CampaignStats::default();
-            let outcome = run_job(cpu, ctx, &mut delta, job);
-            (outcome, delta)
+            let (outcome, detection) = run_job(cpu, ctx, &mut delta, job);
+            (outcome, detection, delta)
         }));
         match run {
-            Ok((outcome, mut delta)) => {
+            Ok((outcome, detection, mut delta)) => {
                 delta.retried = usize::from(attempt > 0);
-                return (outcome, delta);
+                return (outcome, detection, delta);
             }
             Err(_) if attempt == 0 => continue,
             Err(payload) => {
@@ -917,6 +1005,7 @@ fn run_job_isolated(
                         // downcast would miss.
                         payload: panic_message(&*payload),
                     },
+                    Detection::Undetected,
                     delta,
                 );
             }
@@ -947,7 +1036,7 @@ fn run_job(
     ctx: &JobContext<'_>,
     tally: &mut CampaignStats,
     job: &Job,
-) -> FaultOutcome {
+) -> (FaultOutcome, Detection) {
     let deadline = ctx.deadline.map(|d| Instant::now() + d);
     if let Some(prefix) = ctx.prefix {
         let inert = job
@@ -957,10 +1046,11 @@ fn run_job(
         if inert {
             // The fault can never be read: the faulty run reproduces
             // the golden run to the end by construction. (This theorem
-            // is about the golden run, so it holds at any instant.)
+            // is about the golden run, so it holds at any instant — and
+            // it equally means no mechanism can fire.)
             tally.skipped_inactive += 1;
             tally.cycles_avoided += ctx.golden.cycles;
-            return FaultOutcome::NoEffect;
+            return (FaultOutcome::NoEffect, Detection::Undetected);
         }
         if job.injection_cycle == ctx.snapshot_cycle {
             tally.forked += 1;
@@ -978,7 +1068,8 @@ fn run_job(
             tally.cycles_avoided += prefix.snapshot.cycle();
             tally.short_circuited += usize::from(run.short_circuited);
             tally.timed_out += usize::from(run.timed_out);
-            return run.outcome;
+            let detection = classify_run(cpu, ctx, job, &run);
+            return (run.outcome, detection);
         }
         // Mixed-instant fallback: the snapshot was taken for a different
         // instant, so forking from it would be wrong — re-execute.
@@ -991,7 +1082,26 @@ fn run_job(
     tally.cycles_simulated += cpu.cycles();
     tally.short_circuited += usize::from(run.short_circuited);
     tally.timed_out += usize::from(run.timed_out);
-    run.outcome
+    let detection = classify_run(cpu, ctx, job, &run);
+    (run.outcome, detection)
+}
+
+/// Evaluate the safety mechanisms over a finished observation. The fork
+/// engine restores the prefix trace into the model, so the faulty write
+/// stream is always the full from-cycle-0 trace either way.
+fn classify_run(cpu: &Leon3, ctx: &JobContext<'_>, job: &Job, run: &Observation) -> Detection {
+    safety::classify(
+        &ctx.safety,
+        &run.outcome,
+        &DetectionContext {
+            golden_writes: &ctx.golden.writes,
+            faulty_writes: cpu.bus_trace().events(),
+            matched: run.matched,
+            parity_event: cpu.parity_detected_at(),
+            injection_cycle: job.injection_cycle,
+            truncated: run.short_circuited || run.timed_out,
+        },
+    )
 }
 
 fn inject_all(cpu: &mut Leon3, job: &Job) {
@@ -1013,6 +1123,9 @@ struct Observation {
     short_circuited: bool,
     /// The run overran its wall-clock deadline (classified `Hang`).
     timed_out: bool,
+    /// Leading writes that matched the golden stream — where the lockstep
+    /// divergence cursor stopped, for outcomes that carry no index.
+    matched: usize,
 }
 
 /// Run an already-prepared (loaded/restored and injected) model to
@@ -1034,18 +1147,22 @@ fn observe(
     let mut executed: u64 = steps_done;
     let mut checked: usize = writes_checked;
     let mut ticks: u32 = 0;
-    let stop = |outcome| Observation {
+    let stop = |outcome, matched| Observation {
         outcome,
         short_circuited: true,
         timed_out: false,
+        matched,
     };
     loop {
         if let Some(d) = deadline {
             if ticks & 0xff == 0 && Instant::now() >= d {
                 return Observation {
-                    outcome: FaultOutcome::Hang,
+                    outcome: FaultOutcome::Hang {
+                        latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
+                    },
                     short_circuited: false,
                     timed_out: true,
+                    matched: checked,
                 };
             }
         }
@@ -1059,16 +1176,22 @@ fn observe(
             match golden.writes.get(checked) {
                 None => {
                     // Extra write beyond the golden stream.
-                    return stop(FaultOutcome::Failure {
-                        divergence: checked,
-                        latency_cycles: w.at.saturating_sub(injection_cycle),
-                    });
+                    return stop(
+                        FaultOutcome::Failure {
+                            divergence: checked,
+                            latency_cycles: w.at.saturating_sub(injection_cycle),
+                        },
+                        checked,
+                    );
                 }
                 Some(g) if !w.same_payload(g) => {
-                    return stop(FaultOutcome::Failure {
-                        divergence: checked,
-                        latency_cycles: w.at.saturating_sub(injection_cycle),
-                    });
+                    return stop(
+                        FaultOutcome::Failure {
+                            divergence: checked,
+                            latency_cycles: w.at.saturating_sub(injection_cycle),
+                        },
+                        checked,
+                    );
                 }
                 Some(_) => checked += 1,
             }
@@ -1078,9 +1201,12 @@ fn observe(
         }
         if executed >= budget {
             return Observation {
-                outcome: FaultOutcome::Hang,
+                outcome: FaultOutcome::Hang {
+                    latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
+                },
                 short_circuited: false,
                 timed_out: false,
+                matched: checked,
             };
         }
     }
@@ -1105,12 +1231,15 @@ fn observe(
         Some(Exit::ErrorMode(_)) => FaultOutcome::ErrorModeStop {
             latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
         },
-        None => FaultOutcome::Hang,
+        None => FaultOutcome::Hang {
+            latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
+        },
     };
     Observation {
         outcome,
         short_circuited: false,
         timed_out: false,
+        matched: checked,
     }
 }
 
@@ -1418,10 +1547,30 @@ mod tests {
         assert_eq!(stats.timed_out, stats.forked, "{stats:?}");
         for r in result.records() {
             assert!(
-                matches!(r.outcome, FaultOutcome::Hang | FaultOutcome::NoEffect),
+                matches!(
+                    r.outcome,
+                    FaultOutcome::Hang { .. } | FaultOutcome::NoEffect
+                ),
                 "{r:?}"
             );
         }
+    }
+
+    #[test]
+    fn safety_config_mistakes_are_structured() {
+        let program = small_program();
+        let campaign = Campaign::new(program, Target::IntegerUnit).with_sample(5, 1);
+        assert_eq!(
+            campaign.clone().with_lockstep_window(0).try_run(2),
+            Err(CampaignError::ZeroLockstepWindow)
+        );
+        // A 1-cycle watchdog cannot outlast even the tightest golden
+        // inter-write gap.
+        let err = campaign.with_watchdog_cycles(1).try_run(2).unwrap_err();
+        assert!(
+            matches!(err, CampaignError::WatchdogTooTight { .. }),
+            "{err}"
+        );
     }
 
     #[test]

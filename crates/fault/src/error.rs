@@ -32,6 +32,18 @@ pub enum CampaignError {
         /// How many sites the fault list actually holds.
         available: usize,
     },
+    /// A lockstep comparator with a zero-write window can never fire
+    /// (`with_lockstep_window(0)`); use `None` to disable it instead.
+    ZeroLockstepWindow,
+    /// The simulated watchdog timeout is no longer than the golden run's
+    /// largest inter-write gap — it would fire on the fault-free workload.
+    WatchdogTooTight {
+        /// The configured timeout in simulated cycles.
+        timeout_cycles: u64,
+        /// The golden run's maximum gap between consecutive off-core
+        /// writes (measured from cycle 0), in cycles.
+        golden_max_gap: u64,
+    },
     /// The write-ahead journal could not be created, appended, parsed or
     /// matched against this campaign.
     Journal(JournalError),
@@ -53,6 +65,18 @@ impl fmt::Display for CampaignError {
             CampaignError::NotEnoughSitesForPairs { available } => write!(
                 f,
                 "dual-point campaigns need at least two sites, got {available}"
+            ),
+            CampaignError::ZeroLockstepWindow => write!(
+                f,
+                "a zero-write lockstep window can never fire; omit the flag to disable lockstep"
+            ),
+            CampaignError::WatchdogTooTight {
+                timeout_cycles,
+                golden_max_gap,
+            } => write!(
+                f,
+                "watchdog timeout of {timeout_cycles} cycles would fire on the fault-free run \
+                 (largest golden inter-write gap is {golden_max_gap} cycles)"
             ),
             CampaignError::Journal(e) => write!(f, "journal: {e}"),
         }

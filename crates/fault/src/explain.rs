@@ -3,7 +3,8 @@
 //! runs after a campaign flags a fault.
 
 use crate::campaign::GoldenRun;
-use crate::result::FaultOutcome;
+use crate::result::{FaultOutcome, FaultRecord};
+use crate::safety::{self, Detection, DetectionContext, SafetyConfig};
 use crate::sites::FaultSite;
 use leon3_model::{cycles_to_us, Leon3, Leon3Config};
 use rtl_sim::{Fault, FaultKind};
@@ -14,7 +15,8 @@ use std::fmt::Write as _;
 /// Re-run one injection with instruction tracing and render a report:
 /// the fault's location (net path, bit, model), the outcome, the first
 /// diverging off-core write (faulty vs golden) and the last instructions
-/// executed before the divergence.
+/// executed before the divergence. Equivalent to [`explain_with_safety`]
+/// with every safety mechanism disabled.
 ///
 /// # Panics
 ///
@@ -26,6 +28,34 @@ pub fn explain(
     kind: FaultKind,
     injection_cycle: u64,
 ) -> String {
+    explain_with_safety(
+        program,
+        config,
+        site,
+        kind,
+        injection_cycle,
+        &SafetyConfig::default(),
+    )
+}
+
+/// [`explain`], but with the given safety mechanisms armed: the report
+/// additionally states which mechanism (if any) detected the fault, its
+/// detection latency, and the record's ISO 26262 bucket.
+///
+/// # Panics
+///
+/// Panics if the golden run of `program` does not halt.
+pub fn explain_with_safety(
+    program: &Program,
+    config: &Leon3Config,
+    site: FaultSite,
+    kind: FaultKind,
+    injection_cycle: u64,
+    safety_config: &SafetyConfig,
+) -> String {
+    let mut config = config.clone();
+    config.cmem_parity = safety_config.parity;
+    let config = &config;
     let golden = GoldenRun::capture(program, config);
     let mut cpu = Leon3::new(config.clone());
     cpu.load(program);
@@ -48,6 +78,7 @@ pub fn explain(
     let budget = golden.instructions * 2 + 10_000;
     let mut executed = 0u64;
     let mut checked = 0usize;
+    let mut truncated = false;
     let outcome = loop {
         let event = cpu.step();
         executed += 1;
@@ -67,6 +98,7 @@ pub fn explain(
             }
         }
         if let Some(out) = diverged {
+            truncated = true;
             break out;
         }
         if event == StepEvent::Stopped {
@@ -83,15 +115,39 @@ pub fn explain(
                 Some(Exit::ErrorMode(_)) => FaultOutcome::ErrorModeStop {
                     latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
                 },
-                None => FaultOutcome::Hang,
+                None => FaultOutcome::Hang {
+                    latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
+                },
             };
         }
         if executed >= budget {
-            break FaultOutcome::Hang;
+            break FaultOutcome::Hang {
+                latency_cycles: cpu.cycles().saturating_sub(injection_cycle),
+            };
         }
     };
 
-    match outcome {
+    let detection = safety::classify(
+        safety_config,
+        &outcome,
+        &DetectionContext {
+            golden_writes: &golden.writes,
+            faulty_writes: cpu.bus_trace().events(),
+            matched: checked,
+            parity_event: cpu.parity_detected_at(),
+            injection_cycle,
+            truncated,
+        },
+    );
+    let record = FaultRecord {
+        site,
+        kind,
+        outcome,
+        activated: golden.net_exercised_from(site.net, injection_cycle),
+        detection,
+    };
+
+    match &record.outcome {
         FaultOutcome::NoEffect => {
             let _ = writeln!(
                 report,
@@ -105,10 +161,13 @@ pub fn explain(
             let _ = writeln!(
                 report,
                 "outcome: FAILURE at write #{divergence} after {latency_cycles} cycles ({:.2} µs)",
-                cycles_to_us(latency_cycles)
+                cycles_to_us(*latency_cycles)
             );
             let faulty_writes: Vec<_> = cpu.bus_trace().writes().collect();
-            match (faulty_writes.get(divergence), golden.writes.get(divergence)) {
+            match (
+                faulty_writes.get(*divergence),
+                golden.writes.get(*divergence),
+            ) {
                 (Some(f), Some(g)) => {
                     let _ = writeln!(report, "  golden: {g}");
                     let _ = writeln!(report, "  faulty: {f}");
@@ -126,10 +185,11 @@ pub fn explain(
                 }
             }
         }
-        FaultOutcome::Hang => {
+        FaultOutcome::Hang { latency_cycles } => {
             let _ = writeln!(
                 report,
-                "outcome: HANG — no divergence within {budget} instructions"
+                "outcome: HANG — no divergence within {budget} instructions \
+                 ({latency_cycles} cycles elapsed)"
             );
         }
         FaultOutcome::ErrorModeStop { latency_cycles } => {
@@ -140,6 +200,31 @@ pub fn explain(
         }
         FaultOutcome::EngineAnomaly { payload } => {
             let _ = writeln!(report, "outcome: ENGINE ANOMALY — {payload}");
+        }
+    }
+    match &record.detection {
+        Detection::Detected {
+            mechanism,
+            latency_cycles,
+            latency_writes,
+        } => {
+            let _ = writeln!(
+                report,
+                "detection: caught by {mechanism} after {latency_cycles} cycles \
+                 ({latency_writes} writes of latency)"
+            );
+        }
+        Detection::Undetected if safety_config.any_enabled() => {
+            let _ = writeln!(report, "detection: no enabled mechanism fired");
+        }
+        Detection::Undetected => {}
+    }
+    match record.bucket() {
+        Some(bucket) => {
+            let _ = writeln!(report, "iso 26262 bucket: {bucket}");
+        }
+        None => {
+            let _ = writeln!(report, "iso 26262 bucket: unclassified (engine anomaly)");
         }
     }
     let _ = writeln!(report, "last instructions before the end of observation:");
@@ -203,6 +288,31 @@ mod tests {
             0,
         );
         assert!(report.contains("NO EFFECT"), "{report}");
+    }
+
+    #[test]
+    fn safety_report_names_the_detection_and_bucket() {
+        let cpu = Leon3::new(Leon3Config::default());
+        let site = FaultSite {
+            net: cpu.nets().add_res,
+            bit: 2,
+            unit: Unit::AluAdd,
+        };
+        let safety = SafetyConfig {
+            lockstep_window: Some(1),
+            parity: true,
+            watchdog_cycles: None,
+        };
+        let report = explain_with_safety(
+            &program(),
+            &Leon3Config::default(),
+            site,
+            FaultKind::StuckAt1,
+            0,
+            &safety,
+        );
+        assert!(report.contains("detection:"), "{report}");
+        assert!(report.contains("iso 26262 bucket:"), "{report}");
     }
 
     #[test]

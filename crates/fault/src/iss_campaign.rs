@@ -145,11 +145,15 @@ impl IssCampaign {
                             Some(Exit::ErrorMode(_)) => FaultOutcome::ErrorModeStop {
                                 latency_cycles: iss.cycles(),
                             },
-                            None => FaultOutcome::Hang,
+                            None => FaultOutcome::Hang {
+                                latency_cycles: iss.cycles(),
+                            },
                         };
                     }
                     if executed >= budget {
-                        break FaultOutcome::Hang;
+                        break FaultOutcome::Hang {
+                            latency_cycles: iss.cycles(),
+                        };
                     }
                 };
                 ArchRecord { fault, outcome }

@@ -19,6 +19,7 @@
 
 use crate::error::JournalError;
 use crate::result::{CampaignStats, FaultOutcome, FaultRecord};
+use crate::safety::{Detection, Mechanism};
 use crate::sites::FaultSite;
 use rtl_sim::{FaultKind, NetId};
 use sparc_isa::Unit;
@@ -29,8 +30,9 @@ use std::path::Path;
 
 /// Format identifier carried in every header line.
 pub const MAGIC: &str = "fault-campaign-journal";
-/// Format version; bumped on any incompatible change.
-pub const VERSION: u64 = 1;
+/// Format version; bumped on any incompatible change. Version 2 added the
+/// hang latency, the `activated` flag and the detection fields.
+pub const VERSION: u64 = 2;
 
 /// FNV-1a 64-bit — the journal's content hash (hermetic, no dependencies).
 pub(crate) fn fnv1a64(init: u64, bytes: &[u8]) -> u64 {
@@ -151,6 +153,22 @@ impl Entry {
             self.record.kind.name(),
         );
         s.push_str(&outcome_to_json(&self.record.outcome));
+        let _ = write!(s, ",\"activated\":{}", self.record.activated);
+        if let Detection::Detected {
+            mechanism,
+            latency_cycles,
+            latency_writes,
+        } = self.record.detection
+        {
+            // The mechanism name is a fixed enum today, but escaping it
+            // keeps the serializer honest if that ever changes.
+            let _ = write!(
+                s,
+                ",\"detected_by\":{},\"det_latency\":{latency_cycles},\
+                 \"det_writes\":{latency_writes}",
+                escape_json(mechanism.name()),
+            );
+        }
         let _ = write!(
             s,
             ",\"engine\":\"{engine}\",\"short_circuited\":{},\"timed_out\":{},\
@@ -224,17 +242,35 @@ impl Entry {
             "none" => {}
             other => return Err(malformed(format!("unknown engine `{other}`"))),
         }
+        let detection = match v.get_str("detected_by") {
+            Some(name) => {
+                let mechanism = Mechanism::from_name(name)
+                    .ok_or_else(|| malformed(format!("unknown mechanism `{name}`")))?;
+                Detection::Detected {
+                    mechanism,
+                    latency_cycles: field_u64("det_latency")?,
+                    latency_writes: field_u64("det_writes")?,
+                }
+            }
+            None => Detection::Undetected,
+        };
+        let record = FaultRecord {
+            site: FaultSite {
+                net: NetId::from_raw(field_u64("net")? as u32),
+                bit: field_u64("bit")? as u8,
+                unit,
+            },
+            kind,
+            outcome,
+            activated: field_bool("activated")?,
+            detection,
+        };
+        // Like `anomalies` above, the ISO bucket counters are a pure
+        // function of the record — reconstructed, not carried on the wire.
+        delta.count_bucket(&record);
         Ok(Entry {
             job: field_u64("job")? as usize,
-            record: FaultRecord {
-                site: FaultSite {
-                    net: NetId::from_raw(field_u64("net")? as u32),
-                    bit: field_u64("bit")? as u8,
-                    unit,
-                },
-                kind,
-                outcome,
-            },
+            record,
             delta,
         })
     }
@@ -249,7 +285,9 @@ fn outcome_to_json(outcome: &FaultOutcome) -> String {
         } => format!(
             "{{\"t\":\"failure\",\"divergence\":{divergence},\"latency\":{latency_cycles}}}"
         ),
-        FaultOutcome::Hang => "{\"t\":\"hang\"}".to_string(),
+        FaultOutcome::Hang { latency_cycles } => {
+            format!("{{\"t\":\"hang\",\"latency\":{latency_cycles}}}")
+        }
         FaultOutcome::ErrorModeStop { latency_cycles } => {
             format!("{{\"t\":\"error_mode\",\"latency\":{latency_cycles}}}")
         }
@@ -269,7 +307,9 @@ fn outcome_from_json(v: &Json) -> Result<FaultOutcome, String> {
                 .ok_or("failure missing `divergence`")? as usize,
             latency_cycles: v.get_u64("latency").ok_or("failure missing `latency`")?,
         }),
-        "hang" => Ok(FaultOutcome::Hang),
+        "hang" => Ok(FaultOutcome::Hang {
+            latency_cycles: v.get_u64("latency").ok_or("hang missing `latency`")?,
+        }),
         "error_mode" => Ok(FaultOutcome::ErrorModeStop {
             latency_cycles: v.get_u64("latency").ok_or("error_mode missing `latency`")?,
         }),
@@ -612,29 +652,35 @@ mod tests {
     use super::*;
 
     fn entry(job: usize, outcome: FaultOutcome) -> Entry {
+        entry_with_detection(job, outcome, Detection::Undetected)
+    }
+
+    fn entry_with_detection(job: usize, outcome: FaultOutcome, detection: Detection) -> Entry {
         let is_anomaly = matches!(outcome, FaultOutcome::EngineAnomaly { .. });
-        Entry {
-            job,
-            record: FaultRecord {
-                site: FaultSite {
-                    net: NetId::from_raw(17),
-                    bit: 5,
-                    unit: Unit::Fetch,
-                },
-                kind: FaultKind::OpenLine,
-                outcome,
+        let record = FaultRecord {
+            site: FaultSite {
+                net: NetId::from_raw(17),
+                bit: 5,
+                unit: Unit::Fetch,
             },
-            delta: CampaignStats {
-                forked: 1,
-                short_circuited: 1,
-                // Reconstructed from the outcome tag on parse, so the
-                // fixture must agree with it.
-                anomalies: usize::from(is_anomaly),
-                cycles_simulated: 1234,
-                cycles_avoided: 88,
-                ..CampaignStats::default()
-            },
-        }
+            kind: FaultKind::OpenLine,
+            outcome,
+            activated: true,
+            detection,
+        };
+        let mut delta = CampaignStats {
+            forked: 1,
+            short_circuited: 1,
+            // Reconstructed from the outcome tag on parse, so the
+            // fixture must agree with it.
+            anomalies: usize::from(is_anomaly),
+            cycles_simulated: 1234,
+            cycles_avoided: 88,
+            ..CampaignStats::default()
+        };
+        // The ISO bucket counters are likewise reconstructed on parse.
+        delta.count_bucket(&record);
+        Entry { job, record, delta }
     }
 
     #[test]
@@ -657,7 +703,7 @@ mod tests {
                 divergence: 3,
                 latency_cycles: 456,
             },
-            FaultOutcome::Hang,
+            FaultOutcome::Hang { latency_cycles: 77 },
             FaultOutcome::ErrorModeStop { latency_cycles: 9 },
             FaultOutcome::EngineAnomaly {
                 payload: "bit 63 outside net `pc`\nwith \"quotes\" + tab\t + 🚗".to_string(),
@@ -668,6 +714,37 @@ mod tests {
             let parsed = Entry::parse(&e.to_line(), 1).unwrap();
             assert_eq!(parsed, e);
         }
+    }
+
+    #[test]
+    fn entry_round_trips_every_detection() {
+        for mechanism in Mechanism::ALL {
+            let e = entry_with_detection(
+                9,
+                FaultOutcome::Failure {
+                    divergence: 1,
+                    latency_cycles: 50,
+                },
+                Detection::Detected {
+                    mechanism,
+                    latency_cycles: 120,
+                    latency_writes: 3,
+                },
+            );
+            let parsed = Entry::parse(&e.to_line(), 1).unwrap();
+            assert_eq!(parsed, e);
+            assert_eq!(parsed.delta.mechanism_detections(mechanism), 1);
+            assert_eq!(parsed.delta.residual, 0);
+        }
+        // An undetected failure reconstructs as residual.
+        let e = entry(
+            9,
+            FaultOutcome::Failure {
+                divergence: 1,
+                latency_cycles: 50,
+            },
+        );
+        assert_eq!(Entry::parse(&e.to_line(), 1).unwrap().delta.residual, 1);
     }
 
     #[test]
@@ -683,7 +760,7 @@ mod tests {
             golden_cycles: 100,
         };
         let e0 = entry(0, FaultOutcome::NoEffect);
-        let e1 = entry(1, FaultOutcome::Hang);
+        let e1 = entry(1, FaultOutcome::Hang { latency_cycles: 5 });
         let full = format!("{}\n{}\n{}\n", h.to_line(), e0.to_line(), e1.to_line());
         // Cut mid-way through the final entry line.
         let cut = full.len() - 7;

@@ -32,6 +32,15 @@
 //! killed campaign picks up where it left off. Configuration mistakes
 //! surface as structured [`CampaignError`]s from the `try_*` entry points.
 //!
+//! Campaigns can additionally model the chip's **safety mechanisms**
+//! ([`SafetyConfig`]): a windowed lockstep comparator, CMEM parity and a
+//! simulated hardware watchdog. Every record then carries a [`Detection`]
+//! verdict and classifies into an ISO 26262 bucket ([`IsoBucket`]:
+//! safe / detected / residual / latent); [`CampaignResult::coverage`]
+//! aggregates per-mechanism diagnostic coverage and the residual-fault
+//! fraction. With all mechanisms disabled (the default) campaigns are
+//! bit-identical to the pre-safety suite.
+//!
 //! # Example
 //!
 //! ```
@@ -58,12 +67,16 @@ mod explain;
 mod iss_campaign;
 pub mod journal;
 mod result;
+mod safety;
 mod sites;
 
 pub use bridging::{bridge_pairs, bridge_pf, BridgeRecord, BridgingCampaign};
 pub use campaign::{Campaign, Execution, GoldenRun, InjectionInstant};
 pub use error::{CampaignError, JournalError};
-pub use explain::explain;
+pub use explain::{explain, explain_with_safety};
 pub use iss_campaign::{arch_pf, ArchRecord, IssCampaign};
-pub use result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord, ModelSummary};
+pub use result::{
+    CampaignResult, CampaignStats, CoverageSummary, FaultOutcome, FaultRecord, ModelSummary,
+};
+pub use safety::{Detection, IsoBucket, Mechanism, SafetyConfig};
 pub use sites::{fault_sites, sample_sites, unit_bit_counts, FaultSite, Target};

@@ -1,5 +1,6 @@
 //! Campaign outcomes and aggregation.
 
+use crate::safety::{Detection, IsoBucket, Mechanism};
 use crate::sites::FaultSite;
 use leon3_model::cycles_to_us;
 use rtl_sim::FaultKind;
@@ -24,7 +25,12 @@ pub enum FaultOutcome {
     },
     /// The run neither halted nor diverged within the budget; a watchdog
     /// catches this in a real system. Counted as a failure.
-    Hang,
+    Hang {
+        /// Cycles from the injection instant to budget exhaustion (for a
+        /// wall-clock timeout, to wherever the deadline interrupted the
+        /// run — host-load dependent, like the timeout itself).
+        latency_cycles: u64,
+    },
     /// The core entered SPARC error mode (double trap) before diverging;
     /// the resulting silence is detected at the lockstep boundary.
     /// Counted as a failure.
@@ -51,16 +57,20 @@ impl FaultOutcome {
     pub fn is_failure(&self) -> bool {
         matches!(
             self,
-            FaultOutcome::Failure { .. } | FaultOutcome::Hang | FaultOutcome::ErrorModeStop { .. }
+            FaultOutcome::Failure { .. }
+                | FaultOutcome::Hang { .. }
+                | FaultOutcome::ErrorModeStop { .. }
         )
     }
 
-    /// Propagation latency in cycles, when meaningfully defined.
+    /// Propagation latency in cycles — `Some` for every outcome except
+    /// `NoEffect` (nothing propagated) and `EngineAnomaly` (no verdict).
     pub fn latency_cycles(&self) -> Option<u64> {
         match *self {
             FaultOutcome::Failure { latency_cycles, .. }
+            | FaultOutcome::Hang { latency_cycles }
             | FaultOutcome::ErrorModeStop { latency_cycles } => Some(latency_cycles),
-            _ => None,
+            FaultOutcome::NoEffect | FaultOutcome::EngineAnomaly { .. } => None,
         }
     }
 }
@@ -74,6 +84,38 @@ pub struct FaultRecord {
     pub kind: FaultKind,
     /// What happened.
     pub outcome: FaultOutcome,
+    /// Whether the golden run ever reads the injected net from the
+    /// injection instant on — the site-activation notion that separates
+    /// *latent* from *safe* no-effect faults.
+    pub activated: bool,
+    /// Whether a modelled safety mechanism caught the fault (always
+    /// [`Detection::Undetected`] when no mechanism is configured).
+    pub detection: Detection,
+}
+
+impl FaultRecord {
+    /// The ISO 26262 class this record lands in, or `None` for an
+    /// [`FaultOutcome::EngineAnomaly`] (no verdict, excluded — as from
+    /// `Pf`). Detection takes precedence over the outcome: a detected
+    /// fault is *detected* even if it never went on to diverge (e.g. a
+    /// parity hit on a line the program never consumes), because the
+    /// mechanism would have flagged it in the field either way.
+    pub fn bucket(&self) -> Option<IsoBucket> {
+        if matches!(self.outcome, FaultOutcome::EngineAnomaly { .. }) {
+            return None;
+        }
+        if self.detection.is_detected() {
+            return Some(IsoBucket::Detected);
+        }
+        if self.outcome.is_failure() {
+            return Some(IsoBucket::Residual);
+        }
+        Some(if self.activated {
+            IsoBucket::Safe
+        } else {
+            IsoBucket::Latent
+        })
+    }
 }
 
 /// Aggregate statistics for one fault model.
@@ -169,6 +211,19 @@ pub struct CampaignStats {
     /// `cycles_simulated`: the shared prefix re-run per forked job, plus
     /// one whole golden-length run per activation-skipped job.
     pub cycles_avoided: u64,
+    /// ISO 26262 *safe* faults: activated, no observable effect, nothing
+    /// to detect.
+    pub safe: usize,
+    /// Faults caught by the windowed lockstep comparator.
+    pub detected_lockstep: usize,
+    /// Faults caught by cache parity.
+    pub detected_parity: usize,
+    /// Faults caught by the simulated-time watchdog.
+    pub detected_watchdog: usize,
+    /// The dangerous class: diverged, no mechanism noticed.
+    pub residual: usize,
+    /// Faults whose site the workload never exercised.
+    pub latent: usize,
 }
 
 impl CampaignStats {
@@ -196,6 +251,161 @@ impl CampaignStats {
         self.golden_cycles = self.golden_cycles.max(other.golden_cycles);
         self.cycles_simulated += other.cycles_simulated;
         self.cycles_avoided += other.cycles_avoided;
+        self.safe += other.safe;
+        self.detected_lockstep += other.detected_lockstep;
+        self.detected_parity += other.detected_parity;
+        self.detected_watchdog += other.detected_watchdog;
+        self.residual += other.residual;
+        self.latent += other.latent;
+    }
+
+    /// Tally one record's ISO 26262 class into the counters. Used by the
+    /// campaign worker, the journal replay and the shard merge — all three
+    /// reconstruct identical counters because the class is a pure function
+    /// of the record.
+    pub fn count_bucket(&mut self, record: &FaultRecord) {
+        match (record.bucket(), record.detection) {
+            (Some(IsoBucket::Detected), Detection::Detected { mechanism, .. }) => match mechanism {
+                Mechanism::Lockstep => self.detected_lockstep += 1,
+                Mechanism::CmemParity => self.detected_parity += 1,
+                Mechanism::Watchdog => self.detected_watchdog += 1,
+            },
+            (Some(IsoBucket::Safe), _) => self.safe += 1,
+            (Some(IsoBucket::Residual), _) => self.residual += 1,
+            (Some(IsoBucket::Latent), _) => self.latent += 1,
+            _ => {} // EngineAnomaly: counted in `anomalies`, not classified.
+        }
+    }
+
+    /// Faults caught by any mechanism.
+    pub fn detected(&self) -> usize {
+        self.detected_lockstep + self.detected_parity + self.detected_watchdog
+    }
+
+    /// Classified injections (everything except engine anomalies).
+    pub fn classified(&self) -> usize {
+        self.safe + self.detected() + self.residual + self.latent
+    }
+
+    /// Diagnostic coverage: detected / (detected + residual), over the
+    /// faults that needed detecting. `None` when no such fault occurred.
+    pub fn diagnostic_coverage(&self) -> Option<f64> {
+        let dangerous = self.detected() + self.residual;
+        (dangerous > 0).then(|| self.detected() as f64 / dangerous as f64)
+    }
+
+    /// One mechanism's detections.
+    pub fn mechanism_detections(&self, mechanism: Mechanism) -> usize {
+        match mechanism {
+            Mechanism::Lockstep => self.detected_lockstep,
+            Mechanism::CmemParity => self.detected_parity,
+            Mechanism::Watchdog => self.detected_watchdog,
+        }
+    }
+
+    /// The residual-fault fraction: residual / classified. `None` when
+    /// nothing was classified.
+    pub fn residual_fraction(&self) -> Option<f64> {
+        let classified = self.classified();
+        (classified > 0).then(|| self.residual as f64 / classified as f64)
+    }
+}
+
+/// ISO 26262 classification of a slice of records (one fault kind, one
+/// unit, or a whole campaign).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverageSummary {
+    /// Records in the slice.
+    pub injections: usize,
+    /// Activated, no effect, nothing to detect.
+    pub safe: usize,
+    /// Caught by the lockstep comparator.
+    pub detected_lockstep: usize,
+    /// Caught by cache parity.
+    pub detected_parity: usize,
+    /// Caught by the watchdog.
+    pub detected_watchdog: usize,
+    /// Diverged undetected.
+    pub residual: usize,
+    /// Never exercised.
+    pub latent: usize,
+    /// Engine anomalies, excluded from the classification.
+    pub anomalies: usize,
+    /// Summed detection latencies over all detected faults, for
+    /// [`CoverageSummary::mean_detection_latency_cycles`].
+    pub detection_latency_cycles_total: u64,
+}
+
+impl CoverageSummary {
+    fn tally<'a>(records: impl Iterator<Item = &'a FaultRecord>) -> CoverageSummary {
+        let mut s = CoverageSummary::default();
+        for r in records {
+            s.injections += 1;
+            match (r.bucket(), r.detection) {
+                (
+                    Some(IsoBucket::Detected),
+                    Detection::Detected {
+                        mechanism,
+                        latency_cycles,
+                        ..
+                    },
+                ) => {
+                    s.detection_latency_cycles_total += latency_cycles;
+                    match mechanism {
+                        Mechanism::Lockstep => s.detected_lockstep += 1,
+                        Mechanism::CmemParity => s.detected_parity += 1,
+                        Mechanism::Watchdog => s.detected_watchdog += 1,
+                    }
+                }
+                (Some(IsoBucket::Safe), _) => s.safe += 1,
+                (Some(IsoBucket::Residual), _) => s.residual += 1,
+                (Some(IsoBucket::Latent), _) => s.latent += 1,
+                _ => s.anomalies += 1,
+            }
+        }
+        s
+    }
+
+    /// Faults caught by any mechanism.
+    pub fn detected(&self) -> usize {
+        self.detected_lockstep + self.detected_parity + self.detected_watchdog
+    }
+
+    /// One mechanism's detections.
+    pub fn mechanism_detections(&self, mechanism: Mechanism) -> usize {
+        match mechanism {
+            Mechanism::Lockstep => self.detected_lockstep,
+            Mechanism::CmemParity => self.detected_parity,
+            Mechanism::Watchdog => self.detected_watchdog,
+        }
+    }
+
+    /// Diagnostic coverage: detected / (detected + residual). `None` when
+    /// no fault needed detecting.
+    pub fn diagnostic_coverage(&self) -> Option<f64> {
+        let dangerous = self.detected() + self.residual;
+        (dangerous > 0).then(|| self.detected() as f64 / dangerous as f64)
+    }
+
+    /// One mechanism's share of the dangerous faults.
+    pub fn mechanism_coverage(&self, mechanism: Mechanism) -> Option<f64> {
+        let dangerous = self.detected() + self.residual;
+        (dangerous > 0).then(|| self.mechanism_detections(mechanism) as f64 / dangerous as f64)
+    }
+
+    /// The residual-fault fraction: residual / classified. `None` when
+    /// nothing was classified.
+    pub fn residual_fraction(&self) -> Option<f64> {
+        let classified = self.injections - self.anomalies;
+        (classified > 0).then(|| self.residual as f64 / classified as f64)
+    }
+
+    /// Mean fault-detection latency in cycles (the fault-handling
+    /// time-interval budget of ISO 26262's FTTI decomposition). `None`
+    /// when nothing was detected.
+    pub fn mean_detection_latency_cycles(&self) -> Option<f64> {
+        let detected = self.detected();
+        (detected > 0).then(|| self.detection_latency_cycles_total as f64 / detected as f64)
     }
 }
 
@@ -241,7 +451,7 @@ impl CampaignResult {
         let failures = records.iter().filter(|r| r.outcome.is_failure()).count();
         let hangs = records
             .iter()
-            .filter(|r| matches!(r.outcome, FaultOutcome::Hang))
+            .filter(|r| matches!(r.outcome, FaultOutcome::Hang { .. }))
             .count();
         let anomalies = records
             .iter()
@@ -298,6 +508,78 @@ impl CampaignResult {
         self.stats.merge(&other.stats);
     }
 
+    /// ISO 26262 classification for one fault model.
+    pub fn coverage(&self, kind: FaultKind) -> CoverageSummary {
+        CoverageSummary::tally(self.records_for(kind))
+    }
+
+    /// ISO 26262 classification over every record.
+    pub fn coverage_all(&self) -> CoverageSummary {
+        CoverageSummary::tally(self.records.iter())
+    }
+
+    /// Per-unit ISO 26262 classification for one fault model.
+    pub fn coverage_per_unit(&self, kind: FaultKind) -> BTreeMap<Unit, CoverageSummary> {
+        let mut per_unit: BTreeMap<Unit, Vec<&FaultRecord>> = BTreeMap::new();
+        for r in self.records_for(kind) {
+            per_unit.entry(r.site.unit).or_default().push(r);
+        }
+        per_unit
+            .into_iter()
+            .map(|(unit, records)| (unit, CoverageSummary::tally(records.into_iter())))
+            .collect()
+    }
+
+    /// Human-readable diagnostic-coverage report (per fault kind, with
+    /// per-mechanism attribution and the ISO 26262 coverage grade).
+    pub fn coverage_report(&self) -> String {
+        let mut out = String::new();
+        for kind in FaultKind::ALL {
+            let c = self.coverage(kind);
+            if c.injections == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{kind}: safe={} detected={} residual={} latent={}",
+                c.safe,
+                c.detected(),
+                c.residual,
+                c.latent
+            ));
+            if c.anomalies > 0 {
+                out.push_str(&format!(" anomalies={}", c.anomalies));
+            }
+            out.push('\n');
+            if let Some(dc) = c.diagnostic_coverage() {
+                out.push_str(&format!(
+                    "{kind}: diagnostic coverage {:.1}% ({})",
+                    dc * 100.0,
+                    analysis::dc_grade(dc)
+                ));
+                if let Some(rf) = c.residual_fraction() {
+                    out.push_str(&format!(", residual fraction {:.1}%", rf * 100.0));
+                }
+                out.push('\n');
+                if let Some(lat) = c.mean_detection_latency_cycles() {
+                    out.push_str(&format!(
+                        "{kind}: mean detection latency {lat:.0} cycles ({:.2} µs)\n",
+                        cycles_to_us(lat as u64)
+                    ));
+                }
+                for mechanism in Mechanism::ALL {
+                    let n = c.mechanism_detections(mechanism);
+                    if n > 0 {
+                        out.push_str(&format!(
+                            "{kind}:   {mechanism} caught {n} ({:.1}%)\n",
+                            c.mechanism_coverage(mechanism).unwrap_or(0.0) * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Histogram of propagation latencies (µs) for one fault model, or
     /// `None` when fewer than two distinct latencies were observed.
     pub fn latency_histogram(
@@ -321,7 +603,7 @@ impl CampaignResult {
             match r.outcome {
                 FaultOutcome::NoEffect => counts.0 += 1,
                 FaultOutcome::Failure { .. } => counts.1 += 1,
-                FaultOutcome::Hang => counts.2 += 1,
+                FaultOutcome::Hang { .. } => counts.2 += 1,
                 FaultOutcome::ErrorModeStop { .. } => counts.3 += 1,
                 FaultOutcome::EngineAnomaly { .. } => counts.4 += 1,
             }
@@ -329,31 +611,38 @@ impl CampaignResult {
         counts
     }
 
-    /// Export every record as CSV (`unit,net,bit,model,outcome,
-    /// divergence,latency_cycles`) for external analysis tooling.
+    /// Export every record as CSV (`unit,net,bit,model,outcome,divergence,
+    /// latency_cycles,bucket,detected_by,detection_latency_cycles`) for
+    /// external analysis tooling.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("unit,net,bit,model,outcome,divergence,latency_cycles\n");
+        let mut out = String::from(
+            "unit,net,bit,model,outcome,divergence,latency_cycles,\
+             bucket,detected_by,detection_latency_cycles\n",
+        );
         for r in &self.records {
-            let (outcome, divergence, latency) = match &r.outcome {
-                FaultOutcome::NoEffect => ("no_effect", String::new(), String::new()),
-                FaultOutcome::Failure {
-                    divergence,
+            let (outcome, divergence) = match &r.outcome {
+                FaultOutcome::NoEffect => ("no_effect", String::new()),
+                FaultOutcome::Failure { divergence, .. } => ("failure", divergence.to_string()),
+                FaultOutcome::Hang { .. } => ("hang", String::new()),
+                FaultOutcome::ErrorModeStop { .. } => ("error_mode", String::new()),
+                FaultOutcome::EngineAnomaly { .. } => ("engine_anomaly", String::new()),
+            };
+            let latency = r
+                .outcome
+                .latency_cycles()
+                .map(|l| l.to_string())
+                .unwrap_or_default();
+            let bucket = r.bucket().map(|b| b.name()).unwrap_or("");
+            let (detected_by, det_latency) = match r.detection {
+                Detection::Detected {
+                    mechanism,
                     latency_cycles,
-                } => (
-                    "failure",
-                    divergence.to_string(),
-                    latency_cycles.to_string(),
-                ),
-                FaultOutcome::Hang => ("hang", String::new(), String::new()),
-                FaultOutcome::ErrorModeStop { latency_cycles } => {
-                    ("error_mode", String::new(), latency_cycles.to_string())
-                }
-                FaultOutcome::EngineAnomaly { .. } => {
-                    ("engine_anomaly", String::new(), String::new())
-                }
+                    ..
+                } => (mechanism.name(), latency_cycles.to_string()),
+                Detection::Undetected => ("", String::new()),
             };
             out.push_str(&format!(
-                "{},{},{},{},{outcome},{divergence},{latency}\n",
+                "{},{},{},{},{outcome},{divergence},{latency},{bucket},{detected_by},{det_latency}\n",
                 r.site.unit,
                 r.site.net.raw(),
                 r.site.bit,
@@ -414,6 +703,8 @@ mod tests {
             },
             kind,
             outcome,
+            activated: true,
+            detection: Detection::Undetected,
         }
     }
 
@@ -428,7 +719,12 @@ mod tests {
                     latency_cycles: 80,
                 },
             ),
-            record(FaultKind::StuckAt1, FaultOutcome::Hang),
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::Hang {
+                    latency_cycles: 120,
+                },
+            ),
             record(
                 FaultKind::StuckAt1,
                 FaultOutcome::ErrorModeStop {
@@ -441,7 +737,8 @@ mod tests {
         assert_eq!(s.failures, 3);
         assert_eq!(s.hangs, 1);
         assert!((s.pf() - 0.75).abs() < 1e-12);
-        // 160 cycles at 80 MHz = 2 µs.
+        // 160 cycles at 80 MHz = 2 µs; the hang's 120 cycles now carry a
+        // latency too, keeping the mean over {80, 120, 160} at 1.5 µs.
         assert!((s.max_latency_us.unwrap() - 2.0).abs() < 1e-9);
         assert!((s.mean_latency_us.unwrap() - 1.5).abs() < 1e-9);
     }
@@ -450,7 +747,10 @@ mod tests {
     fn summaries_are_per_model() {
         let result = CampaignResult::new(vec![
             record(FaultKind::StuckAt0, FaultOutcome::NoEffect),
-            record(FaultKind::OpenLine, FaultOutcome::Hang),
+            record(
+                FaultKind::OpenLine,
+                FaultOutcome::Hang { latency_cycles: 9 },
+            ),
         ]);
         assert_eq!(result.summary(FaultKind::StuckAt0).failures, 0);
         assert_eq!(result.summary(FaultKind::OpenLine).failures, 1);
@@ -518,7 +818,10 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = CampaignResult::new(vec![record(FaultKind::StuckAt1, FaultOutcome::Hang)]);
+        let mut a = CampaignResult::new(vec![record(
+            FaultKind::StuckAt1,
+            FaultOutcome::Hang { latency_cycles: 1 },
+        )]);
         let b = CampaignResult::new(vec![record(FaultKind::StuckAt1, FaultOutcome::NoEffect)]);
         a.merge(b);
         assert_eq!(a.summary(FaultKind::StuckAt1).injections, 2);
@@ -554,7 +857,12 @@ mod tests {
                     latency_cycles: 80,
                 },
             ),
-            record(FaultKind::StuckAt1, FaultOutcome::Hang),
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::Hang {
+                    latency_cycles: 120,
+                },
+            ),
             record(
                 FaultKind::StuckAt1,
                 FaultOutcome::ErrorModeStop {
@@ -573,9 +881,100 @@ mod tests {
         let csv = result.to_csv();
         assert_eq!(csv.lines().count(), 5, "{csv}");
         assert!(csv.starts_with("unit,net,bit,model,outcome"));
-        assert!(csv.contains("fetch,0,0,stuck-at-1,failure,3,80"), "{csv}");
-        assert!(csv.contains("fetch,0,0,stuck-at-1,hang,,"), "{csv}");
-        assert!(csv.contains("error_mode,,160"), "{csv}");
+        assert!(
+            csv.contains("fetch,0,0,stuck-at-1,failure,3,80,residual,,"),
+            "{csv}"
+        );
+        assert!(
+            csv.contains("fetch,0,0,stuck-at-1,hang,,120,residual,,"),
+            "{csv}"
+        );
+        assert!(csv.contains("error_mode,,160,residual,,"), "{csv}");
+        assert!(csv.contains("no_effect,,,safe,,"), "{csv}");
+    }
+
+    #[test]
+    fn buckets_partition_the_outcomes() {
+        let mut detected = record(
+            FaultKind::StuckAt1,
+            FaultOutcome::Failure {
+                divergence: 4,
+                latency_cycles: 80,
+            },
+        );
+        detected.detection = Detection::Detected {
+            mechanism: Mechanism::Lockstep,
+            latency_cycles: 40,
+            latency_writes: 2,
+        };
+        let mut latent = record(FaultKind::StuckAt1, FaultOutcome::NoEffect);
+        latent.activated = false;
+        let records = vec![
+            detected,
+            latent,
+            record(FaultKind::StuckAt1, FaultOutcome::NoEffect), // safe
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::Hang { latency_cycles: 10 },
+            ), // residual
+            record(
+                FaultKind::StuckAt1,
+                FaultOutcome::EngineAnomaly {
+                    payload: String::new(),
+                },
+            ),
+        ];
+        assert_eq!(records[0].bucket(), Some(IsoBucket::Detected));
+        assert_eq!(records[1].bucket(), Some(IsoBucket::Latent));
+        assert_eq!(records[2].bucket(), Some(IsoBucket::Safe));
+        assert_eq!(records[3].bucket(), Some(IsoBucket::Residual));
+        assert_eq!(records[4].bucket(), None);
+
+        let mut stats = CampaignStats::default();
+        for r in &records {
+            stats.count_bucket(r);
+        }
+        assert_eq!(stats.detected_lockstep, 1);
+        assert_eq!(stats.safe, 1);
+        assert_eq!(stats.residual, 1);
+        assert_eq!(stats.latent, 1);
+        assert_eq!(stats.classified(), 4, "anomaly stays unclassified");
+        assert!((stats.diagnostic_coverage().unwrap() - 0.5).abs() < 1e-12);
+        assert!((stats.residual_fraction().unwrap() - 0.25).abs() < 1e-12);
+
+        let result = CampaignResult::new(records);
+        let c = result.coverage(FaultKind::StuckAt1);
+        assert_eq!(c.injections, 5);
+        assert_eq!(c.detected(), 1);
+        assert_eq!(c.mechanism_detections(Mechanism::Lockstep), 1);
+        assert_eq!(c.anomalies, 1);
+        assert_eq!(
+            c.safe + c.detected() + c.residual + c.latent + c.anomalies,
+            c.injections,
+            "every injection lands in exactly one bucket"
+        );
+        assert!((c.diagnostic_coverage().unwrap() - 0.5).abs() < 1e-12);
+        assert!((c.mechanism_coverage(Mechanism::Lockstep).unwrap() - 0.5).abs() < 1e-12);
+        assert!(c.mechanism_coverage(Mechanism::Watchdog).unwrap() == 0.0);
+        let report = result.coverage_report();
+        assert!(report.contains("diagnostic coverage 50.0%"), "{report}");
+        assert!(report.contains("lockstep caught 1"), "{report}");
+        assert!(report.contains("residual fraction 25.0%"), "{report}");
+    }
+
+    #[test]
+    fn detection_beats_the_raw_outcome() {
+        // A parity hit on a line the program never consumes: NoEffect
+        // outcome, but the mechanism still flagged it -> Detected.
+        let mut r = record(FaultKind::StuckAt1, FaultOutcome::NoEffect);
+        r.detection = Detection::Detected {
+            mechanism: Mechanism::CmemParity,
+            latency_cycles: 12,
+            latency_writes: 0,
+        };
+        assert_eq!(r.bucket(), Some(IsoBucket::Detected));
+        let csv = CampaignResult::new(vec![r]).to_csv();
+        assert!(csv.contains("no_effect,,,detected,cmem-parity,12"), "{csv}");
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! The safety-mechanism suite and the ISO 26262 classification it feeds.
+//!
+//! Three configurable mechanisms observe every fault job, mirroring what
+//! an automotive Leon3 derivative actually ships:
+//!
+//! * a **windowed lockstep comparator** — the paper's light-lockstep
+//!   boundary, generalised from an end-of-run stream diff to an on-line
+//!   check every `W` off-core writes (`W = ∞` reproduces today's
+//!   behaviour exactly);
+//! * **CMEM parity** — per-line parity bits in the RTL cache model,
+//!   themselves injectable fault sites (see `leon3::cache`);
+//! * a **hardware watchdog** in the simulated timer domain (see
+//!   [`sparc_iss::Watchdog`]) that every off-core write services, so a
+//!   silent hang becomes a *detected* reset.
+//!
+//! Detection is computed post-hoc from observables the engine already
+//! records (golden and faulty write streams, the parity latch, the
+//! outcome), which keeps the mechanisms strictly orthogonal to the
+//! outcome classification: enabling them never changes *what happened*,
+//! only whether the system would have *noticed*.
+
+use crate::result::FaultOutcome;
+use sparc_iss::{BusEvent, Watchdog};
+
+/// Which safety mechanisms a campaign models, and their parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SafetyConfig {
+    /// Compare the write streams every this-many writes (`None` = only at
+    /// end of run, the pre-mechanism behaviour).
+    pub lockstep_window: Option<u64>,
+    /// Model per-line parity on both cache memories.
+    pub parity: bool,
+    /// Watchdog timeout in simulated cycles (`None` = no watchdog). Must
+    /// exceed the golden run's largest inter-write gap, or the watchdog
+    /// would fire on the fault-free trajectory.
+    pub watchdog_cycles: Option<u64>,
+}
+
+impl SafetyConfig {
+    /// Whether any mechanism is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.lockstep_window.is_some() || self.parity || self.watchdog_cycles.is_some()
+    }
+}
+
+/// A safety mechanism, for attribution of detections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Mechanism {
+    /// The windowed lockstep comparator.
+    Lockstep,
+    /// Cache-memory parity.
+    CmemParity,
+    /// The simulated-time hardware watchdog.
+    Watchdog,
+}
+
+impl Mechanism {
+    /// Every mechanism, in attribution (tie-break) order.
+    pub const ALL: [Mechanism; 3] = [
+        Mechanism::Lockstep,
+        Mechanism::CmemParity,
+        Mechanism::Watchdog,
+    ];
+
+    /// Stable name used in journals, CSV and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::Lockstep => "lockstep",
+            Mechanism::CmemParity => "cmem-parity",
+            Mechanism::Watchdog => "watchdog",
+        }
+    }
+
+    /// Inverse of [`Mechanism::name`].
+    pub fn from_name(name: &str) -> Option<Mechanism> {
+        Mechanism::ALL.iter().copied().find(|m| m.name() == name)
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether (and how) a safety mechanism caught an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// No mechanism fired during the observation.
+    Undetected,
+    /// A mechanism fired; the earliest one wins the attribution.
+    Detected {
+        /// The mechanism that fired first.
+        mechanism: Mechanism,
+        /// Cycles from the injection instant to the detection.
+        latency_cycles: u64,
+        /// For the lockstep comparator: writes between the divergence and
+        /// the window boundary that caught it. Zero for the others.
+        latency_writes: u64,
+    },
+}
+
+impl Detection {
+    /// Whether any mechanism fired.
+    pub fn is_detected(&self) -> bool {
+        matches!(self, Detection::Detected { .. })
+    }
+}
+
+/// The ISO 26262 fault classes a classified injection lands in.
+///
+/// `EngineAnomaly` records are excluded from the classification (they
+/// describe the engine, not the device under test), exactly as they are
+/// excluded from the failure probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsoBucket {
+    /// The fault was activated but never disturbed the observable
+    /// behaviour — no effect, nothing to detect.
+    Safe,
+    /// A safety mechanism caught the fault (whether or not it would have
+    /// gone on to violate the safety goal).
+    Detected,
+    /// The dangerous class: observable behaviour diverged and no
+    /// mechanism noticed.
+    Residual,
+    /// The fault site was never even exercised by the workload — the
+    /// fault stays dormant in the hardware.
+    Latent,
+}
+
+impl IsoBucket {
+    /// Stable name used in CSV and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsoBucket::Safe => "safe",
+            IsoBucket::Detected => "detected",
+            IsoBucket::Residual => "residual",
+            IsoBucket::Latent => "latent",
+        }
+    }
+}
+
+impl std::fmt::Display for IsoBucket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything the post-hoc detection computation needs about one job.
+pub(crate) struct DetectionContext<'a> {
+    /// The golden run's off-core write stream (full, from cycle 0).
+    pub golden_writes: &'a [BusEvent],
+    /// The faulty run's off-core write stream (full, from cycle 0 — on
+    /// the fork engine this includes the restored prefix).
+    pub faulty_writes: &'a [BusEvent],
+    /// How many leading writes matched the golden stream.
+    pub matched: usize,
+    /// Cycle of the first cache-parity mismatch, if the model latched one.
+    pub parity_event: Option<u64>,
+    /// The injection instant.
+    pub injection_cycle: u64,
+    /// The observation ended before the faulty core's own end state
+    /// (short-circuit at divergence, or wall-clock timeout): nothing after
+    /// the horizon — including a trailing watchdog expiry — may be claimed.
+    pub truncated: bool,
+}
+
+/// Decide which mechanism (if any) detects the fault, and when.
+///
+/// All candidates are evaluated and the earliest detection cycle wins;
+/// ties go to [`Mechanism::ALL`] order.
+pub(crate) fn classify(
+    safety: &SafetyConfig,
+    outcome: &FaultOutcome,
+    ctx: &DetectionContext<'_>,
+) -> Detection {
+    if matches!(outcome, FaultOutcome::EngineAnomaly { .. }) {
+        return Detection::Undetected;
+    }
+    let mut best: Option<(u64, Mechanism, u64)> = None;
+    let mut consider = |cycle: u64, mechanism: Mechanism, writes: u64| {
+        if best.is_none_or(|(c, _, _)| cycle < c) {
+            best = Some((cycle, mechanism, writes));
+        }
+    };
+
+    // Windowed lockstep: the comparator runs after every W-th write, so a
+    // divergence at stream index `i` is caught at the end of its window —
+    // boundary b = (i/W + 1)·W — provided the golden core still produces
+    // that many writes. (A faulty core that emits *extra* writes after a
+    // complete golden stream, or only differs in its exit code, diverges
+    // past the last golden write: no further comparison instant exists, so
+    // the comparator misses it — a genuinely undetectable case for
+    // write-stream lockstep.)
+    if let Some(window) = safety.lockstep_window {
+        let diverged = match outcome {
+            FaultOutcome::Failure { divergence, .. } => Some(*divergence),
+            FaultOutcome::Hang { .. } | FaultOutcome::ErrorModeStop { .. } => Some(ctx.matched),
+            _ => None,
+        };
+        if let Some(index) = diverged {
+            let boundary = (index as u64 / window + 1).saturating_mul(window);
+            if boundary <= ctx.golden_writes.len() as u64 {
+                let at = ctx.golden_writes[boundary as usize - 1].at;
+                consider(at, Mechanism::Lockstep, boundary - index as u64);
+            }
+        }
+    }
+
+    // Parity: the model latched the first mismatch cycle during the run.
+    if safety.parity {
+        if let Some(at) = ctx.parity_event {
+            consider(at, Mechanism::CmemParity, 0);
+        }
+    }
+
+    // Watchdog: replay the faulty write stream as kicks and look for an
+    // expiry between them; a run that stops producing writes entirely
+    // (hang, error-mode stop) starves the watchdog after its last write.
+    if let Some(timeout) = safety.watchdog_cycles {
+        let mut wd = Watchdog::new(timeout);
+        let mut fired = None;
+        for write in ctx.faulty_writes {
+            if let Some(at) = wd.expired_at(write.at) {
+                fired = Some(at);
+                break;
+            }
+            wd.kick(write.at);
+        }
+        if fired.is_none()
+            && !ctx.truncated
+            && matches!(
+                outcome,
+                FaultOutcome::Hang { .. } | FaultOutcome::ErrorModeStop { .. }
+            )
+        {
+            fired = Some(wd.deadline());
+        }
+        if let Some(at) = fired {
+            consider(at, Mechanism::Watchdog, 0);
+        }
+    }
+
+    match best {
+        None => Detection::Undetected,
+        Some((at, mechanism, latency_writes)) => Detection::Detected {
+            mechanism,
+            latency_cycles: at.saturating_sub(ctx.injection_cycle),
+            latency_writes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparc_iss::BusKind;
+
+    fn write_at(at: u64) -> BusEvent {
+        BusEvent {
+            at,
+            kind: BusKind::Write,
+            addr: 0x4000_2000,
+            size: 4,
+            data: 1,
+        }
+    }
+
+    fn ctx<'a>(
+        golden: &'a [BusEvent],
+        faulty: &'a [BusEvent],
+        matched: usize,
+    ) -> DetectionContext<'a> {
+        DetectionContext {
+            golden_writes: golden,
+            faulty_writes: faulty,
+            matched,
+            parity_event: None,
+            injection_cycle: 10,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn disabled_config_detects_nothing() {
+        let golden: Vec<BusEvent> = (1..=8).map(|i| write_at(i * 100)).collect();
+        let outcome = FaultOutcome::Failure {
+            divergence: 2,
+            latency_cycles: 290,
+        };
+        let d = classify(
+            &SafetyConfig::default(),
+            &outcome,
+            &ctx(&golden, &golden, 2),
+        );
+        assert_eq!(d, Detection::Undetected);
+    }
+
+    #[test]
+    fn lockstep_catches_at_the_window_boundary() {
+        let golden: Vec<BusEvent> = (1..=8).map(|i| write_at(i * 100)).collect();
+        let safety = SafetyConfig {
+            lockstep_window: Some(4),
+            ..SafetyConfig::default()
+        };
+        // Divergence at index 2 → window [0,4) → compared after write 4,
+        // which the golden core emits at cycle 400.
+        let outcome = FaultOutcome::Failure {
+            divergence: 2,
+            latency_cycles: 290,
+        };
+        let d = classify(&safety, &outcome, &ctx(&golden, &golden, 2));
+        assert_eq!(
+            d,
+            Detection::Detected {
+                mechanism: Mechanism::Lockstep,
+                latency_cycles: 390,
+                latency_writes: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn lockstep_misses_divergence_past_the_last_golden_write() {
+        let golden: Vec<BusEvent> = (1..=3).map(|i| write_at(i * 100)).collect();
+        let safety = SafetyConfig {
+            lockstep_window: Some(2),
+            ..SafetyConfig::default()
+        };
+        // Divergence at index 3 (an extra write, or exit-code-only): the
+        // next boundary is 4, past the 3 golden writes.
+        let outcome = FaultOutcome::Failure {
+            divergence: 3,
+            latency_cycles: 1,
+        };
+        let d = classify(&safety, &outcome, &ctx(&golden, &golden, 3));
+        assert_eq!(d, Detection::Undetected);
+    }
+
+    #[test]
+    fn watchdog_starves_on_a_hang() {
+        let golden: Vec<BusEvent> = (1..=4).map(|i| write_at(i * 100)).collect();
+        let faulty = &golden[..2];
+        let safety = SafetyConfig {
+            watchdog_cycles: Some(500),
+            ..SafetyConfig::default()
+        };
+        let outcome = FaultOutcome::Hang {
+            latency_cycles: 990,
+        };
+        let d = classify(&safety, &outcome, &ctx(&golden, faulty, 2));
+        // Last kick at cycle 200, timeout 500 → fires at 700.
+        assert_eq!(
+            d,
+            Detection::Detected {
+                mechanism: Mechanism::Watchdog,
+                latency_cycles: 690,
+                latency_writes: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_when_writes_keep_coming() {
+        let golden: Vec<BusEvent> = (1..=4).map(|i| write_at(i * 100)).collect();
+        let safety = SafetyConfig {
+            watchdog_cycles: Some(500),
+            ..SafetyConfig::default()
+        };
+        let d = classify(&safety, &FaultOutcome::NoEffect, &ctx(&golden, &golden, 4));
+        assert_eq!(d, Detection::Undetected);
+    }
+
+    #[test]
+    fn truncated_observation_claims_no_trailing_expiry() {
+        let golden: Vec<BusEvent> = (1..=4).map(|i| write_at(i * 100)).collect();
+        let faulty = &golden[..2];
+        let safety = SafetyConfig {
+            watchdog_cycles: Some(500),
+            ..SafetyConfig::default()
+        };
+        let outcome = FaultOutcome::Hang {
+            latency_cycles: 990,
+        };
+        let mut c = ctx(&golden, faulty, 2);
+        c.truncated = true;
+        assert_eq!(classify(&safety, &outcome, &c), Detection::Undetected);
+    }
+
+    #[test]
+    fn earliest_mechanism_wins() {
+        let golden: Vec<BusEvent> = (1..=8).map(|i| write_at(i * 100)).collect();
+        let safety = SafetyConfig {
+            lockstep_window: Some(4),
+            parity: true,
+            ..SafetyConfig::default()
+        };
+        let outcome = FaultOutcome::Failure {
+            divergence: 2,
+            latency_cycles: 290,
+        };
+        // Parity latched at cycle 150, before the lockstep boundary at 400.
+        let mut c = ctx(&golden, &golden, 2);
+        c.parity_event = Some(150);
+        assert_eq!(
+            classify(&safety, &outcome, &c),
+            Detection::Detected {
+                mechanism: Mechanism::CmemParity,
+                latency_cycles: 140,
+                latency_writes: 0,
+            }
+        );
+    }
+}

@@ -14,7 +14,7 @@
 #![cfg(feature = "proptest")]
 
 use fault_inject::journal::{read, Entry, Header};
-use fault_inject::{CampaignStats, FaultOutcome, FaultRecord, FaultSite};
+use fault_inject::{CampaignStats, Detection, FaultOutcome, FaultRecord, FaultSite, Mechanism};
 use proptest::prelude::*;
 use rtl_sim::{FaultKind, NetId};
 use sparc_isa::Unit;
@@ -39,9 +39,22 @@ fn arb_outcome() -> impl Strategy<Value = FaultOutcome> {
             divergence: d as usize,
             latency_cycles: l,
         }),
-        Just(FaultOutcome::Hang),
+        any::<u64>().prop_map(|l| FaultOutcome::Hang { latency_cycles: l }),
         any::<u64>().prop_map(|l| FaultOutcome::ErrorModeStop { latency_cycles: l }),
         arb_payload().prop_map(|payload| FaultOutcome::EngineAnomaly { payload }),
+    ]
+}
+
+fn arb_detection() -> impl Strategy<Value = Detection> {
+    prop_oneof![
+        Just(Detection::Undetected),
+        (0usize..Mechanism::ALL.len(), any::<u64>(), any::<u64>()).prop_map(
+            |(mechanism, latency_cycles, latency_writes)| Detection::Detected {
+                mechanism: Mechanism::ALL[mechanism],
+                latency_cycles,
+                latency_writes,
+            }
+        ),
     ]
 }
 
@@ -56,7 +69,9 @@ fn arb_kind() -> impl Strategy<Value = FaultKind> {
 
 /// A canonical per-job delta, the only shape `Campaign` ever journals:
 /// exactly one engine counter set, flag counters in {0, 1}, `anomalies`
-/// agreeing with the outcome, campaign-level fields zero.
+/// agreeing with the outcome, the ISO bucket counters agreeing with the
+/// record (they travel off-wire, reconstructed by the parser), and
+/// campaign-level fields zero.
 fn arb_entry() -> impl Strategy<Value = Entry> {
     (
         (
@@ -75,11 +90,13 @@ fn arb_entry() -> impl Strategy<Value = Entry> {
             any::<u64>(),
             any::<u64>(),
         ),
+        (any::<bool>(), arb_detection()),
     )
         .prop_map(
             |(
                 (job, net, bit, unit_idx, kind, outcome),
                 (engine, short_circuited, timed_out, retried, cycles_simulated, cycles_avoided),
+                (activated, detection),
             )| {
                 let mut delta = CampaignStats {
                     short_circuited: usize::from(short_circuited),
@@ -96,19 +113,19 @@ fn arb_entry() -> impl Strategy<Value = Entry> {
                     2 => delta.full_reexecutions = 1,
                     _ => {}
                 }
-                Entry {
-                    job,
-                    record: FaultRecord {
-                        site: FaultSite {
-                            net: NetId::from_raw(net),
-                            bit,
-                            unit: Unit::ALL[unit_idx],
-                        },
-                        kind,
-                        outcome,
+                let record = FaultRecord {
+                    site: FaultSite {
+                        net: NetId::from_raw(net),
+                        bit,
+                        unit: Unit::ALL[unit_idx],
                     },
-                    delta,
-                }
+                    kind,
+                    outcome,
+                    activated,
+                    detection,
+                };
+                delta.count_bucket(&record);
+                Entry { job, record, delta }
             },
         )
 }

@@ -28,6 +28,10 @@ pub struct IssConfig {
     /// off by default so purely computational workloads stay
     /// interrupt-free.
     pub timer: bool,
+    /// Mirror the RTL model's per-line cache parity in the timing model's
+    /// tag stores (see [`crate::CacheModel::with_parity`]); timing-neutral
+    /// and off by default.
+    pub cmem_parity: bool,
 }
 
 impl Default for IssConfig {
@@ -39,6 +43,7 @@ impl Default for IssConfig {
             icache: CacheSpec::leon3_icache(),
             dcache: CacheSpec::leon3_dcache(),
             timer: false,
+            cmem_parity: false,
         }
     }
 }
@@ -113,7 +118,7 @@ impl Iss {
                 BusTrace::new()
             },
             stats: RunStats::default(),
-            timing: Timing::new(config.icache, config.dcache),
+            timing: Timing::with_parity(config.icache, config.dcache, config.cmem_parity),
             arch_faults: Vec::new(),
             exit: None,
             timer: Timer::new(),
@@ -176,6 +181,13 @@ impl Iss {
     /// Instrumentation counters.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Parity mismatches observed by the cache parity mirror (always zero
+    /// unless [`IssConfig::cmem_parity`] is on and the mirror is
+    /// corrupted; see [`crate::CacheModel::parity_mismatches`]).
+    pub fn parity_mismatches(&self) -> u64 {
+        self.timing.parity_mismatches()
     }
 
     /// The timing model (cycle count, cache statistics).

@@ -48,6 +48,7 @@ mod memory;
 mod state;
 mod timer;
 mod timing;
+mod watchdog;
 
 pub use bus::{BusEvent, BusKind, BusTrace};
 pub use datapath::{add_with_flags, addx_with_flags, sub_with_flags, subx_with_flags};
@@ -58,3 +59,4 @@ pub use memory::{MemError, Memory};
 pub use state::CpuState;
 pub use timer::{Timer, TIMER_BASE, TIMER_SPAN};
 pub use timing::{CacheModel, CacheSpec, Timing};
+pub use watchdog::Watchdog;

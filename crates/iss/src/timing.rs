@@ -53,6 +53,18 @@ pub struct CacheModel {
     spec: CacheSpec,
     tags: Vec<Option<u32>>,
     stats: CacheStats,
+    /// ISS-side mirror of the RTL parity mechanism: one parity bit per
+    /// line over the stored tag, regenerated on fill and checked on hit.
+    /// The ISS has no injectable arrays, so a mismatch here can only mean
+    /// the mirror itself is inconsistent — the counter exists so the
+    /// ISS↔RTL correlation can assert it stays zero on golden runs.
+    parity: Option<Vec<u8>>,
+    parity_mismatches: u64,
+}
+
+fn tag_parity(tag: u32) -> u8 {
+    // Even parity over the tag plus the implicit valid bit.
+    ((tag.count_ones() + 1) & 1) as u8
 }
 
 impl CacheModel {
@@ -63,7 +75,16 @@ impl CacheModel {
             spec,
             tags: vec![None; spec.lines],
             stats: CacheStats::default(),
+            parity: None,
+            parity_mismatches: 0,
         }
+    }
+
+    /// An empty cache with the per-line parity mirror enabled.
+    pub fn with_parity(spec: CacheSpec) -> CacheModel {
+        let mut model = CacheModel::new(spec);
+        model.parity = Some(vec![0; spec.lines]);
+        model
     }
 
     fn index_and_tag(&self, addr: u32) -> (usize, u32) {
@@ -71,14 +92,26 @@ impl CacheModel {
         (line % self.spec.lines, (line / self.spec.lines) as u32)
     }
 
+    fn parity_check(&mut self, index: usize, tag: u32) {
+        if let Some(parity) = &self.parity {
+            if parity[index] != tag_parity(tag) {
+                self.parity_mismatches += 1;
+            }
+        }
+    }
+
     /// Look up `addr`, allocating on miss; returns `true` on hit.
     pub fn access(&mut self, addr: u32) -> bool {
         let (index, tag) = self.index_and_tag(addr);
         if self.tags[index] == Some(tag) {
+            self.parity_check(index, tag);
             self.stats.hits += 1;
             true
         } else {
             self.tags[index] = Some(tag);
+            if let Some(parity) = &mut self.parity {
+                parity[index] = tag_parity(tag);
+            }
             self.stats.misses += 1;
             false
         }
@@ -90,6 +123,7 @@ impl CacheModel {
         let (index, tag) = self.index_and_tag(addr);
         let hit = self.tags[index] == Some(tag);
         if hit {
+            self.parity_check(index, tag);
             self.stats.hits += 1;
         } else {
             self.stats.misses += 1;
@@ -100,6 +134,12 @@ impl CacheModel {
     /// Hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Parity mismatches observed on hits (always zero unless the mirror
+    /// is corrupted externally; see the field docs).
+    pub fn parity_mismatches(&self) -> u64 {
+        self.parity_mismatches
     }
 
     /// The geometry.
@@ -119,10 +159,22 @@ pub struct Timing {
 impl Timing {
     /// Timing model with the given cache geometries.
     pub fn new(icache: CacheSpec, dcache: CacheSpec) -> Timing {
+        Timing::with_parity(icache, dcache, false)
+    }
+
+    /// Timing model with the per-line parity mirror optionally enabled on
+    /// both caches. Parity is timing-neutral: hit/miss behaviour and cycle
+    /// counts are identical either way.
+    pub fn with_parity(icache: CacheSpec, dcache: CacheSpec, parity: bool) -> Timing {
+        let build = if parity {
+            CacheModel::with_parity
+        } else {
+            CacheModel::new
+        };
         Timing {
             cycles: 0,
-            icache: CacheModel::new(icache),
-            dcache: CacheModel::new(dcache),
+            icache: build(icache),
+            dcache: build(dcache),
         }
     }
 
@@ -172,6 +224,11 @@ impl Timing {
     /// Data-cache statistics.
     pub fn dcache_stats(&self) -> CacheStats {
         self.dcache.stats()
+    }
+
+    /// Total parity mismatches across both cache mirrors.
+    pub fn parity_mismatches(&self) -> u64 {
+        self.icache.parity_mismatches() + self.dcache.parity_mismatches()
     }
 }
 
@@ -232,6 +289,29 @@ mod tests {
         let div = Instr::alu(Opcode::Udiv, Reg::g(1), Reg::g(2), Operand2::imm(3));
         t.execute(&div);
         assert_eq!(t.cycles(), u64::from(Opcode::Udiv.latency()));
+    }
+
+    #[test]
+    fn parity_mirror_is_timing_neutral_and_silent() {
+        let mut plain = Timing::new(CacheSpec::leon3_icache(), CacheSpec::leon3_dcache());
+        let mut mirrored =
+            Timing::with_parity(CacheSpec::leon3_icache(), CacheSpec::leon3_dcache(), true);
+        for t in [&mut plain, &mut mirrored] {
+            for addr in (0..0x4000u32).step_by(4) {
+                t.fetch(addr);
+                t.load(addr.wrapping_mul(3));
+                t.store(addr);
+            }
+        }
+        assert_eq!(plain.cycles(), mirrored.cycles());
+        assert_eq!(plain.icache_stats(), mirrored.icache_stats());
+        assert_eq!(plain.dcache_stats(), mirrored.dcache_stats());
+        assert_eq!(plain.parity_mismatches(), 0, "no mirror, no mismatches");
+        assert_eq!(
+            mirrored.parity_mismatches(),
+            0,
+            "fault-free runs never flag"
+        );
     }
 
     #[test]

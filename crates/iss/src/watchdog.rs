@@ -1,0 +1,95 @@
+//! A hardware watchdog in the simulated timer domain.
+//!
+//! The watchdog counts *simulated* cycles — unlike the campaign engine's
+//! wall-clock deadline, which guards the host against runaway jobs, this
+//! models the safety mechanism an automotive ECU actually ships: software
+//! must service (kick) the watchdog within its timeout or the part resets.
+//! The fault-injection layer feeds it the off-core write stream (every
+//! observable write is a kick), turning silent hangs into *detected*
+//! resets with a latency measured in simulated cycles.
+
+/// A one-shot windowless watchdog timer.
+///
+/// Armed at construction; [`Watchdog::kick`] restarts the timeout. The
+/// deadline is inclusive: a kick arriving exactly at the deadline cycle is
+/// too late, the watchdog has already fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    timeout: u64,
+    last_kick: u64,
+}
+
+impl Watchdog {
+    /// Arm the watchdog at cycle 0 with the given timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero (the watchdog would fire before any
+    /// software could run).
+    pub fn new(timeout: u64) -> Watchdog {
+        assert!(timeout > 0, "a zero-cycle watchdog can never be serviced");
+        Watchdog {
+            timeout,
+            last_kick: 0,
+        }
+    }
+
+    /// The configured timeout in cycles.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// The cycle at which the watchdog fires unless kicked first.
+    pub fn deadline(&self) -> u64 {
+        self.last_kick.saturating_add(self.timeout)
+    }
+
+    /// Service the watchdog at `now`, restarting the timeout.
+    pub fn kick(&mut self, now: u64) {
+        self.last_kick = now;
+    }
+
+    /// If the watchdog has expired by cycle `now`, the cycle it fired at.
+    pub fn expired_at(&self, now: u64) -> Option<u64> {
+        let deadline = self.deadline();
+        (now >= deadline).then_some(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_the_deadline_without_kicks() {
+        let wd = Watchdog::new(100);
+        assert_eq!(wd.expired_at(99), None);
+        assert_eq!(wd.expired_at(100), Some(100));
+        assert_eq!(wd.expired_at(5000), Some(100), "fires at the deadline");
+    }
+
+    #[test]
+    fn kicks_push_the_deadline_out() {
+        let mut wd = Watchdog::new(100);
+        wd.kick(60);
+        assert_eq!(wd.deadline(), 160);
+        assert_eq!(wd.expired_at(159), None);
+        assert_eq!(wd.expired_at(160), Some(160));
+    }
+
+    #[test]
+    fn kick_at_the_deadline_is_too_late() {
+        let mut wd = Watchdog::new(100);
+        assert_eq!(wd.expired_at(100), Some(100));
+        // A service routine scheduled for the deadline cycle never runs:
+        // the reset wins the race.
+        wd.kick(100);
+        assert_eq!(wd.deadline(), 200, "state still advances for modelling");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-cycle")]
+    fn zero_timeout_rejected() {
+        let _ = Watchdog::new(0);
+    }
+}

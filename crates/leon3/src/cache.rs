@@ -53,6 +53,35 @@ impl Leon3 {
         (line % spec.lines, ((line / spec.lines) as u32) & 0xf_ffff)
     }
 
+    /// The line's parity net, when the parity mechanism is configured.
+    fn parity_net(&self, side: Side, index: usize) -> Option<NetId> {
+        match side {
+            Side::Instruction => self.nets.iparity.get(index).copied(),
+            Side::Data => self.nets.dparity.get(index).copied(),
+        }
+    }
+
+    /// XOR of the line's data words as stored in the arrays.
+    fn line_words_xor(&self, side: Side, index: usize) -> u32 {
+        let words = self.geometry(side).line_bytes / 4;
+        (0..words).fold(0u32, |acc, w| {
+            acc ^ self.pool.read(self.data_net(side, index, w))
+        })
+    }
+
+    /// Check a valid line against its stored parity bit and latch the
+    /// first mismatch cycle. Purely observational: the access itself
+    /// proceeds unchanged, so enabling parity never perturbs outcomes.
+    fn parity_check(&mut self, side: Side, index: usize, stored_tag: u32) {
+        let Some(pnet) = self.parity_net(side, index) else {
+            return;
+        };
+        let expected = line_parity(stored_tag, 1, self.line_words_xor(side, index));
+        if self.pool.read(pnet) != expected && self.parity_event.is_none() {
+            self.parity_event = Some(self.pool.cycle());
+        }
+    }
+
     /// Route the line index through the controller's index net (so control
     /// faults can redirect accesses to the wrong set) and return it.
     fn effective_index(&mut self, side: Side, index: usize) -> usize {
@@ -69,6 +98,9 @@ impl Leon3 {
         let (tag_net, valid_net) = self.tag_and_valid_nets(side, index);
         let stored_tag = self.pool.read(tag_net);
         let valid = self.pool.read(valid_net) == 1;
+        if valid {
+            self.parity_check(side, index, stored_tag);
+        }
         let hit = valid && stored_tag == tag;
         let (hit_net, _) = self.hit_and_index_nets(side);
         self.pool.write(hit_net, u32::from(hit));
@@ -82,6 +114,11 @@ impl Leon3 {
         let index = self.effective_index(side, index);
         let words = spec.line_bytes / 4;
         let line_base = addr & !(spec.line_bytes as u32 - 1);
+        // Parity is generated from the incoming bus values, before the
+        // array: a stuck-at in the data array then shows up as a mismatch
+        // between the stored parity and the array's read-back on a later
+        // lookup, which is exactly how a hardware parity tree catches it.
+        let mut incoming = 0u32;
         for w in 0..words {
             let word_addr = line_base + (w as u32) * 4;
             // Bus transfer through the controller nets.
@@ -100,10 +137,14 @@ impl Leon3 {
             });
             let net = self.data_net(side, index, w);
             self.pool.write(net, value);
+            incoming ^= value;
         }
         let (tag_net, valid_net) = self.tag_and_valid_nets(side, index);
         self.pool.write(tag_net, tag);
         self.pool.write(valid_net, 1);
+        if let Some(pnet) = self.parity_net(side, index) {
+            self.pool.write(pnet, line_parity(tag, 1, incoming));
+        }
         self.advance_cycles(u64::from(spec.miss_penalty));
     }
 
@@ -172,8 +213,28 @@ impl Leon3 {
             let word = (word_addr as usize % spec.line_bytes) / 4;
             let net = self.data_net(Side::Data, index, word);
             self.pool.write(net, merged);
+            if let Some(pnet) = self.parity_net(Side::Data, index) {
+                // Regenerate the line parity. The untouched words come from
+                // the array read-back; the merged word uses the value just
+                // driven, so a stuck-at there still mismatches on the next
+                // lookup instead of being silently folded into the parity.
+                let words = spec.line_bytes / 4;
+                let others = (0..words).filter(|&w| w != word).fold(0u32, |acc, w| {
+                    acc ^ self.pool.read(self.data_net(Side::Data, index, w))
+                });
+                let (tag_net, valid_net) = self.tag_and_valid_nets(Side::Data, index);
+                let tag = self.pool.read(tag_net);
+                let valid = self.pool.read(valid_net);
+                self.pool
+                    .write(pnet, line_parity(tag, valid, others ^ merged));
+            }
         }
     }
+}
+
+/// Even parity over a line's tag, valid bit and XORed data words.
+fn line_parity(tag: u32, valid: u32, words_xor: u32) -> u32 {
+    (tag ^ valid ^ words_xor).count_ones() & 1
 }
 
 fn size_mask(size: u8) -> u32 {

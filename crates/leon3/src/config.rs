@@ -32,6 +32,11 @@ pub struct Leon3Config {
     /// Enable the memory-mapped countdown timer (shared implementation
     /// with the ISS, see [`sparc_iss::Timer`]); off by default.
     pub timer: bool,
+    /// Model per-line parity bits on both cache memories. Parity nets are
+    /// declared *after* every other net so enabling them never renumbers
+    /// existing [`rtl_sim::NetId`]s; the bits are themselves injectable
+    /// fault sites. Off by default.
+    pub cmem_parity: bool,
 }
 
 impl Default for Leon3Config {
@@ -44,6 +49,7 @@ impl Default for Leon3Config {
             dcache: CacheSpec::leon3_dcache(),
             faithful_clocking: false,
             timer: false,
+            cmem_parity: false,
         }
     }
 }

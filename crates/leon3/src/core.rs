@@ -34,6 +34,7 @@ pub struct Snapshot {
     exit: Option<Exit>,
     eval_acc: u32,
     timer: Timer,
+    parity_event: Option<u64>,
     config: Leon3Config,
 }
 
@@ -94,6 +95,10 @@ pub struct Leon3 {
     eval_acc: u32,
     waveform: Option<Waveform>,
     pub(crate) timer: Timer,
+    /// Cycle of the first cache-parity mismatch, when `cmem_parity` is
+    /// configured. Latch-only: detection never alters execution, so the
+    /// parity mechanism is orthogonal to the outcome classification.
+    pub(crate) parity_event: Option<u64>,
     trace_depth: usize,
     recent: std::collections::VecDeque<(u64, u32, sparc_isa::Instr)>,
 }
@@ -114,7 +119,7 @@ impl Leon3 {
     /// A fresh model with nothing loaded.
     pub fn new(config: Leon3Config) -> Leon3 {
         let mut pool = NetPool::new();
-        let nets = NetMap::declare(&mut pool, config.icache, config.dcache);
+        let nets = NetMap::declare(&mut pool, config.icache, config.dcache, config.cmem_parity);
         let mut cpu = Leon3 {
             pool,
             nets,
@@ -130,6 +135,7 @@ impl Leon3 {
             eval_acc: 0,
             waveform: None,
             timer: Timer::new(),
+            parity_event: None,
             trace_depth: 0,
             recent: std::collections::VecDeque::new(),
         };
@@ -174,6 +180,7 @@ impl Leon3 {
         self.eval_acc = 0;
         self.waveform = None;
         self.timer = Timer::new();
+        self.parity_event = None;
         self.recent.clear();
         self.reset_state(self.config.ram_base);
     }
@@ -198,6 +205,7 @@ impl Leon3 {
             exit: self.exit,
             eval_acc: self.eval_acc,
             timer: self.timer.clone(),
+            parity_event: self.parity_event,
             config: self.config.clone(),
         }
     }
@@ -224,6 +232,7 @@ impl Leon3 {
         self.exit = snapshot.exit;
         self.eval_acc = snapshot.eval_acc;
         self.timer.clone_from(&snapshot.timer);
+        self.parity_event = snapshot.parity_event;
         self.waveform = None;
         self.recent.clear();
     }
@@ -519,6 +528,12 @@ impl Leon3 {
     /// The timer peripheral's state (for tests and debuggers).
     pub fn timer(&self) -> &Timer {
         &self.timer
+    }
+
+    /// Cycle of the first cache-parity mismatch, or `None` if the parity
+    /// mechanism is disabled or never fired.
+    pub fn parity_detected_at(&self) -> Option<u64> {
+        self.parity_event
     }
 
     /// The net pool (for fault-list construction and area statistics).

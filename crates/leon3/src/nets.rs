@@ -98,11 +98,24 @@ pub struct NetMap {
     pub dc_index: NetId,
     pub bus_addr: NetId,
     pub bus_data: NetId,
+
+    // ---- Per-line cache parity (optional safety mechanism) ----
+    // Declared after every other net so the NetId numbering of the base
+    // model is identical with parity on or off; empty when disabled.
+    pub iparity: Vec<NetId>,
+    pub dparity: Vec<NetId>,
 }
 
 impl NetMap {
-    /// Declare every net of the model in `pool`.
-    pub fn declare(pool: &mut NetPool<Unit>, icache: CacheSpec, dcache: CacheSpec) -> NetMap {
+    /// Declare every net of the model in `pool`. `parity` additionally
+    /// declares one parity bit per cache line (appended after all other
+    /// nets, so existing ids are stable either way).
+    pub fn declare(
+        pool: &mut NetPool<Unit>,
+        icache: CacheSpec,
+        dcache: CacheSpec,
+        parity: bool,
+    ) -> NetMap {
         let rf = (0..8 + NWINDOWS * 16)
             .map(|i| pool.net(format!("iu.rf.r{i}"), 32, Unit::RegFile))
             .collect();
@@ -125,7 +138,7 @@ impl NetMap {
         let ddata = (0..dcache.lines * (dcache.line_bytes / 4))
             .map(|i| pool.net(format!("cmem.dc.data{i}"), 32, Unit::DCacheData))
             .collect();
-        NetMap {
+        let mut map = NetMap {
             pc: pool.net("iu.fe.pc", 32, Unit::Fetch),
             npc: pool.net("iu.fe.npc", 32, Unit::Fetch),
             annul: pool.net("iu.fe.annul", 1, Unit::Fetch),
@@ -183,7 +196,18 @@ impl NetMap {
             dc_index: pool.net("cmem.dc.index", index_bits(dcache.lines), Unit::CacheCtrl),
             bus_addr: pool.net("cmem.bus.addr", 32, Unit::CacheCtrl),
             bus_data: pool.net("cmem.bus.data", 32, Unit::CacheCtrl),
+            iparity: Vec::new(),
+            dparity: Vec::new(),
+        };
+        if parity {
+            map.iparity = (0..icache.lines)
+                .map(|i| pool.net(format!("cmem.ic.parity{i}"), 1, Unit::ICacheTag))
+                .collect();
+            map.dparity = (0..dcache.lines)
+                .map(|i| pool.net(format!("cmem.dc.parity{i}"), 1, Unit::DCacheTag))
+                .collect();
         }
+        map
     }
 }
 
@@ -198,6 +222,7 @@ mod tests {
             &mut pool,
             CacheSpec::leon3_icache(),
             CacheSpec::leon3_dcache(),
+            false,
         );
         assert_eq!(map.rf.len(), 8 + NWINDOWS * 16);
         assert_eq!(map.itag.len(), 128);
@@ -222,6 +247,7 @@ mod tests {
             &mut pool,
             CacheSpec::leon3_icache(),
             CacheSpec::leon3_dcache(),
+            false,
         );
         let iu_bits: usize = pool
             .iter()
@@ -237,5 +263,38 @@ mod tests {
         // the heterogeneity the paper's α_m weights exist to handle.
         assert!(iu_bits > 4000, "{iu_bits}");
         assert!(cmem_bits > 60_000, "{cmem_bits}");
+    }
+
+    #[test]
+    fn parity_nets_append_without_renumbering() {
+        let mut plain_pool = NetPool::new();
+        let plain = NetMap::declare(
+            &mut plain_pool,
+            CacheSpec::leon3_icache(),
+            CacheSpec::leon3_dcache(),
+            false,
+        );
+        assert!(plain.iparity.is_empty());
+        assert!(plain.dparity.is_empty());
+
+        let mut parity_pool = NetPool::new();
+        let with_parity = NetMap::declare(
+            &mut parity_pool,
+            CacheSpec::leon3_icache(),
+            CacheSpec::leon3_dcache(),
+            true,
+        );
+        assert_eq!(with_parity.iparity.len(), 128);
+        assert_eq!(with_parity.dparity.len(), 256);
+        // Every pre-existing net keeps its id: parity is purely appended.
+        assert_eq!(plain.pc, with_parity.pc);
+        assert_eq!(plain.rf, with_parity.rf);
+        assert_eq!(plain.ddata, with_parity.ddata);
+        assert_eq!(plain.bus_data, with_parity.bus_data);
+        let plain_count = plain_pool.iter().count();
+        for (id, _) in parity_pool.iter().skip(plain_count) {
+            let is_parity = with_parity.iparity.contains(&id) || with_parity.dparity.contains(&id);
+            assert!(is_parity, "appended net {id:?} must be a parity net");
+        }
     }
 }
