@@ -5,25 +5,53 @@
 
 use correlation::experiments::ExperimentConfig;
 
+/// Resolve the experiment sizing from explicit variable lookups; the
+/// testable core of [`config_from_env`].
+///
+/// A variable that is set but unusable (non-numeric, or zero where zero
+/// would wedge the run) is ignored with one warning line naming the
+/// variable and the value actually used.
+pub fn config_from_vars(get: impl Fn(&str) -> Option<String>) -> (ExperimentConfig, Vec<String>) {
+    let mut config = ExperimentConfig::full();
+    let mut warnings = Vec::new();
+    let mut resolve = |name: &str, fallback: u64, min: u64| -> Option<u64> {
+        let raw = get(name)?;
+        match raw.parse::<u64>() {
+            Ok(n) if n >= min => Some(n),
+            Ok(_) => {
+                warnings.push(format!(
+                    "[repro] ignoring {name}={raw:?} (must be at least {min}); using {fallback}"
+                ));
+                None
+            }
+            Err(_) => {
+                warnings.push(format!(
+                    "[repro] ignoring {name}={raw:?} (not a non-negative integer); using {fallback}"
+                ));
+                None
+            }
+        }
+    };
+    if let Some(n) = resolve("REPRO_SAMPLE", config.sample_per_campaign as u64, 1) {
+        config.sample_per_campaign = n as usize;
+    }
+    if let Some(n) = resolve("REPRO_SEED", config.seed, 0) {
+        config.seed = n;
+    }
+    if let Some(n) = resolve("REPRO_THREADS", config.threads as u64, 1) {
+        config.threads = n as usize;
+    }
+    (config, warnings)
+}
+
 /// Resolve the experiment sizing from the environment:
 /// `REPRO_SAMPLE` (sites per campaign), `REPRO_SEED`, `REPRO_THREADS`.
-/// Defaults to [`ExperimentConfig::full`] sizing.
+/// Defaults to [`ExperimentConfig::full`] sizing; unusable values are
+/// ignored with a warning on stderr (see [`config_from_vars`]).
 pub fn config_from_env() -> ExperimentConfig {
-    let mut config = ExperimentConfig::full();
-    if let Ok(s) = std::env::var("REPRO_SAMPLE") {
-        if let Ok(n) = s.parse() {
-            config.sample_per_campaign = n;
-        }
-    }
-    if let Ok(s) = std::env::var("REPRO_SEED") {
-        if let Ok(n) = s.parse() {
-            config.seed = n;
-        }
-    }
-    if let Ok(s) = std::env::var("REPRO_THREADS") {
-        if let Ok(n) = s.parse() {
-            config.threads = n;
-        }
+    let (config, warnings) = config_from_vars(|name| std::env::var(name).ok());
+    for warning in &warnings {
+        eprintln!("{warning}");
     }
     config
 }
@@ -32,10 +60,60 @@ pub fn config_from_env() -> ExperimentConfig {
 mod tests {
     use super::*;
 
+    fn vars<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |name| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == name)
+                .map(|(_, v)| (*v).to_string())
+        }
+    }
+
     #[test]
     fn env_defaults_are_positive() {
-        let c = config_from_env();
+        let (c, warnings) = config_from_vars(|_| None);
         assert!(c.sample_per_campaign > 0);
         assert!(c.threads > 0);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn usable_overrides_apply_silently() {
+        let (c, warnings) =
+            config_from_vars(vars(&[("REPRO_SAMPLE", "12"), ("REPRO_THREADS", "3")]));
+        assert_eq!(c.sample_per_campaign, 12);
+        assert_eq!(c.threads, 3);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn unusable_threads_fall_back_with_one_warning_each() {
+        let fallback = ExperimentConfig::full().threads;
+        for bad in ["0", "abc", "-2", "1.5"] {
+            let (c, warnings) = config_from_vars(vars(&[("REPRO_THREADS", bad)]));
+            assert_eq!(c.threads, fallback, "REPRO_THREADS={bad}");
+            assert_eq!(warnings.len(), 1, "REPRO_THREADS={bad}");
+            assert!(
+                warnings[0].contains("REPRO_THREADS") && warnings[0].contains(bad),
+                "warning names the variable and value: {}",
+                warnings[0]
+            );
+            assert!(
+                warnings[0].contains(&fallback.to_string()),
+                "warning names the fallback: {}",
+                warnings[0]
+            );
+        }
+        // A zero sample would run an empty campaign; it warns too.
+        let (c, warnings) = config_from_vars(vars(&[("REPRO_SAMPLE", "0")]));
+        assert_eq!(
+            c.sample_per_campaign,
+            ExperimentConfig::full().sample_per_campaign
+        );
+        assert_eq!(warnings.len(), 1);
+        // Seed zero is a perfectly good seed.
+        let (c, warnings) = config_from_vars(vars(&[("REPRO_SEED", "0")]));
+        assert_eq!(c.seed, 0);
+        assert!(warnings.is_empty());
     }
 }

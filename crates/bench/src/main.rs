@@ -4,10 +4,19 @@
 //! repro [table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|all]
 //! repro campaign [iu|cmem] [--journal PATH] [--resume PATH] [--deadline-ms N]
 //!                [--lockstep-window N] [--parity] [--watchdog-cycles N]
+//!                [--threads N]
+//! repro serve  [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!              [--job-threads N] [--drain PATH]
+//! repro submit [iu|cmem|whole] [--addr HOST:PORT] [--benchmark NAME]
+//!              [--sample N --seed N] [--injection-fraction F] [--shard I/N]
+//!              [--deadline-ms N] [--lockstep-window N] [--parity]
+//!              [--watchdog-cycles N] [--detach] [--json]
+//! repro merge  [--addr HOST:PORT] [--json] ID ID...
 //! ```
 //!
 //! Sizing via `REPRO_SAMPLE`, `REPRO_SEED`, `REPRO_THREADS` environment
-//! variables (see [`bench::config_from_env`]).
+//! variables (see [`bench::config_from_env`]); `--threads` beats
+//! `REPRO_THREADS` where both are given.
 //!
 //! `campaign` runs one standalone crash-safe campaign on `rspeed`:
 //! `--journal` write-ahead-journals every completed job to PATH,
@@ -30,10 +39,15 @@ use correlation::experiments::{
 use correlation::extensions::{
     bridging_study, eq1_ablation, iss_baseline, latent_study, transient_study,
 };
-use fault_inject::{Campaign, SafetyConfig, Target};
+use fault_inject::{Campaign, InjectionInstant, SafetyConfig, Target};
 use std::path::PathBuf;
 use std::time::Duration;
+use verifd::{client, CampaignSpec, Server, ServerConfig};
 use workloads::{Benchmark, Params};
+
+/// Default address the service verbs talk to (the `verifd` binary's
+/// own default bind).
+const DEFAULT_ADDR: &str = "127.0.0.1:4612";
 
 /// Run the standalone crash-safe campaign subcommand. Never panics on
 /// user mistakes: bad flags exit 2, campaign/journal errors exit 1.
@@ -43,8 +57,10 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
     let mut resume: Option<PathBuf> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut safety = SafetyConfig::default();
+    let mut threads = config.threads;
     let usage = "usage: repro campaign [iu|cmem] [--journal PATH] [--resume PATH] \
-                 [--deadline-ms N] [--lockstep-window N] [--parity] [--watchdog-cycles N]";
+                 [--deadline-ms N] [--lockstep-window N] [--parity] [--watchdog-cycles N] \
+                 [--threads N]";
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |flag: &str| {
@@ -77,6 +93,15 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
                 let raw = value("--watchdog-cycles");
                 safety.watchdog_cycles = Some(parse_u64("--watchdog-cycles", raw));
             }
+            "--threads" => {
+                let raw = value("--threads");
+                let n = parse_u64("--threads", raw);
+                if n == 0 {
+                    eprintln!("`--threads` must be at least 1\n{usage}");
+                    std::process::exit(2);
+                }
+                threads = n as usize;
+            }
             other => {
                 eprintln!("unknown campaign argument `{other}`\n{usage}");
                 std::process::exit(2);
@@ -95,13 +120,13 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
     let outcome = match (&resume, &journal) {
         (Some(path), _) => {
             eprintln!("[repro] resuming campaign from {}", path.display());
-            campaign.resume(config.threads, path)
+            campaign.resume(threads, path)
         }
         (None, Some(path)) => {
             eprintln!("[repro] journaling campaign to {}", path.display());
-            campaign.run_journaled(config.threads, path)
+            campaign.run_journaled(threads, path)
         }
-        (None, None) => campaign.try_run(config.threads),
+        (None, None) => campaign.try_run(threads),
     };
     match outcome {
         Ok(result) => {
@@ -120,6 +145,241 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// `repro serve`: run a campaign service in this process until a
+/// `POST /shutdown` stops it.
+fn run_serve(args: &[String]) {
+    let usage = "usage: repro serve [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+                 [--job-threads N] [--drain PATH]";
+    let mut config = ServerConfig {
+        addr: DEFAULT_ADDR.to_string(),
+        ..ServerConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse_usize("--workers", value("--workers"), usage),
+            "--queue-depth" => {
+                config.queue_depth = parse_usize("--queue-depth", value("--queue-depth"), usage);
+            }
+            "--job-threads" => {
+                config.job_threads = parse_usize("--job-threads", value("--job-threads"), usage);
+            }
+            "--drain" => config.drain_path = Some(PathBuf::from(value("--drain"))),
+            other => {
+                eprintln!("unknown serve argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if config.queue_depth == 0 || config.job_threads == 0 {
+        eprintln!("`--queue-depth` and `--job-threads` must be at least 1\n{usage}");
+        std::process::exit(2);
+    }
+    match Server::start(config) {
+        Ok(server) => {
+            eprintln!("[repro] verifd listening on {}", server.addr());
+            server.join();
+        }
+        Err(e) => {
+            eprintln!("[repro] cannot start service: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro submit`: send one campaign spec to a running service and
+/// (unless detached) wait for its result.
+fn run_submit(config: &ExperimentConfig, args: &[String]) {
+    let usage = "usage: repro submit [iu|cmem|whole] [--addr HOST:PORT] [--benchmark NAME] \
+                 [--sample N --seed N] [--exhaustive] [--injection-cycle N] \
+                 [--injection-fraction F] [--shard I/N] [--deadline-ms N] \
+                 [--lockstep-window N] [--parity] [--watchdog-cycles N] [--detach] [--json]";
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut spec = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+    // Mirror `repro campaign` sizing: sampled sites and the 5% injection
+    // instant, both overridable below.
+    spec.sample = Some((config.sample_per_campaign, config.seed));
+    spec.injection = InjectionInstant::Fraction(0.05);
+    let mut detach = false;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "iu" => spec.target = Target::IntegerUnit,
+            "cmem" => spec.target = Target::CacheMemory,
+            "whole" => spec.target = Target::Whole,
+            "--addr" => addr = value("--addr"),
+            "--benchmark" => {
+                let name = value("--benchmark");
+                spec.benchmark = Benchmark::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark `{name}`\n{usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--sample" => {
+                let n = parse_usize("--sample", value("--sample"), usage);
+                let seed = spec.sample.map_or(config.seed, |(_, s)| s);
+                spec.sample = Some((n, seed));
+            }
+            "--seed" => {
+                let seed = parse_usize("--seed", value("--seed"), usage) as u64;
+                let n = spec.sample.map_or(config.sample_per_campaign, |(n, _)| n);
+                spec.sample = Some((n, seed));
+            }
+            "--exhaustive" => spec.sample = None,
+            "--injection-cycle" => {
+                spec.injection = InjectionInstant::Cycle(parse_usize(
+                    "--injection-cycle",
+                    value("--injection-cycle"),
+                    usage,
+                ) as u64);
+            }
+            "--injection-fraction" => {
+                let raw = value("--injection-fraction");
+                let f: f64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("`--injection-fraction` needs a number, got `{raw}`\n{usage}");
+                    std::process::exit(2);
+                });
+                spec.injection = InjectionInstant::Fraction(f);
+            }
+            "--shard" => {
+                let raw = value("--shard");
+                let parsed = raw
+                    .split_once('/')
+                    .and_then(|(i, n)| Some((i.parse::<u32>().ok()?, n.parse::<u32>().ok()?)));
+                match parsed {
+                    Some((i, n)) if n > 0 && i < n => spec.shard = Some((i, n)),
+                    _ => {
+                        eprintln!("`--shard` wants I/N with I < N, got `{raw}`\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--deadline-ms" => {
+                spec.deadline_ms =
+                    Some(parse_usize("--deadline-ms", value("--deadline-ms"), usage) as u64);
+            }
+            "--lockstep-window" => {
+                spec.safety.lockstep_window =
+                    Some(
+                        parse_usize("--lockstep-window", value("--lockstep-window"), usage) as u64,
+                    );
+            }
+            "--parity" => spec.safety.parity = true,
+            "--watchdog-cycles" => {
+                spec.safety.watchdog_cycles =
+                    Some(
+                        parse_usize("--watchdog-cycles", value("--watchdog-cycles"), usage) as u64,
+                    );
+            }
+            "--detach" => detach = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown submit argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reply = client::submit(&addr, &spec).unwrap_or_else(|e| {
+        eprintln!("[repro] submit failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[repro] campaign {} {} (fingerprint {})",
+        reply.id,
+        if reply.cached {
+            "cached"
+        } else {
+            &reply.status
+        },
+        spec.fingerprint()
+    );
+    if detach {
+        println!("{}", reply.id);
+        return;
+    }
+    let shard = client::wait(&addr, reply.id).unwrap_or_else(|e| {
+        eprintln!("[repro] campaign {} failed: {e}", reply.id);
+        std::process::exit(1);
+    });
+    if json {
+        println!("{}", shard.to_json());
+    } else {
+        print!("{}", shard.result);
+    }
+}
+
+/// `repro merge`: recombine completed shard jobs on the service into
+/// one campaign result.
+fn run_merge(args: &[String]) {
+    let usage = "usage: repro merge [--addr HOST:PORT] [--json] ID ID...";
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut json = false;
+    let mut ids: Vec<u64> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("`--addr` needs a value\n{usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => json = true,
+            raw => match raw.parse::<u64>() {
+                Ok(id) => ids.push(id),
+                Err(_) => {
+                    eprintln!("`{raw}` is not a campaign id\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("nothing to merge\n{usage}");
+        std::process::exit(2);
+    }
+    match client::merge(&addr, &ids) {
+        Ok(merged) => {
+            eprintln!(
+                "[repro] merged {} shards (fingerprint {})",
+                ids.len(),
+                merged.fingerprint
+            );
+            if json {
+                println!("{}", merged.to_json());
+            } else {
+                print!("{}", merged.result);
+            }
+        }
+        Err(e) => {
+            eprintln!("[repro] merge refused: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parse a flag value as a non-negative integer or exit 2.
+fn parse_usize(flag: &str, raw: String, usage: &str) -> usize {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("`{flag}` needs an integer, got `{raw}`\n{usage}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -152,6 +412,18 @@ fn main() {
         "campaign" => {
             let rest: Vec<String> = std::env::args().skip(2).collect();
             run_campaign(&config, &rest);
+        }
+        "serve" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_serve(&rest);
+        }
+        "submit" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_submit(&config, &rest);
+        }
+        "merge" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_merge(&rest);
         }
         "transient" => print!("{}", transient_study(&config)),
         "bridging" => print!("{}", bridging_study(&config)),
@@ -194,7 +466,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|all"
+                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|all"
             );
             std::process::exit(2);
         }

@@ -193,6 +193,7 @@ pub struct Campaign {
     deadline: Option<Duration>,
     config: Leon3Config,
     safety: SafetyConfig,
+    shard: Option<(u32, u32)>,
 }
 
 impl Campaign {
@@ -210,6 +211,7 @@ impl Campaign {
             deadline: None,
             config: Leon3Config::default(),
             safety: SafetyConfig::default(),
+            shard: None,
         }
     }
 
@@ -309,6 +311,22 @@ impl Campaign {
     #[must_use]
     pub fn with_deadline(mut self, per_job: Duration) -> Campaign {
         self.deadline = Some(per_job);
+        self
+    }
+
+    /// Run only shard `index` of `count`: the planned job list is
+    /// partitioned deterministically by stride (job `j` belongs to shard
+    /// `j % count`), so `count` processes each simulate a disjoint slice
+    /// of the same campaign and [`crate::wire::merge_shards`] recombines
+    /// their results into the unsharded [`CampaignResult`] bit-for-bit.
+    /// `index >= count` (or a zero `count`) is reported as
+    /// [`CampaignError::BadShard`] when the campaign runs. The shard
+    /// coordinates enter the journal fingerprint — a shard refuses
+    /// another shard's journal — but not [`Campaign::fingerprint`], which
+    /// identifies the whole campaign.
+    #[must_use]
+    pub fn with_shard(mut self, index: u32, count: u32) -> Campaign {
+        self.shard = Some((index, count));
         self
     }
 
@@ -493,6 +511,7 @@ impl Campaign {
                 }
             }
         }
+        let jobs = self.apply_shard(jobs);
         let prefilled = vec![None; jobs.len()];
         let out =
             self.execute_jobs(threads, &config, &golden, cycles[0], &jobs, None, prefilled)?;
@@ -542,7 +561,26 @@ impl Campaign {
         if self.safety.lockstep_window == Some(0) {
             return Err(CampaignError::ZeroLockstepWindow);
         }
+        if let Some((index, count)) = self.shard {
+            if count == 0 || index >= count {
+                return Err(CampaignError::BadShard { index, count });
+            }
+        }
         Ok(())
+    }
+
+    /// Keep only this shard's stride of the planned job list (identity
+    /// when the campaign is unsharded).
+    fn apply_shard(&self, jobs: Vec<Job>) -> Vec<Job> {
+        match self.shard {
+            None => jobs,
+            Some((index, count)) => jobs
+                .into_iter()
+                .enumerate()
+                .filter(|(j, _)| j % count as usize == index as usize)
+                .map(|(_, job)| job)
+                .collect(),
+        }
     }
 
     /// Reject a watchdog timeout that would fire on the fault-free run.
@@ -579,7 +617,7 @@ impl Campaign {
         let jobs = self.plan_jobs(&sites, pairs, injection_cycle)?;
         let header = Header {
             workload: workload_hash(&self.program),
-            fingerprint: self.fingerprint(pairs),
+            fingerprint: self.config_fingerprint(pairs),
             jobs: jobs.len(),
             injection_cycle,
             golden_cycles: golden.cycles,
@@ -694,18 +732,20 @@ impl Campaign {
                 })
                 .collect()
         };
-        Ok(jobs)
+        Ok(self.apply_shard(jobs))
     }
 
     /// Hash of everything that determines the job universe and its
     /// records: used to refuse resuming a journal of a different
     /// campaign. The wall-clock deadline is deliberately excluded — it
     /// cannot change which jobs exist or what a completed job recorded.
-    fn fingerprint(&self, pairs: bool) -> u64 {
+    /// The shard coordinates are *included*: a shard's journal holds only
+    /// that shard's jobs, so another shard must refuse it.
+    fn config_fingerprint(&self, pairs: bool) -> u64 {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}",
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}|shard={:?}",
             self.target,
             self.kinds,
             self.sample,
@@ -714,8 +754,26 @@ impl Campaign {
             self.execution,
             self.config,
             self.safety,
+            self.shard,
         );
         fnv1a64(FNV_OFFSET, s.as_bytes())
+    }
+
+    /// The campaign's public identity: `workload_hash-config_fingerprint`,
+    /// both as 16-digit hex — the same two hashes the journal header
+    /// carries, rendered as one string. The service's result cache and
+    /// the shard merge key on it. Computed with the shard coordinates
+    /// cleared, so every shard of one campaign (and the unsharded run)
+    /// shares one fingerprint; like the journal fingerprint, the
+    /// wall-clock deadline is excluded.
+    pub fn fingerprint(&self) -> String {
+        let mut identity = self.clone();
+        identity.shard = None;
+        format!(
+            "{:016x}-{:016x}",
+            workload_hash(&self.program),
+            identity.config_fingerprint(false)
+        )
     }
 
     /// The platform configuration used for classification runs. Bus-read

@@ -35,6 +35,14 @@ pub enum CampaignError {
     /// A lockstep comparator with a zero-write window can never fire
     /// (`with_lockstep_window(0)`); use `None` to disable it instead.
     ZeroLockstepWindow,
+    /// The shard coordinates are out of range: a zero shard count, or an
+    /// index at or past the count (`with_shard`).
+    BadShard {
+        /// The configured shard index.
+        index: u32,
+        /// The configured shard count.
+        count: u32,
+    },
     /// The simulated watchdog timeout is no longer than the golden run's
     /// largest inter-write gap — it would fire on the fault-free workload.
     WatchdogTooTight {
@@ -69,6 +77,10 @@ impl fmt::Display for CampaignError {
             CampaignError::ZeroLockstepWindow => write!(
                 f,
                 "a zero-write lockstep window can never fire; omit the flag to disable lockstep"
+            ),
+            CampaignError::BadShard { index, count } => write!(
+                f,
+                "shard {index}/{count} is out of range (need index < count and count >= 1)"
             ),
             CampaignError::WatchdogTooTight {
                 timeout_cycles,

@@ -12,17 +12,13 @@
 //! `resumed` counter).
 //!
 //! The format is hand-rolled JSON over a deliberately tiny subset
-//! (objects, strings, unsigned integers, booleans) so the workspace stays
-//! hermetic — no serde, no registry dependencies. A torn final line (the
-//! process died mid-append) is recovered by ignoring it; corruption
-//! anywhere else is an error.
+//! (see [`crate::wire`]) so the workspace stays hermetic — no serde, no
+//! registry dependencies. A torn final line (the process died mid-append)
+//! is recovered by ignoring it; corruption anywhere else is an error.
 
 use crate::error::JournalError;
 use crate::result::{CampaignStats, FaultOutcome, FaultRecord};
-use crate::safety::{Detection, Mechanism};
-use crate::sites::FaultSite;
-use rtl_sim::{FaultKind, NetId};
-use sparc_isa::Unit;
+use crate::wire::{record_from_obj, write_record_fields, Json};
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -143,32 +139,8 @@ impl Entry {
             "none"
         };
         let mut s = String::with_capacity(160);
-        let _ = write!(
-            s,
-            "{{\"job\":{},\"net\":{},\"bit\":{},\"unit\":\"{}\",\"kind\":\"{}\",\"outcome\":",
-            self.job,
-            self.record.site.net.raw(),
-            self.record.site.bit,
-            self.record.site.unit.name(),
-            self.record.kind.name(),
-        );
-        s.push_str(&outcome_to_json(&self.record.outcome));
-        let _ = write!(s, ",\"activated\":{}", self.record.activated);
-        if let Detection::Detected {
-            mechanism,
-            latency_cycles,
-            latency_writes,
-        } = self.record.detection
-        {
-            // The mechanism name is a fixed enum today, but escaping it
-            // keeps the serializer honest if that ever changes.
-            let _ = write!(
-                s,
-                ",\"detected_by\":{},\"det_latency\":{latency_cycles},\
-                 \"det_writes\":{latency_writes}",
-                escape_json(mechanism.name()),
-            );
-        }
+        let _ = write!(s, "{{\"job\":{},", self.job);
+        write_record_fields(&mut s, &self.record);
         let _ = write!(
             s,
             ",\"engine\":\"{engine}\",\"short_circuited\":{},\"timed_out\":{},\
@@ -206,31 +178,12 @@ impl Entry {
             v.get_bool(key)
                 .ok_or_else(|| malformed(format!("missing bool `{key}`")))
         };
-        let unit_name = field_str("unit")?;
-        let unit = Unit::ALL
-            .into_iter()
-            .find(|u| u.name() == unit_name)
-            .ok_or_else(|| malformed(format!("unknown unit `{unit_name}`")))?;
-        let kind_name = field_str("kind")?;
-        let kind = [
-            FaultKind::StuckAt0,
-            FaultKind::StuckAt1,
-            FaultKind::OpenLine,
-            FaultKind::TransientFlip,
-        ]
-        .into_iter()
-        .find(|k| k.name() == kind_name)
-        .ok_or_else(|| malformed(format!("unknown fault kind `{kind_name}`")))?;
-        let outcome = outcome_from_json(
-            v.get("outcome")
-                .ok_or_else(|| malformed("missing `outcome`".to_string()))?,
-        )
-        .map_err(&malformed)?;
+        let record = record_from_obj(&v).map_err(&malformed)?;
         let mut delta = CampaignStats {
             short_circuited: usize::from(field_bool("short_circuited")?),
             timed_out: usize::from(field_bool("timed_out")?),
             retried: usize::from(field_bool("retried")?),
-            anomalies: usize::from(matches!(outcome, FaultOutcome::EngineAnomaly { .. })),
+            anomalies: usize::from(matches!(record.outcome, FaultOutcome::EngineAnomaly { .. })),
             cycles_simulated: field_u64("cycles_simulated")?,
             cycles_avoided: field_u64("cycles_avoided")?,
             ..CampaignStats::default()
@@ -242,29 +195,6 @@ impl Entry {
             "none" => {}
             other => return Err(malformed(format!("unknown engine `{other}`"))),
         }
-        let detection = match v.get_str("detected_by") {
-            Some(name) => {
-                let mechanism = Mechanism::from_name(name)
-                    .ok_or_else(|| malformed(format!("unknown mechanism `{name}`")))?;
-                Detection::Detected {
-                    mechanism,
-                    latency_cycles: field_u64("det_latency")?,
-                    latency_writes: field_u64("det_writes")?,
-                }
-            }
-            None => Detection::Undetected,
-        };
-        let record = FaultRecord {
-            site: FaultSite {
-                net: NetId::from_raw(field_u64("net")? as u32),
-                bit: field_u64("bit")? as u8,
-                unit,
-            },
-            kind,
-            outcome,
-            activated: field_bool("activated")?,
-            detection,
-        };
         // Like `anomalies` above, the ISO bucket counters are a pure
         // function of the record — reconstructed, not carried on the wire.
         delta.count_bucket(&record);
@@ -273,53 +203,6 @@ impl Entry {
             record,
             delta,
         })
-    }
-}
-
-fn outcome_to_json(outcome: &FaultOutcome) -> String {
-    match outcome {
-        FaultOutcome::NoEffect => "{\"t\":\"no_effect\"}".to_string(),
-        FaultOutcome::Failure {
-            divergence,
-            latency_cycles,
-        } => format!(
-            "{{\"t\":\"failure\",\"divergence\":{divergence},\"latency\":{latency_cycles}}}"
-        ),
-        FaultOutcome::Hang { latency_cycles } => {
-            format!("{{\"t\":\"hang\",\"latency\":{latency_cycles}}}")
-        }
-        FaultOutcome::ErrorModeStop { latency_cycles } => {
-            format!("{{\"t\":\"error_mode\",\"latency\":{latency_cycles}}}")
-        }
-        FaultOutcome::EngineAnomaly { payload } => {
-            format!("{{\"t\":\"anomaly\",\"payload\":{}}}", escape_json(payload))
-        }
-    }
-}
-
-fn outcome_from_json(v: &Json) -> Result<FaultOutcome, String> {
-    let tag = v.get_str("t").ok_or("outcome missing `t`")?;
-    match tag {
-        "no_effect" => Ok(FaultOutcome::NoEffect),
-        "failure" => Ok(FaultOutcome::Failure {
-            divergence: v
-                .get_u64("divergence")
-                .ok_or("failure missing `divergence`")? as usize,
-            latency_cycles: v.get_u64("latency").ok_or("failure missing `latency`")?,
-        }),
-        "hang" => Ok(FaultOutcome::Hang {
-            latency_cycles: v.get_u64("latency").ok_or("hang missing `latency`")?,
-        }),
-        "error_mode" => Ok(FaultOutcome::ErrorModeStop {
-            latency_cycles: v.get_u64("latency").ok_or("error_mode missing `latency`")?,
-        }),
-        "anomaly" => Ok(FaultOutcome::EngineAnomaly {
-            payload: v
-                .get_str("payload")
-                .ok_or("anomaly missing `payload`")?
-                .to_string(),
-        }),
-        other => Err(format!("unknown outcome tag `{other}`")),
     }
 }
 
@@ -408,248 +291,13 @@ pub fn read(path: &Path) -> Result<(Header, Vec<Entry>, bool), JournalError> {
     Ok((header, entries, truncated))
 }
 
-/// Escape a string into a JSON string literal (with quotes).
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// The JSON subset the journal uses: objects, strings, unsigned integers
-/// and booleans. Hand-rolled to keep the workspace hermetic.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Object(Vec<(String, Json)>),
-    Str(String),
-    Num(u64),
-    Bool(bool),
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn get_str(&self, key: &str) -> Option<&str> {
-        match self.get(key)? {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn get_u64(&self, key: &str) -> Option<u64> {
-        match self.get(key)? {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn get_bool(&self, key: &str) -> Option<bool> {
-        match self.get(key)? {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{}` at offset {}",
-                char::from(b),
-                self.pos
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'0'..=b'9') => self.number(),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            _ => Err(format!("unexpected byte at offset {}", self.pos)),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at offset {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at offset {start}"))
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
-                self.pos += 1;
-            }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
-            );
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            self.pos += 1;
-                            let first = self.hex4()?;
-                            // Surrogate pairs cover payloads with
-                            // non-BMP characters.
-                            let c = if (0xd800..0xdc00).contains(&first) {
-                                self.expect(b'\\')?;
-                                self.expect(b'u')?;
-                                let second = self.hex4()?;
-                                let combined = 0x10000
-                                    + ((first - 0xd800) << 10)
-                                    + (second.checked_sub(0xdc00).ok_or("bad low surrogate")?);
-                                char::from_u32(combined).ok_or("bad surrogate pair")?
-                            } else {
-                                char::from_u32(first).ok_or("bad \\u escape")?
-                            };
-                            out.push(c);
-                            continue;
-                        }
-                        _ => return Err(format!("bad escape at offset {}", self.pos)),
-                    }
-                    self.pos += 1;
-                }
-                _ => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, String> {
-        let end = self
-            .pos
-            .checked_add(4)
-            .filter(|&e| e <= self.bytes.len())
-            .ok_or("truncated \\u escape")?;
-        let v = std::str::from_utf8(&self.bytes[self.pos..end])
-            .ok()
-            .and_then(|s| u32::from_str_radix(s, 16).ok())
-            .ok_or("bad \\u escape digits")?;
-        self.pos = end;
-        Ok(v)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::safety::{Detection, Mechanism};
+    use crate::sites::FaultSite;
+    use rtl_sim::{FaultKind, NetId};
+    use sparc_isa::Unit;
 
     fn entry(job: usize, outcome: FaultOutcome) -> Entry {
         entry_with_detection(job, outcome, Detection::Undetected)

@@ -69,6 +69,7 @@ pub mod journal;
 mod result;
 mod safety;
 mod sites;
+pub mod wire;
 
 pub use bridging::{bridge_pairs, bridge_pf, BridgeRecord, BridgingCampaign};
 pub use campaign::{Campaign, Execution, GoldenRun, InjectionInstant};
@@ -80,3 +81,4 @@ pub use result::{
 };
 pub use safety::{Detection, IsoBucket, Mechanism, SafetyConfig};
 pub use sites::{fault_sites, sample_sites, unit_bit_counts, FaultSite, Target};
+pub use wire::{merge_shards, ShardResult};

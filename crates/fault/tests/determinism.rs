@@ -1,0 +1,56 @@
+//! The service's cache and shard-merge guarantees rest on one property:
+//! a campaign is a pure function of its spec. These tests pin it.
+
+use fault_inject::{Campaign, SafetyConfig, Target};
+use workloads::{Benchmark, Params};
+
+fn campaign(target: Target) -> Campaign {
+    Campaign::new(Benchmark::Rspeed.program(&Params::default()), target)
+        .with_sample(16, 7)
+        .with_injection_fraction(0.2)
+        .with_safety(SafetyConfig {
+            lockstep_window: Some(64),
+            parity: true,
+            watchdog_cycles: None,
+        })
+}
+
+/// `try_run(1)` and `try_run(4)` produce bit-identical results —
+/// records *and* stats — so the thread count is a pure throughput knob
+/// and never part of a campaign's identity.
+#[test]
+fn thread_count_does_not_change_the_result() {
+    for target in [Target::IntegerUnit, Target::CacheMemory] {
+        let serial = campaign(target).try_run(1).expect("serial run");
+        let parallel = campaign(target).try_run(4).expect("parallel run");
+        assert_eq!(serial, parallel, "target {target:?}");
+    }
+}
+
+/// The same holds across injection instants, including the prefix-free
+/// cycle-0 case.
+#[test]
+fn thread_count_is_invisible_at_cycle_zero() {
+    let base = || {
+        Campaign::new(
+            Benchmark::Rspeed.program(&Params::default()),
+            Target::IntegerUnit,
+        )
+        .with_sample(12, 3)
+        .with_injection_cycle(0)
+    };
+    let serial = base().try_run(1).expect("serial run");
+    let parallel = base().try_run(4).expect("parallel run");
+    assert_eq!(serial, parallel);
+}
+
+/// Two freshly-built identical campaigns agree on the public
+/// fingerprint, and a differently-configured one does not.
+#[test]
+fn fingerprint_is_stable_and_discriminating() {
+    let a = campaign(Target::IntegerUnit).fingerprint();
+    let b = campaign(Target::IntegerUnit).fingerprint();
+    assert_eq!(a, b);
+    let c = campaign(Target::CacheMemory).fingerprint();
+    assert_ne!(a, c);
+}

@@ -1,0 +1,213 @@
+//! A small blocking client for the service, used by the `repro` CLI's
+//! `submit` and `merge` verbs and by the smoke tests.
+
+use crate::http::{read_response, write_request};
+use crate::spec::CampaignSpec;
+use fault_inject::wire::{Json, ShardResult};
+use std::fmt;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What can go wrong talking to the service.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or broke mid-exchange.
+    Io(std::io::Error),
+    /// The service answered with a non-200 status.
+    Http {
+        /// The HTTP status code.
+        status: u16,
+        /// The response body (usually `{"error":…}`).
+        body: String,
+    },
+    /// The service answered 200 with a body the client cannot parse.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Http { status, body } => {
+                let detail = Json::parse(body)
+                    .ok()
+                    .and_then(|v| v.get_str("error").map(str::to_string))
+                    .unwrap_or_else(|| body.clone());
+                write!(f, "server said {status}: {detail}")
+            }
+            ClientError::Protocol(reason) => write!(f, "bad server reply: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// The reply to a campaign submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitReply {
+    /// The job id to poll (or the cached job's id).
+    pub id: u64,
+    /// Whether the result was served from the cache.
+    pub cached: bool,
+    /// `"queued"`, or `"done"` on a cache hit.
+    pub status: String,
+}
+
+/// The reply to a status poll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusReply {
+    /// `"queued"`, `"running"`, `"done"`, `"failed"` or `"drained"`.
+    pub status: String,
+    /// The failure reason when `status == "failed"`.
+    pub error: Option<String>,
+    /// The result when `status == "done"`.
+    pub result: Option<ShardResult>,
+}
+
+/// Issue one request and return `(status, body)` without interpreting
+/// the status.
+///
+/// # Errors
+///
+/// Fails on connection or protocol-framing errors.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_request(&mut stream, method, path, body)?;
+    Ok(read_response(&stream)?)
+}
+
+fn expect_200(addr: &str, method: &str, path: &str, body: &str) -> Result<Json, ClientError> {
+    let (status, body) = request(addr, method, path, body)?;
+    if status != 200 {
+        return Err(ClientError::Http { status, body });
+    }
+    Json::parse(&body).map_err(ClientError::Protocol)
+}
+
+/// Submit a campaign spec.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a refused spec (400), or a draining/full
+/// server (503).
+pub fn submit(addr: &str, spec: &CampaignSpec) -> Result<SubmitReply, ClientError> {
+    let v = expect_200(addr, "POST", "/campaign", &spec.to_json())?;
+    Ok(SubmitReply {
+        id: v
+            .get_u64("id")
+            .ok_or_else(|| ClientError::Protocol("submit reply missing `id`".to_string()))?,
+        cached: v.get_bool("cached").unwrap_or(false),
+        status: v.get_str("status").unwrap_or("queued").to_string(),
+    })
+}
+
+/// Poll one job's status.
+///
+/// # Errors
+///
+/// Fails on I/O errors or an unknown id (404).
+pub fn status(addr: &str, id: u64) -> Result<StatusReply, ClientError> {
+    let v = expect_200(addr, "GET", &format!("/campaign/{id}"), "")?;
+    let result = match v.get("campaign") {
+        Some(obj) => Some(ShardResult::from_obj(obj).map_err(ClientError::Protocol)?),
+        None => None,
+    };
+    Ok(StatusReply {
+        status: v
+            .get_str("status")
+            .ok_or_else(|| ClientError::Protocol("status reply missing `status`".to_string()))?
+            .to_string(),
+        error: v.get_str("error").map(str::to_string),
+        result,
+    })
+}
+
+/// Poll until a job is `done`, returning its result.
+///
+/// # Errors
+///
+/// Fails on I/O errors, or with [`ClientError::Protocol`] when the job
+/// ends `failed` or `drained`.
+pub fn wait(addr: &str, id: u64) -> Result<ShardResult, ClientError> {
+    loop {
+        let reply = status(addr, id)?;
+        match reply.status.as_str() {
+            "done" => {
+                return reply
+                    .result
+                    .ok_or_else(|| ClientError::Protocol("done job carries no result".to_string()))
+            }
+            "failed" => {
+                return Err(ClientError::Protocol(format!(
+                    "campaign failed: {}",
+                    reply.error.as_deref().unwrap_or("unknown reason")
+                )))
+            }
+            "drained" => {
+                return Err(ClientError::Protocol(
+                    "campaign was drained before running".to_string(),
+                ))
+            }
+            _ => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Ask the service to merge completed shard jobs into one result.
+///
+/// # Errors
+///
+/// Fails on I/O errors, unknown/unfinished ids (400/404), or refused
+/// fingerprint/geometry mismatches (409).
+pub fn merge(addr: &str, ids: &[u64]) -> Result<ShardResult, ClientError> {
+    let body = format!(
+        "{{\"ids\":[{}]}}",
+        ids.iter()
+            .map(u64::to_string)
+            .collect::<Vec<String>>()
+            .join(",")
+    );
+    let v = expect_200(addr, "POST", "/merge", &body)?;
+    ShardResult::from_obj(&v).map_err(ClientError::Protocol)
+}
+
+/// Check the service is alive; returns `true` when it is draining.
+///
+/// # Errors
+///
+/// Fails on I/O errors.
+pub fn healthz(addr: &str) -> Result<bool, ClientError> {
+    let v = expect_200(addr, "GET", "/healthz", "")?;
+    Ok(v.get_bool("draining").unwrap_or(false))
+}
+
+/// Fetch the raw `/stats` object.
+///
+/// # Errors
+///
+/// Fails on I/O errors.
+pub fn stats(addr: &str) -> Result<Json, ClientError> {
+    expect_200(addr, "GET", "/stats", "")
+}
+
+/// Ask the service to shut down gracefully; returns how many queued
+/// jobs it drained.
+///
+/// # Errors
+///
+/// Fails on I/O errors.
+pub fn shutdown(addr: &str) -> Result<u64, ClientError> {
+    let v = expect_200(addr, "POST", "/shutdown", "")?;
+    Ok(v.get_u64("drained").unwrap_or(0))
+}

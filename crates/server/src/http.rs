@@ -1,0 +1,185 @@
+//! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! One request per connection (`Connection: close`), bodies sized by
+//! `Content-Length` only, no chunked encoding, no keep-alive. That subset
+//! is all the campaign service needs, and it keeps the crate std-only.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest request body the server accepts (a merge of many shard ids is
+/// tiny; campaign specs are smaller still).
+pub const MAX_BODY: usize = 1 << 26;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// The request path (query strings are not split off; the service
+    /// does not use them).
+    pub path: String,
+    /// The body, empty when no `Content-Length` was sent.
+    pub body: String,
+}
+
+/// Read one request from the stream.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a malformed request line, a non-numeric or
+/// oversized `Content-Length`, or a body that is not UTF-8.
+pub fn read_request(stream: &TcpStream) -> std::io::Result<Request> {
+    let bad = |reason: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, reason);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line has no path"))?;
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: String::new(),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad content-length"))?;
+                if content_length > MAX_BODY {
+                    return Err(bad("body too large"));
+                }
+            }
+        }
+    }
+    if content_length == 0 {
+        return Ok(request);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        body: String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?,
+        ..request
+    })
+}
+
+/// The reason phrase for the status codes the service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one JSON response and flush it. The connection is closed by the
+/// caller dropping the stream.
+///
+/// # Errors
+///
+/// Fails on I/O errors.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Write one request onto a client stream and flush it.
+///
+/// # Errors
+///
+/// Fails on I/O errors.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: verifd\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Read one response off a client stream, returning `(status, body)`.
+///
+/// # Errors
+///
+/// Fails on I/O errors or a malformed status line / `Content-Length`.
+pub fn read_response(stream: &TcpStream) -> std::io::Result<(u16, String)> {
+    let bad = |reason: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, reason);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed inside headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad("bad content-length"))?,
+                );
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        // No length: the server closes the connection after the body.
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    Ok((
+        status,
+        String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?,
+    ))
+}

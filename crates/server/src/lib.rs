@@ -1,0 +1,37 @@
+//! `verifd` — the campaign service.
+//!
+//! Every capability of the workspace so far runs as a one-shot CLI
+//! process: each invocation re-derives the golden run and re-simulates
+//! campaigns other callers already paid for. `verifd` turns the campaign
+//! engine into a resident service:
+//!
+//! * a **request layer** ([`http`]) — hand-rolled HTTP/1.1 over
+//!   `std::net::TcpListener`, speaking the journal's hand-rolled JSON
+//!   dialect ([`fault_inject::wire`]); no registry dependencies;
+//! * a **scheduler** ([`service`]) — a bounded FIFO queue feeding a fixed
+//!   worker pool, each worker running `Campaign::try_run` with the
+//!   engine's own panic isolation, plus graceful shutdown that finishes
+//!   in-flight jobs and journals the queued rest to a drain file;
+//! * a **result cache** — keyed by [`fault_inject::Campaign::fingerprint`]
+//!   (plus shard coordinates and the deadline, which the fingerprint
+//!   deliberately excludes), so a repeated spec returns the bit-identical
+//!   [`fault_inject::CampaignResult`] without simulating a cycle;
+//! * **sharding** — a [`spec::CampaignSpec`] may carry `shard i/n`,
+//!   partitioning the job list deterministically across processes, and
+//!   the `/merge` endpoint recombines shard results bit-for-bit via
+//!   [`fault_inject::merge_shards`].
+//!
+//! The `repro` CLI gains `serve`, `submit` and `merge` verbs built on
+//! [`client`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod service;
+pub mod spec;
+
+pub use client::{ClientError, StatusReply, SubmitReply};
+pub use service::{Server, ServerConfig};
+pub use spec::CampaignSpec;

@@ -1,0 +1,73 @@
+//! The `verifd` binary: parse flags, start the service, block until a
+//! `POST /shutdown` stops it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use verifd::{Server, ServerConfig};
+
+const USAGE: &str = "usage: verifd [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+                     [--job-threads N] [--drain PATH]";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4612".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs a positive integer".to_string())?;
+            }
+            "--job-threads" => {
+                config.job_threads = value("--job-threads")?
+                    .parse()
+                    .map_err(|_| "--job-threads needs a positive integer".to_string())?;
+            }
+            "--drain" => config.drain_path = Some(PathBuf::from(value("--drain")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    if config.queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".to_string());
+    }
+    if config.job_threads == 0 {
+        return Err("--job-threads must be at least 1".to_string());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("verifd: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("verifd listening on {}", server.addr());
+    server.join();
+    ExitCode::SUCCESS
+}

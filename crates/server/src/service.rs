@@ -1,0 +1,530 @@
+//! The resident campaign service: bounded queue, fixed worker pool,
+//! fingerprint-keyed result cache, graceful drain.
+//!
+//! Concurrency model: one accept thread handles HTTP requests serially —
+//! every route is a queue/cache/table operation under one mutex, never a
+//! simulation, so `/healthz` answers while every worker is busy. The
+//! workers block on a condvar and run campaigns; each completed result
+//! is published into the job table and the cache under the same mutex.
+
+use crate::http::{read_request, write_response, Request};
+use crate::spec::CampaignSpec;
+use fault_inject::wire::{escape_json, merge_shards, Json, ShardResult};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Campaign worker threads. Zero is accepted (accept-only mode:
+    /// everything queues until drained) — useful for tests and staging.
+    pub workers: usize,
+    /// Queue depth bound; submissions beyond it are refused with 503.
+    pub queue_depth: usize,
+    /// Threads each worker hands to `Campaign::try_run` (campaigns are
+    /// deterministic in this, so it is a pure throughput knob).
+    pub job_threads: usize,
+    /// Where a graceful shutdown journals the still-queued specs (one
+    /// canonical spec JSON per line). `None` disables the drain journal.
+    pub drain_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 64,
+            job_threads: 4,
+            drain_path: None,
+        }
+    }
+}
+
+/// A job's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Drained,
+}
+
+impl Status {
+    fn name(self) -> &'static str {
+        match self {
+            Status::Queued => "queued",
+            Status::Running => "running",
+            Status::Done => "done",
+            Status::Failed => "failed",
+            Status::Drained => "drained",
+        }
+    }
+}
+
+struct JobState {
+    spec: CampaignSpec,
+    status: Status,
+    error: Option<String>,
+    result: Option<ShardResult>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    drained: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cycles_simulated_total: u64,
+}
+
+struct Inner {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobState>,
+    /// `CampaignSpec::cache_key` of every completed spec → the job id
+    /// holding its result.
+    cache: HashMap<String, u64>,
+    next_id: u64,
+    busy: usize,
+    draining: bool,
+    counters: Counters,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work: Condvar,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Workers panic-isolate campaigns and every update is
+        // whole-record, so recovery from a poisoned lock is safe.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Stop accepting, journal the still-queued specs to the drain file,
+    /// and wake every worker so the pool can exit once in-flight jobs
+    /// finish. Returns how many queued jobs were drained.
+    fn begin_shutdown(&self) -> std::io::Result<usize> {
+        let drained: Vec<(u64, CampaignSpec)> = {
+            let mut inner = self.lock();
+            inner.draining = true;
+            let ids: Vec<u64> = inner.queue.drain(..).collect();
+            ids.iter()
+                .map(|&id| {
+                    let job = inner.jobs.get_mut(&id).expect("queued job exists");
+                    job.status = Status::Drained;
+                    (id, job.spec.clone())
+                })
+                .collect()
+        };
+        if let (Some(path), false) = (&self.config.drain_path, drained.is_empty()) {
+            let mut file = std::fs::File::create(path)?;
+            for (_, spec) in &drained {
+                writeln!(file, "{}", spec.to_json())?;
+            }
+            file.flush()?;
+        }
+        let mut inner = self.lock();
+        inner.counters.drained += drained.len() as u64;
+        drop(inner);
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.work.notify_all();
+        Ok(drained.len())
+    }
+}
+
+/// A running service. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or hit `POST /shutdown`) for a graceful stop.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept thread and the worker pool, and return.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address cannot be bound.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                cache: HashMap::new(),
+                next_id: 1,
+                busy: 0,
+                draining: false,
+                counters: Counters::default(),
+            }),
+            work: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..shared.config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: refuse new work, journal the queued specs to
+    /// the drain file, let in-flight jobs finish, join every thread.
+    /// Returns how many queued jobs were drained.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the drain journal cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread or a worker panicked (nothing in
+    /// either is expected to — campaigns are panic-isolated).
+    pub fn shutdown(mut self) -> std::io::Result<usize> {
+        let drained = self.shared.begin_shutdown()?;
+        // The accept thread may be blocked in accept(); one throwaway
+        // connection gets it to its shutdown check.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread");
+        }
+        Ok(drained)
+    }
+
+    /// Block until the service stops (via `POST /shutdown`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept thread or a worker panicked.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread");
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((mut stream, _)) = listener.accept() else {
+            continue;
+        };
+        // Requests are handled inline: every route is a table operation,
+        // so the accept thread never waits on a simulation.
+        let (status, body) = match read_request(&stream) {
+            Ok(request) => route(shared, &request),
+            Err(e) => (
+                400,
+                format!("{{\"error\":{}}}", escape_json(&e.to_string())),
+            ),
+        };
+        let _ = write_response(&mut stream, status, &body);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, spec) = {
+            let mut inner = shared.lock();
+            loop {
+                if let Some(id) = inner.queue.pop_front() {
+                    let job = inner.jobs.get_mut(&id).expect("queued job exists");
+                    job.status = Status::Running;
+                    let spec = job.spec.clone();
+                    inner.busy += 1;
+                    break (id, spec);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                inner = shared
+                    .work
+                    .wait(inner)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let outcome = run_spec(&spec, shared.config.job_threads);
+        let mut inner = shared.lock();
+        inner.busy -= 1;
+        match outcome {
+            Ok(shard) => {
+                inner.counters.completed += 1;
+                inner.counters.cycles_simulated_total += shard.result.stats().cycles_simulated;
+                inner.cache.insert(spec.cache_key(), id);
+                let job = inner.jobs.get_mut(&id).expect("running job exists");
+                job.status = Status::Done;
+                job.result = Some(shard);
+            }
+            Err(error) => {
+                inner.counters.failed += 1;
+                let job = inner.jobs.get_mut(&id).expect("running job exists");
+                job.status = Status::Failed;
+                job.error = Some(error);
+            }
+        }
+    }
+}
+
+/// Run one spec with an extra panic net around the whole campaign (the
+/// engine already panic-isolates each job; this catches golden-run
+/// panics, which are workload bugs, so a bad spec cannot take a worker
+/// down with it).
+fn run_spec(spec: &CampaignSpec, job_threads: usize) -> Result<ShardResult, String> {
+    let spec = spec.clone();
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        let campaign = spec.to_campaign();
+        let fingerprint = campaign.fingerprint();
+        let (index, count) = spec.shard.unwrap_or((0, 1));
+        campaign
+            .try_run(job_threads)
+            .map(|result| ShardResult {
+                fingerprint,
+                index,
+                count,
+                result,
+            })
+            .map_err(|e| e.to_string())
+    }));
+    match run {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("campaign panicked: {message}"))
+        }
+    }
+}
+
+fn route(shared: &Shared, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let inner = shared.lock();
+            (
+                200,
+                format!("{{\"ok\":true,\"draining\":{}}}", inner.draining),
+            )
+        }
+        ("GET", "/stats") => (200, stats_json(shared)),
+        ("POST", "/campaign") => submit(shared, &request.body),
+        ("GET", path) if path.starts_with("/campaign/") => {
+            match path["/campaign/".len()..].parse::<u64>() {
+                Ok(id) => job_status(shared, id),
+                Err(_) => (400, err_json("campaign ids are integers")),
+            }
+        }
+        ("POST", "/merge") => merge(shared, &request.body),
+        ("POST", "/shutdown") => match shared.begin_shutdown() {
+            Ok(drained) => (200, format!("{{\"ok\":true,\"drained\":{drained}}}")),
+            Err(e) => (503, err_json(&format!("drain journal failed: {e}"))),
+        },
+        ("GET" | "POST", _) => (404, err_json("no such endpoint")),
+        _ => (405, err_json("method not allowed")),
+    }
+}
+
+fn err_json(message: &str) -> String {
+    format!("{{\"error\":{}}}", escape_json(message))
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let inner = shared.lock();
+    let c = &inner.counters;
+    let workers = shared.config.workers;
+    let utilization = if workers == 0 {
+        0.0
+    } else {
+        inner.busy as f64 / workers as f64
+    };
+    let mut s = String::with_capacity(256);
+    let _ = write!(
+        s,
+        "{{\"queue_depth\":{},\"queue_capacity\":{},\"workers\":{workers},\
+         \"busy\":{},\"utilization\":{utilization},\"submitted\":{},\
+         \"completed\":{},\"failed\":{},\"drained\":{},\"cache_entries\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"cycles_simulated_total\":{},\
+         \"draining\":{}}}",
+        inner.queue.len(),
+        shared.config.queue_depth,
+        inner.busy,
+        c.submitted,
+        c.completed,
+        c.failed,
+        c.drained,
+        inner.cache.len(),
+        c.cache_hits,
+        c.cache_misses,
+        c.cycles_simulated_total,
+        inner.draining,
+    );
+    s
+}
+
+fn submit(shared: &Shared, body: &str) -> (u16, String) {
+    let spec = match CampaignSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return (400, err_json(&e)),
+    };
+    // Validate the shard coordinates up front so a bad spec fails the
+    // submission, not the worker.
+    if let Some((index, count)) = spec.shard {
+        if count == 0 || index >= count {
+            return (
+                400,
+                err_json(&format!("shard {index}/{count} out of range")),
+            );
+        }
+    }
+    let key = spec.cache_key();
+    let mut inner = shared.lock();
+    if inner.draining {
+        return (503, err_json("server is draining"));
+    }
+    if let Some(&id) = inner.cache.get(&key) {
+        // Served from the cache: bit-identical result, zero simulated
+        // cycles.
+        inner.counters.cache_hits += 1;
+        return (
+            200,
+            format!("{{\"id\":{id},\"status\":\"done\",\"cached\":true}}"),
+        );
+    }
+    if inner.queue.len() >= shared.config.queue_depth {
+        return (503, err_json("queue full"));
+    }
+    inner.counters.cache_misses += 1;
+    inner.counters.submitted += 1;
+    let id = inner.next_id;
+    inner.next_id += 1;
+    inner.jobs.insert(
+        id,
+        JobState {
+            spec,
+            status: Status::Queued,
+            error: None,
+            result: None,
+        },
+    );
+    inner.queue.push_back(id);
+    drop(inner);
+    shared.work.notify_one();
+    (
+        200,
+        format!("{{\"id\":{id},\"status\":\"queued\",\"cached\":false}}"),
+    )
+}
+
+fn job_status(shared: &Shared, id: u64) -> (u16, String) {
+    let inner = shared.lock();
+    let Some(job) = inner.jobs.get(&id) else {
+        return (404, err_json("no such campaign"));
+    };
+    let mut s = format!("{{\"id\":{id},\"status\":\"{}\"", job.status.name());
+    if let Some(error) = &job.error {
+        let _ = write!(s, ",\"error\":{}", escape_json(error));
+    }
+    if let Some(result) = &job.result {
+        let _ = write!(s, ",\"campaign\":{}", result.to_json());
+    }
+    s.push('}');
+    (200, s)
+}
+
+fn merge(shared: &Shared, body: &str) -> (u16, String) {
+    let ids: Vec<u64> = match Json::parse(body) {
+        Ok(v) => match v.get_array("ids") {
+            Some(items) => match items.iter().map(Json::as_u64).collect::<Option<Vec<u64>>>() {
+                Some(ids) => ids,
+                None => return (400, err_json("`ids` items must be integers")),
+            },
+            None => return (400, err_json("missing `ids`")),
+        },
+        Err(e) => return (400, err_json(&e)),
+    };
+    let shards: Result<Vec<ShardResult>, (u16, String)> = {
+        let inner = shared.lock();
+        ids.iter()
+            .map(|id| {
+                let job = inner
+                    .jobs
+                    .get(id)
+                    .ok_or_else(|| (404, err_json(&format!("no such campaign {id}"))))?;
+                job.result.clone().ok_or_else(|| {
+                    (
+                        400,
+                        err_json(&format!("campaign {id} is {}", job.status.name())),
+                    )
+                })
+            })
+            .collect()
+    };
+    let shards = match shards {
+        Ok(shards) => shards,
+        Err(reply) => return reply,
+    };
+    match merge_shards(shards) {
+        Ok(merged) => (200, merged.to_json()),
+        // Refusals reuse the journal's header-mismatch semantics; they
+        // are conflicts between the supplied shards, not bad syntax.
+        Err(e) => (
+            409,
+            format!(
+                "{{\"error\":{},\"kind\":{}}}",
+                escape_json(&e.to_string()),
+                escape_json(mismatch_kind(&e)),
+            ),
+        ),
+    }
+}
+
+fn mismatch_kind(e: &fault_inject::JournalError) -> &'static str {
+    match e {
+        fault_inject::JournalError::HeaderMismatch { field, .. } => field,
+        _ => "malformed",
+    }
+}

@@ -1,0 +1,306 @@
+//! The campaign request: everything a client must say to name a
+//! campaign, and its canonical JSON form.
+
+use fault_inject::wire::{escape_json, kind_from_name, Json};
+use fault_inject::{Campaign, InjectionInstant, SafetyConfig, Target};
+use rtl_sim::FaultKind;
+use std::fmt::Write as _;
+use std::time::Duration;
+use workloads::{Benchmark, Params};
+
+/// A campaign request, as submitted to `POST /campaign`.
+///
+/// The JSON form uses the workspace's own names throughout: benchmarks as
+/// `Benchmark::name` (`"rspeed"`), targets as the CLI tokens
+/// (`"iu"`/`"cmem"`/`"whole"`), fault kinds as `FaultKind::name`
+/// (`"stuck-at-1"`). Everything except `benchmark` and `target` is
+/// optional:
+///
+/// ```json
+/// {"benchmark":"rspeed","target":"iu","kinds":["stuck-at-1"],
+///  "sample":40,"seed":7,"injection_fraction":0.3,
+///  "lockstep_window":64,"parity":true,"watchdog_cycles":50000,
+///  "deadline_ms":2000,"shard_index":0,"shard_count":2}
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Which workload to run (default `Params`).
+    pub benchmark: Benchmark,
+    /// Which fault domain to inject into.
+    pub target: Target,
+    /// The fault models (all permanent models when absent on the wire).
+    pub kinds: Vec<FaultKind>,
+    /// Optional `(sample, seed)` site sampling; exhaustive when absent.
+    pub sample: Option<(usize, u64)>,
+    /// When the faults appear (cycle 0 when absent on the wire).
+    pub injection: InjectionInstant,
+    /// Which safety mechanisms to model (all off when absent).
+    pub safety: SafetyConfig,
+    /// Optional per-job wall-clock deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Optional `(index, count)` shard coordinates.
+    pub shard: Option<(u32, u32)>,
+}
+
+impl CampaignSpec {
+    /// A minimal spec: every optional field at its default.
+    pub fn new(benchmark: Benchmark, target: Target) -> CampaignSpec {
+        CampaignSpec {
+            benchmark,
+            target,
+            kinds: FaultKind::ALL.to_vec(),
+            sample: None,
+            injection: InjectionInstant::Cycle(0),
+            safety: SafetyConfig::default(),
+            deadline_ms: None,
+            shard: None,
+        }
+    }
+
+    /// Serialize as one canonical JSON object (absent options are
+    /// omitted, not `null` — the dialect has no `null`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        let _ = write!(
+            s,
+            "{{\"benchmark\":{},\"target\":\"{}\"",
+            escape_json(self.benchmark.name()),
+            target_token(self.target),
+        );
+        s.push_str(",\"kinds\":[");
+        for (i, kind) in self.kinds.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\"", kind.name());
+        }
+        s.push(']');
+        if let Some((n, seed)) = self.sample {
+            let _ = write!(s, ",\"sample\":{n},\"seed\":{seed}");
+        }
+        match self.injection {
+            InjectionInstant::Cycle(0) => {}
+            InjectionInstant::Cycle(c) => {
+                let _ = write!(s, ",\"injection_cycle\":{c}");
+            }
+            InjectionInstant::Fraction(f) => {
+                let _ = write!(s, ",\"injection_fraction\":{f}");
+            }
+        }
+        if let Some(w) = self.safety.lockstep_window {
+            let _ = write!(s, ",\"lockstep_window\":{w}");
+        }
+        if self.safety.parity {
+            s.push_str(",\"parity\":true");
+        }
+        if let Some(w) = self.safety.watchdog_cycles {
+            let _ = write!(s, ",\"watchdog_cycles\":{w}");
+        }
+        if let Some(ms) = self.deadline_ms {
+            let _ = write!(s, ",\"deadline_ms\":{ms}");
+        }
+        if let Some((index, count)) = self.shard {
+            let _ = write!(s, ",\"shard_index\":{index},\"shard_count\":{count}");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse a spec from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a human-readable reason on syntax errors, unknown
+    /// names, or inconsistent option pairs (`sample` without `seed`,
+    /// both injection forms at once, half a shard).
+    pub fn parse(text: &str) -> Result<CampaignSpec, String> {
+        let v = Json::parse(text)?;
+        CampaignSpec::from_obj(&v)
+    }
+
+    /// Parse a spec from an already-parsed object.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignSpec::parse`].
+    pub fn from_obj(v: &Json) -> Result<CampaignSpec, String> {
+        let benchmark_name = v.get_str("benchmark").ok_or("missing `benchmark`")?;
+        let benchmark = Benchmark::by_name(benchmark_name)
+            .ok_or_else(|| format!("unknown benchmark `{benchmark_name}`"))?;
+        let target_name = v.get_str("target").ok_or("missing `target`")?;
+        let target = target_from_token(target_name)
+            .ok_or_else(|| format!("unknown target `{target_name}` (iu, cmem or whole)"))?;
+        let kinds = match v.get_array("kinds") {
+            None => FaultKind::ALL.to_vec(),
+            Some(items) => items
+                .iter()
+                .map(|item| {
+                    let name = item.as_str().ok_or("`kinds` items must be strings")?;
+                    kind_from_name(name).ok_or_else(|| format!("unknown fault kind `{name}`"))
+                })
+                .collect::<Result<Vec<FaultKind>, String>>()?,
+        };
+        let sample = match (v.get_u64("sample"), v.get_u64("seed")) {
+            (Some(n), Some(seed)) => Some((n as usize, seed)),
+            (None, None) => None,
+            _ => return Err("`sample` and `seed` come together or not at all".to_string()),
+        };
+        let injection = match (
+            v.get_u64("injection_cycle"),
+            v.get_f64("injection_fraction"),
+        ) {
+            (Some(_), Some(_)) => {
+                return Err("give `injection_cycle` or `injection_fraction`, not both".to_string())
+            }
+            (Some(c), None) => InjectionInstant::Cycle(c),
+            (None, Some(f)) => InjectionInstant::Fraction(f),
+            (None, None) => InjectionInstant::Cycle(0),
+        };
+        let safety = SafetyConfig {
+            lockstep_window: v.get_u64("lockstep_window"),
+            parity: v.get_bool("parity").unwrap_or(false),
+            watchdog_cycles: v.get_u64("watchdog_cycles"),
+        };
+        let shard = match (v.get_u64("shard_index"), v.get_u64("shard_count")) {
+            (Some(i), Some(n)) => Some((i as u32, n as u32)),
+            (None, None) => None,
+            _ => return Err("`shard_index` and `shard_count` come together".to_string()),
+        };
+        Ok(CampaignSpec {
+            benchmark,
+            target,
+            kinds,
+            sample,
+            injection,
+            safety,
+            deadline_ms: v.get_u64("deadline_ms"),
+            shard,
+        })
+    }
+
+    /// Build the runnable campaign this spec names.
+    pub fn to_campaign(&self) -> Campaign {
+        let mut campaign = Campaign::new(self.benchmark.program(&Params::default()), self.target)
+            .with_kinds(&self.kinds)
+            .with_safety(self.safety);
+        if let Some((n, seed)) = self.sample {
+            campaign = campaign.with_sample(n, seed);
+        }
+        campaign = match self.injection {
+            InjectionInstant::Cycle(c) => campaign.with_injection_cycle(c),
+            InjectionInstant::Fraction(f) => campaign.with_injection_fraction(f),
+        };
+        if let Some(ms) = self.deadline_ms {
+            campaign = campaign.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some((index, count)) = self.shard {
+            campaign = campaign.with_shard(index, count);
+        }
+        campaign
+    }
+
+    /// The campaign's public fingerprint (shard-independent — see
+    /// [`Campaign::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        self.to_campaign().fingerprint()
+    }
+
+    /// The result-cache key. The fingerprint deliberately excludes the
+    /// shard coordinates (all shards of one campaign share it) and the
+    /// wall-clock deadline (it cannot change which jobs exist) — but both
+    /// *can* change the bytes of this spec's result, so the cache key
+    /// appends them. The unsharded campaign normalizes to shard `0/1`.
+    pub fn cache_key(&self) -> String {
+        let (index, count) = self.shard.unwrap_or((0, 1));
+        let deadline = match self.deadline_ms {
+            Some(ms) => ms.to_string(),
+            None => "none".to_string(),
+        };
+        format!(
+            "{}|shard={index}/{count}|deadline={deadline}",
+            self.fingerprint()
+        )
+    }
+}
+
+/// The CLI token for a target (`repro campaign` uses the same ones).
+fn target_token(target: Target) -> &'static str {
+    match target {
+        Target::IntegerUnit => "iu",
+        Target::CacheMemory => "cmem",
+        Target::Whole => "whole",
+    }
+}
+
+fn target_from_token(token: &str) -> Option<Target> {
+    match token {
+        "iu" => Some(Target::IntegerUnit),
+        "cmem" => Some(Target::CacheMemory),
+        "whole" => Some(Target::Whole),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let mut spec = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+        spec.kinds = vec![FaultKind::StuckAt1, FaultKind::OpenLine];
+        spec.sample = Some((40, 7));
+        spec.injection = InjectionInstant::Fraction(0.3);
+        spec.safety = SafetyConfig {
+            lockstep_window: Some(64),
+            parity: true,
+            watchdog_cycles: Some(50_000),
+        };
+        spec.deadline_ms = Some(2_000);
+        spec.shard = Some((1, 4));
+        let parsed = CampaignSpec::parse(&spec.to_json()).unwrap();
+        assert_eq!(parsed, spec);
+        // Canonical: the round trip reproduces the bytes.
+        assert_eq!(parsed.to_json(), spec.to_json());
+    }
+
+    #[test]
+    fn minimal_spec_defaults() {
+        let spec = CampaignSpec::parse(r#"{"benchmark":"rspeed","target":"cmem"}"#).unwrap();
+        assert_eq!(spec.kinds, FaultKind::ALL.to_vec());
+        assert_eq!(spec.injection, InjectionInstant::Cycle(0));
+        assert_eq!(spec.sample, None);
+        assert_eq!(spec.shard, None);
+        assert!(!spec.safety.any_enabled());
+    }
+
+    #[test]
+    fn inconsistent_specs_are_refused() {
+        for bad in [
+            r#"{"benchmark":"rspeed"}"#,
+            r#"{"benchmark":"nope","target":"iu"}"#,
+            r#"{"benchmark":"rspeed","target":"alu"}"#,
+            r#"{"benchmark":"rspeed","target":"iu","sample":10}"#,
+            r#"{"benchmark":"rspeed","target":"iu","injection_cycle":5,"injection_fraction":0.5}"#,
+            r#"{"benchmark":"rspeed","target":"iu","shard_index":0}"#,
+            r#"{"benchmark":"rspeed","target":"iu","kinds":["bitrot"]}"#,
+        ] {
+            assert!(CampaignSpec::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn shards_share_the_fingerprint_but_not_the_cache_key() {
+        let mut a = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+        a.sample = Some((10, 3));
+        let mut b = a.clone();
+        b.shard = Some((1, 2));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.cache_key(), b.cache_key());
+        // The deadline is outside the fingerprint but inside the cache key.
+        let mut c = a.clone();
+        c.deadline_ms = Some(100);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end smoke tests: a real `verifd` on loopback, driven through
+//! the real client.
+
+use fault_inject::{InjectionInstant, Target};
+use verifd::{client, CampaignSpec, Server, ServerConfig};
+use workloads::Benchmark;
+
+fn small_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+    spec.sample = Some((8, 3));
+    spec.injection = InjectionInstant::Fraction(0.25);
+    spec
+}
+
+fn start(workers: usize, drain: Option<std::path::PathBuf>) -> (Server, String) {
+    let server = Server::start(ServerConfig {
+        workers,
+        drain_path: drain,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+#[test]
+fn resubmitted_spec_is_served_from_cache_without_simulating() {
+    let (server, addr) = start(1, None);
+    let spec = small_spec();
+
+    let first = client::submit(&addr, &spec).expect("submit");
+    assert!(!first.cached);
+    // The service answers /healthz while the campaign runs: the accept
+    // thread never blocks on a simulation.
+    assert!(!client::healthz(&addr).expect("healthz during run"));
+    let first_result = client::wait(&addr, first.id).expect("first run");
+
+    let cycles_after_first = client::stats(&addr)
+        .expect("stats")
+        .get_u64("cycles_simulated_total")
+        .expect("counter");
+    assert!(cycles_after_first > 0, "the first run simulated something");
+
+    let second = client::submit(&addr, &spec).expect("resubmit");
+    assert!(second.cached, "identical spec must hit the cache");
+    assert_eq!(second.status, "done");
+    assert_eq!(second.id, first.id);
+    let second_result = client::wait(&addr, second.id).expect("cached fetch");
+
+    // Bit-identical: the canonical wire form is byte-stable.
+    assert_eq!(second_result.to_json(), first_result.to_json());
+
+    // Zero simulated cycles for the hit, and the counters agree.
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(
+        stats.get_u64("cycles_simulated_total"),
+        Some(cycles_after_first),
+        "a cache hit must not simulate a cycle"
+    );
+    assert_eq!(stats.get_u64("cache_hits"), Some(1));
+    assert_eq!(stats.get_u64("cache_misses"), Some(1));
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn sharded_submissions_merge_to_the_unsharded_result() {
+    let (server, addr) = start(2, None);
+    let base = small_spec();
+
+    let ids: Vec<u64> = (0..2)
+        .map(|index| {
+            let mut shard = base.clone();
+            shard.shard = Some((index, 2));
+            client::submit(&addr, &shard).expect("submit shard").id
+        })
+        .collect();
+    for &id in &ids {
+        client::wait(&addr, id).expect("shard run");
+    }
+    let merged = client::merge(&addr, &ids).expect("merge");
+
+    // The merged shards equal the unsharded campaign bit-for-bit,
+    // records and stats both.
+    let local = base.to_campaign().try_run(2).expect("local run");
+    assert_eq!(merged.result, local);
+    assert_eq!(merged.fingerprint, base.fingerprint());
+
+    // A shard of a *different* campaign is refused with a structured 409.
+    let mut foreign = base.clone();
+    foreign.benchmark = Benchmark::Tblook;
+    foreign.shard = Some((0, 2));
+    let foreign_id = client::submit(&addr, &foreign).expect("submit foreign").id;
+    client::wait(&addr, foreign_id).expect("foreign run");
+    match client::merge(&addr, &[foreign_id, ids[1]]) {
+        Err(verifd::ClientError::Http { status: 409, body }) => {
+            assert!(
+                body.contains("fingerprint"),
+                "names the mismatched field: {body}"
+            );
+        }
+        other => panic!("expected a 409 refusal, got {other:?}"),
+    }
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn graceful_shutdown_journals_the_queued_specs() {
+    let dir = std::env::temp_dir().join(format!("verifd-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let drain = dir.join("drain.jsonl");
+    // Zero workers: everything queues, nothing runs — the drain must
+    // capture all of it.
+    let (server, addr) = start(0, Some(drain.clone()));
+
+    let mut specs = Vec::new();
+    for seed in [1, 2, 3] {
+        let mut spec = small_spec();
+        spec.sample = Some((8, seed));
+        let reply = client::submit(&addr, &spec).expect("submit");
+        assert_eq!(reply.status, "queued");
+        specs.push(spec);
+    }
+
+    let drained = server.shutdown().expect("shutdown");
+    assert_eq!(drained, 3);
+
+    let journal = std::fs::read_to_string(&drain).expect("drain file");
+    let recovered: Vec<CampaignSpec> = journal
+        .lines()
+        .map(|line| CampaignSpec::parse(line).expect("drained spec parses"))
+        .collect();
+    assert_eq!(recovered, specs, "the drain journal preserves the queue");
+
+    // A drained spec resubmits cleanly to a fresh server: the round trip
+    // loses nothing the campaign engine needs.
+    assert_eq!(recovered[0].to_json(), specs[0].to_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_submissions_and_unknown_routes_are_refused() {
+    let (server, addr) = start(0, None);
+
+    match client::request(&addr, "POST", "/campaign", "{\"benchmark\":\"rspeed\"}") {
+        Ok((400, body)) => assert!(body.contains("target"), "{body}"),
+        other => panic!("expected 400, got {other:?}"),
+    }
+    match client::request(&addr, "GET", "/nope", "") {
+        Ok((404, _)) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client::request(&addr, "DELETE", "/campaign", "") {
+        Ok((405, _)) => {}
+        other => panic!("expected 405, got {other:?}"),
+    }
+    match client::request(&addr, "GET", "/campaign/999", "") {
+        Ok((404, _)) => {}
+        other => panic!("expected 404 for unknown id, got {other:?}"),
+    }
+
+    server.shutdown().expect("shutdown");
+}
