@@ -1,7 +1,9 @@
 //! Before/after throughput of the campaign engine: full re-execution vs
 //! checkpoint-and-fork with activation skipping and divergence
-//! short-circuiting. Writes `BENCH_campaign.json` at the repo root.
+//! short-circuiting. Writes `BENCH_campaign.json` at the repo root,
+//! including the `gate` section `repro benchgate` checks in CI.
 
+use bench::gate;
 use fault_inject::{Campaign, CampaignStats, Execution, Target};
 use std::time::Instant;
 use workloads::{Benchmark, Params};
@@ -103,10 +105,24 @@ fn main() {
             engine_json(&full),
         ));
     }
+    let measurements: Vec<_> = gate::CASES
+        .iter()
+        .map(|case| gate::measure(case, threads))
+        .collect();
+    for m in &measurements {
+        println!(
+            "gate {}: cycles_ratio {:.4} ({} fork / {} full cycles)",
+            m.name,
+            m.cycles_ratio(),
+            m.fork_cycles,
+            m.full_cycles,
+        );
+    }
     let json = format!(
-        "{{\n  \"threads\": {},\n  \"campaigns\": [\n{}\n]\n}}\n",
+        "{{\n  \"threads\": {},\n  \"campaigns\": [\n{}\n],\n  \"gate\": {}\n}}\n",
         threads,
         entries.join(",\n"),
+        gate::baseline_json(&measurements),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
     std::fs::write(path, &json).expect("write BENCH_campaign.json");

@@ -56,6 +56,191 @@ pub fn config_from_env() -> ExperimentConfig {
     config
 }
 
+/// The CI bench-regression gate over the campaign engine.
+///
+/// Wall-clock throughput is runner-dependent, so the gate compares
+/// **simulated cycle counts** instead: the fork/full-re-execution cycle
+/// ratio of a fixed smoke campaign is deterministic (independent of
+/// thread count, load and machine), making the committed baseline
+/// noise-proof. The baseline and its tolerance live in the `gate`
+/// section of `BENCH_campaign.json`, written by the `campaign_engine`
+/// bench and checked by `repro benchgate`.
+pub mod gate {
+    use fault_inject::wire::Json;
+    use fault_inject::{Campaign, Execution, Target};
+    use rtl_sim::FaultKind;
+    use std::fmt::Write as _;
+    use workloads::{Benchmark, Params};
+
+    /// Relative tolerance on the cycle ratio recorded into the baseline
+    /// file. The committed value in the file is authoritative at check
+    /// time; this constant only seeds newly written baselines.
+    pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+    /// One gate case: a small deterministic campaign in smoke config.
+    pub struct GateCase {
+        /// Stable name keying the baseline entry.
+        pub name: &'static str,
+        /// Workload under injection.
+        pub benchmark: Benchmark,
+        /// Fault domain.
+        pub target: Target,
+    }
+
+    /// The smoke cases the gate runs — one per fault domain the engine
+    /// optimizes differently.
+    pub const CASES: [GateCase; 2] = [
+        GateCase {
+            name: "intbench-iu",
+            benchmark: Benchmark::Intbench,
+            target: Target::IntegerUnit,
+        },
+        GateCase {
+            name: "rspeed-cmem",
+            benchmark: Benchmark::Rspeed,
+            target: Target::CacheMemory,
+        },
+    ];
+
+    fn campaign(case: &GateCase) -> Campaign {
+        Campaign::new(case.benchmark.program(&Params::default()), case.target)
+            .with_sample(12, 0xbe)
+            .with_kinds(&[FaultKind::StuckAt1, FaultKind::OpenLine])
+            .with_injection_fraction(0.3)
+    }
+
+    /// A case's deterministic measurement.
+    pub struct GateMeasurement {
+        /// The case name.
+        pub name: &'static str,
+        /// Cycles the fork engine simulated.
+        pub fork_cycles: u64,
+        /// Cycles full re-execution simulated.
+        pub full_cycles: u64,
+    }
+
+    impl GateMeasurement {
+        /// Fork cycles as a fraction of full-re-execution cycles (lower
+        /// is better; 1.0 = the fork engine saves nothing).
+        pub fn cycles_ratio(&self) -> f64 {
+            self.fork_cycles as f64 / self.full_cycles as f64
+        }
+    }
+
+    /// Run one gate case on both engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statically valid smoke campaign fails to run.
+    pub fn measure(case: &GateCase, threads: usize) -> GateMeasurement {
+        let base = campaign(case);
+        let fork = base
+            .clone()
+            .with_execution(Execution::Fork)
+            .try_run(threads)
+            .expect("gate campaign is statically valid");
+        let full = base
+            .with_execution(Execution::FullReexecution)
+            .try_run(threads)
+            .expect("gate campaign is statically valid");
+        GateMeasurement {
+            name: case.name,
+            fork_cycles: fork.stats().cycles_simulated,
+            full_cycles: full.stats().cycles_simulated,
+        }
+    }
+
+    /// Serialize the `gate` section for `BENCH_campaign.json`.
+    pub fn baseline_json(measurements: &[GateMeasurement]) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n    \"tolerance\": {DEFAULT_TOLERANCE},\n    \"cases\": [\n"
+        );
+        for (i, m) in measurements.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            let _ = write!(
+                s,
+                concat!(
+                    "      {{\n",
+                    "        \"name\": \"{}\",\n",
+                    "        \"fork_cycles\": {},\n",
+                    "        \"full_cycles\": {},\n",
+                    "        \"cycles_ratio\": {:.4}\n",
+                    "      }}"
+                ),
+                m.name,
+                m.fork_cycles,
+                m.full_cycles,
+                m.cycles_ratio(),
+            );
+        }
+        s.push_str("\n    ]\n  }");
+        s
+    }
+
+    /// Re-measure every committed case and compare against the baseline.
+    ///
+    /// `perturb` multiplies each measured ratio before comparison — `1.0`
+    /// for a real check; larger values let CI prove the gate actually
+    /// fails on a regression.
+    ///
+    /// # Errors
+    ///
+    /// A malformed baseline, an unknown case name, or any case whose
+    /// (perturbed) ratio exceeds `baseline * (1 + tolerance)` fails the
+    /// gate; the error lines describe every failure.
+    pub fn check(
+        bench_json: &str,
+        threads: usize,
+        perturb: f64,
+    ) -> Result<Vec<String>, Vec<String>> {
+        let v = Json::parse(bench_json).map_err(|e| vec![format!("baseline unreadable: {e}")])?;
+        let gate = v.get("gate").ok_or_else(|| {
+            vec!["baseline has no `gate` section (re-run the campaign_engine bench)".to_string()]
+        })?;
+        let tolerance = gate
+            .get_f64("tolerance")
+            .ok_or_else(|| vec!["gate section has no `tolerance`".to_string()])?;
+        let cases = gate
+            .get_array("cases")
+            .ok_or_else(|| vec!["gate section has no `cases`".to_string()])?;
+        let mut report = Vec::new();
+        let mut failures = Vec::new();
+        for entry in cases {
+            let Some(name) = entry.get_str("name") else {
+                failures.push("gate case without a name".to_string());
+                continue;
+            };
+            let Some(baseline) = entry.get_f64("cycles_ratio") else {
+                failures.push(format!("gate case `{name}` has no cycles_ratio"));
+                continue;
+            };
+            let Some(case) = CASES.iter().find(|c| c.name == name) else {
+                failures.push(format!("gate case `{name}` is unknown to this binary"));
+                continue;
+            };
+            let measured = measure(case, threads).cycles_ratio() * perturb;
+            let limit = baseline * (1.0 + tolerance);
+            let line = format!(
+                "{name}: cycles_ratio {measured:.4} vs baseline {baseline:.4} (limit {limit:.4})"
+            );
+            if measured > limit {
+                failures.push(format!("REGRESSION {line}"));
+            } else {
+                report.push(format!("ok {line}"));
+            }
+        }
+        if failures.is_empty() {
+            Ok(report)
+        } else {
+            Err(failures)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

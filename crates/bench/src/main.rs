@@ -12,6 +12,7 @@
 //!              [--deadline-ms N] [--lockstep-window N] [--parity]
 //!              [--watchdog-cycles N] [--detach] [--json]
 //! repro merge  [--addr HOST:PORT] [--json] ID ID...
+//! repro benchgate [--baseline PATH] [--perturb F] [--threads N]
 //! ```
 //!
 //! Sizing via `REPRO_SAMPLE`, `REPRO_SEED`, `REPRO_THREADS` environment
@@ -24,6 +25,11 @@
 //! `--deadline-ms` arms the per-job wall-clock watchdog. Configuration
 //! and journal errors are reported on stderr with a nonzero exit code
 //! instead of a panic backtrace.
+//!
+//! `benchgate` is the CI bench-regression gate: it re-measures the gate
+//! campaigns and compares their deterministic fork/full cycle ratios
+//! against the `gate` section committed in `BENCH_campaign.json`,
+//! failing (exit 1) on any regression beyond the in-file tolerance.
 //!
 //! The safety-mechanism flags model the chip's own detectors:
 //! `--lockstep-window N` checks the write stream every N writes instead of
@@ -374,6 +380,65 @@ fn run_merge(args: &[String]) {
     }
 }
 
+/// `repro benchgate [--baseline BENCH_campaign.json] [--perturb 1.0]
+/// [--threads N]` — the CI bench-regression gate. Re-measures the gate
+/// campaigns and compares their deterministic cycle ratios against the
+/// committed baseline; exits 1 on any regression beyond the in-file
+/// tolerance. `--perturb` scales the measured ratios so CI can prove
+/// the gate fails when the engine slows down.
+fn run_benchgate(config: &ExperimentConfig, args: &[String]) {
+    const USAGE: &str =
+        "usage: repro benchgate [--baseline <path>] [--perturb <factor>] [--threads N]";
+    let mut baseline = "BENCH_campaign.json".to_string();
+    let mut perturb = 1.0_f64;
+    let mut threads = config.threads;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = value("--baseline"),
+            "--perturb" => {
+                let raw = value("--perturb");
+                perturb = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("`--perturb` needs a number, got `{raw}`\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--threads" => {
+                threads = parse_usize("--threads", value("--threads"), USAGE).max(1);
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let text = std::fs::read_to_string(&baseline).unwrap_or_else(|e| {
+        eprintln!("[benchgate] cannot read `{baseline}`: {e}");
+        std::process::exit(1);
+    });
+    match bench::gate::check(&text, threads, perturb) {
+        Ok(report) => {
+            for line in report {
+                println!("[benchgate] {line}");
+            }
+            println!("[benchgate] PASS");
+        }
+        Err(failures) => {
+            for line in failures {
+                eprintln!("[benchgate] {line}");
+            }
+            eprintln!("[benchgate] FAIL");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Parse a flag value as a non-negative integer or exit 2.
 fn parse_usize(flag: &str, raw: String, usage: &str) -> usize {
     raw.parse().unwrap_or_else(|_| {
@@ -425,6 +490,10 @@ fn main() {
             let rest: Vec<String> = std::env::args().skip(2).collect();
             run_merge(&rest);
         }
+        "benchgate" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_benchgate(&config, &rest);
+        }
         "transient" => print!("{}", transient_study(&config)),
         "bridging" => print!("{}", bridging_study(&config)),
         "latent" => print!("{}", latent_study(&config)),
@@ -466,7 +535,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|all"
+                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|benchgate|all"
             );
             std::process::exit(2);
         }

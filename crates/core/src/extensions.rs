@@ -38,6 +38,11 @@ pub struct TransientStudy {
     /// Pf of transient bit-flips at each instant (expected: varying and
     /// much lower).
     pub transient_pf: Vec<f64>,
+    /// Jobs that fell back to full re-execution across the whole sweep —
+    /// zero by construction on the checkpoint-tree engine.
+    pub full_reexecutions: usize,
+    /// Checkpoints the sweep's pool held.
+    pub checkpoints_taken: usize,
 }
 
 impl TransientStudy {
@@ -60,14 +65,17 @@ impl TransientStudy {
 }
 
 /// Run the transient study on `rspeed`: the same fault list injected at
-/// several instants, once with stuck-at-1 and once with transient flips.
+/// a dense grid of instants, once with stuck-at-1 and once with
+/// transient flips.
 ///
 /// All instants run as **one** multi-instant campaign sharing a single
-/// golden run; the first instant forks from the prefix snapshot and the
-/// others fall back to full re-execution (records are engine-independent,
-/// so the series is identical to three separate campaigns).
+/// golden run and one checkpoint pool; every instant forks from (or
+/// replays a bounded gap behind) its nearest pool checkpoint, so the
+/// sweep completes with **zero** full re-executions. Records are
+/// engine-independent, so the series is identical to one dedicated
+/// campaign per instant.
 pub fn transient_study(config: &ExperimentConfig) -> TransientStudy {
-    let fractions = vec![0.1, 0.5, 0.9];
+    let fractions: Vec<f64> = (1..=9).map(|i| f64::from(i) / 10.0).collect();
     let program = Benchmark::Rspeed.program(&Params::default());
     let instants: Vec<InjectionInstant> = fractions
         .iter()
@@ -85,6 +93,8 @@ pub fn transient_study(config: &ExperimentConfig) -> TransientStudy {
             .map(|r| r.pf(FaultKind::TransientFlip))
             .collect(),
         fractions,
+        full_reexecutions: results.iter().map(|r| r.stats().full_reexecutions).sum(),
+        checkpoints_taken: results.iter().map(|r| r.stats().checkpoints_taken).sum(),
     }
 }
 
@@ -113,6 +123,11 @@ impl fmt::Display for TransientStudy {
             "spread: permanent {:.2} pp, transient {:.2} pp",
             self.permanent_spread_pp(),
             self.transient_spread_pp()
+        )?;
+        writeln!(
+            f,
+            "engine: {} pool checkpoints, {} full re-executions",
+            self.checkpoints_taken, self.full_reexecutions
         )
     }
 }

@@ -1,13 +1,17 @@
 //! The campaign runner.
 //!
-//! Campaigns run on a **checkpoint-and-fork** engine by default: the
-//! fault-free prefix up to the injection instant is simulated exactly once,
-//! captured as a [`leon3_model::Snapshot`], and every (site, kind) job of
-//! the campaign *forks* from that snapshot instead of re-executing the
-//! prefix from reset. Because the paper-style campaigns inject every fault
-//! of the universe at one shared instant ([`InjectionInstant::Fraction`] or
-//! [`InjectionInstant::Cycle`]), the prefix is common to the whole
-//! campaign. Two further cost levers ride on the same machinery:
+//! Campaigns run on a **checkpoint-tree fork** engine by default: the
+//! fault-free golden trajectory is simulated exactly once, dropping a
+//! *pool* of [`leon3_model::Snapshot`] checkpoints along the way — one at
+//! the reset state, one at each requested injection boundary, and (with
+//! [`Campaign::with_checkpoint_stride`]) one every K cycles. Every
+//! (site, kind, instant) job restores the nearest ancestor checkpoint at
+//! or before its own injection boundary and replays only the fault-free
+//! gap before activation, so no campaign — single-instant, multi-instant
+//! or transient sweep — ever re-executes a prefix cycle twice, and no job
+//! ever falls back to full re-execution. A dense instant sweep thins its
+//! per-boundary checkpoints to a bounded pool (trading bounded replay for
+//! bounded memory). Two further cost levers ride on the same machinery:
 //!
 //! * **site-activation tracking** — the golden run records, per net, the
 //!   cycle of its last read. A permanent fault is observable only through a
@@ -60,6 +64,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::PoisonError;
 use std::time::{Duration, Instant};
+
+/// Maximum number of live checkpoints a fork-engine campaign keeps in its
+/// pool. A dense instant sweep (or a tight [`Campaign::with_checkpoint_stride`])
+/// is thinned evenly to this cap — always keeping the reset state and the
+/// deepest boundary — so pool memory stays bounded; jobs whose exact
+/// boundary was thinned away replay the bounded gap from the nearest
+/// surviving ancestor checkpoint instead.
+pub const MAX_POOL_CHECKPOINTS: usize = 32;
 
 /// The fault-free reference execution of a workload on the RTL model.
 #[derive(Debug, Clone)]
@@ -135,6 +147,17 @@ impl GoldenRun {
         self.step_cycles.partition_point(|&c| c < injection_cycle)
     }
 
+    /// Cycle count after `steps` completed `step()` calls (0 at reset).
+    /// The checkpoint pool uses this to price the fault-free gap between
+    /// an ancestor checkpoint and a job's injection boundary.
+    pub fn cycle_at_step(&self, steps: usize) -> u64 {
+        if steps == 0 {
+            0
+        } else {
+            self.step_cycles[steps - 1]
+        }
+    }
+
     /// Whether the golden run reads `net` at or after `cycle`.
     ///
     /// A permanent fault perturbs execution only through a [`NetId`] read,
@@ -166,12 +189,14 @@ pub enum InjectionInstant {
 /// How a campaign executes its fault universe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Execution {
-    /// Checkpoint-and-fork: simulate the shared fault-free prefix once,
-    /// snapshot it, and resume every job from the snapshot; jobs whose
-    /// nets the golden run never reads from the injection instant on are
-    /// classified without simulation. Jobs whose injection instant
-    /// differs from the snapshot's (multi-instant campaigns) gracefully
-    /// fall back to full re-execution.
+    /// Checkpoint-tree fork: simulate the fault-free trajectory once,
+    /// dropping a pool of checkpoints (reset state, every requested
+    /// injection boundary, plus an optional periodic grid), and resume
+    /// every job from its nearest ancestor checkpoint, replaying only the
+    /// fault-free gap. Jobs whose nets the golden run never reads from
+    /// the injection instant on are classified without simulation. There
+    /// is no full-re-execution fallback: the reset-state checkpoint is an
+    /// ancestor of every instant.
     #[default]
     Fork,
     /// Re-simulate every job from reset. Kept as the equivalence baseline
@@ -194,6 +219,7 @@ pub struct Campaign {
     config: Leon3Config,
     safety: SafetyConfig,
     shard: Option<(u32, u32)>,
+    checkpoint_stride: Option<u64>,
 }
 
 impl Campaign {
@@ -212,6 +238,7 @@ impl Campaign {
             config: Leon3Config::default(),
             safety: SafetyConfig::default(),
             shard: None,
+            checkpoint_stride: None,
         }
     }
 
@@ -330,6 +357,21 @@ impl Campaign {
         self
     }
 
+    /// Drop a periodic checkpoint into the fork engine's pool every
+    /// `stride` cycles of the golden trajectory, in addition to the
+    /// per-boundary checkpoints. A denser grid shortens the fault-free
+    /// gap a thinned-pool job must replay at the price of snapshot
+    /// memory; without it the pool holds only the reset state and the
+    /// requested injection boundaries. A zero stride is reported as
+    /// [`CampaignError::ZeroCheckpointStride`] when the campaign runs.
+    /// The stride enters the configuration fingerprint (it changes every
+    /// job's cost delta), so a resumed journal must agree on it.
+    #[must_use]
+    pub fn with_checkpoint_stride(mut self, stride: u64) -> Campaign {
+        self.checkpoint_stride = Some(stride);
+        self
+    }
+
     /// Override the platform configuration.
     ///
     /// Bus-read tracing is forced off for classification runs: outcomes
@@ -384,7 +426,52 @@ impl Campaign {
     /// Panics if the golden run does not halt (a workload bug, not a
     /// configuration error).
     pub fn try_run(&self, threads: usize) -> Result<CampaignResult, CampaignError> {
-        self.run_listed(threads, false, JournalMode::None)
+        self.run_listed(threads, false, JournalMode::None, None)
+    }
+
+    /// Capture this campaign's golden run once for reuse across many
+    /// campaigns over the same workload (e.g. a service sweeping fault
+    /// kinds or instants over one benchmark). The preparation pins the
+    /// workload image and the classification platform configuration;
+    /// [`Campaign::try_run_prepared`] refuses a mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the [`Campaign::try_run`] validation conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn prepare(&self) -> Result<PreparedWorkload, CampaignError> {
+        self.validate(1)?;
+        let config = self.classification_config();
+        Ok(PreparedWorkload {
+            workload: workload_hash(&self.program),
+            config: format!("{config:?}"),
+            golden: GoldenRun::capture(&self.program, &config),
+        })
+    }
+
+    /// [`Campaign::try_run`] reusing a [`PreparedWorkload`]'s golden run
+    /// instead of re-capturing it. The result is byte-identical to
+    /// [`Campaign::try_run`] — golden capture is never billed in
+    /// [`CampaignStats`], so only wall-clock time changes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the [`Campaign::try_run`] conditions, or
+    /// [`CampaignError::PreparedMismatch`] if `prepared` was built for a
+    /// different workload or platform configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn try_run_prepared(
+        &self,
+        threads: usize,
+        prepared: &PreparedWorkload,
+    ) -> Result<CampaignResult, CampaignError> {
+        self.run_listed(threads, false, JournalMode::None, Some(prepared))
     }
 
     /// Dual-point variant for ISO 26262 latent-fault analysis: the sampled
@@ -412,7 +499,7 @@ impl Campaign {
     ///
     /// Panics if the golden run does not halt.
     pub fn try_run_pairs(&self, threads: usize) -> Result<CampaignResult, CampaignError> {
-        self.run_listed(threads, true, JournalMode::None)
+        self.run_listed(threads, true, JournalMode::None, None)
     }
 
     /// Run the campaign with a write-ahead result journal at `path`: the
@@ -434,7 +521,7 @@ impl Campaign {
         threads: usize,
         path: &Path,
     ) -> Result<CampaignResult, CampaignError> {
-        self.run_listed(threads, false, JournalMode::Create(path))
+        self.run_listed(threads, false, JournalMode::Create(path), None)
     }
 
     /// Resume a campaign from the write-ahead journal at `path`: the
@@ -457,17 +544,17 @@ impl Campaign {
     ///
     /// Panics if the golden run does not halt.
     pub fn resume(&self, threads: usize, path: &Path) -> Result<CampaignResult, CampaignError> {
-        self.run_listed(threads, false, JournalMode::Resume(path))
+        self.run_listed(threads, false, JournalMode::Resume(path), None)
     }
 
     /// Run the same fault list at several injection instants as **one**
-    /// campaign sharing one golden run, returning one result per instant
-    /// (in order). Under [`Execution::Fork`] the prefix snapshot is taken
-    /// at the *first* instant; jobs of the other instants gracefully fall
-    /// back to full re-execution (and still benefit from site-activation
-    /// skipping), rather than silently forking from a wrong-instant
-    /// snapshot. A snapshot *pool* at every instant remains a ROADMAP
-    /// item.
+    /// campaign sharing one golden run and one checkpoint pool, returning
+    /// one result per instant (in order). Under [`Execution::Fork`] the
+    /// pool holds a checkpoint at (or, for a thinned dense sweep, an
+    /// ancestor of) every instant's boundary, so **no** job falls back to
+    /// full re-execution — any (site, kind, instant) forks or replays a
+    /// bounded gap, and cold sites still skip simulation entirely. The
+    /// pool-construction pass is billed to the first instant's stats.
     ///
     /// # Errors
     ///
@@ -481,6 +568,59 @@ impl Campaign {
         &self,
         threads: usize,
         instants: &[InjectionInstant],
+    ) -> Result<Vec<CampaignResult>, CampaignError> {
+        self.run_multi(threads, instants, JournalMode::None)
+    }
+
+    /// Multi-instant variant of [`Campaign::run_journaled`]: one
+    /// write-ahead journal covers the whole sweep, with the instant list
+    /// pinned in the header (`instants`, `instants_hash`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the [`Campaign::try_run_multi`] conditions or journal I/O
+    /// errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn run_multi_journaled(
+        &self,
+        threads: usize,
+        instants: &[InjectionInstant],
+        path: &Path,
+    ) -> Result<Vec<CampaignResult>, CampaignError> {
+        self.run_multi(threads, instants, JournalMode::Create(path))
+    }
+
+    /// Resume a multi-instant sweep from its write-ahead journal. The
+    /// header must match this campaign *and* this instant list — a sweep
+    /// over different instants, or a campaign with a different
+    /// [`Campaign::with_checkpoint_stride`], is refused with
+    /// [`JournalError::HeaderMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on the [`Campaign::try_run_multi`] conditions, journal I/O
+    /// or parse errors, or a journal that does not belong to this sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run does not halt.
+    pub fn resume_multi(
+        &self,
+        threads: usize,
+        instants: &[InjectionInstant],
+        path: &Path,
+    ) -> Result<Vec<CampaignResult>, CampaignError> {
+        self.run_multi(threads, instants, JournalMode::Resume(path))
+    }
+
+    fn run_multi(
+        &self,
+        threads: usize,
+        instants: &[InjectionInstant],
+        journal: JournalMode<'_>,
     ) -> Result<Vec<CampaignResult>, CampaignError> {
         self.validate(threads)?;
         if instants.is_empty() {
@@ -512,32 +652,50 @@ impl Campaign {
             }
         }
         let jobs = self.apply_shard(jobs);
-        let prefilled = vec![None; jobs.len()];
-        let out =
-            self.execute_jobs(threads, &config, &golden, cycles[0], &jobs, None, prefilled)?;
-        let mut grouped: Vec<(Vec<FaultRecord>, CampaignStats)> = instants
+        let header = self.header(false, jobs.len(), &cycles, &golden);
+        let (writer, prefilled, _) = open_journal(&header, &jobs, journal)?;
+        // Per-instant resumed counts (the campaign-level `resumed` of the
+        // single-instant path, split by group).
+        let mut resumed_by_group = vec![0usize; instants.len()];
+        for (job, slot) in jobs.iter().zip(&prefilled) {
+            resumed_by_group[job.group] += usize::from(slot.is_some());
+        }
+        let pool = self.build_pool(&config, &golden, &cycles);
+        let per_job = self.execute_jobs(
+            threads,
+            &config,
+            &golden,
+            pool.as_ref(),
+            &jobs,
+            writer,
+            prefilled,
+        )?;
+        let mut grouped: Vec<(Vec<FaultRecord>, CampaignStats)> = resumed_by_group
             .iter()
-            .map(|_| {
+            .map(|&resumed| {
                 (
                     Vec::new(),
                     CampaignStats {
                         golden_cycles: golden.cycles,
+                        resumed,
                         ..CampaignStats::default()
                     },
                 )
             })
             .collect();
-        for (job, (record, delta)) in jobs.iter().zip(out.per_job) {
+        for (job, (record, delta)) in jobs.iter().zip(per_job) {
             let (records, stats) = &mut grouped[job.group];
             records.push(record);
             stats.jobs += 1;
             stats.merge(&delta);
         }
-        if self.execution == Execution::Fork {
-            // The shared prefix is simulated once; bill it to the instant
-            // that actually forks from it.
-            grouped[0].1.prefix_cycles = out.prefix_cycles;
-            grouped[0].1.cycles_simulated += out.prefix_cycles;
+        if let Some(pool) = &pool {
+            // The pool-construction pass is simulated once; bill it to
+            // the first instant.
+            grouped[0].1.prefix_cycles = pool.build_cycles();
+            grouped[0].1.cycles_simulated += pool.build_cycles();
+            grouped[0].1.checkpoints_taken = pool.len();
+            grouped[0].1.checkpoint_bytes = pool.bytes();
         }
         Ok(grouped
             .into_iter()
@@ -560,6 +718,9 @@ impl Campaign {
         }
         if self.safety.lockstep_window == Some(0) {
             return Err(CampaignError::ZeroLockstepWindow);
+        }
+        if self.checkpoint_stride == Some(0) {
+            return Err(CampaignError::ZeroCheckpointStride);
         }
         if let Some((index, count)) = self.shard {
             if count == 0 || index >= count {
@@ -598,78 +759,45 @@ impl Campaign {
     }
 
     /// The single-instant run path shared by `try_run`, `try_run_pairs`,
-    /// `run_journaled` and `resume`.
+    /// `run_journaled`, `resume` and `try_run_prepared`. When `prepared`
+    /// is given its golden run is reused instead of re-captured; the
+    /// result is byte-identical either way, since golden capture is never
+    /// billed in [`CampaignStats`].
     fn run_listed(
         &self,
         threads: usize,
         pairs: bool,
         journal: JournalMode<'_>,
+        prepared: Option<&PreparedWorkload>,
     ) -> Result<CampaignResult, CampaignError> {
         self.validate(threads)?;
         let config = self.classification_config();
-        let golden = GoldenRun::capture(&self.program, &config);
-        self.validate_watchdog(&golden)?;
-        let injection_cycle = resolve_instant(self.injection, &golden)?;
+        let captured;
+        let golden = match prepared {
+            Some(p) => {
+                p.check(&self.program, &config)?;
+                &p.golden
+            }
+            None => {
+                captured = GoldenRun::capture(&self.program, &config);
+                &captured
+            }
+        };
+        self.validate_watchdog(golden)?;
+        let injection_cycle = resolve_instant(self.injection, golden)?;
         let sites = self.sites();
         if sites.is_empty() {
             return Err(CampaignError::NoFaultSites);
         }
         let jobs = self.plan_jobs(&sites, pairs, injection_cycle)?;
-        let header = Header {
-            workload: workload_hash(&self.program),
-            fingerprint: self.config_fingerprint(pairs),
-            jobs: jobs.len(),
-            injection_cycle,
-            golden_cycles: golden.cycles,
-        };
-        let (writer, prefilled, resumed) = match journal {
-            JournalMode::None => (None, vec![None; jobs.len()], 0),
-            JournalMode::Create(path) => (
-                Some(Journal::create(path, &header)?),
-                vec![None; jobs.len()],
-                0,
-            ),
-            JournalMode::Resume(path) => {
-                let (found, entries, truncated) = journal::read(path)?;
-                check_header(&header, &found)?;
-                let mut prefilled: Vec<Option<(FaultRecord, CampaignStats)>> =
-                    vec![None; jobs.len()];
-                let mut resumed = 0;
-                for entry in &entries {
-                    let job = jobs.get(entry.job).ok_or(JournalError::JobOutOfRange {
-                        job: entry.job,
-                        jobs: jobs.len(),
-                    })?;
-                    if entry.record.site != job.sites[0] || entry.record.kind != job.kind {
-                        return Err(JournalError::JobMismatch { job: entry.job }.into());
-                    }
-                    if prefilled[entry.job].is_none() {
-                        resumed += 1;
-                    }
-                    prefilled[entry.job] = Some((entry.record.clone(), entry.delta));
-                }
-                let writer = if truncated {
-                    // The kill landed mid-append, so the file ends in a
-                    // torn fragment with no newline — appending onto it
-                    // would corrupt the next line. Rewrite the validated
-                    // prefix (serialization is canonical) and go on from
-                    // there.
-                    let mut journal = Journal::create(path, &header)?;
-                    for entry in &entries {
-                        journal.append(entry)?;
-                    }
-                    journal
-                } else {
-                    Journal::open_append(path)?
-                };
-                (Some(writer), prefilled, resumed)
-            }
-        };
-        let out = self.execute_jobs(
+        let header = self.header(pairs, jobs.len(), &[injection_cycle], golden);
+        let (writer, prefilled, resumed) = open_journal(&header, &jobs, journal)?;
+        let pool = self.build_pool(&config, golden, &[injection_cycle]);
+        let per_job = self.execute_jobs(
             threads,
             &config,
-            &golden,
-            injection_cycle,
+            golden,
+            pool.as_ref(),
             &jobs,
             writer,
             prefilled,
@@ -680,17 +808,38 @@ impl Campaign {
             resumed,
             ..CampaignStats::default()
         };
-        if self.execution == Execution::Fork {
-            // The shared prefix is simulated exactly once.
-            stats.prefix_cycles = out.prefix_cycles;
-            stats.cycles_simulated = out.prefix_cycles;
+        if let Some(pool) = &pool {
+            // The checkpoint pool is simulated exactly once.
+            stats.prefix_cycles = pool.build_cycles();
+            stats.cycles_simulated = pool.build_cycles();
+            stats.checkpoints_taken = pool.len();
+            stats.checkpoint_bytes = pool.bytes();
         }
-        let mut records = Vec::with_capacity(out.per_job.len());
-        for (record, delta) in out.per_job {
+        let mut records = Vec::with_capacity(per_job.len());
+        for (record, delta) in per_job {
             stats.merge(&delta);
             records.push(record);
         }
         Ok(CampaignResult::with_stats(records, stats))
+    }
+
+    /// The journal header identifying this campaign over `cycles` (one
+    /// entry per resolved instant; single-instant paths pass one).
+    fn header(&self, pairs: bool, jobs: usize, cycles: &[u64], golden: &GoldenRun) -> Header {
+        let mut instants_hash = FNV_OFFSET;
+        for &c in cycles {
+            instants_hash = fnv1a64(instants_hash, &c.to_be_bytes());
+        }
+        Header {
+            workload: workload_hash(&self.program),
+            fingerprint: self.config_fingerprint(pairs),
+            jobs,
+            injection_cycle: cycles[0],
+            golden_cycles: golden.cycles,
+            instants: cycles.len(),
+            instants_hash,
+            checkpoint_stride: self.checkpoint_stride.unwrap_or(0),
+        }
     }
 
     /// Expand the fault list into the campaign's job universe.
@@ -745,7 +894,7 @@ impl Campaign {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}|shard={:?}",
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}|shard={:?}|stride={:?}",
             self.target,
             self.kinds,
             self.sample,
@@ -755,6 +904,7 @@ impl Campaign {
             self.config,
             self.safety,
             self.shard,
+            self.checkpoint_stride,
         );
         fnv1a64(FNV_OFFSET, s.as_bytes())
     }
@@ -788,30 +938,68 @@ impl Campaign {
         config
     }
 
-    /// Simulate the shared fault-free prefix once and snapshot it (fork
-    /// engine only). The snapshot sits at the last instruction boundary
-    /// whose cycle count is strictly below the injection instant, so the
-    /// activation tick — and an open-line fault's held value — are
-    /// bit-identical to a run from reset.
-    fn prefix(
+    /// Simulate the golden trajectory once (fork engine only), dropping a
+    /// [`Checkpoint`] at the reset state, at every requested injection
+    /// boundary, and — under [`Campaign::with_checkpoint_stride`] — every
+    /// `stride` cycles up to the deepest boundary. Each checkpoint sits
+    /// at the last instruction boundary whose cycle count is strictly
+    /// below its target cycle, so the activation tick — and an open-line
+    /// fault's held value — are bit-identical to a run from reset.
+    /// Candidates are deduplicated and, beyond [`MAX_POOL_CHECKPOINTS`],
+    /// thinned evenly (always keeping the reset state and the deepest
+    /// boundary) so pool memory stays bounded; a job whose exact boundary
+    /// was thinned away replays the gap from the nearest surviving
+    /// ancestor. Returns `None` under [`Execution::FullReexecution`].
+    fn build_pool(
         &self,
         config: &Leon3Config,
         golden: &GoldenRun,
-        injection_cycle: u64,
-    ) -> Option<Prefix> {
+        instant_cycles: &[u64],
+    ) -> Option<CheckpointPool> {
         if self.execution != Execution::Fork {
             return None;
         }
-        let steps = golden.prefix_steps(injection_cycle);
+        let mut boundaries: Vec<u64> = vec![0];
+        let mut deepest_cycle = 0u64;
+        for &cycle in instant_cycles {
+            boundaries.push(golden.prefix_steps(cycle) as u64);
+            deepest_cycle = deepest_cycle.max(cycle);
+        }
+        if let Some(stride) = self.checkpoint_stride {
+            let mut at = stride;
+            while at <= deepest_cycle {
+                boundaries.push(golden.prefix_steps(at) as u64);
+                at += stride;
+            }
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        if boundaries.len() > MAX_POOL_CHECKPOINTS {
+            let last = boundaries.len() - 1;
+            let mut kept: Vec<u64> = (0..MAX_POOL_CHECKPOINTS)
+                .map(|i| boundaries[i * last / (MAX_POOL_CHECKPOINTS - 1)])
+                .collect();
+            kept.dedup();
+            boundaries = kept;
+        }
+        // One monotone sweep: each checkpoint continues stepping from the
+        // previous one, so pool construction costs the deepest boundary
+        // once, not the sum of all boundaries.
         let mut cpu = Leon3::new(config.clone());
         cpu.load(&self.program);
-        for _ in 0..steps {
-            cpu.step();
+        let mut stepped = 0u64;
+        let mut checkpoints = Vec::with_capacity(boundaries.len());
+        let mut bytes = 0u64;
+        for &steps in &boundaries {
+            while stepped < steps {
+                cpu.step();
+                stepped += 1;
+            }
+            let snapshot = cpu.snapshot();
+            bytes += snapshot.approx_bytes() as u64;
+            checkpoints.push(Checkpoint { snapshot, steps });
         }
-        Some(Prefix {
-            snapshot: cpu.snapshot(),
-            steps: steps as u64,
-        })
+        Some(CheckpointPool { checkpoints, bytes })
     }
 
     /// Run `jobs` on `threads` workers, honouring prefilled (resumed)
@@ -823,17 +1011,15 @@ impl Campaign {
         threads: usize,
         config: &Leon3Config,
         golden: &GoldenRun,
-        snapshot_cycle: u64,
+        pool: Option<&CheckpointPool>,
         jobs: &[Job],
         journal: Option<Journal>,
         prefilled: Vec<Option<(FaultRecord, CampaignStats)>>,
-    ) -> Result<ExecOutput, CampaignError> {
-        let prefix = self.prefix(config, golden, snapshot_cycle);
+    ) -> Result<Vec<(FaultRecord, CampaignStats)>, CampaignError> {
         let ctx = JobContext {
             program: &self.program,
             golden,
-            prefix: prefix.as_ref(),
-            snapshot_cycle,
+            pool,
             deadline: self.deadline,
             safety: self.safety,
         };
@@ -901,32 +1087,112 @@ impl Campaign {
         if let Some(e) = shared.journal_error {
             return Err(e.into());
         }
-        let per_job = shared
+        Ok(shared
             .slots
             .into_iter()
             // Invariant: the atomic counter hands every index to exactly
             // one worker, and prefilled indices arrive occupied — so every
             // slot is filled once the scope joins.
             .map(|slot| slot.expect("all jobs ran"))
-            .collect();
-        Ok(ExecOutput {
-            per_job,
-            prefix_cycles: prefix.map_or(0, |p| p.snapshot.cycle()),
-        })
+            .collect())
     }
 }
 
-/// Where `run_listed` journals to, if anywhere.
+/// A workload's golden run captured once for reuse across campaigns (see
+/// [`Campaign::prepare`]). Cheap to share behind an `Arc`: campaigns
+/// borrow it read-only.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// Hash of the workload image this golden run belongs to.
+    workload: u64,
+    /// Debug rendering of the classification platform configuration —
+    /// the golden trajectory depends on every field of it.
+    config: String,
+    golden: GoldenRun,
+}
+
+impl PreparedWorkload {
+    /// The workload-image hash this preparation pins.
+    pub fn workload_hash(&self) -> u64 {
+        self.workload
+    }
+
+    /// Refuse reuse across a different workload or platform configuration.
+    fn check(&self, program: &Program, config: &Leon3Config) -> Result<(), CampaignError> {
+        if self.workload != workload_hash(program) {
+            return Err(CampaignError::PreparedMismatch { field: "workload" });
+        }
+        if self.config != format!("{config:?}") {
+            return Err(CampaignError::PreparedMismatch { field: "config" });
+        }
+        Ok(())
+    }
+}
+
+/// Where `run_listed`/`run_multi` journal to, if anywhere.
 enum JournalMode<'a> {
     None,
     Create(&'a Path),
     Resume(&'a Path),
 }
 
-/// What `execute_jobs` hands back for aggregation.
-struct ExecOutput {
-    per_job: Vec<(FaultRecord, CampaignStats)>,
-    prefix_cycles: u64,
+/// Open (or resume) the journal for `jobs`: the writer, the prefilled
+/// result slots, and how many jobs were reconstituted from disk.
+#[allow(clippy::type_complexity)]
+fn open_journal(
+    expected: &Header,
+    jobs: &[Job],
+    mode: JournalMode<'_>,
+) -> Result<
+    (
+        Option<Journal>,
+        Vec<Option<(FaultRecord, CampaignStats)>>,
+        usize,
+    ),
+    CampaignError,
+> {
+    match mode {
+        JournalMode::None => Ok((None, vec![None; jobs.len()], 0)),
+        JournalMode::Create(path) => Ok((
+            Some(Journal::create(path, expected)?),
+            vec![None; jobs.len()],
+            0,
+        )),
+        JournalMode::Resume(path) => {
+            let (found, entries, truncated) = journal::read(path)?;
+            check_header(expected, &found)?;
+            let mut prefilled: Vec<Option<(FaultRecord, CampaignStats)>> = vec![None; jobs.len()];
+            let mut resumed = 0;
+            for entry in &entries {
+                let job = jobs.get(entry.job).ok_or(JournalError::JobOutOfRange {
+                    job: entry.job,
+                    jobs: jobs.len(),
+                })?;
+                if entry.record.site != job.sites[0] || entry.record.kind != job.kind {
+                    return Err(JournalError::JobMismatch { job: entry.job }.into());
+                }
+                if prefilled[entry.job].is_none() {
+                    resumed += 1;
+                }
+                prefilled[entry.job] = Some((entry.record.clone(), entry.delta));
+            }
+            let writer = if truncated {
+                // The kill landed mid-append, so the file ends in a
+                // torn fragment with no newline — appending onto it
+                // would corrupt the next line. Rewrite the validated
+                // prefix (serialization is canonical) and go on from
+                // there.
+                let mut journal = Journal::create(path, expected)?;
+                for entry in &entries {
+                    journal.append(entry)?;
+                }
+                journal
+            } else {
+                Journal::open_append(path)?
+            };
+            Ok((Some(writer), prefilled, resumed))
+        }
+    }
 }
 
 /// Worker-shared mutable state, updated whole-record under one lock.
@@ -959,12 +1225,22 @@ fn workload_hash(program: &Program) -> u64 {
     h
 }
 
-/// Field-by-field header validation with a precise error.
+/// Field-by-field header validation with a precise error. The opaque
+/// configuration fingerprint is checked *after* the named structural
+/// fields, so a mismatch one of them can explain (a different checkpoint
+/// stride, instant list or job universe) is reported by name.
 fn check_header(expected: &Header, found: &Header) -> Result<(), JournalError> {
-    let fields: [(&'static str, u64, u64); 5] = [
+    let fields: [(&'static str, u64, u64); 8] = [
         ("workload", expected.workload, found.workload),
-        ("fingerprint", expected.fingerprint, found.fingerprint),
         ("jobs", expected.jobs as u64, found.jobs as u64),
+        ("instants", expected.instants as u64, found.instants as u64),
+        ("instants_hash", expected.instants_hash, found.instants_hash),
+        (
+            "checkpoint_stride",
+            expected.checkpoint_stride,
+            found.checkpoint_stride,
+        ),
+        ("fingerprint", expected.fingerprint, found.fingerprint),
         (
             "injection_cycle",
             expected.injection_cycle,
@@ -1003,22 +1279,54 @@ impl Job {
     }
 }
 
-/// The shared fault-free prefix of a fork-engine campaign.
-struct Prefix {
+/// One fault-free snapshot of the golden trajectory, restorable by any
+/// job whose injection boundary lies at or beyond `steps`.
+struct Checkpoint {
     snapshot: Snapshot,
-    /// `step()` calls consumed by the prefix, so a forked run's hang
-    /// budget counts exactly as a run from reset would.
+    /// `step()` calls consumed before the snapshot, so a restored run's
+    /// hang budget counts exactly as a run from reset would.
     steps: u64,
+}
+
+/// The fork engine's checkpoint pool: golden-trajectory snapshots sorted
+/// by depth (always starting at the reset state), shared read-only by
+/// every worker.
+struct CheckpointPool {
+    checkpoints: Vec<Checkpoint>,
+    /// Approximate resident bytes across every snapshot in the pool.
+    bytes: u64,
+}
+
+impl CheckpointPool {
+    /// The deepest checkpoint at or before `boundary` (in steps). The
+    /// pool always holds the reset-state checkpoint (`steps == 0`), so
+    /// every boundary has an ancestor.
+    fn nearest(&self, boundary: u64) -> &Checkpoint {
+        let idx = self.checkpoints.partition_point(|c| c.steps <= boundary);
+        &self.checkpoints[idx - 1]
+    }
+
+    /// Cycles simulated to build the pool: the deepest checkpoint's
+    /// cycle, since construction is one monotone sweep.
+    fn build_cycles(&self) -> u64 {
+        self.checkpoints.last().map_or(0, |c| c.snapshot.cycle())
+    }
+
+    fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
 }
 
 /// Everything a worker needs to classify one job.
 struct JobContext<'a> {
     program: &'a Program,
     golden: &'a GoldenRun,
-    prefix: Option<&'a Prefix>,
-    /// The cycle the prefix snapshot was taken for; jobs injecting at a
-    /// different instant must not fork from it.
-    snapshot_cycle: u64,
+    /// The checkpoint pool (fork engine only).
+    pool: Option<&'a CheckpointPool>,
     /// Per-job wall-clock budget, if configured.
     deadline: Option<Duration>,
     /// Which safety mechanisms to evaluate over the observation.
@@ -1084,11 +1392,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Classify one job. On the fork engine the model is restored from the
-/// shared prefix snapshot — or the job is skipped outright when the golden
-/// run never reads any injected net from the injection instant on; a job
-/// whose instant differs from the snapshot's falls back to full
-/// re-execution. On the full-reexecution engine the model is reset and
-/// re-run from cycle 0.
+/// nearest-ancestor checkpoint — replaying any gap up to the injection
+/// boundary with the fault armed but not yet active, so the activation
+/// tick is bit-identical to a run from reset — or the job is skipped
+/// outright when the golden run never reads any injected net from the
+/// injection instant on. On the full-reexecution engine the model is
+/// reset and re-run from cycle 0.
 fn run_job(
     cpu: &mut Leon3,
     ctx: &JobContext<'_>,
@@ -1096,7 +1405,7 @@ fn run_job(
     job: &Job,
 ) -> (FaultOutcome, Detection) {
     let deadline = ctx.deadline.map(|d| Instant::now() + d);
-    if let Some(prefix) = ctx.prefix {
+    if let Some(pool) = ctx.pool {
         let inert = job
             .sites()
             .iter()
@@ -1110,27 +1419,31 @@ fn run_job(
             tally.cycles_avoided += ctx.golden.cycles;
             return (FaultOutcome::NoEffect, Detection::Undetected);
         }
-        if job.injection_cycle == ctx.snapshot_cycle {
+        let boundary = ctx.golden.prefix_steps(job.injection_cycle) as u64;
+        let ckpt = pool.nearest(boundary);
+        if ckpt.steps == boundary {
             tally.forked += 1;
-            cpu.restore(&prefix.snapshot);
-            inject_all(cpu, job);
-            let run = observe(
-                cpu,
-                ctx.golden,
-                job.injection_cycle,
-                prefix.steps,
-                prefix.snapshot.trace_len(),
-                deadline,
-            );
-            tally.cycles_simulated += cpu.cycles() - prefix.snapshot.cycle();
-            tally.cycles_avoided += prefix.snapshot.cycle();
-            tally.short_circuited += usize::from(run.short_circuited);
-            tally.timed_out += usize::from(run.timed_out);
-            let detection = classify_run(cpu, ctx, job, &run);
-            return (run.outcome, detection);
+        } else {
+            tally.restored_from_checkpoint += 1;
+            tally.replay_cycles +=
+                ctx.golden.cycle_at_step(boundary as usize) - ckpt.snapshot.cycle();
         }
-        // Mixed-instant fallback: the snapshot was taken for a different
-        // instant, so forking from it would be wrong — re-execute.
+        cpu.restore(&ckpt.snapshot);
+        inject_all(cpu, job);
+        let run = observe(
+            cpu,
+            ctx.golden,
+            job.injection_cycle,
+            ckpt.steps,
+            ckpt.snapshot.trace_len(),
+            deadline,
+        );
+        tally.cycles_simulated += cpu.cycles() - ckpt.snapshot.cycle();
+        tally.cycles_avoided += ckpt.snapshot.cycle();
+        tally.short_circuited += usize::from(run.short_circuited);
+        tally.timed_out += usize::from(run.timed_out);
+        let detection = classify_run(cpu, ctx, job, &run);
+        return (run.outcome, detection);
     }
     tally.full_reexecutions += 1;
     cpu.reset();
@@ -1634,9 +1947,9 @@ mod tests {
     #[test]
     fn multi_instant_matches_separate_campaigns() {
         // One multi-instant campaign must reproduce, per instant, the
-        // records of a dedicated campaign at that instant — with the
-        // off-snapshot instants gracefully falling back to full
-        // re-execution instead of forking from the wrong snapshot.
+        // records of a dedicated campaign at that instant — with every
+        // instant forking from its own pool checkpoint, never falling
+        // back to full re-execution.
         let program = small_program();
         let campaign = Campaign::new(program, Target::IntegerUnit)
             .with_sample(12, 29)
@@ -1656,10 +1969,69 @@ mod tests {
             };
             assert_eq!(result.records(), single.records());
         }
-        // The first instant owns the snapshot; the second fell back.
+        // Every instant has its own checkpoint in the pool: no instant
+        // falls back to full re-execution, and each one forks whenever it
+        // has an active job.
+        for result in &multi {
+            assert_eq!(result.stats().full_reexecutions, 0, "{:?}", result.stats());
+            assert!(
+                result.stats().forked + result.stats().skipped_inactive == result.stats().jobs,
+                "{:?}",
+                result.stats()
+            );
+        }
         assert!(multi[0].stats().forked > 0, "{:?}", multi[0].stats());
-        assert_eq!(multi[0].stats().full_reexecutions, 0);
-        assert_eq!(multi[1].stats().forked, 0, "{:?}", multi[1].stats());
-        assert!(multi[1].stats().full_reexecutions > 0);
+        assert!(multi[1].stats().forked > 0, "{:?}", multi[1].stats());
+        // The pool (one reset checkpoint + one per instant boundary) is
+        // billed to the first instant.
+        assert_eq!(multi[0].stats().checkpoints_taken, 3);
+        assert_eq!(multi[1].stats().checkpoints_taken, 0);
+        assert!(multi[0].stats().checkpoint_bytes > 0);
+    }
+
+    #[test]
+    fn prepared_workload_reuses_golden_and_refuses_mismatch() {
+        let program = small_program();
+        let campaign = Campaign::new(program.clone(), Target::IntegerUnit).with_sample(8, 11);
+        let prepared = campaign.prepare().expect("valid");
+        let direct = campaign.try_run(2).expect("valid");
+        let reused = campaign.try_run_prepared(2, &prepared).expect("valid");
+        assert_eq!(direct.records(), reused.records());
+        assert_eq!(direct.stats(), reused.stats());
+        // A different platform configuration invalidates the preparation
+        // (parity toggles the classification config's cmem_parity).
+        let other = campaign.clone().with_parity(true);
+        assert!(matches!(
+            other.try_run_prepared(2, &prepared),
+            Err(CampaignError::PreparedMismatch { field: "config" })
+        ));
+    }
+
+    #[test]
+    fn zero_checkpoint_stride_is_refused() {
+        let campaign = Campaign::new(small_program(), Target::IntegerUnit)
+            .with_sample(4, 7)
+            .with_checkpoint_stride(0);
+        assert!(matches!(
+            campaign.try_run(1),
+            Err(CampaignError::ZeroCheckpointStride)
+        ));
+    }
+
+    #[test]
+    fn stride_checkpoints_bound_the_replay_gap() {
+        // A stride adds grid checkpoints between reset and the injection
+        // boundary; the job's own boundary checkpoint still exists, so
+        // records and fork counts are unchanged by the stride.
+        let program = small_program();
+        let base = Campaign::new(program, Target::IntegerUnit)
+            .with_sample(10, 13)
+            .with_injection_fraction(0.8);
+        let plain = base.clone().try_run(2).expect("valid");
+        let strided = base.with_checkpoint_stride(50).try_run(2).expect("valid");
+        assert_eq!(plain.records(), strided.records());
+        assert_eq!(plain.stats().forked, strided.stats().forked);
+        assert_eq!(strided.stats().replay_cycles, 0);
+        assert!(strided.stats().checkpoints_taken > plain.stats().checkpoints_taken);
     }
 }

@@ -52,6 +52,17 @@ pub enum CampaignError {
         /// writes (measured from cycle 0), in cycles.
         golden_max_gap: u64,
     },
+    /// A periodic checkpoint grid with zero spacing is meaningless
+    /// (`with_checkpoint_stride(0)`); omit the stride to checkpoint only
+    /// at the requested injection boundaries.
+    ZeroCheckpointStride,
+    /// A prepared workload was built for a different program or platform
+    /// configuration than this campaign's.
+    PreparedMismatch {
+        /// Which part of the prepared identity disagreed (`"workload"` or
+        /// `"config"`).
+        field: &'static str,
+    },
     /// The write-ahead journal could not be created, appended, parsed or
     /// matched against this campaign.
     Journal(JournalError),
@@ -89,6 +100,15 @@ impl fmt::Display for CampaignError {
                 f,
                 "watchdog timeout of {timeout_cycles} cycles would fire on the fault-free run \
                  (largest golden inter-write gap is {golden_max_gap} cycles)"
+            ),
+            CampaignError::ZeroCheckpointStride => write!(
+                f,
+                "a zero-cycle checkpoint stride is meaningless; omit it to checkpoint only at \
+                 the injection boundaries"
+            ),
+            CampaignError::PreparedMismatch { field } => write!(
+                f,
+                "the prepared workload was built for a different campaign (`{field}` disagrees)"
             ),
             CampaignError::Journal(e) => write!(f, "journal: {e}"),
         }

@@ -27,8 +27,11 @@ use std::path::Path;
 /// Format identifier carried in every header line.
 pub const MAGIC: &str = "fault-campaign-journal";
 /// Format version; bumped on any incompatible change. Version 2 added the
-/// hang latency, the `activated` flag and the detection fields.
-pub const VERSION: u64 = 2;
+/// hang latency, the `activated` flag and the detection fields. Version 3
+/// added the checkpoint-pool header fields (`instants`, `instants_hash`,
+/// `checkpoint_stride`) and the per-entry `replay` engine with its
+/// `replay_cycles`.
+pub const VERSION: u64 = 3;
 
 /// FNV-1a 64-bit — the journal's content hash (hermetic, no dependencies).
 pub(crate) fn fnv1a64(init: u64, bytes: &[u8]) -> u64 {
@@ -54,11 +57,23 @@ pub struct Header {
     pub fingerprint: u64,
     /// Total `(site, kind)` jobs in the campaign.
     pub jobs: usize,
-    /// The resolved injection cycle (a model-observable golden fact: if
-    /// the model changed since the journal was written, this disagrees).
+    /// The resolved injection cycle of the first instant (a
+    /// model-observable golden fact: if the model changed since the
+    /// journal was written, this disagrees).
     pub injection_cycle: u64,
     /// The golden run's cycle count (same role as `injection_cycle`).
     pub golden_cycles: u64,
+    /// How many injection instants the campaign sweeps (1 for the
+    /// single-instant entry points).
+    pub instants: usize,
+    /// FNV-1a hash over every resolved injection cycle, in sweep order —
+    /// a multi-instant journal refuses a campaign with different instants
+    /// even when the first one matches.
+    pub instants_hash: u64,
+    /// The checkpoint-pool stride in cycles (0 = no periodic grid). The
+    /// stride cannot change which records exist, but it changes every
+    /// entry's cost delta, so a resumed journal must agree on it.
+    pub checkpoint_stride: u64,
 }
 
 impl Header {
@@ -67,8 +82,16 @@ impl Header {
         format!(
             "{{\"journal\":\"{MAGIC}\",\"version\":{VERSION},\
              \"workload\":\"{:016x}\",\"fingerprint\":\"{:016x}\",\
-             \"jobs\":{},\"injection_cycle\":{},\"golden_cycles\":{}}}",
-            self.workload, self.fingerprint, self.jobs, self.injection_cycle, self.golden_cycles
+             \"jobs\":{},\"injection_cycle\":{},\"golden_cycles\":{},\
+             \"instants\":{},\"instants_hash\":\"{:016x}\",\"checkpoint_stride\":{}}}",
+            self.workload,
+            self.fingerprint,
+            self.jobs,
+            self.injection_cycle,
+            self.golden_cycles,
+            self.instants,
+            self.instants_hash,
+            self.checkpoint_stride,
         )
     }
 
@@ -107,6 +130,11 @@ impl Header {
             golden_cycles: v
                 .get_u64("golden_cycles")
                 .ok_or(JournalError::MissingHeader)?,
+            instants: v.get_u64("instants").ok_or(JournalError::MissingHeader)? as usize,
+            instants_hash: hex("instants_hash")?,
+            checkpoint_stride: v
+                .get_u64("checkpoint_stride")
+                .ok_or(JournalError::MissingHeader)?,
         })
     }
 }
@@ -132,6 +160,8 @@ impl Entry {
             "skip"
         } else if self.delta.forked > 0 {
             "fork"
+        } else if self.delta.restored_from_checkpoint > 0 {
+            "replay"
         } else if self.delta.full_reexecutions > 0 {
             "full"
         } else {
@@ -144,12 +174,14 @@ impl Entry {
         let _ = write!(
             s,
             ",\"engine\":\"{engine}\",\"short_circuited\":{},\"timed_out\":{},\
-             \"retried\":{},\"cycles_simulated\":{},\"cycles_avoided\":{}}}",
+             \"retried\":{},\"cycles_simulated\":{},\"cycles_avoided\":{},\
+             \"replay_cycles\":{}}}",
             self.delta.short_circuited > 0,
             self.delta.timed_out > 0,
             self.delta.retried > 0,
             self.delta.cycles_simulated,
             self.delta.cycles_avoided,
+            self.delta.replay_cycles,
         );
         s
     }
@@ -186,11 +218,13 @@ impl Entry {
             anomalies: usize::from(matches!(record.outcome, FaultOutcome::EngineAnomaly { .. })),
             cycles_simulated: field_u64("cycles_simulated")?,
             cycles_avoided: field_u64("cycles_avoided")?,
+            replay_cycles: field_u64("replay_cycles")?,
             ..CampaignStats::default()
         };
         match field_str("engine")? {
             "skip" => delta.skipped_inactive = 1,
             "fork" => delta.forked = 1,
+            "replay" => delta.restored_from_checkpoint = 1,
             "full" => delta.full_reexecutions = 1,
             "none" => {}
             other => return Err(malformed(format!("unknown engine `{other}`"))),
@@ -339,8 +373,22 @@ mod tests {
             jobs: 72,
             injection_cycle: 991,
             golden_cycles: 12_345,
+            instants: 4,
+            instants_hash: 0x1357_9bdf_2468_ace0,
+            checkpoint_stride: 5_000,
         };
         assert_eq!(Header::parse(&h.to_line()).unwrap(), h);
+    }
+
+    #[test]
+    fn replay_entries_round_trip() {
+        let mut e = entry(11, FaultOutcome::NoEffect);
+        e.delta.forked = 0;
+        e.delta.restored_from_checkpoint = 1;
+        e.delta.replay_cycles = 321;
+        let parsed = Entry::parse(&e.to_line(), 1).unwrap();
+        assert_eq!(parsed, e);
+        assert!(e.to_line().contains("\"engine\":\"replay\""));
     }
 
     #[test]
@@ -406,6 +454,9 @@ mod tests {
             jobs: 3,
             injection_cycle: 0,
             golden_cycles: 100,
+            instants: 1,
+            instants_hash: 0,
+            checkpoint_stride: 0,
         };
         let e0 = entry(0, FaultOutcome::NoEffect);
         let e1 = entry(1, FaultOutcome::Hang { latency_cycles: 5 });

@@ -72,7 +72,9 @@ mod sites;
 pub mod wire;
 
 pub use bridging::{bridge_pairs, bridge_pf, BridgeRecord, BridgingCampaign};
-pub use campaign::{Campaign, Execution, GoldenRun, InjectionInstant};
+pub use campaign::{
+    Campaign, Execution, GoldenRun, InjectionInstant, PreparedWorkload, MAX_POOL_CHECKPOINTS,
+};
 pub use error::{CampaignError, JournalError};
 pub use explain::{explain, explain_with_safety};
 pub use iss_campaign::{arch_pf, ArchRecord, IssCampaign};

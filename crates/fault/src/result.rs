@@ -176,7 +176,8 @@ impl ModelSummary {
 pub struct CampaignStats {
     /// Total (site, kind) jobs in the campaign.
     pub jobs: usize,
-    /// Jobs resumed from the shared fault-free prefix snapshot.
+    /// Jobs resumed from a checkpoint taken exactly at their injection
+    /// boundary (no gap to replay).
     pub forked: usize,
     /// Jobs simulated from cycle 0 (the full-reexecution engine).
     pub full_reexecutions: usize,
@@ -200,8 +201,27 @@ pub struct CampaignStats {
     /// Jobs whose records were reconstituted from a write-ahead journal by
     /// `Campaign::resume` instead of being simulated in this process.
     pub resumed: usize,
-    /// Cycles of the shared fault-free prefix (simulated once per
-    /// campaign by the fork engine; zero under full re-execution).
+    /// Jobs restored from a strict-ancestor checkpoint (the nearest one at
+    /// or before their injection boundary) that replayed the gap up to the
+    /// boundary before activation.
+    pub restored_from_checkpoint: usize,
+    /// Fault-free gap cycles replayed between an ancestor checkpoint and
+    /// the injection boundary, summed over
+    /// [`CampaignStats::restored_from_checkpoint`] jobs. Also included in
+    /// [`CampaignStats::cycles_simulated`] — the price of a sparse pool.
+    pub replay_cycles: u64,
+    /// Snapshots captured into the checkpoint pool while building it
+    /// (once per campaign under the fork engine; zero under full
+    /// re-execution).
+    pub checkpoints_taken: usize,
+    /// Approximate resident bytes of the whole checkpoint pool (resident
+    /// memory pages, net-pool values and trace events across every
+    /// snapshot) — the memory side of the stride's memory-vs-replay
+    /// trade-off. Campaign-level like `checkpoints_taken`.
+    pub checkpoint_bytes: u64,
+    /// Cycles simulated to build the checkpoint pool — the deepest
+    /// checkpoint's cycle, paid exactly once per campaign by the fork
+    /// engine (zero under full re-execution).
     pub prefix_cycles: u64,
     /// The golden run's cycle count, for scale.
     pub golden_cycles: u64,
@@ -247,6 +267,10 @@ impl CampaignStats {
         self.retried += other.retried;
         self.anomalies += other.anomalies;
         self.resumed += other.resumed;
+        self.restored_from_checkpoint += other.restored_from_checkpoint;
+        self.replay_cycles += other.replay_cycles;
+        self.checkpoints_taken += other.checkpoints_taken;
+        self.checkpoint_bytes += other.checkpoint_bytes;
         self.prefix_cycles += other.prefix_cycles;
         self.golden_cycles = self.golden_cycles.max(other.golden_cycles);
         self.cycles_simulated += other.cycles_simulated;

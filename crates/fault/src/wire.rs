@@ -496,7 +496,7 @@ type StatsSet = fn(&mut CampaignStats, u64);
 
 /// The stats fields on the wire, in serialization order. One table drives
 /// both directions so the formats cannot drift.
-const STATS_FIELDS: [(&str, StatsGet, StatsSet); 19] = [
+const STATS_FIELDS: [(&str, StatsGet, StatsSet); 23] = [
     ("jobs", |s| s.jobs as u64, |s, v| s.jobs = v as usize),
     ("forked", |s| s.forked as u64, |s, v| s.forked = v as usize),
     (
@@ -533,6 +533,26 @@ const STATS_FIELDS: [(&str, StatsGet, StatsSet); 19] = [
         "resumed",
         |s| s.resumed as u64,
         |s, v| s.resumed = v as usize,
+    ),
+    (
+        "restored_from_checkpoint",
+        |s| s.restored_from_checkpoint as u64,
+        |s, v| s.restored_from_checkpoint = v as usize,
+    ),
+    (
+        "replay_cycles",
+        |s| s.replay_cycles,
+        |s, v| s.replay_cycles = v,
+    ),
+    (
+        "checkpoints_taken",
+        |s| s.checkpoints_taken as u64,
+        |s, v| s.checkpoints_taken = v as usize,
+    ),
+    (
+        "checkpoint_bytes",
+        |s| s.checkpoint_bytes,
+        |s, v| s.checkpoint_bytes = v,
     ),
     (
         "prefix_cycles",
@@ -804,9 +824,12 @@ pub fn merge_shards(mut shards: Vec<ShardResult>) -> Result<ShardResult, Journal
         stats.merge(s.result.stats());
     }
     // Every fork shard simulated the shared fault-free prefix for
-    // itself; the unsharded campaign pays it exactly once.
+    // itself (and captured its own identical checkpoint pool); the
+    // unsharded campaign pays for both exactly once.
     stats.cycles_simulated -= prefix_cycles * (n as u64 - 1);
     stats.prefix_cycles = prefix_cycles;
+    stats.checkpoints_taken = shards[0].result.stats().checkpoints_taken;
+    stats.checkpoint_bytes = shards[0].result.stats().checkpoint_bytes;
     Ok(ShardResult {
         fingerprint,
         index: 0,

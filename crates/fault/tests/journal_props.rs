@@ -137,14 +137,25 @@ fn arb_header() -> impl Strategy<Value = Header> {
         0usize..1_000_000,
         any::<u64>(),
         any::<u64>(),
+        (1usize..64, any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |(workload, fingerprint, jobs, injection_cycle, golden_cycles)| Header {
+            |(
                 workload,
                 fingerprint,
                 jobs,
                 injection_cycle,
                 golden_cycles,
+                (instants, instants_hash, checkpoint_stride),
+            )| Header {
+                workload,
+                fingerprint,
+                jobs,
+                injection_cycle,
+                golden_cycles,
+                instants,
+                instants_hash,
+                checkpoint_stride,
             },
         )
 }

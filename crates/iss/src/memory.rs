@@ -64,6 +64,13 @@ impl Memory {
         (self.base, self.size)
     }
 
+    /// Bytes actually resident: allocated pages only, not the window size.
+    /// Snapshot memory accounting keys on this — a cloned `Memory` costs
+    /// what the workload touched, not what the platform advertises.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
     /// Whether `addr..addr+len` lies inside the RAM window.
     pub fn in_range(&self, addr: u32, len: u32) -> bool {
         addr >= self.base

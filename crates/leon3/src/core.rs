@@ -54,6 +54,17 @@ impl Snapshot {
     pub fn instructions(&self) -> u64 {
         self.stats.instructions
     }
+
+    /// Approximate resident size of this snapshot in bytes: captured net
+    /// values, allocated memory pages and the recorded bus trace (the
+    /// three components that grow with the workload; the fixed-size
+    /// fields are noise next to them). Checkpoint pools use this to
+    /// report the memory side of the stride trade-off.
+    pub fn approx_bytes(&self) -> usize {
+        self.pool.resident_bytes()
+            + self.mem.resident_bytes()
+            + self.trace.len() * std::mem::size_of::<sparc_iss::BusEvent>()
+    }
 }
 
 /// The signal-level Leon3-like model.

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use analysis::SplitMix64;
 use std::ops::Range;
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access to crates.io, so the real
 //! `proptest` cannot be resolved. This crate implements the API surface
-//! the workspace's property tests use — the [`Strategy`] trait with
+//! the workspace's property tests use — the [`strategy::Strategy`] trait with
 //! `prop_map`, integer-range and tuple strategies, [`strategy::Just`],
 //! `any::<T>()`, `collection::vec`, `sample::select`, `prop_oneof!`,
 //! `proptest!` and the `prop_assert*` macros — on top of the suite's own

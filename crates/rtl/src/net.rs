@@ -73,6 +73,12 @@ impl PoolCheckpoint {
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
+
+    /// Bytes held by the captured net values (for snapshot-pool memory
+    /// accounting).
+    pub fn resident_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<u32>()
+    }
 }
 
 impl<T> Default for NetPool<T> {

@@ -10,6 +10,7 @@
 use crate::http::{read_request, write_response, Request};
 use crate::spec::CampaignSpec;
 use fault_inject::wire::{escape_json, merge_shards, Json, ShardResult};
+use fault_inject::PreparedWorkload;
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -87,6 +88,8 @@ struct Counters {
     drained: u64,
     cache_hits: u64,
     cache_misses: u64,
+    golden_cache_hits: u64,
+    golden_cache_misses: u64,
     cycles_simulated_total: u64,
 }
 
@@ -104,6 +107,11 @@ struct Inner {
 
 struct Shared {
     inner: Mutex<Inner>,
+    /// One golden run per (workload, platform config), shared read-only
+    /// across campaigns: a sweep over kinds, instants or checkpoint
+    /// strides of one benchmark captures its golden trajectory once.
+    /// Separate from `inner` so a capture in flight never blocks routes.
+    golden: Mutex<HashMap<String, Arc<PreparedWorkload>>>,
     work: Condvar,
     shutdown: AtomicBool,
     config: ServerConfig,
@@ -176,6 +184,7 @@ impl Server {
                 draining: false,
                 counters: Counters::default(),
             }),
+            golden: Mutex::new(HashMap::new()),
             work: Condvar::new(),
             shutdown: AtomicBool::new(false),
             config,
@@ -286,7 +295,7 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let outcome = run_spec(&spec, shared.config.job_threads);
+        let outcome = run_spec(&spec, shared.config.job_threads, shared);
         let mut inner = shared.lock();
         inner.busy -= 1;
         match outcome {
@@ -311,15 +320,49 @@ fn worker_loop(shared: &Shared) {
 /// Run one spec with an extra panic net around the whole campaign (the
 /// engine already panic-isolates each job; this catches golden-run
 /// panics, which are workload bugs, so a bad spec cannot take a worker
-/// down with it).
-fn run_spec(spec: &CampaignSpec, job_threads: usize) -> Result<ShardResult, String> {
+/// down with it). The golden run comes from the service's prepared
+/// cache when a previous campaign over the same workload and platform
+/// configuration already captured it — the result is byte-identical to
+/// an uncached run.
+fn run_spec(
+    spec: &CampaignSpec,
+    job_threads: usize,
+    shared: &Shared,
+) -> Result<ShardResult, String> {
     let spec = spec.clone();
     let run = catch_unwind(AssertUnwindSafe(move || {
         let campaign = spec.to_campaign();
         let fingerprint = campaign.fingerprint();
         let (index, count) = spec.shard.unwrap_or((0, 1));
+        // The key is exactly the spec fields that reach the golden run:
+        // the workload image (benchmark; the service always runs default
+        // params) and the classification config (parity is its only
+        // spec-controlled field).
+        let golden_key = format!("{}|parity={}", spec.benchmark.name(), spec.safety.parity);
+        let cached = shared
+            .golden
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&golden_key)
+            .cloned();
+        let prepared = match cached {
+            Some(p) => {
+                shared.lock().counters.golden_cache_hits += 1;
+                p
+            }
+            None => {
+                let p = Arc::new(campaign.prepare().map_err(|e| e.to_string())?);
+                shared
+                    .golden
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(golden_key, Arc::clone(&p));
+                shared.lock().counters.golden_cache_misses += 1;
+                p
+            }
+        };
         campaign
-            .try_run(job_threads)
+            .try_run_prepared(job_threads, &prepared)
             .map(|result| ShardResult {
                 fingerprint,
                 index,
@@ -373,6 +416,11 @@ fn err_json(message: &str) -> String {
 }
 
 fn stats_json(shared: &Shared) -> String {
+    let golden_entries = shared
+        .golden
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .len();
     let inner = shared.lock();
     let c = &inner.counters;
     let workers = shared.config.workers;
@@ -387,8 +435,9 @@ fn stats_json(shared: &Shared) -> String {
         "{{\"queue_depth\":{},\"queue_capacity\":{},\"workers\":{workers},\
          \"busy\":{},\"utilization\":{utilization},\"submitted\":{},\
          \"completed\":{},\"failed\":{},\"drained\":{},\"cache_entries\":{},\
-         \"cache_hits\":{},\"cache_misses\":{},\"cycles_simulated_total\":{},\
-         \"draining\":{}}}",
+         \"cache_hits\":{},\"cache_misses\":{},\"golden_cache_entries\":{},\
+         \"golden_cache_hits\":{},\"golden_cache_misses\":{},\
+         \"cycles_simulated_total\":{},\"draining\":{}}}",
         inner.queue.len(),
         shared.config.queue_depth,
         inner.busy,
@@ -399,6 +448,9 @@ fn stats_json(shared: &Shared) -> String {
         inner.cache.len(),
         c.cache_hits,
         c.cache_misses,
+        golden_entries,
+        c.golden_cache_hits,
+        c.golden_cache_misses,
         c.cycles_simulated_total,
         inner.draining,
     );

@@ -34,6 +34,11 @@ pub struct CampaignSpec {
     pub sample: Option<(usize, u64)>,
     /// When the faults appear (cycle 0 when absent on the wire).
     pub injection: InjectionInstant,
+    /// Optional checkpoint stride in cycles: the fork engine drops a
+    /// pool checkpoint every this-many cycles on top of the per-instant
+    /// ones (see `Campaign::with_checkpoint_stride`). Enters the
+    /// fingerprint — it changes every job's cost accounting.
+    pub checkpoint_stride: Option<u64>,
     /// Which safety mechanisms to model (all off when absent).
     pub safety: SafetyConfig,
     /// Optional per-job wall-clock deadline in milliseconds.
@@ -51,6 +56,7 @@ impl CampaignSpec {
             kinds: FaultKind::ALL.to_vec(),
             sample: None,
             injection: InjectionInstant::Cycle(0),
+            checkpoint_stride: None,
             safety: SafetyConfig::default(),
             deadline_ms: None,
             shard: None,
@@ -86,6 +92,9 @@ impl CampaignSpec {
             InjectionInstant::Fraction(f) => {
                 let _ = write!(s, ",\"injection_fraction\":{f}");
             }
+        }
+        if let Some(stride) = self.checkpoint_stride {
+            let _ = write!(s, ",\"checkpoint_stride\":{stride}");
         }
         if let Some(w) = self.safety.lockstep_window {
             let _ = write!(s, ",\"lockstep_window\":{w}");
@@ -172,6 +181,7 @@ impl CampaignSpec {
             kinds,
             sample,
             injection,
+            checkpoint_stride: v.get_u64("checkpoint_stride"),
             safety,
             deadline_ms: v.get_u64("deadline_ms"),
             shard,
@@ -190,6 +200,9 @@ impl CampaignSpec {
             InjectionInstant::Cycle(c) => campaign.with_injection_cycle(c),
             InjectionInstant::Fraction(f) => campaign.with_injection_fraction(f),
         };
+        if let Some(stride) = self.checkpoint_stride {
+            campaign = campaign.with_checkpoint_stride(stride);
+        }
         if let Some(ms) = self.deadline_ms {
             campaign = campaign.with_deadline(Duration::from_millis(ms));
         }
@@ -251,6 +264,7 @@ mod tests {
         spec.kinds = vec![FaultKind::StuckAt1, FaultKind::OpenLine];
         spec.sample = Some((40, 7));
         spec.injection = InjectionInstant::Fraction(0.3);
+        spec.checkpoint_stride = Some(10_000);
         spec.safety = SafetyConfig {
             lockstep_window: Some(64),
             parity: true,
@@ -271,7 +285,20 @@ mod tests {
         assert_eq!(spec.injection, InjectionInstant::Cycle(0));
         assert_eq!(spec.sample, None);
         assert_eq!(spec.shard, None);
+        assert_eq!(spec.checkpoint_stride, None);
         assert!(!spec.safety.any_enabled());
+    }
+
+    #[test]
+    fn checkpoint_stride_changes_the_fingerprint() {
+        // The stride changes every entry's cost accounting, so two specs
+        // differing only in stride must not share cached results.
+        let mut a = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+        a.sample = Some((10, 3));
+        let mut b = a.clone();
+        b.checkpoint_stride = Some(5_000);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.cache_key(), b.cache_key());
     }
 
     #[test]

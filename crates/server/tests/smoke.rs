@@ -2,6 +2,7 @@
 //! the real client.
 
 use fault_inject::{InjectionInstant, Target};
+use rtl_sim::FaultKind;
 use verifd::{client, CampaignSpec, Server, ServerConfig};
 use workloads::Benchmark;
 
@@ -101,6 +102,55 @@ fn sharded_submissions_merge_to_the_unsharded_result() {
         }
         other => panic!("expected a 409 refusal, got {other:?}"),
     }
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn transient_campaigns_share_one_golden_run() {
+    let (server, addr) = start(1, None);
+
+    // A transient sweep instant: flips at 40% of the golden run, with a
+    // stride grid thickening the checkpoint pool.
+    let mut transient = small_spec();
+    transient.kinds = vec![FaultKind::TransientFlip];
+    transient.injection = InjectionInstant::Fraction(0.4);
+    transient.checkpoint_stride = Some(10_000);
+
+    let first = client::submit(&addr, &transient).expect("submit");
+    let first_result = client::wait(&addr, first.id).expect("transient run");
+    // The service result matches a local run of the same spec bit-for-bit.
+    let local = transient.to_campaign().try_run(1).expect("local run");
+    assert_eq!(first_result.result, local);
+    assert_eq!(first_result.result.stats().full_reexecutions, 0);
+    assert!(first_result.result.stats().checkpoints_taken > 0);
+
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(stats.get_u64("golden_cache_misses"), Some(1));
+    assert_eq!(stats.get_u64("golden_cache_hits"), Some(0));
+
+    // A different instant on the same workload re-uses the cached golden
+    // run instead of re-executing it.
+    let mut second = transient.clone();
+    second.injection = InjectionInstant::Fraction(0.7);
+    let reply = client::submit(&addr, &second).expect("submit");
+    assert!(!reply.cached, "different instant is a different campaign");
+    client::wait(&addr, reply.id).expect("second run");
+
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(stats.get_u64("golden_cache_hits"), Some(1));
+    assert_eq!(stats.get_u64("golden_cache_misses"), Some(1));
+    assert_eq!(stats.get_u64("golden_cache_entries"), Some(1));
+
+    // A parity-armed spec changes the golden classification config and
+    // must not share the cached run.
+    let mut parity = transient.clone();
+    parity.safety.parity = true;
+    let reply = client::submit(&addr, &parity).expect("submit");
+    client::wait(&addr, reply.id).expect("parity run");
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(stats.get_u64("golden_cache_misses"), Some(2));
+    assert_eq!(stats.get_u64("golden_cache_entries"), Some(2));
 
     server.shutdown().expect("shutdown");
 }
