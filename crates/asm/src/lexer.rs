@@ -84,7 +84,7 @@ pub(crate) fn lex_line(line: &str, lineno: usize) -> Result<Vec<Token>, AsmError
             }
             '0'..='9' => {
                 let mut end = start + 1;
-                let hex = c == '0' && matches!(chars.peek(), Some(&(_, 'x')) | Some(&(_, 'X')));
+                let hex = c == '0' && matches!(chars.peek(), Some(&(_, 'x') | &(_, 'X')));
                 if hex {
                     chars.next();
                     end += 1;

@@ -1,0 +1,112 @@
+//! Throughput of static net-graph pruning: the fork engine with and
+//! without `with_static_analysis` on the campaigns where the analyzer
+//! has something to say. Writes `BENCH_netcheck.json` at the repo root
+//! with the measured jobs/s gain and pruning ratio per case.
+
+use fault_inject::{Campaign, CampaignStats, Target};
+use rtl_sim::FaultKind;
+use std::time::Instant;
+use workloads::{Benchmark, Params};
+
+struct Measurement {
+    jobs_per_sec: f64,
+    stats: CampaignStats,
+}
+
+fn measure(campaign: &Campaign, threads: usize) -> Measurement {
+    // Warm-up (page in the workload and golden run), then measure.
+    let _ = campaign.run(threads);
+    let start = Instant::now();
+    let result = campaign.run(threads);
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = *result.stats();
+    Measurement {
+        jobs_per_sec: stats.jobs as f64 / seconds,
+        stats,
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let cases: [(&str, Benchmark, Target, &[FaultKind]); 3] = [
+        (
+            "iu-transient",
+            Benchmark::Rspeed,
+            Target::IntegerUnit,
+            &[FaultKind::TransientFlip],
+        ),
+        (
+            "iu-stuck-at",
+            Benchmark::Intbench,
+            Target::IntegerUnit,
+            &[FaultKind::StuckAt0, FaultKind::StuckAt1],
+        ),
+        (
+            "cmem-mixed",
+            Benchmark::Rspeed,
+            Target::CacheMemory,
+            &[FaultKind::StuckAt1, FaultKind::TransientFlip],
+        ),
+    ];
+    let mut entries = Vec::new();
+    for (name, benchmark, target, kinds) in cases {
+        let campaign = Campaign::new(benchmark.program(&Params::default()), target)
+            .with_sample(60, 0xdac)
+            .with_kinds(kinds)
+            .with_injection_fraction(0.3);
+        let plain = measure(&campaign, threads);
+        let pruned = measure(&campaign.clone().with_static_analysis(true), threads);
+        let speedup = plain.jobs_per_sec_gain(&pruned);
+        let pruning_ratio = pruned.stats.statically_pruned as f64 / pruned.stats.jobs as f64;
+        println!(
+            "{name}: {} jobs | fork {:.1} jobs/s | fork+static {:.1} jobs/s | gain {:.2}x | pruned {:.1}% | {} classes",
+            pruned.stats.jobs,
+            plain.jobs_per_sec,
+            pruned.jobs_per_sec,
+            speedup,
+            pruning_ratio * 100.0,
+            pruned.stats.collapsed_classes,
+        );
+        entries.push(format!(
+            concat!(
+                "  {{\n",
+                "    \"name\": \"{}\",\n",
+                "    \"jobs\": {},\n",
+                "    \"fork_jobs_per_sec\": {:.1},\n",
+                "    \"static_jobs_per_sec\": {:.1},\n",
+                "    \"jobs_per_sec_gain\": {:.2},\n",
+                "    \"statically_pruned\": {},\n",
+                "    \"pruning_ratio\": {:.4},\n",
+                "    \"collapsed_classes\": {},\n",
+                "    \"fork_cycles_simulated\": {},\n",
+                "    \"static_cycles_simulated\": {}\n",
+                "  }}"
+            ),
+            name,
+            pruned.stats.jobs,
+            plain.jobs_per_sec,
+            pruned.jobs_per_sec,
+            speedup,
+            pruned.stats.statically_pruned,
+            pruning_ratio,
+            pruned.stats.collapsed_classes,
+            plain.stats.cycles_simulated,
+            pruned.stats.cycles_simulated,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"cases\": [\n{}\n]\n}}\n",
+        threads,
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netcheck.json");
+    std::fs::write(path, &json).expect("write BENCH_netcheck.json");
+    println!("wrote {path}");
+}
+
+impl Measurement {
+    /// jobs/s of `pruned` over this (plain) measurement.
+    fn jobs_per_sec_gain(&self, pruned: &Measurement) -> f64 {
+        pruned.jobs_per_sec / self.jobs_per_sec
+    }
+}

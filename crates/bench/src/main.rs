@@ -13,6 +13,7 @@
 //!              [--watchdog-cycles N] [--detach] [--json]
 //! repro merge  [--addr HOST:PORT] [--json] ID ID...
 //! repro benchgate [--baseline PATH] [--perturb F] [--threads N]
+//! repro netcheck [--deny dead-nets,graph-mismatch] [--threads N]
 //! ```
 //!
 //! Sizing via `REPRO_SAMPLE`, `REPRO_SEED`, `REPRO_THREADS` environment
@@ -31,12 +32,21 @@
 //! against the `gate` section committed in `BENCH_campaign.json`,
 //! failing (exit 1) on any regression beyond the in-file tolerance.
 //!
+//! `netcheck` is the static model lint gate: it audits the declared net
+//! graph (dead/unobservable nets, stuck-at equivalence classes,
+//! transient-safe latches), cross-checks it against the conformance
+//! mix's observed access order, and bounds a small measured campaign's
+//! per-unit diagnostic coverage by the statically predicted
+//! observability. `--deny` makes named findings exit nonzero for CI.
+//!
 //! The safety-mechanism flags model the chip's own detectors:
 //! `--lockstep-window N` checks the write stream every N writes instead of
 //! continuously, `--parity` arms CMEM parity, and `--watchdog-cycles N`
 //! arms a simulated hardware watchdog. With any of them set, the campaign
 //! prints an ISO 26262 diagnostic-coverage report after the per-model
 //! summaries.
+
+#![forbid(unsafe_code)]
 
 use bench::config_from_env;
 use correlation::experiments::{
@@ -45,7 +55,8 @@ use correlation::experiments::{
 use correlation::extensions::{
     bridging_study, eq1_ablation, iss_baseline, latent_study, transient_study,
 };
-use fault_inject::{Campaign, InjectionInstant, SafetyConfig, Target};
+use fault_inject::{Campaign, InjectionInstant, SafetyConfig, StaticAnalysis, Target};
+use leon3_model::{Leon3, Leon3Config};
 use std::path::PathBuf;
 use std::time::Duration;
 use verifd::{client, CampaignSpec, Server, ServerConfig};
@@ -439,6 +450,173 @@ fn run_benchgate(config: &ExperimentConfig, args: &[String]) {
     }
 }
 
+/// `repro netcheck [--deny CHECK,...] [--threads N]` — the static model
+/// lint gate. Prints the declared net graph's vital signs (dead and
+/// unobservable nets, stuck-at equivalence classes, transient-safe
+/// latches), cross-checks the declaration against the observed access
+/// order of the conformance mix, and compares the statically predicted
+/// per-unit observability against a small measured safety campaign.
+/// `--deny` turns named findings into a nonzero exit for CI:
+/// `dead-nets` (any dead or unobservable net) and `graph-mismatch`
+/// (any observed edge the declaration lacks, or a measured DC above the
+/// static bound).
+fn run_netcheck(config: &ExperimentConfig, args: &[String]) {
+    const USAGE: &str = "usage: repro netcheck [--deny dead-nets,graph-mismatch] [--threads N]";
+    let mut deny_dead = false;
+    let mut deny_mismatch = false;
+    let mut threads = config.threads;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--deny" => {
+                for check in value("--deny").split(',') {
+                    match check {
+                        "dead-nets" => deny_dead = true,
+                        "graph-mismatch" => deny_mismatch = true,
+                        other => {
+                            eprintln!("unknown check `{other}`\n{USAGE}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            "--threads" => {
+                threads = parse_usize("--threads", value("--threads"), USAGE).max(1);
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let model_config = Leon3Config::default();
+    let cpu = Leon3::new(model_config.clone());
+    let analysis = StaticAnalysis::for_config(&model_config);
+    let graph = analysis.graph();
+    let name = |net: rtl_sim::NetId| cpu.pool().meta(net).name.clone();
+
+    let transient_safe = (0..graph.net_count())
+        .filter(|&i| graph.is_transient_safe(rtl_sim::NetId::from_raw(i as u32)))
+        .count();
+    println!(
+        "[netcheck] graph: {} nets, {} edges, {} sinks, {} transient-safe latches",
+        graph.net_count(),
+        graph.edge_count(),
+        graph.sink_count(),
+        transient_safe,
+    );
+
+    let dead = graph.dead_nets();
+    let unobservable = graph.unobservable_nets();
+    println!(
+        "[netcheck] dead nets: {} | unobservable nets: {}",
+        dead.len(),
+        unobservable.len(),
+    );
+    for &net in &dead {
+        println!("[netcheck]   dead: {}", name(net));
+    }
+    for &net in &unobservable {
+        println!("[netcheck]   unobservable: {}", name(net));
+    }
+
+    let classes = graph.equivalence_classes();
+    let collapsible: Vec<&Vec<rtl_sim::NetId>> = classes.iter().filter(|c| c.len() > 1).collect();
+    println!(
+        "[netcheck] stuck-at equivalence classes of size > 1: {}",
+        collapsible.len()
+    );
+    for class in &collapsible {
+        let names: Vec<String> = class.iter().map(|&n| name(n)).collect();
+        println!("[netcheck]   class[{}]: {}", class.len(), names.join(" = "));
+    }
+
+    // Taint-instrumented cross-check: every driver→reader edge the
+    // conformance mix actually exercises must be declared, on the default
+    // and the parity configurations (parity changes the net population).
+    let mut missing_total = 0;
+    for (label, config) in [
+        ("default", Leon3Config::default()),
+        (
+            "parity",
+            Leon3Config {
+                cmem_parity: true,
+                ..Leon3Config::default()
+            },
+        ),
+    ] {
+        let missing = leon3_model::graph::conformance_missing_edges(config);
+        println!(
+            "[netcheck] conformance ({label}): {} undeclared edges",
+            missing.len()
+        );
+        for (from, to) in &missing {
+            println!("[netcheck]   undeclared: {from} -> {to}");
+        }
+        missing_total += missing.len();
+    }
+
+    // Predicted-vs-measured: static observability is an upper bound on
+    // what the safety mechanisms can see, so any unit whose measured DC
+    // exceeds its predicted fraction exposes a graph declaration bug.
+    let sample = config.sample_per_campaign.clamp(24, 120);
+    let campaign = Campaign::new(Benchmark::Rspeed.program(&Params::default()), Target::Whole)
+        .with_sample(sample, config.seed)
+        .with_injection_fraction(0.25)
+        .with_lockstep_window(32)
+        .with_parity(true);
+    let result = campaign.run(threads);
+    let predicted = analysis.unit_observability(&cpu);
+    let mut dc_violations = 0;
+    println!("[netcheck] unit        predicted-obs  measured-dc  dangerous");
+    for (unit, obs) in &predicted {
+        let mut dangerous = 0;
+        let mut measured: Option<f64> = None;
+        for kind in rtl_sim::FaultKind::ALL {
+            let per_unit = result.coverage_per_unit(kind);
+            if let Some(c) = per_unit.get(unit) {
+                dangerous += c.detected() + c.residual;
+                if let Some(dc) = c.diagnostic_coverage() {
+                    measured = Some(measured.map_or(dc, |m: f64| m.max(dc)));
+                }
+            }
+        }
+        let shown = measured.map_or("    n/a".to_string(), |m| format!("{m:7.3}"));
+        println!(
+            "[netcheck] {:<12} {:>9.3}      {shown}      {dangerous}",
+            unit.to_string(),
+            obs.fraction(),
+        );
+        if measured.is_some_and(|m| m > obs.fraction() + 1e-9) {
+            dc_violations += 1;
+            println!(
+                "[netcheck]   VIOLATION: {unit} measured DC exceeds static observability bound"
+            );
+        }
+    }
+
+    let mut failed = Vec::new();
+    if deny_dead && (!dead.is_empty() || !unobservable.is_empty()) {
+        failed.push("dead-nets");
+    }
+    if deny_mismatch && (missing_total > 0 || dc_violations > 0) {
+        failed.push("graph-mismatch");
+    }
+    if failed.is_empty() {
+        println!("[netcheck] PASS");
+    } else {
+        eprintln!("[netcheck] FAIL: {}", failed.join(", "));
+        std::process::exit(1);
+    }
+}
+
 /// Parse a flag value as a non-negative integer or exit 2.
 fn parse_usize(flag: &str, raw: String, usage: &str) -> usize {
     raw.parse().unwrap_or_else(|_| {
@@ -494,6 +672,10 @@ fn main() {
             let rest: Vec<String> = std::env::args().skip(2).collect();
             run_benchgate(&config, &rest);
         }
+        "netcheck" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_netcheck(&config, &rest);
+        }
         "transient" => print!("{}", transient_study(&config)),
         "bridging" => print!("{}", bridging_study(&config)),
         "latent" => print!("{}", latent_study(&config)),
@@ -535,7 +717,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|benchgate|all"
+                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|benchgate|netcheck|all"
             );
             std::process::exit(2);
         }

@@ -50,9 +50,7 @@ impl ExperimentConfig {
 const INJECTION_FRACTION: f64 = 0.05;
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
 }
 
 // ---------------------------------------------------------------- Table 1

@@ -336,7 +336,7 @@ pub fn eq1_ablation(fig5: &FigCampaign) -> Eq1Ablation {
     );
     let sa1 = 0; // FaultKind::ALL[0] == StuckAt1
     let cpu = Leon3::new(Leon3Config::default());
-    let alphas = area_weights(&cpu, |u| u.is_iu());
+    let alphas = area_weights(&cpu, sparc_isa::Unit::is_iu);
 
     // Per-benchmark measurements.
     let programs: Vec<_> = fig5

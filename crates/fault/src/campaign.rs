@@ -55,6 +55,8 @@ use crate::journal::{self, fnv1a64, Entry, Header, Journal, FNV_OFFSET};
 use crate::result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord};
 use crate::safety::{self, Detection, DetectionContext, SafetyConfig};
 use crate::sites::{fault_sites, sample_sites, FaultSite, Target};
+use crate::static_analysis::{PrunedBy, StaticAnalysis};
+use analysis::SplitMix64;
 use leon3_model::{Leon3, Leon3Config, Snapshot};
 use rtl_sim::{Fault, FaultKind, NetId};
 use sparc_asm::Program;
@@ -220,6 +222,8 @@ pub struct Campaign {
     safety: SafetyConfig,
     shard: Option<(u32, u32)>,
     checkpoint_stride: Option<u64>,
+    static_analysis: bool,
+    static_audit: Option<(usize, u64)>,
 }
 
 impl Campaign {
@@ -239,6 +243,8 @@ impl Campaign {
             safety: SafetyConfig::default(),
             shard: None,
             checkpoint_stride: None,
+            static_analysis: false,
+            static_audit: None,
         }
     }
 
@@ -379,6 +385,38 @@ impl Campaign {
     #[must_use]
     pub fn with_config(mut self, config: Leon3Config) -> Campaign {
         self.config = config;
+        self
+    }
+
+    /// Enable static net-graph analysis (see [`StaticAnalysis`]): jobs on
+    /// provably-unobservable nets — and transient flips on transient-safe
+    /// latches — are recorded as benign with [`PrunedBy::Static`]
+    /// provenance instead of being simulated, and stuck-at jobs on
+    /// collapsed equivalence-class members copy their simulated
+    /// representative's outcome with [`PrunedBy::Collapsed`] provenance.
+    /// Every planned job still gets a record; nothing is silently
+    /// dropped. Pruned and collapsed jobs are counted in
+    /// [`CampaignStats::statically_pruned`] and the classes in
+    /// [`CampaignStats::collapsed_classes`]. Off by default; the flag
+    /// enters the configuration fingerprint. Dual-point campaigns refuse
+    /// the flag with [`CampaignError::StaticWithPairs`].
+    #[must_use]
+    pub fn with_static_analysis(mut self, enabled: bool) -> Campaign {
+        self.static_analysis = enabled;
+        self
+    }
+
+    /// Audit the static analyzer: after the campaign completes, fully
+    /// re-simulate (from reset) a seeded sample of up to `n` pruned or
+    /// collapsed jobs and fail with [`CampaignError::StaticAuditFailed`]
+    /// if any re-simulation contradicts the synthesised record. The audit
+    /// work is a verification pass and is not billed in
+    /// [`CampaignStats`]. Requires [`Campaign::with_static_analysis`];
+    /// configuring it alone is reported as
+    /// [`CampaignError::AuditWithoutStaticAnalysis`].
+    #[must_use]
+    pub fn with_static_audit(mut self, n: usize, seed: u64) -> Campaign {
+        self.static_audit = Some((n, seed));
         self
     }
 
@@ -652,6 +690,7 @@ impl Campaign {
             }
         }
         let jobs = self.apply_shard(jobs);
+        let plan = self.static_plan(&jobs);
         let header = self.header(false, jobs.len(), &cycles, &golden);
         let (writer, prefilled, _) = open_journal(&header, &jobs, journal)?;
         // Per-instant resumed counts (the campaign-level `resumed` of the
@@ -669,7 +708,11 @@ impl Campaign {
             &jobs,
             writer,
             prefilled,
+            plan.as_deref(),
         )?;
+        if let Some(plan) = &plan {
+            self.run_static_audit(&config, &golden, &jobs, plan, &per_job)?;
+        }
         let mut grouped: Vec<(Vec<FaultRecord>, CampaignStats)> = resumed_by_group
             .iter()
             .map(|&resumed| {
@@ -696,6 +739,11 @@ impl Campaign {
             grouped[0].1.cycles_simulated += pool.build_cycles();
             grouped[0].1.checkpoints_taken = pool.len();
             grouped[0].1.checkpoint_bytes = pool.bytes();
+        }
+        if let Some(plan) = &plan {
+            for (group, entry) in grouped.iter_mut().enumerate() {
+                entry.1.collapsed_classes = collapsed_class_count(plan, &jobs, group);
+            }
         }
         Ok(grouped
             .into_iter()
@@ -726,6 +774,9 @@ impl Campaign {
             if count == 0 || index >= count {
                 return Err(CampaignError::BadShard { index, count });
             }
+        }
+        if self.static_audit.is_some() && !self.static_analysis {
+            return Err(CampaignError::AuditWithoutStaticAnalysis);
         }
         Ok(())
     }
@@ -784,12 +835,16 @@ impl Campaign {
             }
         };
         self.validate_watchdog(golden)?;
+        if pairs && self.static_analysis {
+            return Err(CampaignError::StaticWithPairs);
+        }
         let injection_cycle = resolve_instant(self.injection, golden)?;
         let sites = self.sites();
         if sites.is_empty() {
             return Err(CampaignError::NoFaultSites);
         }
         let jobs = self.plan_jobs(&sites, pairs, injection_cycle)?;
+        let plan = self.static_plan(&jobs);
         let header = self.header(pairs, jobs.len(), &[injection_cycle], golden);
         let (writer, prefilled, resumed) = open_journal(&header, &jobs, journal)?;
         let pool = self.build_pool(&config, golden, &[injection_cycle]);
@@ -801,13 +856,20 @@ impl Campaign {
             &jobs,
             writer,
             prefilled,
+            plan.as_deref(),
         )?;
+        if let Some(plan) = &plan {
+            self.run_static_audit(&config, golden, &jobs, plan, &per_job)?;
+        }
         let mut stats = CampaignStats {
             jobs: jobs.len(),
             golden_cycles: golden.cycles,
             resumed,
             ..CampaignStats::default()
         };
+        if let Some(plan) = &plan {
+            stats.collapsed_classes = collapsed_class_count(plan, &jobs, 0);
+        }
         if let Some(pool) = &pool {
             // The checkpoint pool is simulated exactly once.
             stats.prefix_cycles = pool.build_cycles();
@@ -894,7 +956,7 @@ impl Campaign {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}|shard={:?}|stride={:?}",
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}|shard={:?}|stride={:?}|static={:?}|audit={:?}",
             self.target,
             self.kinds,
             self.sample,
@@ -905,6 +967,8 @@ impl Campaign {
             self.safety,
             self.shard,
             self.checkpoint_stride,
+            self.static_analysis,
+            self.static_audit,
         );
         fnv1a64(FNV_OFFSET, s.as_bytes())
     }
@@ -1004,7 +1068,12 @@ impl Campaign {
 
     /// Run `jobs` on `threads` workers, honouring prefilled (resumed)
     /// slots and appending each completed job to the journal before its
-    /// record is published.
+    /// record is published. With a static `plan`, the workers simulate
+    /// only the [`StaticVerdict::Simulate`] jobs; the pruned and
+    /// collapsed records are synthesised on the main thread afterwards
+    /// (so a collapsed member always finds its representative's slot
+    /// filled) and journaled in that order — representative entries
+    /// strictly precede member entries, keeping resume torn-line-safe.
     #[allow(clippy::too_many_arguments)]
     fn execute_jobs(
         &self,
@@ -1015,6 +1084,7 @@ impl Campaign {
         jobs: &[Job],
         journal: Option<Journal>,
         prefilled: Vec<Option<(FaultRecord, CampaignStats)>>,
+        plan: Option<&[StaticVerdict]>,
     ) -> Result<Vec<(FaultRecord, CampaignStats)>, CampaignError> {
         let ctx = JobContext {
             program: &self.program,
@@ -1046,6 +1116,9 @@ impl Campaign {
                         if done[idx] {
                             continue;
                         }
+                        if plan.is_some_and(|p| p[idx] != StaticVerdict::Simulate) {
+                            continue;
+                        }
                         let job = &jobs[idx];
                         let (outcome, detection, mut delta) = run_job_isolated(&mut cpu, &ctx, job);
                         let record = FaultRecord {
@@ -1057,6 +1130,7 @@ impl Campaign {
                                 .iter()
                                 .any(|s| ctx.golden.net_exercised_from(s.net, job.injection_cycle)),
                             detection,
+                            pruned_by: None,
                         };
                         delta.count_bucket(&record);
                         // Jobs are panic-isolated, so a poisoned lock can
@@ -1083,18 +1157,148 @@ impl Campaign {
                 });
             }
         });
-        let shared = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let mut shared = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
         if let Some(e) = shared.journal_error {
             return Err(e.into());
+        }
+        if let Some(plan) = plan {
+            for idx in 0..jobs.len() {
+                if shared.slots[idx].is_some() {
+                    // Simulated by a worker, or resumed from the journal.
+                    continue;
+                }
+                let job = &jobs[idx];
+                let (record, delta) = match plan[idx] {
+                    StaticVerdict::Simulate => {
+                        unreachable!("unpruned slots are filled by the workers")
+                    }
+                    StaticVerdict::Prune => synthesize_pruned(golden, job),
+                    StaticVerdict::Member { rep } => {
+                        let rep_record = shared.slots[rep]
+                            .as_ref()
+                            .expect("class representatives are never pruned")
+                            .0
+                            .clone();
+                        synthesize_member(golden, job, &rep_record)
+                    }
+                };
+                if let Some(journal) = shared.journal.as_mut() {
+                    journal.append(&Entry {
+                        job: idx,
+                        record: record.clone(),
+                        delta,
+                    })?;
+                }
+                shared.slots[idx] = Some((record, delta));
+            }
         }
         Ok(shared
             .slots
             .into_iter()
             // Invariant: the atomic counter hands every index to exactly
-            // one worker, and prefilled indices arrive occupied — so every
-            // slot is filled once the scope joins.
+            // one worker, prefilled indices arrive occupied, and the
+            // synthesis pass above fills every pruned/collapsed slot — so
+            // every slot is filled once the scope joins.
             .map(|slot| slot.expect("all jobs ran"))
             .collect())
+    }
+
+    /// Compute the per-job static verdicts, or `None` when the analyzer
+    /// is disabled. Deterministic in the (post-shard) job list: the same
+    /// campaign resumes to the same plan. Collapsing is shard-local — a
+    /// member is collapsed only onto a representative job present (and
+    /// simulated) in this shard's own list, so no record ever depends on
+    /// another shard's results.
+    fn static_plan(&self, jobs: &[Job]) -> Option<Vec<StaticVerdict>> {
+        if !self.static_analysis {
+            return None;
+        }
+        let sa = StaticAnalysis::for_config(&self.classification_config());
+        let mut verdicts = Vec::with_capacity(jobs.len());
+        // (root net, bit, kind, group) -> index of the simulated job on
+        // the class-root net that members of the class copy from.
+        let mut reps: std::collections::HashMap<(u32, u8, FaultKind, usize), usize> =
+            std::collections::HashMap::new();
+        for (idx, job) in jobs.iter().enumerate() {
+            debug_assert_eq!(job.n_sites, 1, "pairs are rejected before planning");
+            let site = job.sites[0];
+            if sa.prunes(site.net, job.kind) {
+                verdicts.push(StaticVerdict::Prune);
+                continue;
+            }
+            verdicts.push(StaticVerdict::Simulate);
+            if StaticAnalysis::collapsible(job.kind) && sa.class_root(site.net) == site.net {
+                reps.entry((site.net.raw(), site.bit, job.kind, job.group))
+                    .or_insert(idx);
+            }
+        }
+        for (idx, job) in jobs.iter().enumerate() {
+            if verdicts[idx] != StaticVerdict::Simulate || !StaticAnalysis::collapsible(job.kind) {
+                continue;
+            }
+            let site = job.sites[0];
+            let root = sa.class_root(site.net);
+            if root == site.net {
+                continue;
+            }
+            if let Some(&rep) = reps.get(&(root.raw(), site.bit, job.kind, job.group)) {
+                verdicts[idx] = StaticVerdict::Member { rep };
+            }
+        }
+        Some(verdicts)
+    }
+
+    /// Re-simulate a seeded sample of pruned/collapsed jobs from reset
+    /// (no checkpoint shortcuts, no activation skip) and fail if any
+    /// contradicts its synthesised record. Verification work: not billed
+    /// in [`CampaignStats`] and run without the wall-clock deadline so
+    /// the verdict stays host-independent.
+    fn run_static_audit(
+        &self,
+        config: &Leon3Config,
+        golden: &GoldenRun,
+        jobs: &[Job],
+        plan: &[StaticVerdict],
+        per_job: &[(FaultRecord, CampaignStats)],
+    ) -> Result<(), CampaignError> {
+        let Some((n, seed)) = self.static_audit else {
+            return Ok(());
+        };
+        let mut candidates: Vec<usize> = plan
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !matches!(v, StaticVerdict::Simulate))
+            .map(|(i, _)| i)
+            .collect();
+        let take = n.min(candidates.len());
+        let mut rng = SplitMix64::new(seed);
+        for i in 0..take {
+            let j = i + rng.gen_range((candidates.len() - i) as u64) as usize;
+            candidates.swap(i, j);
+        }
+        let ctx = JobContext {
+            program: &self.program,
+            golden,
+            pool: None,
+            deadline: None,
+            safety: self.safety,
+        };
+        let mut cpu = Leon3::new(config.clone());
+        for &idx in &candidates[..take] {
+            let mut scratch = CampaignStats::default();
+            let (outcome, detection) = run_job(&mut cpu, &ctx, &mut scratch, &jobs[idx]);
+            let synthesised = &per_job[idx].0;
+            if outcome != synthesised.outcome || detection != synthesised.detection {
+                return Err(CampaignError::StaticAuditFailed {
+                    job: idx,
+                    detail: format!(
+                        "analyzer recorded {:?}/{:?}, full re-simulation produced {:?}/{:?}",
+                        synthesised.outcome, synthesised.detection, outcome, detection
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1258,6 +1462,82 @@ fn check_header(expected: &Header, found: &Header) -> Result<(), JournalError> {
         }
     }
     Ok(())
+}
+
+/// The static analyzer's verdict for one planned job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StaticVerdict {
+    /// No static argument applies: simulate normally.
+    Simulate,
+    /// Provably benign (unobservable net, or a transient flip on a
+    /// transient-safe latch): record `NoEffect` without simulation.
+    Prune,
+    /// Stuck-at equivalence-class member: copy the outcome of the
+    /// representative job at this index of the same (post-shard) list.
+    Member { rep: usize },
+}
+
+/// The record and cost delta of a statically pruned job. The `activated`
+/// flag is computed honestly from the golden trace — a pruned fault on a
+/// hot-but-unobservable net is *safe*, not *latent* — so the record is
+/// bit-identical (modulo provenance) to what a full simulation would
+/// produce, which is exactly what the audit mode re-checks.
+fn synthesize_pruned(golden: &GoldenRun, job: &Job) -> (FaultRecord, CampaignStats) {
+    let record = FaultRecord {
+        site: job.sites[0],
+        kind: job.kind,
+        outcome: FaultOutcome::NoEffect,
+        activated: golden.net_exercised_from(job.sites[0].net, job.injection_cycle),
+        detection: Detection::Undetected,
+        pruned_by: Some(PrunedBy::Static),
+    };
+    let mut delta = CampaignStats {
+        statically_pruned: 1,
+        cycles_avoided: golden.cycles,
+        ..CampaignStats::default()
+    };
+    delta.count_bucket(&record);
+    (record, delta)
+}
+
+/// The record and cost delta of a collapsed equivalence-class member:
+/// outcome and detection are copied from the simulated representative
+/// (the runs are behaviourally identical by the stuck-at equivalence
+/// argument); the `activated` flag is the member's own.
+fn synthesize_member(
+    golden: &GoldenRun,
+    job: &Job,
+    rep: &FaultRecord,
+) -> (FaultRecord, CampaignStats) {
+    let record = FaultRecord {
+        site: job.sites[0],
+        kind: job.kind,
+        outcome: rep.outcome.clone(),
+        activated: golden.net_exercised_from(job.sites[0].net, job.injection_cycle),
+        detection: rep.detection,
+        pruned_by: Some(PrunedBy::Collapsed),
+    };
+    let mut delta = CampaignStats {
+        statically_pruned: 1,
+        cycles_avoided: golden.cycles,
+        ..CampaignStats::default()
+    };
+    delta.count_bucket(&record);
+    (record, delta)
+}
+
+/// How many distinct representatives the members of `group` collapse
+/// onto — the campaign-level [`CampaignStats::collapsed_classes`].
+fn collapsed_class_count(plan: &[StaticVerdict], jobs: &[Job], group: usize) -> usize {
+    let mut reps = std::collections::BTreeSet::new();
+    for (verdict, job) in plan.iter().zip(jobs) {
+        if job.group == group {
+            if let StaticVerdict::Member { rep } = *verdict {
+                reps.insert(rep);
+            }
+        }
+    }
+    reps.len()
 }
 
 /// One unit of campaign work: one or two simultaneous faults of one model

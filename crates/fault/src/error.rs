@@ -63,6 +63,24 @@ pub enum CampaignError {
         /// `"config"`).
         field: &'static str,
     },
+    /// Static-analysis pruning was combined with a dual-point campaign:
+    /// the analyzer reasons about single faults only, so pruning either
+    /// member of a pair would be unsound.
+    StaticWithPairs,
+    /// `with_static_audit` was configured without `with_static_analysis`
+    /// — there are no pruned jobs to audit.
+    AuditWithoutStaticAnalysis,
+    /// A static-audit re-simulation contradicted the analyzer's verdict:
+    /// a pruned or collapsed job, simulated in full, produced a different
+    /// record than the one the analyzer synthesised. This is a model /
+    /// declared-graph conformance bug, not a campaign-configuration
+    /// mistake.
+    StaticAuditFailed {
+        /// The job index whose re-simulation disagreed.
+        job: usize,
+        /// What differed, human-readable.
+        detail: String,
+    },
     /// The write-ahead journal could not be created, appended, parsed or
     /// matched against this campaign.
     Journal(JournalError),
@@ -110,6 +128,18 @@ impl fmt::Display for CampaignError {
                 f,
                 "the prepared workload was built for a different campaign (`{field}` disagrees)"
             ),
+            CampaignError::StaticWithPairs => write!(
+                f,
+                "static-analysis pruning reasons about single faults; disable it for dual-point \
+                 campaigns"
+            ),
+            CampaignError::AuditWithoutStaticAnalysis => write!(
+                f,
+                "static-audit sampling needs static analysis enabled (`with_static_analysis`)"
+            ),
+            CampaignError::StaticAuditFailed { job, detail } => {
+                write!(f, "static-analysis audit failed on job {job}: {detail}")
+            }
             CampaignError::Journal(e) => write!(f, "journal: {e}"),
         }
     }

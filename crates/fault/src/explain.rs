@@ -145,6 +145,7 @@ pub fn explain_with_safety(
         outcome,
         activated: golden.net_exercised_from(site.net, injection_cycle),
         detection,
+        pruned_by: None,
     };
 
     match &record.outcome {

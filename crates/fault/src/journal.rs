@@ -30,8 +30,9 @@ pub const MAGIC: &str = "fault-campaign-journal";
 /// hang latency, the `activated` flag and the detection fields. Version 3
 /// added the checkpoint-pool header fields (`instants`, `instants_hash`,
 /// `checkpoint_stride`) and the per-entry `replay` engine with its
-/// `replay_cycles`.
-pub const VERSION: u64 = 3;
+/// `replay_cycles`. Version 4 added the static-analysis engines
+/// (`pruned`, `collapsed`) and the record's optional `pruned_by` field.
+pub const VERSION: u64 = 4;
 
 /// FNV-1a 64-bit — the journal's content hash (hermetic, no dependencies).
 pub(crate) fn fnv1a64(init: u64, bytes: &[u8]) -> u64 {
@@ -156,7 +157,14 @@ pub struct Entry {
 impl Entry {
     /// Serialize as one JSON line (no trailing newline).
     pub fn to_line(&self) -> String {
-        let engine = if self.delta.skipped_inactive > 0 {
+        let engine = if self.delta.statically_pruned > 0 {
+            // The record's provenance distinguishes a pruned benign
+            // record from a collapsed class member.
+            match self.record.pruned_by {
+                Some(crate::static_analysis::PrunedBy::Collapsed) => "collapsed",
+                _ => "pruned",
+            }
+        } else if self.delta.skipped_inactive > 0 {
             "skip"
         } else if self.delta.forked > 0 {
             "fork"
@@ -226,6 +234,7 @@ impl Entry {
             "fork" => delta.forked = 1,
             "replay" => delta.restored_from_checkpoint = 1,
             "full" => delta.full_reexecutions = 1,
+            "pruned" | "collapsed" => delta.statically_pruned = 1,
             "none" => {}
             other => return Err(malformed(format!("unknown engine `{other}`"))),
         }
@@ -349,6 +358,7 @@ mod tests {
             outcome,
             activated: true,
             detection,
+            pruned_by: None,
         };
         let mut delta = CampaignStats {
             forked: 1,
@@ -389,6 +399,25 @@ mod tests {
         let parsed = Entry::parse(&e.to_line(), 1).unwrap();
         assert_eq!(parsed, e);
         assert!(e.to_line().contains("\"engine\":\"replay\""));
+    }
+
+    #[test]
+    fn pruned_and_collapsed_entries_round_trip() {
+        use crate::static_analysis::PrunedBy;
+        for (provenance, tag) in [
+            (PrunedBy::Static, "\"engine\":\"pruned\""),
+            (PrunedBy::Collapsed, "\"engine\":\"collapsed\""),
+        ] {
+            let mut e = entry(3, FaultOutcome::NoEffect);
+            e.record.pruned_by = Some(provenance);
+            e.delta.forked = 0;
+            e.delta.short_circuited = 0;
+            e.delta.cycles_simulated = 0;
+            e.delta.statically_pruned = 1;
+            let line = e.to_line();
+            assert!(line.contains(tag), "{line}");
+            assert_eq!(Entry::parse(&line, 1).unwrap(), e);
+        }
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod journal;
 mod result;
 mod safety;
 mod sites;
+mod static_analysis;
 pub mod wire;
 
 pub use bridging::{bridge_pairs, bridge_pf, BridgeRecord, BridgingCampaign};
@@ -83,4 +84,5 @@ pub use result::{
 };
 pub use safety::{Detection, IsoBucket, Mechanism, SafetyConfig};
 pub use sites::{fault_sites, sample_sites, unit_bit_counts, FaultSite, Target};
+pub use static_analysis::{PrunedBy, StaticAnalysis, UnitObservability};
 pub use wire::{merge_shards, ShardResult};

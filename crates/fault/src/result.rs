@@ -2,6 +2,7 @@
 
 use crate::safety::{Detection, IsoBucket, Mechanism};
 use crate::sites::FaultSite;
+use crate::static_analysis::PrunedBy;
 use leon3_model::cycles_to_us;
 use rtl_sim::FaultKind;
 use sparc_isa::Unit;
@@ -91,6 +92,10 @@ pub struct FaultRecord {
     /// Whether a modelled safety mechanism caught the fault (always
     /// [`Detection::Undetected`] when no mechanism is configured).
     pub detection: Detection,
+    /// `Some` when the static net-graph analyzer classified this job
+    /// without a dedicated simulation run (see
+    /// [`crate::StaticAnalysis`]); `None` for every simulated record.
+    pub pruned_by: Option<PrunedBy>,
 }
 
 impl FaultRecord {
@@ -244,6 +249,15 @@ pub struct CampaignStats {
     pub residual: usize,
     /// Faults whose site the workload never exercised.
     pub latent: usize,
+    /// Jobs classified by the static net-graph analyzer without a
+    /// dedicated simulation run: provably-unobservable or transient-safe
+    /// sites recorded as benign, plus equivalence-class members that
+    /// copied their representative's outcome.
+    pub statically_pruned: usize,
+    /// Stuck-at equivalence classes that were collapsed to a single
+    /// simulated representative (campaign-level, like
+    /// [`CampaignStats::checkpoints_taken`]).
+    pub collapsed_classes: usize,
 }
 
 impl CampaignStats {
@@ -281,6 +295,8 @@ impl CampaignStats {
         self.detected_watchdog += other.detected_watchdog;
         self.residual += other.residual;
         self.latent += other.latent;
+        self.statically_pruned += other.statically_pruned;
+        self.collapsed_classes += other.collapsed_classes;
     }
 
     /// Tally one record's ISO 26262 class into the counters. Used by the
@@ -636,12 +652,12 @@ impl CampaignResult {
     }
 
     /// Export every record as CSV (`unit,net,bit,model,outcome,divergence,
-    /// latency_cycles,bucket,detected_by,detection_latency_cycles`) for
-    /// external analysis tooling.
+    /// latency_cycles,bucket,detected_by,detection_latency_cycles,
+    /// pruned_by`) for external analysis tooling.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "unit,net,bit,model,outcome,divergence,latency_cycles,\
-             bucket,detected_by,detection_latency_cycles\n",
+             bucket,detected_by,detection_latency_cycles,pruned_by\n",
         );
         for r in &self.records {
             let (outcome, divergence) = match &r.outcome {
@@ -656,7 +672,7 @@ impl CampaignResult {
                 .latency_cycles()
                 .map(|l| l.to_string())
                 .unwrap_or_default();
-            let bucket = r.bucket().map(|b| b.name()).unwrap_or("");
+            let bucket = r.bucket().map_or("", IsoBucket::name);
             let (detected_by, det_latency) = match r.detection {
                 Detection::Detected {
                     mechanism,
@@ -665,8 +681,9 @@ impl CampaignResult {
                 } => (mechanism.name(), latency_cycles.to_string()),
                 Detection::Undetected => ("", String::new()),
             };
+            let pruned_by = r.pruned_by.map_or("", PrunedBy::name);
             out.push_str(&format!(
-                "{},{},{},{},{outcome},{divergence},{latency},{bucket},{detected_by},{det_latency}\n",
+                "{},{},{},{},{outcome},{divergence},{latency},{bucket},{detected_by},{det_latency},{pruned_by}\n",
                 r.site.unit,
                 r.site.net.raw(),
                 r.site.bit,
@@ -729,6 +746,7 @@ mod tests {
             outcome,
             activated: true,
             detection: Detection::Undetected,
+            pruned_by: None,
         }
     }
 

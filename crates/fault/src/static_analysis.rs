@@ -1,0 +1,266 @@
+//! Static net-graph analysis driving campaign pruning and fault collapsing.
+//!
+//! Before any fault is simulated, the declared driver→reader graph of the
+//! model ([`leon3_model::graph::declared_graph`]) answers two questions
+//! per candidate fault:
+//!
+//! 1. **Can it ever be observed?** A fault on a net whose forward cone
+//!    reaches no observation sink (bus interface, parity compare point)
+//!    cannot change anything the detection mechanisms or the lockstep
+//!    comparison can see. Such jobs are *pruned*: recorded as benign with
+//!    [`PrunedBy::Static`] provenance instead of simulated. The same
+//!    argument prunes a **transient flip** on a net the model rewrites
+//!    before reading (a transient-safe latch): the flipped value is
+//!    overwritten before it can propagate.
+//! 2. **Is it equivalent to another fault?** A stuck-at fault on a
+//!    single-fanout pass-through net is classically indistinguishable from
+//!    the same stuck-at on the net it feeds, so only one *representative*
+//!    per equivalence class is simulated and every other member *copies*
+//!    its outcome with [`PrunedBy::Collapsed`] provenance.
+//!
+//! Both transformations are conservative: pruning requires the declared
+//! graph to be a superset of the observed access order (enforced by the
+//! model's conformance test and the `repro netcheck` CI gate), so extra
+//! declared edges can only make pruning *less* aggressive, never unsound.
+
+use crate::sites::unit_bit_counts;
+use leon3_model::{graph, Leon3, Leon3Config};
+use rtl_sim::{FaultKind, NetGraph, NetId};
+use sparc_isa::Unit;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Provenance of a fault record that was classified without a dedicated
+/// simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrunedBy {
+    /// Statically proven unobservable (or transient-safe for a transient
+    /// flip); recorded as benign, never simulated.
+    Static,
+    /// Collapsed into a stuck-at equivalence class; outcome copied from
+    /// the simulated class representative.
+    Collapsed,
+}
+
+impl PrunedBy {
+    /// Stable wire/journal name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrunedBy::Static => "static",
+            PrunedBy::Collapsed => "collapsed",
+        }
+    }
+
+    /// Parse a wire/journal name.
+    pub fn from_name(name: &str) -> Option<PrunedBy> {
+        match name {
+            "static" => Some(PrunedBy::Static),
+            "collapsed" => Some(PrunedBy::Collapsed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PrunedBy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-unit comparison of statically predicted observability against a
+/// unit's injectable-bit population, used by `repro netcheck` to
+/// cross-check measured diagnostic coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitObservability {
+    /// Injectable bits in the unit.
+    pub bits_total: usize,
+    /// Bits on nets whose cone reaches at least one observation sink.
+    pub bits_observable: usize,
+}
+
+impl UnitObservability {
+    /// Observable fraction — the static upper bound on the unit's
+    /// end-to-end detectability.
+    pub fn fraction(&self) -> f64 {
+        if self.bits_total == 0 {
+            0.0
+        } else {
+            self.bits_observable as f64 / self.bits_total as f64
+        }
+    }
+}
+
+/// The analyzer: a declared [`NetGraph`] with per-net observability and
+/// equivalence-class roots precomputed for O(1) per-job queries.
+pub struct StaticAnalysis {
+    graph: NetGraph,
+    observable: Vec<bool>,
+    root: Vec<NetId>,
+}
+
+impl StaticAnalysis {
+    /// Build the analyzer for a model configuration. The graph is the
+    /// model's *declared* connectivity for that configuration (cache
+    /// geometry and parity options change the net population).
+    pub fn for_config(config: &Leon3Config) -> StaticAnalysis {
+        let cpu = Leon3::new(config.clone());
+        StaticAnalysis::from_graph(graph::declared_graph(&cpu))
+    }
+
+    /// Build the analyzer from an explicit graph (used by tests with
+    /// synthetic topologies). Uses the graph's single-pass batch queries
+    /// — one reverse sweep and one union-find — so construction stays
+    /// O(nets + edges) and cheap enough to run per campaign.
+    pub fn from_graph(graph: NetGraph) -> StaticAnalysis {
+        let observable = graph.observability();
+        let root = graph.class_roots();
+        StaticAnalysis {
+            graph,
+            observable,
+            root,
+        }
+    }
+
+    /// The underlying declared graph.
+    pub fn graph(&self) -> &NetGraph {
+        &self.graph
+    }
+
+    /// Whether the net's forward cone reaches any observation sink.
+    pub fn is_observable(&self, net: NetId) -> bool {
+        self.observable
+            .get(net.raw() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Whether a fault of `kind` on `net` is provably benign without
+    /// simulation: the net is unobservable (any kind), or the fault is a
+    /// transient flip on a transient-safe latch.
+    pub fn prunes(&self, net: NetId, kind: FaultKind) -> bool {
+        !self.is_observable(net)
+            || (kind == FaultKind::TransientFlip && self.graph.is_transient_safe(net))
+    }
+
+    /// Root of the net's stuck-at equivalence class (the net itself if it
+    /// is not collapsed into anything).
+    pub fn class_root(&self, net: NetId) -> NetId {
+        self.root.get(net.raw() as usize).copied().unwrap_or(net)
+    }
+
+    /// Whether faults of this kind participate in equivalence-class
+    /// collapsing. Only forced stuck-at values are classically equivalent
+    /// across a pass-through net; open-line and transient faults are
+    /// always simulated individually.
+    pub fn collapsible(kind: FaultKind) -> bool {
+        matches!(kind, FaultKind::StuckAt0 | FaultKind::StuckAt1)
+    }
+
+    /// Statically predicted per-unit observability, for cross-checking
+    /// measured diagnostic coverage in `repro netcheck`.
+    pub fn unit_observability(&self, cpu: &Leon3) -> BTreeMap<Unit, UnitObservability> {
+        let mut out: BTreeMap<Unit, UnitObservability> = BTreeMap::new();
+        for (id, meta) in cpu.pool().iter() {
+            let entry = out.entry(meta.tag).or_insert(UnitObservability {
+                bits_total: 0,
+                bits_observable: 0,
+            });
+            entry.bits_total += usize::from(meta.width);
+            if self.is_observable(id) {
+                entry.bits_observable += usize::from(meta.width);
+            }
+        }
+        debug_assert_eq!(
+            out.values().map(|o| o.bits_total).sum::<usize>(),
+            unit_bit_counts(cpu).values().sum::<usize>(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(raw: u32) -> NetId {
+        NetId::from_raw(raw)
+    }
+
+    /// 0 → 1 → 2(sink), 3 isolated, 4 transient-safe feeding the sink,
+    /// 1 is a pass-through of 0.
+    fn synthetic() -> StaticAnalysis {
+        let mut g = NetGraph::new(5);
+        g.edge(n(0), n(1));
+        g.edge(n(1), n(2));
+        g.edge(n(4), n(2));
+        g.sink(n(2));
+        g.transient_safe(n(4));
+        g.pass_through(n(0), n(1));
+        StaticAnalysis::from_graph(g)
+    }
+
+    #[test]
+    fn unobservable_nets_are_pruned_for_every_kind() {
+        let sa = synthetic();
+        for kind in [
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::OpenLine,
+            FaultKind::TransientFlip,
+        ] {
+            assert!(sa.prunes(n(3), kind), "{kind:?} on isolated net");
+        }
+    }
+
+    #[test]
+    fn transient_safe_prunes_only_transient_flips() {
+        let sa = synthetic();
+        assert!(sa.prunes(n(4), FaultKind::TransientFlip));
+        assert!(!sa.prunes(n(4), FaultKind::StuckAt0));
+        assert!(!sa.prunes(n(4), FaultKind::StuckAt1));
+        assert!(!sa.prunes(n(4), FaultKind::OpenLine));
+    }
+
+    #[test]
+    fn observable_nets_are_never_pruned() {
+        let sa = synthetic();
+        assert!(!sa.prunes(n(0), FaultKind::StuckAt0));
+        assert!(!sa.prunes(n(2), FaultKind::TransientFlip));
+    }
+
+    #[test]
+    fn class_roots_follow_pass_through_declarations() {
+        let sa = synthetic();
+        assert_eq!(sa.class_root(n(1)), n(0));
+        assert_eq!(sa.class_root(n(0)), n(0));
+        assert_eq!(sa.class_root(n(2)), n(2));
+    }
+
+    #[test]
+    fn only_stuck_at_kinds_collapse() {
+        assert!(StaticAnalysis::collapsible(FaultKind::StuckAt0));
+        assert!(StaticAnalysis::collapsible(FaultKind::StuckAt1));
+        assert!(!StaticAnalysis::collapsible(FaultKind::OpenLine));
+        assert!(!StaticAnalysis::collapsible(FaultKind::TransientFlip));
+    }
+
+    #[test]
+    fn real_model_has_full_observability_and_one_class() {
+        let sa = StaticAnalysis::for_config(&Leon3Config::default());
+        assert!(sa.graph().unobservable_nets().is_empty());
+        assert_eq!(sa.graph().equivalence_classes().len(), 1);
+        let cpu = Leon3::new(Leon3Config::default());
+        for (_, obs) in sa.unit_observability(&cpu) {
+            assert_eq!(obs.bits_observable, obs.bits_total);
+            assert!((obs.fraction() - 1.0).abs() < f64::EPSILON);
+        }
+    }
+
+    #[test]
+    fn pruned_by_names_round_trip() {
+        for p in [PrunedBy::Static, PrunedBy::Collapsed] {
+            assert_eq!(PrunedBy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(PrunedBy::from_name("bogus"), None);
+    }
+}

@@ -17,6 +17,7 @@ use crate::error::JournalError;
 use crate::result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord};
 use crate::safety::{Detection, Mechanism};
 use crate::sites::FaultSite;
+use crate::static_analysis::PrunedBy;
 use rtl_sim::{FaultKind, NetId};
 use sparc_isa::Unit;
 use std::fmt::Write as _;
@@ -395,6 +396,11 @@ pub(crate) fn write_record_fields(s: &mut String, record: &FaultRecord) {
             escape_json(mechanism.name()),
         );
     }
+    // Emitted only when present, like the detection fields, so every
+    // pre-static-analysis record serializes byte-identically.
+    if let Some(pruned_by) = record.pruned_by {
+        let _ = write!(s, ",\"pruned_by\":\"{}\"", pruned_by.name());
+    }
 }
 
 /// Reconstruct a record from a parsed object carrying the
@@ -429,6 +435,12 @@ pub(crate) fn record_from_obj(v: &Json) -> Result<FaultRecord, String> {
         }
         None => Detection::Undetected,
     };
+    let pruned_by = match v.get_str("pruned_by") {
+        Some(name) => {
+            Some(PrunedBy::from_name(name).ok_or_else(|| format!("unknown pruned_by `{name}`"))?)
+        }
+        None => None,
+    };
     Ok(FaultRecord {
         site: FaultSite {
             net: NetId::from_raw(num("net")? as u32),
@@ -439,6 +451,7 @@ pub(crate) fn record_from_obj(v: &Json) -> Result<FaultRecord, String> {
         outcome,
         activated: v.get_bool("activated").ok_or("missing bool `activated`")?,
         detection,
+        pruned_by,
     })
 }
 
@@ -496,7 +509,7 @@ type StatsSet = fn(&mut CampaignStats, u64);
 
 /// The stats fields on the wire, in serialization order. One table drives
 /// both directions so the formats cannot drift.
-const STATS_FIELDS: [(&str, StatsGet, StatsSet); 23] = [
+const STATS_FIELDS: [(&str, StatsGet, StatsSet); 25] = [
     ("jobs", |s| s.jobs as u64, |s, v| s.jobs = v as usize),
     ("forked", |s| s.forked as u64, |s, v| s.forked = v as usize),
     (
@@ -596,6 +609,16 @@ const STATS_FIELDS: [(&str, StatsGet, StatsSet); 23] = [
         |s, v| s.residual = v as usize,
     ),
     ("latent", |s| s.latent as u64, |s, v| s.latent = v as usize),
+    (
+        "statically_pruned",
+        |s| s.statically_pruned as u64,
+        |s, v| s.statically_pruned = v as usize,
+    ),
+    (
+        "collapsed_classes",
+        |s| s.collapsed_classes as u64,
+        |s, v| s.collapsed_classes = v as usize,
+    ),
 ];
 
 fn stats_to_json(stats: &CampaignStats) -> String {
@@ -854,6 +877,7 @@ mod tests {
             outcome,
             activated: true,
             detection,
+            pruned_by: None,
         }
     }
 
@@ -917,6 +941,38 @@ mod tests {
         assert_eq!(result_from_json(&text).unwrap(), result);
         // Canonical: serializing the round trip reproduces the bytes.
         assert_eq!(result_to_json(&result_from_json(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn provenance_and_pruning_stats_round_trip() {
+        let mut collapsed = record(
+            7,
+            FaultOutcome::Failure {
+                divergence: 5,
+                latency_cycles: 33,
+            },
+            Detection::Undetected,
+        );
+        collapsed.pruned_by = Some(crate::static_analysis::PrunedBy::Collapsed);
+        let mut pruned = record(8, FaultOutcome::NoEffect, Detection::Undetected);
+        pruned.pruned_by = Some(crate::static_analysis::PrunedBy::Static);
+        let stats = CampaignStats {
+            jobs: 2,
+            statically_pruned: 2,
+            collapsed_classes: 1,
+            ..CampaignStats::default()
+        };
+        let result = result_with(vec![collapsed, pruned], stats);
+        let text = result_to_json(&result);
+        assert!(text.contains("\"pruned_by\":\"collapsed\""));
+        assert!(text.contains("\"pruned_by\":\"static\""));
+        assert!(text.contains("\"statically_pruned\":2"));
+        assert!(text.contains("\"collapsed_classes\":1"));
+        assert_eq!(result_from_json(&text).unwrap(), result);
+        assert_eq!(result_to_json(&result_from_json(&text).unwrap()), text);
+        // Unknown provenance names are structural errors, not data.
+        let bad = text.replace("\"pruned_by\":\"static\"", "\"pruned_by\":\"oracle\"");
+        assert!(result_from_json(&bad).is_err());
     }
 
     #[test]

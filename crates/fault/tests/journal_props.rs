@@ -123,6 +123,7 @@ fn arb_entry() -> impl Strategy<Value = Entry> {
                     outcome,
                     activated,
                     detection,
+                    pruned_by: None,
                 };
                 delta.count_bucket(&record);
                 Entry { job, record, delta }

@@ -81,10 +81,11 @@ impl Snapshot {
 ///
 /// 1. `Leon3` (and [`Snapshot`]) hold only owned data — asserted at
 ///    compile time below — so a caught panic can leave the model *stale*,
-///    never torn in the memory-safety sense. The sole interior mutability
-///    in the model is the golden-run read tracker's `Cell` counters
-///    (`rtl_sim::NetPool`), which campaign workers never enable and which
-///    hold plain numbers either way;
+///    never torn in the memory-safety sense. The only interior mutability
+///    in the model lives in `rtl_sim::NetPool`: the golden-run read
+///    tracker's `Cell` counters and the conformance-check event trace's
+///    `RefCell` buffer, neither of which campaign workers ever enable and
+///    both of which hold plain data either way;
 /// 2. every job entry sequence rebuilds all execution state from scratch:
 ///    [`Leon3::reset`] + [`Leon3::load`] on the re-execution path,
 ///    [`Leon3::restore`] on the fork path. Nothing a panicked job left
@@ -259,6 +260,19 @@ impl Leon3 {
     /// was never read while tracking was enabled.
     pub fn net_last_read(&self, net: NetId) -> Option<u64> {
         self.pool.last_read_cycle(net)
+    }
+
+    /// Record every net read and write in program order, for cross-checking
+    /// the declared net graph against the model's real access order (see
+    /// [`crate::graph`]). Unbounded memory per access — extraction runs
+    /// only.
+    pub fn enable_event_trace(&mut self) {
+        self.pool.enable_event_trace();
+    }
+
+    /// Drain the recorded access trace (empty if tracing is off).
+    pub fn take_net_events(&mut self) -> Vec<rtl_sim::NetEvent> {
+        self.pool.take_events()
     }
 
     /// Inject a permanent fault into a net.

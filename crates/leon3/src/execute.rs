@@ -295,6 +295,10 @@ impl Leon3 {
             _ => 4,
         };
         self.pool.write(self.nets.lsu_size, size.trailing_zeros());
+        // The effective size comes back off the net, so size-net faults
+        // misalign accesses and truncate stores (netcheck found the net
+        // write-only before this read existed).
+        let size: u8 = 1 << (self.pool.read(self.nets.lsu_size) & 3);
         // Alignment and range checks (exception stage).
         let align = if matches!(op, Opcode::Ldd | Opcode::Std) {
             8

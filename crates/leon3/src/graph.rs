@@ -1,0 +1,570 @@
+//! The model's declared net graph and its conformance check.
+//!
+//! [`declared_graph`] states, net by net, where values read from each net
+//! can flow — the static connectivity the campaign's pruning and collapsing
+//! rest on — plus three annotations the analyses consume:
+//!
+//! * **sinks**: the off-core bus nets (the lockstep comparison point and
+//!   the write port every outcome classification watches) and the per-line
+//!   parity nets (the cache safety compare points);
+//! * **transient-safe latches**: nets every read of which is preceded, with
+//!   no intervening clock tick, by a write in the same instruction's
+//!   dataflow — a single transient flip on them is overwritten before it
+//!   can ever be read;
+//! * **pass-through pairs**: `fe_inst → de_ir` is a pure same-width copy
+//!   with a single writer and reader on each side, so stuck-at and
+//!   open-line faults on corresponding bits are equivalent.
+//!
+//! Declarations err on the generous side (operand cross-products, trap
+//! entry absorbing any in-flight read): an extra declared edge only makes
+//! the analyses *more* conservative, while a missing one could make
+//! pruning unsound. Truthfulness is enforced the other way round by
+//! [`conformance_missing_edges`]: it replays an instruction mix covering
+//! every execution path under the pool's event trace, attributes each
+//! write to the reads since the previous write, and reports observed edges
+//! the declaration lacks. `repro netcheck --deny graph-mismatch` turns
+//! that into a CI gate.
+
+use crate::config::Leon3Config;
+use crate::core::Leon3;
+use rtl_sim::{NetGraph, NetId};
+use sparc_asm::{assemble, Program};
+
+fn bundle(g: &mut NetGraph, sources: &[NetId], targets: &[NetId]) {
+    for &s in sources {
+        for &t in targets {
+            g.edge(s, t);
+        }
+    }
+}
+
+/// Build the declared driver→reader graph of `cpu`'s net population.
+pub fn declared_graph(cpu: &Leon3) -> NetGraph {
+    let n = cpu.nets();
+    let mut g = NetGraph::new(cpu.pool().len());
+
+    let de_fields = [
+        n.de_ir,
+        n.de_rd,
+        n.de_rs1,
+        n.de_rs2,
+        n.de_useimm,
+        n.de_simm,
+        n.de_cond,
+    ];
+    let operands = [n.ra_op1, n.ra_op2];
+    let alu_inputs = [
+        n.add_a,
+        n.add_b,
+        n.logic_a,
+        n.logic_b,
+        n.shift_a,
+        n.shift_cnt,
+        n.md_a,
+        n.md_b,
+    ];
+    let psr = [n.psr_icc, n.psr_cwp, n.psr_s, n.psr_ps, n.psr_et, n.psr_pil];
+    let iu_scalars = [
+        n.pc,
+        n.npc,
+        n.annul,
+        n.fe_inst,
+        n.de_ir,
+        n.de_rd,
+        n.de_rs1,
+        n.de_rs2,
+        n.de_useimm,
+        n.de_simm,
+        n.de_cond,
+        n.ra_op1,
+        n.ra_op2,
+        n.ra_store_data,
+        n.add_a,
+        n.add_b,
+        n.add_res,
+        n.logic_a,
+        n.logic_b,
+        n.logic_res,
+        n.shift_a,
+        n.shift_cnt,
+        n.shift_res,
+        n.md_a,
+        n.md_b,
+        n.md_res,
+        n.md_y,
+        n.br_taken,
+        n.br_target,
+        n.lsu_addr,
+        n.lsu_wdata,
+        n.lsu_rdata,
+        n.lsu_size,
+        n.psr_icc,
+        n.psr_cwp,
+        n.psr_s,
+        n.psr_ps,
+        n.psr_et,
+        n.psr_pil,
+        n.wim,
+        n.tbr,
+        n.xc_tt,
+        n.wb_res,
+        n.wb_rd,
+    ];
+
+    // ---- Fetch / control flow ----
+    bundle(&mut g, &[n.npc], &[n.pc]);
+    bundle(
+        &mut g,
+        &[n.br_taken, n.br_target, n.pc, n.npc, n.de_cond, n.psr_icc],
+        &[n.pc, n.npc, n.annul],
+    );
+    bundle(
+        &mut g,
+        &de_fields,
+        &[n.br_taken, n.br_target, n.annul, n.pc, n.npc],
+    );
+    bundle(&mut g, &[n.psr_icc], &[n.br_taken]);
+    bundle(&mut g, &[n.tbr, n.psr_et, n.add_res], &[n.pc, n.npc]);
+    // A miss on the store path leaves the hit flag as the last read before
+    // the next instruction's PC update.
+    bundle(&mut g, &[n.dc_hit, n.ic_hit], &[n.pc, n.npc]);
+
+    // ---- Decode ----
+    bundle(&mut g, &[n.de_ir], &de_fields);
+    // Ticc decodes its condition after the common fields.
+    bundle(
+        &mut g,
+        &[n.de_rd, n.de_rs1, n.de_rs2, n.de_useimm, n.de_simm],
+        &[n.de_cond],
+    );
+    // The opcode also selects the memory-access size.
+    bundle(&mut g, &[n.de_ir], &[n.lsu_size]);
+
+    // ---- Register access (operand buses) ----
+    let operand_targets = [n.ra_op1, n.ra_op2, n.ra_store_data];
+    bundle(&mut g, &de_fields, &operand_targets);
+    bundle(
+        &mut g,
+        &[n.psr_cwp, n.psr_icc, n.psr_et, n.psr_ps, n.wim, n.md_y],
+        &operand_targets,
+    );
+    for &slot in &n.rf {
+        bundle(&mut g, &[slot], &operand_targets);
+        bundle(&mut g, &[slot], &[n.lsu_wdata]);
+    }
+
+    // ---- Execute: ALU input latches and results ----
+    bundle(&mut g, &operands, &alu_inputs);
+    bundle(&mut g, &de_fields, &[n.logic_a]); // sethi immediate path
+    bundle(&mut g, &[n.add_a, n.add_b, n.psr_icc], &[n.add_res]);
+    bundle(&mut g, &[n.logic_a, n.logic_b], &[n.logic_res]);
+    bundle(&mut g, &[n.shift_a, n.shift_cnt], &[n.shift_res]);
+    bundle(
+        &mut g,
+        &[n.md_a, n.md_b, n.md_y, n.psr_icc, n.md_res],
+        &[n.md_res, n.md_y],
+    );
+    // Condition codes out of each datapath.
+    bundle(
+        &mut g,
+        &[
+            n.add_a,
+            n.add_b,
+            n.add_res,
+            n.logic_res,
+            n.md_res,
+            n.md_a,
+            n.md_b,
+            n.md_y,
+        ],
+        &[n.psr_icc],
+    );
+    // Special-register writes (WrY/WrPsr/WrWim/WrTbr) off the operand bus.
+    bundle(
+        &mut g,
+        &operands,
+        &[
+            n.md_y, n.wim, n.tbr, n.psr_icc, n.psr_cwp, n.psr_s, n.psr_ps, n.psr_et, n.psr_pil,
+        ],
+    );
+    bundle(&mut g, &[n.tbr], &[n.tbr]);
+
+    // ---- Branch / jump / window ----
+    bundle(&mut g, &[n.br_taken, n.pc], &[n.br_target]);
+    bundle(&mut g, &[n.add_res], &[n.br_target]); // jmpl/rett target
+    bundle(&mut g, &[n.add_res, n.wim], &[n.psr_cwp]); // save/restore/rett
+    bundle(&mut g, &[n.psr_ps], &[n.psr_s]); // rett
+    bundle(&mut g, &[n.psr_s], &[n.psr_ps]); // trap entry
+
+    // ---- Memory stage ----
+    bundle(&mut g, &[n.add_res], &[n.lsu_addr]);
+    bundle(&mut g, &[n.lsu_addr], &[n.lsu_size]);
+    bundle(
+        &mut g,
+        &[n.lsu_size],
+        &[n.dc_index, n.ra_store_data, n.bus_addr, n.bus_data],
+    );
+    bundle(&mut g, &[n.ra_store_data, n.lsu_rdata], &[n.lsu_wdata]);
+    bundle(&mut g, &[n.psr_cwp], &[n.lsu_wdata]);
+    bundle(
+        &mut g,
+        &[n.lsu_addr, n.lsu_wdata, n.lsu_rdata],
+        &[n.bus_addr, n.bus_data],
+    );
+    bundle(&mut g, &[n.bus_data], &[n.lsu_rdata]); // timer MMIO read
+
+    // ---- Write-back ----
+    bundle(
+        &mut g,
+        &[
+            n.add_res,
+            n.logic_res,
+            n.shift_res,
+            n.md_res,
+            n.lsu_rdata,
+            n.md_y,
+            n.wim,
+            n.tbr,
+            n.pc,
+            n.br_target,
+        ],
+        &[n.wb_res],
+    );
+    bundle(&mut g, &psr, &[n.wb_res]); // rd %psr
+    bundle(&mut g, &de_fields, &[n.wb_res, n.wb_rd]);
+    // A write-back to %g0 skips the register file, leaving the result bus
+    // as the last read before the next PC / condition-code update.
+    bundle(&mut g, &[n.wb_res, n.wb_rd], &[n.pc, n.npc, n.psr_icc]);
+    for &slot in &n.rf {
+        bundle(&mut g, &[n.wb_res, n.wb_rd, n.psr_cwp], &[slot]);
+        bundle(&mut g, &[n.pc, n.npc], &[slot]); // trap entry saves pc/npc
+    }
+
+    // ---- Trap entry ----
+    // The first trap-entry write absorbs whatever read was in flight when
+    // the exception was raised, so every scalar feeds it.
+    bundle(&mut g, &iu_scalars, &[n.psr_et]);
+    bundle(
+        &mut g,
+        &[
+            n.ic_hit, n.ic_index, n.dc_hit, n.dc_index, n.bus_addr, n.bus_data,
+        ],
+        &[n.psr_et],
+    );
+    bundle(
+        &mut g,
+        &[
+            n.de_ir, n.de_cond, n.lsu_addr, n.lsu_size, n.add_res, n.wim, n.psr_cwp, n.psr_et,
+        ],
+        &[n.xc_tt],
+    );
+    bundle(&mut g, &[n.xc_tt], &[n.tbr]);
+
+    // ---- Instruction cache ----
+    let iwords = if n.itag.is_empty() {
+        0
+    } else {
+        n.idata.len() / n.itag.len()
+    };
+    bundle(
+        &mut g,
+        &[n.pc, n.annul, n.psr_et, n.psr_pil, n.ic_hit],
+        &[n.ic_index],
+    );
+    bundle(&mut g, &[n.pc, n.ic_index], &[n.ic_hit]);
+    for (i, (&tag, &valid)) in n.itag.iter().zip(&n.ivalid).enumerate() {
+        bundle(&mut g, &[tag, valid], &[n.ic_hit]);
+        let line = &n.idata[i * iwords..(i + 1) * iwords];
+        bundle(&mut g, line, &[n.ic_hit, n.fe_inst]);
+        if let Some(&pnet) = n.iparity.get(i) {
+            g.edge(pnet, n.ic_hit);
+            bundle(&mut g, &[tag, valid], &[pnet]);
+            bundle(&mut g, line, &[pnet]);
+            bundle(&mut g, &[n.bus_data, n.pc], &[pnet]);
+        }
+        bundle(&mut g, &[n.bus_data], line);
+        bundle(&mut g, &[n.pc], &[tag, valid]);
+    }
+    bundle(&mut g, &[n.ic_index, n.ic_hit], &[n.bus_addr]);
+    bundle(&mut g, &[n.bus_addr], &[n.bus_data]);
+    bundle(&mut g, &[n.ic_index], &[n.fe_inst]);
+    g.pass_through(n.fe_inst, n.de_ir);
+
+    // ---- Data cache ----
+    let dwords = if n.dtag.is_empty() {
+        0
+    } else {
+        n.ddata.len() / n.dtag.len()
+    };
+    bundle(
+        &mut g,
+        &[n.lsu_addr, n.lsu_size, n.bus_addr, n.bus_data, n.dc_hit],
+        &[n.dc_index],
+    );
+    bundle(&mut g, &[n.lsu_addr, n.dc_index], &[n.dc_hit]);
+    for (i, (&tag, &valid)) in n.dtag.iter().zip(&n.dvalid).enumerate() {
+        bundle(&mut g, &[tag, valid], &[n.dc_hit]);
+        let line = &n.ddata[i * dwords..(i + 1) * dwords];
+        bundle(&mut g, line, &[n.dc_hit, n.lsu_rdata, n.dc_index]);
+        if let Some(&pnet) = n.dparity.get(i) {
+            g.edge(pnet, n.dc_hit);
+            bundle(&mut g, &[tag, valid], &[pnet]);
+            bundle(&mut g, line, &[pnet]);
+            bundle(&mut g, &[n.bus_data, n.lsu_addr], &[pnet]);
+        }
+        bundle(&mut g, &[n.bus_data, n.dc_index], line);
+        bundle(&mut g, &[n.lsu_addr], &[tag, valid]);
+    }
+    bundle(&mut g, &[n.dc_index, n.dc_hit], &[n.bus_addr]);
+    bundle(&mut g, &[n.dc_index, n.dc_hit], &[n.lsu_rdata]);
+
+    // ---- Sinks: the off-core write port and the safety compare points ----
+    g.sink(n.bus_addr);
+    g.sink(n.bus_data);
+    for &pnet in n.iparity.iter().chain(&n.dparity) {
+        g.sink(pnet);
+    }
+
+    // ---- Transient-safe latches ----
+    // Each of these is fully written immediately before every read, with no
+    // clock tick in between (verified against the execute/cache paths by
+    // the campaign's audit mode and the collapsing property tests).
+    for net in [
+        n.fe_inst,
+        n.de_ir,
+        n.de_rd,
+        n.de_rs1,
+        n.de_rs2,
+        n.de_useimm,
+        n.de_simm,
+        n.de_cond,
+        n.ra_op1,
+        n.ra_op2,
+        n.ra_store_data,
+        n.add_a,
+        n.add_b,
+        n.add_res,
+        n.logic_a,
+        n.logic_b,
+        n.logic_res,
+        n.shift_a,
+        n.shift_cnt,
+        n.shift_res,
+        n.md_a,
+        n.md_b,
+        n.md_res,
+        n.br_taken,
+        n.br_target,
+        n.lsu_addr,
+        n.lsu_wdata,
+        n.lsu_rdata,
+        n.lsu_size,
+        n.xc_tt,
+        n.wb_res,
+        n.wb_rd,
+        n.ic_hit,
+        n.ic_index,
+        n.dc_hit,
+        n.dc_index,
+        n.bus_addr,
+        n.bus_data,
+    ] {
+        g.transient_safe(net);
+    }
+
+    g
+}
+
+/// The conformance mix: every execution path the model has — all ALU
+/// classes, every load/store flavour, taken/untaken/annulled branches,
+/// call/jmpl, register windows, special registers, an untaken Ticc and a
+/// final trap (which, with no handler installed, double-traps into error
+/// mode — exercising trap entry twice).
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to assemble (a bug, not a runtime
+/// condition).
+pub fn conformance_mix() -> Program {
+    assemble(
+        r#"
+        _start:
+            set 0x40002000, %l0
+            sethi %hi(0x12345400), %l1
+            or %l1, %lo(0x12345678), %l1
+            add %l1, 5, %l2
+            addcc %l2, %l2, %l3
+            addx %l3, 1, %l3
+            addxcc %l3, %l1, %l3
+            subcc %l3, %l2, %l4
+            subx %l4, 1, %l4
+            subxcc %l4, %l1, %l4
+            taddcc %l2, 4, %l5
+            tsubcc %l5, 4, %l5
+            and %l1, %l2, %o0
+            andncc %o0, %l3, %o1
+            orcc %o1, 1, %o1
+            orn %o1, %l4, %o2
+            xorcc %o2, %l1, %o3
+            xnor %o3, %o1, %o3
+            sll %o3, 3, %o4
+            srl %o4, %o1, %o5
+            sra %o5, 2, %o5
+            wr %g0, %g0, %y
+            umul %l2, %l3, %o0
+            rd %y, %o1
+            smulcc %o2, %o3, %o0
+            wr %g0, %g0, %y
+            udivcc %l3, 7, %o0
+            sdiv %l4, 5, %o1
+            mulscc %o0, %o1, %o2
+            ! -- memory: every size, both directions --
+            st %l1, [%l0]
+            ld [%l0], %o0
+            stb %l2, [%l0 + 4]
+            ldub [%l0 + 4], %o1
+            ldsb [%l0 + 4], %o2
+            sth %l3, [%l0 + 6]
+            lduh [%l0 + 6], %o3
+            ldsh [%l0 + 6], %o4
+            std %l2, [%l0 + 8]
+            ldd [%l0 + 8], %o2
+            swap [%l0], %o0
+            ldstub [%l0 + 4], %o1
+            ! -- control flow --
+            cmp %o1, 0
+            be,a skipped       ! annulled when taken
+             nop
+        skipped:
+            bne not_taken      ! z=1: falls through, annuls delay slot
+             nop
+        not_taken:
+            subcc %g0, 1, %g0
+            bne taken
+             nop
+            unimp
+        taken:
+            call subroutine
+             nop
+            save %sp, -96, %sp
+            restore %g0, %g0, %g0
+            ! -- special registers --
+            rd %psr, %o0
+            wr %o0, %g0, %psr
+            rd %wim, %o1
+            wr %g0, %g0, %wim
+            rd %tbr, %o2
+            wr %o2, %g0, %tbr
+            tn 3               ! untaken trap
+            flush %l0
+            unimp              ! trap -> vector 0 -> double trap -> error mode
+        subroutine:
+            jmpl %o7 + 8, %g0
+             nop
+        "#,
+    )
+    .expect("conformance mix assembles")
+}
+
+/// Run the conformance mix on a fresh model under the event trace and
+/// return every observed driver→reader edge the declared graph lacks, as
+/// `(driver, reader)` net-name pairs. Empty means the declaration covers
+/// the model's real access order.
+pub fn conformance_missing_edges(config: Leon3Config) -> Vec<(String, String)> {
+    let mut cpu = Leon3::new(config);
+    cpu.load(&conformance_mix());
+    cpu.enable_event_trace();
+    let _ = cpu.run(10_000);
+    let events = cpu.take_net_events();
+    let graph = declared_graph(&cpu);
+    graph
+        .missing_edges(&events)
+        .into_iter()
+        .map(|(from, to)| {
+            (
+                cpu.pool().meta(from).name.clone(),
+                cpu.pool().meta(to).name.clone(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_graph_matches_observed_access_order() {
+        let missing = conformance_missing_edges(Leon3Config::default());
+        assert!(missing.is_empty(), "undeclared dataflow: {missing:?}");
+    }
+
+    #[test]
+    fn declared_graph_matches_observed_access_order_with_parity() {
+        let config = Leon3Config {
+            cmem_parity: true,
+            ..Leon3Config::default()
+        };
+        let missing = conformance_missing_edges(config);
+        assert!(missing.is_empty(), "undeclared dataflow: {missing:?}");
+    }
+
+    #[test]
+    fn no_dead_or_unobservable_nets() {
+        let cpu = Leon3::new(Leon3Config::default());
+        let g = declared_graph(&cpu);
+        let names = |ids: Vec<NetId>| -> Vec<String> {
+            ids.into_iter()
+                .map(|id| cpu.pool().meta(id).name.clone())
+                .collect()
+        };
+        assert_eq!(names(g.dead_nets()), Vec::<String>::new());
+        assert_eq!(names(g.unobservable_nets()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fetch_to_decode_is_the_only_equivalence_class() {
+        let cpu = Leon3::new(Leon3Config::default());
+        let g = declared_graph(&cpu);
+        let classes = g.equivalence_classes();
+        assert_eq!(
+            classes,
+            vec![vec![cpu.nets().fe_inst, cpu.nets().de_ir]],
+            "exactly the fetch->decode pass-through"
+        );
+        assert_eq!(g.class_root(cpu.nets().de_ir), cpu.nets().fe_inst);
+    }
+
+    #[test]
+    fn state_nets_are_not_transient_safe() {
+        let cpu = Leon3::new(Leon3Config::default());
+        let g = declared_graph(&cpu);
+        let n = cpu.nets();
+        for state in [
+            n.pc, n.npc, n.annul, n.md_y, n.psr_icc, n.wim, n.tbr, n.rf[9],
+        ] {
+            assert!(!g.is_transient_safe(state));
+        }
+        for latch in [n.fe_inst, n.add_a, n.lsu_wdata, n.wb_res] {
+            assert!(g.is_transient_safe(latch));
+        }
+        for array in [n.itag[0], n.idata[0], n.dtag[0], n.ddata[0]] {
+            assert!(!g.is_transient_safe(array));
+        }
+    }
+
+    #[test]
+    fn parity_nets_are_sinks_when_configured() {
+        let config = Leon3Config {
+            cmem_parity: true,
+            ..Leon3Config::default()
+        };
+        let cpu = Leon3::new(config);
+        let g = declared_graph(&cpu);
+        let n = cpu.nets();
+        assert!(g.is_sink(n.bus_addr) && g.is_sink(n.bus_data));
+        assert!(g.is_sink(n.iparity[0]) && g.is_sink(n.dparity[17]));
+        assert!(!g.is_sink(n.pc));
+        assert_eq!(g.sink_count(), 2 + n.iparity.len() + n.dparity.len());
+    }
+}

@@ -56,6 +56,7 @@ mod cache;
 mod config;
 mod core;
 mod execute;
+pub mod graph;
 mod nets;
 
 pub use config::{cycles_to_us, Leon3Config, CLOCK_HZ};

@@ -1,0 +1,464 @@
+//! Static driver→reader net connectivity and its analyses.
+//!
+//! A [`NetGraph`] is the model's *declared* dataflow: one directed edge per
+//! "value read from net A contributes to the value (or selection, or
+//! timing) of net B". The model that owns a [`crate::NetPool`] declares the
+//! graph alongside its nets; the substrate stays processor-agnostic and
+//! only provides the container and the analyses:
+//!
+//! * **dead nets** — written but never read, so no fault on them can ever
+//!   propagate;
+//! * **observability cones** — forward reachability to *sink* nets (off-
+//!   core write ports, safety compare points). A site whose cone contains
+//!   no sink is provably unobservable;
+//! * **transient-safe nets** — declared write-before-read latches, on
+//!   which a single transient flip is provably overwritten before any
+//!   read;
+//! * **stuck-at fault-equivalence classes** — declared pass-through pairs
+//!   (a pure copy with no other writers or readers), whose corresponding
+//!   bits are fault-equivalent and can be collapsed to one representative
+//!   with a multiplicity.
+//!
+//! Because pruning soundness rests on the declaration being truthful, the
+//! graph can be cross-checked against *observed* read/write order: with
+//! [`crate::NetPool::enable_event_trace`] the pool records every read and
+//! write, [`observed_edges`] attributes each write to the reads since the
+//! previous write, and [`NetGraph::missing_edges`] reports observed edges
+//! the declaration lacks (a model-conformance failure).
+
+use crate::net::NetId;
+use std::collections::BTreeSet;
+
+/// One recorded pool access, in program order (see
+/// [`crate::NetPool::enable_event_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A [`crate::NetPool::read`] of the net.
+    Read(NetId),
+    /// A [`crate::NetPool::write`] of the net.
+    Write(NetId),
+}
+
+/// Static driver→reader connectivity over a net population, with sink,
+/// transient-safety and pass-through annotations.
+#[derive(Debug, Clone, Default)]
+pub struct NetGraph {
+    n: u32,
+    edges: BTreeSet<(u32, u32)>,
+    sink: Vec<bool>,
+    transient_safe: Vec<bool>,
+    pass_through: Vec<(NetId, NetId)>,
+}
+
+impl NetGraph {
+    /// An empty graph over `net_count` nets (ids `0..net_count`).
+    pub fn new(net_count: usize) -> NetGraph {
+        NetGraph {
+            n: net_count as u32,
+            edges: BTreeSet::new(),
+            sink: vec![false; net_count],
+            transient_safe: vec![false; net_count],
+            pass_through: Vec::new(),
+        }
+    }
+
+    fn check(&self, id: NetId) {
+        assert!(
+            id.raw() < self.n,
+            "net {id:?} outside graph of {} nets",
+            self.n
+        );
+    }
+
+    /// Declare that values read from `from` contribute to `to` (data,
+    /// selection or timing). Self-edges are accepted and ignored.
+    pub fn edge(&mut self, from: NetId, to: NetId) {
+        self.check(from);
+        self.check(to);
+        if from != to {
+            self.edges.insert((from.raw(), to.raw()));
+        }
+    }
+
+    /// Declare `net` an observation sink: an off-core write port or a
+    /// safety compare point (parity check, lockstep comparator input,
+    /// watchdog kick). Faults are observable iff their cone reaches one.
+    pub fn sink(&mut self, net: NetId) {
+        self.check(net);
+        self.sink[net.raw() as usize] = true;
+    }
+
+    /// Declare `net` a write-before-read latch: every read of it is
+    /// preceded, with no intervening clock tick, by a write. A transient
+    /// flip on such a net is provably overwritten before any read.
+    pub fn transient_safe(&mut self, net: NetId) {
+        self.check(net);
+        self.transient_safe[net.raw() as usize] = true;
+    }
+
+    /// Declare `b` a pure pass-through copy of `a` (same width, `b`'s only
+    /// writer copies `a`'s read value, and no other reader consumes `a`'s
+    /// value differently): stuck-at and open-line faults on corresponding
+    /// bits of `a` and `b` are equivalent. Implies the edge `a → b`.
+    pub fn pass_through(&mut self, a: NetId, b: NetId) {
+        assert_ne!(a, b, "a pass-through needs two distinct nets");
+        self.edge(a, b);
+        self.pass_through.push((a, b));
+    }
+
+    /// Number of nets the graph covers.
+    pub fn net_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of declared (non-self) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of declared sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sink.iter().filter(|&&s| s).count()
+    }
+
+    /// Whether the edge `from → to` is declared.
+    pub fn has_edge(&self, from: NetId, to: NetId) -> bool {
+        self.edges.contains(&(from.raw(), to.raw()))
+    }
+
+    /// Whether `net` is a declared sink.
+    pub fn is_sink(&self, net: NetId) -> bool {
+        self.sink.get(net.raw() as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether `net` is a declared write-before-read latch.
+    pub fn is_transient_safe(&self, net: NetId) -> bool {
+        self.transient_safe
+            .get(net.raw() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Nets that are written but have no reader at all (no outgoing edge)
+    /// and are not sinks themselves. No fault on a dead net can propagate.
+    pub fn dead_nets(&self) -> Vec<NetId> {
+        let mut has_reader = vec![false; self.n as usize];
+        for &(from, _) in &self.edges {
+            has_reader[from as usize] = true;
+        }
+        (0..self.n)
+            .filter(|&i| !has_reader[i as usize] && !self.sink[i as usize])
+            .map(NetId::from_raw)
+            .collect()
+    }
+
+    /// The forward cone of `net`: every net its value can reach (itself
+    /// included), in id order.
+    pub fn cone(&self, net: NetId) -> Vec<NetId> {
+        self.check(net);
+        let mut seen = vec![false; self.n as usize];
+        let mut stack = vec![net.raw()];
+        seen[net.raw() as usize] = true;
+        while let Some(at) = stack.pop() {
+            for &(_, to) in self.edges.range((at, 0)..=(at, u32::MAX)) {
+                if !seen[to as usize] {
+                    seen[to as usize] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        (0..self.n)
+            .filter(|&i| seen[i as usize])
+            .map(NetId::from_raw)
+            .collect()
+    }
+
+    /// Whether `net`'s cone reaches a sink (the net is observable). A sink
+    /// is observable by definition.
+    pub fn observable(&self, net: NetId) -> bool {
+        self.check(net);
+        let mut seen = vec![false; self.n as usize];
+        let mut stack = vec![net.raw()];
+        seen[net.raw() as usize] = true;
+        while let Some(at) = stack.pop() {
+            if self.sink[at as usize] {
+                return true;
+            }
+            for &(_, to) in self.edges.range((at, 0)..=(at, u32::MAX)) {
+                if !seen[to as usize] {
+                    seen[to as usize] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        false
+    }
+
+    /// Per-net observability for the whole graph in one pass: one reverse
+    /// reachability sweep from every sink, instead of a forward search per
+    /// net. Index = raw net id. This is what batch consumers (the fault
+    /// crate's analyzer, `repro netcheck`) should use; [`NetGraph::observable`]
+    /// stays for single queries.
+    pub fn observability(&self) -> Vec<bool> {
+        let mut reverse: Vec<Vec<u32>> = vec![Vec::new(); self.n as usize];
+        for &(from, to) in &self.edges {
+            reverse[to as usize].push(from);
+        }
+        let mut seen = vec![false; self.n as usize];
+        let mut stack: Vec<u32> = (0..self.n).filter(|&i| self.sink[i as usize]).collect();
+        for &s in &stack {
+            seen[s as usize] = true;
+        }
+        while let Some(at) = stack.pop() {
+            for &from in &reverse[at as usize] {
+                if !seen[from as usize] {
+                    seen[from as usize] = true;
+                    stack.push(from);
+                }
+            }
+        }
+        seen
+    }
+
+    /// All nets whose cone reaches no sink, in id order (superset of
+    /// [`NetGraph::dead_nets`] when sinks exist).
+    pub fn unobservable_nets(&self) -> Vec<NetId> {
+        self.observability()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &seen)| !seen)
+            .map(|(i, _)| NetId::from_raw(i as u32))
+            .collect()
+    }
+
+    /// Stuck-at fault-equivalence classes from the declared pass-through
+    /// pairs: connected components with ≥ 2 members, each sorted by id
+    /// (first member = canonical representative), classes sorted by their
+    /// representative.
+    pub fn equivalence_classes(&self) -> Vec<Vec<NetId>> {
+        let mut root: Vec<u32> = (0..self.n).collect();
+        fn find(root: &mut [u32], mut i: u32) -> u32 {
+            while root[i as usize] != i {
+                root[i as usize] = root[root[i as usize] as usize];
+                i = root[i as usize];
+            }
+            i
+        }
+        for &(a, b) in &self.pass_through {
+            let (ra, rb) = (find(&mut root, a.raw()), find(&mut root, b.raw()));
+            if ra != rb {
+                root[ra.max(rb) as usize] = ra.min(rb);
+            }
+        }
+        let mut classes: std::collections::BTreeMap<u32, Vec<NetId>> =
+            std::collections::BTreeMap::new();
+        for i in 0..self.n {
+            let r = find(&mut root, i);
+            classes.entry(r).or_default().push(NetId::from_raw(i));
+        }
+        classes.into_values().filter(|c| c.len() > 1).collect()
+    }
+
+    /// Every net's canonical class representative in one union-find pass
+    /// (index = raw net id; a net outside any pass-through class maps to
+    /// itself). The batch form of [`NetGraph::class_root`].
+    pub fn class_roots(&self) -> Vec<NetId> {
+        let mut root: Vec<u32> = (0..self.n).collect();
+        fn find(root: &mut [u32], mut i: u32) -> u32 {
+            while root[i as usize] != i {
+                root[i as usize] = root[root[i as usize] as usize];
+                i = root[i as usize];
+            }
+            i
+        }
+        for &(a, b) in &self.pass_through {
+            let (ra, rb) = (find(&mut root, a.raw()), find(&mut root, b.raw()));
+            if ra != rb {
+                root[ra.max(rb) as usize] = ra.min(rb);
+            }
+        }
+        (0..self.n)
+            .map(|i| NetId::from_raw(find(&mut root, i)))
+            .collect()
+    }
+
+    /// The canonical class representative of `net` (itself when it is in
+    /// no pass-through class).
+    pub fn class_root(&self, net: NetId) -> NetId {
+        self.check(net);
+        self.class_roots()[net.raw() as usize]
+    }
+
+    /// Observed edges (see [`observed_edges`]) that the declaration lacks
+    /// — each one is a model-conformance failure: real dataflow the static
+    /// graph does not know about, which could make pruning unsound.
+    pub fn missing_edges(&self, events: &[NetEvent]) -> Vec<(NetId, NetId)> {
+        observed_edges(events)
+            .into_iter()
+            .filter(|&(from, to)| !self.has_edge(from, to))
+            .collect()
+    }
+}
+
+/// Extract driver→reader edges from a recorded access trace: each write is
+/// attributed to every read since the previous write (the taint rule
+/// matching the substrate's read-compute-write idiom). Self-edges are
+/// dropped; the result is deduplicated and sorted.
+pub fn observed_edges(events: &[NetEvent]) -> Vec<(NetId, NetId)> {
+    let mut pending: Vec<NetId> = Vec::new();
+    let mut edges = BTreeSet::new();
+    for event in events {
+        match *event {
+            NetEvent::Read(id) => pending.push(id),
+            NetEvent::Write(id) => {
+                for &from in &pending {
+                    if from != id {
+                        edges.insert((from.raw(), id.raw()));
+                    }
+                }
+                pending.clear();
+            }
+        }
+    }
+    edges
+        .into_iter()
+        .map(|(a, b)| (NetId::from_raw(a), NetId::from_raw(b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raws: &[u32]) -> Vec<NetId> {
+        raws.iter().map(|&r| NetId::from_raw(r)).collect()
+    }
+
+    #[test]
+    fn dead_nets_have_no_readers() {
+        let mut g = NetGraph::new(4);
+        g.edge(NetId::from_raw(0), NetId::from_raw(1));
+        g.sink(NetId::from_raw(3));
+        // 1 is read by nobody, 2 is written-only, 3 is a sink.
+        assert_eq!(g.dead_nets(), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn observability_is_forward_reachability_to_a_sink() {
+        let mut g = NetGraph::new(5);
+        let n = |r| NetId::from_raw(r);
+        g.edge(n(0), n(1));
+        g.edge(n(1), n(2));
+        g.sink(n(2));
+        g.edge(n(3), n(0)); // upstream of the chain
+                            // 4 is isolated.
+        for observable in [0, 1, 2, 3] {
+            assert!(g.observable(n(observable)), "{observable}");
+        }
+        assert!(!g.observable(n(4)));
+        assert_eq!(g.unobservable_nets(), ids(&[4]));
+        assert_eq!(g.cone(n(3)), ids(&[0, 1, 2, 3]));
+        assert_eq!(g.cone(n(4)), ids(&[4]));
+    }
+
+    #[test]
+    fn batch_queries_agree_with_single_queries() {
+        let mut g = NetGraph::new(6);
+        let n = |r| NetId::from_raw(r);
+        g.edge(n(0), n(1));
+        g.edge(n(1), n(2));
+        g.sink(n(2));
+        g.edge(n(3), n(0));
+        g.pass_through(n(0), n(1));
+        g.pass_through(n(4), n(5));
+        let obs = g.observability();
+        let roots = g.class_roots();
+        for i in 0..6 {
+            assert_eq!(obs[i as usize], g.observable(n(i)), "observability of {i}");
+            assert_eq!(roots[i as usize], g.class_root(n(i)), "root of {i}");
+        }
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut g = NetGraph::new(3);
+        let n = |r| NetId::from_raw(r);
+        g.edge(n(0), n(1));
+        g.edge(n(1), n(0));
+        assert!(!g.observable(n(0)));
+        g.sink(n(2));
+        g.edge(n(1), n(2));
+        assert!(g.observable(n(0)));
+    }
+
+    #[test]
+    fn pass_through_chains_form_classes_with_canonical_roots() {
+        let mut g = NetGraph::new(6);
+        let n = |r| NetId::from_raw(r);
+        g.pass_through(n(1), n(4));
+        g.pass_through(n(4), n(2));
+        g.pass_through(n(3), n(5));
+        let classes = g.equivalence_classes();
+        assert_eq!(classes, vec![ids(&[1, 2, 4]), ids(&[3, 5])]);
+        assert_eq!(g.class_root(n(4)), n(1));
+        assert_eq!(g.class_root(n(2)), n(1));
+        assert_eq!(g.class_root(n(0)), n(0));
+        // Pass-through implies the dataflow edge.
+        assert!(g.has_edge(n(1), n(4)));
+    }
+
+    #[test]
+    fn observed_edges_attribute_writes_to_reads_since_last_write() {
+        let n = |r| NetId::from_raw(r);
+        let events = [
+            NetEvent::Read(n(0)),
+            NetEvent::Read(n(1)),
+            NetEvent::Write(n(2)), // 0→2, 1→2
+            NetEvent::Write(n(3)), // no pending reads: no edge
+            NetEvent::Read(n(2)),
+            NetEvent::Write(n(2)), // self-edge dropped
+            NetEvent::Read(n(3)),
+            NetEvent::Write(n(0)), // 3→0
+        ];
+        assert_eq!(
+            observed_edges(&events),
+            vec![(n(0), n(2)), (n(1), n(2)), (n(3), n(0))]
+        );
+    }
+
+    #[test]
+    fn missing_edges_report_undeclared_dataflow() {
+        let n = |r| NetId::from_raw(r);
+        let mut g = NetGraph::new(3);
+        g.edge(n(0), n(2));
+        let events = [
+            NetEvent::Read(n(0)),
+            NetEvent::Read(n(1)),
+            NetEvent::Write(n(2)),
+        ];
+        assert_eq!(g.missing_edges(&events), vec![(n(1), n(2))]);
+        g.edge(n(1), n(2));
+        assert!(g.missing_edges(&events).is_empty());
+    }
+
+    #[test]
+    fn transient_safe_and_sink_flags_round_trip() {
+        let mut g = NetGraph::new(2);
+        let n = |r| NetId::from_raw(r);
+        assert!(!g.is_transient_safe(n(0)) && !g.is_sink(n(1)));
+        g.transient_safe(n(0));
+        g.sink(n(1));
+        assert!(g.is_transient_safe(n(0)));
+        assert!(g.is_sink(n(1)));
+        assert_eq!(g.sink_count(), 1);
+        // A sink with no readers is not dead.
+        assert_eq!(g.dead_nets(), ids(&[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside graph")]
+    fn out_of_range_net_rejected() {
+        let mut g = NetGraph::new(1);
+        g.edge(NetId::from_raw(0), NetId::from_raw(1));
+    }
+}

@@ -36,9 +36,11 @@
 #![warn(missing_docs)]
 
 mod fault;
+mod graph;
 mod net;
 mod wave;
 
 pub use fault::{Bridge, BridgeKind, Fault, FaultKind};
+pub use graph::{observed_edges, NetEvent, NetGraph};
 pub use net::{NetId, NetMeta, NetPool, PoolCheckpoint};
 pub use wave::Waveform;

@@ -1,7 +1,8 @@
 //! The net pool: named multi-bit signals with a fault overlay.
 
 use crate::fault::{ActiveFault, Bridge, Fault, FaultKind};
-use std::cell::Cell;
+use crate::graph::NetEvent;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 
 /// Sentinel in the read tracker: the net has never been read.
@@ -53,6 +54,10 @@ pub struct NetPool<T> {
     /// When enabled, the cycle of the most recent [`NetPool::read`] per
     /// net (`NEVER_READ` if none). `Cell` because `read` takes `&self`.
     last_read: Option<Vec<Cell<u64>>>,
+    /// When enabled, every read and write in program order (`RefCell`
+    /// because `read` takes `&self`). Only switched on for the short
+    /// taint-extraction runs behind the model-conformance check.
+    events: Option<RefCell<Vec<NetEvent>>>,
 }
 
 /// A saved pool state: the raw flip-flop values and the clock.
@@ -98,6 +103,7 @@ impl<T> NetPool<T> {
             fault_net: None,
             cycle: 0,
             last_read: None,
+            events: None,
         }
     }
 
@@ -115,6 +121,11 @@ impl<T> NetPool<T> {
             width,
             tag,
         });
+        // The read tracker must cover nets declared after
+        // `enable_read_tracking`, or `read` indexes past its end.
+        if let Some(track) = &mut self.last_read {
+            track.push(Cell::new(NEVER_READ));
+        }
         id
     }
 
@@ -167,6 +178,9 @@ impl<T> NetPool<T> {
         if let Some(track) = &self.last_read {
             track[id.0 as usize].set(self.cycle);
         }
+        if let Some(trace) = &self.events {
+            trace.borrow_mut().push(NetEvent::Read(id));
+        }
         let raw = self.values[id.0 as usize];
         if self.fault_net == Some(id) || (!self.faults.is_empty() && self.net_has_fault(id)) {
             let mut value = raw;
@@ -215,6 +229,9 @@ impl<T> NetPool<T> {
     /// instant).
     #[inline]
     pub fn write(&mut self, id: NetId, value: u32) {
+        if let Some(trace) = &mut self.events {
+            trace.get_mut().push(NetEvent::Write(id));
+        }
         self.values[id.0 as usize] = value & self.mask(id);
     }
 
@@ -311,6 +328,29 @@ impl<T> NetPool<T> {
         self.last_read = None;
     }
 
+    /// Start recording every read and write in program order (clearing any
+    /// previous trace). Feed the trace to [`crate::observed_edges`] /
+    /// [`crate::NetGraph::missing_edges`] to cross-check a declared net
+    /// graph against the model's real access order. Unbounded memory per
+    /// access, so only switch it on for short extraction runs.
+    pub fn enable_event_trace(&mut self) {
+        self.events = Some(RefCell::new(Vec::new()));
+    }
+
+    /// Take the recorded access trace, leaving tracing enabled with an
+    /// empty buffer. Empty if tracing is off.
+    pub fn take_events(&mut self) -> Vec<NetEvent> {
+        match &mut self.events {
+            Some(trace) => std::mem::take(trace.get_mut()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Stop recording accesses and drop the trace.
+    pub fn disable_event_trace(&mut self) {
+        self.events = None;
+    }
+
     /// The cycle of the most recent read of `id`, or `None` if the net was
     /// never read while tracking was enabled (or tracking is off).
     pub fn last_read_cycle(&self, id: NetId) -> Option<u64> {
@@ -335,6 +375,9 @@ impl<T> NetPool<T> {
         self.cycle = 0;
         if let Some(track) = &self.last_read {
             track.iter().for_each(|c| c.set(NEVER_READ));
+        }
+        if let Some(trace) = &mut self.events {
+            trace.get_mut().clear();
         }
     }
 
@@ -622,6 +665,47 @@ mod tests {
         pool.disable_read_tracking();
         pool.read(a);
         assert_eq!(pool.last_read_cycle(a), None);
+    }
+
+    #[test]
+    fn nets_declared_after_tracking_enabled_are_tracked() {
+        // Regression: `net()` used to leave `last_read` at its old length,
+        // so reading a late-declared net indexed out of bounds.
+        let mut pool: NetPool<()> = NetPool::new();
+        let early = pool.net("early", 4, ());
+        pool.enable_read_tracking();
+        let late = pool.net("late", 4, ());
+        assert_eq!(pool.last_read_cycle(late), None);
+        pool.tick_many(3);
+        pool.read(late);
+        assert_eq!(pool.last_read_cycle(late), Some(3));
+        assert_eq!(pool.last_read_cycle(early), None);
+    }
+
+    #[test]
+    fn event_trace_records_access_order() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let a = pool.net("a", 4, ());
+        let b = pool.net("b", 4, ());
+        pool.read(a);
+        assert_eq!(pool.take_events(), vec![], "tracing off records nothing");
+        pool.enable_event_trace();
+        pool.write(a, 3);
+        let v = pool.read(a);
+        pool.write(b, v);
+        assert_eq!(
+            pool.take_events(),
+            vec![NetEvent::Write(a), NetEvent::Read(a), NetEvent::Write(b)]
+        );
+        // take_events drained but left tracing on.
+        pool.read(b);
+        assert_eq!(pool.take_events(), vec![NetEvent::Read(b)]);
+        pool.read(a);
+        pool.reset();
+        assert_eq!(pool.take_events(), vec![], "reset clears the trace");
+        pool.disable_event_trace();
+        pool.read(a);
+        assert_eq!(pool.take_events(), vec![]);
     }
 
     #[test]

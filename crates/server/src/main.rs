@@ -1,6 +1,8 @@
 //! The `verifd` binary: parse flags, start the service, block until a
 //! `POST /shutdown` stops it.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 use verifd::{Server, ServerConfig};

@@ -91,6 +91,8 @@ struct Counters {
     golden_cache_hits: u64,
     golden_cache_misses: u64,
     cycles_simulated_total: u64,
+    statically_pruned_total: u64,
+    collapsed_classes_total: u64,
 }
 
 struct Inner {
@@ -302,6 +304,10 @@ fn worker_loop(shared: &Shared) {
             Ok(shard) => {
                 inner.counters.completed += 1;
                 inner.counters.cycles_simulated_total += shard.result.stats().cycles_simulated;
+                inner.counters.statically_pruned_total +=
+                    shard.result.stats().statically_pruned as u64;
+                inner.counters.collapsed_classes_total +=
+                    shard.result.stats().collapsed_classes as u64;
                 inner.cache.insert(spec.cache_key(), id);
                 let job = inner.jobs.get_mut(&id).expect("running job exists");
                 job.status = Status::Done;
@@ -437,7 +443,8 @@ fn stats_json(shared: &Shared) -> String {
          \"completed\":{},\"failed\":{},\"drained\":{},\"cache_entries\":{},\
          \"cache_hits\":{},\"cache_misses\":{},\"golden_cache_entries\":{},\
          \"golden_cache_hits\":{},\"golden_cache_misses\":{},\
-         \"cycles_simulated_total\":{},\"draining\":{}}}",
+         \"cycles_simulated_total\":{},\"statically_pruned\":{},\
+         \"collapsed_classes\":{},\"draining\":{}}}",
         inner.queue.len(),
         shared.config.queue_depth,
         inner.busy,
@@ -452,6 +459,8 @@ fn stats_json(shared: &Shared) -> String {
         c.golden_cache_hits,
         c.golden_cache_misses,
         c.cycles_simulated_total,
+        c.statically_pruned_total,
+        c.collapsed_classes_total,
         inner.draining,
     );
     s

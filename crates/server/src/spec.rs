@@ -45,6 +45,10 @@ pub struct CampaignSpec {
     pub deadline_ms: Option<u64>,
     /// Optional `(index, count)` shard coordinates.
     pub shard: Option<(u32, u32)>,
+    /// Enable static net-graph pruning and stuck-at fault collapsing
+    /// (see `Campaign::with_static_analysis`). Enters the fingerprint —
+    /// pruned jobs carry provenance instead of a simulated run.
+    pub static_analysis: bool,
 }
 
 impl CampaignSpec {
@@ -60,6 +64,7 @@ impl CampaignSpec {
             safety: SafetyConfig::default(),
             deadline_ms: None,
             shard: None,
+            static_analysis: false,
         }
     }
 
@@ -110,6 +115,9 @@ impl CampaignSpec {
         }
         if let Some((index, count)) = self.shard {
             let _ = write!(s, ",\"shard_index\":{index},\"shard_count\":{count}");
+        }
+        if self.static_analysis {
+            s.push_str(",\"static_analysis\":true");
         }
         s.push('}');
         s
@@ -185,6 +193,7 @@ impl CampaignSpec {
             safety,
             deadline_ms: v.get_u64("deadline_ms"),
             shard,
+            static_analysis: v.get_bool("static_analysis").unwrap_or(false),
         })
     }
 
@@ -209,7 +218,7 @@ impl CampaignSpec {
         if let Some((index, count)) = self.shard {
             campaign = campaign.with_shard(index, count);
         }
-        campaign
+        campaign.with_static_analysis(self.static_analysis)
     }
 
     /// The campaign's public fingerprint (shard-independent — see
@@ -272,6 +281,7 @@ mod tests {
         };
         spec.deadline_ms = Some(2_000);
         spec.shard = Some((1, 4));
+        spec.static_analysis = true;
         let parsed = CampaignSpec::parse(&spec.to_json()).unwrap();
         assert_eq!(parsed, spec);
         // Canonical: the round trip reproduces the bytes.
@@ -299,6 +309,22 @@ mod tests {
         b.checkpoint_stride = Some(5_000);
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn static_analysis_changes_the_fingerprint() {
+        // Pruned jobs carry provenance instead of a simulated run, so a
+        // static spec must not share cached results with a plain one.
+        let mut a = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+        a.sample = Some((10, 3));
+        let mut b = a.clone();
+        b.static_analysis = true;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.cache_key(), b.cache_key());
+        // Off is the wire default and stays byte-identical to the
+        // pre-static-analysis canonical form.
+        assert!(!a.to_json().contains("static_analysis"));
+        assert!(b.to_json().ends_with(",\"static_analysis\":true}"));
     }
 
     #[test]

@@ -29,9 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(150);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let calibration_set = [
         Benchmark::Puwmod,

@@ -18,9 +18,7 @@ fn main() {
         .and_then(|n| Benchmark::by_name(&n))
         .unwrap_or(Benchmark::Rspeed);
     let sample: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(150);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     println!("campaign: {bench}, {sample} IU sites x 3 fault models, {threads} threads");
     let program = bench.program(&Params::default());

@@ -20,7 +20,7 @@ fn main() {
             None => {
                 eprintln!(
                     "unknown workload `{name}`; known: random, {}",
-                    Benchmark::ALL.map(|b| b.name()).join(", ")
+                    Benchmark::ALL.map(Benchmark::name).join(", ")
                 );
                 std::process::exit(2);
             }

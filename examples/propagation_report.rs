@@ -18,9 +18,7 @@ fn main() {
         .and_then(|n| Benchmark::by_name(&n))
         .unwrap_or(Benchmark::Intbench);
     let program = bench.program(&Params::default());
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     println!("hunting for a propagating stuck-at-1 in {bench}'s IU…\n");
     let campaign = Campaign::new(program.clone(), Target::IntegerUnit)

@@ -4,6 +4,8 @@
 //! [`sparc_isa`], [`sparc_asm`], [`sparc_iss`], [`rtl_sim`], [`leon3_model`],
 //! [`fault_inject`], [`workloads`], [`analysis`], [`correlation`].
 
+#![forbid(unsafe_code)]
+
 pub use analysis;
 pub use correlation;
 pub use fault_inject;
