@@ -57,7 +57,7 @@ fn engine_json(m: &Measurement) -> String {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let cases = [
         (Benchmark::Intbench, Target::IntegerUnit, "IU"),
         (Benchmark::Rspeed, Target::CacheMemory, "CMEM"),

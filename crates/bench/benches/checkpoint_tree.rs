@@ -47,7 +47,7 @@ fn run_sweep(campaign: &Campaign, density: usize, threads: usize) -> Sweep {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let program = Benchmark::Rspeed.program(&Params::default());
     let golden = GoldenRun::capture(&program, &leon3_model::Leon3Config::default());
     let base = Campaign::new(program, Target::IntegerUnit)

@@ -26,14 +26,14 @@ fn bench(c: &mut Criterion) {
             let mut iss = Iss::new(IssConfig::default());
             iss.load(black_box(&program));
             black_box(iss.run(10_000_000))
-        })
+        });
     });
     group.bench_function("rtl_fast", |b| {
         b.iter(|| {
             let mut rtl = Leon3::new(Leon3Config::default());
             rtl.load(black_box(&program));
             black_box(rtl.run(10_000_000))
-        })
+        });
     });
     group.bench_function("rtl_faithful", |b| {
         b.iter(|| {
@@ -43,7 +43,7 @@ fn bench(c: &mut Criterion) {
             });
             rtl.load(black_box(&program));
             black_box(rtl.run(10_000_000))
-        })
+        });
     });
     group.finish();
 }

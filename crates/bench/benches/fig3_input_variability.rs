@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
                     .with_sample(20, 0xF163)
                     .run(1);
                 black_box(result.pf(FaultKind::StuckAt1))
-            })
+            });
         });
     }
     group.finish();

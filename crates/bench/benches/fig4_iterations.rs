@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let golden = GoldenRun::capture(black_box(&program), &Leon3Config::default());
                 black_box(golden.cycles)
-            })
+            });
         });
     }
     group.finish();

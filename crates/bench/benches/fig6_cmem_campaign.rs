@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
                 .with_sample(10, 0xF16)
                 .run(1);
             black_box(result.records().len())
-        })
+        });
     });
     group.finish();
 }

@@ -12,7 +12,7 @@ fn bench(c: &mut Criterion) {
 
     let program = Benchmark::Intbench.program(&Params::default());
     group.bench_function("diversity-extraction-intbench", |b| {
-        b.iter(|| black_box(diversity_of(black_box(&program))))
+        b.iter(|| black_box(diversity_of(black_box(&program))));
     });
 
     let points: Vec<(f64, f64)> = (0..12)
@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let model = DiversityModel::fit(black_box(&points)).expect("fits");
             black_box(model.r_squared())
-        })
+        });
     });
     group.finish();
 }

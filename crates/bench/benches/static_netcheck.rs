@@ -27,7 +27,7 @@ fn measure(campaign: &Campaign, threads: usize) -> Measurement {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let cases: [(&str, Benchmark, Target, &[FaultKind]); 3] = [
         (
             "iu-transient",

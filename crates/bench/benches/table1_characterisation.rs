@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let row = characterize(black_box(benchmark), &Params::default());
                 black_box(row.diversity)
-            })
+            });
         });
     }
     group.finish();

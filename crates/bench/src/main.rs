@@ -12,6 +12,7 @@
 //!              [--deadline-ms N] [--lockstep-window N] [--parity]
 //!              [--watchdog-cycles N] [--detach] [--json]
 //! repro merge  [--addr HOST:PORT] [--json] ID ID...
+//! repro fleet  coordinate|run|submit|status [--help] [verb flags...]
 //! repro benchgate [--baseline PATH] [--perturb F] [--threads N]
 //! repro netcheck [--deny dead-nets,graph-mismatch] [--threads N]
 //! ```
@@ -31,6 +32,13 @@
 //! campaigns and compares their deterministic fork/full cycle ratios
 //! against the `gate` section committed in `BENCH_campaign.json`,
 //! failing (exit 1) on any regression beyond the in-file tolerance.
+//!
+//! `fleet` drives the fault-tolerant distributed service: `coordinate`
+//! starts a coordinator (lease table + shard store), `run` starts a
+//! runner working for one (`--chaos SEED` arms its deterministic fault
+//! injector), `submit` cuts a campaign into shards and hands it to the
+//! fleet, and `status` polls or `--watch`-streams a fleet campaign.
+//! `repro fleet --help` prints the verb reference and exits 0.
 //!
 //! `netcheck` is the static model lint gate: it audits the declared net
 //! graph (dead/unobservable nets, stuck-at equivalence classes,
@@ -59,12 +67,19 @@ use fault_inject::{Campaign, InjectionInstant, SafetyConfig, StaticAnalysis, Tar
 use leon3_model::{Leon3, Leon3Config};
 use std::path::PathBuf;
 use std::time::Duration;
-use verifd::{client, CampaignSpec, Server, ServerConfig};
+use verifd::{
+    client, CampaignSpec, Coordinator, CoordinatorConfig, Runner, RunnerConfig, Server,
+    ServerConfig,
+};
 use workloads::{Benchmark, Params};
 
 /// Default address the service verbs talk to (the `verifd` binary's
 /// own default bind).
 const DEFAULT_ADDR: &str = "127.0.0.1:4612";
+
+/// Default address the fleet verbs talk to (the `verifd coordinator`
+/// default bind — one port above the plain service).
+const DEFAULT_FLEET_ADDR: &str = "127.0.0.1:4613";
 
 /// Run the standalone crash-safe campaign subcommand. Never panics on
 /// user mistakes: bad flags exit 2, campaign/journal errors exit 1.
@@ -391,6 +406,334 @@ fn run_merge(args: &[String]) {
     }
 }
 
+/// The verb reference `repro fleet --help` prints (exit 0) and every
+/// fleet usage error cites (exit 2).
+const FLEET_USAGE: &str = "usage: repro fleet <verb> [flags...]
+  coordinate  [--addr HOST:PORT] [--queue-depth N] [--lease-ttl-ms N]
+              [--heartbeat-ms N] [--max-attempts N] [--backoff-ms N]
+              [--backoff-cap-ms N] [--store PATH] [--drain PATH]
+  run         [--addr HOST:PORT] [--name NAME] [--job-threads N]
+              [--workdir PATH] [--chaos SEED]
+  submit      [iu|cmem|whole] [--addr HOST:PORT] [--benchmark NAME]
+              [--sample N --seed N] [--injection-fraction F]
+              [--deadline-ms N] [--shards N] [--watch] [--detach] [--json]
+  status      [--addr HOST:PORT] [--watch] [--json] ID
+
+`coordinate` runs the fleet coordinator until POST /shutdown: it leases
+shards to registered runners under wall-clock TTLs, re-queues expired or
+failed leases with capped exponential backoff, poisons a shard after
+--max-attempts leases (degrading its campaign), and persists finished
+shards in the --store directory keyed by fingerprint + geometry.
+`run` works for a coordinator until the fleet drains; --chaos arms the
+deterministic lease-fault injector (crash/stall/vanish schedules).
+`submit` shards one campaign across the fleet; a full coordinator answers
+503 with a Retry-After hint. `status --watch` streams chunked progress.";
+
+/// `repro fleet <verb>`: drive the fault-tolerant coordinator + runner
+/// fleet (see [`FLEET_USAGE`]).
+fn run_fleet(config: &ExperimentConfig, args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("coordinate") => fleet_coordinate(&args[1..]),
+        Some("run") => fleet_run(&args[1..]),
+        Some("submit") => fleet_submit(config, &args[1..]),
+        Some("status") => fleet_status(&args[1..]),
+        Some("--help" | "-h") | None => println!("{FLEET_USAGE}"),
+        Some(other) => {
+            eprintln!("unknown fleet verb `{other}`\n{FLEET_USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `repro fleet coordinate`: run a coordinator in this process until a
+/// `POST /shutdown` stops it.
+fn fleet_coordinate(args: &[String]) {
+    let mut config = CoordinatorConfig {
+        addr: DEFAULT_FLEET_ADDR.to_string(),
+        ..CoordinatorConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{FLEET_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--queue-depth" => {
+                config.queue_depth =
+                    parse_usize("--queue-depth", value("--queue-depth"), FLEET_USAGE);
+            }
+            "--lease-ttl-ms" => {
+                config.lease_ttl_ms =
+                    parse_usize("--lease-ttl-ms", value("--lease-ttl-ms"), FLEET_USAGE) as u64;
+            }
+            "--heartbeat-ms" => {
+                config.heartbeat_ms =
+                    parse_usize("--heartbeat-ms", value("--heartbeat-ms"), FLEET_USAGE) as u64;
+            }
+            "--max-attempts" => {
+                config.max_attempts =
+                    parse_usize("--max-attempts", value("--max-attempts"), FLEET_USAGE) as u64;
+            }
+            "--backoff-ms" => {
+                config.backoff_base_ms =
+                    parse_usize("--backoff-ms", value("--backoff-ms"), FLEET_USAGE) as u64;
+            }
+            "--backoff-cap-ms" => {
+                config.backoff_cap_ms =
+                    parse_usize("--backoff-cap-ms", value("--backoff-cap-ms"), FLEET_USAGE) as u64;
+            }
+            "--store" => config.store_path = PathBuf::from(value("--store")),
+            "--drain" => config.drain_path = Some(PathBuf::from(value("--drain"))),
+            other => {
+                eprintln!("unknown coordinate flag `{other}`\n{FLEET_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if config.queue_depth == 0 || config.max_attempts == 0 || config.lease_ttl_ms == 0 {
+        eprintln!(
+            "`--queue-depth`, `--max-attempts` and `--lease-ttl-ms` must be at least 1\n{FLEET_USAGE}"
+        );
+        std::process::exit(2);
+    }
+    match Coordinator::start(config) {
+        Ok(coordinator) => {
+            eprintln!(
+                "[repro] fleet coordinator listening on {}",
+                coordinator.addr()
+            );
+            coordinator.join();
+        }
+        Err(e) => {
+            eprintln!("[repro] cannot start coordinator: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro fleet run`: work for a coordinator until the fleet drains.
+fn fleet_run(args: &[String]) {
+    let mut config = RunnerConfig {
+        coordinator: DEFAULT_FLEET_ADDR.to_string(),
+        ..RunnerConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{FLEET_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.coordinator = value("--addr"),
+            "--name" => config.name = value("--name"),
+            "--job-threads" => {
+                config.job_threads =
+                    parse_usize("--job-threads", value("--job-threads"), FLEET_USAGE);
+            }
+            "--workdir" => config.workdir = PathBuf::from(value("--workdir")),
+            "--chaos" => {
+                config.chaos = Some(parse_usize("--chaos", value("--chaos"), FLEET_USAGE) as u64);
+            }
+            other => {
+                eprintln!("unknown run flag `{other}`\n{FLEET_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if config.job_threads == 0 {
+        eprintln!("`--job-threads` must be at least 1\n{FLEET_USAGE}");
+        std::process::exit(2);
+    }
+    let coordinator = config.coordinator.clone();
+    match Runner::start(config) {
+        Ok(runner) => {
+            eprintln!(
+                "[repro] runner {} working for {coordinator}",
+                runner.runner_id()
+            );
+            runner.join();
+            eprintln!("[repro] fleet drained; runner exiting");
+        }
+        Err(e) => {
+            eprintln!("[repro] cannot start runner: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro fleet submit`: cut one campaign into shards, hand it to the
+/// fleet, and (unless detached) follow it to a terminal state. Exits 1
+/// when the campaign completes degraded.
+fn fleet_submit(config: &ExperimentConfig, args: &[String]) {
+    let mut addr = DEFAULT_FLEET_ADDR.to_string();
+    let mut spec = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+    spec.sample = Some((config.sample_per_campaign, config.seed));
+    spec.injection = InjectionInstant::Fraction(0.05);
+    let mut shards: u32 = 2;
+    let mut watch = false;
+    let mut detach = false;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{FLEET_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "iu" => spec.target = Target::IntegerUnit,
+            "cmem" => spec.target = Target::CacheMemory,
+            "whole" => spec.target = Target::Whole,
+            "--addr" => addr = value("--addr"),
+            "--benchmark" => {
+                let name = value("--benchmark");
+                spec.benchmark = Benchmark::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark `{name}`\n{FLEET_USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--sample" => {
+                let n = parse_usize("--sample", value("--sample"), FLEET_USAGE);
+                let seed = spec.sample.map_or(config.seed, |(_, s)| s);
+                spec.sample = Some((n, seed));
+            }
+            "--seed" => {
+                let seed = parse_usize("--seed", value("--seed"), FLEET_USAGE) as u64;
+                let n = spec.sample.map_or(config.sample_per_campaign, |(n, _)| n);
+                spec.sample = Some((n, seed));
+            }
+            "--injection-fraction" => {
+                let raw = value("--injection-fraction");
+                let f: f64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("`--injection-fraction` needs a number, got `{raw}`\n{FLEET_USAGE}");
+                    std::process::exit(2);
+                });
+                spec.injection = InjectionInstant::Fraction(f);
+            }
+            "--deadline-ms" => {
+                spec.deadline_ms =
+                    Some(parse_usize("--deadline-ms", value("--deadline-ms"), FLEET_USAGE) as u64);
+            }
+            "--shards" => {
+                let n = parse_usize("--shards", value("--shards"), FLEET_USAGE);
+                shards = u32::try_from(n).unwrap_or(0);
+            }
+            "--watch" => watch = true,
+            "--detach" => detach = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown submit flag `{other}`\n{FLEET_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if shards == 0 || shards > 4096 {
+        eprintln!("`--shards` wants 1..=4096\n{FLEET_USAGE}");
+        std::process::exit(2);
+    }
+    let reply = client::fleet_submit(&addr, &spec, shards).unwrap_or_else(|e| {
+        eprintln!("[repro] fleet submit failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[repro] fleet campaign {} {} ({} of {shards} shards already stored, fingerprint {})",
+        reply.id,
+        reply.status,
+        reply.cached,
+        spec.fingerprint()
+    );
+    if detach {
+        println!("{}", reply.id);
+        return;
+    }
+    let status = if watch {
+        client::fleet_watch(&addr, reply.id, &mut |line| eprintln!("[repro] {line}"))
+    } else {
+        client::fleet_wait(&addr, reply.id)
+    };
+    let status = status.unwrap_or_else(|e| {
+        eprintln!("[repro] fleet campaign {} failed: {e}", reply.id);
+        std::process::exit(1);
+    });
+    report_fleet_status(&status, json);
+}
+
+/// `repro fleet status`: poll (or `--watch` stream) one fleet campaign.
+/// Exits 1 when the campaign is degraded.
+fn fleet_status(args: &[String]) {
+    let mut addr = DEFAULT_FLEET_ADDR.to_string();
+    let mut watch = false;
+    let mut json = false;
+    let mut id: Option<u64> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("`--addr` needs a value\n{FLEET_USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--watch" => watch = true,
+            "--json" => json = true,
+            raw => match raw.parse::<u64>() {
+                Ok(n) => id = Some(n),
+                Err(_) => {
+                    eprintln!("`{raw}` is not a fleet campaign id\n{FLEET_USAGE}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    let Some(id) = id else {
+        eprintln!("`status` needs a campaign id\n{FLEET_USAGE}");
+        std::process::exit(2);
+    };
+    let status = if watch {
+        client::fleet_watch(&addr, id, &mut |line| eprintln!("[repro] {line}"))
+    } else {
+        client::fleet_status(&addr, id)
+    };
+    match status {
+        Ok(status) => report_fleet_status(&status, json),
+        Err(e) => {
+            eprintln!("[repro] fleet status failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Print one terminal (or in-flight) fleet status; exit 1 on a degraded
+/// campaign so scripts notice missing shards.
+fn report_fleet_status(status: &verifd::FleetStatus, json: bool) {
+    eprintln!(
+        "[repro] fleet campaign {} {}: {}/{} shards",
+        status.id, status.status, status.done, status.total
+    );
+    if let Some(merged) = &status.campaign {
+        if json {
+            println!("{}", merged.to_json());
+        } else {
+            print!("{}", merged.result);
+        }
+    }
+    if status.status == "degraded" {
+        let missing: Vec<String> = status.missing.iter().map(u32::to_string).collect();
+        eprintln!(
+            "[repro] campaign degraded; missing shards: {}",
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
 /// `repro benchgate [--baseline BENCH_campaign.json] [--perturb 1.0]
 /// [--threads N]` — the CI bench-regression gate. Re-measures the gate
 /// campaigns and compares their deterministic cycle ratios against the
@@ -668,6 +1011,10 @@ fn main() {
             let rest: Vec<String> = std::env::args().skip(2).collect();
             run_merge(&rest);
         }
+        "fleet" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_fleet(&config, &rest);
+        }
         "benchgate" => {
             let rest: Vec<String> = std::env::args().skip(2).collect();
             run_benchgate(&config, &rest);
@@ -717,7 +1064,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|benchgate|netcheck|all"
+                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|fleet|benchgate|netcheck|all"
             );
             std::process::exit(2);
         }

@@ -640,11 +640,11 @@ mod tests {
         let f3 = fig3(&tiny());
         assert_eq!(f3.subset_a.len(), 3);
         assert_eq!(f3.subset_b.len(), 3);
-        for e in f3.subset_a.iter() {
+        for e in &f3.subset_a {
             assert_eq!(e.diversity, 8);
             assert!((0.0..=1.0).contains(&e.pf));
         }
-        for e in f3.subset_b.iter() {
+        for e in &f3.subset_b {
             assert_eq!(e.diversity, 11);
         }
         let _ = f3.to_string();

@@ -199,12 +199,12 @@ mod tests {
     #[test]
     fn area_weights_sum_to_one() {
         let cpu = Leon3::new(Leon3Config::default());
-        let iu = area_weights(&cpu, |u| u.is_iu());
+        let iu = area_weights(&cpu, Unit::is_iu);
         let total: f64 = iu.values().sum();
         assert!((total - 1.0).abs() < 1e-9);
         // The register file dominates the IU.
         assert!(iu[&Unit::RegFile] > 0.5);
-        let cmem = area_weights(&cpu, |u| u.is_cmem());
+        let cmem = area_weights(&cpu, Unit::is_cmem);
         assert!(cmem[&Unit::DCacheData] > 0.3);
     }
 

@@ -313,6 +313,19 @@ impl Journal {
 /// corruption.
 pub fn read(path: &Path) -> Result<(Header, Vec<Entry>, bool), JournalError> {
     let text = std::fs::read_to_string(path).map_err(|e| JournalError::io("read journal", e))?;
+    read_str(&text)
+}
+
+/// [`read`] over journal text that already lives in memory — the fleet
+/// coordinator validates partial shard journals uploaded by a failing
+/// runner before re-offering them to the shard's next lease holder, and
+/// never touches the filesystem to do it. Torn-final-line recovery is
+/// identical to the file path.
+///
+/// # Errors
+///
+/// Fails on a missing/mismatched header or mid-text corruption.
+pub fn read_str(text: &str) -> Result<(Header, Vec<Entry>, bool), JournalError> {
     let mut lines = text.split('\n').enumerate();
     let (_, first) = lines.next().ok_or(JournalError::MissingHeader)?;
     let header = Header::parse(first)?;

@@ -465,7 +465,13 @@ impl CampaignResult {
         }
     }
 
-    pub(crate) fn with_stats(records: Vec<FaultRecord>, stats: CampaignStats) -> CampaignResult {
+    /// Assemble a result from records plus cost accounting. Public for
+    /// the service layer: the fleet coordinator rebuilds an accepted
+    /// shard result with its `resumed` counter normalized to zero (the
+    /// recovery count is operational truth about the *fleet*, surfaced
+    /// in `/stats`, not about the campaign — a recovered shard must stay
+    /// bit-identical to a never-interrupted one).
+    pub fn with_stats(records: Vec<FaultRecord>, stats: CampaignStats) -> CampaignResult {
         CampaignResult { records, stats }
     }
 

@@ -13,6 +13,8 @@
 //! optional whitespace. The cache and the bit-for-bit merge guarantees
 //! both lean on that.
 
+pub mod fleet;
+
 use crate::error::JournalError;
 use crate::result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord};
 use crate::safety::{Detection, Mechanism};
@@ -123,6 +125,55 @@ impl Json {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
+        }
+    }
+
+    /// Serialize this value back to the dialect's canonical form: no
+    /// whitespace, object fields in source order, strings escaped via
+    /// [`escape_json`]. A value parsed from canonical text re-serializes
+    /// byte-identically, which lets protocol messages embed an
+    /// already-canonical object (a campaign spec, say) without the
+    /// carrier re-interpreting it.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(32);
+        self.write_json(&mut s);
+        s
+    }
+
+    fn write_json(&self, s: &mut String) {
+        match self {
+            Json::Object(fields) => {
+                s.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&escape_json(key));
+                    s.push(':');
+                    value.write_json(s);
+                }
+                s.push('}');
+            }
+            Json::Array(items) => {
+                s.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    item.write_json(s);
+                }
+                s.push(']');
+            }
+            Json::Str(text) => s.push_str(&escape_json(text)),
+            Json::Num(n) => {
+                let _ = write!(s, "{n}");
+            }
+            Json::Float(f) => {
+                let _ = write!(s, "{f}");
+            }
+            Json::Bool(b) => {
+                let _ = write!(s, "{b}");
+            }
         }
     }
 }

@@ -21,17 +21,50 @@
 //!   the `/merge` endpoint recombines shard results bit-for-bit via
 //!   [`fault_inject::merge_shards`].
 //!
-//! The `repro` CLI gains `serve`, `submit` and `merge` verbs built on
-//! [`client`].
+//! On top of the single-process service sits the **fleet** — horizontal
+//! scale with the same bit-identical guarantees:
+//!
+//! * a **coordinator** ([`coordinator`]) — accepts fleet submissions
+//!   (`POST /fleet` cuts one spec into `n` shards), leases shards to
+//!   registered runners under wall-clock TTLs, re-queues expired or
+//!   failed leases with capped exponential backoff, poisons a shard
+//!   after `max_attempts` leases (the campaign then completes
+//!   **degraded**, naming its missing shards), answers `503` +
+//!   `Retry-After` when the queue is full, streams chunked progress on
+//!   `GET /campaign/{id}?watch`, and drains incomplete campaigns to a
+//!   file on shutdown that the next startup re-enqueues;
+//! * a pure **lease table** ([`lease`]) — the queued → leased →
+//!   retrying → done | poisoned state machine, driven by an injected
+//!   clock so every transition is unit-testable without I/O;
+//! * a **runner** ([`runner`]) — registers, leases, heartbeats, and
+//!   executes shards with a local write-ahead journal; on failure it
+//!   uploads the partial journal so the shard's next lease resumes
+//!   instead of re-simulating, and a `--chaos` seed arms a
+//!   deterministic lease-fault injector (crash/stall/vanish) for tests;
+//! * a persistent **shard store** ([`store`]) — one file per
+//!   `fingerprint + shard geometry + deadline`, deduplicating completed
+//!   shards fleet-wide and surviving coordinator restarts.
+//!
+//! The `repro` CLI gains `serve`, `submit`, `merge` and `fleet` verbs
+//! built on [`client`]; the `verifd` binary grows `coordinator` and
+//! `runner` modes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
 pub mod http;
+pub mod lease;
+pub mod runner;
 pub mod service;
 pub mod spec;
+pub mod store;
 
 pub use client::{ClientError, StatusReply, SubmitReply};
+pub use coordinator::{Coordinator, CoordinatorConfig, FleetStatus};
+pub use lease::{LeaseCounters, LeasePolicy, LeaseSnapshot, LeaseTable, ShardKey};
+pub use runner::{Runner, RunnerConfig};
 pub use service::{Server, ServerConfig};
 pub use spec::CampaignSpec;
+pub use store::ResultStore;

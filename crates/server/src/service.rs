@@ -7,7 +7,7 @@
 //! workers block on a condvar and run campaigns; each completed result
 //! is published into the job table and the cache under the same mutex.
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response_with, Request};
 use crate::spec::CampaignSpec;
 use fault_inject::wire::{escape_json, merge_shards, Json, ShardResult};
 use fault_inject::PreparedWorkload;
@@ -80,12 +80,17 @@ struct JobState {
     result: Option<ShardResult>,
 }
 
+/// The `Retry-After` value (seconds) sent with every 503, so a refused
+/// client knows when the queue is worth trying again.
+pub const RETRY_AFTER_S: u64 = 2;
+
 #[derive(Default)]
 struct Counters {
     submitted: u64,
     completed: u64,
     failed: u64,
     drained: u64,
+    drain_resubmitted: u64,
     cache_hits: u64,
     cache_misses: u64,
     golden_cache_hits: u64,
@@ -191,6 +196,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             config,
         });
+        resubmit_drained(&shared);
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
@@ -255,6 +261,44 @@ impl Server {
     }
 }
 
+/// Re-enqueue specs journaled by the previous process's graceful
+/// shutdown, then remove the file (a later shutdown rewrites it). Runs
+/// before the worker pool starts, so resubmitted jobs are ordinary
+/// queued jobs by the time anything can observe them.
+fn resubmit_drained(shared: &Shared) {
+    let Some(path) = &shared.config.drain_path else {
+        return;
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let mut inner = shared.lock();
+    for line in text.lines().filter(|line| !line.trim().is_empty()) {
+        let Ok(spec) = CampaignSpec::parse(line) else {
+            continue;
+        };
+        if inner.cache.contains_key(&spec.cache_key()) {
+            continue;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.counters.submitted += 1;
+        inner.counters.drain_resubmitted += 1;
+        inner.jobs.insert(
+            id,
+            JobState {
+                spec,
+                status: Status::Queued,
+                error: None,
+                result: None,
+            },
+        );
+        inner.queue.push_back(id);
+    }
+    drop(inner);
+    let _ = std::fs::remove_file(path);
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -272,7 +316,14 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 format!("{{\"error\":{}}}", escape_json(&e.to_string())),
             ),
         };
-        let _ = write_response(&mut stream, status, &body);
+        // Every refusal is honest about when to try again.
+        let retry_after = RETRY_AFTER_S.to_string();
+        let headers: &[(&str, &str)] = if status == 503 {
+            &[("retry-after", retry_after.as_str())]
+        } else {
+            &[]
+        };
+        let _ = write_response_with(&mut stream, status, headers, &body);
     }
 }
 
@@ -440,7 +491,8 @@ fn stats_json(shared: &Shared) -> String {
         s,
         "{{\"queue_depth\":{},\"queue_capacity\":{},\"workers\":{workers},\
          \"busy\":{},\"utilization\":{utilization},\"submitted\":{},\
-         \"completed\":{},\"failed\":{},\"drained\":{},\"cache_entries\":{},\
+         \"completed\":{},\"failed\":{},\"drained\":{},\"drain_resubmitted\":{},\
+         \"cache_entries\":{},\
          \"cache_hits\":{},\"cache_misses\":{},\"golden_cache_entries\":{},\
          \"golden_cache_hits\":{},\"golden_cache_misses\":{},\
          \"cycles_simulated_total\":{},\"statically_pruned\":{},\
@@ -452,6 +504,7 @@ fn stats_json(shared: &Shared) -> String {
         c.completed,
         c.failed,
         c.drained,
+        c.drain_resubmitted,
         inner.cache.len(),
         c.cache_hits,
         c.cache_misses,

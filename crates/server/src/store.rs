@@ -1,0 +1,182 @@
+//! The persistent content-addressed shard result store.
+//!
+//! One file per completed shard, named by the campaign's public
+//! fingerprint plus the shard geometry and deadline — exactly the
+//! components of [`crate::spec::CampaignSpec::cache_key`]. Identity is
+//! the *address*: a shard simulated anywhere in the fleet lands at the
+//! same path, so a second campaign over the same spec (same fingerprint)
+//! is served from disk without simulating a cycle, and a duplicate
+//! upload is detected as a dedup hit instead of a second write.
+//!
+//! Writes are atomic (temp file + rename in the same directory), so a
+//! coordinator killed mid-write never leaves a torn result; a torn temp
+//! file is invisible to reads and overwritten by the retry.
+
+use fault_inject::wire::ShardResult;
+use std::path::{Path, PathBuf};
+
+/// The store: a directory of canonical `ShardResult` JSON files.
+pub struct ResultStore {
+    dir: PathBuf,
+    /// Files written by this process (dedup hits excluded).
+    puts: u64,
+    /// Writes skipped because the address already held a result.
+    dedup_hits: u64,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: &Path) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(ResultStore {
+            dir: dir.to_path_buf(),
+            puts: 0,
+            dedup_hits: 0,
+        })
+    }
+
+    /// The address of one shard result. The deadline is part of the
+    /// address for the same reason it is part of the cache key: it can
+    /// change the bytes of the result without changing the fingerprint.
+    fn path(&self, fingerprint: &str, index: u32, count: u32, deadline_ms: Option<u64>) -> PathBuf {
+        let deadline = match deadline_ms {
+            Some(ms) => format!("d{ms}"),
+            None => "dnone".to_string(),
+        };
+        self.dir
+            .join(format!("{fingerprint}.{index}of{count}.{deadline}.json"))
+    }
+
+    /// Store one shard result. Returns `false` (and writes nothing) when
+    /// the address already holds a result — the dedup hit the acceptance
+    /// criteria count.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors writing the temp file or renaming it.
+    pub fn put(&mut self, shard: &ShardResult, deadline_ms: Option<u64>) -> std::io::Result<bool> {
+        let path = self.path(&shard.fingerprint, shard.index, shard.count, deadline_ms);
+        if path.exists() {
+            self.dedup_hits += 1;
+            return Ok(false);
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, shard.to_json())?;
+        std::fs::rename(&tmp, &path)?;
+        self.puts += 1;
+        Ok(true)
+    }
+
+    /// Fetch one shard result, `None` when absent. A present-but-corrupt
+    /// file is also `None` — the caller re-simulates and the next put
+    /// refuses to overwrite it, so corruption is surfaced by the dedup
+    /// counter staying suspiciously high rather than by wrong bytes.
+    pub fn get(
+        &self,
+        fingerprint: &str,
+        index: u32,
+        count: u32,
+        deadline_ms: Option<u64>,
+    ) -> Option<ShardResult> {
+        let path = self.path(fingerprint, index, count, deadline_ms);
+        let text = std::fs::read_to_string(path).ok()?;
+        ShardResult::parse(&text).ok()
+    }
+
+    /// Files written by this process.
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Writes skipped because the result already existed.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// How many results the directory holds (any writer).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be read.
+    pub fn len(&self) -> std::io::Result<u64> {
+        let mut n = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|ext| ext == "json") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Whether the directory holds no results.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be read.
+    pub fn is_empty(&self) -> std::io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_inject::{CampaignResult, CampaignStats};
+
+    fn shard(fingerprint: &str, index: u32, count: u32, cycles: u64) -> ShardResult {
+        let stats = CampaignStats {
+            cycles_simulated: cycles,
+            ..CampaignStats::default()
+        };
+        ShardResult {
+            fingerprint: fingerprint.to_string(),
+            index,
+            count,
+            result: CampaignResult::with_stats(Vec::new(), stats),
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("verifd-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_round_trips_and_dedups() {
+        let dir = tempdir("roundtrip");
+        let mut store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty().unwrap());
+        let a = shard("aa-bb", 0, 2, 100);
+        assert!(store.put(&a, None).unwrap());
+        // Same address again: dedup hit, no second write.
+        assert!(!store.put(&a, None).unwrap());
+        assert_eq!((store.puts(), store.dedup_hits()), (1, 1));
+        assert_eq!(store.get("aa-bb", 0, 2, None), Some(a.clone()));
+        // Geometry and deadline are part of the address.
+        assert_eq!(store.get("aa-bb", 1, 2, None), None);
+        assert_eq!(store.get("aa-bb", 0, 2, Some(5)), None);
+        assert!(store.put(&shard("aa-bb", 1, 2, 50), None).unwrap());
+        assert!(store.put(&a, Some(5)).unwrap());
+        assert_eq!(store.len().unwrap(), 3);
+        // A fresh handle sees the persisted results (and dedups them).
+        let mut reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.get("aa-bb", 0, 2, None), Some(a.clone()));
+        assert!(!reopened.put(&a, None).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_read_as_absent() {
+        let dir = tempdir("corrupt");
+        let store = ResultStore::open(&dir).unwrap();
+        std::fs::write(dir.join("xx.0of1.dnone.json"), "not json").unwrap();
+        assert_eq!(store.get("xx", 0, 1, None), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
