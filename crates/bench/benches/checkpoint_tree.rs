@@ -116,9 +116,13 @@ fn main() {
             ));
         }
     }
+    // The deterministic regression gate: the dense intermittent sweep's
+    // fork/full cycle ratio, checked in CI by `repro benchgate`.
+    let gate = bench::gate::checkpoint_baseline_json(&bench::gate::measure_checkpoint(threads));
     let json = format!(
-        "{{\n  \"threads\": {},\n  \"benchmark\": \"rspeed\",\n  \"domain\": \"IU\",\n  \"sweeps\": [\n{}\n]\n}}\n",
+        "{{\n  \"threads\": {},\n  \"benchmark\": \"rspeed\",\n  \"domain\": \"IU\",\n  \"gate\": {},\n  \"sweeps\": [\n{}\n]\n}}\n",
         threads,
+        gate,
         entries.join(",\n"),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checkpoint.json");

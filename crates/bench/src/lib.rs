@@ -67,7 +67,8 @@ pub fn config_from_env() -> ExperimentConfig {
 /// bench and checked by `repro benchgate`.
 pub mod gate {
     use fault_inject::wire::Json;
-    use fault_inject::{Campaign, Execution, Target};
+    use fault_inject::{Campaign, Execution, GoldenRun, InjectionInstant, Target};
+    use leon3_model::Leon3Config;
     use rtl_sim::FaultKind;
     use std::fmt::Write as _;
     use workloads::{Benchmark, Params};
@@ -197,9 +198,111 @@ pub mod gate {
         threads: usize,
         perturb: f64,
     ) -> Result<Vec<String>, Vec<String>> {
+        check_cases(bench_json, "campaign_engine", |name| {
+            CASES
+                .iter()
+                .find(|c| c.name == name)
+                .map(|case| measure(case, threads).cycles_ratio() * perturb)
+        })
+    }
+
+    /// The checkpoint-tree gate case: a **dense intermittent sweep** —
+    /// twelve injection instants of the two time-varying fault models
+    /// over one checkpoint pool with a stride grid. Time-varying masks
+    /// must survive every restore/replay boundary, so this case pins the
+    /// fork engine's cycle economics on exactly the schedule shapes the
+    /// permanent-fault gate cases never exercise.
+    pub const CHECKPOINT_CASE: &str = "rspeed-iu-intermittent-dense";
+
+    /// Instants of the dense sweep (shared by measure and tests).
+    pub fn checkpoint_case_instants() -> Vec<InjectionInstant> {
+        (1..=12)
+            .map(|i| InjectionInstant::Fraction(f64::from(i) / 13.0))
+            .collect()
+    }
+
+    /// The dense-sweep campaign, parameterized by engine.
+    fn checkpoint_case_campaign() -> Campaign {
+        let program = Benchmark::Rspeed.program(&Params::default());
+        let golden = GoldenRun::capture(&program, &Leon3Config::default());
+        Campaign::new(program, Target::IntegerUnit)
+            .with_sample(8, 0xc4)
+            .with_kinds(&[
+                FaultKind::IntermittentStuck {
+                    level: true,
+                    period: 500,
+                    duty: 125,
+                    phase: 0,
+                },
+                FaultKind::TransientBurst {
+                    flips: 3,
+                    spacing: 100,
+                },
+            ])
+            .with_checkpoint_stride((golden.cycles / 8).max(1))
+    }
+
+    /// Measure the dense intermittent sweep on both engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statically valid sweep fails to run.
+    pub fn measure_checkpoint(threads: usize) -> GateMeasurement {
+        let instants = checkpoint_case_instants();
+        let base = checkpoint_case_campaign();
+        let sum = |results: Vec<fault_inject::CampaignResult>| -> u64 {
+            results.iter().map(|r| r.stats().cycles_simulated).sum()
+        };
+        let fork = base
+            .clone()
+            .with_execution(Execution::Fork)
+            .try_run_multi(threads, &instants)
+            .expect("checkpoint gate sweep is statically valid");
+        let full = base
+            .with_execution(Execution::FullReexecution)
+            .try_run_multi(threads, &instants)
+            .expect("checkpoint gate sweep is statically valid");
+        GateMeasurement {
+            name: CHECKPOINT_CASE,
+            fork_cycles: sum(fork),
+            full_cycles: sum(full),
+        }
+    }
+
+    /// Serialize the `gate` section for `BENCH_checkpoint.json`.
+    pub fn checkpoint_baseline_json(m: &GateMeasurement) -> String {
+        baseline_json(std::slice::from_ref(m))
+    }
+
+    /// Check `BENCH_checkpoint.json`'s `gate` section: re-measure the
+    /// dense intermittent sweep and compare its fork/full cycle ratio.
+    ///
+    /// # Errors
+    ///
+    /// As [`check`].
+    pub fn check_checkpoint(
+        bench_json: &str,
+        threads: usize,
+        perturb: f64,
+    ) -> Result<Vec<String>, Vec<String>> {
+        check_cases(bench_json, "checkpoint_tree", |name| {
+            (name == CHECKPOINT_CASE).then(|| measure_checkpoint(threads).cycles_ratio() * perturb)
+        })
+    }
+
+    /// Shared gate walk: parse a baseline's `gate` section and compare
+    /// each committed case against `measure_ratio` (which returns `None`
+    /// for names unknown to this binary).
+    fn check_cases(
+        bench_json: &str,
+        source_bench: &str,
+        measure_ratio: impl Fn(&str) -> Option<f64>,
+    ) -> Result<Vec<String>, Vec<String>> {
         let v = Json::parse(bench_json).map_err(|e| vec![format!("baseline unreadable: {e}")])?;
         let gate = v.get("gate").ok_or_else(|| {
-            vec!["baseline has no `gate` section (re-run the campaign_engine bench)".to_string()]
+            vec![format!(
+                "baseline has no `gate` section (re-run the {source_bench} bench)"
+            )]
         })?;
         let tolerance = gate
             .get_f64("tolerance")
@@ -218,11 +321,10 @@ pub mod gate {
                 failures.push(format!("gate case `{name}` has no cycles_ratio"));
                 continue;
             };
-            let Some(case) = CASES.iter().find(|c| c.name == name) else {
+            let Some(measured) = measure_ratio(name) else {
                 failures.push(format!("gate case `{name}` is unknown to this binary"));
                 continue;
             };
-            let measured = measure(case, threads).cycles_ratio() * perturb;
             let limit = baseline * (1.0 + tolerance);
             let line = format!(
                 "{name}: cycles_ratio {measured:.4} vs baseline {baseline:.4} (limit {limit:.4})"

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! repro [table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|all]
+//! repro inject [--kind stuck0|stuck1|open|transient|intermittent|burst]
+//!              [--level 0|1] [--period N] [--duty N] [--phase N]
+//!              [--flips N] [--spacing N] [--targets branch,psr,pc]
 //! repro campaign [iu|cmem] [--journal PATH] [--resume PATH] [--deadline-ms N]
 //!                [--lockstep-window N] [--parity] [--watchdog-cycles N]
 //!                [--threads N]
@@ -20,6 +23,18 @@
 //! Sizing via `REPRO_SAMPLE`, `REPRO_SEED`, `REPRO_THREADS` environment
 //! variables (see [`bench::config_from_env`]); `--threads` beats
 //! `REPRO_THREADS` where both are given.
+//!
+//! `inject` sweeps one fault model across a dense grid of injection
+//! instants on `rspeed` against the permanent stuck-at-1 reference.
+//! `--kind` picks the model; the time-varying ones take parameters:
+//! `intermittent` (a duty-cycled stuck-at) takes `--level` (forced
+//! value), `--period`/`--duty`/`--phase` (cycles asserted `duty` out of
+//! every `period`, offset by `phase`), `burst` (a train of transient
+//! flips) takes `--flips`/`--spacing`. `--targets` restricts injection
+//! to attack-surface nets — `branch` (branch condition), `psr` (status
+//! register), `pc` (program counter) — the InjectV-style targeted
+//! campaign. `repro transient` is the historical alias for
+//! `repro inject --kind transient`.
 //!
 //! `campaign` runs one standalone crash-safe campaign on `rspeed`:
 //! `--journal` write-ahead-journals every completed job to PATH,
@@ -61,10 +76,11 @@ use correlation::experiments::{
     fig3, fig4, fig5, fig6, fig7_from_parts, simtime, table1, ExperimentConfig, TemporalStudy,
 };
 use correlation::extensions::{
-    bridging_study, eq1_ablation, iss_baseline, latent_study, transient_study,
+    bridging_study, eq1_ablation, inject_study, iss_baseline, latent_study, transient_study,
 };
 use fault_inject::{Campaign, InjectionInstant, SafetyConfig, StaticAnalysis, Target};
 use leon3_model::{Leon3, Leon3Config};
+use rtl_sim::FaultKind;
 use std::path::PathBuf;
 use std::time::Duration;
 use verifd::{
@@ -177,6 +193,98 @@ fn run_campaign(config: &ExperimentConfig, args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// `repro inject`: the generalized injection-instant sweep — any fault
+/// model (including the time-varying ones) against the stuck-at-1
+/// reference, optionally restricted to attack-surface nets.
+fn run_inject(config: &ExperimentConfig, args: &[String]) {
+    let usage = "usage: repro inject [--kind stuck0|stuck1|open|transient|intermittent|burst] \
+                 [--level 0|1] [--period N] [--duty N] [--phase N] [--flips N] [--spacing N] \
+                 [--targets branch,psr,pc]";
+    let mut kind_token = "transient".to_string();
+    // Time-varying parameter defaults: an intermittent asserted 1/4 of
+    // the time on a period well under the rspeed run length, and a
+    // three-flip burst — both visible at every sweep instant.
+    let mut level = true;
+    let mut period = 1_000u64;
+    let mut duty = 250u64;
+    let mut phase = 0u64;
+    let mut flips = 3u32;
+    let mut spacing = 200u64;
+    let mut targets: Vec<fault_inject::AttackTarget> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        let parse_u64 = |flag: &str, raw: String| -> u64 {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("`{flag}` needs an integer, got `{raw}`\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--kind" => kind_token = value("--kind"),
+            "--level" => {
+                level = match value("--level").as_str() {
+                    "0" => false,
+                    "1" => true,
+                    raw => {
+                        eprintln!("`--level` is 0 or 1, got `{raw}`\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--period" => period = parse_u64("--period", value("--period")),
+            "--duty" => duty = parse_u64("--duty", value("--duty")),
+            "--phase" => phase = parse_u64("--phase", value("--phase")),
+            "--flips" => {
+                let raw = parse_u64("--flips", value("--flips"));
+                flips = u32::try_from(raw).unwrap_or_else(|_| {
+                    eprintln!("`--flips` is out of range\n{usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--spacing" => spacing = parse_u64("--spacing", value("--spacing")),
+            "--targets" => match fault_inject::AttackTarget::parse_list(&value("--targets")) {
+                Ok(list) => targets = list,
+                Err(e) => {
+                    eprintln!("{e}\n{usage}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown inject argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let kind = match kind_token.as_str() {
+        "stuck0" => FaultKind::StuckAt0,
+        "stuck1" => FaultKind::StuckAt1,
+        "open" => FaultKind::OpenLine,
+        "transient" => FaultKind::TransientFlip,
+        "intermittent" => FaultKind::IntermittentStuck {
+            level,
+            period,
+            duty,
+            phase,
+        },
+        "burst" => FaultKind::TransientBurst { flips, spacing },
+        other => {
+            eprintln!("unknown fault kind `{other}`\n{usage}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(reason) = kind.validate() {
+        eprintln!("invalid fault-kind parameters: {reason}\n{usage}");
+        std::process::exit(2);
+    }
+    print!("{}", inject_study(config, kind, &targets));
 }
 
 /// `repro serve`: run a campaign service in this process until a
@@ -734,16 +842,19 @@ fn report_fleet_status(status: &verifd::FleetStatus, json: bool) {
     }
 }
 
-/// `repro benchgate [--baseline BENCH_campaign.json] [--perturb 1.0]
+/// `repro benchgate [--baseline BENCH_campaign.json]
+/// [--checkpoint-baseline BENCH_checkpoint.json] [--perturb 1.0]
 /// [--threads N]` — the CI bench-regression gate. Re-measures the gate
-/// campaigns and compares their deterministic cycle ratios against the
-/// committed baseline; exits 1 on any regression beyond the in-file
+/// campaigns (including the checkpoint-tree gate's dense intermittent
+/// sweep) and compares their deterministic cycle ratios against the
+/// committed baselines; exits 1 on any regression beyond the in-file
 /// tolerance. `--perturb` scales the measured ratios so CI can prove
 /// the gate fails when the engine slows down.
 fn run_benchgate(config: &ExperimentConfig, args: &[String]) {
-    const USAGE: &str =
-        "usage: repro benchgate [--baseline <path>] [--perturb <factor>] [--threads N]";
+    const USAGE: &str = "usage: repro benchgate [--baseline <path>] \
+                         [--checkpoint-baseline <path>] [--perturb <factor>] [--threads N]";
     let mut baseline = "BENCH_campaign.json".to_string();
+    let mut checkpoint_baseline = "BENCH_checkpoint.json".to_string();
     let mut perturb = 1.0_f64;
     let mut threads = config.threads;
     let mut it = args.iter();
@@ -756,6 +867,7 @@ fn run_benchgate(config: &ExperimentConfig, args: &[String]) {
         };
         match arg.as_str() {
             "--baseline" => baseline = value("--baseline"),
+            "--checkpoint-baseline" => checkpoint_baseline = value("--checkpoint-baseline"),
             "--perturb" => {
                 let raw = value("--perturb");
                 perturb = raw.parse().unwrap_or_else(|_| {
@@ -772,25 +884,37 @@ fn run_benchgate(config: &ExperimentConfig, args: &[String]) {
             }
         }
     }
-    let text = std::fs::read_to_string(&baseline).unwrap_or_else(|e| {
-        eprintln!("[benchgate] cannot read `{baseline}`: {e}");
-        std::process::exit(1);
-    });
-    match bench::gate::check(&text, threads, perturb) {
-        Ok(report) => {
-            for line in report {
-                println!("[benchgate] {line}");
-            }
-            println!("[benchgate] PASS");
-        }
-        Err(failures) => {
-            for line in failures {
-                eprintln!("[benchgate] {line}");
-            }
-            eprintln!("[benchgate] FAIL");
+    let mut failed = false;
+    for (path, check) in [
+        (
+            &baseline,
+            &bench::gate::check as &dyn Fn(&str, usize, f64) -> Result<Vec<String>, Vec<String>>,
+        ),
+        (&checkpoint_baseline, &bench::gate::check_checkpoint),
+    ] {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("[benchgate] cannot read `{path}`: {e}");
             std::process::exit(1);
+        });
+        match check(&text, threads, perturb) {
+            Ok(report) => {
+                for line in report {
+                    println!("[benchgate] {line}");
+                }
+            }
+            Err(failures) => {
+                failed = true;
+                for line in failures {
+                    eprintln!("[benchgate] {line}");
+                }
+            }
         }
     }
+    if failed {
+        eprintln!("[benchgate] FAIL");
+        std::process::exit(1);
+    }
+    println!("[benchgate] PASS");
 }
 
 /// `repro netcheck [--deny CHECK,...] [--threads N]` — the static model
@@ -1023,6 +1147,12 @@ fn main() {
             let rest: Vec<String> = std::env::args().skip(2).collect();
             run_netcheck(&config, &rest);
         }
+        "inject" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_inject(&config, &rest);
+        }
+        // `repro transient` predates `repro inject` and is kept as an
+        // alias for `repro inject --kind transient`.
         "transient" => print!("{}", transient_study(&config)),
         "bridging" => print!("{}", bridging_study(&config)),
         "latent" => print!("{}", latent_study(&config)),
@@ -1064,7 +1194,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|fleet|benchgate|netcheck|all"
+                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|inject|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|fleet|benchgate|netcheck|all"
             );
             std::process::exit(2);
         }

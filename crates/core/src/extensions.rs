@@ -15,8 +15,10 @@
 use crate::experiments::{ExperimentConfig, FigCampaign};
 use crate::model::{area_weights, diversity_of, unit_diversity_of, weighted_pf, DiversityModel};
 use analysis::pearson;
+use fault_inject::wire::kind_to_token;
 use fault_inject::{
-    arch_pf, bridge_pf, BridgingCampaign, Campaign, InjectionInstant, IssCampaign, Target,
+    arch_pf, bridge_pf, AttackTarget, BridgingCampaign, Campaign, InjectionInstant, IssCampaign,
+    Target,
 };
 use leon3_model::{Leon3, Leon3Config};
 use rtl_sim::BridgeKind;
@@ -75,26 +77,146 @@ impl TransientStudy {
 /// engine-independent, so the series is identical to one dedicated
 /// campaign per instant.
 pub fn transient_study(config: &ExperimentConfig) -> TransientStudy {
+    let study = inject_study(config, FaultKind::TransientFlip, &[]);
+    TransientStudy {
+        fractions: study.fractions,
+        permanent_pf: study.reference_pf,
+        transient_pf: study.kind_pf,
+        full_reexecutions: study.full_reexecutions,
+        checkpoints_taken: study.checkpoints_taken,
+    }
+}
+
+/// Pf of an arbitrary (possibly time-varying, possibly targeted) fault
+/// model across injection instants, against the permanent stuck-at-1
+/// reference — the generalization behind `repro inject`.
+#[derive(Debug, Clone)]
+pub struct InjectStudy {
+    /// The fault model under study.
+    pub kind: FaultKind,
+    /// Attack-surface classes restricting the site universe (empty:
+    /// full domain enumeration).
+    pub targets: Vec<AttackTarget>,
+    /// Fault sites the sweep injected per instant per kind.
+    pub sites: usize,
+    /// Injection instants as fractions of the golden run.
+    pub fractions: Vec<f64>,
+    /// Pf of the stuck-at-1 reference at each instant.
+    pub reference_pf: Vec<f64>,
+    /// Pf of the studied kind at each instant.
+    pub kind_pf: Vec<f64>,
+    /// Jobs that fell back to full re-execution across the whole sweep —
+    /// zero by construction on the checkpoint-tree engine.
+    pub full_reexecutions: usize,
+    /// Checkpoints the sweep's pool held.
+    pub checkpoints_taken: usize,
+}
+
+impl InjectStudy {
+    /// Spread (max − min) of the studied kind's Pf series in percentage
+    /// points — the instant-dependence the permanent reference lacks.
+    pub fn kind_spread_pp(&self) -> f64 {
+        TransientStudy::spread_pp(&self.kind_pf)
+    }
+}
+
+/// Run the generalized injection study on `rspeed`: the same fault list
+/// injected at a dense grid of instants, once with the stuck-at-1
+/// reference and once with `kind`. A non-empty `targets` list restricts
+/// the universe to the named attack-surface nets (branch condition,
+/// status register, program counter), the InjectV-style campaign shape.
+///
+/// Like [`transient_study`], all instants run as **one** multi-instant
+/// campaign over a single checkpoint pool, so the sweep completes with
+/// zero full re-executions.
+///
+/// # Panics
+///
+/// Panics if `kind` carries invalid parameters (the CLI validates them
+/// first and exits 2 instead).
+pub fn inject_study(
+    config: &ExperimentConfig,
+    kind: FaultKind,
+    targets: &[AttackTarget],
+) -> InjectStudy {
     let fractions: Vec<f64> = (1..=9).map(|i| f64::from(i) / 10.0).collect();
     let program = Benchmark::Rspeed.program(&Params::default());
     let instants: Vec<InjectionInstant> = fractions
         .iter()
         .map(|&f| InjectionInstant::Fraction(f))
         .collect();
-    let results = Campaign::new(program, Target::IntegerUnit)
-        .with_kinds(&[FaultKind::StuckAt1, FaultKind::TransientFlip])
-        .with_sample(config.sample_per_campaign, config.seed)
+    let kinds = if kind == FaultKind::StuckAt1 {
+        vec![FaultKind::StuckAt1]
+    } else {
+        vec![FaultKind::StuckAt1, kind]
+    };
+    let mut campaign = Campaign::new(program, Target::IntegerUnit)
+        .with_kinds(&kinds)
+        .with_sample(config.sample_per_campaign, config.seed);
+    if !targets.is_empty() {
+        campaign = campaign.with_attack_targets(targets);
+    }
+    let sites = campaign.sites().len();
+    let results = campaign
         .try_run_multi(config.threads, &instants)
-        .expect("the transient study's configuration is statically valid");
-    TransientStudy {
-        permanent_pf: results.iter().map(|r| r.pf(FaultKind::StuckAt1)).collect(),
-        transient_pf: results
-            .iter()
-            .map(|r| r.pf(FaultKind::TransientFlip))
-            .collect(),
+        .expect("the injection study's configuration is statically valid");
+    InjectStudy {
+        kind,
+        targets: targets.to_vec(),
+        sites,
+        reference_pf: results.iter().map(|r| r.pf(FaultKind::StuckAt1)).collect(),
+        kind_pf: results.iter().map(|r| r.pf(kind)).collect(),
         fractions,
         full_reexecutions: results.iter().map(|r| r.stats().full_reexecutions).sum(),
         checkpoints_taken: results.iter().map(|r| r.stats().checkpoints_taken).sum(),
+    }
+}
+
+impl fmt::Display for InjectStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "== Injection study: {} vs stuck-at-1 across injection instants ==",
+            kind_to_token(self.kind)
+        )?;
+        if self.targets.is_empty() {
+            writeln!(
+                f,
+                "sites: {} (full integer-unit enumeration + sample)",
+                self.sites
+            )?;
+        } else {
+            let list: Vec<&str> = self.targets.iter().map(|t| t.token()).collect();
+            writeln!(f, "sites: {} (targeted: {})", self.sites, list.join(","))?;
+        }
+        writeln!(
+            f,
+            "{:>10} {:>12} {:>12}",
+            "instant",
+            "stuck-at-1",
+            self.kind.name()
+        )?;
+        for (i, fraction) in self.fractions.iter().enumerate() {
+            writeln!(
+                f,
+                "{:>9.0}% {:>11.2}% {:>11.2}%",
+                fraction * 100.0,
+                self.reference_pf[i] * 100.0,
+                self.kind_pf[i] * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "spread: stuck-at-1 {:.2} pp, {} {:.2} pp",
+            TransientStudy::spread_pp(&self.reference_pf),
+            self.kind.name(),
+            self.kind_spread_pp()
+        )?;
+        writeln!(
+            f,
+            "engine: {} pool checkpoints, {} full re-executions",
+            self.checkpoints_taken, self.full_reexecutions
+        )
     }
 }
 

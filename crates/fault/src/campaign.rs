@@ -54,8 +54,9 @@ use crate::error::{CampaignError, JournalError};
 use crate::journal::{self, fnv1a64, Entry, Header, Journal, FNV_OFFSET};
 use crate::result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord};
 use crate::safety::{self, Detection, DetectionContext, SafetyConfig};
-use crate::sites::{fault_sites, sample_sites, FaultSite, Target};
+use crate::sites::{fault_sites, sample_sites, targeted_sites, AttackTarget, FaultSite, Target};
 use crate::static_analysis::{PrunedBy, StaticAnalysis};
+use crate::wire::kind_to_token;
 use analysis::SplitMix64;
 use leon3_model::{Leon3, Leon3Config, Snapshot};
 use rtl_sim::{Fault, FaultKind, NetId};
@@ -215,6 +216,7 @@ pub struct Campaign {
     kinds: Vec<FaultKind>,
     sample: Option<(usize, u64)>,
     sites_override: Option<Vec<FaultSite>>,
+    attack_targets: Option<Vec<AttackTarget>>,
     injection: InjectionInstant,
     execution: Execution,
     deadline: Option<Duration>,
@@ -236,6 +238,7 @@ impl Campaign {
             kinds: FaultKind::ALL.to_vec(),
             sample: None,
             sites_override: None,
+            attack_targets: None,
             injection: InjectionInstant::Cycle(0),
             execution: Execution::default(),
             deadline: None,
@@ -307,6 +310,23 @@ impl Campaign {
     #[must_use]
     pub fn with_sites(mut self, sites: Vec<FaultSite>) -> Campaign {
         self.sites_override = Some(sites);
+        self
+    }
+
+    /// Restrict the fault universe to the attack-surface classes'
+    /// semantic nets ([`crate::targeted_sites`]): branch condition,
+    /// status register and/or program-counter state — the InjectV-style
+    /// targeted campaign shape. Replaces domain enumeration; a seeded
+    /// sample still applies on top when the class universe is larger
+    /// than the sample. An explicit [`Campaign::with_sites`] list wins
+    /// over both. An empty class list is reported as
+    /// [`CampaignError::NoFaultSites`] when the campaign runs.
+    #[must_use]
+    pub fn with_attack_targets(mut self, targets: &[AttackTarget]) -> Campaign {
+        let mut targets = targets.to_vec();
+        targets.sort();
+        targets.dedup();
+        self.attack_targets = Some(targets);
         self
     }
 
@@ -428,7 +448,10 @@ impl Campaign {
             return sites.clone();
         }
         let reference = Leon3::new(self.classification_config());
-        let all = fault_sites(&reference, self.target);
+        let all = match &self.attack_targets {
+            Some(targets) => targeted_sites(&reference, targets),
+            None => fault_sites(&reference, self.target),
+        };
         match self.sample {
             Some((n, seed)) => sample_sites(&all, n, seed),
             None => all,
@@ -759,6 +782,11 @@ impl Campaign {
         if self.kinds.is_empty() {
             return Err(CampaignError::NoFaultKinds);
         }
+        for &kind in &self.kinds {
+            if let Err(reason) = kind.validate() {
+                return Err(CampaignError::InvalidFaultKind { reason });
+            }
+        }
         if let InjectionInstant::Fraction(f) = self.injection {
             if !(0.0..=1.0).contains(&f) {
                 return Err(CampaignError::InjectionPastEnd { fraction: f });
@@ -901,6 +929,7 @@ impl Campaign {
             instants: cycles.len(),
             instants_hash,
             checkpoint_stride: self.checkpoint_stride.unwrap_or(0),
+            kinds: self.kinds.iter().map(|&k| kind_to_token(k)).collect(),
         }
     }
 
@@ -956,11 +985,12 @@ impl Campaign {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}|shard={:?}|stride={:?}|static={:?}|audit={:?}",
+            "{:?}|{:?}|{:?}|{:?}|targets={:?}|{:?}|{:?}|{:?}|pairs={pairs}|{:?}|shard={:?}|stride={:?}|static={:?}|audit={:?}",
             self.target,
             self.kinds,
             self.sample,
             self.sites_override,
+            self.attack_targets,
             self.injection,
             self.execution,
             self.config,
@@ -1431,10 +1461,12 @@ fn workload_hash(program: &Program) -> u64 {
 
 /// Field-by-field header validation with a precise error. The opaque
 /// configuration fingerprint is checked *after* the named structural
-/// fields, so a mismatch one of them can explain (a different checkpoint
-/// stride, instant list or job universe) is reported by name.
+/// fields — including the fault-kind token list with its time-varying
+/// parameters — so a mismatch one of them can explain (a different
+/// checkpoint stride, instant list, fault schedule or job universe) is
+/// reported by name.
 fn check_header(expected: &Header, found: &Header) -> Result<(), JournalError> {
-    let fields: [(&'static str, u64, u64); 8] = [
+    let structural: [(&'static str, u64, u64); 5] = [
         ("workload", expected.workload, found.workload),
         ("jobs", expected.jobs as u64, found.jobs as u64),
         ("instants", expected.instants as u64, found.instants as u64),
@@ -1444,6 +1476,18 @@ fn check_header(expected: &Header, found: &Header) -> Result<(), JournalError> {
             expected.checkpoint_stride,
             found.checkpoint_stride,
         ),
+    ];
+    for (field, want, got) in structural {
+        if want != got {
+            return Err(JournalError::HeaderMismatch {
+                field,
+                expected: want.to_string(),
+                found: got.to_string(),
+            });
+        }
+    }
+    check_header_kinds(&expected.kinds, &found.kinds)?;
+    let trailing: [(&'static str, u64, u64); 3] = [
         ("fingerprint", expected.fingerprint, found.fingerprint),
         (
             "injection_cycle",
@@ -1452,7 +1496,7 @@ fn check_header(expected: &Header, found: &Header) -> Result<(), JournalError> {
         ),
         ("golden_cycles", expected.golden_cycles, found.golden_cycles),
     ];
-    for (field, want, got) in fields {
+    for (field, want, got) in trailing {
         if want != got {
             return Err(JournalError::HeaderMismatch {
                 field,
@@ -1460,6 +1504,69 @@ fn check_header(expected: &Header, found: &Header) -> Result<(), JournalError> {
                 found: got.to_string(),
             });
         }
+    }
+    Ok(())
+}
+
+/// Compare the header's fault-kind token lists, naming the first
+/// mismatched *parameter* field (e.g. `kinds.period`) when two kinds
+/// share a base name and differ only in a time-varying parameter, and
+/// the `kinds` list itself otherwise.
+fn check_header_kinds(expected: &[String], found: &[String]) -> Result<(), JournalError> {
+    let list_mismatch = || JournalError::HeaderMismatch {
+        field: "kinds",
+        expected: expected.join(","),
+        found: found.join(","),
+    };
+    if expected.len() != found.len() {
+        return Err(list_mismatch());
+    }
+    for (want, got) in expected.iter().zip(found) {
+        if want == got {
+            continue;
+        }
+        let split = |token: &str| -> (String, Vec<(String, String)>) {
+            match token.split_once('(') {
+                Some((base, rest)) => (
+                    base.to_string(),
+                    rest.trim_end_matches(')')
+                        .split(',')
+                        .filter_map(|pair| {
+                            pair.split_once('=')
+                                .map(|(k, v)| (k.to_string(), v.to_string()))
+                        })
+                        .collect(),
+                ),
+                None => (token.to_string(), Vec::new()),
+            }
+        };
+        let (want_base, want_params) = split(want);
+        let (got_base, got_params) = split(got);
+        if want_base != got_base || want_params.len() != got_params.len() {
+            return Err(list_mismatch());
+        }
+        for ((wk, wv), (gk, gv)) in want_params.iter().zip(&got_params) {
+            if wk != gk {
+                return Err(list_mismatch());
+            }
+            if wv != gv {
+                let field = match wk.as_str() {
+                    "level" => "kinds.level",
+                    "period" => "kinds.period",
+                    "duty" => "kinds.duty",
+                    "phase" => "kinds.phase",
+                    "flips" => "kinds.flips",
+                    "spacing" => "kinds.spacing",
+                    _ => "kinds",
+                };
+                return Err(JournalError::HeaderMismatch {
+                    field,
+                    expected: wv.clone(),
+                    found: gv.clone(),
+                });
+            }
+        }
+        return Err(list_mismatch());
     }
     Ok(())
 }
@@ -1750,6 +1857,7 @@ fn classify_run(cpu: &Leon3, ctx: &JobContext<'_>, job: &Job, run: &Observation)
             matched: run.matched,
             parity_event: cpu.parity_detected_at(),
             injection_cycle: job.injection_cycle,
+            kind: job.kind,
             truncated: run.short_circuited || run.timed_out,
         },
     )
@@ -1941,6 +2049,36 @@ mod tests {
             "#,
         )
         .expect("assembles")
+    }
+
+    #[test]
+    fn attack_targets_restrict_the_fault_universe() {
+        let program = small_program();
+        let full = Campaign::new(program.clone(), Target::IntegerUnit).sites();
+        let targeted = Campaign::new(program.clone(), Target::IntegerUnit)
+            .with_attack_targets(&[AttackTarget::BranchCondition])
+            .sites();
+        assert!(!targeted.is_empty());
+        assert!(targeted.len() < full.len());
+        let reference = Leon3::new(Leon3Config::default());
+        assert_eq!(
+            targeted,
+            targeted_sites(&reference, &[AttackTarget::BranchCondition])
+        );
+        // Duplicate and unordered class lists canonicalize, so the
+        // fingerprint (and thus journal identity) is order-insensitive.
+        let a = Campaign::new(program.clone(), Target::IntegerUnit).with_attack_targets(&[
+            AttackTarget::StatusRegister,
+            AttackTarget::BranchCondition,
+            AttackTarget::BranchCondition,
+        ]);
+        let b = Campaign::new(program.clone(), Target::IntegerUnit)
+            .with_attack_targets(&[AttackTarget::BranchCondition, AttackTarget::StatusRegister]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // ...but a targeted campaign never shares an identity with the
+        // untargeted enumeration of the same domain.
+        let plain = Campaign::new(program, Target::IntegerUnit);
+        assert_ne!(a.fingerprint(), plain.fingerprint());
     }
 
     #[test]

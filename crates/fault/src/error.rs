@@ -16,6 +16,13 @@ pub enum CampaignError {
     ZeroThreads,
     /// The fault-model list is empty (`with_kinds(&[])`).
     NoFaultKinds,
+    /// A parameterized fault kind carries parameters outside their
+    /// canonical range (e.g. an intermittent duty longer than its period,
+    /// or a zero-spacing burst).
+    InvalidFaultKind {
+        /// The violated constraint, human-readable.
+        reason: String,
+    },
     /// The fault list is empty — the target domain has no sites, the
     /// sample size was zero, or an explicit site list was empty.
     NoFaultSites,
@@ -91,6 +98,9 @@ impl fmt::Display for CampaignError {
         match self {
             CampaignError::ZeroThreads => write!(f, "campaigns need at least one worker thread"),
             CampaignError::NoFaultKinds => write!(f, "campaigns need at least one fault model"),
+            CampaignError::InvalidFaultKind { reason } => {
+                write!(f, "invalid fault-kind parameters: {reason}")
+            }
             CampaignError::NoFaultSites => write!(f, "the campaign's fault list is empty"),
             CampaignError::InjectionPastEnd { fraction } => write!(
                 f,

@@ -136,6 +136,7 @@ pub fn explain_with_safety(
             matched: checked,
             parity_event: cpu.parity_detected_at(),
             injection_cycle,
+            kind,
             truncated,
         },
     );

@@ -32,7 +32,11 @@ pub const MAGIC: &str = "fault-campaign-journal";
 /// `checkpoint_stride`) and the per-entry `replay` engine with its
 /// `replay_cycles`. Version 4 added the static-analysis engines
 /// (`pruned`, `collapsed`) and the record's optional `pruned_by` field.
-pub const VERSION: u64 = 4;
+/// Version 5 added the header's `kinds` token list (the campaign's fault
+/// kinds *with* their time-varying parameters), so a resume refuses a
+/// foreign fault schedule by field name instead of hiding it behind the
+/// opaque fingerprint.
+pub const VERSION: u64 = 5;
 
 /// FNV-1a 64-bit — the journal's content hash (hermetic, no dependencies).
 pub(crate) fn fnv1a64(init: u64, bytes: &[u8]) -> u64 {
@@ -49,7 +53,7 @@ pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// The journal's first line: everything `resume` validates before
 /// trusting a single record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Header {
     /// Hash of the workload image (entry point + every segment).
     pub workload: u64,
@@ -75,16 +79,29 @@ pub struct Header {
     /// stride cannot change which records exist, but it changes every
     /// entry's cost delta, so a resumed journal must agree on it.
     pub checkpoint_stride: u64,
+    /// The campaign's fault kinds as canonical wire tokens
+    /// ([`crate::wire::kind_to_token`]), in campaign order — the
+    /// time-varying parameters (`period`, `duty`, `phase`, `flips`,
+    /// `spacing`) travel here so a mismatched fault schedule is refused
+    /// by field name.
+    pub kinds: Vec<String>,
 }
 
 impl Header {
     /// Serialize as one JSON line (no trailing newline).
     pub fn to_line(&self) -> String {
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"journal\":\"{MAGIC}\",\"version\":{VERSION},\
              \"workload\":\"{:016x}\",\"fingerprint\":\"{:016x}\",\
              \"jobs\":{},\"injection_cycle\":{},\"golden_cycles\":{},\
-             \"instants\":{},\"instants_hash\":\"{:016x}\",\"checkpoint_stride\":{}}}",
+             \"instants\":{},\"instants_hash\":\"{:016x}\",\"checkpoint_stride\":{},\
+             \"kinds\":[{kinds}]}}",
             self.workload,
             self.fingerprint,
             self.jobs,
@@ -135,6 +152,13 @@ impl Header {
             instants_hash: hex("instants_hash")?,
             checkpoint_stride: v
                 .get_u64("checkpoint_stride")
+                .ok_or(JournalError::MissingHeader)?,
+            kinds: v
+                .get_array("kinds")
+                .ok_or(JournalError::MissingHeader)?
+                .iter()
+                .map(|k| k.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()
                 .ok_or(JournalError::MissingHeader)?,
         })
     }
@@ -399,8 +423,14 @@ mod tests {
             instants: 4,
             instants_hash: 0x1357_9bdf_2468_ace0,
             checkpoint_stride: 5_000,
+            kinds: vec![
+                "stuck-at-1".to_string(),
+                "intermittent-stuck(level=1,period=8,duty=2,phase=0)".to_string(),
+            ],
         };
         assert_eq!(Header::parse(&h.to_line()).unwrap(), h);
+        let empty = Header { kinds: vec![], ..h };
+        assert_eq!(Header::parse(&empty.to_line()).unwrap(), empty);
     }
 
     #[test]
@@ -499,6 +529,7 @@ mod tests {
             instants: 1,
             instants_hash: 0,
             checkpoint_stride: 0,
+            kinds: vec!["open-line".to_string()],
         };
         let e0 = entry(0, FaultOutcome::NoEffect);
         let e1 = entry(1, FaultOutcome::Hang { latency_cycles: 5 });

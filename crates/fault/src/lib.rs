@@ -83,6 +83,8 @@ pub use result::{
     CampaignResult, CampaignStats, CoverageSummary, FaultOutcome, FaultRecord, ModelSummary,
 };
 pub use safety::{Detection, IsoBucket, Mechanism, SafetyConfig};
-pub use sites::{fault_sites, sample_sites, unit_bit_counts, FaultSite, Target};
+pub use sites::{
+    fault_sites, sample_sites, targeted_sites, unit_bit_counts, AttackTarget, FaultSite, Target,
+};
 pub use static_analysis::{PrunedBy, StaticAnalysis, UnitObservability};
 pub use wire::{merge_shards, ShardResult};

@@ -20,6 +20,7 @@
 //! only whether the system would have *noticed*.
 
 use crate::result::FaultOutcome;
+use rtl_sim::FaultKind;
 use sparc_iss::{BusEvent, Watchdog};
 
 /// Which safety mechanisms a campaign models, and their parameters.
@@ -159,6 +160,10 @@ pub(crate) struct DetectionContext<'a> {
     pub parity_event: Option<u64>,
     /// The injection instant.
     pub injection_cycle: u64,
+    /// The job's fault model. Time-varying kinds measure detection
+    /// latency from the most recent activation (duty-cycle window start,
+    /// last landed flip of a burst) instead of the injection instant.
+    pub kind: FaultKind,
     /// The observation ended before the faulty core's own end state
     /// (short-circuit at divergence, or wall-clock timeout): nothing after
     /// the horizon — including a trailing watchdog expiry — may be claimed.
@@ -243,11 +248,17 @@ pub(crate) fn classify(
 
     match best {
         None => Detection::Undetected,
-        Some((at, mechanism, latency_writes)) => Detection::Detected {
-            mechanism,
-            latency_cycles: at.saturating_sub(ctx.injection_cycle),
-            latency_writes,
-        },
+        Some((at, mechanism, latency_writes)) => {
+            // Per-activation latency: for the permanent kinds and the
+            // single flip this is exactly the injection instant, so
+            // their latencies are unchanged from the pre-v5 suite.
+            let since = ctx.kind.latest_activation_at(ctx.injection_cycle, at);
+            Detection::Detected {
+                mechanism,
+                latency_cycles: at.saturating_sub(since),
+                latency_writes,
+            }
+        }
     }
 }
 
@@ -277,6 +288,9 @@ mod tests {
             matched,
             parity_event: None,
             injection_cycle: 10,
+            // Permanent: latency is measured from the injection instant,
+            // exactly as before the time-varying kinds existed.
+            kind: FaultKind::StuckAt0,
             truncated: false,
         }
     }
@@ -315,6 +329,53 @@ mod tests {
             Detection::Detected {
                 mechanism: Mechanism::Lockstep,
                 latency_cycles: 390,
+                latency_writes: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn intermittent_latency_measures_from_the_activation_window() {
+        let golden: Vec<BusEvent> = (1..=8).map(|i| write_at(i * 100)).collect();
+        let safety = SafetyConfig {
+            lockstep_window: Some(4),
+            ..SafetyConfig::default()
+        };
+        let outcome = FaultOutcome::Failure {
+            divergence: 2,
+            latency_cycles: 290,
+        };
+        // Same detection instant (cycle 400) as the permanent case, but
+        // injected at 10 with period 100/duty 10: the last assertion
+        // window before cycle 400 starts at 310, so the latency is 90.
+        let mut c = ctx(&golden, &golden, 2);
+        c.kind = FaultKind::IntermittentStuck {
+            level: true,
+            period: 100,
+            duty: 10,
+            phase: 0,
+        };
+        let d = classify(&safety, &outcome, &c);
+        assert_eq!(
+            d,
+            Detection::Detected {
+                mechanism: Mechanism::Lockstep,
+                latency_cycles: 90,
+                latency_writes: 2,
+            }
+        );
+        // A burst measures from its last landed flip: flips at 10 and
+        // 210 (spacing 200), so detection at 400 is 190 after the second.
+        c.kind = FaultKind::TransientBurst {
+            flips: 2,
+            spacing: 200,
+        };
+        let d = classify(&safety, &outcome, &c);
+        assert_eq!(
+            d,
+            Detection::Detected {
+                mechanism: Mechanism::Lockstep,
+                latency_cycles: 190,
                 latency_writes: 2,
             }
         );

@@ -55,6 +55,131 @@ pub struct FaultSite {
     pub unit: Unit,
 }
 
+/// A semantic attack-surface class for InjectV-style targeted campaigns:
+/// instead of a uniform sweep over a unit's bits, a campaign names the
+/// architectural state an attacker would corrupt and the selector
+/// resolves it to concrete nets of the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackTarget {
+    /// Branch-condition evaluation: the decoded condition field and the
+    /// execute-stage taken flag (`iu.de.cond`, `iu.ex.br_taken`).
+    BranchCondition,
+    /// Processor status register and condition codes
+    /// (`iu.sr.icc`, `iu.sr.s`, `iu.sr.ps`, `iu.sr.et`, `iu.sr.pil`,
+    /// `iu.sr.cwp`).
+    StatusRegister,
+    /// Control flow through the fetch stage: current and next program
+    /// counter plus the branch target (`iu.fe.pc`, `iu.fe.npc`,
+    /// `iu.ex.br_target`).
+    NextPc,
+}
+
+impl AttackTarget {
+    /// Every attack-surface class.
+    pub const ALL: [AttackTarget; 3] = [
+        AttackTarget::BranchCondition,
+        AttackTarget::StatusRegister,
+        AttackTarget::NextPc,
+    ];
+
+    /// Token accepted on the CLI and the campaign spec wire form.
+    pub fn token(self) -> &'static str {
+        match self {
+            AttackTarget::BranchCondition => "branch",
+            AttackTarget::StatusRegister => "psr",
+            AttackTarget::NextPc => "pc",
+        }
+    }
+
+    /// Parse a single token (see [`AttackTarget::token`]).
+    pub fn from_token(token: &str) -> Option<AttackTarget> {
+        AttackTarget::ALL.into_iter().find(|t| t.token() == token)
+    }
+
+    /// Parse a comma-separated token list like `"psr,branch"`, rejecting
+    /// unknown tokens with the offending token in the error. Duplicates
+    /// are deduplicated and the result is in canonical [`AttackTarget::ALL`]
+    /// order so equivalent lists select identical site sets.
+    pub fn parse_list(list: &str) -> Result<Vec<AttackTarget>, String> {
+        let mut selected = Vec::new();
+        for token in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match AttackTarget::from_token(token) {
+                Some(t) => {
+                    if !selected.contains(&t) {
+                        selected.push(t);
+                    }
+                }
+                None => {
+                    return Err(format!(
+                        "unknown attack target `{token}` (expected one of: branch, psr, pc)"
+                    ))
+                }
+            }
+        }
+        selected.sort();
+        Ok(selected)
+    }
+
+    /// The hierarchical net names this class resolves to.
+    pub fn net_names(self) -> &'static [&'static str] {
+        match self {
+            AttackTarget::BranchCondition => &["iu.de.cond", "iu.ex.br_taken"],
+            AttackTarget::StatusRegister => &[
+                "iu.sr.icc",
+                "iu.sr.s",
+                "iu.sr.ps",
+                "iu.sr.et",
+                "iu.sr.pil",
+                "iu.sr.cwp",
+            ],
+            AttackTarget::NextPc => &["iu.fe.pc", "iu.fe.npc", "iu.ex.br_target"],
+        }
+    }
+}
+
+impl fmt::Display for AttackTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Resolve attack-surface classes to the model's concrete fault sites:
+/// every bit of every net named by a selected class, in declaration
+/// order (so the site list — and through it every record — is
+/// deterministic in the class set).
+///
+/// # Panics
+///
+/// Panics if a class names a net the model does not declare — the name
+/// tables above are part of the model contract and covered by tests.
+pub fn targeted_sites(cpu: &Leon3, targets: &[AttackTarget]) -> Vec<FaultSite> {
+    let mut wanted: Vec<&'static str> = Vec::new();
+    for t in targets {
+        wanted.extend_from_slice(t.net_names());
+    }
+    let mut found: Vec<&'static str> = Vec::new();
+    let mut sites = Vec::new();
+    for (id, meta) in cpu.pool().iter() {
+        if let Some(&name) = wanted.iter().find(|&&n| n == meta.name) {
+            found.push(name);
+            for bit in 0..meta.width {
+                sites.push(FaultSite {
+                    net: id,
+                    bit,
+                    unit: meta.tag,
+                });
+            }
+        }
+    }
+    for name in wanted {
+        assert!(
+            found.contains(&name),
+            "attack-target net `{name}` not declared by the model"
+        );
+    }
+    sites
+}
+
 /// Enumerate every injectable node of a domain, in declaration order.
 ///
 /// This is the paper's "all available points from the IU and CMEM
@@ -202,5 +327,67 @@ mod tests {
         let sites = fault_sites(&cpu, Target::IntegerUnit);
         let all = sample_sites(&sites, sites.len() + 10, 1);
         assert_eq!(all.len(), sites.len());
+    }
+
+    #[test]
+    fn every_attack_target_resolves_on_the_real_model() {
+        let cpu = cpu();
+        for target in AttackTarget::ALL {
+            let sites = targeted_sites(&cpu, &[target]);
+            assert!(!sites.is_empty(), "{target} resolves to no sites");
+            assert!(
+                sites.iter().all(|s| s.unit.is_iu()),
+                "{target} must stay inside the IU"
+            );
+            // Exactly the named nets' bit budget, no more.
+            let expected: usize = target
+                .net_names()
+                .iter()
+                .map(|&name| {
+                    cpu.pool()
+                        .iter()
+                        .find(|(_, m)| m.name == name)
+                        .map_or(0, |(_, m)| usize::from(m.width))
+                })
+                .sum();
+            assert_eq!(sites.len(), expected, "{target}");
+        }
+    }
+
+    #[test]
+    fn targeted_sites_union_and_order_are_canonical() {
+        let cpu = cpu();
+        let all = targeted_sites(&cpu, &AttackTarget::ALL);
+        let sum: usize = AttackTarget::ALL
+            .into_iter()
+            .map(|t| targeted_sites(&cpu, &[t]).len())
+            .sum();
+        assert_eq!(all.len(), sum, "classes are disjoint");
+        // Declaration order regardless of the class argument order.
+        let reversed = targeted_sites(
+            &cpu,
+            &[
+                AttackTarget::NextPc,
+                AttackTarget::StatusRegister,
+                AttackTarget::BranchCondition,
+            ],
+        );
+        assert_eq!(all, reversed);
+        assert!(targeted_sites(&cpu, &[]).is_empty());
+    }
+
+    #[test]
+    fn attack_target_tokens_round_trip() {
+        for target in AttackTarget::ALL {
+            assert_eq!(AttackTarget::from_token(target.token()), Some(target));
+        }
+        assert_eq!(AttackTarget::from_token("bogus"), None);
+        assert_eq!(
+            AttackTarget::parse_list("psr, branch,psr").unwrap(),
+            vec![AttackTarget::BranchCondition, AttackTarget::StatusRegister],
+            "deduplicated and in canonical order"
+        );
+        assert_eq!(AttackTarget::parse_list("").unwrap(), vec![]);
+        assert!(AttackTarget::parse_list("psr,bogus").is_err());
     }
 }

@@ -136,10 +136,18 @@ impl StaticAnalysis {
 
     /// Whether a fault of `kind` on `net` is provably benign without
     /// simulation: the net is unobservable (any kind), or the fault is a
-    /// transient flip on a transient-safe latch.
+    /// transient flip — single or burst — on a transient-safe latch (the
+    /// rewrite-before-read argument applies to each flip of a burst
+    /// independently, so the whole train is benign). An intermittent
+    /// stuck-at is *not* transient-safe-prunable: it forces the bit at
+    /// read time through every asserted window, exactly like a stuck-at,
+    /// so a rewrite between windows does not clear it.
     pub fn prunes(&self, net: NetId, kind: FaultKind) -> bool {
         !self.is_observable(net)
-            || (kind == FaultKind::TransientFlip && self.graph.is_transient_safe(net))
+            || (matches!(
+                kind,
+                FaultKind::TransientFlip | FaultKind::TransientBurst { .. }
+            ) && self.graph.is_transient_safe(net))
     }
 
     /// Root of the net's stuck-at equivalence class (the net itself if it
@@ -149,9 +157,12 @@ impl StaticAnalysis {
     }
 
     /// Whether faults of this kind participate in equivalence-class
-    /// collapsing. Only forced stuck-at values are classically equivalent
-    /// across a pass-through net; open-line and transient faults are
-    /// always simulated individually.
+    /// collapsing. Only *permanent* forced stuck-at values are classically
+    /// equivalent across a pass-through net; open-line, transient and the
+    /// time-varying kinds are always simulated individually — an
+    /// intermittent stuck-at releases between windows, so the downstream
+    /// net sees the pass-through value part of the time and the stuck-at
+    /// equivalence argument does not hold.
     pub fn collapsible(kind: FaultKind) -> bool {
         matches!(kind, FaultKind::StuckAt0 | FaultKind::StuckAt1)
     }
@@ -199,6 +210,22 @@ mod tests {
         StaticAnalysis::from_graph(g)
     }
 
+    fn intermittent() -> FaultKind {
+        FaultKind::IntermittentStuck {
+            level: true,
+            period: 8,
+            duty: 2,
+            phase: 0,
+        }
+    }
+
+    fn burst() -> FaultKind {
+        FaultKind::TransientBurst {
+            flips: 3,
+            spacing: 4,
+        }
+    }
+
     #[test]
     fn unobservable_nets_are_pruned_for_every_kind() {
         let sa = synthetic();
@@ -207,6 +234,8 @@ mod tests {
             FaultKind::StuckAt1,
             FaultKind::OpenLine,
             FaultKind::TransientFlip,
+            intermittent(),
+            burst(),
         ] {
             assert!(sa.prunes(n(3), kind), "{kind:?} on isolated net");
         }
@@ -216,9 +245,17 @@ mod tests {
     fn transient_safe_prunes_only_transient_flips() {
         let sa = synthetic();
         assert!(sa.prunes(n(4), FaultKind::TransientFlip));
+        assert!(
+            sa.prunes(n(4), burst()),
+            "per-flip rewrite-before-read reasoning covers every flip of a burst"
+        );
         assert!(!sa.prunes(n(4), FaultKind::StuckAt0));
         assert!(!sa.prunes(n(4), FaultKind::StuckAt1));
         assert!(!sa.prunes(n(4), FaultKind::OpenLine));
+        assert!(
+            !sa.prunes(n(4), intermittent()),
+            "intermittent forcing applies at read time, like a stuck-at"
+        );
     }
 
     #[test]
@@ -242,6 +279,10 @@ mod tests {
         assert!(StaticAnalysis::collapsible(FaultKind::StuckAt1));
         assert!(!StaticAnalysis::collapsible(FaultKind::OpenLine));
         assert!(!StaticAnalysis::collapsible(FaultKind::TransientFlip));
+        // Time-varying kinds never join stuck-at equivalence classes —
+        // the released windows make the pass-through argument unsound.
+        assert!(!StaticAnalysis::collapsible(intermittent()));
+        assert!(!StaticAnalysis::collapsible(burst()));
     }
 
     #[test]

@@ -200,7 +200,8 @@ pub fn escape_json(s: &str) -> String {
 }
 
 /// Parse a fault-kind name as produced by `FaultKind::name`
-/// (e.g. `stuck-at-1`).
+/// (e.g. `stuck-at-1`). Parameterless kinds only; the parameterized
+/// time-varying kinds travel as tokens (see [`kind_from_token`]).
 pub fn kind_from_name(name: &str) -> Option<FaultKind> {
     [
         FaultKind::StuckAt0,
@@ -210,6 +211,97 @@ pub fn kind_from_name(name: &str) -> Option<FaultKind> {
     ]
     .into_iter()
     .find(|k| k.name() == name)
+}
+
+/// Canonical wire token of a fault kind: the plain name for the
+/// parameterless kinds (byte-identical to the pre-v5 wire form), and
+/// `name(field=value,...)` with fields in declaration order for the
+/// parameterized time-varying kinds, e.g.
+/// `intermittent-stuck(level=1,period=8,duty=2,phase=0)` or
+/// `transient-burst(flips=3,spacing=4)`.
+pub fn kind_to_token(kind: FaultKind) -> String {
+    match kind {
+        FaultKind::IntermittentStuck {
+            level,
+            period,
+            duty,
+            phase,
+        } => format!(
+            "intermittent-stuck(level={},period={period},duty={duty},phase={phase})",
+            u8::from(level)
+        ),
+        FaultKind::TransientBurst { flips, spacing } => {
+            format!("transient-burst(flips={flips},spacing={spacing})")
+        }
+        _ => kind.name().to_string(),
+    }
+}
+
+/// Parse a [`kind_to_token`] token back into a kind, validating both the
+/// syntax (field names and order are canonical) and the parameter ranges.
+pub fn kind_from_token(token: &str) -> Result<FaultKind, String> {
+    if let Some(kind) = kind_from_name(token) {
+        return Ok(kind);
+    }
+    let (base, params) = match token.split_once('(') {
+        Some((base, rest)) => {
+            let params = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("fault-kind token `{token}` missing closing `)`"))?;
+            (base, params)
+        }
+        None => return Err(format!("unknown fault kind `{token}`")),
+    };
+    let fields: Vec<(&str, &str)> = params
+        .split(',')
+        .map(|pair| {
+            pair.split_once('=')
+                .ok_or_else(|| format!("malformed fault-kind parameter `{pair}` in `{token}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    let expect = |names: &[&str]| -> Result<Vec<u64>, String> {
+        if fields.len() != names.len() || fields.iter().map(|(n, _)| *n).ne(names.iter().copied()) {
+            return Err(format!(
+                "fault-kind token `{token}` must carry exactly the fields {names:?} in order"
+            ));
+        }
+        fields
+            .iter()
+            .map(|(name, value)| {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault-kind field `{name}` in `{token}` is not a number"))
+            })
+            .collect()
+    };
+    let kind = match base {
+        "intermittent-stuck" => {
+            let v = expect(&["level", "period", "duty", "phase"])?;
+            if v[0] > 1 {
+                return Err(format!(
+                    "fault-kind field `level` in `{token}` must be 0 or 1"
+                ));
+            }
+            FaultKind::IntermittentStuck {
+                level: v[0] == 1,
+                period: v[1],
+                duty: v[2],
+                phase: v[3],
+            }
+        }
+        "transient-burst" => {
+            let v = expect(&["flips", "spacing"])?;
+            let flips = u32::try_from(v[0])
+                .map_err(|_| format!("fault-kind field `flips` in `{token}` out of range"))?;
+            FaultKind::TransientBurst {
+                flips,
+                spacing: v[1],
+            }
+        }
+        _ => return Err(format!("unknown fault kind `{token}`")),
+    };
+    kind.validate()?;
+    Ok(kind)
 }
 
 struct Parser<'a> {
@@ -428,7 +520,7 @@ pub(crate) fn write_record_fields(s: &mut String, record: &FaultRecord) {
         record.site.net.raw(),
         record.site.bit,
         record.site.unit.name(),
-        record.kind.name(),
+        kind_to_token(record.kind),
     );
     s.push_str(&outcome_to_json(&record.outcome));
     let _ = write!(s, ",\"activated\":{}", record.activated);
@@ -470,9 +562,7 @@ pub(crate) fn record_from_obj(v: &Json) -> Result<FaultRecord, String> {
         .into_iter()
         .find(|u| u.name() == unit_name)
         .ok_or_else(|| format!("unknown unit `{unit_name}`"))?;
-    let kind_name = txt("kind")?;
-    let kind =
-        kind_from_name(kind_name).ok_or_else(|| format!("unknown fault kind `{kind_name}`"))?;
+    let kind = kind_from_token(txt("kind")?)?;
     let outcome = outcome_from_json(v.get("outcome").ok_or("missing `outcome`")?)?;
     let detection = match v.get_str("detected_by") {
         Some(name) => {
@@ -952,6 +1042,67 @@ mod tests {
         assert_eq!(v.get_u64("frac"), None);
         assert_eq!(Json::parse("[]").unwrap(), Json::Array(Vec::new()));
         assert!(Json::parse("0.").is_err());
+    }
+
+    #[test]
+    fn kind_tokens_round_trip_and_validate() {
+        let kinds = [
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::OpenLine,
+            FaultKind::TransientFlip,
+            FaultKind::IntermittentStuck {
+                level: true,
+                period: 8,
+                duty: 2,
+                phase: 5,
+            },
+            FaultKind::IntermittentStuck {
+                level: false,
+                period: 1,
+                duty: 1,
+                phase: 0,
+            },
+            FaultKind::TransientBurst {
+                flips: 3,
+                spacing: 4,
+            },
+        ];
+        for kind in kinds {
+            assert_eq!(kind_from_token(&kind_to_token(kind)), Ok(kind));
+        }
+        // Parameterless kinds stay byte-identical to the pre-v5 names.
+        assert_eq!(kind_to_token(FaultKind::StuckAt1), "stuck-at-1");
+        assert_eq!(
+            kind_to_token(FaultKind::IntermittentStuck {
+                level: true,
+                period: 8,
+                duty: 2,
+                phase: 0
+            }),
+            "intermittent-stuck(level=1,period=8,duty=2,phase=0)"
+        );
+        // Refusals: unknown names, wrong field order, out-of-range params.
+        assert!(kind_from_token("bitrot").is_err());
+        assert!(kind_from_token("intermittent-stuck(period=8,level=1,duty=2,phase=0)").is_err());
+        assert!(kind_from_token("intermittent-stuck(level=1,period=8,duty=9,phase=0)").is_err());
+        assert!(kind_from_token("transient-burst(flips=0,spacing=1)").is_err());
+        assert!(kind_from_token("transient-burst(flips=1,spacing=1").is_err());
+    }
+
+    #[test]
+    fn time_varying_record_round_trips() {
+        let mut rec = record(4, FaultOutcome::NoEffect, Detection::Undetected);
+        rec.kind = FaultKind::IntermittentStuck {
+            level: false,
+            period: 12,
+            duty: 3,
+            phase: 7,
+        };
+        let result = result_with(vec![rec], CampaignStats::default());
+        let text = result_to_json(&result);
+        assert!(text.contains("intermittent-stuck(level=0,period=12,duty=3,phase=7)"));
+        assert_eq!(result_from_json(&text).unwrap(), result);
     }
 
     #[test]

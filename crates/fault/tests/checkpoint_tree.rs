@@ -96,6 +96,77 @@ fn dense_transient_sweep_matches_full_reexecution_on_cmem() {
     assert_dense_sweep_equivalence(Target::CacheMemory, 0xD4);
 }
 
+fn time_varying_campaign(sample: usize, seed: u64) -> Campaign {
+    Campaign::new(
+        Benchmark::Rspeed.program(&Params::default()),
+        Target::IntegerUnit,
+    )
+    .with_sample(sample, seed)
+    .with_kinds(&[
+        FaultKind::IntermittentStuck {
+            level: true,
+            period: 500,
+            duty: 125,
+            phase: 0,
+        },
+        FaultKind::TransientBurst {
+            flips: 3,
+            spacing: 100,
+        },
+    ])
+}
+
+/// The time-varying acceptance property: a dense **intermittent + burst**
+/// sweep under `Execution::Fork` with a stride checkpoint grid is
+/// bit-identical to full re-execution. This is the restore-boundary
+/// stress: a restored job's fault schedule is a pure function of
+/// `(params, from_cycle, clock)` for intermittents and re-armed flip
+/// counters for bursts, so a checkpoint taken mid-window, mid-release or
+/// mid-train must replay the exact same assertion schedule the straight
+/// run saw.
+#[test]
+fn dense_intermittent_sweep_matches_full_reexecution_with_stride_grid() {
+    let instants = dense_instants(MAX_POOL_CHECKPOINTS + 4);
+    let golden = GoldenRun::capture(
+        &Benchmark::Rspeed.program(&Params::default()),
+        &leon3_model::Leon3Config::default(),
+    );
+    let forked = time_varying_campaign(4, 0xB7)
+        .with_checkpoint_stride(golden.cycles / 8)
+        .try_run_multi(4, &instants)
+        .expect("fork sweep");
+    let full = time_varying_campaign(4, 0xB7)
+        .with_execution(Execution::FullReexecution)
+        .try_run_multi(4, &instants)
+        .expect("full sweep");
+    let mut restored_total = 0;
+    for (f, r) in forked.iter().zip(&full) {
+        assert_eq!(
+            f.records(),
+            r.records(),
+            "time-varying fork and full re-execution must agree record-for-record"
+        );
+        assert_eq!(f.stats().full_reexecutions, 0);
+        restored_total += f.stats().restored_from_checkpoint;
+    }
+    assert!(
+        restored_total > 0,
+        "the restore/replay path must be genuinely exercised"
+    );
+    // Both kinds produced activity somewhere in the sweep — the
+    // equivalence above is not vacuous.
+    let kinds_seen: Vec<FaultKind> = forked
+        .iter()
+        .flat_map(|r| r.records().iter().map(|rec| rec.kind))
+        .collect();
+    assert!(kinds_seen
+        .iter()
+        .any(|k| matches!(k, FaultKind::IntermittentStuck { .. })));
+    assert!(kinds_seen
+        .iter()
+        .any(|k| matches!(k, FaultKind::TransientBurst { .. })));
+}
+
 #[test]
 fn stride_grid_shortens_replay_without_changing_records() {
     // Same dense sweep with a stride: extra grid checkpoints change only

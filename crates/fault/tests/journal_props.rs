@@ -14,6 +14,7 @@
 #![cfg(feature = "proptest")]
 
 use fault_inject::journal::{read, Entry, Header};
+use fault_inject::wire::{kind_from_token, kind_to_token};
 use fault_inject::{CampaignStats, Detection, FaultOutcome, FaultRecord, FaultSite, Mechanism};
 use proptest::prelude::*;
 use rtl_sim::{FaultKind, NetId};
@@ -64,6 +65,18 @@ fn arb_kind() -> impl Strategy<Value = FaultKind> {
         Just(FaultKind::StuckAt1),
         Just(FaultKind::OpenLine),
         Just(FaultKind::TransientFlip),
+        // Parameters drawn valid by construction: 1 <= duty <= period,
+        // phase < period (the wire rejects anything else).
+        (any::<bool>(), 1u64..5_000, any::<u64>(), any::<u64>()).prop_map(
+            |(level, period, duty, phase)| FaultKind::IntermittentStuck {
+                level,
+                period,
+                duty: 1 + duty % period,
+                phase: phase % period,
+            }
+        ),
+        (1u32..1_000, 1u64..100_000)
+            .prop_map(|(flips, spacing)| FaultKind::TransientBurst { flips, spacing }),
     ]
 }
 
@@ -138,7 +151,12 @@ fn arb_header() -> impl Strategy<Value = Header> {
         0usize..1_000_000,
         any::<u64>(),
         any::<u64>(),
-        (1usize..64, any::<u64>(), any::<u64>()),
+        (
+            1usize..64,
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_kind(), 0..4),
+        ),
     )
         .prop_map(
             |(
@@ -147,7 +165,7 @@ fn arb_header() -> impl Strategy<Value = Header> {
                 jobs,
                 injection_cycle,
                 golden_cycles,
-                (instants, instants_hash, checkpoint_stride),
+                (instants, instants_hash, checkpoint_stride, kinds),
             )| Header {
                 workload,
                 fingerprint,
@@ -157,6 +175,7 @@ fn arb_header() -> impl Strategy<Value = Header> {
                 instants,
                 instants_hash,
                 checkpoint_stride,
+                kinds: kinds.into_iter().map(kind_to_token).collect(),
             },
         )
 }
@@ -170,10 +189,18 @@ proptest! {
         prop_assert_eq!(parsed, Ok(entry));
     }
 
-    /// Headers round-trip for all hash/count values.
+    /// Headers round-trip for all hash/count values and fault-kind lists
+    /// (the v5 `kinds` field carries parameterized wire tokens).
     #[test]
     fn header_round_trips(header in arb_header()) {
-        prop_assert_eq!(Header::parse(&header.to_line()), Ok(header));
+        prop_assert_eq!(Header::parse(&header.to_line()), Ok(header.clone()));
+    }
+
+    /// Every representable fault kind — including both time-varying
+    /// parameterized ones — survives its wire token.
+    #[test]
+    fn kind_tokens_round_trip(kind in arb_kind()) {
+        prop_assert_eq!(kind_from_token(&kind_to_token(kind)), Ok(kind));
     }
 
     /// A journal cut anywhere inside its final line reads back as the

@@ -201,6 +201,83 @@ fn resume_refuses_a_foreign_journal() {
 }
 
 #[test]
+fn resume_refuses_a_foreign_fault_schedule_by_field_name() {
+    // A journal carries the campaign's fault-kind wire tokens (journal
+    // v5); resuming under a different time-varying schedule must be
+    // refused naming the exact mismatched parameter, not the opaque
+    // fingerprint.
+    let with_kind = |kind: FaultKind| {
+        Campaign::new(
+            Benchmark::Rspeed.program(&Params::default()),
+            Target::IntegerUnit,
+        )
+        .with_sample(6, 9)
+        .with_kinds(&[kind])
+        .with_injection_fraction(0.3)
+    };
+    let intermittent = |duty: u64, phase: u64| FaultKind::IntermittentStuck {
+        level: true,
+        period: 400,
+        duty,
+        phase,
+    };
+    let path = temp_path("schedule.jsonl");
+    with_kind(intermittent(100, 0))
+        .run_journaled(2, &path)
+        .expect("journaled run");
+
+    // Same kind, different duty cycle: named down to the parameter.
+    match with_kind(intermittent(200, 0)).resume(2, &path) {
+        Err(CampaignError::Journal(JournalError::HeaderMismatch {
+            field,
+            expected,
+            found,
+        })) => {
+            assert_eq!(field, "kinds.duty");
+            assert_eq!(expected, "200");
+            assert_eq!(found, "100");
+        }
+        other => panic!("expected a kinds.duty mismatch, got {other:?}"),
+    }
+    match with_kind(intermittent(100, 7)).resume(2, &path) {
+        Err(CampaignError::Journal(JournalError::HeaderMismatch { field, .. })) => {
+            assert_eq!(field, "kinds.phase");
+        }
+        other => panic!("expected a kinds.phase mismatch, got {other:?}"),
+    }
+
+    // A different kind altogether reports the kind lists.
+    match with_kind(FaultKind::TransientBurst {
+        flips: 3,
+        spacing: 50,
+    })
+    .resume(2, &path)
+    {
+        Err(CampaignError::Journal(JournalError::HeaderMismatch { field, .. })) => {
+            assert_eq!(field, "kinds");
+        }
+        other => panic!("expected a kinds mismatch, got {other:?}"),
+    }
+
+    // Burst parameters are named the same way.
+    let burst = |spacing: u64| FaultKind::TransientBurst { flips: 2, spacing };
+    let path = temp_path("schedule-burst.jsonl");
+    with_kind(burst(60))
+        .run_journaled(2, &path)
+        .expect("journaled run");
+    match with_kind(burst(90)).resume(2, &path) {
+        Err(CampaignError::Journal(JournalError::HeaderMismatch { field, .. })) => {
+            assert_eq!(field, "kinds.spacing");
+        }
+        other => panic!("expected a kinds.spacing mismatch, got {other:?}"),
+    }
+
+    // And the matching schedule still resumes cleanly.
+    let resumed = with_kind(burst(60)).resume(2, &path).expect("resume");
+    assert_eq!(resumed.stats().resumed, resumed.stats().jobs);
+}
+
+#[test]
 fn config_mistakes_error_instead_of_panicking() {
     let c = campaign(Target::IntegerUnit, 3);
     assert_eq!(c.try_run(0), Err(CampaignError::ZeroThreads));

@@ -160,6 +160,68 @@ fn iu_transient_flips_on_safe_latches_are_pruned() {
 }
 
 #[test]
+fn time_varying_campaign_with_audit_matches_and_never_collapses() {
+    // The time-varying kinds flow through the static engine soundly:
+    // unobservable-net pruning still applies (and the audit re-simulates
+    // a sample of those verdicts in full), bursts prune on
+    // transient-safe latches, but *neither* kind ever joins a stuck-at
+    // equivalence class — an intermittent releases between windows and a
+    // burst is a train of rewrites, so the pass-through argument that
+    // justifies collapsing does not hold for them.
+    let intermittent = FaultKind::IntermittentStuck {
+        level: true,
+        period: 400,
+        duty: 100,
+        phase: 0,
+    };
+    let burst = FaultKind::TransientBurst {
+        flips: 3,
+        spacing: 80,
+    };
+    let program = Benchmark::Intbench.program(&Params::default());
+    // Include the equivalence-class population deliberately: were
+    // collapsing (unsoundly) applied to time-varying kinds, these are
+    // exactly the sites where the copied outcome would diverge.
+    let campaign = Campaign::new(program, Target::IntegerUnit)
+        .with_sites(sites_with_classes(Target::IntegerUnit, 12, 0x75))
+        .with_kinds(&[intermittent, burst])
+        .with_injection_fraction(0.3);
+    assert_static_equivalent(&campaign, &[intermittent, burst]);
+
+    let result = campaign.clone().with_static_analysis(true).run(4);
+    assert_eq!(
+        result.stats().collapsed_classes,
+        0,
+        "time-varying kinds must be excluded from stuck-at collapsing"
+    );
+    assert!(result
+        .records()
+        .iter()
+        .all(|r| r.pruned_by != Some(PrunedBy::Collapsed)));
+    // The analyzer-level invariant the campaign behavior rests on.
+    assert!(!StaticAnalysis::collapsible(intermittent));
+    assert!(!StaticAnalysis::collapsible(burst));
+
+    // Mixed with stuck-ats on the same sites, collapsing returns for the
+    // stuck-at jobs only.
+    let mixed = campaign
+        .clone()
+        .with_kinds(&[FaultKind::StuckAt1, intermittent])
+        .with_static_analysis(true)
+        .run(4);
+    assert!(mixed.stats().collapsed_classes > 0);
+    for record in mixed.records() {
+        if record.pruned_by == Some(PrunedBy::Collapsed) {
+            assert_eq!(
+                record.kind,
+                FaultKind::StuckAt1,
+                "only the stuck-at jobs may collapse"
+            );
+        }
+    }
+}
+
+#[test]
 fn cmem_campaign_with_mixed_kinds_matches() {
     let program = Benchmark::Membench.program(&Params::default());
     let campaign = Campaign::new(program, Target::CacheMemory)

@@ -1,10 +1,14 @@
-//! Permanent fault models over nets.
+//! Fault models over nets: the paper's permanent models plus the
+//! suite's transient and time-varying extensions.
 
 use crate::net::NetId;
 use std::fmt;
 
 /// The fault models: the reproduced paper's three *permanent* models
-/// (§4.1) plus the transient bit-flip it defers to future work.
+/// (§4.1), the transient bit-flip it defers to future work, and two
+/// time-varying extensions (duty-cycled intermittent stuck-at and a
+/// burst train of upsets) motivated by attack-style and time-windowed
+/// injection campaigns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FaultKind {
     /// The bit is forced to logic 0 (permanent).
@@ -21,6 +25,36 @@ pub enum FaultKind {
     /// models — its propagation probability depends strongly on *when*
     /// the fault hits.
     TransientFlip,
+    /// A duty-cycled stuck-at: starting at the injection instant the bit
+    /// is forced to `level` for the first `duty` cycles of every
+    /// `period`-cycle window (shifted by `phase`) and released in
+    /// between. The assertion schedule is a pure function of the fault
+    /// parameters and the clock, so the model behaves identically whether
+    /// a run reached cycle *c* from reset or from a restored checkpoint.
+    ///
+    /// Canonical parameter form (enforced by [`FaultKind::validate`]):
+    /// `1 <= duty <= period` and `phase < period`.
+    IntermittentStuck {
+        /// The forced logic level while asserted.
+        level: bool,
+        /// Window length in cycles (>= 1).
+        period: u64,
+        /// Asserted cycles per window (1..=period).
+        duty: u64,
+        /// Offset of the first window within the schedule (< period).
+        phase: u64,
+    },
+    /// A short train of single-event upsets generalizing
+    /// [`FaultKind::TransientFlip`]: the stored bit flips `flips` times,
+    /// the k-th flip landing at `from_cycle + k * spacing`. Each flip
+    /// corrupts the stored value once and the net behaves normally in
+    /// between, exactly like a sequence of independent transient flips.
+    TransientBurst {
+        /// Number of upsets in the train (>= 1).
+        flips: u32,
+        /// Cycles between consecutive upsets (>= 1).
+        spacing: u64,
+    },
 }
 
 impl FaultKind {
@@ -33,19 +67,122 @@ impl FaultKind {
         FaultKind::OpenLine,
     ];
 
-    /// Human-readable name matching the paper's legend.
+    /// Human-readable name matching the paper's legend. Parameterized
+    /// kinds report their base name only; the wire layer serializes the
+    /// parameters separately.
     pub fn name(self) -> &'static str {
         match self {
             FaultKind::StuckAt0 => "stuck-at-0",
             FaultKind::StuckAt1 => "stuck-at-1",
             FaultKind::OpenLine => "open-line",
             FaultKind::TransientFlip => "transient bit-flip",
+            FaultKind::IntermittentStuck { .. } => "intermittent-stuck",
+            FaultKind::TransientBurst { .. } => "transient-burst",
         }
     }
 
-    /// Whether the fault persists after the injection instant.
+    /// Whether the fault, once activated, stays asserted on every cycle
+    /// until the end of the run (the paper's permanent models).
     pub fn is_permanent(self) -> bool {
-        self != FaultKind::TransientFlip
+        matches!(
+            self,
+            FaultKind::StuckAt0 | FaultKind::StuckAt1 | FaultKind::OpenLine
+        )
+    }
+
+    /// Whether the fault's assertion state changes over time *after* the
+    /// injection instant (intermittent duty cycling, burst trains).
+    /// Time-varying kinds are excluded from stuck-at equivalence-class
+    /// collapsing in the static analyzer.
+    pub fn is_time_varying(self) -> bool {
+        matches!(
+            self,
+            FaultKind::IntermittentStuck { .. } | FaultKind::TransientBurst { .. }
+        )
+    }
+
+    /// Check the parameters of a parameterized kind, returning a
+    /// description of the first violated constraint. The permanent kinds
+    /// and [`FaultKind::TransientFlip`] are parameterless and always
+    /// valid.
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            FaultKind::IntermittentStuck {
+                period,
+                duty,
+                phase,
+                ..
+            } => {
+                if period == 0 {
+                    Err(format!(
+                        "intermittent-stuck period must be >= 1, got {period}"
+                    ))
+                } else if duty == 0 || duty > period {
+                    Err(format!(
+                        "intermittent-stuck duty must be in 1..={period}, got {duty}"
+                    ))
+                } else if phase >= period {
+                    Err(format!(
+                        "intermittent-stuck phase must be < period {period}, got {phase}"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            FaultKind::TransientBurst { flips, spacing } => {
+                if flips == 0 {
+                    Err("transient-burst flips must be >= 1".to_string())
+                } else if spacing == 0 {
+                    Err("transient-burst spacing must be >= 1".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether an intermittent fault injected at `from_cycle` is asserted
+    /// at `cycle`. Pure in the parameters and the clock — the property
+    /// that makes the model safe across checkpoint restore.
+    pub fn asserted_at(self, from_cycle: u64, cycle: u64) -> bool {
+        match self {
+            FaultKind::IntermittentStuck {
+                period,
+                duty,
+                phase,
+                ..
+            } => cycle >= from_cycle && (cycle - from_cycle + phase) % period < duty,
+            _ => cycle >= from_cycle,
+        }
+    }
+
+    /// The most recent cycle at or before `cycle` at which this fault
+    /// (injected at `from_cycle`) transitioned to asserted — the instant
+    /// detection latency is measured from for time-varying kinds. For
+    /// permanent kinds and the single flip this is the injection instant
+    /// itself. Saturates to `from_cycle` when `cycle < from_cycle`.
+    pub fn latest_activation_at(self, from_cycle: u64, cycle: u64) -> u64 {
+        if cycle <= from_cycle {
+            return from_cycle;
+        }
+        match self {
+            FaultKind::IntermittentStuck { period, phase, .. } => {
+                // Start of the assertion window containing (or preceding)
+                // `cycle`, in schedule coordinates shifted by `phase`.
+                let seg = ((cycle - from_cycle + phase) / period) * period;
+                if seg < phase {
+                    from_cycle
+                } else {
+                    from_cycle + (seg - phase)
+                }
+            }
+            FaultKind::TransientBurst { flips, spacing } => {
+                let k = ((cycle - from_cycle) / spacing).min(u64::from(flips) - 1);
+                from_cycle + k * spacing
+            }
+            _ => from_cycle,
+        }
     }
 }
 
@@ -130,6 +267,9 @@ pub(crate) struct ActiveFault {
     pub active: bool,
     /// For open-line: the bit value captured at the injection instant.
     pub held: bool,
+    /// For transient-burst: how many flips of the train have been applied
+    /// to the stored value (see `NetPool::advance_burst`).
+    pub flips_done: u32,
 }
 
 impl ActiveFault {
@@ -138,11 +278,12 @@ impl ActiveFault {
             fault,
             active: false,
             held: false,
+            flips_done: 0,
         }
     }
 
-    /// Apply the fault to a value read from (or written to) the net.
-    pub(crate) fn apply(&self, value: u32) -> u32 {
+    /// Apply the fault to a value read from the net at `cycle`.
+    pub(crate) fn apply(&self, value: u32, cycle: u64) -> u32 {
         if !self.active {
             return value;
         }
@@ -160,6 +301,22 @@ impl ActiveFault {
             // The flip happens to the stored value at activation (see
             // `NetPool::activate`); reads are undisturbed afterwards.
             FaultKind::TransientFlip => value,
+            // Forces only while the duty-cycle schedule asserts; reads in
+            // the released part of the window see the raw flop.
+            FaultKind::IntermittentStuck { level, .. } => {
+                if self.fault.kind.asserted_at(self.fault.from_cycle, cycle) {
+                    if level {
+                        value | mask
+                    } else {
+                        value & !mask
+                    }
+                } else {
+                    value
+                }
+            }
+            // Each flip of the train corrupts the stored value when due
+            // (see `NetPool::advance_burst`); reads are undisturbed.
+            FaultKind::TransientBurst { .. } => value,
         }
     }
 }
@@ -187,27 +344,206 @@ mod tests {
             kind: FaultKind::StuckAt0,
             from_cycle: 5,
         });
-        assert_eq!(f.apply(0xffff_ffff), 0xffff_ffff);
+        assert_eq!(f.apply(0xffff_ffff, 0), 0xffff_ffff);
     }
 
     #[test]
     fn stuck_at_forces_bit() {
-        assert_eq!(fault(FaultKind::StuckAt0).apply(0b111), 0b101);
-        assert_eq!(fault(FaultKind::StuckAt1).apply(0b000), 0b010);
+        assert_eq!(fault(FaultKind::StuckAt0).apply(0b111, 0), 0b101);
+        assert_eq!(fault(FaultKind::StuckAt1).apply(0b000, 0), 0b010);
     }
 
     #[test]
     fn open_line_returns_held_value() {
         let mut f = fault(FaultKind::OpenLine);
         f.held = true;
-        assert_eq!(f.apply(0b000), 0b010);
+        assert_eq!(f.apply(0b000, 0), 0b010);
         f.held = false;
-        assert_eq!(f.apply(0b111), 0b101);
+        assert_eq!(f.apply(0b111, 0), 0b101);
     }
 
     #[test]
     fn kind_display_names() {
         assert_eq!(FaultKind::StuckAt1.to_string(), "stuck-at-1");
         assert_eq!(FaultKind::ALL.len(), 3);
+        assert_eq!(
+            FaultKind::IntermittentStuck {
+                level: true,
+                period: 8,
+                duty: 2,
+                phase: 0
+            }
+            .to_string(),
+            "intermittent-stuck"
+        );
+        assert_eq!(
+            FaultKind::TransientBurst {
+                flips: 3,
+                spacing: 4
+            }
+            .to_string(),
+            "transient-burst"
+        );
+    }
+
+    #[test]
+    fn permanence_and_time_variance_partition_the_kinds() {
+        for kind in FaultKind::ALL {
+            assert!(kind.is_permanent());
+            assert!(!kind.is_time_varying());
+        }
+        assert!(!FaultKind::TransientFlip.is_permanent());
+        assert!(!FaultKind::TransientFlip.is_time_varying());
+        let intermittent = FaultKind::IntermittentStuck {
+            level: false,
+            period: 4,
+            duty: 1,
+            phase: 0,
+        };
+        let burst = FaultKind::TransientBurst {
+            flips: 2,
+            spacing: 3,
+        };
+        for kind in [intermittent, burst] {
+            assert!(!kind.is_permanent());
+            assert!(kind.is_time_varying());
+        }
+    }
+
+    #[test]
+    fn intermittent_duty_cycle_schedule() {
+        // period 4, duty 2, phase 0, injected at cycle 10: asserted on
+        // cycles 10,11, released on 12,13, asserted again 14,15, ...
+        let kind = FaultKind::IntermittentStuck {
+            level: true,
+            period: 4,
+            duty: 2,
+            phase: 0,
+        };
+        let on: Vec<bool> = (10..18).map(|c| kind.asserted_at(10, c)).collect();
+        assert_eq!(on, [true, true, false, false, true, true, false, false]);
+        assert!(!kind.asserted_at(10, 9), "never asserted before injection");
+        // phase 3 shifts the window: schedule position at injection is 3,
+        // so the fault starts released and asserts at cycle 11 (pos 0).
+        let shifted = FaultKind::IntermittentStuck {
+            level: true,
+            period: 4,
+            duty: 2,
+            phase: 3,
+        };
+        assert!(!shifted.asserted_at(10, 10));
+        assert!(shifted.asserted_at(10, 11));
+        assert!(shifted.asserted_at(10, 12));
+        assert!(!shifted.asserted_at(10, 13));
+    }
+
+    #[test]
+    fn intermittent_apply_forces_only_while_asserted() {
+        let kind = FaultKind::IntermittentStuck {
+            level: true,
+            period: 4,
+            duty: 2,
+            phase: 0,
+        };
+        let mut f = ActiveFault::new(Fault {
+            net: NetId::from_raw(0),
+            bit: 1,
+            kind,
+            from_cycle: 10,
+        });
+        f.active = true;
+        assert_eq!(f.apply(0b000, 10), 0b010, "asserted window forces the bit");
+        assert_eq!(f.apply(0b000, 12), 0b000, "released window is transparent");
+        let low = FaultKind::IntermittentStuck {
+            level: false,
+            period: 4,
+            duty: 2,
+            phase: 0,
+        };
+        f.fault.kind = low;
+        assert_eq!(f.apply(0b111, 10), 0b101, "level=0 forces the bit low");
+        assert_eq!(f.apply(0b111, 12), 0b111);
+    }
+
+    #[test]
+    fn parameter_validation_is_canonical() {
+        let good = FaultKind::IntermittentStuck {
+            level: true,
+            period: 8,
+            duty: 8,
+            phase: 7,
+        };
+        assert!(good.validate().is_ok());
+        let zero_period = FaultKind::IntermittentStuck {
+            level: true,
+            period: 0,
+            duty: 1,
+            phase: 0,
+        };
+        assert!(zero_period.validate().is_err());
+        let duty_over = FaultKind::IntermittentStuck {
+            level: true,
+            period: 4,
+            duty: 5,
+            phase: 0,
+        };
+        assert!(duty_over.validate().is_err());
+        let phase_over = FaultKind::IntermittentStuck {
+            level: true,
+            period: 4,
+            duty: 1,
+            phase: 4,
+        };
+        assert!(phase_over.validate().is_err());
+        assert!(FaultKind::TransientBurst {
+            flips: 0,
+            spacing: 1
+        }
+        .validate()
+        .is_err());
+        assert!(FaultKind::TransientBurst {
+            flips: 1,
+            spacing: 0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultKind::TransientBurst {
+            flips: 1,
+            spacing: 1
+        }
+        .validate()
+        .is_ok());
+        for kind in FaultKind::ALL {
+            assert!(kind.validate().is_ok());
+        }
+        assert!(FaultKind::TransientFlip.validate().is_ok());
+    }
+
+    #[test]
+    fn latest_activation_tracks_the_schedule() {
+        for kind in FaultKind::ALL {
+            assert_eq!(kind.latest_activation_at(10, 100), 10);
+        }
+        assert_eq!(FaultKind::TransientFlip.latest_activation_at(10, 100), 10);
+        let intermittent = FaultKind::IntermittentStuck {
+            level: true,
+            period: 4,
+            duty: 2,
+            phase: 0,
+        };
+        // Windows assert at 10, 14, 18, ...: a detection at cycle 15
+        // measures latency from the window start at 14.
+        assert_eq!(intermittent.latest_activation_at(10, 15), 14);
+        assert_eq!(intermittent.latest_activation_at(10, 10), 10);
+        assert_eq!(intermittent.latest_activation_at(10, 13), 10);
+        assert_eq!(intermittent.latest_activation_at(10, 9), 10, "clamped");
+        let burst = FaultKind::TransientBurst {
+            flips: 3,
+            spacing: 4,
+        };
+        // Flips at 10, 14, 18; no further flips after the train ends.
+        assert_eq!(burst.latest_activation_at(10, 11), 10);
+        assert_eq!(burst.latest_activation_at(10, 14), 14);
+        assert_eq!(burst.latest_activation_at(10, 1000), 18);
     }
 }

@@ -186,7 +186,7 @@ impl<T> NetPool<T> {
             let mut value = raw;
             for f in &self.faults {
                 if f.fault.net == id {
-                    value = f.apply(value);
+                    value = f.apply(value, self.cycle);
                 }
             }
             if !self.bridges.is_empty() {
@@ -239,7 +239,9 @@ impl<T> NetPool<T> {
     ///
     /// # Panics
     ///
-    /// Panics if the bit position is outside the net's width.
+    /// Panics if the bit position is outside the net's width, or the
+    /// kind's parameters are out of their canonical range (see
+    /// [`FaultKind::validate`]).
     pub fn inject(&mut self, fault: Fault) {
         assert!(
             fault.bit < self.meta[fault.net.0 as usize].width,
@@ -248,6 +250,9 @@ impl<T> NetPool<T> {
             self.meta[fault.net.0 as usize].name,
             self.meta[fault.net.0 as usize].width
         );
+        if let Err(reason) = fault.kind.validate() {
+            panic!("invalid fault parameters: {reason}");
+        }
         self.faults.push(ActiveFault::new(fault));
         self.fault_net = if self.faults.len() == 1 {
             Some(fault.net)
@@ -394,8 +399,31 @@ impl<T> NetPool<T> {
                     // A single-event upset: corrupt the stored value once.
                     self.values[net.0 as usize] = raw ^ (1 << bit);
                 }
+                FaultKind::TransientBurst { .. } => self.advance_burst(idx),
                 _ => {}
             }
+        }
+    }
+
+    /// Apply every due-but-unapplied flip of a transient-burst train to
+    /// the stored value. Flip `k` (0-indexed) lands when the clock
+    /// reaches `from_cycle + k * spacing`; injecting after some flips
+    /// are already due applies them all at once, mirroring the
+    /// immediate-activation semantics of [`NetPool::inject`] for the
+    /// single transient flip (note the parity collapse: two overdue
+    /// flips cancel).
+    fn advance_burst(&mut self, idx: usize) {
+        let FaultKind::TransientBurst { flips, spacing } = self.faults[idx].fault.kind else {
+            return;
+        };
+        let from = self.faults[idx].fault.from_cycle;
+        let net = self.faults[idx].fault.net.0 as usize;
+        let bit = self.faults[idx].fault.bit;
+        while self.faults[idx].flips_done < flips
+            && self.cycle >= from + u64::from(self.faults[idx].flips_done) * spacing
+        {
+            self.values[net] ^= 1 << bit;
+            self.faults[idx].flips_done += 1;
         }
     }
 
@@ -416,8 +444,15 @@ impl<T> NetPool<T> {
     pub fn tick(&mut self) {
         self.cycle += 1;
         for idx in 0..self.faults.len() {
-            if !self.faults[idx].active && self.cycle >= self.faults[idx].fault.from_cycle {
-                self.activate(idx);
+            if !self.faults[idx].active {
+                if self.cycle >= self.faults[idx].fault.from_cycle {
+                    self.activate(idx);
+                }
+            } else if matches!(
+                self.faults[idx].fault.kind,
+                FaultKind::TransientBurst { .. }
+            ) {
+                self.advance_burst(idx);
             }
         }
         for (bridge, active) in &mut self.bridges {
@@ -644,6 +679,201 @@ mod tests {
         // restored raw value right away, as inject() documents.
         pool.write(n, 0b0010);
         assert_eq!(pool.read(n), 0b0000, "held bit frozen at restored value");
+    }
+
+    #[test]
+    fn intermittent_stuck_asserts_and_releases_on_schedule() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 1, ());
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::IntermittentStuck {
+                level: true,
+                period: 4,
+                duty: 2,
+                phase: 0,
+            },
+            from_cycle: 2,
+        });
+        pool.write(n, 0);
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            seen.push(pool.read(n));
+            pool.tick();
+        }
+        // Cycles 0..10: released before injection at 2, then 2 on / 2 off.
+        assert_eq!(seen, [0, 0, 1, 1, 0, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn intermittent_behaves_identically_after_restore() {
+        // The same fault injected over a restored checkpoint must produce
+        // the same read sequence as one injected on a run from reset —
+        // the property the fork engine relies on.
+        let mut fresh: NetPool<()> = NetPool::new();
+        let n = fresh.net("n", 1, ());
+        let kind = FaultKind::IntermittentStuck {
+            level: true,
+            period: 3,
+            duty: 1,
+            phase: 1,
+        };
+        let mut restored = fresh.clone();
+        let saved = {
+            let mut p = fresh.clone();
+            p.tick_many(5);
+            p.checkpoint()
+        };
+        fresh.inject(Fault {
+            net: n,
+            bit: 0,
+            kind,
+            from_cycle: 4,
+        });
+        fresh.tick_many(5); // from reset, through the injection instant
+        restored.restore(&saved); // jump straight to cycle 5
+        restored.inject(Fault {
+            net: n,
+            bit: 0,
+            kind,
+            from_cycle: 4,
+        });
+        for _ in 0..9 {
+            assert_eq!(restored.read(n), fresh.read(n));
+            assert_eq!(restored.cycle(), fresh.cycle());
+            fresh.tick();
+            restored.tick();
+        }
+    }
+
+    #[test]
+    fn burst_flips_land_on_the_spacing_grid() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 1, ());
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::TransientBurst {
+                flips: 3,
+                spacing: 2,
+            },
+            from_cycle: 1,
+        });
+        pool.write(n, 0);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            seen.push(pool.read(n));
+            pool.tick();
+        }
+        // Flips at cycles 1, 3, 5: value toggles 0->1->0->1 and then
+        // holds (the train is exhausted).
+        assert_eq!(seen, [0, 1, 1, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn burst_with_one_flip_matches_transient_flip() {
+        let mut burst: NetPool<()> = NetPool::new();
+        let mut single: NetPool<()> = NetPool::new();
+        let nb = burst.net("n", 4, ());
+        let ns = single.net("n", 4, ());
+        burst.write(nb, 0b1010);
+        single.write(ns, 0b1010);
+        burst.inject(Fault {
+            net: nb,
+            bit: 3,
+            kind: FaultKind::TransientBurst {
+                flips: 1,
+                spacing: 7,
+            },
+            from_cycle: 2,
+        });
+        single.inject(Fault {
+            net: ns,
+            bit: 3,
+            kind: FaultKind::TransientFlip,
+            from_cycle: 2,
+        });
+        for _ in 0..6 {
+            assert_eq!(burst.read(nb), single.read(ns));
+            burst.tick();
+            single.tick();
+        }
+    }
+
+    #[test]
+    fn overdue_burst_flips_apply_at_once_on_injection() {
+        // Injecting past the train start applies every due flip
+        // immediately; an even number of overdue flips cancels (parity),
+        // mirroring immediate activation of the single transient flip.
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 1, ());
+        pool.write(n, 0);
+        pool.tick_many(10);
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::TransientBurst {
+                flips: 3,
+                spacing: 4,
+            },
+            from_cycle: 1,
+        });
+        // Flips at 1, 5, 9 are all due at cycle 10: odd count -> flipped.
+        assert_eq!(pool.read(n), 1);
+    }
+
+    #[test]
+    fn burst_rearms_after_restore_like_a_fresh_run() {
+        let mut fresh: NetPool<()> = NetPool::new();
+        let n = fresh.net("n", 1, ());
+        let mut restored = fresh.clone();
+        let kind = FaultKind::TransientBurst {
+            flips: 2,
+            spacing: 3,
+        };
+        let saved = {
+            let mut p = fresh.clone();
+            p.tick_many(4);
+            p.checkpoint()
+        };
+        fresh.inject(Fault {
+            net: n,
+            bit: 0,
+            kind,
+            from_cycle: 6,
+        });
+        fresh.tick_many(4);
+        restored.restore(&saved);
+        restored.inject(Fault {
+            net: n,
+            bit: 0,
+            kind,
+            from_cycle: 6,
+        });
+        for _ in 0..8 {
+            assert_eq!(restored.read(n), fresh.read(n));
+            fresh.tick();
+            restored.tick();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault parameters")]
+    fn invalid_intermittent_parameters_rejected() {
+        let mut pool: NetPool<()> = NetPool::new();
+        let n = pool.net("n", 1, ());
+        pool.inject(Fault {
+            net: n,
+            bit: 0,
+            kind: FaultKind::IntermittentStuck {
+                level: true,
+                period: 4,
+                duty: 5,
+                phase: 0,
+            },
+            from_cycle: 0,
+        });
     }
 
     #[test]

@@ -199,7 +199,25 @@ fn interruptible_sleep(flags: &Flags, ms: u64) -> bool {
     !flags.killed.load(Ordering::SeqCst)
 }
 
+/// The heartbeat interval for one beat: the coordinator-assigned cadence
+/// with a deterministic per-runner, per-beat jitter of up to ±25%. A
+/// fleet of runners registered in the same instant would otherwise beat
+/// in lockstep and hammer the coordinator with synchronized bursts; the
+/// jitter is drawn from `(runner_id, beat)` so a run replays exactly.
+fn jittered_heartbeat_ms(heartbeat_ms: u64, runner_id: u64, beat: u64) -> u64 {
+    let base = heartbeat_ms.max(1);
+    let quarter = base / 4;
+    if quarter == 0 {
+        return base;
+    }
+    let mut rng = SplitMix64::new(runner_id ^ beat.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let offset = rng.next_u64() % (2 * quarter + 1);
+    // base - quarter ..= base + quarter, never below 1.
+    (base - quarter + offset).max(1)
+}
+
 fn heartbeat_loop(config: &RunnerConfig, registered: Registered, flags: &Flags) {
+    let mut beat = 0u64;
     loop {
         if flags.killed.load(Ordering::SeqCst) || flags.finished.load(Ordering::SeqCst) {
             return;
@@ -209,7 +227,9 @@ fn heartbeat_loop(config: &RunnerConfig, registered: Registered, flags: &Flags) 
             let _ = client::fleet_heartbeat(&config.coordinator, registered.runner_id, lease);
         }
         // Slices keep kill latency well under the heartbeat interval.
-        let _ = interruptible_sleep(flags, registered.heartbeat_ms.max(1));
+        let interval = jittered_heartbeat_ms(registered.heartbeat_ms, registered.runner_id, beat);
+        beat = beat.wrapping_add(1);
+        let _ = interruptible_sleep(flags, interval);
     }
 }
 
@@ -474,6 +494,33 @@ mod tests {
             kinds.iter().all(|&n| n > 0),
             "all behaviors drawn: {kinds:?}"
         );
+    }
+
+    #[test]
+    fn heartbeat_jitter_is_bounded_deterministic_and_desynchronized() {
+        // Bounds: every beat lands within ±25% of the cadence.
+        for beat in 0..256 {
+            let ms = jittered_heartbeat_ms(100, 7, beat);
+            assert!((75..=125).contains(&ms), "beat {beat} drew {ms}ms");
+            assert_eq!(
+                ms,
+                jittered_heartbeat_ms(100, 7, beat),
+                "same (runner, beat) replays"
+            );
+        }
+        // Desynchronization: two runners on the same cadence do not share
+        // a schedule, and one runner varies across beats.
+        let a: Vec<u64> = (0..32).map(|b| jittered_heartbeat_ms(100, 1, b)).collect();
+        let b: Vec<u64> = (0..32).map(|b| jittered_heartbeat_ms(100, 2, b)).collect();
+        assert_ne!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+        // Degenerate cadences stay sane: never a zero sleep.
+        assert_eq!(jittered_heartbeat_ms(0, 1, 0), 1);
+        for cadence in 1..8 {
+            for beat in 0..16 {
+                assert!(jittered_heartbeat_ms(cadence, 3, beat) >= 1);
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The campaign request: everything a client must say to name a
 //! campaign, and its canonical JSON form.
 
-use fault_inject::wire::{escape_json, kind_from_name, Json};
-use fault_inject::{Campaign, InjectionInstant, SafetyConfig, Target};
+use fault_inject::wire::{escape_json, kind_from_token, kind_to_token, Json};
+use fault_inject::{AttackTarget, Campaign, InjectionInstant, SafetyConfig, Target};
 use rtl_sim::FaultKind;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -12,12 +12,18 @@ use workloads::{Benchmark, Params};
 ///
 /// The JSON form uses the workspace's own names throughout: benchmarks as
 /// `Benchmark::name` (`"rspeed"`), targets as the CLI tokens
-/// (`"iu"`/`"cmem"`/`"whole"`), fault kinds as `FaultKind::name`
-/// (`"stuck-at-1"`). Everything except `benchmark` and `target` is
-/// optional:
+/// (`"iu"`/`"cmem"`/`"whole"`), fault kinds as the wire tokens of
+/// `fault_inject::wire::kind_to_token` — the plain `FaultKind::name`
+/// for parameterless kinds (`"stuck-at-1"`), the parameterized form for
+/// time-varying ones (`"intermittent-stuck(level=1,period=8,duty=2,phase=0)"`,
+/// `"transient-burst(flips=3,spacing=4)"`). An optional `targets` list of
+/// attack-surface classes (`"branch"`/`"psr"`/`"pc"`) restricts the fault
+/// universe to those semantic nets. Everything except `benchmark` and
+/// `target` is optional:
 ///
 /// ```json
 /// {"benchmark":"rspeed","target":"iu","kinds":["stuck-at-1"],
+///  "targets":["branch","psr"],
 ///  "sample":40,"seed":7,"injection_fraction":0.3,
 ///  "lockstep_window":64,"parity":true,"watchdog_cycles":50000,
 ///  "deadline_ms":2000,"shard_index":0,"shard_count":2}
@@ -30,6 +36,11 @@ pub struct CampaignSpec {
     pub target: Target,
     /// The fault models (all permanent models when absent on the wire).
     pub kinds: Vec<FaultKind>,
+    /// Optional attack-surface classes restricting the fault universe to
+    /// semantically meaningful nets (see `Campaign::with_attack_targets`);
+    /// full domain enumeration when absent. Held in canonical (sorted,
+    /// deduplicated) order.
+    pub targets: Option<Vec<AttackTarget>>,
     /// Optional `(sample, seed)` site sampling; exhaustive when absent.
     pub sample: Option<(usize, u64)>,
     /// When the faults appear (cycle 0 when absent on the wire).
@@ -58,6 +69,7 @@ impl CampaignSpec {
             benchmark,
             target,
             kinds: FaultKind::ALL.to_vec(),
+            targets: None,
             sample: None,
             injection: InjectionInstant::Cycle(0),
             checkpoint_stride: None,
@@ -83,9 +95,19 @@ impl CampaignSpec {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(s, "\"{}\"", kind.name());
+            let _ = write!(s, "\"{}\"", kind_to_token(*kind));
         }
         s.push(']');
+        if let Some(targets) = &self.targets {
+            s.push_str(",\"targets\":[");
+            for (i, target) in targets.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\"", target.token());
+            }
+            s.push(']');
+        }
         if let Some((n, seed)) = self.sample {
             let _ = write!(s, ",\"sample\":{n},\"seed\":{seed}");
         }
@@ -152,10 +174,27 @@ impl CampaignSpec {
             Some(items) => items
                 .iter()
                 .map(|item| {
-                    let name = item.as_str().ok_or("`kinds` items must be strings")?;
-                    kind_from_name(name).ok_or_else(|| format!("unknown fault kind `{name}`"))
+                    let token = item.as_str().ok_or("`kinds` items must be strings")?;
+                    kind_from_token(token)
                 })
                 .collect::<Result<Vec<FaultKind>, String>>()?,
+        };
+        let targets = match v.get_array("targets") {
+            None => None,
+            Some(items) => {
+                let mut targets = items
+                    .iter()
+                    .map(|item| {
+                        let token = item.as_str().ok_or("`targets` items must be strings")?;
+                        AttackTarget::from_token(token).ok_or_else(|| {
+                            format!("unknown attack target `{token}` (branch, psr or pc)")
+                        })
+                    })
+                    .collect::<Result<Vec<AttackTarget>, String>>()?;
+                targets.sort();
+                targets.dedup();
+                Some(targets)
+            }
         };
         let sample = match (v.get_u64("sample"), v.get_u64("seed")) {
             (Some(n), Some(seed)) => Some((n as usize, seed)),
@@ -187,6 +226,7 @@ impl CampaignSpec {
             benchmark,
             target,
             kinds,
+            targets,
             sample,
             injection,
             checkpoint_stride: v.get_u64("checkpoint_stride"),
@@ -202,6 +242,9 @@ impl CampaignSpec {
         let mut campaign = Campaign::new(self.benchmark.program(&Params::default()), self.target)
             .with_kinds(&self.kinds)
             .with_safety(self.safety);
+        if let Some(targets) = &self.targets {
+            campaign = campaign.with_attack_targets(targets);
+        }
         if let Some((n, seed)) = self.sample {
             campaign = campaign.with_sample(n, seed);
         }
@@ -270,7 +313,24 @@ mod tests {
     #[test]
     fn spec_round_trips() {
         let mut spec = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
-        spec.kinds = vec![FaultKind::StuckAt1, FaultKind::OpenLine];
+        spec.kinds = vec![
+            FaultKind::StuckAt1,
+            FaultKind::OpenLine,
+            FaultKind::IntermittentStuck {
+                level: true,
+                period: 8,
+                duty: 2,
+                phase: 3,
+            },
+            FaultKind::TransientBurst {
+                flips: 3,
+                spacing: 40,
+            },
+        ];
+        spec.targets = Some(vec![
+            AttackTarget::BranchCondition,
+            AttackTarget::StatusRegister,
+        ]);
         spec.sample = Some((40, 7));
         spec.injection = InjectionInstant::Fraction(0.3);
         spec.checkpoint_stride = Some(10_000);
@@ -337,9 +397,64 @@ mod tests {
             r#"{"benchmark":"rspeed","target":"iu","injection_cycle":5,"injection_fraction":0.5}"#,
             r#"{"benchmark":"rspeed","target":"iu","shard_index":0}"#,
             r#"{"benchmark":"rspeed","target":"iu","kinds":["bitrot"]}"#,
+            // Out-of-range and malformed parameterized kind tokens.
+            r#"{"benchmark":"rspeed","target":"iu","kinds":["intermittent-stuck(level=1,period=4,duty=9,phase=0)"]}"#,
+            r#"{"benchmark":"rspeed","target":"iu","kinds":["transient-burst(flips=0,spacing=1)"]}"#,
+            r#"{"benchmark":"rspeed","target":"iu","kinds":["transient-burst(spacing=1,flips=2)"]}"#,
+            r#"{"benchmark":"rspeed","target":"iu","targets":["alu"]}"#,
         ] {
             assert!(CampaignSpec::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn targets_normalize_and_change_the_fingerprint() {
+        let mut a = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+        a.kinds = vec![FaultKind::StuckAt1];
+        a.sample = Some((10, 3));
+        let mut b = a.clone();
+        b.targets = Some(vec![AttackTarget::BranchCondition]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert!(!a.to_json().contains("targets"));
+        assert!(b.to_json().contains(",\"targets\":[\"branch\"]"));
+        // The wire accepts any order and duplicates; the parsed spec (and
+        // its canonical bytes) are sorted and deduplicated.
+        let spec = CampaignSpec::parse(
+            r#"{"benchmark":"rspeed","target":"iu","targets":["psr","branch","psr"]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.targets,
+            Some(vec![
+                AttackTarget::BranchCondition,
+                AttackTarget::StatusRegister
+            ])
+        );
+        assert!(spec.to_json().contains(",\"targets\":[\"branch\",\"psr\"]"));
+    }
+
+    #[test]
+    fn time_varying_kind_parameters_enter_the_fingerprint() {
+        // Two intermittent campaigns differing only in duty cycle run
+        // different fault schedules — they must not share cached results.
+        let mut a = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+        a.kinds = vec![FaultKind::IntermittentStuck {
+            level: true,
+            period: 8,
+            duty: 2,
+            phase: 0,
+        }];
+        a.sample = Some((10, 3));
+        let mut b = a.clone();
+        b.kinds = vec![FaultKind::IntermittentStuck {
+            level: true,
+            period: 8,
+            duty: 4,
+            phase: 0,
+        }];
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.to_json(), b.to_json());
     }
 
     #[test]

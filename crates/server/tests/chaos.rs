@@ -51,9 +51,41 @@ fn wait_terminal(addr: &str, id: u64) -> verifd::FleetStatus {
     }
 }
 
+fn intermittent_chaos_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+    spec.kinds = vec![
+        FaultKind::IntermittentStuck {
+            level: true,
+            period: 400,
+            duty: 100,
+            phase: 0,
+        },
+        FaultKind::TransientBurst {
+            flips: 3,
+            spacing: 80,
+        },
+    ];
+    spec.sample = Some((5, 11));
+    spec.injection = InjectionInstant::Fraction(0.3);
+    spec
+}
+
+/// The time-varying chaos property: crashes, stalls and truncated-journal
+/// uploads mid-shard may never change a reported byte of an intermittent
+/// campaign. A re-leased shard resumes from its partial journal, so this
+/// is exactly where a restore that mis-reconstructed a duty-cycle window
+/// or a flip train would surface as divergence.
+#[test]
+fn no_chaos_schedule_changes_an_intermittent_byte() {
+    run_chaos_schedules(&intermittent_chaos_spec(), &[23u64]);
+}
+
 #[test]
 fn no_chaos_schedule_produces_wrong_results() {
-    let base = chaos_spec();
+    run_chaos_schedules(&chaos_spec(), &[7u64, 19, 42]);
+}
+
+fn run_chaos_schedules(base: &CampaignSpec, seeds: &[u64]) {
     // The ground truth each stored shard must match, computed once.
     let local_shards: Vec<_> = (0..SHARDS)
         .map(|index| {
@@ -64,7 +96,7 @@ fn no_chaos_schedule_produces_wrong_results() {
         .collect();
     let local_full = base.to_campaign().try_run(2).expect("local full run");
 
-    for seed in [7u64, 19, 42] {
+    for &seed in seeds {
         let dir = tempdir(&format!("seed{seed}"));
         let coordinator = Coordinator::start(CoordinatorConfig {
             lease_ttl_ms: 300,
@@ -79,7 +111,7 @@ fn no_chaos_schedule_produces_wrong_results() {
         })
         .expect("bind coordinator");
         let addr = coordinator.addr().to_string();
-        let submitted = client::fleet_submit(&addr, &base, SHARDS).expect("submit");
+        let submitted = client::fleet_submit(&addr, base, SHARDS).expect("submit");
 
         let runners: Vec<Runner> = (0..2)
             .map(|i| {

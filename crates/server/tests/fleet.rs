@@ -1,7 +1,8 @@
 //! Fleet end-to-end tests: a real coordinator and real runners on
 //! loopback, including the kill-recovery acceptance test.
 
-use fault_inject::{InjectionInstant, Target};
+use fault_inject::{AttackTarget, InjectionInstant, Target};
+use rtl_sim::FaultKind;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use verifd::{client, CampaignSpec, Coordinator, CoordinatorConfig, Runner, RunnerConfig};
@@ -11,6 +12,33 @@ fn small_spec() -> CampaignSpec {
     let mut spec = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
     spec.sample = Some((8, 3));
     spec.injection = InjectionInstant::Fraction(0.25);
+    spec
+}
+
+/// A targeted intermittent campaign: the time-varying schedule plus the
+/// attack-surface restriction both ride the spec wire form, so a fleet
+/// shard of this spec must reconstruct the exact duty-cycle assertion
+/// windows the unsharded run sees.
+fn time_varying_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(Benchmark::Rspeed, Target::IntegerUnit);
+    spec.kinds = vec![
+        FaultKind::IntermittentStuck {
+            level: true,
+            period: 400,
+            duty: 100,
+            phase: 0,
+        },
+        FaultKind::TransientBurst {
+            flips: 3,
+            spacing: 80,
+        },
+    ];
+    spec.targets = Some(vec![
+        AttackTarget::BranchCondition,
+        AttackTarget::StatusRegister,
+    ]);
+    spec.sample = Some((8, 5));
+    spec.injection = InjectionInstant::Fraction(0.3);
     spec
 }
 
@@ -144,6 +172,74 @@ fn killed_runner_recovers_bit_identically() {
     assert_eq!(status.campaign.expect("merged").result, local);
     assert_eq!(stat(&addr, "leases_granted"), 0);
     revived.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn intermittent_targeted_campaign_survives_a_mid_shard_kill_bit_identically() {
+    // The time-varying acceptance property at fleet scope: an
+    // intermittent + burst spec with attack targets, sharded across two
+    // runners with one killed mid-shard, merges bit-identical to the
+    // unsharded single-process run. The shard that dies is re-leased and
+    // re-run from its journal grant — any drift in how a restored shard
+    // reconstructs the duty-cycle schedule or flip train would change a
+    // merged byte here.
+    let dir = tempdir("tv-kill");
+    let coordinator = Coordinator::start(fast_config(&dir)).expect("bind coordinator");
+    let addr = coordinator.addr().to_string();
+    let base = time_varying_spec();
+
+    let submitted = client::fleet_submit(&addr, &base, 2).expect("submit fleet");
+    assert_eq!(submitted.status, "queued");
+
+    // Runner A takes shard 0 and holds without simulating — the kill
+    // window; runner B does the real work, including the retried shard.
+    let holder = Runner::start(RunnerConfig {
+        hold_ms: 120_000,
+        ..runner_config(&addr, &dir, "holder")
+    })
+    .expect("start holder");
+    wait_for_stat(&addr, "leases_active", 1);
+    let worker = Runner::start(runner_config(&addr, &dir, "worker")).expect("start worker");
+    holder.kill();
+
+    let status = client::fleet_wait(&addr, submitted.id).expect("wait");
+    assert_eq!(status.status, "done");
+    assert_eq!((status.done, status.total), (2, 2));
+    let merged = status.campaign.expect("done campaign carries the merge");
+
+    let local = base.to_campaign().try_run(2).expect("local run");
+    assert_eq!(merged.result, local);
+    assert_eq!(merged.fingerprint, base.fingerprint());
+    // Byte-level: the canonical wire form of the merge equals the local
+    // run's, so no reported byte moved under the kill.
+    let local_wire = fault_inject::wire::ShardResult {
+        fingerprint: base.fingerprint(),
+        index: 0,
+        count: 1,
+        result: local.clone(),
+    };
+    assert_eq!(merged.to_json(), local_wire.to_json());
+    // The equivalence is not vacuous: both time-varying kinds appear in
+    // the merged records, and the kill really did expire a lease.
+    let kinds: Vec<FaultKind> = merged.result.records().iter().map(|r| r.kind).collect();
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, FaultKind::IntermittentStuck { .. })));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, FaultKind::TransientBurst { .. })));
+    assert!(
+        stat(&addr, "leases_expired") >= 1,
+        "the kill expired a lease"
+    );
+    assert!(
+        stat(&addr, "leases_retried") >= 1,
+        "the shard was re-queued"
+    );
+
+    worker.stop();
+    coordinator.shutdown().expect("shutdown");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
