@@ -1,0 +1,169 @@
+//! The fitted diversity→Pf correlation model — the paper's headline
+//! artifact (`Pf = a·ln(D) + b`, Fig. 7) as a first-class value.
+//!
+//! [`FittedModel`] packages the [`log_fit`] coefficients together with
+//! everything a *served* predictor needs: the sample count, the
+//! per-point residuals (the honest error band around a prediction) and
+//! a clamped [`FittedModel::predict`]. The struct is pure data — wire
+//! serialization lives next to the campaign wire formats, which depend
+//! on this crate.
+
+use crate::regression::{log_fit, FitError, Regression};
+
+/// One calibration point of the correlation sweep: a workload's
+/// ISS-measured instruction diversity paired with its RTL-measured
+/// failure probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationPoint {
+    /// Human-readable point label (benchmark name, plus dataset index
+    /// when the sweep spans input datasets).
+    pub label: String,
+    /// Instruction diversity `D` (distinct opcodes executed on the ISS).
+    pub diversity: f64,
+    /// Measured failure probability over the RTL campaign.
+    pub pf: f64,
+}
+
+/// The calibrated correlation model `Pf = a·ln(D) + b`, with its
+/// goodness-of-fit and residual structure.
+///
+/// The paper's Fig. 7 reports `a = 0.0838`, `b = −0.0191`,
+/// `R² = 0.9246`; a reproduction sweep produces its own triple plus the
+/// residual band the paper's scatter implies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedModel {
+    /// Slope `a` of the log fit.
+    pub a: f64,
+    /// Intercept `b` of the log fit.
+    pub b: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Number of calibration points.
+    pub n: usize,
+    /// Per-point residuals `pf - predict(diversity)`, in calibration
+    /// point order. Their extremes are the prediction's honest band.
+    pub residuals: Vec<f64>,
+}
+
+impl FittedModel {
+    /// Fit the model over calibration points.
+    ///
+    /// # Errors
+    ///
+    /// As [`log_fit`]: fewer than two points, constant diversity, or a
+    /// non-positive/non-finite diversity value.
+    pub fn fit(points: &[CorrelationPoint]) -> Result<FittedModel, FitError> {
+        let xs: Vec<f64> = points.iter().map(|p| p.diversity).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.pf).collect();
+        let fit = log_fit(&xs, &ys)?;
+        let residuals = points
+            .iter()
+            .map(|p| p.pf - fit.predict(p.diversity))
+            .collect();
+        Ok(FittedModel {
+            a: fit.slope,
+            b: fit.intercept,
+            r2: fit.r_squared,
+            n: points.len(),
+            residuals,
+        })
+    }
+
+    /// Predict `Pf` at diversity `d`, clamped to the probability range.
+    /// Non-positive diversity predicts 0 (nothing executed, nothing
+    /// propagates) rather than evaluating `ln` off its domain.
+    pub fn predict(&self, d: f64) -> f64 {
+        if d <= 0.0 {
+            return 0.0;
+        }
+        (self.a * d.ln() + self.b).clamp(0.0, 1.0)
+    }
+
+    /// The residual band: the largest absolute calibration residual. A
+    /// prediction is honestly reported as `pf ± band`.
+    pub fn band(&self) -> f64 {
+        self.residuals.iter().fold(0.0, |acc, r| acc.max(r.abs()))
+    }
+
+    /// The underlying [`Regression`] view (for [`Regression::equation`]
+    /// and friends).
+    pub fn regression(&self) -> Regression {
+        Regression {
+            slope: self.a,
+            intercept: self.b,
+            r_squared: self.r2,
+            logarithmic: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(label: &str, diversity: f64, pf: f64) -> CorrelationPoint {
+        CorrelationPoint {
+            label: label.to_string(),
+            diversity,
+            pf,
+        }
+    }
+
+    #[test]
+    fn exact_log_data_fits_perfectly() {
+        let points: Vec<CorrelationPoint> = [8.0f64, 11.0, 18.0, 20.0, 47.0]
+            .iter()
+            .map(|&d| point("p", d, 0.0838 * d.ln() - 0.0191))
+            .collect();
+        let model = FittedModel::fit(&points).unwrap();
+        assert!((model.a - 0.0838).abs() < 1e-10);
+        assert!((model.b + 0.0191).abs() < 1e-10);
+        assert!((model.r2 - 1.0).abs() < 1e-12);
+        assert_eq!(model.n, 5);
+        assert!(model.band() < 1e-12);
+        assert!(model.residuals.iter().all(|r| r.abs() < 1e-12));
+    }
+
+    #[test]
+    fn prediction_is_clamped_to_probabilities() {
+        let model = FittedModel {
+            a: 0.5,
+            b: -0.1,
+            r2: 0.9,
+            n: 4,
+            residuals: vec![0.01, -0.02, 0.0, 0.015],
+        };
+        assert_eq!(model.predict(0.0), 0.0);
+        assert_eq!(model.predict(-3.0), 0.0);
+        assert_eq!(model.predict(1e9), 1.0);
+        assert!(model.predict(2.0) > 0.0 && model.predict(2.0) < 1.0);
+        assert!((model.band() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residuals_measure_scatter() {
+        let points = vec![
+            point("a", 8.0, 0.10),
+            point("b", 18.0, 0.30),
+            point("c", 44.0, 0.28),
+            point("d", 45.0, 0.33),
+        ];
+        let model = FittedModel::fit(&points).unwrap();
+        assert!(model.r2 < 1.0);
+        assert!(model.band() > 0.0);
+        // Residuals are in point order and consistent with predict().
+        for (p, r) in points.iter().zip(&model.residuals) {
+            assert!((p.pf - (model.a * p.diversity.ln() + model.b) - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_sweeps_are_refused() {
+        let constant = vec![point("a", 10.0, 0.1), point("b", 10.0, 0.2)];
+        assert_eq!(FittedModel::fit(&constant), Err(FitError::Degenerate));
+        assert_eq!(
+            FittedModel::fit(&[point("a", 10.0, 0.1)]),
+            Err(FitError::NotEnoughData)
+        );
+    }
+}

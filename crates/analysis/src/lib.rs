@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 mod chart;
+mod correlation;
 mod histogram;
 mod regression;
 mod rng;
 mod stats;
 
 pub use chart::{bar_chart, grouped_bar_chart, scatter_plot, Series};
+pub use correlation::{CorrelationPoint, FittedModel};
 pub use histogram::Histogram;
 pub use regression::{linear_fit, log_fit, FitError, Regression};
 pub use rng::SplitMix64;

@@ -1,0 +1,66 @@
+//! Correlation sweep economics and fit quality: wall-clock of the
+//! Fig. 7 sweep as a first-class campaign, the fitted `Pf = a·ln(D) + b`
+//! coefficients per injection domain, and the deterministic CI gate
+//! (fork/full cycle ratio plus an R² floor). Writes
+//! `BENCH_correlation.json` at the repo root.
+
+use fault_inject::wire::{kind_to_token, target_to_token};
+use std::time::Instant;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let spec = bench::gate::correlation_gate_spec();
+
+    // Warm-up, then measure the end-to-end sweep (ISS measurement,
+    // golden captures, every cell campaign, the fit).
+    let _ = spec.run_report(threads).expect("sweep");
+    let start = Instant::now();
+    let report = spec.run_report(threads).expect("sweep");
+    let seconds = start.elapsed().as_secs_f64();
+
+    println!(
+        "sweep: {} cells, {} domains in {seconds:.2}s ({threads} threads)",
+        report.cells.len(),
+        report.domains.len(),
+    );
+    print!("{report}");
+
+    let mut entries = Vec::new();
+    for domain in &report.domains {
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"target\": \"{}\",\n",
+                "      \"kind\": \"{}\",\n",
+                "      \"a\": {:.4},\n",
+                "      \"b\": {:.4},\n",
+                "      \"r2\": {:.4},\n",
+                "      \"n\": {},\n",
+                "      \"band\": {:.4}\n",
+                "    }}"
+            ),
+            target_to_token(domain.target),
+            kind_to_token(domain.kind),
+            domain.model.a,
+            domain.model.b,
+            domain.model.r2,
+            domain.model.n,
+            domain.model.band(),
+        ));
+    }
+
+    // The deterministic regression gate: cycle economics + R² floor,
+    // checked in CI by `repro benchgate`.
+    let gate = bench::gate::correlation_baseline_json(&bench::gate::measure_correlation(threads));
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"sweep_seconds\": {:.3},\n  \"cells\": {},\n  \"gate\": {},\n  \"domains\": [\n{}\n  ]\n}}\n",
+        threads,
+        seconds,
+        report.cells.len(),
+        gate,
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_correlation.json");
+    std::fs::write(path, &json).expect("write BENCH_correlation.json");
+    println!("wrote {path}");
+}

@@ -67,7 +67,10 @@ pub fn config_from_env() -> ExperimentConfig {
 /// bench and checked by `repro benchgate`.
 pub mod gate {
     use fault_inject::wire::Json;
-    use fault_inject::{Campaign, Execution, GoldenRun, InjectionInstant, Target};
+    use fault_inject::{
+        merge_correlation_shards, Campaign, CorrelationSpec, Execution, GoldenRun,
+        InjectionInstant, Target,
+    };
     use leon3_model::Leon3Config;
     use rtl_sim::FaultKind;
     use std::fmt::Write as _;
@@ -288,6 +291,176 @@ pub mod gate {
         check_cases(bench_json, "checkpoint_tree", |name| {
             (name == CHECKPOINT_CASE).then(|| measure_checkpoint(threads).cycles_ratio() * perturb)
         })
+    }
+
+    /// The correlation gate case: the paper's Table 1 sweep (six kernels
+    /// plus their low-diversity excerpts), sampled small, stuck-at-1 at
+    /// IU nodes. One case gates two quantities — the sweep's fork/full
+    /// cycle economics and the fitted model's R².
+    pub const CORRELATION_CASE: &str = "table1-iu-stuck1";
+
+    /// Minimum acceptable R² of the gate sweep's best-correlating
+    /// domain, seeded into newly written baselines. As with the cycle
+    /// tolerance, the committed value in the file is authoritative at
+    /// check time.
+    pub const R2_FLOOR: f64 = 0.85;
+
+    /// The gate sweep: the default Fig. 7 cross-product under small
+    /// deterministic sampling and a mid-run injection instant (so the
+    /// fork engine has golden prefix to save).
+    pub fn correlation_gate_spec() -> CorrelationSpec {
+        let mut spec = CorrelationSpec::new();
+        spec.sample = Some((48, 0xd1));
+        spec.injection = InjectionInstant::Fraction(0.3);
+        spec
+    }
+
+    /// The correlation case's deterministic measurement: cycle economics
+    /// plus fit quality.
+    pub struct CorrelationMeasurement {
+        /// The case name ([`CORRELATION_CASE`]).
+        pub name: &'static str,
+        /// Cycles the fork engine simulated across every sweep cell.
+        pub fork_cycles: u64,
+        /// Cycles full re-execution simulated across every sweep cell.
+        pub full_cycles: u64,
+        /// R² of the sweep's best-correlating fitted domain.
+        pub r2: f64,
+    }
+
+    impl CorrelationMeasurement {
+        /// Fork cycles as a fraction of full-re-execution cycles.
+        pub fn cycles_ratio(&self) -> f64 {
+            self.fork_cycles as f64 / self.full_cycles as f64
+        }
+    }
+
+    /// Run the correlation gate sweep on both engines and fit its model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statically valid gate sweep fails to run or fit.
+    pub fn measure_correlation(threads: usize) -> CorrelationMeasurement {
+        let spec = correlation_gate_spec();
+        let shard = spec
+            .run(threads)
+            .expect("correlation gate sweep is statically valid");
+        let fork_cycles = shard
+            .results
+            .iter()
+            .map(|r| r.result.stats().cycles_simulated)
+            .sum();
+        let mut full_cycles = 0u64;
+        for (cell, target) in spec.jobs() {
+            let full = spec
+                .campaign(&cell, target)
+                .with_execution(Execution::FullReexecution)
+                .try_run(threads)
+                .expect("correlation gate sweep is statically valid");
+            full_cycles += full.stats().cycles_simulated;
+        }
+        let report = merge_correlation_shards(vec![shard]).expect("the gate sweep fits a model");
+        CorrelationMeasurement {
+            name: CORRELATION_CASE,
+            fork_cycles,
+            full_cycles,
+            r2: report.best_domain().model.r2,
+        }
+    }
+
+    /// Serialize the `gate` section for `BENCH_correlation.json`.
+    pub fn correlation_baseline_json(m: &CorrelationMeasurement) -> String {
+        format!(
+            concat!(
+                "{{\n    \"tolerance\": {},\n    \"r2_floor\": {},\n    \"cases\": [\n",
+                "      {{\n",
+                "        \"name\": \"{}\",\n",
+                "        \"fork_cycles\": {},\n",
+                "        \"full_cycles\": {},\n",
+                "        \"cycles_ratio\": {:.4},\n",
+                "        \"r2\": {:.4}\n",
+                "      }}\n    ]\n  }}"
+            ),
+            DEFAULT_TOLERANCE,
+            R2_FLOOR,
+            m.name,
+            m.fork_cycles,
+            m.full_cycles,
+            m.cycles_ratio(),
+            m.r2,
+        )
+    }
+
+    /// Check `BENCH_correlation.json`'s `gate` section: re-measure the
+    /// gate sweep and compare its cycle ratio against the committed
+    /// baseline **and** its fitted R² against the committed floor.
+    ///
+    /// `perturb` degrades both gated quantities — the measured ratio is
+    /// multiplied (a slower engine), the measured R² divided (a worse
+    /// fit) — so CI can prove both directions of the gate fire.
+    ///
+    /// # Errors
+    ///
+    /// A malformed baseline, an unknown case name, a (perturbed) ratio
+    /// above `baseline * (1 + tolerance)`, or a (perturbed) R² below
+    /// `r2_floor` fails the gate.
+    pub fn check_correlation(
+        bench_json: &str,
+        threads: usize,
+        perturb: f64,
+    ) -> Result<Vec<String>, Vec<String>> {
+        let v = Json::parse(bench_json).map_err(|e| vec![format!("baseline unreadable: {e}")])?;
+        let gate = v.get("gate").ok_or_else(|| {
+            vec!["baseline has no `gate` section (re-run the correlation_sweep bench)".to_string()]
+        })?;
+        let tolerance = gate
+            .get_f64("tolerance")
+            .ok_or_else(|| vec!["gate section has no `tolerance`".to_string()])?;
+        let r2_floor = gate
+            .get_f64("r2_floor")
+            .ok_or_else(|| vec!["gate section has no `r2_floor`".to_string()])?;
+        let cases = gate
+            .get_array("cases")
+            .ok_or_else(|| vec!["gate section has no `cases`".to_string()])?;
+        let mut report = Vec::new();
+        let mut failures = Vec::new();
+        for entry in cases {
+            let Some(name) = entry.get_str("name") else {
+                failures.push("gate case without a name".to_string());
+                continue;
+            };
+            let Some(baseline) = entry.get_f64("cycles_ratio") else {
+                failures.push(format!("gate case `{name}` has no cycles_ratio"));
+                continue;
+            };
+            if name != CORRELATION_CASE {
+                failures.push(format!("gate case `{name}` is unknown to this binary"));
+                continue;
+            }
+            let m = measure_correlation(threads);
+            let ratio = m.cycles_ratio() * perturb;
+            let r2 = m.r2 / perturb;
+            let limit = baseline * (1.0 + tolerance);
+            let ratio_line = format!(
+                "{name}: cycles_ratio {ratio:.4} vs baseline {baseline:.4} (limit {limit:.4})"
+            );
+            if ratio > limit {
+                failures.push(format!("REGRESSION {ratio_line}"));
+            } else {
+                report.push(format!("ok {ratio_line}"));
+            }
+            let r2_line = format!("{name}: r2 {r2:.4} (floor {r2_floor:.4})");
+            if r2 < r2_floor {
+                failures.push(format!("REGRESSION {r2_line}"));
+            } else {
+                report.push(format!("ok {r2_line}"));
+            }
+        }
+        if failures.is_empty() {
+            Ok(report)
+        } else {
+            Err(failures)
+        }
     }
 
     /// Shared gate walk: parse a baseline's `gate` section and compare

@@ -16,6 +16,13 @@
 //!              [--watchdog-cycles N] [--detach] [--json]
 //! repro merge  [--addr HOST:PORT] [--json] ID ID...
 //! repro fleet  coordinate|run|submit|status [--help] [verb flags...]
+//! repro correlate [--addr HOST:PORT] [--benchmarks a,b,..] [--targets iu,cmem]
+//!                 [--kinds KIND,..] [--datasets all|first|0,2] [--no-excerpts]
+//!                 [--sample N --seed N] [--injection-fraction F] [--shard I/N]
+//!                 [--threads N] [--detach] [--json]
+//! repro predict (--benchmark LABEL | --iss NAME | --histogram op=N,..)
+//!               [--addr HOST:PORT] [--target iu|cmem|whole] [--kind KIND]
+//!               [--fingerprint FP] [--json]
 //! repro benchgate [--baseline PATH] [--perturb F] [--threads N]
 //! repro netcheck [--deny dead-nets,graph-mismatch] [--threads N]
 //! ```
@@ -55,6 +62,15 @@
 //! fleet, and `status` polls or `--watch`-streams a fleet campaign.
 //! `repro fleet --help` prints the verb reference and exits 0.
 //!
+//! `correlate` runs the paper's Fig. 7 experiment as one command: the
+//! benchmarks × datasets × domains sweep, fitted to `Pf = a·ln(D) + b`
+//! per injection domain. Local by default; `--addr` submits to a
+//! running `verifd` service, which also caches the fitted model.
+//! `predict` then asks that service for a failure probability with
+//! **zero** simulated RTL cycles — by calibration-point label, from an
+//! explicit opcode histogram, or (`--iss NAME`) from a fresh local ISS
+//! run, the paper's full ISS-in/Pf-out workflow.
+//!
 //! `netcheck` is the static model lint gate: it audits the declared net
 //! graph (dead/unobservable nets, stuck-at equivalence classes,
 //! transient-safe latches), cross-checks it against the conformance
@@ -78,9 +94,14 @@ use correlation::experiments::{
 use correlation::extensions::{
     bridging_study, eq1_ablation, inject_study, iss_baseline, latent_study, transient_study,
 };
-use fault_inject::{Campaign, InjectionInstant, SafetyConfig, StaticAnalysis, Target};
+use fault_inject::wire::{kind_from_token, kind_to_token, target_from_token, target_to_token};
+use fault_inject::{
+    Campaign, CorrelationReport, CorrelationSpec, DatasetSelection, InjectionInstant,
+    PredictRequest, SafetyConfig, StaticAnalysis, Target,
+};
 use leon3_model::{Leon3, Leon3Config};
 use rtl_sim::FaultKind;
+use sparc_iss::{Iss, IssConfig, RunOutcome};
 use std::path::PathBuf;
 use std::time::Duration;
 use verifd::{
@@ -842,19 +863,355 @@ fn report_fleet_status(status: &verifd::FleetStatus, json: bool) {
     }
 }
 
+/// `repro correlate`: the Fig. 7 sweep as one command — run the
+/// benchmarks × datasets × domains cross-product, fit
+/// `Pf = a·ln(D) + b` per domain, and print the calibrated report.
+/// Local by default; `--addr` submits to a running service instead,
+/// which caches the fitted model for `repro predict`. `--shard I/N`
+/// cuts the sweep for distributed runs — each shard job goes through a
+/// service and `repro merge` of the shard ids fits the report.
+fn run_correlate(config: &ExperimentConfig, args: &[String]) {
+    let usage = "usage: repro correlate [--addr HOST:PORT] [--benchmarks a,b,..] \
+                 [--targets iu,cmem,whole] [--kinds KIND,..] [--datasets all|first|0,2] \
+                 [--no-excerpts] [--sample N --seed N] [--exhaustive] [--injection-cycle N] \
+                 [--injection-fraction F] [--shard I/N] [--threads N] [--detach] [--json]";
+    let mut addr: Option<String> = None;
+    let mut spec = CorrelationSpec::new();
+    spec.sample = Some((config.sample_per_campaign, config.seed));
+    spec.injection = InjectionInstant::Fraction(0.3);
+    let mut threads = config.threads;
+    let mut detach = false;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--benchmarks" => {
+                spec.benchmarks = value("--benchmarks")
+                    .split(',')
+                    .map(|name| {
+                        Benchmark::by_name(name).unwrap_or_else(|| {
+                            eprintln!("unknown benchmark `{name}`\n{usage}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--targets" => {
+                spec.targets = value("--targets")
+                    .split(',')
+                    .map(|token| {
+                        target_from_token(token).unwrap_or_else(|| {
+                            eprintln!("unknown target `{token}` (iu, cmem or whole)\n{usage}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--kinds" => {
+                spec.kinds = value("--kinds")
+                    .split(',')
+                    .map(|token| {
+                        kind_from_token(token).unwrap_or_else(|e| {
+                            eprintln!("{e}\n{usage}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--datasets" => {
+                let raw = value("--datasets");
+                spec.datasets = match raw.as_str() {
+                    "all" => DatasetSelection::All,
+                    "first" => DatasetSelection::First,
+                    list => DatasetSelection::List(
+                        list.split(',')
+                            .map(|d| {
+                                d.parse().unwrap_or_else(|_| {
+                                    eprintln!(
+                                        "`--datasets` is all, first or a comma list of \
+                                         indices, got `{raw}`\n{usage}"
+                                    );
+                                    std::process::exit(2);
+                                })
+                            })
+                            .collect(),
+                    ),
+                };
+            }
+            "--no-excerpts" => spec.include_excerpts = false,
+            "--sample" => {
+                let n = parse_usize("--sample", value("--sample"), usage);
+                let seed = spec.sample.map_or(config.seed, |(_, s)| s);
+                spec.sample = Some((n, seed));
+            }
+            "--seed" => {
+                let seed = parse_usize("--seed", value("--seed"), usage) as u64;
+                let n = spec.sample.map_or(config.sample_per_campaign, |(n, _)| n);
+                spec.sample = Some((n, seed));
+            }
+            "--exhaustive" => spec.sample = None,
+            "--injection-cycle" => {
+                spec.injection = InjectionInstant::Cycle(parse_usize(
+                    "--injection-cycle",
+                    value("--injection-cycle"),
+                    usage,
+                ) as u64);
+            }
+            "--injection-fraction" => {
+                let raw = value("--injection-fraction");
+                let f: f64 = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("`--injection-fraction` needs a number, got `{raw}`\n{usage}");
+                    std::process::exit(2);
+                });
+                spec.injection = InjectionInstant::Fraction(f);
+            }
+            "--shard" => {
+                let raw = value("--shard");
+                let parsed = raw
+                    .split_once('/')
+                    .and_then(|(i, n)| Some((i.parse::<u32>().ok()?, n.parse::<u32>().ok()?)));
+                match parsed {
+                    Some((i, n)) if n > 0 && i < n => spec.shard = Some((i, n)),
+                    _ => {
+                        eprintln!("`--shard` wants I/N with I < N, got `{raw}`\n{usage}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--threads" => {
+                threads = parse_usize("--threads", value("--threads"), usage).max(1);
+            }
+            "--detach" => detach = true,
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown correlate argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Normalize through the wire round-trip: sorts and dedups the axes,
+    // range-checks dataset indices, refuses empty lists.
+    spec = CorrelationSpec::parse(&spec.to_json()).unwrap_or_else(|e| {
+        eprintln!("invalid sweep: {e}\n{usage}");
+        std::process::exit(2);
+    });
+    let Some(addr) = addr else {
+        if spec.shard.is_some() {
+            eprintln!(
+                "sharded sweeps run on a service (--addr); merge the shard ids with \
+                 `repro merge`\n{usage}"
+            );
+            std::process::exit(2);
+        }
+        match spec.run_report(threads) {
+            Ok(report) => report_correlation(&report, json),
+            Err(e) => {
+                eprintln!("[repro] correlation sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    };
+    let reply = client::correlate(&addr, &spec).unwrap_or_else(|e| {
+        eprintln!("[repro] correlate failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[repro] correlation {} {} (fingerprint {})",
+        reply.id,
+        if reply.cached {
+            "cached"
+        } else {
+            &reply.status
+        },
+        spec.fingerprint()
+    );
+    if detach || spec.shard.is_some() {
+        println!("{}", reply.id);
+        return;
+    }
+    let report = client::wait_report(&addr, reply.id).unwrap_or_else(|e| {
+        eprintln!("[repro] correlation {} failed: {e}", reply.id);
+        std::process::exit(1);
+    });
+    report_correlation(&report, json);
+}
+
+/// Print one fitted correlation report, leading with the
+/// best-correlating domain (the acceptance headline).
+fn report_correlation(report: &CorrelationReport, json: bool) {
+    let best = report.best_domain();
+    eprintln!(
+        "[repro] best domain {} @ {}: R² = {:.4} over {} points (fingerprint {})",
+        kind_to_token(best.kind),
+        target_to_token(best.target),
+        best.model.r2,
+        best.model.n,
+        report.fingerprint
+    );
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+}
+
+/// `repro predict`: ask a running service for a failure-probability
+/// prediction with zero simulated RTL cycles — by calibration-point
+/// label, from an explicit opcode histogram, or from a fresh local ISS
+/// run of a benchmark.
+fn run_predict(args: &[String]) {
+    let usage = "usage: repro predict (--benchmark LABEL | --iss NAME | --histogram op=N,..) \
+                 [--addr HOST:PORT] [--target iu|cmem|whole] [--kind KIND] \
+                 [--fingerprint FP] [--json]";
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut benchmark: Option<String> = None;
+    let mut iss: Option<String> = None;
+    let mut histogram: Option<Vec<(String, u64)>> = None;
+    let mut target = Target::IntegerUnit;
+    let mut kind = FaultKind::StuckAt1;
+    let mut fingerprint: Option<String> = None;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("`{flag}` needs a value\n{usage}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--benchmark" => benchmark = Some(value("--benchmark")),
+            "--iss" => iss = Some(value("--iss")),
+            "--histogram" => {
+                let raw = value("--histogram");
+                let entries = raw
+                    .split(',')
+                    .map(|pair| {
+                        let Some((mnemonic, count)) = pair.split_once('=') else {
+                            eprintln!("`--histogram` wants op=N pairs, got `{pair}`\n{usage}");
+                            std::process::exit(2);
+                        };
+                        let count: u64 = count.parse().unwrap_or_else(|_| {
+                            eprintln!(
+                                "`--histogram` count for `{mnemonic}` is not an integer\n{usage}"
+                            );
+                            std::process::exit(2);
+                        });
+                        (mnemonic.to_string(), count)
+                    })
+                    .collect();
+                histogram = Some(entries);
+            }
+            "--target" => {
+                let token = value("--target");
+                target = target_from_token(&token).unwrap_or_else(|| {
+                    eprintln!("unknown target `{token}` (iu, cmem or whole)\n{usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--kind" => {
+                kind = kind_from_token(&value("--kind")).unwrap_or_else(|e| {
+                    eprintln!("{e}\n{usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--fingerprint" => fingerprint = Some(value("--fingerprint")),
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown predict argument `{other}`\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sources = usize::from(benchmark.is_some())
+        + usize::from(iss.is_some())
+        + usize::from(histogram.is_some());
+    if sources != 1 {
+        eprintln!("give exactly one of --benchmark, --iss, --histogram\n{usage}");
+        std::process::exit(2);
+    }
+    if let Some(name) = iss {
+        // The paper's workflow: characterize the workload on the ISS,
+        // predict its RTL failure probability from diversity alone.
+        let subject = Benchmark::by_name(&name).unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{name}`\n{usage}");
+            std::process::exit(2);
+        });
+        let mut run = Iss::new(IssConfig::default());
+        run.load(&subject.program(&Params::default()));
+        let outcome = run.run(200_000_000);
+        if !matches!(outcome, RunOutcome::Halted { .. }) {
+            eprintln!("[repro] {name} did not halt on the ISS: {outcome:?}");
+            std::process::exit(1);
+        }
+        let entries: Vec<(String, u64)> = run
+            .stats()
+            .named_histogram()
+            .into_iter()
+            .map(|(mnemonic, count)| (mnemonic.to_string(), count))
+            .collect();
+        eprintln!("[repro] {name}: D = {} from the ISS run", entries.len());
+        histogram = Some(entries);
+    }
+    let mut request = match (benchmark, histogram) {
+        (Some(label), None) => PredictRequest::from_benchmark(&label),
+        (None, Some(entries)) => PredictRequest::from_histogram(entries),
+        _ => unreachable!("exactly one source checked above"),
+    };
+    request.target = target;
+    request.kind = kind;
+    request.fingerprint = fingerprint;
+    // Round-trip validation: unknown mnemonics and zero counts are
+    // refused here rather than by the service.
+    let request = PredictRequest::parse(&request.to_json()).unwrap_or_else(|e| {
+        eprintln!("invalid request: {e}\n{usage}");
+        std::process::exit(2);
+    });
+    let prediction = client::predict(&addr, &request).unwrap_or_else(|e| {
+        eprintln!("[repro] predict failed: {e}");
+        std::process::exit(1);
+    });
+    if json {
+        println!("{}", prediction.to_json());
+    } else {
+        println!(
+            "Pf = {:.4} ± {:.4}  (D = {}, {} @ {}, model {})",
+            prediction.pf,
+            prediction.band,
+            prediction.diversity,
+            kind_to_token(prediction.kind),
+            target_to_token(prediction.target),
+            prediction.fingerprint
+        );
+    }
+}
+
 /// `repro benchgate [--baseline BENCH_campaign.json]
 /// [--checkpoint-baseline BENCH_checkpoint.json] [--perturb 1.0]
 /// [--threads N]` — the CI bench-regression gate. Re-measures the gate
 /// campaigns (including the checkpoint-tree gate's dense intermittent
-/// sweep) and compares their deterministic cycle ratios against the
-/// committed baselines; exits 1 on any regression beyond the in-file
-/// tolerance. `--perturb` scales the measured ratios so CI can prove
-/// the gate fails when the engine slows down.
+/// sweep and the correlation gate's Fig. 7 sweep) and compares their
+/// deterministic cycle ratios — plus the correlation fit's R² against
+/// its committed floor — against the committed baselines; exits 1 on
+/// any regression beyond the in-file tolerance. `--perturb` degrades
+/// the measured quantities (ratios up, R² down) so CI can prove the
+/// gate fails when the engine slows down or the fit collapses.
 fn run_benchgate(config: &ExperimentConfig, args: &[String]) {
     const USAGE: &str = "usage: repro benchgate [--baseline <path>] \
-                         [--checkpoint-baseline <path>] [--perturb <factor>] [--threads N]";
+                         [--checkpoint-baseline <path>] [--correlation-baseline <path>] \
+                         [--perturb <factor>] [--threads N]";
     let mut baseline = "BENCH_campaign.json".to_string();
     let mut checkpoint_baseline = "BENCH_checkpoint.json".to_string();
+    let mut correlation_baseline = "BENCH_correlation.json".to_string();
     let mut perturb = 1.0_f64;
     let mut threads = config.threads;
     let mut it = args.iter();
@@ -868,6 +1225,7 @@ fn run_benchgate(config: &ExperimentConfig, args: &[String]) {
         match arg.as_str() {
             "--baseline" => baseline = value("--baseline"),
             "--checkpoint-baseline" => checkpoint_baseline = value("--checkpoint-baseline"),
+            "--correlation-baseline" => correlation_baseline = value("--correlation-baseline"),
             "--perturb" => {
                 let raw = value("--perturb");
                 perturb = raw.parse().unwrap_or_else(|_| {
@@ -891,6 +1249,7 @@ fn run_benchgate(config: &ExperimentConfig, args: &[String]) {
             &bench::gate::check as &dyn Fn(&str, usize, f64) -> Result<Vec<String>, Vec<String>>,
         ),
         (&checkpoint_baseline, &bench::gate::check_checkpoint),
+        (&correlation_baseline, &bench::gate::check_correlation),
     ] {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("[benchgate] cannot read `{path}`: {e}");
@@ -1139,6 +1498,14 @@ fn main() {
             let rest: Vec<String> = std::env::args().skip(2).collect();
             run_fleet(&config, &rest);
         }
+        "correlate" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_correlate(&config, &rest);
+        }
+        "predict" => {
+            let rest: Vec<String> = std::env::args().skip(2).collect();
+            run_predict(&rest);
+        }
         "benchgate" => {
             let rest: Vec<String> = std::env::args().skip(2).collect();
             run_benchgate(&config, &rest);
@@ -1194,7 +1561,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|inject|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|fleet|benchgate|netcheck|all"
+                "unknown experiment `{other}`; try table1|fig3|fig4|fig5|fig6|fig7|temporal|simtime|inject|transient|bridging|latent|issbaseline|eq1|extensions|campaign|serve|submit|merge|fleet|correlate|predict|benchgate|netcheck|all"
             );
             std::process::exit(2);
         }

@@ -62,6 +62,7 @@
 
 mod bridging;
 mod campaign;
+mod correlation;
 mod error;
 mod explain;
 mod iss_campaign;
@@ -75,6 +76,11 @@ pub mod wire;
 pub use bridging::{bridge_pairs, bridge_pf, BridgeRecord, BridgingCampaign};
 pub use campaign::{
     Campaign, Execution, GoldenRun, InjectionInstant, PreparedWorkload, MAX_POOL_CHECKPOINTS,
+};
+pub use correlation::{
+    fitted_model_from_obj, fitted_model_to_json, merge_correlation_shards, CellMeasurement,
+    CorrelationCell, CorrelationReport, CorrelationShard, CorrelationSpec, DatasetSelection,
+    DomainFit, PredictRequest, Prediction, SweepPoint,
 };
 pub use error::{CampaignError, JournalError};
 pub use explain::{explain, explain_with_safety};

@@ -4,10 +4,11 @@
 //! The journal introduced a deliberately tiny JSON dialect (objects,
 //! strings, unsigned integers, booleans) so the workspace stays hermetic.
 //! The campaign service speaks the same dialect over HTTP, so the parser
-//! lives here now — extended with arrays and non-negative floats (a
-//! `CampaignSpec` carries a fault-kind list and an injection fraction) —
-//! together with the full [`CampaignResult`] wire format and the shard
-//! merge that recombines partial campaigns into one result.
+//! lives here now — extended with arrays and finite floats (a
+//! `CampaignSpec` carries a fault-kind list and an injection fraction; a
+//! fitted correlation model carries a negative intercept and signed
+//! residuals) — together with the full [`CampaignResult`] wire format and
+//! the shard merge that recombines partial campaigns into one result.
 //!
 //! Serialization is **canonical**: one byte sequence per value, no
 //! optional whitespace. The cache and the bit-for-bit merge guarantees
@@ -18,14 +19,14 @@ pub mod fleet;
 use crate::error::JournalError;
 use crate::result::{CampaignResult, CampaignStats, FaultOutcome, FaultRecord};
 use crate::safety::{Detection, Mechanism};
-use crate::sites::FaultSite;
+use crate::sites::{FaultSite, Target};
 use crate::static_analysis::PrunedBy;
 use rtl_sim::{FaultKind, NetId};
 use sparc_isa::Unit;
 use std::fmt::Write as _;
 
 /// The JSON subset the journal and the campaign service use: objects,
-/// arrays, strings, unsigned integers, non-negative floats and booleans.
+/// arrays, strings, unsigned integers, finite floats and booleans.
 /// Hand-rolled to keep the workspace hermetic.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -35,9 +36,11 @@ pub enum Json {
     Array(Vec<Json>),
     /// A string.
     Str(String),
-    /// An unsigned integer (no fraction part in the source).
+    /// An unsigned integer (no fraction part or sign in the source).
     Num(u64),
-    /// A non-negative float (the source carried a fraction part).
+    /// A finite float (the source carried a fraction part or a leading
+    /// minus sign — the dialect's only signed numbers are floats).
+    /// Serializers must never emit NaN or an infinity; neither reparses.
     Float(f64),
     /// A boolean.
     Bool(bool),
@@ -304,6 +307,26 @@ pub fn kind_from_token(token: &str) -> Result<FaultKind, String> {
     Ok(kind)
 }
 
+/// The canonical wire token of an injection domain — the same tokens the
+/// `repro campaign` CLI uses (`"iu"`, `"cmem"`, `"whole"`).
+pub fn target_to_token(target: Target) -> &'static str {
+    match target {
+        Target::IntegerUnit => "iu",
+        Target::CacheMemory => "cmem",
+        Target::Whole => "whole",
+    }
+}
+
+/// Parse a [`target_to_token`] token back into a target.
+pub fn target_from_token(token: &str) -> Option<Target> {
+    match token {
+        "iu" => Some(Target::IntegerUnit),
+        "cmem" => Some(Target::CacheMemory),
+        "whole" => Some(Target::Whole),
+        _ => None,
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -342,7 +365,7 @@ impl Parser<'_> {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'0'..=b'9') => self.number(),
+            Some(b'0'..=b'9' | b'-') => self.number(),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             _ => Err(format!("unexpected byte at offset {}", self.pos)),
@@ -360,12 +383,22 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
         while self.peek().is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
-        // A fraction part turns the token into a float; integers stay
-        // exact u64 (the journal's hashes don't survive an f64 round
-        // trip).
+        if digits_start == self.pos {
+            return Err(format!("bad number at offset {start}"));
+        }
+        // A fraction part turns the token into a float, and so does a
+        // sign: the dialect's integers are exact u64 (the journal's
+        // hashes don't survive an f64 round trip), so every negative
+        // number — fraction or not — is a float. Rust's `{}` Display for
+        // f64 never emits an exponent, so the canonical bytes round-trip.
         if self.peek() == Some(b'.') {
             self.pos += 1;
             let frac_start = self.pos;
@@ -375,16 +408,17 @@ impl Parser<'_> {
             if frac_start == self.pos {
                 return Err(format!("bad number at offset {start}"));
             }
+        } else if !negative {
             return std::str::from_utf8(&self.bytes[start..self.pos])
                 .ok()
                 .and_then(|s| s.parse().ok())
-                .map(Json::Float)
+                .map(Json::Num)
                 .ok_or_else(|| format!("bad number at offset {start}"));
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
             .and_then(|s| s.parse().ok())
-            .map(Json::Num)
+            .map(Json::Float)
             .ok_or_else(|| format!("bad number at offset {start}"))
     }
 
@@ -1042,6 +1076,37 @@ mod tests {
         assert_eq!(v.get_u64("frac"), None);
         assert_eq!(Json::parse("[]").unwrap(), Json::Array(Vec::new()));
         assert!(Json::parse("0.").is_err());
+    }
+
+    #[test]
+    fn signed_numbers_parse_as_floats_and_round_trip() {
+        // Any leading minus makes a float — the dialect's integers are
+        // unsigned — and the canonical bytes survive a round trip.
+        for (text, value) in [
+            ("-0.0191", -0.0191),
+            ("-5", -5.0),
+            ("-0", -0.0),
+            ("-123.456", -123.456),
+        ] {
+            let parsed = Json::parse(text).unwrap();
+            assert_eq!(parsed, Json::Float(value), "{text}");
+            assert_eq!(Json::parse(&parsed.to_json()).unwrap(), parsed, "{text}");
+        }
+        let v = Json::parse(r#"{"b":-0.0191,"residuals":[-0.01,0.02,-3]}"#).unwrap();
+        assert_eq!(v.get_f64("b"), Some(-0.0191));
+        assert_eq!(v.get_u64("b"), None);
+        // Refusals: a bare minus, and a minus with only a fraction.
+        assert!(Json::parse("-").is_err());
+        assert!(Json::parse("-.5").is_err());
+        assert!(Json::parse(r#"{"x":-}"#).is_err());
+    }
+
+    #[test]
+    fn target_tokens_round_trip() {
+        for target in [Target::IntegerUnit, Target::CacheMemory, Target::Whole] {
+            assert_eq!(target_from_token(target_to_token(target)), Some(target));
+        }
+        assert_eq!(target_from_token("alu"), None);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! End-to-end correlation sweeps: a sweep cut into shards, shipped over
+//! the wire, and merged must reproduce the unsharded report **bit for
+//! bit** — the property that lets a fleet run the paper's Fig. 7
+//! experiment without anyone re-checking the math.
+
+use fault_inject::{merge_correlation_shards, CorrelationShard, CorrelationSpec, Prediction};
+use workloads::Benchmark;
+
+/// A laptop-sized sweep: the two synthetic benchmarks (cheap golden runs,
+/// distinct diversities) under a small seeded sample.
+fn tiny_spec() -> CorrelationSpec {
+    let mut spec = CorrelationSpec::new();
+    spec.benchmarks = vec![Benchmark::Membench, Benchmark::Intbench];
+    spec.sample = Some((6, 0xc0ffee));
+    spec
+}
+
+#[test]
+fn sharded_sweep_merges_bit_identically() {
+    let unsharded = tiny_spec().run_report(2).expect("unsharded sweep");
+    let mut shards = Vec::new();
+    for index in 0..2 {
+        let mut spec = tiny_spec();
+        spec.shard = Some((index, 2));
+        shards.push(spec.run(2).expect("shard run"));
+    }
+    // Round-trip every shard through its wire form, as a fleet would.
+    let shards: Vec<CorrelationShard> = shards
+        .iter()
+        .map(|s| CorrelationShard::parse(&s.to_json()).expect("shard wire round-trip"))
+        .collect();
+    let merged = merge_correlation_shards(shards).expect("merge");
+    assert_eq!(
+        merged.to_json(),
+        unsharded.to_json(),
+        "sharded and unsharded reports must be byte-identical"
+    );
+
+    // The fitted model predicts finite, clamped probabilities, and the
+    // report itself survives a wire round-trip.
+    let best = merged.best_domain();
+    assert!(best.model.r2.is_finite());
+    for d in [1, 10, 100] {
+        let p = Prediction::evaluate(&merged.fingerprint, best, d);
+        assert!((0.0..=1.0).contains(&p.pf), "Pf({d}) = {}", p.pf);
+        assert!(p.band.is_finite());
+    }
+    let back = fault_inject::CorrelationReport::parse(&merged.to_json()).expect("report reparse");
+    assert_eq!(back, merged);
+}
+
+#[test]
+fn sharded_specs_refuse_run_report() {
+    let mut spec = tiny_spec();
+    spec.shard = Some((0, 2));
+    assert!(spec.run_report(1).is_err());
+}

@@ -11,14 +11,24 @@
 //!    [`Entry`], including panic payloads full of JSON metacharacters;
 //! 2. **Truncation recovery** — a journal cut at *any* byte inside its
 //!    final line reads back as the intact prefix, never as corruption.
+//!
+//! Plus the correlation subsystem's wire messages ([`FittedModel`],
+//! [`PredictRequest`], [`Prediction`]), whose floats — negative
+//! intercepts, signed residuals — exercise the dialect's signed-number
+//! path.
 #![cfg(feature = "proptest")]
 
+use analysis::FittedModel;
 use fault_inject::journal::{read, Entry, Header};
-use fault_inject::wire::{kind_from_token, kind_to_token};
-use fault_inject::{CampaignStats, Detection, FaultOutcome, FaultRecord, FaultSite, Mechanism};
+use fault_inject::wire::{kind_from_token, kind_to_token, Json};
+use fault_inject::{
+    fitted_model_from_obj, fitted_model_to_json, CampaignStats, Detection, FaultOutcome,
+    FaultRecord, FaultSite, Mechanism, PredictRequest, Prediction, Target,
+};
 use proptest::prelude::*;
 use rtl_sim::{FaultKind, NetId};
-use sparc_isa::Unit;
+use sparc_isa::{Opcode, Unit};
+use std::collections::BTreeMap;
 
 /// Characters deliberately rich in JSON edge cases: quotes, backslashes,
 /// control characters, multi-byte code points and a non-BMP emoji (which
@@ -180,6 +190,71 @@ fn arb_header() -> impl Strategy<Value = Header> {
         )
 }
 
+/// Finite floats with plenty of negative and fractional values, built
+/// from integer ratios (the shim has no float strategies; a ratio is
+/// always finite for a nonzero denominator).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    (any::<i32>(), 1u32..10_000).prop_map(|(n, d)| f64::from(n) / f64::from(d))
+}
+
+fn arb_model() -> impl Strategy<Value = FittedModel> {
+    (
+        arb_f64(),
+        arb_f64(),
+        arb_f64(),
+        proptest::collection::vec(arb_f64(), 0..8),
+    )
+        .prop_map(|(a, b, r2, residuals)| FittedModel {
+            a,
+            b,
+            r2,
+            n: residuals.len(),
+            residuals,
+        })
+}
+
+fn arb_target() -> impl Strategy<Value = Target> {
+    prop_oneof![
+        Just(Target::IntegerUnit),
+        Just(Target::CacheMemory),
+        Just(Target::Whole),
+    ]
+}
+
+/// A canonical opcode histogram: real mnemonics, positive counts, sorted
+/// and deduplicated (the parser's normal form).
+fn arb_histogram() -> impl Strategy<Value = Vec<(String, u64)>> {
+    proptest::collection::vec((0usize..Opcode::ALL.len(), 1u64..1_000_000), 1..12).prop_map(
+        |picks| {
+            let map: BTreeMap<String, u64> = picks
+                .into_iter()
+                .map(|(i, count)| (Opcode::ALL[i].mnemonic().to_string(), count))
+                .collect();
+            map.into_iter().collect()
+        },
+    )
+}
+
+fn arb_predict_request() -> impl Strategy<Value = PredictRequest> {
+    (
+        any::<bool>(),
+        arb_payload(),
+        arb_histogram(),
+        arb_target(),
+        arb_kind(),
+        (any::<bool>(), any::<u64>()),
+    )
+        .prop_map(
+            |(by_name, label, histogram, target, kind, (has_fp, fp))| PredictRequest {
+                benchmark: by_name.then(|| label),
+                histogram: (!by_name).then_some(histogram),
+                target,
+                kind,
+                fingerprint: has_fp.then(|| format!("corr-{fp:016x}")),
+            },
+        )
+}
+
 proptest! {
     /// Every entry the campaign can produce survives the wire format.
     #[test]
@@ -201,6 +276,52 @@ proptest! {
     #[test]
     fn kind_tokens_round_trip(kind in arb_kind()) {
         prop_assert_eq!(kind_from_token(&kind_to_token(kind)), Ok(kind));
+    }
+
+    /// Fitted models — negative slopes, intercepts and residuals included
+    /// — reparse exactly and re-serialize to the same canonical bytes.
+    #[test]
+    fn fitted_models_round_trip(model in arb_model()) {
+        let text = fitted_model_to_json(&model);
+        let back = fitted_model_from_obj(&Json::parse(&text).expect("model json parses"))
+            .expect("model reparses");
+        prop_assert_eq!(&back, &model);
+        prop_assert_eq!(fitted_model_to_json(&back), text);
+    }
+
+    /// The predictor's request message — label lookups with arbitrary
+    /// JSON-hostile labels, histograms over real mnemonics, every domain
+    /// — round-trips canonically.
+    #[test]
+    fn predict_requests_round_trip(request in arb_predict_request()) {
+        let text = request.to_json();
+        let back = PredictRequest::parse(&text).expect("request reparses");
+        prop_assert_eq!(&back, &request);
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    /// The predictor's reply message round-trips canonically.
+    #[test]
+    fn predictions_round_trip(
+        pf_band in (arb_f64(), arb_f64()),
+        diversity in any::<u64>(),
+        fp in any::<u64>(),
+        target in arb_target(),
+        kind in arb_kind(),
+    ) {
+        let (pf, band) = pf_band;
+        let prediction = Prediction {
+            pf,
+            band,
+            diversity,
+            fingerprint: format!("corr-{fp:016x}"),
+            target,
+            kind,
+        };
+        let text = prediction.to_json();
+        let back = Prediction::parse(&text).expect("prediction reparses");
+        prop_assert_eq!(&back, &prediction);
+        prop_assert_eq!(back.to_json(), text);
     }
 
     /// A journal cut anywhere inside its final line reads back as the

@@ -90,6 +90,19 @@ impl RunStats {
     pub fn executed_opcodes(&self) -> impl Iterator<Item = Opcode> + '_ {
         self.opcode_histogram.keys().copied()
     }
+
+    /// The opcode histogram keyed by mnemonic, sorted by mnemonic — the
+    /// wire form a predictor service accepts: an ISS run's diversity
+    /// travels as names, not as this workspace's enum ordinals.
+    pub fn named_histogram(&self) -> Vec<(&'static str, u64)> {
+        let mut entries: Vec<(&'static str, u64)> = self
+            .opcode_histogram
+            .iter()
+            .map(|(op, &count)| (op.mnemonic(), count))
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +146,17 @@ mod tests {
         assert_eq!(stats.unit_diversity(Unit::Shift), 1);
         assert_eq!(stats.unit_diversity(Unit::Fetch), 4);
         assert_eq!(stats.unit_diversity(Unit::MulDiv), 0);
+    }
+
+    #[test]
+    fn named_histogram_is_sorted_by_mnemonic() {
+        let mut stats = RunStats::default();
+        stats.record(&alu(Opcode::Sub));
+        stats.record(&alu(Opcode::Add));
+        stats.record(&alu(Opcode::Add));
+        let named = stats.named_histogram();
+        assert_eq!(named, vec![("add", 2), ("sub", 1)]);
+        assert_eq!(named.len(), stats.diversity());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use fault_inject::wire::fleet::{
     Ack, Complete, Fail, Heartbeat, LeaseReply, LeaseRequest, Register, Registered,
 };
 use fault_inject::wire::{Json, ShardResult};
+use fault_inject::{CorrelationReport, CorrelationSpec, PredictRequest, Prediction};
 use std::fmt;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -187,6 +188,67 @@ pub fn merge(addr: &str, ids: &[u64]) -> Result<ShardResult, ClientError> {
     );
     let v = expect_200(addr, "POST", "/merge", &body)?;
     ShardResult::from_obj(&v).map_err(ClientError::Protocol)
+}
+
+/// Submit a correlation sweep.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a refused spec (400), or a draining/full
+/// server (503).
+pub fn correlate(addr: &str, spec: &CorrelationSpec) -> Result<SubmitReply, ClientError> {
+    let v = expect_200(addr, "POST", "/correlate", &spec.to_json())?;
+    Ok(SubmitReply {
+        id: v
+            .get_u64("id")
+            .ok_or_else(|| ClientError::Protocol("correlate reply missing `id`".to_string()))?,
+        cached: v.get_bool("cached").unwrap_or(false),
+        status: v.get_str("status").unwrap_or("queued").to_string(),
+    })
+}
+
+/// Poll until a correlation sweep is `done`, returning its fitted report.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a failed or drained job, or a job that is not an
+/// unsharded correlation sweep.
+pub fn wait_report(addr: &str, id: u64) -> Result<CorrelationReport, ClientError> {
+    loop {
+        let v = expect_200(addr, "GET", &format!("/campaign/{id}"), "")?;
+        match v.get_str("status").unwrap_or_default() {
+            "done" => {
+                let report = v.get("report").ok_or_else(|| {
+                    ClientError::Protocol("done job carries no report".to_string())
+                })?;
+                return CorrelationReport::from_obj(report).map_err(ClientError::Protocol);
+            }
+            "failed" => {
+                return Err(ClientError::Protocol(format!(
+                    "correlation sweep failed: {}",
+                    v.get_str("error").unwrap_or("unknown reason")
+                )))
+            }
+            "drained" => {
+                return Err(ClientError::Protocol(
+                    "correlation sweep was drained before running".to_string(),
+                ))
+            }
+            _ => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Ask the service for a prediction from its cached fitted model. The
+/// service never simulates to answer this.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a malformed request (400), or a service with no
+/// applicable model (404).
+pub fn predict(addr: &str, request: &PredictRequest) -> Result<Prediction, ClientError> {
+    let v = expect_200(addr, "POST", "/predict", &request.to_json())?;
+    Prediction::from_obj(&v).map_err(ClientError::Protocol)
 }
 
 /// Check the service is alive; returns `true` when it is draining.

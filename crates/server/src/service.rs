@@ -10,7 +10,10 @@
 use crate::http::{read_request, write_response_with, Request};
 use crate::spec::CampaignSpec;
 use fault_inject::wire::{escape_json, merge_shards, Json, ShardResult};
-use fault_inject::PreparedWorkload;
+use fault_inject::{
+    merge_correlation_shards, CorrelationReport, CorrelationShard, CorrelationSpec, PredictRequest,
+    Prediction, PreparedWorkload,
+};
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -73,11 +76,44 @@ impl Status {
     }
 }
 
+/// What a queued job names: one campaign shard, or one correlation
+/// sweep (itself possibly one shard of a fleet-split sweep).
+#[derive(Clone)]
+enum JobSpec {
+    Campaign(CampaignSpec),
+    Correlation(CorrelationSpec),
+}
+
+impl JobSpec {
+    fn cache_key(&self) -> String {
+        match self {
+            JobSpec::Campaign(spec) => spec.cache_key(),
+            JobSpec::Correlation(spec) => spec.cache_key(),
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            JobSpec::Campaign(spec) => spec.to_json(),
+            JobSpec::Correlation(spec) => spec.to_json(),
+        }
+    }
+}
+
+/// What a completed job holds: a campaign shard, a fitted correlation
+/// report (unsharded sweep), or one shard of a sweep awaiting `/merge`.
+#[derive(Clone)]
+enum JobOutput {
+    Shard(ShardResult),
+    Report(CorrelationReport),
+    Partial(CorrelationShard),
+}
+
 struct JobState {
-    spec: CampaignSpec,
+    spec: JobSpec,
     status: Status,
     error: Option<String>,
-    result: Option<ShardResult>,
+    result: Option<JobOutput>,
 }
 
 /// The `Retry-After` value (seconds) sent with every 503, so a refused
@@ -95,6 +131,10 @@ struct Counters {
     cache_misses: u64,
     golden_cache_hits: u64,
     golden_cache_misses: u64,
+    /// Golden-cache hits where the stored capture came from a *different*
+    /// campaign spec — the workload-hash dedup paying off across specs.
+    golden_store_hits: u64,
+    predictions: u64,
     cycles_simulated_total: u64,
     statically_pruned_total: u64,
     collapsed_classes_total: u64,
@@ -106,6 +146,12 @@ struct Inner {
     /// `CampaignSpec::cache_key` of every completed spec → the job id
     /// holding its result.
     cache: HashMap<String, u64>,
+    /// Fitted correlation models by sweep fingerprint, ready to answer
+    /// `/predict` with zero simulated cycles.
+    models: HashMap<String, CorrelationReport>,
+    /// The fingerprint of the most recently fitted model (`/predict`'s
+    /// default when the request names none).
+    latest_model: Option<String>,
     next_id: u64,
     busy: usize,
     draining: bool,
@@ -114,11 +160,15 @@ struct Inner {
 
 struct Shared {
     inner: Mutex<Inner>,
-    /// One golden run per (workload, platform config), shared read-only
-    /// across campaigns: a sweep over kinds, instants or checkpoint
-    /// strides of one benchmark captures its golden trajectory once.
+    /// One golden run per (workload hash, platform config), shared
+    /// read-only across campaigns: any two specs whose programs hash the
+    /// same — a kind sweep of one benchmark, a correlation cell, a
+    /// resubmitted drain — reuse one capture. Keyed by the workload-hash
+    /// half of the campaign fingerprint, so the dedup works across
+    /// *different* campaign specs; the value remembers the full
+    /// fingerprint that populated it, so cross-spec hits are countable.
     /// Separate from `inner` so a capture in flight never blocks routes.
-    golden: Mutex<HashMap<String, Arc<PreparedWorkload>>>,
+    golden: Mutex<HashMap<String, (Arc<PreparedWorkload>, String)>>,
     work: Condvar,
     shutdown: AtomicBool,
     config: ServerConfig,
@@ -135,7 +185,7 @@ impl Shared {
     /// and wake every worker so the pool can exit once in-flight jobs
     /// finish. Returns how many queued jobs were drained.
     fn begin_shutdown(&self) -> std::io::Result<usize> {
-        let drained: Vec<(u64, CampaignSpec)> = {
+        let drained: Vec<(u64, JobSpec)> = {
             let mut inner = self.lock();
             inner.draining = true;
             let ids: Vec<u64> = inner.queue.drain(..).collect();
@@ -186,6 +236,8 @@ impl Server {
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
                 cache: HashMap::new(),
+                models: HashMap::new(),
+                latest_model: None,
                 next_id: 1,
                 busy: 0,
                 draining: false,
@@ -274,8 +326,21 @@ fn resubmit_drained(shared: &Shared) {
     };
     let mut inner = shared.lock();
     for line in text.lines().filter(|line| !line.trim().is_empty()) {
-        let Ok(spec) = CampaignSpec::parse(line) else {
+        // A correlation spec is the only drained shape with a
+        // `benchmarks` list; everything else is a campaign spec.
+        let Ok(parsed) = Json::parse(line) else {
             continue;
+        };
+        let spec = if parsed.get("benchmarks").is_some() {
+            match CorrelationSpec::from_obj(&parsed) {
+                Ok(spec) => JobSpec::Correlation(spec),
+                Err(_) => continue,
+            }
+        } else {
+            match CampaignSpec::from_obj(&parsed) {
+                Ok(spec) => JobSpec::Campaign(spec),
+                Err(_) => continue,
+            }
         };
         if inner.cache.contains_key(&spec.cache_key()) {
             continue;
@@ -348,21 +413,36 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        let outcome = run_spec(&spec, shared.config.job_threads, shared);
+        let outcome = match &spec {
+            JobSpec::Campaign(spec) => {
+                run_spec(spec, shared.config.job_threads, shared).map(|shard| {
+                    let totals = results_totals(std::slice::from_ref(&shard));
+                    (JobOutput::Shard(shard), totals)
+                })
+            }
+            JobSpec::Correlation(spec) => run_correlation(spec, shared.config.job_threads, shared),
+        };
         let mut inner = shared.lock();
         inner.busy -= 1;
         match outcome {
-            Ok(shard) => {
+            Ok((output, (cycles, pruned, collapsed))) => {
                 inner.counters.completed += 1;
-                inner.counters.cycles_simulated_total += shard.result.stats().cycles_simulated;
-                inner.counters.statically_pruned_total +=
-                    shard.result.stats().statically_pruned as u64;
-                inner.counters.collapsed_classes_total +=
-                    shard.result.stats().collapsed_classes as u64;
+                inner.counters.cycles_simulated_total += cycles;
+                inner.counters.statically_pruned_total += pruned;
+                inner.counters.collapsed_classes_total += collapsed;
                 inner.cache.insert(spec.cache_key(), id);
+                if let JobOutput::Report(report) = &output {
+                    // A freshly fitted sweep becomes the predictor's
+                    // model — `/predict` answers from here on without
+                    // simulating a cycle.
+                    inner
+                        .models
+                        .insert(report.fingerprint.clone(), report.clone());
+                    inner.latest_model = Some(report.fingerprint.clone());
+                }
                 let job = inner.jobs.get_mut(&id).expect("running job exists");
                 job.status = Status::Done;
-                job.result = Some(shard);
+                job.result = Some(output);
             }
             Err(error) => {
                 inner.counters.failed += 1;
@@ -372,6 +452,19 @@ fn worker_loop(shared: &Shared) {
             }
         }
     }
+}
+
+/// The counter contributions of a batch of shard results: simulated
+/// cycles, statically pruned jobs, collapsed equivalence classes.
+fn results_totals(results: &[ShardResult]) -> (u64, u64, u64) {
+    results.iter().fold((0, 0, 0), |(c, p, k), shard| {
+        let stats = shard.result.stats();
+        (
+            c + stats.cycles_simulated,
+            p + stats.statically_pruned as u64,
+            k + stats.collapsed_classes as u64,
+        )
+    })
 }
 
 /// Run one spec with an extra panic net around the whole campaign (the
@@ -391,33 +484,7 @@ fn run_spec(
         let campaign = spec.to_campaign();
         let fingerprint = campaign.fingerprint();
         let (index, count) = spec.shard.unwrap_or((0, 1));
-        // The key is exactly the spec fields that reach the golden run:
-        // the workload image (benchmark; the service always runs default
-        // params) and the classification config (parity is its only
-        // spec-controlled field).
-        let golden_key = format!("{}|parity={}", spec.benchmark.name(), spec.safety.parity);
-        let cached = shared
-            .golden
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(&golden_key)
-            .cloned();
-        let prepared = match cached {
-            Some(p) => {
-                shared.lock().counters.golden_cache_hits += 1;
-                p
-            }
-            None => {
-                let p = Arc::new(campaign.prepare().map_err(|e| e.to_string())?);
-                shared
-                    .golden
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .insert(golden_key, Arc::clone(&p));
-                shared.lock().counters.golden_cache_misses += 1;
-                p
-            }
-        };
+        let prepared = prepare_golden(&campaign, &fingerprint, spec.safety.parity, shared)?;
         campaign
             .try_run_prepared(job_threads, &prepared)
             .map(|result| ShardResult {
@@ -428,6 +495,110 @@ fn run_spec(
             })
             .map_err(|e| e.to_string())
     }));
+    unwrap_run(run, "campaign")
+}
+
+/// Fetch or capture a golden run for one campaign. The cache key is
+/// exactly the inputs that reach the capture: the **workload hash** (the
+/// first half of the campaign fingerprint — so any two specs generating
+/// the same program image share one capture, whatever else differs) and
+/// the classification config (parity is its only spec-controlled field).
+fn prepare_golden(
+    campaign: &fault_inject::Campaign,
+    fingerprint: &str,
+    parity: bool,
+    shared: &Shared,
+) -> Result<Arc<PreparedWorkload>, String> {
+    let workload_hash = fingerprint.split('-').next().unwrap_or(fingerprint);
+    let golden_key = format!("{workload_hash}|parity={parity}");
+    let cached = shared
+        .golden
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&golden_key)
+        .cloned();
+    match cached {
+        Some((p, captured_by)) => {
+            let mut inner = shared.lock();
+            inner.counters.golden_cache_hits += 1;
+            if captured_by != fingerprint {
+                inner.counters.golden_store_hits += 1;
+            }
+            Ok(p)
+        }
+        None => {
+            let p = Arc::new(campaign.prepare().map_err(|e| e.to_string())?);
+            shared
+                .golden
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(golden_key, (Arc::clone(&p), fingerprint.to_string()));
+            shared.lock().counters.golden_cache_misses += 1;
+            Ok(p)
+        }
+    }
+}
+
+/// Run one correlation sweep: measure every cell on the ISS, run every
+/// cell × domain campaign through the shared golden store, and — when
+/// the spec is unsharded — merge and fit in-process. A sharded spec
+/// parks its slice as a [`JobOutput::Partial`] for a later `/merge`.
+fn run_correlation(
+    spec: &CorrelationSpec,
+    job_threads: usize,
+    shared: &Shared,
+) -> Result<(JobOutput, (u64, u64, u64)), String> {
+    let spec = spec.clone();
+    let run = catch_unwind(AssertUnwindSafe(move || {
+        let (index, count) = spec.shard.unwrap_or((0, 1));
+        let cells: Vec<_> = spec.cells();
+        let measurements: Vec<_> = cells
+            .iter()
+            .map(fault_inject::CorrelationCell::measure)
+            .collect();
+        let mut results = Vec::new();
+        for cell in &cells {
+            for &target in &spec.targets {
+                let campaign = spec.campaign(cell, target);
+                let fingerprint = campaign.fingerprint();
+                // Correlation campaigns run no safety mechanisms, so
+                // parity is always off in the golden key — and a plain
+                // `/campaign` over the same workload shares the capture.
+                let prepared = prepare_golden(&campaign, &fingerprint, false, shared)?;
+                let result = campaign
+                    .try_run_prepared(job_threads, &prepared)
+                    .map_err(|e| e.to_string())?;
+                results.push(ShardResult {
+                    fingerprint,
+                    index,
+                    count,
+                    result,
+                });
+            }
+        }
+        let totals = results_totals(&results);
+        let mut clean = spec.clone();
+        clean.shard = None;
+        let shard = CorrelationShard {
+            spec: clean,
+            index,
+            count,
+            cells: measurements,
+            results,
+        };
+        if count == 1 {
+            let report = merge_correlation_shards(vec![shard])?;
+            Ok((JobOutput::Report(report), totals))
+        } else {
+            Ok((JobOutput::Partial(shard), totals))
+        }
+    }));
+    unwrap_run(run, "correlation sweep")
+}
+
+/// Turn a `catch_unwind` result into the job outcome, stringifying a
+/// panic payload (a workload bug must not take a worker down).
+fn unwrap_run<T>(run: std::thread::Result<Result<T, String>>, what: &str) -> Result<T, String> {
     match run {
         Ok(result) => result,
         Err(payload) => {
@@ -436,7 +607,7 @@ fn run_spec(
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(format!("campaign panicked: {message}"))
+            Err(format!("{what} panicked: {message}"))
         }
     }
 }
@@ -458,6 +629,8 @@ fn route(shared: &Shared, request: &Request) -> (u16, String) {
                 Err(_) => (400, err_json("campaign ids are integers")),
             }
         }
+        ("POST", "/correlate") => submit_correlation(shared, &request.body),
+        ("POST", "/predict") => predict(shared, &request.body),
         ("POST", "/merge") => merge(shared, &request.body),
         ("POST", "/shutdown") => match shared.begin_shutdown() {
             Ok(drained) => (200, format!("{{\"ok\":true,\"drained\":{drained}}}")),
@@ -495,8 +668,10 @@ fn stats_json(shared: &Shared) -> String {
          \"cache_entries\":{},\
          \"cache_hits\":{},\"cache_misses\":{},\"golden_cache_entries\":{},\
          \"golden_cache_hits\":{},\"golden_cache_misses\":{},\
+         \"golden_store_hits\":{},\
          \"cycles_simulated_total\":{},\"statically_pruned\":{},\
-         \"collapsed_classes\":{},\"draining\":{}}}",
+         \"collapsed_classes\":{},\"models_cached\":{},\"predictions\":{},\
+         \"draining\":{}}}",
         inner.queue.len(),
         shared.config.queue_depth,
         inner.busy,
@@ -511,9 +686,12 @@ fn stats_json(shared: &Shared) -> String {
         golden_entries,
         c.golden_cache_hits,
         c.golden_cache_misses,
+        c.golden_store_hits,
         c.cycles_simulated_total,
         c.statically_pruned_total,
         c.collapsed_classes_total,
+        inner.models.len(),
+        c.predictions,
         inner.draining,
     );
     s
@@ -524,16 +702,42 @@ fn submit(shared: &Shared, body: &str) -> (u16, String) {
         Ok(spec) => spec,
         Err(e) => return (400, err_json(&e)),
     };
-    // Validate the shard coordinates up front so a bad spec fails the
-    // submission, not the worker.
-    if let Some((index, count)) = spec.shard {
+    if let Err(reply) = check_shard(spec.shard) {
+        return reply;
+    }
+    enqueue(shared, JobSpec::Campaign(spec))
+}
+
+/// `POST /correlate`: run (or attach to) a correlation sweep. An
+/// unsharded spec produces a fitted report; a sharded one produces a
+/// partial for `/merge`. Resubmitting a completed spec is a cache hit —
+/// zero simulated cycles.
+fn submit_correlation(shared: &Shared, body: &str) -> (u16, String) {
+    let spec = match CorrelationSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return (400, err_json(&e)),
+    };
+    if let Err(reply) = check_shard(spec.shard) {
+        return reply;
+    }
+    enqueue(shared, JobSpec::Correlation(spec))
+}
+
+/// Validate shard coordinates up front so a bad spec fails the
+/// submission, not the worker.
+fn check_shard(shard: Option<(u32, u32)>) -> Result<(), (u16, String)> {
+    if let Some((index, count)) = shard {
         if count == 0 || index >= count {
-            return (
+            return Err((
                 400,
                 err_json(&format!("shard {index}/{count} out of range")),
-            );
+            ));
         }
     }
+    Ok(())
+}
+
+fn enqueue(shared: &Shared, spec: JobSpec) -> (u16, String) {
     let key = spec.cache_key();
     let mut inner = shared.lock();
     if inner.draining {
@@ -573,6 +777,50 @@ fn submit(shared: &Shared, body: &str) -> (u16, String) {
     )
 }
 
+/// `POST /predict`: evaluate a cached fitted model — an opcode histogram
+/// or a swept benchmark label in, predicted `Pf` with its residual band
+/// out. This route never simulates: histogram requests are arithmetic on
+/// the fitted coefficients, label requests read the diversity the sweep
+/// already measured.
+fn predict(shared: &Shared, body: &str) -> (u16, String) {
+    let request = match PredictRequest::parse(body) {
+        Ok(request) => request,
+        Err(e) => return (400, err_json(&e)),
+    };
+    let mut inner = shared.lock();
+    let fingerprint = match &request.fingerprint {
+        Some(fp) => fp.clone(),
+        None => match &inner.latest_model {
+            Some(fp) => fp.clone(),
+            None => return (404, err_json("no fitted model; run /correlate first")),
+        },
+    };
+    let Some(report) = inner.models.get(&fingerprint) else {
+        return (404, err_json(&format!("no model for sweep {fingerprint}")));
+    };
+    let Some(domain) = report.domain(request.target, request.kind) else {
+        return (404, err_json("the model was not fitted for that domain"));
+    };
+    let diversity = match request.diversity() {
+        Some(d) => d,
+        None => {
+            let label = request.benchmark.as_deref().unwrap_or_default();
+            match report.cells.iter().find(|cell| cell.label == label) {
+                Some(cell) => cell.diversity,
+                None => {
+                    return (
+                        404,
+                        err_json(&format!("`{label}` was not part of the sweep")),
+                    )
+                }
+            }
+        }
+    };
+    let prediction = Prediction::evaluate(&fingerprint, domain, diversity);
+    inner.counters.predictions += 1;
+    (200, prediction.to_json())
+}
+
 fn job_status(shared: &Shared, id: u64) -> (u16, String) {
     let inner = shared.lock();
     let Some(job) = inner.jobs.get(&id) else {
@@ -582,8 +830,17 @@ fn job_status(shared: &Shared, id: u64) -> (u16, String) {
     if let Some(error) = &job.error {
         let _ = write!(s, ",\"error\":{}", escape_json(error));
     }
-    if let Some(result) = &job.result {
-        let _ = write!(s, ",\"campaign\":{}", result.to_json());
+    match &job.result {
+        Some(JobOutput::Shard(result)) => {
+            let _ = write!(s, ",\"campaign\":{}", result.to_json());
+        }
+        Some(JobOutput::Report(report)) => {
+            let _ = write!(s, ",\"report\":{}", report.to_json());
+        }
+        Some(JobOutput::Partial(shard)) => {
+            let _ = write!(s, ",\"shard\":{}", shard.to_json());
+        }
+        None => {}
     }
     s.push('}');
     (200, s)
@@ -600,7 +857,7 @@ fn merge(shared: &Shared, body: &str) -> (u16, String) {
         },
         Err(e) => return (400, err_json(&e)),
     };
-    let shards: Result<Vec<ShardResult>, (u16, String)> = {
+    let outputs: Result<Vec<JobOutput>, (u16, String)> = {
         let inner = shared.lock();
         ids.iter()
             .map(|id| {
@@ -617,6 +874,47 @@ fn merge(shared: &Shared, body: &str) -> (u16, String) {
             })
             .collect()
     };
+    let outputs = match outputs {
+        Ok(outputs) => outputs,
+        Err(reply) => return reply,
+    };
+    // Every id is a campaign shard, or every id is a correlation
+    // partial — the two merges are different algebras.
+    if outputs.iter().all(|o| matches!(o, JobOutput::Partial(_))) && !outputs.is_empty() {
+        let shards: Vec<CorrelationShard> = outputs
+            .into_iter()
+            .map(|o| match o {
+                JobOutput::Partial(shard) => shard,
+                _ => unreachable!("checked above"),
+            })
+            .collect();
+        return match merge_correlation_shards(shards) {
+            Ok(report) => {
+                // The merged fit is a model like any other: register it
+                // so `/predict` can serve it.
+                let mut inner = shared.lock();
+                inner
+                    .models
+                    .insert(report.fingerprint.clone(), report.clone());
+                inner.latest_model = Some(report.fingerprint.clone());
+                (200, report.to_json())
+            }
+            Err(e) => (
+                409,
+                format!("{{\"error\":{},\"kind\":\"correlation\"}}", escape_json(&e)),
+            ),
+        };
+    }
+    let shards: Result<Vec<ShardResult>, (u16, String)> = outputs
+        .into_iter()
+        .map(|o| match o {
+            JobOutput::Shard(shard) => Ok(shard),
+            _ => Err((
+                400,
+                err_json("cannot merge campaign shards with correlation jobs"),
+            )),
+        })
+        .collect();
     let shards = match shards {
         Ok(shards) => shards,
         Err(reply) => return reply,

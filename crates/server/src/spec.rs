@@ -1,7 +1,9 @@
 //! The campaign request: everything a client must say to name a
 //! campaign, and its canonical JSON form.
 
-use fault_inject::wire::{escape_json, kind_from_token, kind_to_token, Json};
+use fault_inject::wire::{
+    escape_json, kind_from_token, kind_to_token, target_from_token, target_to_token, Json,
+};
 use fault_inject::{AttackTarget, Campaign, InjectionInstant, SafetyConfig, Target};
 use rtl_sim::FaultKind;
 use std::fmt::Write as _;
@@ -88,7 +90,7 @@ impl CampaignSpec {
             s,
             "{{\"benchmark\":{},\"target\":\"{}\"",
             escape_json(self.benchmark.name()),
-            target_token(self.target),
+            target_to_token(self.target),
         );
         s.push_str(",\"kinds\":[");
         for (i, kind) in self.kinds.iter().enumerate() {
@@ -285,24 +287,6 @@ impl CampaignSpec {
             "{}|shard={index}/{count}|deadline={deadline}",
             self.fingerprint()
         )
-    }
-}
-
-/// The CLI token for a target (`repro campaign` uses the same ones).
-fn target_token(target: Target) -> &'static str {
-    match target {
-        Target::IntegerUnit => "iu",
-        Target::CacheMemory => "cmem",
-        Target::Whole => "whole",
-    }
-}
-
-fn target_from_token(token: &str) -> Option<Target> {
-    match token {
-        "iu" => Some(Target::IntegerUnit),
-        "cmem" => Some(Target::CacheMemory),
-        "whole" => Some(Target::Whole),
-        _ => None,
     }
 }
 

@@ -1,7 +1,7 @@
 //! End-to-end smoke tests: a real `verifd` on loopback, driven through
 //! the real client.
 
-use fault_inject::{InjectionInstant, Target};
+use fault_inject::{CorrelationSpec, InjectionInstant, PredictRequest, Target};
 use rtl_sim::FaultKind;
 use verifd::{client, CampaignSpec, Server, ServerConfig};
 use workloads::Benchmark;
@@ -151,6 +151,161 @@ fn transient_campaigns_share_one_golden_run() {
     let stats = client::stats(&addr).expect("stats");
     assert_eq!(stats.get_u64("golden_cache_misses"), Some(2));
     assert_eq!(stats.get_u64("golden_cache_entries"), Some(2));
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn correlation_sweep_fits_a_model_and_predictions_cost_nothing() {
+    let (server, addr) = start(2, None);
+
+    // A tiny two-cell sweep: the synthetic benchmarks have cheap golden
+    // runs and distinct diversities, enough for a well-defined fit.
+    let mut sweep = CorrelationSpec::new();
+    sweep.benchmarks = vec![Benchmark::Membench, Benchmark::Intbench];
+    sweep.sample = Some((6, 0xc0ffee));
+
+    let reply = client::correlate(&addr, &sweep).expect("correlate");
+    assert!(!reply.cached);
+    let report = client::wait_report(&addr, reply.id).expect("fitted report");
+    assert_eq!(report.fingerprint, sweep.fingerprint());
+    assert!(report.best_domain().model.r2.is_finite());
+    // The report matches a local run of the same sweep bit for bit.
+    let local = sweep.run_report(2).expect("local sweep");
+    assert_eq!(report.to_json(), local.to_json());
+
+    let stats = client::stats(&addr).expect("stats");
+    let cycles_after_sweep = stats.get_u64("cycles_simulated_total").expect("counter");
+    assert!(cycles_after_sweep > 0);
+    assert_eq!(stats.get_u64("models_cached"), Some(1));
+
+    // Predictions — by histogram and by swept label — answer from the
+    // cached model without simulating a cycle.
+    let by_histogram = PredictRequest::from_histogram(vec![
+        ("add".to_string(), 500),
+        ("bne".to_string(), 40),
+        ("ld".to_string(), 80),
+        ("st".to_string(), 60),
+    ]);
+    let p = client::predict(&addr, &by_histogram).expect("predict");
+    assert!((0.0..=1.0).contains(&p.pf), "Pf = {}", p.pf);
+    assert_eq!(p.diversity, 4);
+    assert_eq!(p.fingerprint, sweep.fingerprint());
+
+    let by_label = client::predict(&addr, &PredictRequest::from_benchmark("intbench"))
+        .expect("predict by label");
+    assert!((0.0..=1.0).contains(&by_label.pf));
+    assert!(by_label.diversity > 0, "diversity comes from the sweep");
+
+    // Resubmitting the identical sweep is a cache hit.
+    let again = client::correlate(&addr, &sweep).expect("resubmit");
+    assert!(again.cached);
+    assert_eq!(again.id, reply.id);
+
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(
+        stats.get_u64("cycles_simulated_total"),
+        Some(cycles_after_sweep),
+        "predictions and cache hits must not simulate"
+    );
+    assert_eq!(stats.get_u64("predictions"), Some(2));
+
+    // An unknown label and an unknown model are clean 404s.
+    match client::predict(&addr, &PredictRequest::from_benchmark("puwmod")) {
+        Err(verifd::ClientError::Http { status: 404, .. }) => {}
+        other => panic!("expected 404 for unswept label, got {other:?}"),
+    }
+    let mut foreign = PredictRequest::from_benchmark("intbench");
+    foreign.fingerprint = Some("corr-0000000000000000".to_string());
+    match client::predict(&addr, &foreign) {
+        Err(verifd::ClientError::Http { status: 404, .. }) => {}
+        other => panic!("expected 404 for unknown model, got {other:?}"),
+    }
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn golden_store_deduplicates_across_different_specs() {
+    let (server, addr) = start(1, None);
+
+    // A campaign over membench, then a correlation sweep whose membench
+    // cell generates the identical program image: the sweep must reuse
+    // the campaign's golden capture (and vice versa for intbench).
+    let mut campaign = CampaignSpec::new(Benchmark::Membench, Target::IntegerUnit);
+    campaign.kinds = vec![FaultKind::StuckAt1];
+    campaign.sample = Some((4, 9));
+    let reply = client::submit(&addr, &campaign).expect("submit");
+    client::wait(&addr, reply.id).expect("campaign run");
+
+    let stats = client::stats(&addr).expect("stats");
+    assert_eq!(stats.get_u64("golden_cache_misses"), Some(1));
+    assert_eq!(stats.get_u64("golden_store_hits"), Some(0));
+
+    // A different seed: a different campaign spec (different config
+    // fingerprint) over the same workload image (same workload hash).
+    let mut sweep = CorrelationSpec::new();
+    sweep.benchmarks = vec![Benchmark::Membench, Benchmark::Intbench];
+    sweep.sample = Some((4, 10));
+    let reply = client::correlate(&addr, &sweep).expect("correlate");
+    client::wait_report(&addr, reply.id).expect("report");
+
+    let stats = client::stats(&addr).expect("stats");
+    // The membench cell hit the campaign's capture — a cross-spec store
+    // hit; only intbench needed a fresh one.
+    assert_eq!(stats.get_u64("golden_cache_misses"), Some(2));
+    assert!(stats.get_u64("golden_store_hits").expect("counter") >= 1);
+    assert_eq!(stats.get_u64("golden_cache_entries"), Some(2));
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn sharded_correlation_merges_into_a_served_model() {
+    let (server, addr) = start(2, None);
+    let mut sweep = CorrelationSpec::new();
+    sweep.benchmarks = vec![Benchmark::Membench, Benchmark::Intbench];
+    sweep.sample = Some((6, 0xc0ffee));
+
+    let ids: Vec<u64> = (0..2)
+        .map(|index| {
+            let mut shard = sweep.clone();
+            shard.shard = Some((index, 2));
+            client::correlate(&addr, &shard)
+                .expect("correlate shard")
+                .id
+        })
+        .collect();
+    for &id in &ids {
+        // Shards finish as partials (no report of their own).
+        loop {
+            let (status, body) =
+                client::request(&addr, "GET", &format!("/campaign/{id}"), "").expect("poll");
+            assert_eq!(status, 200);
+            if body.contains("\"status\":\"done\"") {
+                assert!(body.contains("\"shard\":"), "partial carries its shard");
+                break;
+            }
+            assert!(!body.contains("\"status\":\"failed\""), "{body}");
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+    }
+    let body = format!(
+        "{{\"ids\":[{}]}}",
+        ids.iter()
+            .map(u64::to_string)
+            .collect::<Vec<String>>()
+            .join(",")
+    );
+    let (status, merged) = client::request(&addr, "POST", "/merge", &body).expect("merge");
+    assert_eq!(status, 200, "{merged}");
+    // Bit-identical to the local unsharded sweep, and immediately
+    // servable: the merge registered the fitted model.
+    let local = sweep.run_report(2).expect("local sweep");
+    assert_eq!(merged, local.to_json());
+    let p = client::predict(&addr, &PredictRequest::from_benchmark("membench"))
+        .expect("predict after merge");
+    assert_eq!(p.fingerprint, sweep.fingerprint());
 
     server.shutdown().expect("shutdown");
 }

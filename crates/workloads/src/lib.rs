@@ -63,6 +63,10 @@ pub enum Kind {
     Synthetic,
 }
 
+/// How many input datasets every benchmark ships (the paper's Fig. 3
+/// input-variability study uses three per automotive kernel).
+pub const DATASETS: usize = 3;
+
 /// Generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Params {
@@ -92,7 +96,7 @@ impl Params {
 
     /// Params with a given dataset (2 iterations).
     pub fn with_dataset(dataset: usize) -> Params {
-        assert!(dataset < 3, "datasets are 0..3");
+        assert!(dataset < DATASETS, "datasets are 0..3");
         Params {
             iterations: 2,
             dataset,
